@@ -1,0 +1,95 @@
+// E5 — paper §6/§7: "without any loss in accuracy".
+//
+// The compiled simulator must be cycle-true and state-true to the
+// interpretive one. For every workload we print the cycle count, retired
+// instruction count and a state digest per simulation level; any mismatch
+// exits non-zero. The bench also checks the workloads' architectural
+// results against their C reference models (the strongest accuracy
+// anchor).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+
+using namespace lisasim;
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct LevelResult {
+  RunResult run;
+  std::uint64_t digest = 0;
+};
+
+LevelResult run_level(const Model& model, const LoadedProgram& program,
+                      SimLevel level) {
+  if (level == SimLevel::kInterpretive) {
+    InterpSimulator sim(model);
+    sim.load(program);
+    LevelResult r{sim.run(), 0};
+    r.digest = fnv1a(sim.state().dump_nonzero());
+    return r;
+  }
+  CompiledSimulator sim(model, level);
+  sim.load(program);
+  LevelResult r{sim.run(), 0};
+  r.digest = fnv1a(sim.state().dump_nonzero());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchTarget target;
+  bool ok = true;
+
+  std::printf("E5 -- accuracy: cycle counts and state digests per level\n");
+  std::printf("%-8s %-18s %12s %12s %18s\n", "app", "level", "cycles",
+              "insns", "state digest");
+  for (const auto& w : workloads::paper_suite()) {
+    const LoadedProgram program = target.assemble(w);
+    const LevelResult interp =
+        run_level(*target.model, program, SimLevel::kInterpretive);
+    const LevelResult dynamic =
+        run_level(*target.model, program, SimLevel::kCompiledDynamic);
+    const LevelResult stat =
+        run_level(*target.model, program, SimLevel::kCompiledStatic);
+    const LevelResult* rows[3] = {&interp, &dynamic, &stat};
+    const char* names[3] = {"interpretive", "compiled-dynamic",
+                            "compiled-static"};
+    for (int i = 0; i < 3; ++i)
+      std::printf("%-8s %-18s %12llu %12llu %18llx\n", w.name.c_str(),
+                  names[i],
+                  static_cast<unsigned long long>(rows[i]->run.cycles),
+                  static_cast<unsigned long long>(rows[i]->run.slots_retired),
+                  static_cast<unsigned long long>(rows[i]->digest));
+    const bool match = interp.run == dynamic.run && interp.run == stat.run &&
+                       interp.digest == dynamic.digest &&
+                       interp.digest == stat.digest;
+    ok = ok && match;
+
+    // Reference-model check on the interpretive result.
+    InterpSimulator sim(*target.model);
+    sim.load(program);
+    sim.run();
+    const Resource* dmem = target.model->resource_by_name("dmem");
+    std::size_t mismatches = 0;
+    for (const auto& [addr, value] : w.expected_dmem)
+      if (sim.state().read(dmem->id, addr) != value) ++mismatches;
+    std::printf("%-8s reference model: %zu/%zu values %s\n\n", w.name.c_str(),
+                w.expected_dmem.size() - mismatches, w.expected_dmem.size(),
+                mismatches == 0 ? "MATCH" : "MISMATCH");
+    ok = ok && mismatches == 0;
+  }
+  std::printf("accuracy: %s (paper claim: no loss in accuracy)\n",
+              ok ? "EXACT across all levels" : "MISMATCH");
+  return ok ? 0 : 1;
+}

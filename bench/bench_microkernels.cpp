@@ -1,0 +1,145 @@
+// Micro-benchmarks of the tool components (google-benchmark): run-time
+// decoding cost (what the interpretive simulator pays per fetch), schedule
+// specialization and micro-op lowering cost (what the simulation compiler
+// pays once per instruction), and the per-stage execution cost of
+// specialized trees vs. micro-ops. These decompose the E2/E4 end-to-end
+// numbers.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "behavior/microops.hpp"
+#include "behavior/specialize.hpp"
+#include "model/sema.hpp"
+#include "sim/interp.hpp"
+#include "targets/c62x.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace lisasim;
+
+struct Fixture {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Decoder> decoder;
+  LoadedProgram program;
+  std::vector<std::int64_t> words;
+
+  Fixture() {
+    model = compile_model_source_or_throw(targets::c62x_model_source(),
+                                          "c62x");
+    decoder = std::make_unique<Decoder>(*model);
+    const auto w = workloads::make_adpcm(64);
+    program = assemble_or_throw(*model, *decoder, w.asm_source, "adpcm");
+    words.assign(program.words.begin(), program.words.end());
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_DecodePacket(benchmark::State& state) {
+  auto& f = fixture();
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    DecodedPacket packet = f.decoder->decode_packet(f.words, index);
+    benchmark::DoNotOptimize(packet.slots.data());
+    index = (index + packet.words) % (f.words.size() - 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodePacket);
+
+void BM_SpecializeSchedule(benchmark::State& state) {
+  auto& f = fixture();
+  Specializer specializer(*f.model);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    DecodedPacket packet = f.decoder->decode_packet(f.words, index);
+    PacketSchedule schedule = specializer.schedule_packet(packet);
+    benchmark::DoNotOptimize(schedule.stage_programs.data());
+    index = (index + packet.words) % (f.words.size() - 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecializeSchedule);
+
+void BM_LowerToMicroops(benchmark::State& state) {
+  auto& f = fixture();
+  Specializer specializer(*f.model);
+  DecodedPacket packet = f.decoder->decode_packet(f.words, 6);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  for (auto _ : state) {
+    for (const auto& program : schedule.stage_programs) {
+      MicroProgram mp = lower_to_microops(program);
+      benchmark::DoNotOptimize(mp.ops.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LowerToMicroops);
+
+void BM_ExecSpecializedTree(benchmark::State& state) {
+  auto& f = fixture();
+  Specializer specializer(*f.model);
+  ProcessorState pstate(*f.model);
+  PipelineControl control;
+  Evaluator eval(pstate, control);
+  DecodedPacket packet = f.decoder->decode_packet(f.words, 6);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  const int e1 = f.model->pipeline.stage_index("E1");
+  const SpecProgram& program =
+      schedule.stage_programs[static_cast<std::size_t>(e1)];
+  for (auto _ : state) {
+    eval.exec_flat(program.stmts, program.num_locals);
+    control.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecSpecializedTree);
+
+void BM_ExecMicroops(benchmark::State& state) {
+  auto& f = fixture();
+  Specializer specializer(*f.model);
+  ProcessorState pstate(*f.model);
+  PipelineControl control;
+  DecodedPacket packet = f.decoder->decode_packet(f.words, 6);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  const int e1 = f.model->pipeline.stage_index("E1");
+  MicroProgram mp = lower_to_microops(
+      schedule.stage_programs[static_cast<std::size_t>(e1)]);
+  std::vector<std::int64_t> temps;
+  for (auto _ : state) {
+    run_microops(mp, pstate, control, temps);
+    control.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecMicroops);
+
+void BM_InterpRunOp(benchmark::State& state) {
+  auto& f = fixture();
+  ProcessorState pstate(*f.model);
+  PipelineControl control;
+  Evaluator eval(pstate, control);
+  // An activation-free instruction (run_op with a null sink).
+  const LoadedProgram add = assemble_or_throw(
+      *f.model, *f.decoder, "[B1] ADD A1, A2, A3\nHALT\n", "add");
+  DecodedNodePtr node = f.decoder->decode(add.words[0]);
+  std::vector<std::pair<const DecodedNode*, int>> autos;
+  collect_auto_ops(*node, autos);
+  for (auto _ : state) {
+    for (const auto& [node, stage] : autos) {
+      (void)stage;
+      eval.run_op(*node, nullptr);
+    }
+    control.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpRunOp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

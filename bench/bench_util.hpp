@@ -1,0 +1,78 @@
+// Shared helpers for the paper-reproduction benchmarks: wall-clock timing,
+// repetition control and table formatting. Each bench binary regenerates
+// one table/figure of the paper (see EXPERIMENTS.md) and prints it in the
+// paper's units.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "model/sema.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+#include "targets/c62x.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim::bench {
+
+/// Wall-clock seconds of `fn()`, repeated until `min_seconds` of total run
+/// time accumulate; returns seconds per call.
+inline double time_per_call(const std::function<void()>& fn,
+                            double min_seconds = 0.3) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up call (page-in, cache warm).
+  fn();
+  int reps = 1;
+  for (;;) {
+    const auto start = clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (elapsed >= min_seconds) return elapsed / reps;
+    reps = elapsed <= 0 ? reps * 8
+                        : static_cast<int>(reps * (min_seconds / elapsed) + 1);
+  }
+}
+
+/// Human-friendly rate like "403k" or "12.3M" (per second).
+inline std::string format_rate(double per_second) {
+  char buffer[32];
+  if (per_second >= 1e9)
+    std::snprintf(buffer, sizeof buffer, "%.2fG", per_second / 1e9);
+  else if (per_second >= 1e6)
+    std::snprintf(buffer, sizeof buffer, "%.2fM", per_second / 1e6);
+  else if (per_second >= 1e3)
+    std::snprintf(buffer, sizeof buffer, "%.1fk", per_second / 1e3);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.1f", per_second);
+  return buffer;
+}
+
+struct BenchTarget {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Decoder> decoder;
+
+  BenchTarget() {
+    model = compile_model_source_or_throw(targets::c62x_model_source(),
+                                          "c62x");
+    decoder = std::make_unique<Decoder>(*model);
+  }
+
+  LoadedProgram assemble(const workloads::Workload& w) const {
+    return assemble_or_throw(*model, *decoder, w.asm_source, w.name);
+  }
+};
+
+/// Cycles executed by `program` until halt (same at every level).
+inline std::uint64_t measure_cycles(const Model& model,
+                                    const LoadedProgram& program) {
+  CompiledSimulator sim(model, SimLevel::kCompiledStatic);
+  sim.load(program);
+  return sim.run().cycles;
+}
+
+}  // namespace lisasim::bench

@@ -1,0 +1,225 @@
+// lisasim — command-line driver for the retargetable tool chain.
+//
+//   lisasim check   <model.lisa>                 parse + analyze + lint
+//   lisasim dump    <model.lisa>                 print the model data base
+//   lisasim asm     <model> <prog.asm>           assemble, print words
+//   lisasim disasm  <model> <prog.asm>           assemble + disassemble
+//   lisasim codegen <model> <prog.asm>           emit a standalone C++
+//                                                compiled simulator
+//   lisasim run     <model> <prog.asm> [options] simulate
+//
+// <model> is a path to a machine description, or one of the built-in
+// models "@tinydsp" / "@c62x".
+//
+// run options:
+//   --level interp|cached|dynamic|static   simulation level (default static)
+//   --max-cycles N                  stop after N cycles
+//   --dump                          print non-zero state at the end
+//   --stats                         print simulation-compile statistics
+//   --trace [N]                     print the first N trace events (def 200)
+//   --profile                       print the hot-spot table at the end
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "asm/disasm.hpp"
+#include "codegen/cppgen.hpp"
+#include "model/database.hpp"
+#include "model/sema.hpp"
+#include "model/validate.hpp"
+#include "sim/cached_interp.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+#include "sim/observer.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+using namespace lisasim;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SimError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string model_source(const std::string& spec) {
+  if (spec == "@tinydsp") return std::string(targets::tinydsp_model_source());
+  if (spec == "@c62x") return std::string(targets::c62x_model_source());
+  if (spec == "@c54x") return std::string(targets::c54x_model_source());
+  return read_file(spec);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lisasim <check|dump|asm|disasm|codegen|run> <model> "
+               "[prog.asm] [--level interp|dynamic|static] [--max-cycles N] "
+               "[--dump] [--stats]\n"
+               "       <model> is a .lisa path or @tinydsp / @c62x\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string model_spec = argv[2];
+
+  try {
+    const std::string source = model_source(model_spec);
+    DiagnosticEngine diags;
+    auto model = compile_model_source(source, model_spec, diags);
+    if (!model) {
+      std::fputs(diags.render().c_str(), stderr);
+      return 1;
+    }
+    if (diags.error_count() == 0 && !diags.diagnostics().empty())
+      std::fputs(diags.render().c_str(), stderr);
+
+    if (command == "check") {
+      Decoder decoder(*model);
+      DiagnosticEngine lint;
+      const std::size_t findings = validate_model(*model, lint);
+      std::fputs(lint.render().c_str(), stderr);
+      std::printf("%s: OK (%zu operations, %zu with coding, %d pipeline "
+                  "stages, %u-bit words, %zu lint finding%s)\n",
+                  model->name.c_str(), decoder.stats().operations,
+                  decoder.stats().coding_operations, model->pipeline.depth(),
+                  model->fetch.word_bits, findings,
+                  findings == 1 ? "" : "s");
+      return 0;
+    }
+    if (command == "dump") {
+      std::fputs(dump_model(*model).c_str(), stdout);
+      return 0;
+    }
+
+    if (argc < 4) return usage();
+    const std::string asm_path = argv[3];
+    Decoder decoder(*model);
+    DiagnosticEngine asm_diags;
+    Assembler assembler(*model, decoder);
+    const LoadedProgram program =
+        assembler.assemble(read_file(asm_path), asm_path, asm_diags);
+    if (asm_diags.has_errors()) {
+      std::fputs(asm_diags.render().c_str(), stderr);
+      return 1;
+    }
+
+    if (command == "asm") {
+      for (std::size_t i = 0; i < program.words.size(); ++i)
+        std::printf("%06llx: %0*llx\n",
+                    static_cast<unsigned long long>(program.text_base + i),
+                    static_cast<int>((model->fetch.word_bits + 3) / 4),
+                    static_cast<unsigned long long>(program.words[i]));
+      return 0;
+    }
+    if (command == "disasm") {
+      for (std::size_t i = 0; i < program.words.size(); ++i)
+        std::printf("%06llx: %s\n",
+                    static_cast<unsigned long long>(program.text_base + i),
+                    disassemble_word(decoder, program.words[i]).c_str());
+      return 0;
+    }
+    if (command == "codegen") {
+      std::fputs(generate_cpp_simulator(*model, program).c_str(), stdout);
+      return 0;
+    }
+    if (command != "run") return usage();
+
+    // Options.
+    SimLevel level = SimLevel::kCompiledStatic;
+    std::uint64_t max_cycles = UINT64_MAX;
+    bool dump_state = false;
+    bool show_stats = false;
+    bool do_profile = false;
+    std::uint64_t trace_events = 0;
+    for (int i = 4; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--level") && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value == "interp") level = SimLevel::kInterpretive;
+        else if (value == "cached") level = SimLevel::kDecodeCached;
+        else if (value == "dynamic") level = SimLevel::kCompiledDynamic;
+        else if (value == "static") level = SimLevel::kCompiledStatic;
+        else return usage();
+      } else if (!std::strcmp(argv[i], "--max-cycles") && i + 1 < argc) {
+        max_cycles = std::strtoull(argv[++i], nullptr, 0);
+      } else if (!std::strcmp(argv[i], "--dump")) {
+        dump_state = true;
+      } else if (!std::strcmp(argv[i], "--stats")) {
+        show_stats = true;
+      } else if (!std::strcmp(argv[i], "--profile")) {
+        do_profile = true;
+      } else if (!std::strcmp(argv[i], "--trace")) {
+        trace_events = 200;
+        if (i + 1 < argc && std::isdigit(
+                                static_cast<unsigned char>(argv[i + 1][0])))
+          trace_events = std::strtoull(argv[++i], nullptr, 0);
+      } else {
+        return usage();
+      }
+    }
+
+    // Observers annotate fetches with disassembly from the program text.
+    const auto disasm_at = [&](std::uint64_t pc) -> std::string {
+      if (pc < program.text_base || pc >= program.text_end()) return "?";
+      return disassemble_word(decoder, program.words[pc - program.text_base]);
+    };
+    TraceObserver trace(std::cout, disasm_at, trace_events);
+    ProfileObserver profile;
+    SimObserver* observer = nullptr;
+    if (trace_events > 0) observer = &trace;
+    if (do_profile) observer = &profile;  // --profile wins if both given
+
+    RunResult result;
+    std::string state_dump;
+    if (level == SimLevel::kInterpretive) {
+      InterpSimulator sim(*model);
+      sim.set_observer(observer);
+      sim.load(program);
+      result = sim.run(max_cycles);
+      state_dump = sim.state().dump_nonzero();
+    } else if (level == SimLevel::kDecodeCached) {
+      CachedInterpSimulator sim(*model);
+      sim.set_observer(observer);
+      sim.load(program);
+      result = sim.run(max_cycles);
+      state_dump = sim.state().dump_nonzero();
+    } else {
+      CompiledSimulator sim(*model, level);
+      sim.set_observer(observer);
+      const SimCompileStats stats = sim.load(program);
+      if (show_stats)
+        std::printf("simulation compiler: %zu instructions, %zu table rows, "
+                    "%zu micro-ops\n",
+                    stats.instructions, stats.table_rows, stats.microops);
+      result = sim.run(max_cycles);
+      state_dump = sim.state().dump_nonzero();
+    }
+    std::printf("%s: %llu cycles, %llu packets (%llu instructions) retired, "
+                "%s\n",
+                sim_level_name(level),
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.packets_retired),
+                static_cast<unsigned long long>(result.slots_retired),
+                result.halted ? "halted" : "cycle limit reached");
+    if (do_profile)
+      std::fputs(("hot spots:\n" + profile.report(10, disasm_at)).c_str(),
+                 stdout);
+    if (dump_state) std::fputs(state_dump.c_str(), stdout);
+    return 0;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,79 @@
+// Quickstart: the whole tool flow in one file.
+//
+//   machine description --(LISA compiler)--> model data base
+//   model --> decoder + assembler + disassembler + simulators, generated
+//   assembly --> object code --(simulation compiler)--> simulation table
+//   run: interpretive vs compiled, identical results
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "asm/disasm.hpp"
+#include "model/database.hpp"
+#include "model/sema.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+#include "targets/tinydsp.hpp"
+
+using namespace lisasim;
+
+int main() {
+  // 1. Compile the machine description (the "LISA compiler").
+  auto model = compile_model_source_or_throw(targets::tinydsp_model_source(),
+                                             "tinydsp");
+  std::printf("model '%s': %zu operations, %d pipeline stages\n",
+              model->name.c_str(), model->operations.size(),
+              model->pipeline.depth());
+
+  // 2. The decoder, assembler and disassembler are generated from the
+  //    model — nothing below is specific to tinydsp.
+  Decoder decoder(*model);
+  const char* source = R"(
+        ; sum = 3 * 4 + 10, computed through memory
+        MVK 3, R1
+        MVK 4, R2
+        MUL.L R3, R1, R2     ; R3 = 12
+        MVK 100, R5
+        ST R3, R5, 0         ; dmem[100] = 12
+        LD R4, R5, 0         ; R4 = 12 (write-back in WB)
+        MVK 10, R6
+        ADD.L R7, R4, R6     ; R7 = 22
+        HALT
+  )";
+  LoadedProgram program =
+      assemble_or_throw(*model, decoder, source, "quickstart.asm");
+  std::printf("assembled %zu words; word 2 disassembles to \"%s\"\n",
+              program.words.size(),
+              disassemble_word(decoder, program.words[2]).c_str());
+
+  // 3. Run interpretively (decode every fetch)...
+  InterpSimulator interp(*model);
+  interp.load(program);
+  const RunResult r1 = interp.run();
+  std::printf("interpretive: %llu cycles, R7 = %lld\n",
+              static_cast<unsigned long long>(r1.cycles),
+              static_cast<long long>(
+                  interp.state().read(model->resource_by_name("R")->id, 7)));
+
+  // 4. ...and compiled: the simulation compiler pre-decodes the program
+  //    into a simulation table, then the run needs no decoding at all.
+  CompiledSimulator compiled(*model, SimLevel::kCompiledStatic);
+  const SimCompileStats stats = compiled.load(program);
+  const RunResult r2 = compiled.run();
+  std::printf("compiled:     %llu cycles, %zu instructions -> %zu micro-ops\n",
+              static_cast<unsigned long long>(r2.cycles), stats.instructions,
+              stats.microops);
+
+  // 5. The paper's claim: same cycles, same state ("no loss in accuracy").
+  std::printf("cycle-accurate match: %s\n",
+              r1.cycles == r2.cycles && interp.state() == compiled.state()
+                  ? "yes"
+                  : "NO");
+
+  // 6. The model data base (Fig. 5): dump + reload round-trips.
+  const std::string db = dump_model(*model);
+  std::printf("model data base: %zu bytes of canonical description\n",
+              db.size());
+  return 0;
+}

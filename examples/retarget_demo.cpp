@@ -1,0 +1,147 @@
+// Retargeting demo — the paper's core pitch: describe a brand-new
+// processor in the machine description language and get the complete tool
+// chain (decoder, assembler, disassembler, interpretive AND compiled
+// cycle-accurate simulators) generated from it, with zero hand-written
+// simulator code.
+//
+// The machine below is a 3-stage accumulator DSP ("accu16") invented for
+// this demo; it exists nowhere else in the repository.
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "asm/disasm.hpp"
+#include "model/sema.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+
+using namespace lisasim;
+
+namespace {
+
+constexpr std::string_view kAccu16 = R"LISA(
+MODEL accu16;
+
+RESOURCE {
+  PROGRAM_COUNTER uint32 PC;
+  int32 ACC;                      // the accumulator
+  REGISTER int16 X[8];            // small operand file
+  MEMORY uint32 prog[256];
+  MEMORY int16 data[256];
+  PIPELINE pipe = { FE; DE; EX; };
+}
+
+FETCH { WORD 16; MEMORY prog; }
+
+OPERATION xreg {
+  DECLARE { LABEL i; }
+  CODING { i=0bx[3] }
+  SYNTAX { "X" i }
+  EXPRESSION { X[i] }
+}
+
+OPERATION lda IN pipe.EX {
+  DECLARE { LABEL addr; }
+  CODING { 0b0001 0b0000 addr=0bx[8] }
+  SYNTAX { "LDA " addr }
+  BEHAVIOR { ACC = data[addr]; }
+}
+
+OPERATION sta IN pipe.EX {
+  DECLARE { LABEL addr; }
+  CODING { 0b0010 0b0000 addr=0bx[8] }
+  SYNTAX { "STA " addr }
+  BEHAVIOR { data[addr] = sat(ACC, 16); }
+}
+
+OPERATION addx IN pipe.EX {
+  DECLARE { INSTANCE x = xreg; }
+  CODING { 0b0011 0b000000000 x }
+  SYNTAX { "ADD " x }
+  BEHAVIOR { ACC = ACC + x; }
+}
+
+OPERATION macx IN pipe.EX {
+  DECLARE { INSTANCE x = xreg; LABEL addr; }
+  CODING { 0b0100 0b00 x addr=0bx[7] }
+  SYNTAX { "MAC " x ", " addr }
+  BEHAVIOR { ACC = sat(ACC + x * data[addr], 32); }
+}
+
+OPERATION ldx IN pipe.EX {
+  DECLARE { INSTANCE x = xreg; LABEL imm; }
+  CODING { 0b0101 0b00 x imm=0bx[7] }
+  SYNTAX { "LDX " x ", " imm }
+  BEHAVIOR { x = sext(imm, 7); }
+}
+
+OPERATION clr IN pipe.EX {
+  CODING { 0b0110 0b000000000000 }
+  SYNTAX { "CLR" }
+  BEHAVIOR { ACC = 0; }
+}
+
+OPERATION stop IN pipe.EX {
+  CODING { 0b1111 0b000000000000 }
+  SYNTAX { "STOP" }
+  BEHAVIOR { halt(); }
+}
+
+OPERATION instruction {
+  DECLARE { GROUP insn = { lda || sta || addx || macx || ldx || clr ||
+                           stop }; }
+  CODING { insn }
+  SYNTAX { insn }
+}
+)LISA";
+
+}  // namespace
+
+int main() {
+  // One call turns the description into a full model...
+  auto model = compile_model_source_or_throw(kAccu16, "accu16");
+  Decoder decoder(*model);
+  std::printf("retargeted to '%s': %zu operations, 16-bit instruction "
+              "words, %d-stage pipeline\n",
+              model->name.c_str(), model->operations.size(),
+              model->pipeline.depth());
+
+  // ...including the assembler. Compute 3*5 + 7*2 = 29 via MAC.
+  const char* source = R"(
+        LDX X1, 3
+        LDX X2, 7
+        CLR
+        MAC X1, 10      ; ACC += X1 * data[10]
+        MAC X2, 11      ; ACC += X2 * data[11]
+        ADD X3          ; X3 is 0
+        STA 20
+        LDA 20
+        STOP
+        .data data 10
+        .word 5, 2
+  )";
+  LoadedProgram program =
+      assemble_or_throw(*model, decoder, source, "demo.asm");
+  std::printf("assembled %zu 16-bit words; first word: \"%s\"\n",
+              program.words.size(),
+              disassemble_word(decoder, program.words[0]).c_str());
+
+  // ...and both simulators.
+  InterpSimulator interp(*model);
+  interp.load(program);
+  const RunResult ri = interp.run();
+
+  CompiledSimulator compiled(*model, SimLevel::kCompiledStatic);
+  compiled.load(program);
+  const RunResult rc = compiled.run();
+
+  const Resource* acc = model->resource_by_name("ACC");
+  const Resource* data = model->resource_by_name("data");
+  std::printf("ACC = %lld (expected 29), data[20] = %lld\n",
+              static_cast<long long>(compiled.state().read(acc->id)),
+              static_cast<long long>(compiled.state().read(data->id, 20)));
+  std::printf("interpretive %llu cycles == compiled %llu cycles: %s\n",
+              static_cast<unsigned long long>(ri.cycles),
+              static_cast<unsigned long long>(rc.cycles),
+              ri.cycles == rc.cycles ? "yes" : "NO");
+  return 0;
+}

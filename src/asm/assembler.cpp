@@ -1,0 +1,620 @@
+#include "asm/assembler.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "decode/analysis.hpp"
+#include "support/bits.hpp"
+
+namespace lisasim {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+struct Line {
+  enum class Kind : std::uint8_t { kEmpty, kDirective, kInstruction };
+  Kind kind = Kind::kEmpty;
+  std::string label;       // empty if none
+  bool parallel = false;   // line started with '||'
+  std::string body;        // directive or instruction text, trimmed
+  unsigned number = 0;     // 1-based source line
+};
+
+/// Strip comments, extract the optional label and the '||' prefix.
+std::vector<Line> split_lines(std::string_view source) {
+  std::vector<Line> lines;
+  unsigned number = 0;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) end = source.size();
+    std::string_view raw = source.substr(start, end - start);
+    start = end + 1;
+    ++number;
+
+    // Comments: ';' and '//'.
+    if (const auto semi = raw.find(';'); semi != std::string_view::npos)
+      raw = raw.substr(0, semi);
+    if (const auto slashes = raw.find("//"); slashes != std::string_view::npos)
+      raw = raw.substr(0, slashes);
+
+    Line line;
+    line.number = number;
+    std::size_t pos = 0;
+    while (pos < raw.size() && is_space(raw[pos])) ++pos;
+
+    // Optional label.
+    if (pos < raw.size() && is_ident_start(raw[pos])) {
+      std::size_t p = pos;
+      while (p < raw.size() && is_ident_char(raw[p])) ++p;
+      if (p < raw.size() && raw[p] == ':') {
+        line.label = std::string(raw.substr(pos, p - pos));
+        pos = p + 1;
+        while (pos < raw.size() && is_space(raw[pos])) ++pos;
+      }
+    }
+
+    if (pos + 1 < raw.size() && raw[pos] == '|' && raw[pos + 1] == '|') {
+      line.parallel = true;
+      pos += 2;
+      while (pos < raw.size() && is_space(raw[pos])) ++pos;
+    }
+
+    std::size_t tail = raw.size();
+    while (tail > pos && is_space(raw[tail - 1])) --tail;
+    line.body = std::string(raw.substr(pos, tail - pos));
+
+    if (line.body.empty())
+      line.kind = Line::Kind::kEmpty;
+    else if (line.body[0] == '.')
+      line.kind = Line::Kind::kDirective;
+    else
+      line.kind = Line::Kind::kInstruction;
+    lines.push_back(std::move(line));
+    if (end == source.size()) break;
+  }
+  return lines;
+}
+
+/// Parse an integer literal: [-]digits or [-]0x... Returns nullopt and
+/// leaves pos untouched on failure.
+std::optional<std::int64_t> parse_int(std::string_view s, std::size_t& pos) {
+  std::size_t p = pos;
+  bool negative = false;
+  if (p < s.size() && s[p] == '-') {
+    negative = true;
+    ++p;
+  }
+  std::int64_t value = 0;
+  if (p + 1 < s.size() && s[p] == '0' && (s[p + 1] == 'x' || s[p + 1] == 'X')) {
+    p += 2;
+    const std::size_t digits_start = p;
+    while (p < s.size() && std::isxdigit(static_cast<unsigned char>(s[p]))) {
+      const char c = s[p++];
+      const int digit = std::isdigit(static_cast<unsigned char>(c))
+                            ? c - '0'
+                            : (std::tolower(c) - 'a' + 10);
+      value = value * 16 + digit;
+    }
+    if (p == digits_start) return std::nullopt;
+  } else {
+    const std::size_t digits_start = p;
+    while (p < s.size() && std::isdigit(static_cast<unsigned char>(s[p])))
+      value = value * 10 + (s[p++] - '0');
+    if (p == digits_start) return std::nullopt;
+  }
+  pos = p;
+  return negative ? -value : value;
+}
+
+std::optional<std::string> parse_ident(std::string_view s, std::size_t& pos) {
+  if (pos >= s.size() || !is_ident_start(s[pos])) return std::nullopt;
+  std::size_t p = pos;
+  while (p < s.size() && is_ident_char(s[p])) ++p;
+  std::string name(s.substr(pos, p - pos));
+  pos = p;
+  return name;
+}
+
+/// Recursive-descent matcher of instruction text against SYNTAX sections.
+class SyntaxMatcher {
+ public:
+  SyntaxMatcher(const Model& model,
+                const std::map<std::string, std::int64_t>& symbols)
+      : model_(&model), symbols_(&symbols) {}
+
+  /// Match the whole line against the model's root operation. On failure
+  /// returns nullptr; `error` carries the deepest failure explanation.
+  DecodedNodePtr match_line(std::string_view text, std::string& error) {
+    best_pos_ = 0;
+    best_msg_ = "unrecognized instruction";
+    if (model_->root < 0) {
+      error = "model has no 'instruction' operation";
+      return nullptr;
+    }
+    std::size_t pos = 0;
+    auto node = match_op(model_->op(model_->root), text, pos);
+    if (node) {
+      skip_ws(text, pos);
+      if (pos != text.size()) {
+        note_failure(pos, "trailing characters after instruction");
+        node = nullptr;
+      }
+    }
+    if (!node)
+      error = best_msg_ + " (at column " + std::to_string(best_pos_ + 1) + ")";
+    return node;
+  }
+
+ private:
+  static void skip_ws(std::string_view s, std::size_t& pos) {
+    while (pos < s.size() && is_space(s[pos])) ++pos;
+  }
+
+  void note_failure(std::size_t pos, std::string msg) {
+    if (pos >= best_pos_) {
+      best_pos_ = pos;
+      best_msg_ = std::move(msg);
+    }
+  }
+
+  DecodedNodePtr match_op(const Operation& op, std::string_view s,
+                          std::size_t& pos) {
+    auto node = std::make_unique<DecodedNode>(op);
+    bool require_ws = false;
+    for (const auto& elem : op.syntax) {
+      const std::size_t before = pos;
+      skip_ws(s, pos);
+      if (require_ws && pos == before &&
+          elem.kind != SyntaxElem::Kind::kLiteral) {
+        note_failure(pos, "expected whitespace");
+        return nullptr;
+      }
+      require_ws = false;
+      switch (elem.kind) {
+        case SyntaxElem::Kind::kLiteral:
+          if (!match_literal(elem.text, s, pos, require_ws)) return nullptr;
+          break;
+        case SyntaxElem::Kind::kField: {
+          const auto& label =
+              op.labels[static_cast<std::size_t>(elem.slot)];
+          std::int64_t value = 0;
+          if (auto v = parse_int(s, pos)) {
+            value = *v;
+          } else if (auto name = parse_ident(s, pos)) {
+            auto it = symbols_->find(*name);
+            if (it == symbols_->end()) {
+              note_failure(pos, "undefined symbol '" + *name + "'");
+              return nullptr;
+            }
+            value = it->second;
+          } else {
+            note_failure(pos, "expected operand value for field '" +
+                                  label.name + "'");
+            return nullptr;
+          }
+          if (!fits_unsigned(static_cast<std::uint64_t>(value), label.width) &&
+              !fits_signed(value, label.width)) {
+            note_failure(pos, "operand " + std::to_string(value) +
+                                  " does not fit in " +
+                                  std::to_string(label.width) + "-bit field '" +
+                                  label.name + "'");
+            return nullptr;
+          }
+          node->fields[static_cast<std::size_t>(elem.slot)] =
+              static_cast<std::int64_t>(truncate(value, label.width));
+          break;
+        }
+        case SyntaxElem::Kind::kChild: {
+          const auto& child =
+              op.children[static_cast<std::size_t>(elem.slot)];
+          DecodedNodePtr sub;
+          for (OperationId alt : child.alternatives) {
+            std::size_t attempt = pos;
+            sub = match_op(model_->op(alt), s, attempt);
+            if (sub) {
+              pos = attempt;
+              break;
+            }
+          }
+          if (!sub) {
+            note_failure(pos, "no alternative of '" + child.name +
+                                  "' matches");
+            return nullptr;
+          }
+          sub->parent = node.get();
+          node->children[static_cast<std::size_t>(elem.slot)] =
+              std::move(sub);
+          break;
+        }
+      }
+    }
+    return node;
+  }
+
+  /// Literal matching: spaces inside the literal match optional whitespace,
+  /// except that two alphanumeric characters can never fuse across one —
+  /// and a trailing space after an alphanumeric character demands real
+  /// whitespace before the next element (so "MVK5" never parses as MVK 5).
+  bool match_literal(const std::string& lit, std::string_view s,
+                     std::size_t& pos, bool& require_ws_after) {
+    char prev = '\0';
+    for (std::size_t i = 0; i < lit.size(); ++i) {
+      const char c = lit[i];
+      if (c == ' ') {
+        std::size_t skipped = 0;
+        while (pos < s.size() && is_space(s[pos])) {
+          ++pos;
+          ++skipped;
+        }
+        // Find the next literal character after the space run.
+        std::size_t j = i;
+        while (j < lit.size() && lit[j] == ' ') ++j;
+        if (j == lit.size()) {
+          if (std::isalnum(static_cast<unsigned char>(prev)))
+            require_ws_after = skipped == 0;
+          return true;  // handled below via require_ws_after
+        }
+        const char next = lit[j];
+        if (skipped == 0 &&
+            std::isalnum(static_cast<unsigned char>(prev)) &&
+            std::isalnum(static_cast<unsigned char>(next))) {
+          note_failure(pos, "expected whitespace");
+          return false;
+        }
+        i = j - 1;
+        continue;
+      }
+      if (pos >= s.size() || s[pos] != c) {
+        note_failure(pos, "expected '" + lit + "'");
+        return false;
+      }
+      prev = c;
+      ++pos;
+    }
+    return true;
+  }
+
+  const Model* model_;
+  const std::map<std::string, std::int64_t>* symbols_;
+  std::size_t best_pos_ = 0;
+  std::string best_msg_;
+};
+
+/// Fill coding-bound children that the SYNTAX did not bind, when they have
+/// exactly one alternative (fixed sub-encodings such as unit selectors).
+void complete_node(const Model& model, DecodedNode& node) {
+  for (std::size_t slot = 0; slot < node.op->children.size(); ++slot) {
+    const ChildDecl& child = node.op->children[slot];
+    if (!child.in_coding) continue;
+    if (!node.children[slot]) {
+      if (child.alternatives.size() != 1)
+        throw SimError("cannot assemble: group '" + child.name +
+                       "' of operation '" + node.op->name +
+                       "' is not determined by the syntax");
+      auto sub = std::make_unique<DecodedNode>(
+          model.op(child.alternatives.front()));
+      sub->parent = &node;
+      node.children[slot] = std::move(sub);
+    }
+    complete_node(model, *node.children[slot]);
+  }
+}
+
+struct Directive {
+  std::string name;
+  std::vector<std::string> args;  // raw comma-separated arguments
+};
+
+Directive parse_directive(const std::string& body) {
+  Directive d;
+  std::size_t pos = 1;  // skip '.'
+  while (pos < body.size() && is_ident_char(body[pos]))
+    d.name.push_back(body[pos++]);
+  // Arguments: first whitespace-separated tokens, then comma-separated.
+  std::string rest = body.substr(pos);
+  std::string current;
+  for (char c : rest) {
+    if (c == ',') {
+      d.args.push_back(current);
+      current.clear();
+    } else if (is_space(c) && current.empty()) {
+      continue;
+    } else if (is_space(c) && !d.args.empty()) {
+      current.push_back(c);  // keep interior spaces of later args trimmed below
+    } else if (is_space(c)) {
+      d.args.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) d.args.push_back(current);
+  for (auto& a : d.args) {
+    while (!a.empty() && is_space(a.back())) a.pop_back();
+    std::size_t lead = 0;
+    while (lead < a.size() && is_space(a[lead])) ++lead;
+    a = a.substr(lead);
+  }
+  return d;
+}
+
+}  // namespace
+
+LoadedProgram Assembler::assemble(std::string_view source, std::string file,
+                                  DiagnosticEngine& diags) const {
+  LoadedProgram program;
+  const std::vector<Line> lines = split_lines(source);
+  const auto loc = [&](const Line& line) {
+    return SourceLoc{file, line.number, 1};
+  };
+
+  // ---- pass 1: addresses and symbols -------------------------------------
+  enum class Section : std::uint8_t { kText, kData };
+  Section section = Section::kText;
+  std::uint64_t text_cursor = 0;
+  std::uint64_t data_cursor = 0;
+  bool saw_text_directive = false;
+  bool saw_instruction = false;
+
+  const auto count_words = [](const Directive& d) {
+    return d.args.size();
+  };
+
+  for (const Line& line : lines) {
+    if (!line.label.empty()) {
+      const std::uint64_t addr =
+          section == Section::kText ? text_cursor : data_cursor;
+      if (!program.symbols
+               .emplace(line.label, static_cast<std::int64_t>(addr))
+               .second)
+        diags.error(loc(line), "duplicate label '" + line.label + "'");
+    }
+    switch (line.kind) {
+      case Line::Kind::kEmpty:
+        break;
+      case Line::Kind::kInstruction:
+        if (section != Section::kText) {
+          diags.error(loc(line), "instruction outside .text section");
+          break;
+        }
+        saw_instruction = true;
+        ++text_cursor;
+        break;
+      case Line::Kind::kDirective: {
+        const Directive d = parse_directive(line.body);
+        if (d.name == "text") {
+          if (saw_instruction || saw_text_directive) {
+            diags.error(loc(line), "only one .text section is supported");
+            break;
+          }
+          saw_text_directive = true;
+          section = Section::kText;
+          if (!d.args.empty()) {
+            std::size_t p = 0;
+            if (auto v = parse_int(d.args[0], p)) {
+              program.text_base = static_cast<std::uint64_t>(*v);
+              text_cursor = program.text_base;
+            } else {
+              diags.error(loc(line), "bad .text address");
+            }
+          }
+        } else if (d.name == "data") {
+          section = Section::kData;
+          data_cursor = 0;
+          if (d.args.size() >= 2) {
+            std::size_t p = 0;
+            if (auto v = parse_int(d.args[1], p))
+              data_cursor = static_cast<std::uint64_t>(*v);
+            else
+              diags.error(loc(line), "bad .data address");
+          }
+        } else if (d.name == "word") {
+          if (section == Section::kData)
+            data_cursor += count_words(d);
+          else
+            text_cursor += count_words(d);
+        } else if (d.name == "space" || d.name == "align") {
+          std::uint64_t n = 0;
+          std::size_t pos = 0;
+          if (d.args.size() == 1) {
+            if (auto v = parse_int(d.args[0], pos); v && *v > 0)
+              n = static_cast<std::uint64_t>(*v);
+          }
+          if (n == 0) {
+            diags.error(loc(line),
+                        "." + d.name + " requires a positive count");
+          } else {
+            std::uint64_t& cursor =
+                section == Section::kData ? data_cursor : text_cursor;
+            cursor = d.name == "space" ? cursor + n
+                                       : (cursor + n - 1) / n * n;
+          }
+        } else if (d.name == "entry") {
+          // resolved in pass 2
+        } else {
+          diags.error(loc(line), "unknown directive '." + d.name + "'");
+        }
+        break;
+      }
+    }
+  }
+  if (diags.has_errors()) return program;
+
+  // ---- pass 2: encoding ----------------------------------------------------
+  SyntaxMatcher matcher(*model_, program.symbols);
+  const ResourceUsage usage(*model_);
+  section = Section::kText;
+  text_cursor = program.text_base;
+  DataSegment* current_data = nullptr;
+  std::int64_t last_insn_index = -1;  // index into program.words
+  unsigned packet_run = 1;
+  // Decoded slots of the packet under construction, for structural-hazard
+  // checking (two slots writing one scalar resource in one stage).
+  std::vector<DecodedNodePtr> packet_nodes;
+
+  const auto resolve_value = [&](const std::string& token, const Line& line)
+      -> std::optional<std::int64_t> {
+    std::size_t p = 0;
+    if (auto v = parse_int(token, p); v && p == token.size()) return v;
+    if (auto it = program.symbols.find(token); it != program.symbols.end())
+      return it->second;
+    diags.error(loc(line), "bad value '" + token + "'");
+    return std::nullopt;
+  };
+
+  for (const Line& line : lines) {
+    switch (line.kind) {
+      case Line::Kind::kEmpty:
+        break;
+      case Line::Kind::kInstruction: {
+        std::string error;
+        DecodedNodePtr node = matcher.match_line(line.body, error);
+        if (!node) {
+          diags.error(loc(line), "cannot assemble '" + line.body + "': " +
+                                     error);
+          break;
+        }
+        std::uint64_t word = 0;
+        try {
+          complete_node(*model_, *node);
+          word = decoder_->encode(*node);
+        } catch (const SimError& e) {
+          diags.error(loc(line), e.what());
+          break;
+        }
+        if (!decoder_->decode(word))
+          diags.error(loc(line), "encoded word 0x... does not decode back; "
+                                 "the model's CODING is ambiguous for '" +
+                                     line.body + "'");
+        if (line.parallel) {
+          if (model_->fetch.packet_max <= 1) {
+            diags.error(loc(line),
+                        "'||' used but the model is single-issue");
+          } else if (last_insn_index < 0) {
+            diags.error(loc(line), "'||' has no previous instruction");
+          } else {
+            program.words[static_cast<std::size_t>(last_insn_index)] |=
+                std::uint64_t{1} << model_->fetch.parallel_bit;
+            ++packet_run;
+            if (packet_run > model_->fetch.packet_max)
+              diags.error(loc(line), "execute packet exceeds " +
+                                         std::to_string(
+                                             model_->fetch.packet_max) +
+                                         " slots");
+            // Structural hazards: two packet slots writing the same scalar
+            // resource in the same stage (paper §5: resources model the
+            // limited availability of units).
+            for (const auto& other : packet_nodes) {
+              const ResourceId conflict =
+                  usage.first_conflict(*other, *node);
+              if (conflict >= 0) {
+                diags.error(loc(line),
+                            "execute packet oversubscribes resource '" +
+                                model_->resource(conflict).name +
+                                "' (two slots write it in the same stage)");
+                break;
+              }
+            }
+          }
+        } else {
+          packet_run = 1;
+          packet_nodes.clear();
+        }
+        packet_nodes.push_back(std::move(node));
+        last_insn_index = static_cast<std::int64_t>(program.words.size());
+        program.words.push_back(word & low_mask(model_->fetch.word_bits));
+        ++text_cursor;
+        break;
+      }
+      case Line::Kind::kDirective: {
+        const Directive d = parse_directive(line.body);
+        if (d.name == "data") {
+          section = Section::kData;
+          program.data.emplace_back();
+          current_data = &program.data.back();
+          if (d.args.empty()) {
+            diags.error(loc(line), ".data requires a memory name");
+          } else {
+            current_data->memory = d.args[0];
+            if (d.args.size() >= 2) {
+              std::size_t p = 0;
+              if (auto v = parse_int(d.args[1], p))
+                current_data->base = static_cast<std::uint64_t>(*v);
+            }
+          }
+        } else if (d.name == "word") {
+          for (const auto& token : d.args) {
+            const auto v = resolve_value(token, line);
+            if (!v) continue;
+            if (section == Section::kData && current_data) {
+              current_data->values.push_back(*v);
+            } else {
+              program.words.push_back(static_cast<std::uint64_t>(*v) &
+                                      low_mask(model_->fetch.word_bits));
+              last_insn_index = -1;
+              ++text_cursor;
+            }
+          }
+        } else if (d.name == "space" || d.name == "align") {
+          std::size_t pos = 0;
+          std::uint64_t n = 0;
+          if (d.args.size() == 1) {
+            if (auto v = parse_int(d.args[0], pos); v && *v > 0)
+              n = static_cast<std::uint64_t>(*v);
+          }
+          if (n > 0) {  // pass 1 already diagnosed n == 0
+            if (section == Section::kData && current_data) {
+              const std::uint64_t cursor =
+                  current_data->base + current_data->values.size();
+              const std::uint64_t target =
+                  d.name == "space" ? cursor + n : (cursor + n - 1) / n * n;
+              current_data->values.resize(
+                  current_data->values.size() + (target - cursor), 0);
+            } else {
+              const std::uint64_t target = d.name == "space"
+                                               ? text_cursor + n
+                                               : (text_cursor + n - 1) / n * n;
+              while (text_cursor < target) {
+                program.words.push_back(0);
+                ++text_cursor;
+              }
+              last_insn_index = -1;
+            }
+          }
+        } else if (d.name == "entry") {
+          if (d.args.empty()) {
+            diags.error(loc(line), ".entry requires a symbol or address");
+          } else if (const auto v = resolve_value(d.args[0], line)) {
+            program.entry = static_cast<std::uint64_t>(*v);
+          }
+        }
+        // ".text" was fully handled in pass 1.
+        break;
+      }
+    }
+  }
+  return program;
+}
+
+LoadedProgram assemble_or_throw(const Model& model, const Decoder& decoder,
+                                std::string_view source, std::string file) {
+  DiagnosticEngine diags;
+  Assembler assembler(model, decoder);
+  LoadedProgram program = assembler.assemble(source, std::move(file), diags);
+  if (diags.has_errors())
+    throw SimError("assembly failed:\n" + diags.render());
+  return program;
+}
+
+}  // namespace lisasim

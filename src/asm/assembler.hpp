@@ -1,0 +1,49 @@
+// SYNTAX-driven retargetable assembler. The assembler is generated from the
+// machine model in the same sense as the simulator: all mnemonics, operand
+// forms and encodings come from the model's SYNTAX/CODING sections; this
+// component only supplies the generic matching engine, label handling and
+// directives.
+//
+// Source format (DSP-assembler style):
+//   ; comment, // comment
+//   label:  MVK 5, A1
+//        || SUB A4, A5, A6     ; '||' chains into the previous fetch packet
+//           .text [addr]       ; switch to text at word address (default 0)
+//           .data <memory> [addr]
+//           .word v, v, ...    ; initialized data (ints or symbols)
+//           .space n           ; advance the cursor by n zero words
+//           .align n           ; advance the cursor to a multiple of n
+//           .entry <symbol>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "asm/program.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+class Assembler {
+ public:
+  /// `decoder` supplies encode(); it must outlive the assembler.
+  Assembler(const Model& model, const Decoder& decoder)
+      : model_(&model), decoder_(&decoder) {}
+
+  /// Two-pass assembly. Errors are reported to `diags`; the returned
+  /// program is valid only when no errors were reported.
+  LoadedProgram assemble(std::string_view source, std::string file,
+                         DiagnosticEngine& diags) const;
+
+ private:
+  const Model* model_;
+  const Decoder* decoder_;
+};
+
+/// Convenience wrapper that throws SimError with rendered diagnostics.
+LoadedProgram assemble_or_throw(const Model& model, const Decoder& decoder,
+                                std::string_view source, std::string file);
+
+}  // namespace lisasim

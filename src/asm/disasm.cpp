@@ -1,0 +1,52 @@
+#include "asm/disasm.hpp"
+
+#include <cstdio>
+
+namespace lisasim {
+
+namespace {
+
+void render(const DecodedNode& node, std::string& out) {
+  const Operation& op = *node.op;
+  for (const auto& elem : op.syntax) {
+    switch (elem.kind) {
+      case SyntaxElem::Kind::kLiteral:
+        out += elem.text;
+        break;
+      case SyntaxElem::Kind::kField:
+        out += std::to_string(
+            node.fields[static_cast<std::size_t>(elem.slot)]);
+        break;
+      case SyntaxElem::Kind::kChild: {
+        const auto& child = node.children[static_cast<std::size_t>(elem.slot)];
+        if (child)
+          render(*child, out);
+        else
+          out += "<?" + op.children[static_cast<std::size_t>(elem.slot)].name +
+                 ">";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string disassemble_node(const DecodedNode& node) {
+  std::string out;
+  render(node, out);
+  return out;
+}
+
+std::string disassemble_word(const Decoder& decoder, std::uint64_t word) {
+  DecodedNodePtr node = decoder.decode(word);
+  if (!node) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, ".word 0x%llx",
+                  static_cast<unsigned long long>(word));
+    return buffer;
+  }
+  return disassemble_node(*node);
+}
+
+}  // namespace lisasim

@@ -1,0 +1,21 @@
+// SYNTAX-driven disassembler: the inverse of the assembler, generated from
+// the same machine model sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// Render a decoded instruction back to assembly text (canonical form:
+/// field values in decimal).
+std::string disassemble_node(const DecodedNode& node);
+
+/// Decode + render one instruction word. Returns ".word <hex>" when the
+/// word does not decode.
+std::string disassemble_word(const Decoder& decoder, std::uint64_t word);
+
+}  // namespace lisasim

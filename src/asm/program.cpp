@@ -1,0 +1,23 @@
+#include "asm/program.hpp"
+
+namespace lisasim {
+
+void load_into_state(const LoadedProgram& program, ProcessorState& state) {
+  const Model& model = state.model();
+  if (model.fetch_memory < 0)
+    throw SimError("model has no fetch memory to load program text into");
+  for (std::size_t i = 0; i < program.words.size(); ++i)
+    state.write(model.fetch_memory, program.text_base + i,
+                static_cast<std::int64_t>(program.words[i]));
+  for (const auto& segment : program.data) {
+    const Resource* mem = model.resource_by_name(segment.memory);
+    if (!mem || mem->kind != ast::ResourceKind::kMemory)
+      throw SimError("data segment targets unknown memory '" +
+                     segment.memory + "'");
+    for (std::size_t i = 0; i < segment.values.size(); ++i)
+      state.write(mem->id, segment.base + i, segment.values[i]);
+  }
+  state.set_pc(program.entry);
+}
+
+}  // namespace lisasim

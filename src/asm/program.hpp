@@ -1,0 +1,35 @@
+// Target program container: the object code the simulation compiler or the
+// interpretive simulator consumes, plus initialized data segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/state.hpp"
+
+namespace lisasim {
+
+struct DataSegment {
+  std::string memory;  // name of the MEMORY resource
+  std::uint64_t base = 0;
+  std::vector<std::int64_t> values;
+};
+
+struct LoadedProgram {
+  std::string name = "program";
+  std::uint64_t text_base = 0;  // word address of words[0] in fetch memory
+  std::vector<std::uint64_t> words;
+  std::uint64_t entry = 0;
+  std::map<std::string, std::int64_t> symbols;
+  std::vector<DataSegment> data;
+
+  std::uint64_t text_end() const { return text_base + words.size(); }
+};
+
+/// Copy text and data into the processor state and point the PC at the
+/// entry. Throws SimError for overruns or unknown data memories.
+void load_into_state(const LoadedProgram& program, ProcessorState& state);
+
+}  // namespace lisasim

@@ -1,0 +1,376 @@
+#include "behavior/eval.hpp"
+
+#include <cassert>
+
+#include "behavior/fold.hpp"
+#include "support/bits.hpp"
+
+namespace lisasim {
+
+void Evaluator::run_op(const DecodedNode& node, ActivationSink* sink) {
+  const std::size_t base =
+      push_locals(static_cast<std::size_t>(node.op->num_locals));
+  Frame frame{&node, base};
+  for_each_active_item(node, frame, [&](const OpItem& item) {
+    switch (item.kind) {
+      case OpItem::Kind::kBehavior:
+        exec_stmts(item.stmts, frame);
+        break;
+      case OpItem::Kind::kActivation:
+        for (std::int32_t slot : item.activation_slots) {
+          const DecodedNode& child = child_node(node, slot);
+          if (sink)
+            sink->activate(child);
+          else
+            throw SimError("activation from operation '" + node.op->name +
+                           "' in a context without an activation sink");
+        }
+        break;
+      default:
+        break;  // kExpression is pulled by operand access, not executed
+    }
+  });
+  pop_locals(base);
+}
+
+void Evaluator::exec_program(std::span<const StmtPtr> stmts,
+                             const DecodedNode& node) {
+  const std::size_t base =
+      push_locals(static_cast<std::size_t>(node.op->num_locals));
+  Frame frame{&node, base};
+  exec_stmts(stmts, frame);
+  pop_locals(base);
+}
+
+void Evaluator::exec_flat(std::span<const StmtPtr> stmts, int num_locals) {
+  const std::size_t base = push_locals(static_cast<std::size_t>(num_locals));
+  Frame frame{nullptr, base};
+  exec_stmts(stmts, frame);
+  pop_locals(base);
+}
+
+std::int64_t Evaluator::eval(const Expr& expr, const DecodedNode& node) {
+  Frame frame{&node, {}};
+  return eval_expr(expr, frame);
+}
+
+std::int64_t Evaluator::eval_op_expression(const DecodedNode& node) {
+  Frame frame{&node, {}};
+  const Expr* found = nullptr;
+  for_each_active_item(node, frame, [&](const OpItem& item) {
+    if (!found && item.kind == OpItem::Kind::kExpression)
+      found = item.expr.get();
+  });
+  if (!found)
+    throw SimError("operation '" + node.op->name +
+                   "' is used as an operand but has no active EXPRESSION");
+  return eval_expr(*found, frame);
+}
+
+void Evaluator::exec_stmts(std::span<const StmtPtr> stmts, Frame& frame) {
+  for (const auto& stmt : stmts) exec_stmt(*stmt, frame);
+}
+
+void Evaluator::exec_stmt(const Stmt& stmt, Frame& frame) {
+  switch (stmt.kind) {
+    case StmtKind::kLocalDecl: {
+      // Locals are 64-bit scratch; width semantics live in resources and in
+      // explicit sext/zext/sat calls (same rule at every simulation level).
+      local(frame, stmt.local_slot) =
+          stmt.value ? eval_expr(*stmt.value, frame) : 0;
+      break;
+    }
+    case StmtKind::kAssign:
+      assign(*stmt.lhs, eval_expr(*stmt.value, frame), frame);
+      break;
+    case StmtKind::kExpr:
+      eval_expr(*stmt.value, frame);
+      break;
+    case StmtKind::kIf:
+      if (eval_expr(*stmt.value, frame) != 0)
+        exec_stmts(stmt.then_body, frame);
+      else
+        exec_stmts(stmt.else_body, frame);
+      break;
+  }
+}
+
+OperationId Evaluator::op_identity(const Expr& expr, const Frame& frame) {
+  if (expr.kind != ExprKind::kSym) return -1;
+  switch (expr.sym.kind) {
+    case SymKind::kEnumOp:
+      return expr.sym.index;
+    case SymKind::kChild:
+      return child_node(*frame.node, expr.sym.index).op->id;
+    case SymKind::kUpward: {
+      const UpwardHit hit = resolve_upward(expr.sym.name_id, *frame.node);
+      if (hit.child_slot >= 0)
+        return child_node(*hit.node, hit.child_slot).op->id;
+      return -1;
+    }
+    default:
+      return -1;
+  }
+}
+
+bool Evaluator::equal_identity_or_value(const Expr& lhs, const Expr& rhs,
+                                        Frame& frame) {
+  // Identity semantics apply only when one side explicitly names an
+  // operation (kEnumOp); a group compared against a number compares the
+  // chosen operand's value.
+  const auto is_enum_op = [](const Expr& e) {
+    return e.kind == ExprKind::kSym && e.sym.kind == SymKind::kEnumOp;
+  };
+  if (is_enum_op(lhs) || is_enum_op(rhs)) {
+    const OperationId a = op_identity(lhs, frame);
+    const OperationId b = op_identity(rhs, frame);
+    return a >= 0 && a == b;
+  }
+  return eval_expr(lhs, frame) == eval_expr(rhs, frame);
+}
+
+std::int64_t Evaluator::eval_expr(const Expr& expr, Frame& frame) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return expr.value;
+
+    case ExprKind::kSym:
+      switch (expr.sym.kind) {
+        case SymKind::kLocal:
+          return local(frame, expr.sym.index);
+        case SymKind::kResource:
+          return state_->read(expr.sym.index);
+        case SymKind::kField:
+          return frame.node->fields[static_cast<std::size_t>(expr.sym.index)];
+        case SymKind::kChild:
+          return eval_op_expression(child_node(*frame.node, expr.sym.index));
+        case SymKind::kUpward: {
+          const UpwardHit hit =
+              resolve_upward(expr.sym.name_id, *frame.node);
+          if (hit.label_slot >= 0)
+            return hit.node->fields[static_cast<std::size_t>(hit.label_slot)];
+          if (hit.child_slot >= 0)
+            return eval_op_expression(child_node(*hit.node, hit.child_slot));
+          throw SimError("unresolved REFERENCE '" + expr.sym.name +
+                         "' in operation '" + frame.node->op->name + "'");
+        }
+        case SymKind::kEnumOp:
+          throw SimError("operation name '" + expr.sym.name +
+                         "' used as a value outside an identity comparison");
+        case SymKind::kUnresolved:
+          throw SimError("unresolved symbol '" + expr.sym.name + "'");
+      }
+      return 0;
+
+    case ExprKind::kIndex: {
+      const std::int64_t index = eval_expr(*expr.children[0], frame);
+      return state_->read(expr.sym.index,
+                          static_cast<std::uint64_t>(index));
+    }
+
+    case ExprKind::kUnary: {
+      const std::int64_t v = eval_expr(*expr.children[0], frame);
+      switch (expr.un_op) {
+        case UnOp::kNeg:
+          return static_cast<std::int64_t>(
+              -static_cast<std::uint64_t>(v));
+        case UnOp::kLogicalNot: return v == 0 ? 1 : 0;
+        case UnOp::kBitNot: return ~v;
+      }
+      return 0;
+    }
+
+    case ExprKind::kBinary: {
+      // Identity comparisons (`mode == short`) — paper §5.1.
+      if (expr.bin_op == BinOp::kEq || expr.bin_op == BinOp::kNe) {
+        const bool lhs_is_op =
+            expr.children[0]->kind == ExprKind::kSym &&
+            expr.children[0]->sym.kind == SymKind::kEnumOp;
+        const bool rhs_is_op =
+            expr.children[1]->kind == ExprKind::kSym &&
+            expr.children[1]->sym.kind == SymKind::kEnumOp;
+        if (lhs_is_op || rhs_is_op) {
+          const bool eq =
+              equal_identity_or_value(*expr.children[0], *expr.children[1],
+                                      frame);
+          return (expr.bin_op == BinOp::kEq) == eq ? 1 : 0;
+        }
+      }
+      if (expr.bin_op == BinOp::kLogicalAnd) {
+        return eval_expr(*expr.children[0], frame) != 0 &&
+                       eval_expr(*expr.children[1], frame) != 0
+                   ? 1
+                   : 0;
+      }
+      if (expr.bin_op == BinOp::kLogicalOr) {
+        return eval_expr(*expr.children[0], frame) != 0 ||
+                       eval_expr(*expr.children[1], frame) != 0
+                   ? 1
+                   : 0;
+      }
+      const std::int64_t a = eval_expr(*expr.children[0], frame);
+      const std::int64_t b = eval_expr(*expr.children[1], frame);
+      const auto result = fold_binary(expr.bin_op, a, b);
+      if (!result)
+        throw SimError(expr.bin_op == BinOp::kDiv ? "division by zero"
+                                                  : "remainder by zero");
+      return *result;
+    }
+
+    case ExprKind::kTernary:
+      return eval_expr(*expr.children[0], frame) != 0
+                 ? eval_expr(*expr.children[1], frame)
+                 : eval_expr(*expr.children[2], frame);
+
+    case ExprKind::kCall:
+      return eval_call(expr, frame);
+  }
+  return 0;
+}
+
+std::int64_t Evaluator::eval_call(const Expr& expr, Frame& frame) {
+  switch (expr.intrinsic) {
+    case Intrinsic::kSext:
+    case Intrinsic::kZext:
+    case Intrinsic::kSat:
+    case Intrinsic::kAbs:
+    case Intrinsic::kMin:
+    case Intrinsic::kMax: {
+      std::int64_t args[2] = {0, 0};
+      for (std::size_t i = 0; i < expr.children.size() && i < 2; ++i)
+        args[i] = eval_expr(*expr.children[i], frame);
+      const auto result = fold_intrinsic(
+          expr.intrinsic,
+          std::span<const std::int64_t>(args, expr.children.size()));
+      return result.value_or(0);
+    }
+    case Intrinsic::kFlush:
+      control_->flush = true;
+      return 0;
+    case Intrinsic::kStall:
+      control_->stall_cycles +=
+          static_cast<int>(eval_expr(*expr.children[0], frame));
+      return 0;
+    case Intrinsic::kHalt:
+      control_->halt = true;
+      return 0;
+    case Intrinsic::kNone:
+      throw SimError("call to unresolved intrinsic '" + expr.callee + "'");
+  }
+  return 0;
+}
+
+void Evaluator::assign(const Expr& lhs, std::int64_t value, Frame& frame) {
+  switch (lhs.kind) {
+    case ExprKind::kSym:
+      switch (lhs.sym.kind) {
+        case SymKind::kLocal:
+          local(frame, lhs.sym.index) = value;
+          return;
+        case SymKind::kResource:
+          state_->write(lhs.sym.index, 0, value);
+          return;
+        case SymKind::kChild: {
+          const DecodedNode& child = child_node(*frame.node, lhs.sym.index);
+          assign_to_op_expression(child, value);
+          return;
+        }
+        case SymKind::kUpward: {
+          const UpwardHit hit = resolve_upward(lhs.sym.name_id, *frame.node);
+          if (hit.child_slot >= 0) {
+            assign_to_op_expression(child_node(*hit.node, hit.child_slot),
+                                    value);
+            return;
+          }
+          throw SimError("cannot assign through REFERENCE '" + lhs.sym.name +
+                         "'");
+        }
+        default:
+          throw SimError("invalid assignment target");
+      }
+    case ExprKind::kIndex: {
+      const std::int64_t index = eval_expr(*lhs.children[0], frame);
+      state_->write(lhs.sym.index, static_cast<std::uint64_t>(index), value);
+      return;
+    }
+    default:
+      throw SimError("invalid assignment target");
+  }
+}
+
+void Evaluator::assign_to_op_expression(const DecodedNode& node,
+                                        std::int64_t value) {
+  Frame frame{&node, {}};
+  const Expr* found = nullptr;
+  for_each_active_item(node, frame, [&](const OpItem& item) {
+    if (!found && item.kind == OpItem::Kind::kExpression)
+      found = item.expr.get();
+  });
+  if (!found)
+    throw SimError("operation '" + node.op->name +
+                   "' is used as a destination but has no active EXPRESSION");
+  assign(*found, value, frame);
+}
+
+Evaluator::UpwardHit Evaluator::resolve_upward(StringId name_id,
+                                               const DecodedNode& from) const {
+  for (const DecodedNode* a = from.parent; a; a = a->parent) {
+    if (const int slot = a->op->label_slot(name_id); slot >= 0)
+      return {a, slot, -1};
+    if (const int slot = a->op->child_slot(name_id); slot >= 0)
+      return {a, -1, slot};
+  }
+  return {};
+}
+
+const DecodedNode& Evaluator::child_node(const DecodedNode& node,
+                                         int slot) const {
+  const auto& child = node.children[static_cast<std::size_t>(slot)];
+  if (!child)
+    throw SimError("group '" +
+                   node.op->children[static_cast<std::size_t>(slot)].name +
+                   "' of operation '" + node.op->name +
+                   "' has no decoded choice");
+  return *child;
+}
+
+template <typename Fn>
+void Evaluator::for_each_active_item(const DecodedNode& node, Frame& frame,
+                                     Fn&& fn) {
+  // Explicit stack of item lists avoids recursion for nested conditionals.
+  const auto walk = [&](const auto& self,
+                        const std::vector<OpItemPtr>& items) -> void {
+    for (const auto& item : items) {
+      switch (item->kind) {
+        case OpItem::Kind::kIf:
+          if (eval_expr(*item->cond, frame) != 0)
+            self(self, item->then_items);
+          else
+            self(self, item->else_items);
+          break;
+        case OpItem::Kind::kSwitch: {
+          const OpItem::Case* chosen = nullptr;
+          const OpItem::Case* fallback = nullptr;
+          for (const auto& c : item->cases) {
+            if (c.is_default) {
+              fallback = &c;
+              continue;
+            }
+            if (equal_identity_or_value(*item->cond, *c.match, frame)) {
+              chosen = &c;
+              break;
+            }
+          }
+          if (!chosen) chosen = fallback;
+          if (chosen) self(self, chosen->items);
+          break;
+        }
+        default:
+          fn(*item);
+      }
+    }
+  };
+  walk(walk, node.op->items);
+}
+
+}  // namespace lisasim

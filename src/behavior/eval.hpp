@@ -1,0 +1,130 @@
+// Tree-walking evaluation of behavior IR against a processor state and a
+// decoded instruction. This is the semantic core shared by both simulators:
+// the interpretive simulator walks the original operation trees (resolving
+// coding-time conditionals at run time, every time), while the compiled
+// simulator walks trees that the specializer has already folded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "behavior/ir.hpp"
+#include "decode/decoded.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+
+namespace lisasim {
+
+/// Pipeline-control requests raised by behavior intrinsics. The engine
+/// inspects and clears these after running each operation.
+struct PipelineControl {
+  bool flush = false;     // squash younger in-flight instructions
+  int stall_cycles = 0;   // hold this instruction in its stage
+  bool halt = false;      // stop simulation
+
+  void clear() { *this = {}; }
+};
+
+/// Engine callback used for ACTIVATION: schedule `child` (a node of the
+/// same decode tree) to run in its declared pipeline stage.
+class ActivationSink {
+ public:
+  virtual ~ActivationSink() = default;
+  virtual void activate(const DecodedNode& child) = 0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(ProcessorState& state, PipelineControl& control)
+      : state_(&state), control_(&control) {}
+
+  /// Execute the BEHAVIOR and ACTIVATION items of `node`'s operation,
+  /// resolving coding-time conditionals against the decode tree. `sink`
+  /// receives activation requests (may be null when the operation is known
+  /// to have none, e.g. specialized single-stage programs).
+  void run_op(const DecodedNode& node, ActivationSink* sink);
+
+  /// Execute a statement list in the context of `node` with fresh locals.
+  void exec_program(std::span<const StmtPtr> stmts, const DecodedNode& node);
+
+  /// Execute a fully specialized statement list (no decode-tree context:
+  /// symbols are only locals and resources). Used by the compiled simulator
+  /// at the dynamic-scheduling level.
+  void exec_flat(std::span<const StmtPtr> stmts, int num_locals);
+
+  /// Evaluate an expression in the context of `node`.
+  std::int64_t eval(const Expr& expr, const DecodedNode& node);
+
+  /// Evaluate the EXPRESSION item of `node`'s operation (operand access).
+  std::int64_t eval_op_expression(const DecodedNode& node);
+
+  ProcessorState& state() { return *state_; }
+
+ private:
+  struct Frame {
+    const DecodedNode* node = nullptr;
+    // Base offset into locals_stack_; indexed indirectly because nested
+    // evaluation may grow (and reallocate) the stack.
+    std::size_t local_base = 0;
+  };
+
+  std::int64_t& local(const Frame& frame, std::int32_t slot) {
+    return locals_stack_[frame.local_base + static_cast<std::size_t>(slot)];
+  }
+
+  void exec_stmts(std::span<const StmtPtr> stmts, Frame& frame);
+  void exec_stmt(const Stmt& stmt, Frame& frame);
+  std::int64_t eval_expr(const Expr& expr, Frame& frame);
+  void assign(const Expr& lhs, std::int64_t value, Frame& frame);
+  void assign_to_op_expression(const DecodedNode& node, std::int64_t value);
+  std::int64_t eval_call(const Expr& expr, Frame& frame);
+
+  /// Equality with the coding-time identity semantics: if either side names
+  /// an operation, compare decoded-operation identities, else values.
+  bool equal_identity_or_value(const Expr& lhs, const Expr& rhs,
+                               Frame& frame);
+
+  /// Identity of the operation a symbol denotes in a coding-time comparison
+  /// (`mode == short`): kEnumOp yields the named operation, kChild/kUpward
+  /// yield the decoded choice. Returns -1 when the symbol is not an
+  /// operation reference.
+  OperationId op_identity(const Expr& expr, const Frame& frame);
+
+  /// Resolve an upward REFERENCE: find `name_id` as a label or child of an
+  /// enclosing decode-tree node. Returns the owning node and what was found.
+  struct UpwardHit {
+    const DecodedNode* node = nullptr;
+    int label_slot = -1;
+    int child_slot = -1;
+  };
+  UpwardHit resolve_upward(StringId name_id, const DecodedNode& from) const;
+
+  const DecodedNode& child_node(const DecodedNode& node, int slot) const;
+
+  /// Walk the operation's items resolving coding-time conditionals, calling
+  /// `fn(item)` for every reachable non-conditional item.
+  template <typename Fn>
+  void for_each_active_item(const DecodedNode& node, Frame& frame, Fn&& fn);
+
+  /// Reserve a frame of `n` local slots; returns its base offset. Frames
+  /// are not zeroed: local declarations always store before any read (sema
+  /// enforces declaration-before-use).
+  std::size_t push_locals(std::size_t n) {
+    const std::size_t base = locals_top_;
+    locals_top_ = base + n;
+    if (locals_stack_.size() < locals_top_) locals_stack_.resize(locals_top_);
+    return base;
+  }
+  void pop_locals(std::size_t base) { locals_top_ = base; }
+
+  ProcessorState* state_;
+  PipelineControl* control_;
+  // Shared local-variable stack with a high-water mark: exec_program/run_op
+  // push a frame and pop it on exit, so the hot path never allocates or
+  // zero-fills.
+  std::vector<std::int64_t> locals_stack_;
+  std::size_t locals_top_ = 0;
+};
+
+}  // namespace lisasim

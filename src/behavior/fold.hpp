@@ -1,0 +1,97 @@
+// Shared arithmetic semantics for behavior evaluation and constant folding.
+// Both the run-time evaluator and the compile-time specializer use these
+// helpers, so partial evaluation can never diverge from interpretation —
+// the invariant behind the paper's "no loss in accuracy" claim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "behavior/ir.hpp"
+#include "support/bits.hpp"
+
+namespace lisasim {
+
+/// Apply a binary operator on the 64-bit evaluation domain. Returns nullopt
+/// for division/remainder by zero (the evaluator turns that into a run-time
+/// error; the specializer refuses to fold it). kLogicalAnd/kLogicalOr are
+/// evaluated non-short-circuit here — callers that need short-circuiting
+/// handle them before calling.
+inline std::optional<std::int64_t> fold_binary(BinOp op, std::int64_t a,
+                                               std::int64_t b) {
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (op) {
+    case BinOp::kAdd: return static_cast<std::int64_t>(ua + ub);
+    case BinOp::kSub: return static_cast<std::int64_t>(ua - ub);
+    case BinOp::kMul: return static_cast<std::int64_t>(ua * ub);
+    case BinOp::kDiv:
+      if (b == 0) return std::nullopt;
+      if (b == -1) return static_cast<std::int64_t>(-ua);
+      return a / b;
+    case BinOp::kRem:
+      if (b == 0) return std::nullopt;
+      if (b == -1) return 0;
+      return a % b;
+    case BinOp::kAnd: return a & b;
+    case BinOp::kOr: return a | b;
+    case BinOp::kXor: return a ^ b;
+    case BinOp::kShl: return static_cast<std::int64_t>(ua << (ub & 63));
+    case BinOp::kShr: return a >> (ub & 63);  // arithmetic shift
+    case BinOp::kEq: return a == b ? 1 : 0;
+    case BinOp::kNe: return a != b ? 1 : 0;
+    case BinOp::kLt: return a < b ? 1 : 0;
+    case BinOp::kLe: return a <= b ? 1 : 0;
+    case BinOp::kGt: return a > b ? 1 : 0;
+    case BinOp::kGe: return a >= b ? 1 : 0;
+    case BinOp::kLogicalAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case BinOp::kLogicalOr: return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return std::nullopt;
+}
+
+inline std::int64_t fold_unary(UnOp op, std::int64_t v) {
+  switch (op) {
+    case UnOp::kNeg:
+      return static_cast<std::int64_t>(-static_cast<std::uint64_t>(v));
+    case UnOp::kLogicalNot: return v == 0 ? 1 : 0;
+    case UnOp::kBitNot: return ~v;
+  }
+  return 0;
+}
+
+inline std::int64_t fold_saturate(std::int64_t v, unsigned bits) {
+  if (bits == 0 || bits >= 64) return v;
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -hi - 1;
+  return v > hi ? hi : (v < lo ? lo : v);
+}
+
+/// Fold a pure intrinsic with constant arguments. Control intrinsics
+/// (flush/stall/halt) are side-effecting and return nullopt.
+inline std::optional<std::int64_t> fold_intrinsic(
+    Intrinsic intr, std::span<const std::int64_t> args) {
+  switch (intr) {
+    case Intrinsic::kSext:
+      return sign_extend(static_cast<std::uint64_t>(args[0]),
+                         static_cast<unsigned>(args[1]));
+    case Intrinsic::kZext:
+      return static_cast<std::int64_t>(
+          truncate(args[0], static_cast<unsigned>(args[1])));
+    case Intrinsic::kSat:
+      return fold_saturate(args[0], static_cast<unsigned>(args[1]));
+    case Intrinsic::kAbs:
+      return args[0] < 0 ? fold_unary(UnOp::kNeg, args[0]) : args[0];
+    case Intrinsic::kMin: return args[0] < args[1] ? args[0] : args[1];
+    case Intrinsic::kMax: return args[0] > args[1] ? args[0] : args[1];
+    case Intrinsic::kFlush:
+    case Intrinsic::kStall:
+    case Intrinsic::kHalt:
+    case Intrinsic::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lisasim

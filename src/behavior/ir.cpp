@@ -1,0 +1,212 @@
+#include "behavior/ir.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace lisasim {
+
+namespace {
+
+struct IntrinsicInfo {
+  Intrinsic id;
+  const char* name;
+  int arity;
+};
+
+constexpr std::array<IntrinsicInfo, 9> kIntrinsics = {{
+    {Intrinsic::kSext, "sext", 2},
+    {Intrinsic::kZext, "zext", 2},
+    {Intrinsic::kSat, "sat", 2},
+    {Intrinsic::kAbs, "abs", 1},
+    {Intrinsic::kMin, "min", 2},
+    {Intrinsic::kMax, "max", 2},
+    {Intrinsic::kFlush, "flush", 0},
+    {Intrinsic::kStall, "stall", 1},
+    {Intrinsic::kHalt, "halt", 0},
+}};
+
+}  // namespace
+
+Intrinsic intrinsic_by_name(std::string_view name) {
+  for (const auto& info : kIntrinsics)
+    if (name == info.name) return info.id;
+  return Intrinsic::kNone;
+}
+
+int intrinsic_arity(Intrinsic i) {
+  for (const auto& info : kIntrinsics)
+    if (info.id == i) return info.arity;
+  return -1;
+}
+
+const char* intrinsic_name(Intrinsic i) {
+  for (const auto& info : kIntrinsics)
+    if (info.id == i) return info.name;
+  return "<none>";
+}
+
+const char* bin_op_spelling(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kRem: return "%";
+    case BinOp::kAnd: return "&";
+    case BinOp::kOr: return "|";
+    case BinOp::kXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kLogicalAnd: return "&&";
+    case BinOp::kLogicalOr: return "||";
+  }
+  return "?";
+}
+
+const char* un_op_spelling(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kLogicalNot: return "!";
+    case UnOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+ExprPtr Expr::make_int(std::int64_t v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->value = v;
+  e->loc = std::move(loc);
+  return e;
+}
+
+ExprPtr Expr::make_sym(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kSym;
+  e->sym.name = std::move(name);
+  e->loc = std::move(loc);
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->loc = lhs->loc;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::make_unary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->loc = operand->loc;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  e->value = value;
+  e->sym = sym;
+  e->un_op = un_op;
+  e->bin_op = bin_op;
+  e->callee = callee;
+  e->intrinsic = intrinsic;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->clone());
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  s->decl_type = decl_type;
+  s->name = name;
+  s->local_slot = local_slot;
+  if (lhs) s->lhs = lhs->clone();
+  if (value) s->value = value->clone();
+  s->then_body = clone_stmts(then_body);
+  s->else_body = clone_stmts(else_body);
+  return s;
+}
+
+std::vector<StmtPtr> clone_stmts(const std::vector<StmtPtr>& stmts) {
+  std::vector<StmtPtr> out;
+  out.reserve(stmts.size());
+  for (const auto& s : stmts) out.push_back(s->clone());
+  return out;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case ExprKind::kIntLit:
+      return std::to_string(value);
+    case ExprKind::kSym:
+      return sym.name;
+    case ExprKind::kIndex:
+      return sym.name + "[" + children[0]->to_string() + "]";
+    case ExprKind::kUnary:
+      return std::string(un_op_spelling(un_op)) + "(" +
+             children[0]->to_string() + ")";
+    case ExprKind::kBinary:
+      return "(" + children[0]->to_string() + " " +
+             bin_op_spelling(bin_op) + " " + children[1]->to_string() + ")";
+    case ExprKind::kTernary:
+      return "(" + children[0]->to_string() + " ? " +
+             children[1]->to_string() + " : " + children[2]->to_string() +
+             ")";
+    case ExprKind::kCall: {
+      std::string out =
+          intrinsic == Intrinsic::kNone ? callee : intrinsic_name(intrinsic);
+      out += "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->to_string();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "<expr>";
+}
+
+std::string Stmt::to_string(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case StmtKind::kLocalDecl: {
+      std::string out = pad + decl_type.to_string() + " " + name;
+      if (value) out += " = " + value->to_string();
+      return out + ";\n";
+    }
+    case StmtKind::kAssign:
+      return pad + lhs->to_string() + " = " + value->to_string() + ";\n";
+    case StmtKind::kExpr:
+      return pad + value->to_string() + ";\n";
+    case StmtKind::kIf: {
+      std::string out = pad + "if (" + value->to_string() + ") {\n";
+      for (const auto& s : then_body) out += s->to_string(indent + 1);
+      out += pad + "}";
+      if (!else_body.empty()) {
+        out += " else {\n";
+        for (const auto& s : else_body) out += s->to_string(indent + 1);
+        out += pad + "}";
+      }
+      return out + "\n";
+    }
+  }
+  return pad + "<stmt>\n";
+}
+
+}  // namespace lisasim

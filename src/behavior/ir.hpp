@@ -1,0 +1,144 @@
+// Behavior IR: the expression/statement language used inside BEHAVIOR and
+// EXPRESSION sections of a machine description, and (re-used) for the
+// coding-time conditions of IF/ELSE and SWITCH/CASE around sections.
+//
+// The IR is produced by the LISA parser with unresolved symbol references;
+// semantic analysis (src/model/sema) resolves each SymRef against the
+// enclosing operation's DECLARE items and the model's resources. The
+// interpretive simulator walks these trees directly; the simulation
+// compiler partially evaluates them (src/behavior/specialize) and lowers
+// them to micro-operations (src/behavior/microops).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+#include "support/interner.hpp"
+#include "support/value.hpp"
+
+namespace lisasim {
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,  // kShr is arithmetic on the 64-bit domain
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kLogicalNot, kBitNot };
+
+/// Built-in functions callable from BEHAVIOR sections.
+enum class Intrinsic : std::uint8_t {
+  kNone,
+  kSext,   // sext(v, bits): sign-extend the low `bits` of v
+  kZext,   // zext(v, bits): zero-extend the low `bits` of v
+  kSat,    // sat(v, bits): signed saturation to `bits` bits
+  kAbs,    // abs(v)
+  kMin,    // min(a, b) signed
+  kMax,    // max(a, b) signed
+  kFlush,  // flush(): squash younger in-flight instructions, refetch at PC
+  kStall,  // stall(n): hold this instruction in its stage n extra cycles
+  kHalt,   // halt(): stop the simulation after this cycle
+};
+
+/// How a name in a behavior/expression resolved. Filled in by sema.
+enum class SymKind : std::uint8_t {
+  kUnresolved,
+  kLocal,     // local variable: index = local slot in the enclosing behavior
+  kResource,  // model resource (scalar, register file or memory): index =
+              // ResourceId; arrays are read via Index expressions
+  kField,     // terminal coding field (LABEL) of the current operation:
+              // index = label slot in the operation
+  kChild,     // GROUP/INSTANCE of the current operation: index = child slot;
+              // reads/writes delegate to the chosen operation's EXPRESSION
+  kUpward,    // REFERENCE: resolved by name against enclosing decode-tree
+              // nodes at evaluation/specialization time
+  kEnumOp,    // an operation name used as a value in coding-time conditions
+              // (e.g. `mode == short`): index = OperationId
+};
+
+struct SymRef {
+  std::string name;
+  StringId name_id = 0;  // interned by sema for fast upward lookup
+  SymKind kind = SymKind::kUnresolved;
+  std::int32_t index = -1;
+};
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kSym,
+  kIndex,    // sym[children[0]] — element of a register file or memory
+  kUnary,    // un_op children[0]
+  kBinary,   // children[0] bin_op children[1]
+  kTernary,  // children[0] ? children[1] : children[2]
+  kCall,     // intrinsic(children...)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLit;
+  SourceLoc loc;
+
+  std::int64_t value = 0;  // kIntLit
+  SymRef sym;              // kSym, kIndex (the array base)
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  std::string callee;                    // kCall, before resolution
+  Intrinsic intrinsic = Intrinsic::kNone;  // kCall, after resolution
+  std::vector<ExprPtr> children;
+
+  ExprPtr clone() const;
+  std::string to_string() const;
+
+  static ExprPtr make_int(std::int64_t v, SourceLoc loc = {});
+  static ExprPtr make_sym(std::string name, SourceLoc loc = {});
+  static ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_unary(UnOp op, ExprPtr operand);
+};
+
+enum class StmtKind : std::uint8_t {
+  kLocalDecl,  // type name = init;
+  kAssign,     // lhs = value;
+  kIf,         // if (value) then_body else else_body   (run-time conditional)
+  kExpr,       // value;  (intrinsic call for its side effect)
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  SourceLoc loc;
+
+  // kLocalDecl
+  ValueType decl_type;
+  std::string name;
+  std::int32_t local_slot = -1;  // assigned by sema
+
+  ExprPtr lhs;    // kAssign target
+  ExprPtr value;  // kAssign value / kIf condition / kExpr expression /
+                  // kLocalDecl initializer (may be null)
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+
+  StmtPtr clone() const;
+  std::string to_string(int indent = 0) const;
+};
+
+std::vector<StmtPtr> clone_stmts(const std::vector<StmtPtr>& stmts);
+
+/// Resolve an intrinsic by source name; returns kNone if unknown.
+Intrinsic intrinsic_by_name(std::string_view name);
+/// Number of arguments the intrinsic requires.
+int intrinsic_arity(Intrinsic i);
+const char* intrinsic_name(Intrinsic i);
+
+const char* bin_op_spelling(BinOp op);
+const char* un_op_spelling(UnOp op);
+
+}  // namespace lisasim

@@ -1,0 +1,371 @@
+#include "behavior/microops.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "behavior/fold.hpp"
+
+namespace lisasim {
+
+namespace {
+
+class Lowerer {
+ public:
+  MicroProgram lower(const SpecProgram& program) {
+    num_temps_ = program.num_locals;  // local slot i lives in temp i
+    emit_stmts(program.stmts);
+    MicroProgram out;
+    out.ops = std::move(ops_);
+    out.num_temps = num_temps_;
+    return out;
+  }
+
+ private:
+  std::int32_t new_temp() { return num_temps_++; }
+
+  std::int32_t emit(MicroOp op) {
+    ops_.push_back(op);
+    return static_cast<std::int32_t>(ops_.size() - 1);
+  }
+
+  void emit_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const auto& s : stmts) emit_stmt(*s);
+  }
+
+  void emit_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kLocalDecl: {
+        const std::int32_t slot = stmt.local_slot;
+        if (stmt.value) {
+          const std::int32_t v = emit_expr(*stmt.value);
+          emit({.kind = MKind::kMov, .a = slot, .b = v});
+        } else {
+          emit({.kind = MKind::kConst, .a = slot, .imm = 0});
+        }
+        break;
+      }
+      case StmtKind::kAssign: {
+        const std::int32_t v = emit_expr(*stmt.value);
+        emit_assign(*stmt.lhs, v);
+        break;
+      }
+      case StmtKind::kExpr:
+        emit_expr(*stmt.value);
+        break;
+      case StmtKind::kIf: {
+        const std::int32_t cond = emit_expr(*stmt.value);
+        const std::int32_t br_else =
+            emit({.kind = MKind::kBrZero, .a = cond});
+        emit_stmts(stmt.then_body);
+        if (stmt.else_body.empty()) {
+          patch(br_else, here());
+        } else {
+          const std::int32_t br_end = emit({.kind = MKind::kBr});
+          patch(br_else, here());
+          emit_stmts(stmt.else_body);
+          patch(br_end, here());
+        }
+        break;
+      }
+    }
+  }
+
+  std::int32_t here() const { return static_cast<std::int32_t>(ops_.size()); }
+
+  void patch(std::int32_t branch_index, std::int32_t target) {
+    ops_[static_cast<std::size_t>(branch_index)].imm = target;
+  }
+
+  void emit_assign(const Expr& lhs, std::int32_t value_temp) {
+    switch (lhs.kind) {
+      case ExprKind::kSym:
+        switch (lhs.sym.kind) {
+          case SymKind::kLocal:
+            emit({.kind = MKind::kMov, .a = lhs.sym.index, .b = value_temp});
+            return;
+          case SymKind::kResource:
+            emit({.kind = MKind::kWriteRes,
+                  .a = value_temp,
+                  .res = lhs.sym.index});
+            return;
+          default:
+            break;
+        }
+        break;
+      case ExprKind::kIndex: {
+        const std::int32_t idx = emit_expr(*lhs.children[0]);
+        emit({.kind = MKind::kWriteElem,
+              .a = value_temp,
+              .b = idx,
+              .res = lhs.sym.index});
+        return;
+      }
+      default:
+        break;
+    }
+    throw SimError("micro-op lowering: unsupported assignment target: " +
+                   lhs.to_string());
+  }
+
+  std::int32_t emit_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit: {
+        const std::int32_t t = new_temp();
+        emit({.kind = MKind::kConst, .a = t, .imm = expr.value});
+        return t;
+      }
+      case ExprKind::kSym:
+        switch (expr.sym.kind) {
+          case SymKind::kLocal:
+            return expr.sym.index;  // locals live in their temp slots
+          case SymKind::kResource: {
+            const std::int32_t t = new_temp();
+            emit({.kind = MKind::kReadRes, .a = t, .res = expr.sym.index});
+            return t;
+          }
+          default:
+            throw SimError(
+                "micro-op lowering: unspecialized symbol '" + expr.sym.name +
+                "' (did specialization run?)");
+        }
+      case ExprKind::kIndex: {
+        const std::int32_t idx = emit_expr(*expr.children[0]);
+        const std::int32_t t = new_temp();
+        emit({.kind = MKind::kReadElem,
+              .a = t,
+              .b = idx,
+              .res = expr.sym.index});
+        return t;
+      }
+      case ExprKind::kUnary: {
+        const std::int32_t v = emit_expr(*expr.children[0]);
+        const std::int32_t t = new_temp();
+        emit({.kind = MKind::kUn, .uop = expr.un_op, .a = t, .b = v});
+        return t;
+      }
+      case ExprKind::kBinary: {
+        if (expr.bin_op == BinOp::kLogicalAnd ||
+            expr.bin_op == BinOp::kLogicalOr) {
+          // Short-circuit: t = bool(lhs); if (need) t = bool(rhs);
+          const bool is_and = expr.bin_op == BinOp::kLogicalAnd;
+          const std::int32_t t = new_temp();
+          const std::int32_t lhs = emit_expr(*expr.children[0]);
+          const std::int32_t zero = new_temp();
+          emit({.kind = MKind::kConst, .a = zero, .imm = 0});
+          emit({.kind = MKind::kBin, .bop = BinOp::kNe, .a = t, .b = lhs,
+                .c = zero});
+          std::int32_t skip;
+          if (is_and) {
+            skip = emit({.kind = MKind::kBrZero, .a = t});
+          } else {
+            // skip rhs when lhs != 0: brzero over an unconditional branch
+            const std::int32_t over = emit({.kind = MKind::kBrZero, .a = t});
+            skip = emit({.kind = MKind::kBr});
+            patch(over, here());
+          }
+          const std::int32_t rhs = emit_expr(*expr.children[1]);
+          emit({.kind = MKind::kBin, .bop = BinOp::kNe, .a = t, .b = rhs,
+                .c = zero});
+          patch(skip, here());
+          return t;
+        }
+        const std::int32_t a = emit_expr(*expr.children[0]);
+        const std::int32_t b = emit_expr(*expr.children[1]);
+        const std::int32_t t = new_temp();
+        emit({.kind = MKind::kBin, .bop = expr.bin_op, .a = t, .b = a,
+              .c = b});
+        return t;
+      }
+      case ExprKind::kTernary: {
+        const std::int32_t t = new_temp();
+        const std::int32_t cond = emit_expr(*expr.children[0]);
+        const std::int32_t br_else = emit({.kind = MKind::kBrZero, .a = cond});
+        const std::int32_t then_v = emit_expr(*expr.children[1]);
+        emit({.kind = MKind::kMov, .a = t, .b = then_v});
+        const std::int32_t br_end = emit({.kind = MKind::kBr});
+        patch(br_else, here());
+        const std::int32_t else_v = emit_expr(*expr.children[2]);
+        emit({.kind = MKind::kMov, .a = t, .b = else_v});
+        patch(br_end, here());
+        return t;
+      }
+      case ExprKind::kCall:
+        switch (expr.intrinsic) {
+          case Intrinsic::kFlush: {
+            emit({.kind = MKind::kFlush});
+            return result_zero();
+          }
+          case Intrinsic::kStall: {
+            const std::int32_t v = emit_expr(*expr.children[0]);
+            emit({.kind = MKind::kStall, .a = v});
+            return result_zero();
+          }
+          case Intrinsic::kHalt: {
+            emit({.kind = MKind::kHalt});
+            return result_zero();
+          }
+          case Intrinsic::kNone:
+            throw SimError("micro-op lowering: unresolved intrinsic '" +
+                           expr.callee + "'");
+          default: {
+            const std::int32_t a = emit_expr(*expr.children[0]);
+            const std::int32_t b =
+                expr.children.size() > 1 ? emit_expr(*expr.children[1]) : 0;
+            const std::int32_t t = new_temp();
+            emit({.kind = MKind::kIntr,
+                  .intr = expr.intrinsic,
+                  .a = t,
+                  .b = a,
+                  .c = b});
+            return t;
+          }
+        }
+    }
+    throw SimError("micro-op lowering: unsupported expression");
+  }
+
+  std::int32_t result_zero() {
+    const std::int32_t t = new_temp();
+    emit({.kind = MKind::kConst, .a = t, .imm = 0});
+    return t;
+  }
+
+  std::vector<MicroOp> ops_;
+  std::int32_t num_temps_ = 0;
+};
+
+}  // namespace
+
+MicroProgram lower_to_microops(const SpecProgram& program) {
+  return Lowerer().lower(program);
+}
+
+void run_microops(const MicroProgram& program, ProcessorState& state,
+                  PipelineControl& control,
+                  std::vector<std::int64_t>& temps) {
+  // No zero-fill: lowering guarantees every temp (including local slots) is
+  // written before it is read.
+  if (temps.size() < static_cast<std::size_t>(program.num_temps))
+    temps.resize(static_cast<std::size_t>(program.num_temps));
+  std::int64_t* t = temps.data();
+  const MicroOp* ops = program.ops.data();
+  const std::size_t count = program.ops.size();
+  std::size_t i = 0;
+  while (i < count) {
+    const MicroOp& op = ops[i];
+    switch (op.kind) {
+      case MKind::kConst:
+        t[op.a] = op.imm;
+        break;
+      case MKind::kMov:
+        t[op.a] = t[op.b];
+        break;
+      case MKind::kReadRes:
+        t[op.a] = state.read(op.res);
+        break;
+      case MKind::kReadElem:
+        t[op.a] = state.read(op.res, static_cast<std::uint64_t>(t[op.b]));
+        break;
+      case MKind::kWriteRes:
+        state.write(op.res, 0, t[op.a]);
+        break;
+      case MKind::kWriteElem:
+        state.write(op.res, static_cast<std::uint64_t>(t[op.b]), t[op.a]);
+        break;
+      case MKind::kBin: {
+        const auto v = fold_binary(op.bop, t[op.b], t[op.c]);
+        if (!v)
+          throw SimError(op.bop == BinOp::kDiv ? "division by zero"
+                                               : "remainder by zero");
+        t[op.a] = *v;
+        break;
+      }
+      case MKind::kUn:
+        t[op.a] = fold_unary(op.uop, t[op.b]);
+        break;
+      case MKind::kIntr: {
+        const std::int64_t args[2] = {t[op.b], t[op.c]};
+        const auto v = fold_intrinsic(
+            op.intr, std::span<const std::int64_t>(
+                         args, static_cast<std::size_t>(
+                                   intrinsic_arity(op.intr))));
+        t[op.a] = v.value_or(0);
+        break;
+      }
+      case MKind::kBrZero:
+        if (t[op.a] == 0) {
+          i = static_cast<std::size_t>(op.imm);
+          continue;
+        }
+        break;
+      case MKind::kBr:
+        i = static_cast<std::size_t>(op.imm);
+        continue;
+      case MKind::kFlush:
+        control.flush = true;
+        break;
+      case MKind::kStall:
+        control.stall_cycles += static_cast<int>(t[op.a]);
+        break;
+      case MKind::kHalt:
+        control.halt = true;
+        break;
+    }
+    ++i;
+  }
+}
+
+std::string microops_to_string(const MicroProgram& program) {
+  std::string out;
+  for (std::size_t i = 0; i < program.ops.size(); ++i) {
+    const MicroOp& op = program.ops[i];
+    out += std::to_string(i) + ": ";
+    const auto t = [](std::int32_t x) { return "t" + std::to_string(x); };
+    switch (op.kind) {
+      case MKind::kConst:
+        out += t(op.a) + " = " + std::to_string(op.imm);
+        break;
+      case MKind::kMov:
+        out += t(op.a) + " = " + t(op.b);
+        break;
+      case MKind::kReadRes:
+        out += t(op.a) + " = res" + std::to_string(op.res);
+        break;
+      case MKind::kReadElem:
+        out += t(op.a) + " = res" + std::to_string(op.res) + "[" + t(op.b) +
+               "]";
+        break;
+      case MKind::kWriteRes:
+        out += "res" + std::to_string(op.res) + " = " + t(op.a);
+        break;
+      case MKind::kWriteElem:
+        out += "res" + std::to_string(op.res) + "[" + t(op.b) + "] = " +
+               t(op.a);
+        break;
+      case MKind::kBin:
+        out += t(op.a) + " = " + t(op.b) + " " + bin_op_spelling(op.bop) +
+               " " + t(op.c);
+        break;
+      case MKind::kUn:
+        out += t(op.a) + " = " + un_op_spelling(op.uop) + t(op.b);
+        break;
+      case MKind::kIntr:
+        out += t(op.a) + " = " + intrinsic_name(op.intr) + "(" + t(op.b) +
+               ", " + t(op.c) + ")";
+        break;
+      case MKind::kBrZero:
+        out += "brzero " + t(op.a) + " -> " + std::to_string(op.imm);
+        break;
+      case MKind::kBr:
+        out += "br -> " + std::to_string(op.imm);
+        break;
+      case MKind::kFlush: out += "flush"; break;
+      case MKind::kStall: out += "stall " + t(op.a); break;
+      case MKind::kHalt: out += "halt"; break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lisasim

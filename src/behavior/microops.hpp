@@ -1,0 +1,67 @@
+// Micro-operation lowering: the third step of compiled simulation
+// ("operation instantiation and simulation loop unfolding", paper §3 —
+// listed as future work there). Specialized behavior trees are flattened
+// into linear register-machine programs executed by a tight dispatch loop,
+// removing the tree-walk overhead from the simulation hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "behavior/eval.hpp"
+#include "behavior/specialize.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+
+namespace lisasim {
+
+enum class MKind : std::uint8_t {
+  kConst,      // t[a] = imm
+  kMov,        // t[a] = t[b]
+  kReadRes,    // t[a] = state[res]
+  kReadElem,   // t[a] = state[res][t[b]]
+  kWriteRes,   // state[res] = t[a]
+  kWriteElem,  // state[res][t[b]] = t[a]
+  kBin,        // t[a] = t[b] <bop> t[c]   (throws on /0, %0)
+  kUn,         // t[a] = <uop> t[b]
+  kIntr,       // t[a] = intr(t[b] [, t[c]])   pure intrinsics
+  kBrZero,     // if (t[a] == 0) goto imm
+  kBr,         // goto imm
+  kFlush,      // control.flush = true
+  kStall,      // control.stall_cycles += t[a]
+  kHalt,       // control.halt = true
+};
+
+struct MicroOp {
+  MKind kind = MKind::kConst;
+  BinOp bop = BinOp::kAdd;
+  UnOp uop = UnOp::kNeg;
+  Intrinsic intr = Intrinsic::kNone;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  ResourceId res = -1;
+  std::int64_t imm = 0;
+};
+
+struct MicroProgram {
+  std::vector<MicroOp> ops;
+  int num_temps = 0;
+
+  bool empty() const { return ops.empty(); }
+};
+
+/// Lower a specialized program to micro-operations. The input must be fully
+/// specialized (symbols restricted to locals and resources); anything else
+/// throws SimError.
+MicroProgram lower_to_microops(const SpecProgram& program);
+
+/// Execute a micro-program. `temps` is caller-provided scratch, resized and
+/// zeroed here so repeated executions do not allocate.
+void run_microops(const MicroProgram& program, ProcessorState& state,
+                  PipelineControl& control, std::vector<std::int64_t>& temps);
+
+/// Disassemble for debugging/tests.
+std::string microops_to_string(const MicroProgram& program);
+
+}  // namespace lisasim

@@ -1,0 +1,412 @@
+#include "behavior/specialize.hpp"
+
+#include <cassert>
+
+#include "behavior/fold.hpp"
+
+namespace lisasim {
+
+namespace {
+
+bool is_int(const ExprPtr& e) { return e && e->kind == ExprKind::kIntLit; }
+
+ExprPtr make_bool(ExprPtr e) {
+  // Normalize a value to 0/1 (used when folding short-circuit operators).
+  auto zero = Expr::make_int(0);
+  return Expr::make_binary(BinOp::kNe, std::move(e), std::move(zero));
+}
+
+}  // namespace
+
+void collect_auto_ops(
+    const DecodedNode& node,
+    std::vector<std::pair<const DecodedNode*, int>>& out) {
+  if (node.op->has_behavior || !node.op->items.empty())
+    out.emplace_back(&node, effective_stage_of(node));
+  for (std::size_t slot = 0; slot < node.op->children.size(); ++slot) {
+    if (!node.op->children[slot].in_coding) continue;
+    if (node.children[slot]) collect_auto_ops(*node.children[slot], out);
+  }
+}
+
+struct Specializer::Builder {
+  std::vector<SpecProgram> stages;
+  // FIFO activation queues, one per stage: requests for later stages are
+  // enqueued and drained after that stage's auto-run programs.
+  std::vector<std::vector<const DecodedNode*>> queues;
+  int current_stage = 0;
+};
+
+const DecodedNode& Specializer::child_node(const DecodedNode& node,
+                                           int slot) const {
+  const auto& child = node.children[static_cast<std::size_t>(slot)];
+  if (!child)
+    throw SimError("group '" +
+                   node.op->children[static_cast<std::size_t>(slot)].name +
+                   "' of operation '" + node.op->name +
+                   "' has no decoded choice");
+  return *child;
+}
+
+PacketSchedule Specializer::schedule_packet(const DecodedPacket& packet) const {
+  const int depth = model_->pipeline.depth();
+  Builder builder;
+  builder.stages.resize(static_cast<std::size_t>(depth));
+  builder.queues.resize(static_cast<std::size_t>(depth));
+
+  std::vector<std::pair<const DecodedNode*, int>> autos;
+  for (const auto& slot : packet.slots) collect_auto_ops(*slot, autos);
+
+  for (int stage = 0; stage < depth; ++stage) {
+    builder.current_stage = stage;
+    for (const auto& [node, node_stage] : autos)
+      if (node_stage == stage) emit_node_program(*node, stage, builder);
+    auto& queue = builder.queues[static_cast<std::size_t>(stage)];
+    for (std::size_t i = 0; i < queue.size(); ++i)
+      emit_node_program(*queue[i], stage, builder);
+  }
+
+  PacketSchedule schedule;
+  schedule.stage_programs = std::move(builder.stages);
+  return schedule;
+}
+
+void Specializer::emit_node_program(const DecodedNode& node, int stage,
+                                    Builder& builder) const {
+  if (stage < 0 || static_cast<std::size_t>(stage) >= builder.stages.size())
+    throw SimError("operation '" + node.op->name +
+                   "' scheduled outside the pipeline");
+  SpecProgram& program = builder.stages[static_cast<std::size_t>(stage)];
+  const int local_base = program.num_locals;
+  program.num_locals += node.op->num_locals;
+
+  for_each_static_item(node, [&](const OpItem& item) {
+    switch (item.kind) {
+      case OpItem::Kind::kBehavior: {
+        auto specialized = specialize_stmts(item.stmts, node, local_base);
+        for (auto& s : specialized) {
+          // Local slots were rebased during specialization.
+          program.stmts.push_back(std::move(s));
+        }
+        break;
+      }
+      case OpItem::Kind::kActivation:
+        for (std::int32_t slot : item.activation_slots) {
+          const DecodedNode& child = child_node(node, slot);
+          const int child_stage =
+              child.op->stage >= 0 ? child.op->stage : stage;
+          // Later stages: enqueue for that stage's column (FIFO, matching
+          // the interpretive engine). Same-or-earlier stages execute inline
+          // at the activation point.
+          if (child_stage > stage)
+            builder.queues[static_cast<std::size_t>(child_stage)].push_back(
+                &child);
+          else
+            emit_node_program(child, stage, builder);
+        }
+        break;
+      default:
+        break;  // kExpression is pulled by operand access
+    }
+  });
+}
+
+ExprPtr Specializer::specialize_expr(const Expr& expr,
+                                     const DecodedNode& node) const {
+  return spec_expr(expr, node, 0);
+}
+
+ExprPtr Specializer::specialize_op_expression(const DecodedNode& node) const {
+  const Expr* found = nullptr;
+  for_each_static_item(node, [&](const OpItem& item) {
+    if (!found && item.kind == OpItem::Kind::kExpression)
+      found = item.expr.get();
+  });
+  if (!found)
+    throw SimError("operation '" + node.op->name +
+                   "' is used as an operand but has no active EXPRESSION");
+  return spec_expr(*found, node, 0);
+}
+
+std::vector<StmtPtr> Specializer::specialize_stmts(
+    const std::vector<StmtPtr>& stmts, const DecodedNode& node,
+    int local_base) const {
+  std::vector<StmtPtr> out;
+  out.reserve(stmts.size());
+  for (const auto& stmt : stmts) {
+    StmtPtr s = specialize_stmt(*stmt, node, local_base, out);
+    if (s) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+StmtPtr Specializer::specialize_stmt(const Stmt& stmt, const DecodedNode& node,
+                                     int local_base,
+                                     std::vector<StmtPtr>& out) const {
+  switch (stmt.kind) {
+    case StmtKind::kLocalDecl: {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kLocalDecl;
+      s->loc = stmt.loc;
+      s->decl_type = stmt.decl_type;
+      s->name = stmt.name;
+      s->local_slot = stmt.local_slot + local_base;
+      if (stmt.value) s->value = spec_expr(*stmt.value, node, local_base);
+      return s;
+    }
+    case StmtKind::kAssign: {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kAssign;
+      s->loc = stmt.loc;
+      s->lhs = spec_expr(*stmt.lhs, node, local_base);
+      s->value = spec_expr(*stmt.value, node, local_base);
+      return s;
+    }
+    case StmtKind::kExpr: {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kExpr;
+      s->loc = stmt.loc;
+      s->value = spec_expr(*stmt.value, node, local_base);
+      if (s->value->kind == ExprKind::kIntLit) return nullptr;  // no effect
+      return s;
+    }
+    case StmtKind::kIf: {
+      ExprPtr cond = spec_expr(*stmt.value, node, local_base);
+      if (cond->kind == ExprKind::kIntLit) {
+        // Decode-static condition: splice the taken branch inline. This is
+        // where unpredicated instructions lose their predicate test.
+        const auto& body =
+            cond->value != 0 ? stmt.then_body : stmt.else_body;
+        for (const auto& sub : body) {
+          StmtPtr s = specialize_stmt(*sub, node, local_base, out);
+          if (s) out.push_back(std::move(s));
+        }
+        return nullptr;
+      }
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kIf;
+      s->loc = stmt.loc;
+      s->value = std::move(cond);
+      s->then_body = specialize_stmts(stmt.then_body, node, local_base);
+      s->else_body = specialize_stmts(stmt.else_body, node, local_base);
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+ExprPtr Specializer::spec_expr(const Expr& expr, const DecodedNode& node,
+                               int local_base) const {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return expr.clone();
+
+    case ExprKind::kSym:
+      switch (expr.sym.kind) {
+        case SymKind::kLocal: {
+          auto e = expr.clone();
+          e->sym.index += local_base;
+          return e;
+        }
+        case SymKind::kResource:
+          return expr.clone();
+        case SymKind::kField:
+          // Compile-time decoding: the operand bits become a constant.
+          return Expr::make_int(
+              node.fields[static_cast<std::size_t>(expr.sym.index)],
+              expr.loc);
+        case SymKind::kChild:
+          return specialize_op_expression(
+              child_node(node, expr.sym.index));
+        case SymKind::kUpward: {
+          for (const DecodedNode* a = node.parent; a; a = a->parent) {
+            if (const int slot = a->op->label_slot(expr.sym.name_id);
+                slot >= 0)
+              return Expr::make_int(
+                  a->fields[static_cast<std::size_t>(slot)], expr.loc);
+            if (const int slot = a->op->child_slot(expr.sym.name_id);
+                slot >= 0)
+              return specialize_op_expression(child_node(*a, slot));
+          }
+          throw SimError("unresolved REFERENCE '" + expr.sym.name +
+                         "' in operation '" + node.op->name + "'");
+        }
+        case SymKind::kEnumOp:
+          throw SimError("operation name '" + expr.sym.name +
+                         "' used as a value outside an identity comparison");
+        case SymKind::kUnresolved:
+          throw SimError("unresolved symbol '" + expr.sym.name + "'");
+      }
+      return expr.clone();
+
+    case ExprKind::kIndex: {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIndex;
+      e->loc = expr.loc;
+      e->sym = expr.sym;
+      e->children.push_back(spec_expr(*expr.children[0], node, local_base));
+      return e;
+    }
+
+    case ExprKind::kUnary: {
+      ExprPtr operand = spec_expr(*expr.children[0], node, local_base);
+      if (is_int(operand))
+        return Expr::make_int(fold_unary(expr.un_op, operand->value),
+                              expr.loc);
+      auto e = Expr::make_unary(expr.un_op, std::move(operand));
+      e->loc = expr.loc;
+      return e;
+    }
+
+    case ExprKind::kBinary: {
+      // Identity comparisons are always decode-static.
+      if (expr.bin_op == BinOp::kEq || expr.bin_op == BinOp::kNe) {
+        const auto is_enum_op = [](const Expr& e) {
+          return e.kind == ExprKind::kSym && e.sym.kind == SymKind::kEnumOp;
+        };
+        if (is_enum_op(*expr.children[0]) || is_enum_op(*expr.children[1])) {
+          const OperationId a = static_identity(*expr.children[0], node);
+          const OperationId b = static_identity(*expr.children[1], node);
+          const bool eq = a >= 0 && a == b;
+          return Expr::make_int((expr.bin_op == BinOp::kEq) == eq ? 1 : 0,
+                                expr.loc);
+        }
+      }
+      ExprPtr lhs = spec_expr(*expr.children[0], node, local_base);
+      ExprPtr rhs = spec_expr(*expr.children[1], node, local_base);
+      if (expr.bin_op == BinOp::kLogicalAnd && is_int(lhs))
+        return lhs->value == 0 ? Expr::make_int(0, expr.loc)
+                               : make_bool(std::move(rhs));
+      if (expr.bin_op == BinOp::kLogicalOr && is_int(lhs))
+        return lhs->value != 0 ? Expr::make_int(1, expr.loc)
+                               : make_bool(std::move(rhs));
+      if (is_int(lhs) && is_int(rhs)) {
+        if (const auto v = fold_binary(expr.bin_op, lhs->value, rhs->value))
+          return Expr::make_int(*v, expr.loc);
+        // Division by a constant zero: keep it, fail at run time like the
+        // interpretive simulator would.
+      }
+      auto e = Expr::make_binary(expr.bin_op, std::move(lhs), std::move(rhs));
+      e->loc = expr.loc;
+      return e;
+    }
+
+    case ExprKind::kTernary: {
+      ExprPtr cond = spec_expr(*expr.children[0], node, local_base);
+      if (is_int(cond))
+        return spec_expr(cond->value != 0 ? *expr.children[1]
+                                          : *expr.children[2],
+                         node, local_base);
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kTernary;
+      e->loc = expr.loc;
+      e->children.push_back(std::move(cond));
+      e->children.push_back(spec_expr(*expr.children[1], node, local_base));
+      e->children.push_back(spec_expr(*expr.children[2], node, local_base));
+      return e;
+    }
+
+    case ExprKind::kCall: {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCall;
+      e->loc = expr.loc;
+      e->callee = expr.callee;
+      e->intrinsic = expr.intrinsic;
+      bool all_const = true;
+      for (const auto& arg : expr.children) {
+        e->children.push_back(spec_expr(*arg, node, local_base));
+        all_const = all_const && is_int(e->children.back());
+      }
+      if (all_const) {
+        std::vector<std::int64_t> args;
+        args.reserve(e->children.size());
+        for (const auto& arg : e->children) args.push_back(arg->value);
+        if (const auto v = fold_intrinsic(expr.intrinsic, args))
+          return Expr::make_int(*v, expr.loc);
+      }
+      return e;
+    }
+  }
+  return expr.clone();
+}
+
+OperationId Specializer::static_identity(const Expr& expr,
+                                         const DecodedNode& node) const {
+  if (expr.kind != ExprKind::kSym) return -1;
+  switch (expr.sym.kind) {
+    case SymKind::kEnumOp:
+      return expr.sym.index;
+    case SymKind::kChild:
+      return child_node(node, expr.sym.index).op->id;
+    case SymKind::kUpward:
+      for (const DecodedNode* a = node.parent; a; a = a->parent)
+        if (const int slot = a->op->child_slot(expr.sym.name_id); slot >= 0)
+          return child_node(*a, slot).op->id;
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+std::int64_t Specializer::eval_static(const Expr& expr,
+                                      const DecodedNode& node) const {
+  ExprPtr folded = spec_expr(expr, node, 0);
+  if (folded->kind != ExprKind::kIntLit)
+    throw SimError(
+        "coding-time condition is not decode-static in operation '" +
+        node.op->name + "': " + expr.to_string());
+  return folded->value;
+}
+
+template <typename Fn>
+void Specializer::for_each_static_item(const DecodedNode& node,
+                                       Fn&& fn) const {
+  const auto walk = [&](const auto& self,
+                        const std::vector<OpItemPtr>& items) -> void {
+    for (const auto& item : items) {
+      switch (item->kind) {
+        case OpItem::Kind::kIf:
+          if (eval_static(*item->cond, node) != 0)
+            self(self, item->then_items);
+          else
+            self(self, item->else_items);
+          break;
+        case OpItem::Kind::kSwitch: {
+          const OpItem::Case* chosen = nullptr;
+          const OpItem::Case* fallback = nullptr;
+          for (const auto& c : item->cases) {
+            if (c.is_default) {
+              fallback = &c;
+              continue;
+            }
+            const auto is_enum_op = [](const Expr& e) {
+              return e.kind == ExprKind::kSym &&
+                     e.sym.kind == SymKind::kEnumOp;
+            };
+            bool match;
+            if (is_enum_op(*item->cond) || is_enum_op(*c.match)) {
+              const OperationId a = static_identity(*item->cond, node);
+              const OperationId b = static_identity(*c.match, node);
+              match = a >= 0 && a == b;
+            } else {
+              match = eval_static(*item->cond, node) ==
+                      eval_static(*c.match, node);
+            }
+            if (match) {
+              chosen = &c;
+              break;
+            }
+          }
+          if (!chosen) chosen = fallback;
+          if (chosen) self(self, chosen->items);
+          break;
+        }
+        default:
+          fn(*item);
+      }
+    }
+  };
+  walk(walk, node.op->items);
+}
+
+}  // namespace lisasim

@@ -1,0 +1,115 @@
+// The specializer: compile-time partial evaluation of operation behavior
+// against a decoded instruction. This implements the a-priori-knowledge
+// exploitation of compiled simulation (paper §3):
+//
+//  * compile-time decoding — terminal coding fields become integer
+//    constants; operand groups are inlined through their chosen
+//    alternative's EXPRESSION;
+//  * coding-time conditionals (IF/ELSE, SWITCH/CASE around sections,
+//    paper §5.1) are folded away, selecting the specific behavior variant;
+//  * constant arithmetic is folded, so e.g. an unpredicated instruction's
+//    `if (pred) {...}` disappears entirely.
+//
+// The result is behavior code whose symbols are only locals and resources —
+// independent of the decode tree, ready to be stored in the simulation
+// table and (optionally) lowered to micro-operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "behavior/ir.hpp"
+#include "decode/decoded.hpp"
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// A specialized, self-contained behavior fragment: statements whose local
+/// slots start at 0 and run up to num_locals.
+struct SpecProgram {
+  std::vector<StmtPtr> stmts;
+  int num_locals = 0;
+
+  bool empty() const { return stmts.empty(); }
+};
+
+/// Per-stage schedule of one decoded execute packet: the row of the
+/// simulation table (paper Fig. 1). stage_programs[s] holds the merged,
+/// specialized behavior the packet executes when it occupies pipeline stage
+/// s. Activations are resolved statically: same-or-earlier-stage targets
+/// are inlined at the activation point, later-stage targets are appended to
+/// their stage's program.
+struct PacketSchedule {
+  std::vector<SpecProgram> stage_programs;  // indexed by pipeline stage
+
+  bool has_work(int stage) const {
+    return stage >= 0 &&
+           static_cast<std::size_t>(stage) < stage_programs.size() &&
+           !stage_programs[static_cast<std::size_t>(stage)].empty();
+  }
+};
+
+/// Collect the auto-run operations of a decode tree in tree order: every
+/// coding-selected node (activation-only instances run via ACTIVATION).
+/// Shared by the interpretive engine and the simulation compiler so both
+/// execute identical within-cycle operation sequences.
+void collect_auto_ops(
+    const DecodedNode& node,
+    std::vector<std::pair<const DecodedNode*, int>>& out);
+
+class Specializer {
+ public:
+  explicit Specializer(const Model& model) : model_(&model) {}
+
+  /// Build the per-stage schedule for a decoded packet. Throws SimError if
+  /// a coding-time conditional is not decode-static.
+  ///
+  /// Column construction mirrors the interpretive engine's timeline
+  /// exactly: for each stage, first the auto-run operations in tree order,
+  /// then activation requests in FIFO order; activations targeting the
+  /// current (or an earlier) stage are inlined at the activation point.
+  PacketSchedule schedule_packet(const DecodedPacket& packet) const;
+
+  /// Specialize a single expression in the context of `node` (exposed for
+  /// tests and for the code generator).
+  ExprPtr specialize_expr(const Expr& expr, const DecodedNode& node) const;
+
+ private:
+  struct Builder;  // accumulates per-stage statement lists + queues
+
+  void emit_node_program(const DecodedNode& node, int stage,
+                         Builder& builder) const;
+
+  /// Resolve the active EXPRESSION item of `node` (folding coding-time
+  /// conditionals) and specialize it.
+  ExprPtr specialize_op_expression(const DecodedNode& node) const;
+
+  std::vector<StmtPtr> specialize_stmts(const std::vector<StmtPtr>& stmts,
+                                        const DecodedNode& node,
+                                        int local_base) const;
+  StmtPtr specialize_stmt(const Stmt& stmt, const DecodedNode& node,
+                          int local_base,
+                          std::vector<StmtPtr>& out) const;
+  ExprPtr spec_expr(const Expr& expr, const DecodedNode& node,
+                    int local_base) const;
+
+  /// Evaluate a coding-time condition statically. Throws SimError when the
+  /// condition depends on run-time state.
+  std::int64_t eval_static(const Expr& expr, const DecodedNode& node) const;
+
+  /// Operation identity of a symbol in a coding-time comparison; -1 if the
+  /// symbol does not denote an operation.
+  OperationId static_identity(const Expr& expr,
+                              const DecodedNode& node) const;
+
+  /// Walk the operation's items with coding-time conditionals folded,
+  /// invoking `fn` on each active leaf item.
+  template <typename Fn>
+  void for_each_static_item(const DecodedNode& node, Fn&& fn) const;
+
+  const DecodedNode& child_node(const DecodedNode& node, int slot) const;
+
+  const Model* model_;
+};
+
+}  // namespace lisasim

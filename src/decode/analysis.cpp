@@ -1,0 +1,79 @@
+#include "decode/analysis.hpp"
+
+#include <functional>
+
+#include <cstddef>
+
+namespace lisasim {
+
+ResourceUsage::ResourceUsage(const Model& model) : model_(&model) {
+  per_op_.reserve(model.operations.size());
+  for (const auto& op : model.operations)
+    per_op_.push_back(direct_writes(*op));
+}
+
+std::vector<ScalarWrite> ResourceUsage::direct_writes(
+    const Operation& op) const {
+  std::vector<ScalarWrite> out;
+  const auto add = [&](ResourceId id) {
+    const ScalarWrite w{id, op.stage};
+    for (const auto& existing : out)
+      if (existing == w) return;
+    out.push_back(w);
+  };
+  const std::function<void(const Stmt&)> visit_stmt = [&](const Stmt& s) {
+    if (s.kind == StmtKind::kAssign && s.lhs &&
+        s.lhs->kind == ExprKind::kSym &&
+        s.lhs->sym.kind == SymKind::kResource &&
+        !model_->resource(s.lhs->sym.index).is_array())
+      add(s.lhs->sym.index);
+    for (const auto& sub : s.then_body) visit_stmt(*sub);
+    for (const auto& sub : s.else_body) visit_stmt(*sub);
+  };
+  const std::function<void(const std::vector<OpItemPtr>&)> walk =
+      [&](const std::vector<OpItemPtr>& items) {
+        for (const auto& item : items) {
+          for (const auto& s : item->stmts) visit_stmt(*s);
+          walk(item->then_items);
+          walk(item->else_items);
+          for (const auto& c : item->cases) walk(c.items);
+        }
+      };
+  walk(op.items);
+  return out;
+}
+
+void ResourceUsage::collect(const DecodedNode& node,
+                            std::vector<ScalarWrite>& out) const {
+  const int stage = effective_stage_of(node);
+  for (const ScalarWrite& w :
+       per_op_[static_cast<std::size_t>(node.op->id)]) {
+    const ScalarWrite resolved{w.resource, w.stage >= 0 ? w.stage : stage};
+    bool seen = false;
+    for (const auto& existing : out) seen = seen || existing == resolved;
+    if (!seen) out.push_back(resolved);
+  }
+  // All children: coding-selected operands and statically activated
+  // instances alike contribute their writes.
+  for (const auto& child : node.children)
+    if (child) collect(*child, out);
+}
+
+std::vector<ScalarWrite> ResourceUsage::writes_of(
+    const DecodedNode& slot) const {
+  std::vector<ScalarWrite> out;
+  collect(slot, out);
+  return out;
+}
+
+ResourceId ResourceUsage::first_conflict(const DecodedNode& a,
+                                         const DecodedNode& b) const {
+  const std::vector<ScalarWrite> wa = writes_of(a);
+  const std::vector<ScalarWrite> wb = writes_of(b);
+  for (const auto& x : wa)
+    for (const auto& y : wb)
+      if (x == y) return x.resource;
+  return -1;
+}
+
+}  // namespace lisasim

@@ -1,0 +1,52 @@
+// Static resource-usage analysis of operations. LISA resources "model the
+// limited availability of resources for operation access" (paper §5): on a
+// VLIW target, two instructions of one execute packet that write the same
+// scalar resource in the same pipeline stage (e.g. the multiply unit's
+// pipeline register) race — the model encodes the structural hazard, and
+// this analysis surfaces it. The assembler uses it to reject over-
+// subscribed packets at assembly time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decode/decoded.hpp"
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// One scalar-resource write performed by an operation (directly or through
+/// any of its statically activated children), attributed to the pipeline
+/// stage it executes in. Conservative: writes in all coding-time branches
+/// are included; stage -1 means "inherits the activation context's stage".
+struct ScalarWrite {
+  ResourceId resource = -1;
+  int stage = -1;
+
+  friend bool operator==(const ScalarWrite&, const ScalarWrite&) = default;
+};
+
+/// Precomputed per-operation scalar write sets.
+class ResourceUsage {
+ public:
+  explicit ResourceUsage(const Model& model);
+
+  /// All scalar writes of a decoded instruction tree (one packet slot),
+  /// with inherited stages resolved against the tree.
+  std::vector<ScalarWrite> writes_of(const DecodedNode& slot) const;
+
+  /// First resource written by both `a` and `b` in the same stage, or -1.
+  /// `a` and `b` are two slots of one execute packet.
+  ResourceId first_conflict(const DecodedNode& a, const DecodedNode& b) const;
+
+ private:
+  /// Direct writes of one operation's own behavior (no children).
+  std::vector<ScalarWrite> direct_writes(const Operation& op) const;
+
+  void collect(const DecodedNode& node, std::vector<ScalarWrite>& out) const;
+
+  const Model* model_;
+  std::vector<std::vector<ScalarWrite>> per_op_;  // by OperationId
+};
+
+}  // namespace lisasim

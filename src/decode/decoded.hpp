@@ -1,0 +1,49 @@
+// Decoded-instruction representation: the result of instruction decoding,
+// shared by the interpretive simulator (which produces it every fetch) and
+// the simulation compiler (which produces it once per program location and
+// then specializes it away).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// One node of the decode tree: an operation chosen from the coding, its
+/// extracted terminal fields and its child nodes. Children are indexed by
+/// the operation's child slots; activation-only children (not bound by
+/// CODING) are materialized too so that activations and upward references
+/// work uniformly.
+struct DecodedNode {
+  const Operation* op = nullptr;
+  const DecodedNode* parent = nullptr;
+  std::vector<std::int64_t> fields;                 // by label slot
+  std::vector<std::unique_ptr<DecodedNode>> children;  // by child slot
+
+  explicit DecodedNode(const Operation& operation)
+      : op(&operation),
+        fields(operation.labels.size(), 0),
+        children(operation.children.size()) {}
+};
+
+using DecodedNodePtr = std::unique_ptr<DecodedNode>;
+
+/// Effective pipeline stage of a decode-tree node: its own IN stage, else
+/// the nearest ancestor's, else stage 0.
+inline int effective_stage_of(const DecodedNode& node) {
+  for (const DecodedNode* n = &node; n; n = n->parent)
+    if (n->op->stage >= 0) return n->op->stage;
+  return 0;
+}
+
+/// A decoded execute packet: one instruction for single-issue machines, up
+/// to `FETCH PACKET n` chained slots for VLIW machines.
+struct DecodedPacket {
+  std::vector<DecodedNodePtr> slots;
+  unsigned words = 0;  // fetch words consumed (== slots.size())
+};
+
+}  // namespace lisasim

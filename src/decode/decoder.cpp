@@ -1,0 +1,216 @@
+#include "decode/decoder.hpp"
+
+#include <cassert>
+
+#include "support/bits.hpp"
+
+namespace lisasim {
+
+namespace {
+constexpr int kMaxDecodeDepth = 64;
+}
+
+Decoder::Decoder(const Model& model) : model_(&model) {
+  compute_masks();
+  stats_.operations = model.operations.size();
+  for (const auto& op : model.operations)
+    if (op->has_coding) ++stats_.coding_operations;
+}
+
+void Decoder::compute_masks() {
+  masks_.assign(model_->operations.size(), {});
+  // state: 0 = unvisited, 1 = in progress, 2 = done. Coding recursion is
+  // rejected by sema, but stay robust.
+  std::vector<int> state(model_->operations.size(), 0);
+  for (const auto& op : model_->operations) mask_of(op->id, state);
+}
+
+Decoder::OpMask Decoder::mask_of(OperationId id, std::vector<int>& state) {
+  auto& mark = state[static_cast<std::size_t>(id)];
+  auto& cached = masks_[static_cast<std::size_t>(id)];
+  if (mark == 2) return cached;
+  if (mark == 1) return {};  // cycle: no fixed bits claimed
+  mark = 1;
+
+  const Operation& op = model_->op(id);
+  OpMask result;
+  unsigned cursor = op.coding_width;  // bits remaining to the right
+  for (const auto& elem : op.coding) {
+    cursor -= elem.width;
+    switch (elem.kind) {
+      case CodingElem::Kind::kBits:
+        result.fixed_mask |= low_mask(elem.width) << cursor;
+        result.fixed_bits |= elem.bits << cursor;
+        break;
+      case CodingElem::Kind::kField:
+        break;  // operand bits are free
+      case CodingElem::Kind::kRef: {
+        const auto& child = op.children[static_cast<std::size_t>(elem.slot)];
+        if (child.alternatives.size() == 1) {
+          // Fixed sub-operation: its fixed bits discriminate at this level.
+          const OpMask sub = mask_of(child.alternatives.front(), state);
+          result.fixed_mask |= sub.fixed_mask << cursor;
+          result.fixed_bits |= sub.fixed_bits << cursor;
+        } else {
+          // Group: common fixed bits of all alternatives (if any) could be
+          // claimed; keep it simple and claim none — the backtracking match
+          // recurses into the group.
+        }
+        break;
+      }
+    }
+  }
+  cached = result;
+  mark = 2;
+  return cached;
+}
+
+DecodedNodePtr Decoder::match(const Operation& op, std::uint64_t segment,
+                              int depth) const {
+  if (depth > kMaxDecodeDepth)
+    throw SimError("decode recursion limit exceeded (operation '" + op.name +
+                   "')");
+  const OpMask& mask = masks_[static_cast<std::size_t>(op.id)];
+  if ((segment & mask.fixed_mask) != mask.fixed_bits) return nullptr;
+
+  auto node = std::make_unique<DecodedNode>(op);
+  unsigned cursor = op.coding_width;
+  for (const auto& elem : op.coding) {
+    cursor -= elem.width;
+    const std::uint64_t piece = extract_bits(segment, cursor, elem.width);
+    switch (elem.kind) {
+      case CodingElem::Kind::kBits:
+        // Covered by the fixed-mask test above (literal bits are always part
+        // of the op's own mask).
+        break;
+      case CodingElem::Kind::kField:
+        node->fields[static_cast<std::size_t>(elem.slot)] =
+            static_cast<std::int64_t>(piece);
+        break;
+      case CodingElem::Kind::kRef: {
+        const auto& child = op.children[static_cast<std::size_t>(elem.slot)];
+        DecodedNodePtr sub;
+        for (OperationId alt : child.alternatives) {
+          sub = match(model_->op(alt), piece, depth + 1);
+          if (sub) break;
+        }
+        if (!sub) return nullptr;
+        sub->parent = node.get();
+        node->children[static_cast<std::size_t>(elem.slot)] = std::move(sub);
+        break;
+      }
+    }
+  }
+  materialize_noncoding_children(*node, depth);
+  return node;
+}
+
+void Decoder::materialize_noncoding_children(DecodedNode& node,
+                                             int depth) const {
+  if (depth > kMaxDecodeDepth)
+    throw SimError("activation-instance recursion limit exceeded (operation '" +
+                   node.op->name + "')");
+  for (std::size_t slot = 0; slot < node.op->children.size(); ++slot) {
+    if (node.children[slot]) continue;  // bound by coding
+    const ChildDecl& child = node.op->children[slot];
+    if (child.alternatives.size() != 1) {
+      // A GROUP not bound by coding has no decodable choice; leave it empty.
+      // Sema flags activations of such groups when they are used.
+      continue;
+    }
+    const Operation& target = model_->op(child.alternatives.front());
+    auto sub = std::make_unique<DecodedNode>(target);
+    sub->parent = &node;
+    materialize_noncoding_children(*sub, depth + 1);
+    node.children[slot] = std::move(sub);
+  }
+}
+
+DecodedNodePtr Decoder::decode(std::uint64_t word) const {
+  if (model_->root < 0) throw SimError("model has no 'instruction' operation");
+  const Operation& root = model_->op(model_->root);
+  return match(root, word & low_mask(root.coding_width), 0);
+}
+
+DecodedPacket Decoder::decode_packet(std::span<const std::int64_t> words,
+                                     std::uint64_t index) const {
+  DecodedPacket packet;
+  std::string error;
+  if (!try_decode_packet(words, index, packet, error)) throw SimError(error);
+  return packet;
+}
+
+bool Decoder::try_decode_packet(std::span<const std::int64_t> words,
+                                std::uint64_t index, DecodedPacket& out,
+                                std::string& error) const {
+  out.slots.clear();
+  out.words = 0;
+  const unsigned max_slots = model_->fetch.packet_max;
+  for (unsigned slot = 0; slot < max_slots; ++slot) {
+    const std::uint64_t addr = index + slot;
+    if (addr >= words.size()) {
+      error = "instruction fetch past end of program memory (address " +
+              std::to_string(addr) + ")";
+      return false;
+    }
+    const std::uint64_t word =
+        static_cast<std::uint64_t>(words[addr]) &
+        low_mask(model_->fetch.word_bits);
+    DecodedNodePtr node = decode(word);
+    if (!node) {
+      error = "cannot decode instruction word at address " +
+              std::to_string(addr);
+      return false;
+    }
+    out.slots.push_back(std::move(node));
+    if (!chains_next(word)) break;
+    if (slot + 1 == max_slots) {
+      error = "execute packet at address " + std::to_string(index) +
+              " exceeds the maximum packet size";
+      return false;
+    }
+  }
+  out.words = static_cast<unsigned>(out.slots.size());
+  return true;
+}
+
+std::uint64_t Decoder::encode(const DecodedNode& node) const {
+  std::uint64_t word = 0;
+  unsigned cursor = node.op->coding_width;
+  encode_node(node, word, cursor, node.op->coding_width);
+  return word;
+}
+
+void Decoder::encode_node(const DecodedNode& node, std::uint64_t& word,
+                          unsigned& cursor, unsigned total_width) const {
+  (void)total_width;
+  const Operation& op = *node.op;
+  for (const auto& elem : op.coding) {
+    cursor -= elem.width;
+    switch (elem.kind) {
+      case CodingElem::Kind::kBits:
+        word = insert_bits(word, cursor, elem.width, elem.bits);
+        break;
+      case CodingElem::Kind::kField:
+        word = insert_bits(
+            word, cursor, elem.width,
+            static_cast<std::uint64_t>(
+                node.fields[static_cast<std::size_t>(elem.slot)]));
+        break;
+      case CodingElem::Kind::kRef: {
+        const auto& sub = node.children[static_cast<std::size_t>(elem.slot)];
+        if (!sub)
+          throw SimError("encode: child '" +
+                         op.children[static_cast<std::size_t>(elem.slot)]
+                             .name +
+                         "' of operation '" + op.name + "' is unbound");
+        // Encode the child into its own sub-segment: temporarily rebase.
+        unsigned sub_cursor = cursor + sub->op->coding_width;
+        encode_node(*sub, word, sub_cursor, total_width);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace lisasim

@@ -1,0 +1,87 @@
+// The decoder generator. Constructing a Decoder from a Model precomputes,
+// for every operation, the fixed-bit mask/value of its coding segment; the
+// decode routine is then a backtracking match over group alternatives that
+// prunes with those masks. This component corresponds to the decoding
+// machinery that the paper's simulation-compiler generator emits (paper
+// §4.1): the interpretive simulator calls it every cycle, the simulation
+// compiler calls it once per program location.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "decode/decoded.hpp"
+#include "model/model.hpp"
+
+namespace lisasim {
+
+class Decoder {
+ public:
+  explicit Decoder(const Model& model);
+
+  /// Decode a single instruction word against the model's root operation.
+  /// Returns nullptr if no coding alternative matches.
+  DecodedNodePtr decode(std::uint64_t word) const;
+
+  /// Decode the execute packet starting at element `index` of `words`
+  /// (element-addressed program memory). For single-issue models the packet
+  /// has exactly one slot. Throws SimError on decode failure or when the
+  /// packet runs past the end of `words`.
+  DecodedPacket decode_packet(std::span<const std::int64_t> words,
+                              std::uint64_t index) const;
+
+  /// Non-throwing variant for the fetch hot path (wrong-path prefetch of
+  /// undecodable words happens on every taken branch near the text end).
+  /// Returns false and fills `error` on failure.
+  bool try_decode_packet(std::span<const std::int64_t> words,
+                         std::uint64_t index, DecodedPacket& out,
+                         std::string& error) const;
+
+  /// Inverse of decode: assemble the instruction word from a decode tree
+  /// (used by the assembler). The tree must be structurally complete.
+  std::uint64_t encode(const DecodedNode& node) const;
+
+  /// True if bit `parallel_bit` of the word chains the following word into
+  /// the same execute packet.
+  bool chains_next(std::uint64_t word) const {
+    return model_->fetch.packet_max > 1 &&
+           ((word >> model_->fetch.parallel_bit) & 1) != 0;
+  }
+
+  const Model& model() const { return *model_; }
+
+  /// Decoder-generation statistics (useful for the model-translation bench).
+  struct Stats {
+    std::size_t operations = 0;
+    std::size_t coding_operations = 0;
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  struct OpMask {
+    std::uint64_t fixed_mask = 0;   // within the op's segment, MSB-first
+    std::uint64_t fixed_bits = 0;
+  };
+
+  void compute_masks();
+  OpMask mask_of(OperationId id, std::vector<int>& state);
+
+  /// Match `op` against `segment` (the op's coding_width low bits,
+  /// MSB-aligned to the segment). Returns nullptr on mismatch.
+  DecodedNodePtr match(const Operation& op, std::uint64_t segment,
+                       int depth) const;
+
+  /// Materialize children that are not bound by CODING (activation-only
+  /// instances) so activations can run and upward references resolve.
+  void materialize_noncoding_children(DecodedNode& node, int depth) const;
+
+  void encode_node(const DecodedNode& node, std::uint64_t& word,
+                   unsigned& cursor, unsigned total_width) const;
+
+  const Model* model_;
+  std::vector<OpMask> masks_;  // by OperationId
+  Stats stats_;
+};
+
+}  // namespace lisasim

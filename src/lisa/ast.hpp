@@ -1,0 +1,147 @@
+// Abstract syntax tree of a machine description, as produced by the parser
+// and consumed by semantic analysis (src/model/sema). Behavior code and
+// coding-time conditions are represented with the shared behavior IR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "behavior/ir.hpp"
+#include "support/diag.hpp"
+#include "support/value.hpp"
+
+namespace lisasim::ast {
+
+/// FETCH block: instruction word width and optional VLIW packet chaining.
+/// `PACKET n PARALLEL_BIT b` means: up to n consecutive words form one
+/// execute packet, chained while bit b of a word is set (the C6x p-bit).
+struct FetchSpec {
+  unsigned word_bits = 32;
+  unsigned packet_max = 1;  // 1 = single-issue
+  int parallel_bit = -1;    // <0 = no chaining bit
+  std::string memory;       // MEMORY <name>: the memory fetch reads from
+  SourceLoc loc;
+};
+
+struct PipelineDecl {
+  std::string name;
+  std::vector<std::string> stages;
+  SourceLoc loc;
+};
+
+enum class ResourceKind : std::uint8_t {
+  kScalar,
+  kRegisterFile,
+  kMemory,
+  kProgramCounter,
+};
+
+struct ResourceDecl {
+  ResourceKind kind = ResourceKind::kScalar;
+  ValueType type;
+  std::string name;
+  std::uint64_t size = 1;  // element count for register files / memories
+  SourceLoc loc;
+};
+
+struct DeclareItem {
+  enum class Kind : std::uint8_t { kGroup, kInstance, kLabel, kReference };
+  Kind kind = Kind::kLabel;
+  std::string name;
+  // kGroup: the alternatives; kInstance: a single target operation name.
+  std::vector<std::string> targets;
+  SourceLoc loc;
+};
+
+struct CodingElem {
+  enum class Kind : std::uint8_t { kBits, kField, kRef };
+  Kind kind = Kind::kBits;
+  std::uint64_t bits = 0;  // kBits value
+  unsigned width = 0;      // kBits / kField width
+  std::string name;        // kField (LABEL name) / kRef (GROUP or INSTANCE)
+  SourceLoc loc;
+};
+
+struct SyntaxElem {
+  enum class Kind : std::uint8_t { kLiteral, kRef };
+  Kind kind = Kind::kLiteral;
+  std::string text;  // literal text, or referenced name for kRef
+  SourceLoc loc;
+};
+
+struct CodingSec {
+  std::vector<CodingElem> elems;
+  SourceLoc loc;
+};
+struct SyntaxSec {
+  std::vector<SyntaxElem> elems;
+  SourceLoc loc;
+};
+struct BehaviorSec {
+  std::vector<StmtPtr> stmts;
+  SourceLoc loc;
+};
+struct ActivationSec {
+  std::vector<std::string> targets;
+  SourceLoc loc;
+};
+struct ExpressionSec {
+  ExprPtr expr;
+  SourceLoc loc;
+};
+
+struct CondSections;
+struct SwitchSections;
+
+using SectionItem =
+    std::variant<CodingSec, SyntaxSec, BehaviorSec, ActivationSec,
+                 ExpressionSec, std::unique_ptr<CondSections>,
+                 std::unique_ptr<SwitchSections>>;
+
+struct OpBody {
+  std::vector<SectionItem> items;
+};
+
+/// Coding-time IF (cond) { sections } ELSE { sections } — paper §5.1.
+struct CondSections {
+  ExprPtr cond;
+  OpBody then_body;
+  OpBody else_body;
+  SourceLoc loc;
+};
+
+/// Coding-time SWITCH (subject) { CASE m: { sections } ... DEFAULT: ... }.
+struct SwitchSections {
+  struct Case {
+    bool is_default = false;
+    ExprPtr match;  // operation name or integer; null for default
+    OpBody body;
+    SourceLoc loc;
+  };
+  ExprPtr subject;
+  std::vector<Case> cases;
+  SourceLoc loc;
+};
+
+struct OperationAst {
+  std::string name;
+  bool has_stage = false;
+  std::string pipe;   // IN pipe.stage
+  std::string stage;
+  std::vector<DeclareItem> declares;
+  OpBody body;
+  SourceLoc loc;
+};
+
+struct ModelAst {
+  std::string name = "machine";
+  FetchSpec fetch;
+  std::vector<PipelineDecl> pipelines;
+  std::vector<ResourceDecl> resources;
+  std::vector<OperationAst> operations;
+};
+
+}  // namespace lisasim::ast

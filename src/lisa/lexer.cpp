@@ -1,0 +1,331 @@
+#include "lisa/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <utility>
+
+namespace lisasim {
+
+namespace {
+
+struct Keyword {
+  const char* spelling;
+  Tok kind;
+};
+
+// Section-level keywords are upper case; the C-like behavior language uses
+// lower-case `if`/`else` so that coding-time and run-time conditionals are
+// visibly distinct (paper §4.1 / §5.1).
+constexpr std::array<Keyword, 31> kKeywords = {{
+    {"MODEL", Tok::kKwModel},
+    {"RESOURCE", Tok::kKwResource},
+    {"FETCH", Tok::kKwFetch},
+    {"OPERATION", Tok::kKwOperation},
+    {"DECLARE", Tok::kKwDeclare},
+    {"CODING", Tok::kKwCoding},
+    {"SYNTAX", Tok::kKwSyntax},
+    {"BEHAVIOR", Tok::kKwBehavior},
+    {"ACTIVATION", Tok::kKwActivation},
+    {"EXPRESSION", Tok::kKwExpression},
+    {"GROUP", Tok::kKwGroup},
+    {"INSTANCE", Tok::kKwInstance},
+    {"LABEL", Tok::kKwLabel},
+    {"REFERENCE", Tok::kKwReference},
+    {"REGISTER", Tok::kKwRegister},
+    {"MEMORY", Tok::kKwMemory},
+    {"PROGRAM_COUNTER", Tok::kKwProgramCounter},
+    {"PIPELINE", Tok::kKwPipeline},
+    {"IN", Tok::kKwIn},
+    {"IF", Tok::kKwIf},
+    {"ELSE", Tok::kKwElse},
+    {"SWITCH", Tok::kKwSwitch},
+    {"CASE", Tok::kKwCase},
+    {"DEFAULT", Tok::kKwDefault},
+    {"WORD", Tok::kKwWord},
+    {"PACKET", Tok::kKwPacket},
+    {"PARALLEL_BIT", Tok::kKwParallelBit},
+    {"ENTRY", Tok::kKwEntry},
+    {"if", Tok::kKwLowerIf},
+    {"else", Tok::kKwLowerElse},
+    {"THEN", Tok::kKwIf},  // tolerated alias; IF (c) THEN {..} is not used
+}};
+
+}  // namespace
+
+const char* tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kInt: return "integer literal";
+    case Tok::kBits: return "bit literal";
+    case Tok::kFieldPat: return "field pattern";
+    case Tok::kString: return "string literal";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kColon: return "':'";
+    case Tok::kDot: return "'.'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kAssign: return "'='";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kAmpAmp: return "'&&'";
+    case Tok::kPipePipe: return "'||'";
+    default: return "keyword";
+  }
+}
+
+Lexer::Lexer(std::string_view source, std::string file,
+             DiagnosticEngine& diags)
+    : src_(source), file_(std::move(file)), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = peek();
+  if (c == '\0') return c;
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::here() const { return {file_, line_, column_}; }
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    const bool done = t.kind == Tok::kEof;
+    out.push_back(std::move(t));
+    if (done) return out;
+  }
+}
+
+Token Lexer::lex_number() {
+  Token t;
+  t.kind = Tok::kInt;
+  t.loc = here();
+  std::int64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      const char c = advance();
+      const int digit = std::isdigit(static_cast<unsigned char>(c))
+                            ? c - '0'
+                            : (std::tolower(c) - 'a' + 10);
+      value = value * 16 + digit;
+      any = true;
+    }
+    if (!any) diags_.error(t.loc, "expected hex digits after 0x");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      value = value * 10 + (advance() - '0');
+  }
+  t.value = value;
+  return t;
+}
+
+Token Lexer::lex_bits() {
+  // Called with "0b" pending. Forms:
+  //   0b0101    fixed bit pattern (kBits, value + width)
+  //   0bx[5]    5-bit operand field (kFieldPat, width)
+  Token t;
+  t.loc = here();
+  advance();  // 0
+  advance();  // b
+  if (peek() == 'x' && !std::isdigit(static_cast<unsigned char>(peek(1))) &&
+      peek(1) != 'x') {
+    advance();  // x
+    t.kind = Tok::kFieldPat;
+    if (!match('[')) {
+      diags_.error(t.loc, "expected '[width]' after 0bx");
+      return t;
+    }
+    unsigned width = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      width = width * 10 + static_cast<unsigned>(advance() - '0');
+    if (!match(']')) diags_.error(t.loc, "expected ']' after field width");
+    if (width == 0 || width > 64)
+      diags_.error(t.loc, "field width must be 1..64");
+    t.width = width;
+    return t;
+  }
+  t.kind = Tok::kBits;
+  std::int64_t value = 0;
+  unsigned width = 0;
+  while (peek() == '0' || peek() == '1') {
+    value = (value << 1) | (advance() - '0');
+    ++width;
+  }
+  if (width == 0) {
+    diags_.error(t.loc, "expected binary digits after 0b");
+  } else if (width > 64) {
+    diags_.error(t.loc, "bit literal wider than 64 bits");
+  }
+  t.value = value;
+  t.width = width;
+  return t;
+}
+
+Token Lexer::lex_ident() {
+  Token t;
+  t.loc = here();
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    text.push_back(advance());
+  for (const auto& kw : kKeywords) {
+    if (text == kw.spelling) {
+      t.kind = kw.kind;
+      t.text = std::move(text);
+      return t;
+    }
+  }
+  t.kind = Tok::kIdent;
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::lex_string() {
+  Token t;
+  t.kind = Tok::kString;
+  t.loc = here();
+  advance();  // opening quote
+  std::string text;
+  for (;;) {
+    const char c = peek();
+    if (c == '\0' || c == '\n') {
+      diags_.error(t.loc, "unterminated string literal");
+      break;
+    }
+    advance();
+    if (c == '"') break;
+    if (c == '\\') {
+      const char esc = advance();
+      switch (esc) {
+        case 'n': text.push_back('\n'); break;
+        case 't': text.push_back('\t'); break;
+        case '\\': text.push_back('\\'); break;
+        case '"': text.push_back('"'); break;
+        default:
+          diags_.error(here(), "unknown escape sequence");
+          text.push_back(esc);
+      }
+    } else {
+      text.push_back(c);
+    }
+  }
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  const SourceLoc loc = here();
+  const char c = peek();
+  if (c == '\0') return {Tok::kEof, "", 0, 0, loc};
+  if (c == '0' && (peek(1) == 'b' || peek(1) == 'B')) return lex_bits();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+    return lex_ident();
+  if (c == '"') return lex_string();
+
+  advance();
+  auto simple = [&](Tok kind) { return Token{kind, "", 0, 0, loc}; };
+  switch (c) {
+    case '{': return simple(Tok::kLBrace);
+    case '}': return simple(Tok::kRBrace);
+    case '(': return simple(Tok::kLParen);
+    case ')': return simple(Tok::kRParen);
+    case '[': return simple(Tok::kLBracket);
+    case ']': return simple(Tok::kRBracket);
+    case ';': return simple(Tok::kSemi);
+    case ',': return simple(Tok::kComma);
+    case ':': return simple(Tok::kColon);
+    case '.': return simple(Tok::kDot);
+    case '?': return simple(Tok::kQuestion);
+    case '+': return simple(Tok::kPlus);
+    case '-': return simple(Tok::kMinus);
+    case '*': return simple(Tok::kStar);
+    case '/': return simple(Tok::kSlash);
+    case '%': return simple(Tok::kPercent);
+    case '^': return simple(Tok::kCaret);
+    case '~': return simple(Tok::kTilde);
+    case '=': return simple(match('=') ? Tok::kEq : Tok::kAssign);
+    case '!': return simple(match('=') ? Tok::kNe : Tok::kBang);
+    case '<':
+      if (match('<')) return simple(Tok::kShl);
+      return simple(match('=') ? Tok::kLe : Tok::kLt);
+    case '>':
+      if (match('>')) return simple(Tok::kShr);
+      return simple(match('=') ? Tok::kGe : Tok::kGt);
+    case '&': return simple(match('&') ? Tok::kAmpAmp : Tok::kAmp);
+    case '|': return simple(match('|') ? Tok::kPipePipe : Tok::kPipe);
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+}  // namespace lisasim

@@ -1,0 +1,42 @@
+// Hand-written lexer for the machine description language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lisa/token.hpp"
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+class Lexer {
+ public:
+  /// `file` is used for diagnostics only; `source` must outlive the lexer.
+  Lexer(std::string_view source, std::string file, DiagnosticEngine& diags);
+
+  /// Lex the whole input. The result always ends with a kEof token.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_whitespace_and_comments();
+  SourceLoc here() const;
+
+  Token lex_number();
+  Token lex_bits();
+  Token lex_ident();
+  Token lex_string();
+
+  std::string_view src_;
+  std::string file_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1;
+  unsigned column_ = 1;
+};
+
+}  // namespace lisasim

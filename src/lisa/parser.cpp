@@ -1,0 +1,731 @@
+#include "lisa/parser.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "lisa/lexer.hpp"
+
+namespace lisasim {
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  assert(!tokens_.empty() && tokens_.back().kind == Tok::kEof);
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok kind) {
+  if (!at(kind)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(Tok kind, const char* context) {
+  if (match(kind)) return true;
+  diags_.error(peek().loc, std::string("expected ") + tok_name(kind) +
+                               " in " + context + ", found " +
+                               tok_name(peek().kind));
+  return false;
+}
+
+void Parser::error_here(const std::string& message) {
+  diags_.error(peek().loc, message);
+}
+
+void Parser::sync_to(Tok kind) {
+  // Skip forward to just past `kind`, balancing braces so that recovery
+  // from an error inside a nested block does not desynchronize the outer
+  // structure.
+  int depth = 0;
+  while (!at(Tok::kEof)) {
+    const Tok k = peek().kind;
+    if (depth == 0 && k == kind) {
+      advance();
+      return;
+    }
+    if (k == Tok::kLBrace) ++depth;
+    if (k == Tok::kRBrace) {
+      if (depth == 0) return;  // let the caller consume the closing brace
+      --depth;
+    }
+    advance();
+  }
+}
+
+bool Parser::at_name() const {
+  // Pipeline stage names may collide with keywords (a stage called "IF" is
+  // idiomatic); any keyword token still carries its spelling.
+  return at(Tok::kIdent) || !peek().text.empty();
+}
+
+std::string Parser::expect_name(const char* context) {
+  if (at_name()) return advance().text;
+  diags_.error(peek().loc, std::string("expected name in ") + context);
+  return {};
+}
+
+ast::ModelAst Parser::parse_model() {
+  ast::ModelAst model;
+  while (!at(Tok::kEof)) {
+    switch (peek().kind) {
+      case Tok::kKwModel: {
+        advance();
+        if (at(Tok::kIdent)) model.name = advance().text;
+        expect(Tok::kSemi, "MODEL declaration");
+        break;
+      }
+      case Tok::kKwResource:
+        parse_resource_section(model);
+        break;
+      case Tok::kKwFetch:
+        parse_fetch_section(model);
+        break;
+      case Tok::kKwOperation:
+        model.operations.push_back(parse_operation());
+        break;
+      default:
+        error_here(std::string("expected RESOURCE, FETCH or OPERATION, found ") +
+                   tok_name(peek().kind));
+        advance();
+    }
+  }
+  return model;
+}
+
+void Parser::parse_resource_section(ast::ModelAst& model) {
+  advance();  // RESOURCE
+  if (!expect(Tok::kLBrace, "RESOURCE section")) return;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    const SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::kKwPipeline: {
+        advance();
+        ast::PipelineDecl pipe;
+        pipe.loc = loc;
+        if (at(Tok::kIdent)) pipe.name = advance().text;
+        expect(Tok::kAssign, "PIPELINE declaration");
+        expect(Tok::kLBrace, "PIPELINE declaration");
+        while (at_name() && !at(Tok::kRBrace)) {
+          pipe.stages.push_back(advance().text);
+          if (!match(Tok::kSemi) && !match(Tok::kComma)) break;
+        }
+        expect(Tok::kRBrace, "PIPELINE declaration");
+        expect(Tok::kSemi, "PIPELINE declaration");
+        model.pipelines.push_back(std::move(pipe));
+        break;
+      }
+      case Tok::kKwRegister:
+      case Tok::kKwMemory:
+      case Tok::kKwProgramCounter: {
+        const Tok intro = advance().kind;
+        ast::ResourceDecl decl;
+        decl.loc = loc;
+        decl.kind = intro == Tok::kKwMemory ? ast::ResourceKind::kMemory
+                    : intro == Tok::kKwProgramCounter
+                        ? ast::ResourceKind::kProgramCounter
+                        : ast::ResourceKind::kScalar;  // refined below
+        if (at(Tok::kIdent)) {
+          auto type = ValueType::parse(peek().text);
+          if (type) {
+            decl.type = *type;
+            advance();
+          } else {
+            error_here("expected element type (e.g. int32)");
+          }
+        }
+        if (at(Tok::kIdent)) decl.name = advance().text;
+        if (match(Tok::kLBracket)) {
+          if (at(Tok::kInt))
+            decl.size = static_cast<std::uint64_t>(advance().value);
+          else
+            error_here("expected array size");
+          expect(Tok::kRBracket, "resource declaration");
+          if (intro == Tok::kKwRegister)
+            decl.kind = ast::ResourceKind::kRegisterFile;
+        } else if (intro == Tok::kKwMemory) {
+          error_here("MEMORY requires a size, e.g. MEMORY int32 mem[1024];");
+        }
+        expect(Tok::kSemi, "resource declaration");
+        model.resources.push_back(std::move(decl));
+        break;
+      }
+      case Tok::kIdent: {
+        // Plain scalar resource: `int32 acc;`
+        ast::ResourceDecl decl;
+        decl.loc = loc;
+        decl.kind = ast::ResourceKind::kScalar;
+        auto type = ValueType::parse(peek().text);
+        if (!type) {
+          error_here("unknown resource declaration");
+          sync_to(Tok::kSemi);
+          break;
+        }
+        decl.type = *type;
+        advance();
+        if (at(Tok::kIdent)) decl.name = advance().text;
+        expect(Tok::kSemi, "resource declaration");
+        model.resources.push_back(std::move(decl));
+        break;
+      }
+      default:
+        error_here("unexpected token in RESOURCE section");
+        advance();
+    }
+  }
+  expect(Tok::kRBrace, "RESOURCE section");
+}
+
+void Parser::parse_fetch_section(ast::ModelAst& model) {
+  model.fetch.loc = peek().loc;
+  advance();  // FETCH
+  if (!expect(Tok::kLBrace, "FETCH section")) return;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    if (match(Tok::kKwWord)) {
+      if (at(Tok::kInt))
+        model.fetch.word_bits = static_cast<unsigned>(advance().value);
+      else
+        error_here("expected word width in bits");
+      expect(Tok::kSemi, "FETCH section");
+    } else if (match(Tok::kKwPacket)) {
+      if (at(Tok::kInt))
+        model.fetch.packet_max = static_cast<unsigned>(advance().value);
+      else
+        error_here("expected packet size");
+      if (match(Tok::kKwParallelBit)) {
+        if (at(Tok::kInt))
+          model.fetch.parallel_bit = static_cast<int>(advance().value);
+        else
+          error_here("expected parallel bit index");
+      }
+      expect(Tok::kSemi, "FETCH section");
+    } else if (match(Tok::kKwMemory)) {
+      if (at(Tok::kIdent))
+        model.fetch.memory = advance().text;
+      else
+        error_here("expected memory name");
+      expect(Tok::kSemi, "FETCH section");
+    } else {
+      error_here("expected WORD, PACKET or MEMORY in FETCH section");
+      advance();
+    }
+  }
+  expect(Tok::kRBrace, "FETCH section");
+}
+
+ast::OperationAst Parser::parse_operation() {
+  ast::OperationAst op;
+  op.loc = peek().loc;
+  advance();  // OPERATION
+  if (at(Tok::kIdent))
+    op.name = advance().text;
+  else
+    error_here("expected operation name");
+  if (match(Tok::kKwIn)) {
+    op.has_stage = true;
+    if (at(Tok::kIdent)) op.pipe = advance().text;
+    expect(Tok::kDot, "IN pipe.stage");
+    op.stage = expect_name("IN pipe.stage");
+  }
+  if (!expect(Tok::kLBrace, "OPERATION")) return op;
+  parse_op_items(op.body, &op);
+  expect(Tok::kRBrace, "OPERATION");
+  return op;
+}
+
+void Parser::parse_op_items(ast::OpBody& body, ast::OperationAst* op) {
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    switch (peek().kind) {
+      case Tok::kKwDeclare:
+        if (op) {
+          parse_declare_section(*op);
+        } else {
+          error_here("DECLARE is only allowed at operation top level");
+          advance();
+          sync_to(Tok::kRBrace);
+          expect(Tok::kRBrace, "DECLARE section");
+        }
+        break;
+      case Tok::kKwCoding:
+        body.items.emplace_back(parse_coding_section());
+        break;
+      case Tok::kKwSyntax:
+        body.items.emplace_back(parse_syntax_section());
+        break;
+      case Tok::kKwBehavior:
+        body.items.emplace_back(parse_behavior_section());
+        break;
+      case Tok::kKwActivation:
+        body.items.emplace_back(parse_activation_section());
+        break;
+      case Tok::kKwExpression:
+        body.items.emplace_back(parse_expression_section());
+        break;
+      case Tok::kKwIf:
+        body.items.emplace_back(parse_cond_sections());
+        break;
+      case Tok::kKwSwitch:
+        body.items.emplace_back(parse_switch_sections());
+        break;
+      default:
+        error_here(std::string("unexpected token in operation body: ") +
+                   tok_name(peek().kind));
+        advance();
+    }
+  }
+}
+
+void Parser::parse_declare_section(ast::OperationAst& op) {
+  advance();  // DECLARE
+  if (!expect(Tok::kLBrace, "DECLARE section")) return;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    ast::DeclareItem item;
+    item.loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::kKwGroup: {
+        advance();
+        item.kind = ast::DeclareItem::Kind::kGroup;
+        if (at(Tok::kIdent)) item.name = advance().text;
+        expect(Tok::kAssign, "GROUP declaration");
+        expect(Tok::kLBrace, "GROUP declaration");
+        while (at(Tok::kIdent)) {
+          item.targets.push_back(advance().text);
+          if (!match(Tok::kPipePipe)) break;
+        }
+        expect(Tok::kRBrace, "GROUP declaration");
+        expect(Tok::kSemi, "GROUP declaration");
+        op.declares.push_back(std::move(item));
+        break;
+      }
+      case Tok::kKwInstance: {
+        advance();
+        item.kind = ast::DeclareItem::Kind::kInstance;
+        if (at(Tok::kIdent)) item.name = advance().text;
+        if (match(Tok::kAssign)) {
+          if (at(Tok::kIdent)) item.targets.push_back(advance().text);
+        } else {
+          // `INSTANCE foo;` instantiates the operation named foo.
+          item.targets.push_back(item.name);
+        }
+        expect(Tok::kSemi, "INSTANCE declaration");
+        op.declares.push_back(std::move(item));
+        break;
+      }
+      case Tok::kKwLabel:
+      case Tok::kKwReference: {
+        const bool is_ref = advance().kind == Tok::kKwReference;
+        do {
+          ast::DeclareItem each;
+          each.loc = peek().loc;
+          each.kind = is_ref ? ast::DeclareItem::Kind::kReference
+                             : ast::DeclareItem::Kind::kLabel;
+          if (at(Tok::kIdent))
+            each.name = advance().text;
+          else
+            error_here("expected name");
+          op.declares.push_back(std::move(each));
+        } while (match(Tok::kComma));
+        expect(Tok::kSemi, "LABEL/REFERENCE declaration");
+        break;
+      }
+      default:
+        error_here("expected GROUP, INSTANCE, LABEL or REFERENCE");
+        advance();
+    }
+  }
+  expect(Tok::kRBrace, "DECLARE section");
+}
+
+ast::CodingSec Parser::parse_coding_section() {
+  ast::CodingSec sec;
+  sec.loc = peek().loc;
+  advance();  // CODING
+  if (!expect(Tok::kLBrace, "CODING section")) return sec;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    ast::CodingElem elem;
+    elem.loc = peek().loc;
+    if (at(Tok::kBits)) {
+      const Token& t = advance();
+      elem.kind = ast::CodingElem::Kind::kBits;
+      elem.bits = static_cast<std::uint64_t>(t.value);
+      elem.width = t.width;
+    } else if (at(Tok::kIdent)) {
+      elem.name = advance().text;
+      if (match(Tok::kAssign)) {
+        elem.kind = ast::CodingElem::Kind::kField;
+        if (at(Tok::kFieldPat)) {
+          elem.width = advance().width;
+        } else {
+          error_here("expected field pattern 0bx[n]");
+          advance();
+        }
+      } else {
+        elem.kind = ast::CodingElem::Kind::kRef;
+      }
+    } else {
+      error_here("expected bit pattern, field or reference in CODING");
+      advance();
+      continue;
+    }
+    sec.elems.push_back(std::move(elem));
+  }
+  expect(Tok::kRBrace, "CODING section");
+  return sec;
+}
+
+ast::SyntaxSec Parser::parse_syntax_section() {
+  ast::SyntaxSec sec;
+  sec.loc = peek().loc;
+  advance();  // SYNTAX
+  if (!expect(Tok::kLBrace, "SYNTAX section")) return sec;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    ast::SyntaxElem elem;
+    elem.loc = peek().loc;
+    if (at(Tok::kString)) {
+      elem.kind = ast::SyntaxElem::Kind::kLiteral;
+      elem.text = advance().text;
+    } else if (at(Tok::kIdent)) {
+      elem.kind = ast::SyntaxElem::Kind::kRef;
+      elem.text = advance().text;
+    } else if (match(Tok::kTilde)) {
+      continue;  // LISA's glue operator; adjacency is implicit here
+    } else {
+      error_here("expected string literal or reference in SYNTAX");
+      advance();
+      continue;
+    }
+    sec.elems.push_back(std::move(elem));
+  }
+  expect(Tok::kRBrace, "SYNTAX section");
+  return sec;
+}
+
+ast::BehaviorSec Parser::parse_behavior_section() {
+  ast::BehaviorSec sec;
+  sec.loc = peek().loc;
+  advance();  // BEHAVIOR
+  if (!expect(Tok::kLBrace, "BEHAVIOR section")) return sec;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    auto stmt = parse_stmt();
+    if (stmt) sec.stmts.push_back(std::move(stmt));
+  }
+  expect(Tok::kRBrace, "BEHAVIOR section");
+  return sec;
+}
+
+ast::ActivationSec Parser::parse_activation_section() {
+  ast::ActivationSec sec;
+  sec.loc = peek().loc;
+  advance();  // ACTIVATION
+  if (!expect(Tok::kLBrace, "ACTIVATION section")) return sec;
+  while (at(Tok::kIdent)) {
+    sec.targets.push_back(advance().text);
+    if (!match(Tok::kComma) && !match(Tok::kSemi)) break;
+  }
+  expect(Tok::kRBrace, "ACTIVATION section");
+  return sec;
+}
+
+ast::ExpressionSec Parser::parse_expression_section() {
+  ast::ExpressionSec sec;
+  sec.loc = peek().loc;
+  advance();  // EXPRESSION
+  if (!expect(Tok::kLBrace, "EXPRESSION section")) return sec;
+  sec.expr = parse_expr();
+  match(Tok::kSemi);  // optional trailing semicolon
+  expect(Tok::kRBrace, "EXPRESSION section");
+  return sec;
+}
+
+std::unique_ptr<ast::CondSections> Parser::parse_cond_sections() {
+  auto cond = std::make_unique<ast::CondSections>();
+  cond->loc = peek().loc;
+  advance();  // IF
+  expect(Tok::kLParen, "coding-time IF");
+  cond->cond = parse_expr();
+  expect(Tok::kRParen, "coding-time IF");
+  expect(Tok::kLBrace, "coding-time IF");
+  parse_op_items(cond->then_body, nullptr);
+  expect(Tok::kRBrace, "coding-time IF");
+  if (match(Tok::kKwElse)) {
+    if (at(Tok::kKwIf)) {
+      cond->else_body.items.emplace_back(parse_cond_sections());
+    } else {
+      expect(Tok::kLBrace, "coding-time ELSE");
+      parse_op_items(cond->else_body, nullptr);
+      expect(Tok::kRBrace, "coding-time ELSE");
+    }
+  }
+  return cond;
+}
+
+std::unique_ptr<ast::SwitchSections> Parser::parse_switch_sections() {
+  auto sw = std::make_unique<ast::SwitchSections>();
+  sw->loc = peek().loc;
+  advance();  // SWITCH
+  expect(Tok::kLParen, "coding-time SWITCH");
+  sw->subject = parse_expr();
+  expect(Tok::kRParen, "coding-time SWITCH");
+  expect(Tok::kLBrace, "coding-time SWITCH");
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    ast::SwitchSections::Case c;
+    c.loc = peek().loc;
+    if (match(Tok::kKwCase)) {
+      c.match = parse_expr();
+    } else if (match(Tok::kKwDefault)) {
+      c.is_default = true;
+    } else {
+      error_here("expected CASE or DEFAULT");
+      advance();
+      continue;
+    }
+    expect(Tok::kColon, "SWITCH case");
+    expect(Tok::kLBrace, "SWITCH case");
+    parse_op_items(c.body, nullptr);
+    expect(Tok::kRBrace, "SWITCH case");
+    sw->cases.push_back(std::move(c));
+  }
+  expect(Tok::kRBrace, "coding-time SWITCH");
+  return sw;
+}
+
+StmtPtr Parser::parse_stmt() {
+  const SourceLoc loc = peek().loc;
+
+  // Local declaration: `int32 x = ...;`
+  if (at(Tok::kIdent) && peek(1).kind == Tok::kIdent) {
+    if (auto type = ValueType::parse(peek().text)) {
+      advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kLocalDecl;
+      stmt->loc = loc;
+      stmt->decl_type = *type;
+      stmt->name = advance().text;
+      if (match(Tok::kAssign)) stmt->value = parse_expr();
+      expect(Tok::kSemi, "local declaration");
+      return stmt;
+    }
+  }
+
+  if (match(Tok::kKwLowerIf)) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    stmt->loc = loc;
+    expect(Tok::kLParen, "if statement");
+    stmt->value = parse_expr();
+    expect(Tok::kRParen, "if statement");
+    stmt->then_body = parse_stmt_block();
+    if (match(Tok::kKwLowerElse)) {
+      if (at(Tok::kKwLowerIf)) {
+        stmt->else_body.push_back(parse_stmt());
+      } else {
+        stmt->else_body = parse_stmt_block();
+      }
+    }
+    return stmt;
+  }
+
+  // Expression or assignment statement.
+  ExprPtr lhs = parse_expr();
+  if (!lhs) {
+    sync_to(Tok::kSemi);
+    return nullptr;
+  }
+  auto stmt = std::make_unique<Stmt>();
+  stmt->loc = loc;
+  if (match(Tok::kAssign)) {
+    stmt->kind = StmtKind::kAssign;
+    stmt->lhs = std::move(lhs);
+    stmt->value = parse_expr();
+  } else {
+    stmt->kind = StmtKind::kExpr;
+    stmt->value = std::move(lhs);
+  }
+  expect(Tok::kSemi, "statement");
+  return stmt;
+}
+
+std::vector<StmtPtr> Parser::parse_stmt_block() {
+  std::vector<StmtPtr> stmts;
+  if (match(Tok::kLBrace)) {
+    while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+      auto s = parse_stmt();
+      if (s) stmts.push_back(std::move(s));
+    }
+    expect(Tok::kRBrace, "block");
+  } else {
+    auto s = parse_stmt();
+    if (s) stmts.push_back(std::move(s));
+  }
+  return stmts;
+}
+
+ExprPtr Parser::parse_expr() { return parse_ternary(); }
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_binary(0);
+  if (!cond || !match(Tok::kQuestion)) return cond;
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kTernary;
+  e->loc = cond->loc;
+  e->children.push_back(std::move(cond));
+  e->children.push_back(parse_expr());
+  expect(Tok::kColon, "conditional expression");
+  e->children.push_back(parse_expr());
+  return e;
+}
+
+namespace {
+
+/// Binary operator precedence, C-like. Returns -1 for non-operators.
+int binary_prec(Tok kind) {
+  switch (kind) {
+    case Tok::kPipePipe: return 1;
+    case Tok::kAmpAmp: return 2;
+    case Tok::kPipe: return 3;
+    case Tok::kCaret: return 4;
+    case Tok::kAmp: return 5;
+    case Tok::kEq:
+    case Tok::kNe: return 6;
+    case Tok::kLt:
+    case Tok::kLe:
+    case Tok::kGt:
+    case Tok::kGe: return 7;
+    case Tok::kShl:
+    case Tok::kShr: return 8;
+    case Tok::kPlus:
+    case Tok::kMinus: return 9;
+    case Tok::kStar:
+    case Tok::kSlash:
+    case Tok::kPercent: return 10;
+    default: return -1;
+  }
+}
+
+BinOp binary_op(Tok kind) {
+  switch (kind) {
+    case Tok::kPipePipe: return BinOp::kLogicalOr;
+    case Tok::kAmpAmp: return BinOp::kLogicalAnd;
+    case Tok::kPipe: return BinOp::kOr;
+    case Tok::kCaret: return BinOp::kXor;
+    case Tok::kAmp: return BinOp::kAnd;
+    case Tok::kEq: return BinOp::kEq;
+    case Tok::kNe: return BinOp::kNe;
+    case Tok::kLt: return BinOp::kLt;
+    case Tok::kLe: return BinOp::kLe;
+    case Tok::kGt: return BinOp::kGt;
+    case Tok::kGe: return BinOp::kGe;
+    case Tok::kShl: return BinOp::kShl;
+    case Tok::kShr: return BinOp::kShr;
+    case Tok::kPlus: return BinOp::kAdd;
+    case Tok::kMinus: return BinOp::kSub;
+    case Tok::kStar: return BinOp::kMul;
+    case Tok::kSlash: return BinOp::kDiv;
+    case Tok::kPercent: return BinOp::kRem;
+    default: return BinOp::kAdd;
+  }
+}
+
+}  // namespace
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  if (!lhs) return nullptr;
+  for (;;) {
+    const int prec = binary_prec(peek().kind);
+    if (prec < 0 || prec < min_prec) return lhs;
+    const BinOp op = binary_op(advance().kind);
+    ExprPtr rhs = parse_binary(prec + 1);
+    if (!rhs) return lhs;
+    lhs = Expr::make_binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const SourceLoc loc = peek().loc;
+  if (match(Tok::kMinus)) {
+    auto e = Expr::make_unary(UnOp::kNeg, parse_unary());
+    e->loc = loc;
+    return e;
+  }
+  if (match(Tok::kBang)) {
+    auto e = Expr::make_unary(UnOp::kLogicalNot, parse_unary());
+    e->loc = loc;
+    return e;
+  }
+  if (match(Tok::kTilde)) {
+    auto e = Expr::make_unary(UnOp::kBitNot, parse_unary());
+    e->loc = loc;
+    return e;
+  }
+  if (match(Tok::kPlus)) return parse_unary();
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  if (!e) return nullptr;
+  while (match(Tok::kLBracket)) {
+    if (e->kind != ExprKind::kSym) {
+      diags_.error(e->loc, "only named resources can be indexed");
+    }
+    auto idx = std::make_unique<Expr>();
+    idx->kind = ExprKind::kIndex;
+    idx->loc = e->loc;
+    idx->sym = e->sym;
+    idx->children.push_back(parse_expr());
+    expect(Tok::kRBracket, "index expression");
+    e = std::move(idx);
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_primary() {
+  const SourceLoc loc = peek().loc;
+  if (at(Tok::kInt) || at(Tok::kBits)) {
+    return Expr::make_int(advance().value, loc);
+  }
+  if (at(Tok::kIdent)) {
+    std::string name = advance().text;
+    if (match(Tok::kLParen)) {
+      auto call = std::make_unique<Expr>();
+      call->kind = ExprKind::kCall;
+      call->loc = loc;
+      call->callee = std::move(name);
+      if (!at(Tok::kRParen)) {
+        do {
+          call->children.push_back(parse_expr());
+        } while (match(Tok::kComma));
+      }
+      expect(Tok::kRParen, "call expression");
+      return call;
+    }
+    return Expr::make_sym(std::move(name), loc);
+  }
+  if (match(Tok::kLParen)) {
+    ExprPtr e = parse_expr();
+    expect(Tok::kRParen, "parenthesized expression");
+    return e;
+  }
+  error_here(std::string("expected expression, found ") +
+             tok_name(peek().kind));
+  advance();
+  return Expr::make_int(0, loc);
+}
+
+ast::ModelAst parse_model_source(std::string_view source, std::string file,
+                                 DiagnosticEngine& diags) {
+  Lexer lexer(source, std::move(file), diags);
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_model();
+}
+
+}  // namespace lisasim

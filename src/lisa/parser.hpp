@@ -1,0 +1,65 @@
+// Recursive-descent parser: token stream -> ast::ModelAst.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lisa/ast.hpp"
+#include "lisa/token.hpp"
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parse a complete machine description. Diagnostics are reported to the
+  /// engine passed at construction; the returned AST is best-effort when
+  /// errors occurred (callers must check diags.has_errors()).
+  ast::ModelAst parse_model();
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool at(Tok kind) const { return peek().kind == kind; }
+  bool at_name() const;
+  std::string expect_name(const char* context);
+  bool match(Tok kind);
+  bool expect(Tok kind, const char* context);
+  void error_here(const std::string& message);
+  void sync_to(Tok kind);
+
+  void parse_resource_section(ast::ModelAst& model);
+  void parse_fetch_section(ast::ModelAst& model);
+  ast::OperationAst parse_operation();
+  void parse_op_items(ast::OpBody& body, ast::OperationAst* op);
+  void parse_declare_section(ast::OperationAst& op);
+  ast::CodingSec parse_coding_section();
+  ast::SyntaxSec parse_syntax_section();
+  ast::BehaviorSec parse_behavior_section();
+  ast::ActivationSec parse_activation_section();
+  ast::ExpressionSec parse_expression_section();
+  std::unique_ptr<ast::CondSections> parse_cond_sections();
+  std::unique_ptr<ast::SwitchSections> parse_switch_sections();
+
+  // Behavior language.
+  StmtPtr parse_stmt();
+  std::vector<StmtPtr> parse_stmt_block();
+  ExprPtr parse_expr();
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+};
+
+/// Convenience: lex + parse a model source text.
+ast::ModelAst parse_model_source(std::string_view source, std::string file,
+                                 DiagnosticEngine& diags);
+
+}  // namespace lisasim

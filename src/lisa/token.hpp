@@ -1,0 +1,48 @@
+// Token definitions for the machine description language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kInt,      // decimal or hexadecimal integer literal
+  kBits,     // 0b... literal: fixed bit pattern (value + width)
+  kFieldPat, // 0bx[n]: an n-bit operand field pattern
+  kString,   // "..." literal (SYNTAX sections)
+
+  // Section-level keywords (case-sensitive, upper case).
+  kKwModel, kKwResource, kKwFetch, kKwOperation, kKwDeclare, kKwCoding,
+  kKwSyntax, kKwBehavior, kKwActivation, kKwExpression,
+  kKwGroup, kKwInstance, kKwLabel, kKwReference,
+  kKwRegister, kKwMemory, kKwProgramCounter, kKwPipeline,
+  kKwIn, kKwIf, kKwElse, kKwSwitch, kKwCase, kKwDefault,
+  kKwWord, kKwPacket, kKwParallelBit, kKwEntry,
+  // Behavior-level keywords (lower case, C-like).
+  kKwLowerIf, kKwLowerElse,
+
+  // Punctuation and operators.
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket,
+  kSemi, kComma, kColon, kDot, kQuestion,
+  kAssign, kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr, kAmpAmp, kPipePipe,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;         // identifier spelling or string literal body
+  std::int64_t value = 0;   // kInt / kBits value
+  unsigned width = 0;       // kBits / kFieldPat width in bits
+  SourceLoc loc;
+};
+
+const char* tok_name(Tok kind);
+
+}  // namespace lisasim

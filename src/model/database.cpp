@@ -1,0 +1,263 @@
+#include "model/database.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "model/sema.hpp"
+
+namespace lisasim {
+
+namespace {
+
+std::string escape_string(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string bits_to_string(std::uint64_t bits, unsigned width) {
+  std::string out = "0b";
+  for (unsigned i = width; i-- > 0;)
+    out.push_back((bits >> i) & 1 ? '1' : '0');
+  return out;
+}
+
+class Printer {
+ public:
+  explicit Printer(const Model& model) : model_(model) {}
+
+  std::string print() {
+    out_ << "MODEL " << model_.name << ";\n\n";
+    print_resources();
+    print_fetch();
+    for (const auto& op : model_.operations) print_operation(*op);
+    return out_.str();
+  }
+
+ private:
+  void print_resources() {
+    out_ << "RESOURCE {\n";
+    for (const auto& r : model_.resources) {
+      out_ << "  ";
+      switch (r.kind) {
+        case ast::ResourceKind::kScalar:
+          out_ << r.type.to_string() << " " << r.name << ";\n";
+          break;
+        case ast::ResourceKind::kRegisterFile:
+          out_ << "REGISTER " << r.type.to_string() << " " << r.name << "["
+               << r.size << "];\n";
+          break;
+        case ast::ResourceKind::kMemory:
+          out_ << "MEMORY " << r.type.to_string() << " " << r.name << "["
+               << r.size << "];\n";
+          break;
+        case ast::ResourceKind::kProgramCounter:
+          out_ << "PROGRAM_COUNTER " << r.type.to_string() << " " << r.name
+               << ";\n";
+          break;
+      }
+    }
+    out_ << "  PIPELINE " << model_.pipeline.name << " = { ";
+    for (std::size_t i = 0; i < model_.pipeline.stages.size(); ++i) {
+      if (i) out_ << "; ";
+      out_ << model_.pipeline.stages[i];
+    }
+    out_ << " };\n";
+    out_ << "}\n\n";
+  }
+
+  void print_fetch() {
+    out_ << "FETCH {\n";
+    out_ << "  WORD " << model_.fetch.word_bits << ";\n";
+    if (model_.fetch.packet_max > 1)
+      out_ << "  PACKET " << model_.fetch.packet_max << " PARALLEL_BIT "
+           << model_.fetch.parallel_bit << ";\n";
+    if (model_.fetch_memory >= 0)
+      out_ << "  MEMORY " << model_.resource(model_.fetch_memory).name
+           << ";\n";
+    out_ << "}\n\n";
+  }
+
+  void print_operation(const Operation& op) {
+    out_ << "OPERATION " << op.name;
+    if (op.stage >= 0)
+      out_ << " IN " << model_.pipeline.name << "."
+           << model_.pipeline.stages[static_cast<std::size_t>(op.stage)];
+    out_ << " {\n";
+    print_declares(op);
+    if (op.has_coding) print_coding(op);
+    if (op.has_syntax) print_syntax(op);
+    for (const auto& item : op.items) print_item(op, *item, 1);
+    out_ << "}\n\n";
+  }
+
+  void print_declares(const Operation& op) {
+    // Implicit activation-only instances (created by sema) are re-declared
+    // explicitly; re-analysis will then simply find them already declared.
+    if (op.labels.empty() && op.children.empty() && op.references.empty())
+      return;
+    out_ << "  DECLARE {\n";
+    for (const auto& label : op.labels)
+      out_ << "    LABEL " << label.name << ";\n";
+    for (const auto& ref : op.references)
+      out_ << "    REFERENCE " << ref.name << ";\n";
+    for (const auto& child : op.children) {
+      if (child.is_group) {
+        out_ << "    GROUP " << child.name << " = { ";
+        for (std::size_t i = 0; i < child.alternatives.size(); ++i) {
+          if (i) out_ << " || ";
+          out_ << model_.op(child.alternatives[i]).name;
+        }
+        out_ << " };\n";
+      } else {
+        out_ << "    INSTANCE " << child.name << " = "
+             << model_.op(child.alternatives.front()).name << ";\n";
+      }
+    }
+    out_ << "  }\n";
+  }
+
+  void print_coding(const Operation& op) {
+    out_ << "  CODING { ";
+    for (const auto& elem : op.coding) {
+      switch (elem.kind) {
+        case CodingElem::Kind::kBits:
+          out_ << bits_to_string(elem.bits, elem.width) << " ";
+          break;
+        case CodingElem::Kind::kField:
+          out_ << op.labels[static_cast<std::size_t>(elem.slot)].name
+               << "=0bx[" << elem.width << "] ";
+          break;
+        case CodingElem::Kind::kRef:
+          out_ << op.children[static_cast<std::size_t>(elem.slot)].name
+               << " ";
+          break;
+      }
+    }
+    out_ << "}\n";
+  }
+
+  void print_syntax(const Operation& op) {
+    out_ << "  SYNTAX { ";
+    for (const auto& elem : op.syntax) {
+      switch (elem.kind) {
+        case SyntaxElem::Kind::kLiteral:
+          out_ << "\"" << escape_string(elem.text) << "\" ";
+          break;
+        case SyntaxElem::Kind::kField:
+          out_ << op.labels[static_cast<std::size_t>(elem.slot)].name << " ";
+          break;
+        case SyntaxElem::Kind::kChild:
+          out_ << op.children[static_cast<std::size_t>(elem.slot)].name
+               << " ";
+          break;
+      }
+    }
+    out_ << "}\n";
+  }
+
+  void indent(int level) {
+    for (int i = 0; i < level; ++i) out_ << "  ";
+  }
+
+  void print_item(const Operation& op, const OpItem& item, int level) {
+    switch (item.kind) {
+      case OpItem::Kind::kBehavior:
+        indent(level);
+        out_ << "BEHAVIOR {\n";
+        for (const auto& s : item.stmts) out_ << s->to_string(level + 1);
+        indent(level);
+        out_ << "}\n";
+        break;
+      case OpItem::Kind::kActivation:
+        indent(level);
+        out_ << "ACTIVATION { ";
+        for (std::size_t i = 0; i < item.activation_slots.size(); ++i) {
+          if (i) out_ << ", ";
+          out_ << op.children[static_cast<std::size_t>(
+                                  item.activation_slots[i])]
+                      .name;
+        }
+        out_ << " }\n";
+        break;
+      case OpItem::Kind::kExpression:
+        indent(level);
+        out_ << "EXPRESSION { " << item.expr->to_string() << " }\n";
+        break;
+      case OpItem::Kind::kIf:
+        indent(level);
+        out_ << "IF (" << item.cond->to_string() << ") {\n";
+        for (const auto& sub : item.then_items)
+          print_item(op, *sub, level + 1);
+        indent(level);
+        out_ << "}";
+        if (!item.else_items.empty()) {
+          out_ << " ELSE {\n";
+          for (const auto& sub : item.else_items)
+            print_item(op, *sub, level + 1);
+          indent(level);
+          out_ << "}";
+        }
+        out_ << "\n";
+        break;
+      case OpItem::Kind::kSwitch:
+        indent(level);
+        out_ << "SWITCH (" << item.cond->to_string() << ") {\n";
+        for (const auto& c : item.cases) {
+          indent(level + 1);
+          if (c.is_default)
+            out_ << "DEFAULT: {\n";
+          else
+            out_ << "CASE " << c.match->to_string() << ": {\n";
+          for (const auto& sub : c.items) print_item(op, *sub, level + 2);
+          indent(level + 1);
+          out_ << "}\n";
+        }
+        indent(level);
+        out_ << "}\n";
+        break;
+    }
+  }
+
+  const Model& model_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string dump_model(const Model& model) { return Printer(model).print(); }
+
+std::unique_ptr<Model> load_model(std::string_view text,
+                                  DiagnosticEngine& diags) {
+  return compile_model_source(text, "<database>", diags);
+}
+
+void save_model_to_file(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw SimError("cannot open '" + path + "' for writing");
+  out << dump_model(model);
+  if (!out) throw SimError("failed writing model data base to '" + path + "'");
+}
+
+std::unique_ptr<Model> load_model_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SimError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  DiagnosticEngine diags;
+  auto model = load_model(buffer.str(), diags);
+  if (!model)
+    throw SimError("model data base '" + path + "' is invalid:\n" +
+                   diags.render());
+  return model;
+}
+
+}  // namespace lisasim

@@ -1,0 +1,30 @@
+// The model data base of the tool flow (paper Fig. 5): the LISA compiler
+// stores the analyzed model; the simulation-compiler generator loads it.
+// The storage format is canonical machine-description source — dumping and
+// reloading through the regular front end guarantees the data base can
+// express exactly what the language can, and makes it human-auditable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/model.hpp"
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+/// Serialize a model to canonical machine-description source.
+std::string dump_model(const Model& model);
+
+/// Load a model previously stored with dump_model. Returns nullptr and
+/// reports diagnostics on malformed input.
+std::unique_ptr<Model> load_model(std::string_view text,
+                                  DiagnosticEngine& diags);
+
+/// Write `dump_model(model)` to a file. Throws SimError on I/O failure.
+void save_model_to_file(const Model& model, const std::string& path);
+
+/// Read + load a model data base from a file. Throws SimError on failure.
+std::unique_ptr<Model> load_model_from_file(const std::string& path);
+
+}  // namespace lisasim

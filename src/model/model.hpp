@@ -1,0 +1,203 @@
+// The resolved machine model — the output of semantic analysis over a
+// parsed machine description, and the paper's Fig. 5 "data base" that the
+// simulation compiler generator works from.
+//
+// The model owns: resources (registers, memories, program counter,
+// pipeline), and the operation DAG. Operations reference each other through
+// GROUP (alternatives) and INSTANCE (fixed) child slots; terminal coding
+// fields are LABELs; REFERENCEs resolve upward through the decode tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "behavior/ir.hpp"
+#include "lisa/ast.hpp"
+#include "support/interner.hpp"
+#include "support/value.hpp"
+
+namespace lisasim {
+
+using ResourceId = std::int32_t;
+using OperationId = std::int32_t;
+
+struct Resource {
+  ResourceId id = -1;
+  ast::ResourceKind kind = ast::ResourceKind::kScalar;
+  ValueType type;
+  std::string name;
+  StringId name_id = 0;
+  std::uint64_t size = 1;  // element count (1 for scalars)
+
+  bool is_array() const {
+    return kind == ast::ResourceKind::kRegisterFile ||
+           kind == ast::ResourceKind::kMemory;
+  }
+};
+
+struct PipelineInfo {
+  std::string name;
+  std::vector<std::string> stages;
+
+  int stage_index(std::string_view stage) const {
+    for (std::size_t i = 0; i < stages.size(); ++i)
+      if (stages[i] == stage) return static_cast<int>(i);
+    return -1;
+  }
+  int depth() const { return static_cast<int>(stages.size()); }
+};
+
+/// A terminal coding field (LABEL) of an operation.
+struct LabelDecl {
+  std::string name;
+  StringId name_id = 0;
+  unsigned width = 0;  // filled from the CODING section that binds it
+};
+
+/// A GROUP or INSTANCE child slot of an operation.
+struct ChildDecl {
+  std::string name;
+  StringId name_id = 0;
+  bool is_group = false;
+  std::vector<OperationId> alternatives;  // 1 entry for INSTANCE
+  bool in_coding = false;  // bound by the CODING section (decoded) vs
+                           // activation-only (shares parent's bindings)
+};
+
+/// A REFERENCE declaration: the name resolves against enclosing operations
+/// in the decode tree at specialization/evaluation time.
+struct RefDecl {
+  std::string name;
+  StringId name_id = 0;
+};
+
+/// Resolved element of a CODING section, most-significant-first.
+struct CodingElem {
+  enum class Kind : std::uint8_t { kBits, kField, kRef };
+  Kind kind = Kind::kBits;
+  std::uint64_t bits = 0;   // kBits
+  unsigned width = 0;       // kBits / kField (kRef width = child coding width)
+  std::int32_t slot = -1;   // kField: label slot; kRef: child slot
+};
+
+/// Resolved element of a SYNTAX section.
+struct SyntaxElem {
+  enum class Kind : std::uint8_t { kLiteral, kField, kChild };
+  Kind kind = Kind::kLiteral;
+  std::string text;        // kLiteral
+  std::int32_t slot = -1;  // kField: label slot; kChild: child slot
+  bool field_signed = false;  // kField: print/parse as signed value
+};
+
+/// One (possibly conditional) item of an operation body. Coding-time IF and
+/// SWITCH nodes keep their structure; the simulation compiler resolves them
+/// per decoded instruction (specialization), while the interpretive
+/// simulator evaluates the conditions at run time.
+struct OpItem;
+using OpItemPtr = std::unique_ptr<OpItem>;
+
+struct OpItem {
+  enum class Kind : std::uint8_t {
+    kBehavior,
+    kActivation,
+    kExpression,
+    kIf,
+    kSwitch,
+  };
+  struct Case {
+    bool is_default = false;
+    ExprPtr match;  // null for default
+    std::vector<OpItemPtr> items;
+  };
+
+  Kind kind = Kind::kBehavior;
+  std::vector<StmtPtr> stmts;                  // kBehavior
+  std::vector<std::int32_t> activation_slots;  // kActivation: child slots
+  ExprPtr expr;                                // kExpression
+  ExprPtr cond;                                // kIf condition / kSwitch subject
+  std::vector<OpItemPtr> then_items;           // kIf
+  std::vector<OpItemPtr> else_items;           // kIf
+  std::vector<Case> cases;                     // kSwitch
+};
+
+struct Operation {
+  OperationId id = -1;
+  std::string name;
+  StringId name_id = 0;
+  int stage = -1;  // pipeline stage index, -1 = unstaged (runs with parent)
+
+  std::vector<LabelDecl> labels;
+  std::vector<ChildDecl> children;
+  std::vector<RefDecl> references;
+
+  std::vector<CodingElem> coding;  // empty if the operation has no CODING
+  bool has_coding = false;
+  unsigned coding_width = 0;
+
+  std::vector<SyntaxElem> syntax;
+  bool has_syntax = false;
+
+  std::vector<OpItemPtr> items;
+  bool has_behavior = false;    // any BEHAVIOR, incl. inside conditionals
+  bool has_expression = false;  // any EXPRESSION, incl. inside conditionals
+  int num_locals = 0;           // local-variable slots used by behaviors
+
+  int label_slot(StringId name_id) const {
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      if (labels[i].name_id == name_id) return static_cast<int>(i);
+    return -1;
+  }
+  int child_slot(StringId name_id) const {
+    for (std::size_t i = 0; i < children.size(); ++i)
+      if (children[i].name_id == name_id) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+/// Exception for malformed target programs and internal simulation errors
+/// (out-of-bounds access, decode failure at run time, ...).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Model {
+ public:
+  std::string name = "machine";
+  ast::FetchSpec fetch;
+  PipelineInfo pipeline;
+  std::vector<Resource> resources;
+  std::vector<std::unique_ptr<Operation>> operations;
+
+  OperationId root = -1;          // the operation named "instruction"
+  ResourceId pc = -1;             // the PROGRAM_COUNTER resource
+  ResourceId fetch_memory = -1;   // memory holding instruction words
+
+  StringInterner& interner() { return interner_; }
+  const StringInterner& interner() const { return interner_; }
+
+  const Resource* resource_by_name(std::string_view name) const {
+    for (const auto& r : resources)
+      if (r.name == name) return &r;
+    return nullptr;
+  }
+  const Operation* operation_by_name(std::string_view name) const {
+    for (const auto& op : operations)
+      if (op->name == name) return op.get();
+    return nullptr;
+  }
+  const Operation& op(OperationId id) const { return *operations[static_cast<std::size_t>(id)]; }
+  const Resource& resource(ResourceId id) const {
+    return resources[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  // Mutable so const Model& users (decoder, simulators) can intern lookup
+  // strings; interning is logically a cache.
+  mutable StringInterner interner_;
+};
+
+}  // namespace lisasim

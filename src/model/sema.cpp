@@ -1,0 +1,657 @@
+#include "model/sema.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "lisa/parser.hpp"
+
+namespace lisasim {
+
+namespace {
+
+class Sema {
+ public:
+  Sema(const ast::ModelAst& ast, DiagnosticEngine& diags)
+      : ast_(ast), diags_(diags), model_(std::make_unique<Model>()) {}
+
+  std::unique_ptr<Model> run() {
+    collect_resources();
+    collect_pipeline();
+    create_operation_shells();
+    for (std::size_t i = 0; i < ast_.operations.size(); ++i)
+      resolve_operation(ast_.operations[i],
+                        *model_->operations[i]);
+    compute_coding_widths();
+    resolve_model_roots();
+    if (diags_.has_errors()) return nullptr;
+    return std::move(model_);
+  }
+
+ private:
+  // ---------------------------------------------------------------- resources
+
+  void collect_resources() {
+    model_->name = ast_.name;
+    model_->fetch = ast_.fetch;
+    for (const auto& decl : ast_.resources) {
+      if (res_ids_.contains(decl.name)) {
+        diags_.error(decl.loc, "duplicate resource '" + decl.name + "'");
+        continue;
+      }
+      Resource r;
+      r.id = static_cast<ResourceId>(model_->resources.size());
+      r.kind = decl.kind;
+      r.type = decl.type;
+      r.name = decl.name;
+      r.name_id = model_->interner().intern(decl.name);
+      r.size = decl.kind == ast::ResourceKind::kScalar ||
+                       decl.kind == ast::ResourceKind::kProgramCounter
+                   ? 1
+                   : decl.size;
+      if (r.is_array() && r.size == 0)
+        diags_.error(decl.loc, "resource '" + decl.name + "' has size 0");
+      if (decl.kind == ast::ResourceKind::kProgramCounter) {
+        if (model_->pc >= 0)
+          diags_.error(decl.loc, "multiple PROGRAM_COUNTER resources");
+        model_->pc = r.id;
+      }
+      res_ids_.emplace(decl.name, r.id);
+      model_->resources.push_back(std::move(r));
+    }
+  }
+
+  void collect_pipeline() {
+    if (ast_.pipelines.empty()) {
+      // A degenerate single-stage pipeline keeps the engine uniform for
+      // models that only exercise the front end (parser/assembler tests).
+      model_->pipeline.name = "pipe";
+      model_->pipeline.stages = {"EX"};
+      return;
+    }
+    if (ast_.pipelines.size() > 1)
+      diags_.error(ast_.pipelines[1].loc,
+                   "only a single pipeline is supported");
+    const auto& p = ast_.pipelines.front();
+    if (p.stages.empty())
+      diags_.error(p.loc, "pipeline '" + p.name + "' has no stages");
+    std::unordered_set<std::string> seen;
+    for (const auto& s : p.stages)
+      if (!seen.insert(s).second)
+        diags_.error(p.loc, "duplicate pipeline stage '" + s + "'");
+    model_->pipeline.name = p.name;
+    model_->pipeline.stages = p.stages;
+  }
+
+  // --------------------------------------------------------------- operations
+
+  void create_operation_shells() {
+    for (const auto& op_ast : ast_.operations) {
+      // Duplicates still get a shell (the resolve pass walks AST and shell
+      // lists in lockstep); name lookup keeps the first definition.
+      if (op_ids_.contains(op_ast.name))
+        diags_.error(op_ast.loc, "duplicate operation '" + op_ast.name + "'");
+      auto op = std::make_unique<Operation>();
+      op->id = static_cast<OperationId>(model_->operations.size());
+      op->name = op_ast.name;
+      op->name_id = model_->interner().intern(op_ast.name);
+      op_ids_.emplace(op_ast.name, op->id);
+      model_->operations.push_back(std::move(op));
+    }
+  }
+
+  void resolve_operation(const ast::OperationAst& op_ast, Operation& op) {
+    if (op_ast.has_stage) {
+      if (!model_->pipeline.name.empty() &&
+          op_ast.pipe != model_->pipeline.name)
+        diags_.error(op_ast.loc, "unknown pipeline '" + op_ast.pipe + "'");
+      op.stage = model_->pipeline.stage_index(op_ast.stage);
+      if (op.stage < 0)
+        diags_.error(op_ast.loc,
+                     "unknown pipeline stage '" + op_ast.stage + "'");
+    }
+
+    resolve_declares(op_ast, op);
+    cur_op_ = &op;
+    resolve_body(op_ast.body, op.items, op, /*top_level=*/true);
+    cur_op_ = nullptr;
+  }
+
+  void resolve_declares(const ast::OperationAst& op_ast, Operation& op) {
+    std::unordered_set<std::string> names;
+    for (const auto& item : op_ast.declares) {
+      if (!names.insert(item.name).second) {
+        diags_.error(item.loc,
+                     "duplicate declaration '" + item.name + "' in operation '" +
+                         op.name + "'");
+        continue;
+      }
+      switch (item.kind) {
+        case ast::DeclareItem::Kind::kLabel: {
+          LabelDecl label;
+          label.name = item.name;
+          label.name_id = model_->interner().intern(item.name);
+          op.labels.push_back(std::move(label));
+          break;
+        }
+        case ast::DeclareItem::Kind::kReference: {
+          RefDecl ref;
+          ref.name = item.name;
+          ref.name_id = model_->interner().intern(item.name);
+          op.references.push_back(std::move(ref));
+          break;
+        }
+        case ast::DeclareItem::Kind::kGroup:
+        case ast::DeclareItem::Kind::kInstance: {
+          ChildDecl child;
+          child.name = item.name;
+          child.name_id = model_->interner().intern(item.name);
+          child.is_group = item.kind == ast::DeclareItem::Kind::kGroup;
+          if (item.targets.empty())
+            diags_.error(item.loc, "'" + item.name + "' has no target");
+          for (const auto& target : item.targets) {
+            auto it = op_ids_.find(target);
+            if (it == op_ids_.end()) {
+              diags_.error(item.loc, "unknown operation '" + target +
+                                         "' in declaration of '" + item.name +
+                                         "'");
+              continue;
+            }
+            child.alternatives.push_back(it->second);
+          }
+          op.children.push_back(std::move(child));
+          break;
+        }
+      }
+    }
+  }
+
+  void resolve_body(const ast::OpBody& body, std::vector<OpItemPtr>& out,
+                    Operation& op, bool top_level) {
+    for (const auto& item : body.items) {
+      std::visit(
+          [&](const auto& sec) {
+            resolve_section(sec, out, op, top_level);
+          },
+          item);
+    }
+  }
+
+  void resolve_section(const ast::CodingSec& sec, std::vector<OpItemPtr>&,
+                       Operation& op, bool top_level) {
+    if (!top_level) {
+      diags_.error(sec.loc,
+                   "CODING inside coding-time conditionals is not supported; "
+                   "move the conditional into BEHAVIOR/ACTIVATION/EXPRESSION");
+      return;
+    }
+    if (op.has_coding) {
+      diags_.error(sec.loc, "multiple CODING sections in operation '" +
+                                op.name + "'");
+      return;
+    }
+    op.has_coding = true;
+    for (const auto& elem : sec.elems) {
+      CodingElem out_elem;
+      switch (elem.kind) {
+        case ast::CodingElem::Kind::kBits:
+          out_elem.kind = CodingElem::Kind::kBits;
+          out_elem.bits = elem.bits;
+          out_elem.width = elem.width;
+          break;
+        case ast::CodingElem::Kind::kField: {
+          const StringId id = model_->interner().intern(elem.name);
+          const int slot = op.label_slot(id);
+          if (slot < 0) {
+            diags_.error(elem.loc, "coding field '" + elem.name +
+                                       "' is not a declared LABEL");
+            continue;
+          }
+          if (op.labels[static_cast<std::size_t>(slot)].width != 0) {
+            diags_.error(elem.loc,
+                         "label '" + elem.name + "' bound twice in CODING");
+            continue;
+          }
+          op.labels[static_cast<std::size_t>(slot)].width = elem.width;
+          out_elem.kind = CodingElem::Kind::kField;
+          out_elem.width = elem.width;
+          out_elem.slot = slot;
+          break;
+        }
+        case ast::CodingElem::Kind::kRef: {
+          const StringId id = model_->interner().intern(elem.name);
+          const int slot = op.child_slot(id);
+          if (slot < 0) {
+            diags_.error(elem.loc, "coding reference '" + elem.name +
+                                       "' is not a declared GROUP/INSTANCE");
+            continue;
+          }
+          op.children[static_cast<std::size_t>(slot)].in_coding = true;
+          out_elem.kind = CodingElem::Kind::kRef;
+          out_elem.slot = slot;
+          break;
+        }
+      }
+      op.coding.push_back(out_elem);
+    }
+  }
+
+  void resolve_section(const ast::SyntaxSec& sec, std::vector<OpItemPtr>&,
+                       Operation& op, bool top_level) {
+    if (!top_level) {
+      diags_.error(sec.loc,
+                   "SYNTAX inside coding-time conditionals is not supported");
+      return;
+    }
+    if (op.has_syntax) {
+      diags_.error(sec.loc, "multiple SYNTAX sections in operation '" +
+                                op.name + "'");
+      return;
+    }
+    op.has_syntax = true;
+    for (const auto& elem : sec.elems) {
+      SyntaxElem out_elem;
+      if (elem.kind == ast::SyntaxElem::Kind::kLiteral) {
+        out_elem.kind = SyntaxElem::Kind::kLiteral;
+        out_elem.text = elem.text;
+      } else {
+        const StringId id = model_->interner().intern(elem.text);
+        if (int slot = op.label_slot(id); slot >= 0) {
+          out_elem.kind = SyntaxElem::Kind::kField;
+          out_elem.slot = slot;
+        } else if (slot = op.child_slot(id); slot >= 0) {
+          out_elem.kind = SyntaxElem::Kind::kChild;
+          out_elem.slot = slot;
+        } else {
+          diags_.error(elem.loc, "syntax reference '" + elem.text +
+                                     "' is not a LABEL or GROUP/INSTANCE");
+          continue;
+        }
+      }
+      op.syntax.push_back(std::move(out_elem));
+    }
+  }
+
+  void resolve_section(const ast::BehaviorSec& sec,
+                       std::vector<OpItemPtr>& out, Operation& op, bool) {
+    auto item = std::make_unique<OpItem>();
+    item->kind = OpItem::Kind::kBehavior;
+    item->stmts = clone_stmts(sec.stmts);
+    ScopeStack scopes;
+    scopes.emplace_back();
+    for (auto& stmt : item->stmts) resolve_stmt(*stmt, op, scopes);
+    op.has_behavior = true;
+    out.push_back(std::move(item));
+  }
+
+  void resolve_section(const ast::ActivationSec& sec,
+                       std::vector<OpItemPtr>& out, Operation& op, bool) {
+    auto item = std::make_unique<OpItem>();
+    item->kind = OpItem::Kind::kActivation;
+    for (const auto& target : sec.targets) {
+      const StringId id = model_->interner().intern(target);
+      int slot = op.child_slot(id);
+      if (slot < 0) {
+        // Activating an operation that was not declared creates an implicit
+        // INSTANCE child — keeps models terse for pure timing chains like
+        // load write-back operations.
+        auto it = op_ids_.find(target);
+        if (it == op_ids_.end()) {
+          diags_.error(sec.loc, "unknown activation target '" + target + "'");
+          continue;
+        }
+        ChildDecl child;
+        child.name = target;
+        child.name_id = id;
+        child.is_group = false;
+        child.alternatives = {it->second};
+        slot = static_cast<int>(op.children.size());
+        op.children.push_back(std::move(child));
+      }
+      item->activation_slots.push_back(slot);
+    }
+    out.push_back(std::move(item));
+  }
+
+  void resolve_section(const ast::ExpressionSec& sec,
+                       std::vector<OpItemPtr>& out, Operation& op, bool) {
+    auto item = std::make_unique<OpItem>();
+    item->kind = OpItem::Kind::kExpression;
+    item->expr = sec.expr ? sec.expr->clone() : Expr::make_int(0);
+    ScopeStack scopes;
+    scopes.emplace_back();
+    resolve_expr(*item->expr, op, scopes);
+    op.has_expression = true;
+    out.push_back(std::move(item));
+  }
+
+  void resolve_section(const std::unique_ptr<ast::CondSections>& sec,
+                       std::vector<OpItemPtr>& out, Operation& op, bool) {
+    auto item = std::make_unique<OpItem>();
+    item->kind = OpItem::Kind::kIf;
+    item->cond = sec->cond ? sec->cond->clone() : Expr::make_int(0);
+    ScopeStack scopes;
+    scopes.emplace_back();
+    resolve_expr(*item->cond, op, scopes);
+    resolve_body(sec->then_body, item->then_items, op, /*top_level=*/false);
+    resolve_body(sec->else_body, item->else_items, op, /*top_level=*/false);
+    out.push_back(std::move(item));
+  }
+
+  void resolve_section(const std::unique_ptr<ast::SwitchSections>& sec,
+                       std::vector<OpItemPtr>& out, Operation& op, bool) {
+    auto item = std::make_unique<OpItem>();
+    item->kind = OpItem::Kind::kSwitch;
+    item->cond = sec->subject ? sec->subject->clone() : Expr::make_int(0);
+    ScopeStack scopes;
+    scopes.emplace_back();
+    resolve_expr(*item->cond, op, scopes);
+    bool saw_default = false;
+    for (const auto& c : sec->cases) {
+      OpItem::Case out_case;
+      out_case.is_default = c.is_default;
+      if (c.is_default) {
+        if (saw_default) diags_.error(c.loc, "multiple DEFAULT cases");
+        saw_default = true;
+      } else {
+        out_case.match = c.match ? c.match->clone() : Expr::make_int(0);
+        resolve_expr(*out_case.match, op, scopes);
+      }
+      resolve_body(c.body, out_case.items, op, /*top_level=*/false);
+      item->cases.push_back(std::move(out_case));
+    }
+    out.push_back(std::move(item));
+  }
+
+  // ----------------------------------------------------------- behavior code
+
+  using ScopeStack = std::vector<std::unordered_map<std::string, int>>;
+
+  void resolve_stmt(Stmt& stmt, Operation& op, ScopeStack& scopes) {
+    switch (stmt.kind) {
+      case StmtKind::kLocalDecl: {
+        if (stmt.value) resolve_expr(*stmt.value, op, scopes);
+        stmt.local_slot = op.num_locals++;
+        scopes.back()[stmt.name] = stmt.local_slot;
+        break;
+      }
+      case StmtKind::kAssign:
+        resolve_expr(*stmt.lhs, op, scopes);
+        resolve_expr(*stmt.value, op, scopes);
+        check_lvalue(*stmt.lhs);
+        break;
+      case StmtKind::kExpr:
+        resolve_expr(*stmt.value, op, scopes);
+        break;
+      case StmtKind::kIf: {
+        resolve_expr(*stmt.value, op, scopes);
+        scopes.emplace_back();
+        for (auto& s : stmt.then_body) resolve_stmt(*s, op, scopes);
+        scopes.pop_back();
+        scopes.emplace_back();
+        for (auto& s : stmt.else_body) resolve_stmt(*s, op, scopes);
+        scopes.pop_back();
+        break;
+      }
+    }
+  }
+
+  void check_lvalue(const Expr& lhs) {
+    switch (lhs.kind) {
+      case ExprKind::kIndex:
+        return;  // resource element, checked during resolution
+      case ExprKind::kSym:
+        switch (lhs.sym.kind) {
+          case SymKind::kLocal:
+          case SymKind::kChild:
+          case SymKind::kUpward:
+            return;
+          case SymKind::kResource: {
+            const auto& r = model_->resource(lhs.sym.index);
+            if (r.is_array())
+              diags_.error(lhs.loc, "cannot assign to whole array resource '" +
+                                        r.name + "'");
+            return;
+          }
+          case SymKind::kField:
+            diags_.error(lhs.loc,
+                         "coding field '" + lhs.sym.name + "' is read-only");
+            return;
+          default:
+            break;
+        }
+        [[fallthrough]];
+      default:
+        diags_.error(lhs.loc, "invalid assignment target");
+    }
+  }
+
+  void resolve_expr(Expr& expr, Operation& op, ScopeStack& scopes) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        return;
+      case ExprKind::kSym:
+        resolve_sym(expr.sym, expr.loc, op, scopes);
+        if (expr.sym.kind == SymKind::kResource &&
+            model_->resource(expr.sym.index).is_array())
+          diags_.error(expr.loc, "array resource '" + expr.sym.name +
+                                     "' must be indexed");
+        return;
+      case ExprKind::kIndex:
+        resolve_sym(expr.sym, expr.loc, op, scopes);
+        if (expr.sym.kind == SymKind::kResource) {
+          if (!model_->resource(expr.sym.index).is_array())
+            diags_.error(expr.loc, "scalar resource '" + expr.sym.name +
+                                       "' cannot be indexed");
+        } else if (expr.sym.kind != SymKind::kUnresolved) {
+          diags_.error(expr.loc,
+                       "only memory/register-file resources can be indexed");
+        }
+        resolve_expr(*expr.children[0], op, scopes);
+        return;
+      case ExprKind::kUnary:
+      case ExprKind::kBinary:
+      case ExprKind::kTernary:
+        for (auto& c : expr.children) resolve_expr(*c, op, scopes);
+        return;
+      case ExprKind::kCall: {
+        expr.intrinsic = intrinsic_by_name(expr.callee);
+        if (expr.intrinsic == Intrinsic::kNone) {
+          diags_.error(expr.loc, "unknown intrinsic '" + expr.callee + "'");
+        } else if (static_cast<int>(expr.children.size()) !=
+                   intrinsic_arity(expr.intrinsic)) {
+          diags_.error(expr.loc,
+                       "intrinsic '" + expr.callee + "' expects " +
+                           std::to_string(intrinsic_arity(expr.intrinsic)) +
+                           " argument(s)");
+        }
+        for (auto& c : expr.children) resolve_expr(*c, op, scopes);
+        return;
+      }
+    }
+  }
+
+  void resolve_sym(SymRef& sym, const SourceLoc& loc, Operation& op,
+                   ScopeStack& scopes) {
+    sym.name_id = model_->interner().intern(sym.name);
+    // 1. local variables, innermost scope first
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      auto found = it->find(sym.name);
+      if (found != it->end()) {
+        sym.kind = SymKind::kLocal;
+        sym.index = found->second;
+        return;
+      }
+    }
+    // 2. coding fields of this operation
+    if (int slot = op.label_slot(sym.name_id); slot >= 0) {
+      sym.kind = SymKind::kField;
+      sym.index = slot;
+      return;
+    }
+    // 3. child operations (groups/instances)
+    if (int slot = op.child_slot(sym.name_id); slot >= 0) {
+      sym.kind = SymKind::kChild;
+      sym.index = slot;
+      return;
+    }
+    // 4. REFERENCE declarations: resolved upward at evaluation time
+    for (const auto& ref : op.references) {
+      if (ref.name_id == sym.name_id) {
+        sym.kind = SymKind::kUpward;
+        sym.index = -1;
+        return;
+      }
+    }
+    // 5. model resources
+    if (auto it = res_ids_.find(sym.name); it != res_ids_.end()) {
+      sym.kind = SymKind::kResource;
+      sym.index = it->second;
+      return;
+    }
+    // 6. operation names (coding-time comparisons: `mode == short`)
+    if (auto it = op_ids_.find(sym.name); it != op_ids_.end()) {
+      sym.kind = SymKind::kEnumOp;
+      sym.index = it->second;
+      return;
+    }
+    diags_.error(loc, "undeclared identifier '" + sym.name +
+                          "' in operation '" + op.name + "'");
+  }
+
+  // ------------------------------------------------------------ coding widths
+
+  void compute_coding_widths() {
+    enum class Mark : std::uint8_t { kUnvisited, kInProgress, kDone };
+    std::vector<Mark> marks(model_->operations.size(), Mark::kUnvisited);
+
+    // Explicit recursion via lambda; group alternatives must agree in width.
+    auto width_of = [&](auto&& self, OperationId id) -> unsigned {
+      auto& op = *model_->operations[static_cast<std::size_t>(id)];
+      auto& mark = marks[static_cast<std::size_t>(id)];
+      if (mark == Mark::kDone) return op.coding_width;
+      if (mark == Mark::kInProgress) {
+        diags_.error({}, "recursive CODING through operation '" + op.name +
+                             "'");
+        return 0;
+      }
+      mark = Mark::kInProgress;
+      unsigned total = 0;
+      for (auto& elem : op.coding) {
+        switch (elem.kind) {
+          case CodingElem::Kind::kBits:
+          case CodingElem::Kind::kField:
+            total += elem.width;
+            break;
+          case CodingElem::Kind::kRef: {
+            auto& child = op.children[static_cast<std::size_t>(elem.slot)];
+            unsigned child_width = 0;
+            bool first = true;
+            for (OperationId alt : child.alternatives) {
+              const unsigned w = self(self, alt);
+              const auto& alt_op =
+                  *model_->operations[static_cast<std::size_t>(alt)];
+              if (!alt_op.has_coding)
+                diags_.error({}, "operation '" + alt_op.name +
+                                     "' is used in CODING of '" + op.name +
+                                     "' but has no CODING section");
+              if (first) {
+                child_width = w;
+                first = false;
+              } else if (w != child_width) {
+                diags_.error({}, "alternatives of group '" + child.name +
+                                     "' in operation '" + op.name +
+                                     "' have different coding widths");
+              }
+            }
+            elem.width = child_width;
+            total += child_width;
+            break;
+          }
+        }
+      }
+      op.coding_width = total;
+      mark = Mark::kDone;
+      return total;
+    };
+
+    for (const auto& op : model_->operations) width_of(width_of, op->id);
+  }
+
+  // ------------------------------------------------------------- model roots
+
+  void resolve_model_roots() {
+    if (const Operation* root = model_->operation_by_name("instruction")) {
+      model_->root = root->id;
+      if (root->has_coding && root->coding_width != model_->fetch.word_bits)
+        diags_.error({}, "operation 'instruction' coding width (" +
+                             std::to_string(root->coding_width) +
+                             ") does not match FETCH WORD (" +
+                             std::to_string(model_->fetch.word_bits) + ")");
+    }
+
+    if (!model_->fetch.memory.empty()) {
+      const Resource* mem = model_->resource_by_name(model_->fetch.memory);
+      if (!mem || mem->kind != ast::ResourceKind::kMemory)
+        diags_.error(model_->fetch.loc, "FETCH MEMORY '" +
+                                            model_->fetch.memory +
+                                            "' is not a declared MEMORY");
+      else
+        model_->fetch_memory = mem->id;
+    } else {
+      // Default: the unique memory, if there is exactly one.
+      ResourceId only = -1;
+      int count = 0;
+      for (const auto& r : model_->resources) {
+        if (r.kind == ast::ResourceKind::kMemory) {
+          only = r.id;
+          ++count;
+        }
+      }
+      if (count == 1) model_->fetch_memory = only;
+    }
+
+    if (model_->fetch.packet_max == 0)
+      diags_.error(model_->fetch.loc, "PACKET size must be >= 1");
+    if (model_->fetch.packet_max > 1 &&
+        (model_->fetch.parallel_bit < 0 ||
+         model_->fetch.parallel_bit >=
+             static_cast<int>(model_->fetch.word_bits)))
+      diags_.error(model_->fetch.loc,
+                   "PACKET requires a PARALLEL_BIT within the word");
+  }
+
+  const ast::ModelAst& ast_;
+  DiagnosticEngine& diags_;
+  std::unique_ptr<Model> model_;
+  std::unordered_map<std::string, OperationId> op_ids_;
+  std::unordered_map<std::string, ResourceId> res_ids_;
+  Operation* cur_op_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> analyze_model(const ast::ModelAst& ast,
+                                     DiagnosticEngine& diags) {
+  Sema sema(ast, diags);
+  return sema.run();
+}
+
+std::unique_ptr<Model> compile_model_source(std::string_view source,
+                                            std::string file,
+                                            DiagnosticEngine& diags) {
+  const ast::ModelAst ast = parse_model_source(source, std::move(file), diags);
+  if (diags.has_errors()) return nullptr;
+  return analyze_model(ast, diags);
+}
+
+std::unique_ptr<Model> compile_model_source_or_throw(std::string_view source,
+                                                     std::string file) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(source, std::move(file), diags);
+  if (!model) throw SimError("model compilation failed:\n" + diags.render());
+  return model;
+}
+
+}  // namespace lisasim

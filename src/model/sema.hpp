@@ -1,0 +1,32 @@
+// Semantic analysis: ast::ModelAst -> Model. Together with the parser this
+// forms the paper's "LISA compiler" (Fig. 5), producing the model data base
+// that the simulation compiler generator consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "lisa/ast.hpp"
+#include "model/model.hpp"
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+/// Resolve a parsed machine description into a Model. Returns nullptr when
+/// errors were reported.
+std::unique_ptr<Model> analyze_model(const ast::ModelAst& ast,
+                                     DiagnosticEngine& diags);
+
+/// Front-end convenience: lex + parse + analyze a model source text.
+std::unique_ptr<Model> compile_model_source(std::string_view source,
+                                            std::string file,
+                                            DiagnosticEngine& diags);
+
+/// Like compile_model_source but throws SimError with the rendered
+/// diagnostics on failure. Used by tools and tests that expect the model to
+/// be valid.
+std::unique_ptr<Model> compile_model_source_or_throw(std::string_view source,
+                                                     std::string file);
+
+}  // namespace lisasim

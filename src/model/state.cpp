@@ -1,0 +1,41 @@
+#include "model/state.hpp"
+
+namespace lisasim {
+
+ProcessorState::ProcessorState(const Model& model) : model_(&model) {
+  cells_.reserve(model.resources.size());
+  std::size_t total = 0;
+  for (const auto& r : model.resources) {
+    cells_.push_back({total, r.size, r.type});
+    total += r.size;
+  }
+  storage_.assign(total, 0);
+}
+
+void ProcessorState::reset() {
+  storage_.assign(storage_.size(), 0);
+}
+
+void ProcessorState::throw_out_of_bounds(ResourceId id,
+                                         std::uint64_t index) const {
+  const Resource& r = model_->resource(id);
+  throw SimError("out-of-bounds access to resource '" + r.name + "': index " +
+                 std::to_string(index) + ", size " + std::to_string(r.size));
+}
+
+std::string ProcessorState::dump_nonzero() const {
+  std::string out;
+  for (const auto& r : model_->resources) {
+    const Cell& cell = cells_[static_cast<std::size_t>(r.id)];
+    for (std::uint64_t i = 0; i < cell.size; ++i) {
+      const std::int64_t v = storage_[cell.offset + i];
+      if (v == 0) continue;
+      out += r.name;
+      if (r.is_array()) out += "[" + std::to_string(i) + "]";
+      out += " = " + std::to_string(v) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace lisasim

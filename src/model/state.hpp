@@ -1,0 +1,140 @@
+// ProcessorState: storage for all declared resources of a model. Both
+// simulators (interpretive and compiled) operate on this state; equality of
+// final states across simulators is the paper's "no loss in accuracy" claim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// Memory-mapped I/O hook: the co-simulation bridge of the paper's future
+/// work ("integration of software simulators into HW/SW co-simulation
+/// environments"). A hook observes/overrides accesses to a region of a
+/// memory resource; because the hook sits in ProcessorState, it fires
+/// identically at every simulation level (generated standalone C++
+/// simulators are the exception — they have no host callbacks).
+class MemoryHook {
+ public:
+  virtual ~MemoryHook() = default;
+  /// Called on a read of a hooked element; `stored` is the value in the
+  /// backing storage. The returned value is what the program sees.
+  virtual std::int64_t on_read(std::uint64_t /*index*/, std::int64_t stored) {
+    return stored;
+  }
+  /// Called on a write of a hooked element, after canonicalization; the
+  /// value is also stored in the backing storage.
+  virtual void on_write(std::uint64_t index, std::int64_t value) {
+    (void)index;
+    (void)value;
+  }
+};
+
+class ProcessorState {
+ public:
+  explicit ProcessorState(const Model& model);
+
+  /// Read element `index` of a resource (index 0 for scalars). Values are
+  /// stored canonicalized, so reads are a plain load.
+  std::int64_t read(ResourceId id, std::uint64_t index = 0) const {
+    const Cell& cell = cells_[static_cast<std::size_t>(id)];
+    if (index >= cell.size) throw_out_of_bounds(id, index);
+    if (has_hooks_) [[unlikely]] {
+      if (MemoryHook* hook = find_hook(id, index))
+        return hook->on_read(index, storage_[cell.offset + index]);
+    }
+    return storage_[cell.offset + index];
+  }
+
+  /// Write element `index` of a resource; the value is canonicalized to the
+  /// resource element type (two's-complement wrap).
+  void write(ResourceId id, std::uint64_t index, std::int64_t value) {
+    const Cell& cell = cells_[static_cast<std::size_t>(id)];
+    if (index >= cell.size) throw_out_of_bounds(id, index);
+    const std::int64_t canonical = cell.type.canonicalize(value);
+    storage_[cell.offset + index] = canonical;
+    if (has_hooks_) [[unlikely]] {
+      if (MemoryHook* hook = find_hook(id, index))
+        hook->on_write(index, canonical);
+    }
+  }
+
+  /// Map `hook` over elements [begin, end) of resource `id`. The hook is
+  /// not owned and must outlive the state. Multiple regions may be hooked;
+  /// overlapping regions resolve to the first registered.
+  void map_hook(ResourceId id, std::uint64_t begin, std::uint64_t end,
+                MemoryHook* hook) {
+    hooks_.push_back({id, begin, end, hook});
+    has_hooks_ = true;
+  }
+
+  std::uint64_t pc() const {
+    return static_cast<std::uint64_t>(read(model_->pc));
+  }
+  void set_pc(std::uint64_t value) {
+    write(model_->pc, 0, static_cast<std::int64_t>(value));
+  }
+
+  /// Zero every resource.
+  void reset();
+
+  const Model& model() const { return *model_; }
+
+  /// Element count of a resource in this state.
+  std::uint64_t size_of(ResourceId id) const {
+    return cells_[static_cast<std::size_t>(id)].size;
+  }
+
+  /// Read-only view of an array resource's elements (canonicalized values).
+  /// Used by the fetch unit to decode instruction words in place.
+  std::span<const std::int64_t> array_view(ResourceId id) const {
+    const Cell& cell = cells_[static_cast<std::size_t>(id)];
+    return std::span<const std::int64_t>(storage_).subspan(cell.offset,
+                                                           cell.size);
+  }
+
+  bool operator==(const ProcessorState& other) const {
+    return storage_ == other.storage_;
+  }
+
+  /// Human-readable dump of all non-zero resource elements (debugging and
+  /// golden-state tests).
+  std::string dump_nonzero() const;
+
+ private:
+  struct Cell {
+    std::size_t offset = 0;
+    std::uint64_t size = 1;
+    ValueType type;
+  };
+
+  struct HookRegion {
+    ResourceId resource = -1;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    MemoryHook* hook = nullptr;
+  };
+
+  MemoryHook* find_hook(ResourceId id, std::uint64_t index) const {
+    for (const auto& region : hooks_)
+      if (region.resource == id && index >= region.begin &&
+          index < region.end)
+        return region.hook;
+    return nullptr;
+  }
+
+  [[noreturn]] void throw_out_of_bounds(ResourceId id,
+                                        std::uint64_t index) const;
+
+  const Model* model_;
+  std::vector<Cell> cells_;        // indexed by ResourceId
+  std::vector<std::int64_t> storage_;  // all elements, contiguous
+  std::vector<HookRegion> hooks_;
+  bool has_hooks_ = false;
+};
+
+}  // namespace lisasim

@@ -1,0 +1,282 @@
+#include "model/validate.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "support/bits.hpp"
+
+namespace lisasim {
+
+namespace {
+
+class Validator {
+ public:
+  Validator(const Model& model, DiagnosticEngine& diags)
+      : model_(&model), diags_(&diags) {}
+
+  std::size_t run() {
+    compute_fixed_masks();
+    check_group_ambiguity();
+    check_reachability();
+    check_child_cycles();
+    check_activation_stages();
+    check_unbound_labels();
+    check_syntax_coverage();
+    check_resource_usage();
+    return findings_;
+  }
+
+ private:
+  void warn(const std::string& message) {
+    diags_->warning({model_->name, 0, 0}, message);
+    ++findings_;
+  }
+  void note(const std::string& message) {
+    diags_->note({model_->name, 0, 0}, message);
+    ++findings_;
+  }
+
+  // Fixed-bit mask/value of each operation's coding segment, including
+  // nested single-alternative children (mirrors the decoder generator).
+  struct OpMask {
+    std::uint64_t mask = 0;
+    std::uint64_t bits = 0;
+  };
+
+  void compute_fixed_masks() {
+    masks_.assign(model_->operations.size(), {});
+    std::vector<int> state(model_->operations.size(), 0);
+    const std::function<OpMask(OperationId)> mask_of =
+        [&](OperationId id) -> OpMask {
+      auto& mark = state[static_cast<std::size_t>(id)];
+      if (mark == 2) return masks_[static_cast<std::size_t>(id)];
+      if (mark == 1) return {};
+      mark = 1;
+      const Operation& op = model_->op(id);
+      OpMask result;
+      unsigned cursor = op.coding_width;
+      for (const auto& elem : op.coding) {
+        cursor -= elem.width;
+        switch (elem.kind) {
+          case CodingElem::Kind::kBits:
+            result.mask |= low_mask(elem.width) << cursor;
+            result.bits |= elem.bits << cursor;
+            break;
+          case CodingElem::Kind::kField:
+            break;
+          case CodingElem::Kind::kRef: {
+            const auto& child =
+                op.children[static_cast<std::size_t>(elem.slot)];
+            if (child.alternatives.size() == 1) {
+              const OpMask sub = mask_of(child.alternatives.front());
+              result.mask |= sub.mask << cursor;
+              result.bits |= sub.bits << cursor;
+            }
+            break;
+          }
+        }
+      }
+      masks_[static_cast<std::size_t>(id)] = result;
+      mark = 2;
+      return result;
+    };
+    for (const auto& op : model_->operations) mask_of(op->id);
+  }
+
+  /// Two alternatives of one group whose fixed bits are compatible can both
+  /// match the same word: the decoder resolves by declaration order, which
+  /// is usually a model bug.
+  void check_group_ambiguity() {
+    for (const auto& op : model_->operations) {
+      for (const auto& child : op->children) {
+        if (child.alternatives.size() < 2) continue;
+        for (std::size_t i = 0; i < child.alternatives.size(); ++i) {
+          for (std::size_t j = i + 1; j < child.alternatives.size(); ++j) {
+            const OpMask& a =
+                masks_[static_cast<std::size_t>(child.alternatives[i])];
+            const OpMask& b =
+                masks_[static_cast<std::size_t>(child.alternatives[j])];
+            const std::uint64_t common = a.mask & b.mask;
+            if ((a.bits & common) == (b.bits & common)) {
+              warn("group '" + child.name + "' of operation '" + op->name +
+                   "': alternatives '" +
+                   model_->op(child.alternatives[i]).name + "' and '" +
+                   model_->op(child.alternatives[j]).name +
+                   "' have compatible codings; decode order decides");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void check_reachability() {
+    if (model_->root < 0) {
+      note("model has no 'instruction' operation: simulators and assembler "
+           "are unavailable");
+      return;
+    }
+    std::vector<bool> reachable(model_->operations.size(), false);
+    const std::function<void(OperationId)> visit = [&](OperationId id) {
+      if (reachable[static_cast<std::size_t>(id)]) return;
+      reachable[static_cast<std::size_t>(id)] = true;
+      for (const auto& child : model_->op(id).children)
+        for (OperationId alt : child.alternatives) visit(alt);
+    };
+    visit(model_->root);
+    for (const auto& op : model_->operations)
+      if (!reachable[static_cast<std::size_t>(op->id)])
+        warn("operation '" + op->name +
+             "' is unreachable from 'instruction'");
+  }
+
+  /// Instance chains (coding children + activation-only instances) must be
+  /// acyclic or decode-time materialization would recurse forever.
+  void check_child_cycles() {
+    enum { kWhite, kGray, kBlack };
+    std::vector<int> color(model_->operations.size(), kWhite);
+    bool reported = false;
+    const std::function<void(OperationId)> visit = [&](OperationId id) {
+      auto& c = color[static_cast<std::size_t>(id)];
+      if (c != kWhite) return;
+      c = kGray;
+      for (const auto& child : model_->op(id).children) {
+        // Groups in coding cannot cycle (sema checks coding recursion);
+        // single-alternative instances are materialized unconditionally.
+        if (child.alternatives.size() != 1) continue;
+        const OperationId target = child.alternatives.front();
+        if (color[static_cast<std::size_t>(target)] == kGray) {
+          if (!reported)
+            warn("instance cycle through operation '" +
+                 model_->op(target).name + "'");
+          reported = true;
+          continue;
+        }
+        visit(target);
+      }
+      c = kBlack;
+    };
+    for (const auto& op : model_->operations) visit(op->id);
+  }
+
+  /// An ACTIVATION whose target is staged strictly earlier than the
+  /// activator executes immediately in the activator's stage — legal, but
+  /// usually a typo in the stage assignment.
+  void check_activation_stages() {
+    for (const auto& op : model_->operations) {
+      if (op->stage < 0) continue;
+      const std::function<void(const std::vector<OpItemPtr>&)> walk =
+          [&](const std::vector<OpItemPtr>& items) {
+            for (const auto& item : items) {
+              switch (item->kind) {
+                case OpItem::Kind::kActivation:
+                  for (std::int32_t slot : item->activation_slots) {
+                    const auto& child =
+                        op->children[static_cast<std::size_t>(slot)];
+                    for (OperationId alt : child.alternatives) {
+                      const Operation& target = model_->op(alt);
+                      if (target.stage >= 0 && target.stage < op->stage)
+                        warn("operation '" + op->name + "' (stage " +
+                             model_->pipeline.stages[static_cast<std::size_t>(
+                                 op->stage)] +
+                             ") activates '" + target.name +
+                             "' of an earlier stage; it will run "
+                             "immediately");
+                    }
+                  }
+                  break;
+                case OpItem::Kind::kIf:
+                  walk(item->then_items);
+                  walk(item->else_items);
+                  break;
+                case OpItem::Kind::kSwitch:
+                  for (const auto& c : item->cases) walk(c.items);
+                  break;
+                default:
+                  break;
+              }
+            }
+          };
+      walk(op->items);
+    }
+  }
+
+  void check_unbound_labels() {
+    for (const auto& op : model_->operations)
+      for (const auto& label : op->labels)
+        if (label.width == 0)
+          warn("label '" + label.name + "' of operation '" + op->name +
+               "' is never bound in CODING (always reads 0)");
+  }
+
+  /// A coding-bound group with several alternatives that does not appear in
+  /// SYNTAX cannot be assembled (the assembler cannot choose).
+  void check_syntax_coverage() {
+    for (const auto& op : model_->operations) {
+      if (!op->has_syntax) continue;
+      for (std::size_t slot = 0; slot < op->children.size(); ++slot) {
+        const auto& child = op->children[slot];
+        if (!child.in_coding || child.alternatives.size() < 2) continue;
+        bool in_syntax = false;
+        for (const auto& elem : op->syntax)
+          if (elem.kind == SyntaxElem::Kind::kChild &&
+              elem.slot == static_cast<std::int32_t>(slot))
+            in_syntax = true;
+        if (!in_syntax)
+          warn("group '" + child.name + "' of operation '" + op->name +
+               "' is in CODING but not in SYNTAX; such instructions cannot "
+               "be assembled");
+      }
+    }
+  }
+
+  void check_resource_usage() {
+    std::vector<bool> used(model_->resources.size(), false);
+    if (model_->pc >= 0) used[static_cast<std::size_t>(model_->pc)] = true;
+    if (model_->fetch_memory >= 0)
+      used[static_cast<std::size_t>(model_->fetch_memory)] = true;
+    const std::function<void(const Expr&)> visit_expr = [&](const Expr& e) {
+      if ((e.kind == ExprKind::kSym || e.kind == ExprKind::kIndex) &&
+          e.sym.kind == SymKind::kResource)
+        used[static_cast<std::size_t>(e.sym.index)] = true;
+      for (const auto& c : e.children) visit_expr(*c);
+    };
+    const std::function<void(const Stmt&)> visit_stmt = [&](const Stmt& s) {
+      if (s.lhs) visit_expr(*s.lhs);
+      if (s.value) visit_expr(*s.value);
+      for (const auto& sub : s.then_body) visit_stmt(*sub);
+      for (const auto& sub : s.else_body) visit_stmt(*sub);
+    };
+    const std::function<void(const std::vector<OpItemPtr>&)> walk =
+        [&](const std::vector<OpItemPtr>& items) {
+          for (const auto& item : items) {
+            for (const auto& s : item->stmts) visit_stmt(*s);
+            if (item->expr) visit_expr(*item->expr);
+            if (item->cond) visit_expr(*item->cond);
+            walk(item->then_items);
+            walk(item->else_items);
+            for (const auto& c : item->cases) {
+              if (c.match) visit_expr(*c.match);
+              walk(c.items);
+            }
+          }
+        };
+    for (const auto& op : model_->operations) walk(op->items);
+    for (const auto& r : model_->resources)
+      if (!used[static_cast<std::size_t>(r.id)])
+        note("resource '" + r.name + "' is never referenced by any behavior");
+  }
+
+  const Model* model_;
+  DiagnosticEngine* diags_;
+  std::vector<OpMask> masks_;
+  std::size_t findings_ = 0;
+};
+
+}  // namespace
+
+std::size_t validate_model(const Model& model, DiagnosticEngine& diags) {
+  return Validator(model, diags).run();
+}
+
+}  // namespace lisasim

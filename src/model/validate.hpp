@@ -1,0 +1,20 @@
+// Model validation (lint): static checks beyond what semantic analysis
+// enforces. Sema rejects ill-formed models; the validator flags models that
+// are well-formed but suspicious — ambiguous codings, unreachable
+// operations, activation anomalies — the classes of mistake that cost the
+// most debugging time when writing a new machine description.
+#pragma once
+
+#include <vector>
+
+#include "model/model.hpp"
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+/// Run all validations, reporting warnings/notes into `diags` (the
+/// validator never reports errors: a validated model already passed sema).
+/// Returns the number of findings.
+std::size_t validate_model(const Model& model, DiagnosticEngine& diags);
+
+}  // namespace lisasim

@@ -1,0 +1,83 @@
+#include "sim/cached_interp.hpp"
+
+namespace lisasim {
+
+/// Same routing contract as InterpBackend::Sink / the schedule builder.
+class CachedInterpBackend::Sink final : public ActivationSink {
+ public:
+  Sink(Evaluator& eval, Work& work, int stage)
+      : eval_(&eval), work_(&work), stage_(stage) {}
+
+  void activate(const DecodedNode& child) override {
+    const int child_stage = child.op->stage >= 0 ? child.op->stage : stage_;
+    if (child_stage > stage_) {
+      if (static_cast<std::size_t>(child_stage) >= work_->sched.size())
+        throw SimError("activation of '" + child.op->name +
+                       "' beyond the pipeline");
+      work_->sched[static_cast<std::size_t>(child_stage)].push_back(&child);
+    } else {
+      eval_->run_op(child, this);
+    }
+  }
+
+ private:
+  Evaluator* eval_;
+  Work* work_;
+  int stage_;
+};
+
+void CachedInterpBackend::build_cache(const LoadedProgram& program) {
+  cache_base_ = program.text_base;
+  cache_.clear();
+  cache_.reserve(program.words.size());
+  std::vector<std::int64_t> words(program.words.begin(),
+                                  program.words.end());
+  for (std::uint64_t index = 0; index < words.size(); ++index) {
+    CacheEntry entry;
+    try {
+      entry.packet = decoder_.decode_packet(words, index);
+      entry.words = entry.packet.words;
+      for (const auto& slot : entry.packet.slots)
+        collect_auto_ops(*slot, entry.auto_ops);
+      entry.valid = true;
+    } catch (const SimError& e) {
+      entry.valid = false;
+      entry.error = e.what();
+      entry.words = 1;
+    }
+    cache_.push_back(std::move(entry));
+  }
+  out_of_range_.valid = false;
+  out_of_range_.error = "program counter outside the pre-decoded program";
+  out_of_range_.words = 1;
+}
+
+void CachedInterpBackend::issue(std::uint64_t pc, Work& out,
+                                unsigned& words) {
+  const CacheEntry* entry = &out_of_range_;
+  if (pc >= cache_base_ && pc - cache_base_ < cache_.size())
+    entry = &cache_[pc - cache_base_];
+  out.entry = entry;
+  out.sched.assign(static_cast<std::size_t>(depth_), {});
+  words = entry->words;
+}
+
+void CachedInterpBackend::execute(Work& work, int stage) {
+  const CacheEntry& entry = *work.entry;
+  if (!entry.valid) {
+    if (stage == depth_ - 1) throw SimError(entry.error);
+    return;
+  }
+  for (const auto& [node, node_stage] : entry.auto_ops) {
+    if (node_stage != stage) continue;
+    Sink sink(eval_, work, stage);
+    eval_.run_op(*node, &sink);
+  }
+  auto& queue = work.sched[static_cast<std::size_t>(stage)];
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    Sink sink(eval_, work, stage);
+    eval_.run_op(*queue[i], &sink);
+  }
+}
+
+}  // namespace lisasim

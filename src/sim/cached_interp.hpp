@@ -1,0 +1,118 @@
+// Decode-cached interpretive simulator: the partial compiled level of
+// paper §3 that implements ONLY the first step (compile-time decoding).
+// All instruction words are decoded once, up front, into a packet cache;
+// operation sequencing (activation scheduling) and behavior evaluation
+// still happen at run time on the unspecialized trees. Together with the
+// other levels this completes the interpretive → fully-compiled spectrum:
+//
+//   interpretive        decode per fetch, sequence per cycle
+//   decode-cached       decode once,      sequence per cycle   (this file)
+//   compiled-dynamic    decode once,      sequence once
+//   compiled-static     decode once,      sequence once, instantiate
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "behavior/eval.hpp"
+#include "behavior/specialize.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+
+namespace lisasim {
+
+class CachedInterpBackend {
+ public:
+  struct CacheEntry {
+    DecodedPacket packet;
+    std::vector<std::pair<const DecodedNode*, int>> auto_ops;
+    unsigned words = 1;
+    bool valid = false;
+    std::string error;
+  };
+
+  struct Work {
+    const CacheEntry* entry = nullptr;
+    // Run-time operation sequencing: FIFO activation queues per stage.
+    std::vector<std::vector<const DecodedNode*>> sched;
+  };
+
+  CachedInterpBackend(const Model& model, ProcessorState& state)
+      : model_(&model),
+        state_(&state),
+        depth_(model.pipeline.depth()),
+        decoder_(model),
+        eval_(state, control_) {}
+
+  /// Pre-decode the whole program (the compile-time step of this level).
+  void build_cache(const LoadedProgram& program);
+
+  PipelineControl& control() { return control_; }
+  void issue(std::uint64_t pc, Work& out, unsigned& words);
+  void execute(Work& work, int stage);
+  std::uint64_t slot_count(const Work& work) const {
+    return work.entry && work.entry->valid ? work.entry->packet.slots.size()
+                                           : 0;
+  }
+
+  const Decoder& decoder() const { return decoder_; }
+
+ private:
+  class Sink;
+
+  const Model* model_;
+  ProcessorState* state_;
+  int depth_;
+  Decoder decoder_;
+  PipelineControl control_;
+  Evaluator eval_;
+  std::uint64_t cache_base_ = 0;
+  std::vector<CacheEntry> cache_;
+  CacheEntry out_of_range_;  // shared "PC outside program" entry
+};
+
+class CachedInterpSimulator {
+ public:
+  explicit CachedInterpSimulator(const Model& model)
+      : model_(&model),
+        state_(model),
+        backend_(model, state_),
+        engine_(model, state_, backend_) {}
+
+  void load(const LoadedProgram& program) {
+    backend_.build_cache(program);
+    reload(program);
+  }
+
+  /// Reset state and pipeline without re-decoding (benchmark loops).
+  void reload(const LoadedProgram& program) {
+    state_.reset();
+    engine_.reset();
+    load_into_state(program, state_);
+  }
+
+  RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
+    return engine_.run(max_cycles);
+  }
+
+  ProcessorState& state() { return state_; }
+  const Model& model() const { return *model_; }
+  void set_observer(SimObserver* observer) { engine_.set_observer(observer); }
+  void schedule_interrupt(std::uint64_t cycle, std::uint64_t target) {
+    engine_.schedule_interrupt(cycle, target);
+  }
+
+ private:
+  const Model* model_;
+  ProcessorState state_;
+  CachedInterpBackend backend_;
+  PipelineEngine<CachedInterpBackend> engine_;
+};
+
+}  // namespace lisasim

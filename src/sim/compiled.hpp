@@ -1,0 +1,171 @@
+// The compiled simulator: runs a program from its simulation table. All
+// decoding, operand extraction, coding-time conditional resolution and
+// operation sequencing happened in the simulation compiler; the run-time
+// loop only advances packets through the pipeline and executes their
+// pre-built per-stage programs — as specialized statement trees (dynamic
+// scheduling) or as flattened micro-op programs (static scheduling /
+// operation instantiation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "behavior/eval.hpp"
+#include "behavior/microops.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+#include "sim/simcompiler.hpp"
+#include "sim/simtable.hpp"
+
+namespace lisasim {
+
+class CompiledBackend {
+ public:
+  // Trivially copyable: the engine shifts Work through pipeline slots every
+  // cycle, so it must be cheap to move. Packets that could not be compiled
+  // (wrong-path fetch of data words, PC outside the table) carry an error
+  // id into the backend's error pool; deferred like in the interpretive
+  // engine — fatal only at retirement.
+  struct Work {
+    const SimTableEntry* entry = nullptr;
+    std::int32_t error_id = -1;
+  };
+
+  CompiledBackend(const Model& model, ProcessorState& state, SimLevel level)
+      : state_(&state),
+        level_(level),
+        depth_(model.pipeline.depth()),
+        eval_(state, control_) {}
+
+  void set_table(const SimTable* table) { table_ = table; }
+
+  PipelineControl& control() { return control_; }
+
+  void issue(std::uint64_t pc, Work& out, unsigned& words) {
+    const SimTableEntry* entry = table_->find(pc);
+    if (entry && entry->valid) {
+      out.error_id = -1;
+      out.entry = entry;
+      words = entry->words;
+      return;
+    }
+    // Deferred-error path (wrong-path prefetch past the program or onto a
+    // data word) — no exceptions here: this happens on every taken branch
+    // near the text end. Dedupe against the previous message so loops
+    // cannot grow the pool.
+    out.entry = nullptr;
+    const std::string& message =
+        entry ? entry->error : out_of_table_error_;
+    if (errors_.empty() || errors_.back() != message)
+      errors_.push_back(message);
+    out.error_id = static_cast<std::int32_t>(errors_.size()) - 1;
+    words = 1;
+  }
+
+  void execute(Work& work, int stage) {
+    if (work.error_id >= 0) {
+      if (stage == depth_ - 1)
+        throw SimError(errors_[static_cast<std::size_t>(work.error_id)]);
+      return;
+    }
+    const SimTableEntry& entry = *work.entry;
+    if ((entry.work_mask >> stage & 1u) == 0) return;
+    if (level_ == SimLevel::kCompiledStatic) {
+      run_microops(entry.micro[static_cast<std::size_t>(stage)], *state_,
+                   control_, temps_);
+    } else {
+      const SpecProgram& program =
+          entry.schedule.stage_programs[static_cast<std::size_t>(stage)];
+      eval_.exec_flat(program.stmts, program.num_locals);
+    }
+  }
+
+  std::uint64_t slot_count(const Work& work) const {
+    return work.entry ? work.entry->slot_count : 0;
+  }
+
+ private:
+  ProcessorState* state_;
+  SimLevel level_;
+  int depth_;
+  const SimTable* table_ = nullptr;
+  PipelineControl control_;
+  Evaluator eval_;
+  std::vector<std::int64_t> temps_;
+  std::vector<std::string> errors_;  // deferred fetch-error pool
+  const std::string out_of_table_error_ =
+      "program counter outside the compiled program";
+};
+
+class CompiledSimulator {
+ public:
+  /// Builds the decoder and simulation compiler for `model`; programs are
+  /// translated on load(). `level` selects dynamic or static scheduling.
+  CompiledSimulator(const Model& model, SimLevel level)
+      : model_(&model),
+        level_(level),
+        state_(model),
+        decoder_(model),
+        compiler_(model, decoder_),
+        backend_(model, state_, level),
+        engine_(model, state_, backend_) {}
+
+  /// Run the simulation compiler on `program`, then load it. Returns the
+  /// compile statistics (the bench for paper Fig. 6 times this call).
+  SimCompileStats load(const LoadedProgram& program) {
+    SimCompileStats stats;
+    table_ = compiler_.compile(program, level_, &stats);
+    backend_.set_table(&table_);
+    state_.reset();
+    engine_.reset();
+    load_into_state(program, state_);
+    return stats;
+  }
+
+  /// Load with a pre-built table (lets benches time compilation separately).
+  void load_precompiled(const LoadedProgram& program, SimTable table) {
+    table_ = std::move(table);
+    backend_.set_table(&table_);
+    state_.reset();
+    engine_.reset();
+    load_into_state(program, state_);
+  }
+
+  /// Reset state and pipeline and reload the program without recompiling —
+  /// repeated runs against the same simulation table (benchmark loops).
+  void reload(const LoadedProgram& program) {
+    state_.reset();
+    engine_.reset();
+    load_into_state(program, state_);
+  }
+
+  RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
+    return engine_.run(max_cycles);
+  }
+
+  ProcessorState& state() { return state_; }
+  const Model& model() const { return *model_; }
+  const Decoder& decoder() const { return decoder_; }
+  void set_observer(SimObserver* observer) { engine_.set_observer(observer); }
+  void schedule_interrupt(std::uint64_t cycle, std::uint64_t target) {
+    engine_.schedule_interrupt(cycle, target);
+  }
+  const SimTable& table() const { return table_; }
+  SimLevel level() const { return level_; }
+
+ private:
+  const Model* model_;
+  SimLevel level_;
+  ProcessorState state_;
+  Decoder decoder_;
+  SimulationCompiler compiler_;
+  CompiledBackend backend_;
+  PipelineEngine<CompiledBackend> engine_;
+  SimTable table_;
+};
+
+}  // namespace lisasim

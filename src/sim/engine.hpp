@@ -1,0 +1,188 @@
+// The generic cycle-driven pipeline engine, shared by the interpretive and
+// the compiled simulators. A Backend supplies how an execute packet is
+// obtained at a program counter (decode vs. simulation-table lookup) and
+// how its per-stage operations are executed (tree walk vs. pre-specialized
+// programs); the engine owns the timing semantics, which therefore cannot
+// diverge between simulation levels:
+//
+//  * one in-flight packet per pipeline stage, in-order;
+//  * each cycle, occupied stages execute oldest-first (this realizes the
+//    transition-function ordering of paper Fig. 3: values written by older
+//    instructions are visible to younger ones in the same cycle, which is
+//    also what makes scalar pipeline-register resources race-free);
+//  * a packet executes a stage's operations once, on entering the stage;
+//  * stall(n) holds the packet (and everything younger) n extra cycles;
+//  * flush() squashes all younger in-flight packets;
+//  * the fetch stage refills after the execute phase, so a PC written this
+//    cycle redirects this cycle's fetch (delay-slot count = pipeline depth
+//    from fetch to the writing stage minus one... exposed, as on the C6x);
+//  * halt() ends the simulation at the end of the current cycle.
+//
+// Backend requirements:
+//   struct Work;                        // per-packet payload
+//   PipelineControl& control();
+//   void issue(std::uint64_t pc, Work& out, unsigned& words);
+//   void execute(Work& work, int stage);
+//   std::uint64_t slot_count(const Work& work) const;
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "behavior/eval.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/observer.hpp"
+#include "sim/result.hpp"
+
+namespace lisasim {
+
+template <typename Backend>
+class PipelineEngine {
+ public:
+  PipelineEngine(const Model& model, ProcessorState& state, Backend& backend)
+      : depth_(model.pipeline.depth()), state_(&state), backend_(&backend) {
+    slots_.resize(static_cast<std::size_t>(depth_));
+  }
+
+  /// Attach a trace/profile observer (nullptr detaches). Observer events
+  /// are engine-level, so traces are comparable across simulation levels.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  /// Schedule an external control hazard (interrupt/exception injection,
+  /// paper §4.3): at the end of cycle `cycle` every in-flight packet is
+  /// squashed and fetch redirects to `target`. Imprecise semantics: stages
+  /// already executed keep their effects. Engine-level, so injection is
+  /// identical at every simulation level. Cycles are counted from the next
+  /// run() start when the pipeline is empty, i.e. absolute simulation time.
+  void schedule_interrupt(std::uint64_t cycle, std::uint64_t target) {
+    interrupts_.push_back({cycle, target});
+    // Keep sorted by cycle (stable for equal cycles: first scheduled wins).
+    std::stable_sort(interrupts_.begin(), interrupts_.end(),
+                     [](const Interrupt& a, const Interrupt& b) {
+                       return a.cycle < b.cycle;
+                     });
+  }
+
+  /// Run until halt() or `max_cycles`. Can be called repeatedly; pipeline
+  /// contents persist between calls.
+  RunResult run(std::uint64_t max_cycles) {
+    RunResult result;
+    PipelineControl& control = backend_->control();
+    bool halted = false;
+
+    while (result.cycles < max_cycles) {
+      // ---- fused execute + advance sweep, oldest first -------------------
+      // Processing stages downward keeps the transition-function ordering
+      // (older packets' writes are visible to younger ones in the same
+      // cycle) while letting each packet advance as soon as it executed:
+      // the slot above was already processed, so it is free exactly when
+      // an in-order pipeline would free it.
+      for (int stage = depth_ - 1; stage >= 0; --stage) {
+        Slot& slot = slots_[static_cast<std::size_t>(stage)];
+        if (!slot.valid) continue;
+        if (!slot.executed) {
+          control.clear();
+          backend_->execute(slot.work, stage);
+          slot.executed = true;
+          if (observer_)
+            observer_->on_execute(result.cycles + 1, stage, slot.pc);
+          if (control.stall_cycles > 0) slot.stall += control.stall_cycles;
+          if (control.flush) {
+            for (int k = 0; k < stage; ++k)
+              slots_[static_cast<std::size_t>(k)].valid = false;
+            if (observer_) observer_->on_flush(result.cycles + 1, stage);
+          }
+          if (control.halt) halted = true;
+        }
+        if (halted) continue;  // no advancement in the halting cycle
+        if (slot.stall > 0) {
+          --slot.stall;
+          continue;
+        }
+        if (stage == depth_ - 1) {
+          ++result.packets_retired;
+          result.slots_retired += backend_->slot_count(slot.work);
+          if (observer_) observer_->on_retire(result.cycles + 1, slot.pc);
+          slot.valid = false;
+          continue;
+        }
+        Slot& next = slots_[static_cast<std::size_t>(stage + 1)];
+        if (!next.valid) {
+          next.work = std::move(slot.work);
+          next.pc = slot.pc;
+          next.valid = true;
+          next.executed = false;
+          next.stall = 0;
+          slot.valid = false;
+        }
+        // Otherwise blocked by an older stalled packet: stay put.
+      }
+      ++result.cycles;
+      ++total_cycles_;
+      if (halted) {
+        result.halted = true;
+        break;
+      }
+
+      // ---- external control hazards (interrupt injection) ----------------
+      if (!interrupts_.empty() &&
+          interrupts_.front().cycle <= total_cycles_) {
+        const Interrupt irq = interrupts_.front();
+        interrupts_.erase(interrupts_.begin());
+        for (auto& slot : slots_) slot.valid = false;
+        state_->set_pc(irq.target);
+        if (observer_) observer_->on_flush(total_cycles_, depth_);
+      }
+
+      // ---- fetch ---------------------------------------------------------
+      Slot& head = slots_[0];
+      if (!head.valid) {
+        const std::uint64_t pc = state_->pc();
+        unsigned words = 0;
+        backend_->issue(pc, head.work, words);
+        head.valid = true;
+        head.executed = false;
+        head.stall = 0;
+        head.pc = pc;
+        state_->set_pc(pc + words);
+        ++result.fetches;
+        if (observer_) observer_->on_fetch(result.cycles, pc);
+      }
+    }
+    return result;
+  }
+
+  /// Drop all in-flight packets and restart simulation time (used between
+  /// benchmark repetitions and program loads).
+  void reset() {
+    for (auto& slot : slots_) slot.valid = false;
+    total_cycles_ = 0;
+  }
+
+ private:
+  struct Slot {
+    typename Backend::Work work{};
+    std::uint64_t pc = 0;
+    bool valid = false;
+    bool executed = false;
+    int stall = 0;
+  };
+
+  struct Interrupt {
+    std::uint64_t cycle = 0;
+    std::uint64_t target = 0;
+  };
+
+  int depth_;
+  ProcessorState* state_;
+  Backend* backend_;
+  SimObserver* observer_ = nullptr;
+  std::vector<Slot> slots_;
+  std::vector<Interrupt> interrupts_;
+  std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace lisasim

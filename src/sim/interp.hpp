@@ -1,0 +1,98 @@
+// The interpretive simulator: decodes every fetch at run time and walks the
+// unspecialized behavior trees. This is the baseline the compiled technique
+// is measured against — it performs, every cycle, exactly the work the
+// simulation compiler moves to compile time (instruction decoding, operand
+// extraction, operation sequencing), like the vendor instruction-set
+// simulators the paper benchmarks TI's sim62x against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "behavior/eval.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+
+namespace lisasim {
+
+class InterpBackend {
+ public:
+  struct Work {
+    DecodedPacket packet;
+    // Tree-order auto-run operations with their effective stages.
+    std::vector<std::pair<const DecodedNode*, int>> auto_ops;
+    // FIFO activation queues per stage.
+    std::vector<std::vector<const DecodedNode*>> sched;
+    // Fetches of undecodable words (wrong-path prefetch past a branch or
+    // HALT) are deferred: the error is raised only if the packet survives
+    // to retirement un-squashed.
+    std::string error;
+  };
+
+  InterpBackend(const Model& model, ProcessorState& state)
+      : model_(&model),
+        state_(&state),
+        depth_(model.pipeline.depth()),
+        decoder_(model),
+        eval_(state, control_) {}
+
+  PipelineControl& control() { return control_; }
+  void issue(std::uint64_t pc, Work& out, unsigned& words);
+  void execute(Work& work, int stage);
+  std::uint64_t slot_count(const Work& work) const {
+    return work.packet.slots.size();
+  }
+
+  const Decoder& decoder() const { return decoder_; }
+
+ private:
+  class Sink;
+
+  const Model* model_;
+  ProcessorState* state_;
+  int depth_;
+  Decoder decoder_;
+  PipelineControl control_;
+  Evaluator eval_;
+};
+
+class InterpSimulator {
+ public:
+  explicit InterpSimulator(const Model& model)
+      : model_(&model),
+        state_(model),
+        backend_(model, state_),
+        engine_(model, state_, backend_) {}
+
+  /// Reset state and load `program` (text, data, entry PC).
+  void load(const LoadedProgram& program) {
+    state_.reset();
+    engine_.reset();
+    load_into_state(program, state_);
+  }
+
+  RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
+    return engine_.run(max_cycles);
+  }
+
+  ProcessorState& state() { return state_; }
+  const Model& model() const { return *model_; }
+  const Decoder& decoder() const { return backend_.decoder(); }
+  void set_observer(SimObserver* observer) { engine_.set_observer(observer); }
+  void schedule_interrupt(std::uint64_t cycle, std::uint64_t target) {
+    engine_.schedule_interrupt(cycle, target);
+  }
+
+ private:
+  const Model* model_;
+  ProcessorState state_;
+  InterpBackend backend_;
+  PipelineEngine<InterpBackend> engine_;
+};
+
+}  // namespace lisasim

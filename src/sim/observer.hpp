@@ -1,0 +1,135 @@
+// Simulation observers: tracing and profiling hooks raised by the pipeline
+// engine. Observers are engine-level (backend-agnostic), so a trace taken
+// on the interpretive simulator and one taken on a compiled simulator can
+// be compared event-for-event — another face of the accuracy claim.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lisasim {
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// A packet at `pc` entered the pipeline (end of `cycle`).
+  virtual void on_fetch(std::uint64_t cycle, std::uint64_t pc) = 0;
+  /// The packet fetched from `pc` executed its `stage` operations.
+  virtual void on_execute(std::uint64_t cycle, int stage,
+                          std::uint64_t pc) = 0;
+  /// The packet fetched from `pc` left the pipeline.
+  virtual void on_retire(std::uint64_t cycle, std::uint64_t pc) = 0;
+  /// Younger packets were squashed by a flush raised at `stage`.
+  virtual void on_flush(std::uint64_t cycle, int stage) = 0;
+};
+
+/// Streams a human-readable event trace. Pass a disassembly callback to
+/// annotate fetches (typically wrapping disassemble_word + program memory).
+class TraceObserver final : public SimObserver {
+ public:
+  using DisasmFn = std::function<std::string(std::uint64_t pc)>;
+
+  explicit TraceObserver(std::ostream& out, DisasmFn disasm = nullptr,
+                         std::uint64_t max_events = UINT64_MAX)
+      : out_(&out), disasm_(std::move(disasm)), max_events_(max_events) {}
+
+  void on_fetch(std::uint64_t cycle, std::uint64_t pc) override {
+    if (!take_event()) return;
+    *out_ << "cycle " << cycle << ": fetch   @" << pc;
+    if (disasm_) *out_ << "  " << disasm_(pc);
+    *out_ << "\n";
+  }
+  void on_execute(std::uint64_t cycle, int stage, std::uint64_t pc) override {
+    if (!take_event()) return;
+    *out_ << "cycle " << cycle << ": stage " << stage << " @" << pc << "\n";
+  }
+  void on_retire(std::uint64_t cycle, std::uint64_t pc) override {
+    if (!take_event()) return;
+    *out_ << "cycle " << cycle << ": retire  @" << pc << "\n";
+  }
+  void on_flush(std::uint64_t cycle, int stage) override {
+    if (!take_event()) return;
+    *out_ << "cycle " << cycle << ": flush below stage " << stage << "\n";
+  }
+
+ private:
+  bool take_event() {
+    if (events_ >= max_events_) return false;
+    ++events_;
+    return true;
+  }
+
+  std::ostream* out_;
+  DisasmFn disasm_;
+  std::uint64_t max_events_;
+  std::uint64_t events_ = 0;
+};
+
+/// Aggregates execution statistics: per-address fetch counts (hot spots)
+/// and flush/retire totals.
+class ProfileObserver final : public SimObserver {
+ public:
+  void on_fetch(std::uint64_t, std::uint64_t pc) override {
+    ++fetch_counts_[pc];
+    ++total_fetches_;
+  }
+  void on_execute(std::uint64_t, int, std::uint64_t) override {}
+  void on_retire(std::uint64_t, std::uint64_t) override { ++retires_; }
+  void on_flush(std::uint64_t, int) override { ++flushes_; }
+
+  const std::map<std::uint64_t, std::uint64_t>& fetch_counts() const {
+    return fetch_counts_;
+  }
+  std::uint64_t total_fetches() const { return total_fetches_; }
+  std::uint64_t retires() const { return retires_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+  /// Top-`n` hottest fetch addresses, most frequent first.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hottest(
+      std::size_t n) const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(
+        fetch_counts_.begin(), fetch_counts_.end());
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    if (entries.size() > n) entries.resize(n);
+    return entries;
+  }
+
+  /// Render a hot-spot table; `disasm` may be null.
+  std::string report(std::size_t top_n,
+                     const TraceObserver::DisasmFn& disasm = nullptr) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> fetch_counts_;
+  std::uint64_t total_fetches_ = 0;
+  std::uint64_t retires_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+inline std::string ProfileObserver::report(
+    std::size_t top_n, const TraceObserver::DisasmFn& disasm) const {
+  std::string out = "address     fetches  share\n";
+  for (const auto& [pc, count] : hottest(top_n)) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-10llu %8llu %5.1f%%",
+                  static_cast<unsigned long long>(pc),
+                  static_cast<unsigned long long>(count),
+                  100.0 * static_cast<double>(count) /
+                      static_cast<double>(total_fetches_ ? total_fetches_
+                                                         : 1));
+    out += line;
+    if (disasm) out += "  " + disasm(pc);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lisasim

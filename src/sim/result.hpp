@@ -1,0 +1,40 @@
+// Run statistics shared by all simulator levels.
+#pragma once
+
+#include <cstdint>
+
+namespace lisasim {
+
+/// The three simulation levels evaluated by the benchmarks (paper §3):
+/// fully interpretive (the sim62x-class baseline), compiled with dynamic
+/// scheduling (the paper's implemented system: compile-time decoding +
+/// operation sequencing), and compiled with static scheduling / operation
+/// instantiation (micro-op lowered, the paper's future-work third step).
+enum class SimLevel : std::uint8_t {
+  kInterpretive,
+  kDecodeCached,  // compile-time decoding only (partial compiled level)
+  kCompiledDynamic,
+  kCompiledStatic,
+};
+
+inline const char* sim_level_name(SimLevel level) {
+  switch (level) {
+    case SimLevel::kInterpretive: return "interpretive";
+    case SimLevel::kDecodeCached: return "decode-cached";
+    case SimLevel::kCompiledDynamic: return "compiled-dynamic";
+    case SimLevel::kCompiledStatic: return "compiled-static";
+  }
+  return "?";
+}
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t packets_retired = 0;  // execute packets leaving the pipeline
+  std::uint64_t slots_retired = 0;    // instructions (packet slots) retired
+  std::uint64_t fetches = 0;          // packets entering the pipeline
+  bool halted = false;                // halt() executed
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+}  // namespace lisasim

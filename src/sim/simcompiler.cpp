@@ -1,0 +1,59 @@
+#include "sim/simcompiler.hpp"
+
+#include <span>
+
+#include "behavior/specialize.hpp"
+
+namespace lisasim {
+
+SimTable SimulationCompiler::compile(const LoadedProgram& program,
+                                     SimLevel level,
+                                     SimCompileStats* stats) const {
+  if (level == SimLevel::kInterpretive || level == SimLevel::kDecodeCached)
+    throw SimError("only the compiled levels have a simulation table");
+
+  Specializer specializer(*model_);
+  // decode_packet reads element-typed memory; present the program words as
+  // int64 elements the way they will sit in the fetch memory.
+  std::vector<std::int64_t> words(program.words.begin(), program.words.end());
+
+  std::vector<SimTableEntry> entries;
+  entries.reserve(words.size());
+  std::size_t instructions = 0;
+
+  for (std::uint64_t index = 0; index < words.size(); ++index) {
+    SimTableEntry entry;
+    try {
+      DecodedPacket packet = decoder_->decode_packet(words, index);
+      entry.words = packet.words;
+      entry.slot_count = static_cast<unsigned>(packet.slots.size());
+      entry.schedule = specializer.schedule_packet(packet);
+      for (std::size_t s = 0; s < entry.schedule.stage_programs.size(); ++s) {
+        if (!entry.schedule.stage_programs[s].empty())
+          entry.work_mask |= std::uint32_t{1} << s;
+      }
+      if (level == SimLevel::kCompiledStatic) {
+        entry.micro.resize(entry.schedule.stage_programs.size());
+        for (std::size_t s = 0; s < entry.schedule.stage_programs.size(); ++s)
+          entry.micro[s] =
+              lower_to_microops(entry.schedule.stage_programs[s]);
+      }
+      instructions += entry.slot_count;
+    } catch (const SimError& e) {
+      entry.valid = false;
+      entry.error = e.what();
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  if (stats) {
+    stats->instructions = instructions;
+    stats->table_rows = entries.size();
+    stats->microops = 0;
+    for (const auto& e : entries)
+      for (const auto& p : e.micro) stats->microops += p.ops.size();
+  }
+  return SimTable(program.text_base, std::move(entries));
+}
+
+}  // namespace lisasim

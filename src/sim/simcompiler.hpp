@@ -1,0 +1,46 @@
+// The simulation compiler: translates a target program into a simulation
+// table (paper Fig. 5, "simulation compiler" box). For every word address
+// of the text segment it performs, once:
+//
+//   1. compile-time decoding      — decode_packet()
+//   2. operation sequencing       — Specializer::schedule_packet()
+//   3. operation instantiation    — lower_to_microops() (static level only)
+//
+// Every address gets a row (not just sequential packet starts), so branches
+// may target any word; re-chaining of execute packets from the branch
+// target then matches hardware behavior.
+#pragma once
+
+#include <cstdint>
+
+#include "asm/program.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "sim/result.hpp"
+#include "sim/simtable.hpp"
+
+namespace lisasim {
+
+struct SimCompileStats {
+  std::size_t instructions = 0;   // target instructions translated
+  std::size_t table_rows = 0;     // simulation-table rows generated
+  std::size_t microops = 0;       // micro-ops instantiated (static level)
+};
+
+class SimulationCompiler {
+ public:
+  /// `decoder` must outlive the compiler.
+  SimulationCompiler(const Model& model, const Decoder& decoder)
+      : model_(&model), decoder_(&decoder) {}
+
+  /// Translate object code into a simulation table. `level` must be a
+  /// compiled level; micro-ops are instantiated only for kCompiledStatic.
+  SimTable compile(const LoadedProgram& program, SimLevel level,
+                   SimCompileStats* stats = nullptr) const;
+
+ private:
+  const Model* model_;
+  const Decoder* decoder_;
+};
+
+}  // namespace lisasim

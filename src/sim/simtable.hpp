@@ -1,0 +1,69 @@
+// The simulation table (paper Fig. 1): one row per program location, one
+// column per pipeline stage, holding the pre-decoded, pre-sequenced (and,
+// at the static level, micro-op-instantiated) operations that drive the
+// simulator's transition function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "behavior/microops.hpp"
+#include "behavior/specialize.hpp"
+#include "model/model.hpp"
+#include "sim/result.hpp"
+
+namespace lisasim {
+
+struct SimTableEntry {
+  // Dynamic-scheduling level: specialized statement programs per stage.
+  PacketSchedule schedule;
+  // Static-scheduling level: the same programs lowered to micro-ops.
+  std::vector<MicroProgram> micro;
+  unsigned words = 0;       // fetch words the packet consumes
+  unsigned slot_count = 0;  // instructions in the packet
+  std::uint32_t work_mask = 0;  // bit s set <=> stage s has work
+  // Rows that do not decode (data words in the text region) are kept but
+  // poisoned: executing onto them raises the same error the interpretive
+  // simulator would raise.
+  bool valid = true;
+  std::string error;
+};
+
+class SimTable {
+ public:
+  SimTable() = default;
+  SimTable(std::uint64_t base, std::vector<SimTableEntry> entries)
+      : base_(base), entries_(std::move(entries)) {}
+
+  const SimTableEntry& at(std::uint64_t pc) const {
+    if (const SimTableEntry* entry = find(pc)) return *entry;
+    throw SimError("program counter " + std::to_string(pc) +
+                   " outside the compiled program");
+  }
+
+  /// Non-throwing lookup: nullptr when `pc` is outside the table. The hot
+  /// fetch path uses this — wrong-path prefetch beyond the program happens
+  /// every taken branch near the text end and must not cost an exception.
+  const SimTableEntry* find(std::uint64_t pc) const noexcept {
+    if (pc < base_ || pc - base_ >= entries_.size()) return nullptr;
+    return &entries_[pc - base_];
+  }
+
+  std::uint64_t base() const { return base_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Total micro-operations across all rows (bench reporting).
+  std::size_t total_microops() const {
+    std::size_t total = 0;
+    for (const auto& e : entries_)
+      for (const auto& p : e.micro) total += p.ops.size();
+    return total;
+  }
+
+ private:
+  std::uint64_t base_ = 0;
+  std::vector<SimTableEntry> entries_;
+};
+
+}  // namespace lisasim

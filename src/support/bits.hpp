@@ -1,0 +1,57 @@
+// Bit-manipulation primitives shared by the decoder generator, the
+// assembler/encoder and the simulators. All routines operate on 64-bit
+// words; instruction words wider than 64 bits are not supported (the widest
+// modelled target uses 32-bit instruction words).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace lisasim {
+
+/// Mask with the low `width` bits set. `width` may be 0..64.
+constexpr std::uint64_t low_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Extract `width` bits starting at bit `lsb` (bit 0 = least significant).
+constexpr std::uint64_t extract_bits(std::uint64_t word, unsigned lsb,
+                                     unsigned width) {
+  return (word >> lsb) & low_mask(width);
+}
+
+/// Insert the low `width` bits of `value` into `word` at bit `lsb`.
+constexpr std::uint64_t insert_bits(std::uint64_t word, unsigned lsb,
+                                    unsigned width, std::uint64_t value) {
+  const std::uint64_t mask = low_mask(width) << lsb;
+  return (word & ~mask) | ((value << lsb) & mask);
+}
+
+/// Sign-extend the low `width` bits of `value` to a signed 64-bit integer.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) {
+  if (width == 0 || width >= 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+  value &= low_mask(width);
+  return static_cast<std::int64_t>((value ^ sign_bit) - sign_bit);
+}
+
+/// Truncate a signed value to the low `width` bits (two's complement wrap).
+constexpr std::uint64_t truncate(std::int64_t value, unsigned width) {
+  return static_cast<std::uint64_t>(value) & low_mask(width);
+}
+
+/// True if `value` fits in `width` bits as an unsigned quantity.
+constexpr bool fits_unsigned(std::uint64_t value, unsigned width) {
+  return (value & ~low_mask(width)) == 0;
+}
+
+/// True if `value` fits in `width` bits as a two's-complement quantity.
+constexpr bool fits_signed(std::int64_t value, unsigned width) {
+  if (width == 0) return value == 0;
+  if (width >= 64) return true;
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+}  // namespace lisasim

@@ -1,0 +1,31 @@
+#include "support/diag.hpp"
+
+namespace lisasim {
+
+std::string SourceLoc::to_string() const {
+  return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::to_string() const {
+  const char* tag = severity == Severity::kError     ? "error"
+                    : severity == Severity::kWarning ? "warning"
+                                                     : "note";
+  return loc.to_string() + ": " + tag + ": " + message;
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc,
+                              std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  diagnostics_.push_back({severity, std::move(loc), std::move(message)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lisasim

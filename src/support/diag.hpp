@@ -1,0 +1,62 @@
+// Diagnostics for the LISA front end, the assembler and the simulation
+// compiler. Errors discovered while processing user-supplied text (model
+// source, assembly source) are collected in a DiagnosticEngine so that a
+// single run can report all problems; internal invariant violations use
+// assertions/exceptions instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lisasim {
+
+/// A position in an input text. Line/column are 1-based; `file` names the
+/// buffer (model name, assembly file name).
+struct SourceLoc {
+  std::string file;
+  unsigned line = 0;
+  unsigned column = 0;
+
+  std::string to_string() const;
+};
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Collects diagnostics produced while translating one input. Cheap to pass
+/// by reference through recursive-descent parsing and semantic analysis.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::kError, std::move(loc), std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::kWarning, std::move(loc), std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::kNote, std::move(loc), std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// All diagnostics rendered one per line — convenient for test failure
+  /// messages and CLI error output.
+  std::string render() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace lisasim

@@ -1,0 +1,53 @@
+// String interning. Identifiers that occur in machine descriptions and in
+// decoded-instruction bindings are interned to small integers so that the
+// simulators never compare strings on the hot path.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lisasim {
+
+/// Opaque id of an interned string. Id 0 is reserved for the empty string.
+using StringId = std::uint32_t;
+
+class StringInterner {
+ public:
+  StringInterner() { intern(""); }
+
+  StringId intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const StringId id = static_cast<StringId>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `s` if it has been interned, 0 otherwise. Useful for
+  /// lookups that must not grow the table.
+  StringId lookup(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? 0 : it->second;
+  }
+
+  std::string_view str(StringId id) const {
+    assert(id < strings_.size());
+    return strings_[id];
+  }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  // std::deque never relocates elements, so string_view keys into ids_
+  // remain valid as the table grows (std::vector would invalidate
+  // small-string buffers on reallocation).
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, StringId> ids_;
+};
+
+}  // namespace lisasim

@@ -1,0 +1,32 @@
+#include "support/value.hpp"
+
+namespace lisasim {
+
+std::string ValueType::to_string() const {
+  if (width == 1 && !is_signed) return "bool";
+  return (is_signed ? "int" : "uint") + std::to_string(width);
+}
+
+std::optional<ValueType> ValueType::parse(std::string_view name) {
+  if (name == "bool") return ValueType{1, false};
+  bool is_signed = true;
+  if (name.starts_with("uint")) {
+    is_signed = false;
+    name.remove_prefix(4);
+  } else if (name.starts_with("int")) {
+    name.remove_prefix(3);
+  } else {
+    return std::nullopt;
+  }
+  unsigned width = 0;
+  if (name.empty() || name.size() > 2) return std::nullopt;
+  for (char c : name) {
+    if (c < '0' || c > '9') return std::nullopt;
+    width = width * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (width != 8 && width != 16 && width != 32 && width != 64)
+    return std::nullopt;
+  return ValueType{width, is_signed};
+}
+
+}  // namespace lisasim

@@ -1,0 +1,44 @@
+// Sized integer values: the scalar type system of the machine description
+// language. Storage cells (registers, memory elements, locals) carry a
+// ValueType (bit width + signedness); evaluation is performed on 64-bit
+// integers and narrowed on assignment, mirroring C integer semantics that
+// the BEHAVIOR sections use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/bits.hpp"
+
+namespace lisasim {
+
+/// Type of a storage cell or declared local: width in bits (1..64) and
+/// signedness. BEHAVIOR arithmetic happens at 64 bits; `canonicalize`
+/// re-applies the type on store (wrap for unsigned, sign-extended
+/// two's-complement wrap for signed).
+struct ValueType {
+  unsigned width = 32;
+  bool is_signed = true;
+
+  friend bool operator==(const ValueType&, const ValueType&) = default;
+
+  /// Narrow a 64-bit evaluation result to this type, returning the value as
+  /// it would be read back from a cell of this type.
+  std::int64_t canonicalize(std::int64_t v) const {
+    const std::uint64_t t = truncate(v, width);
+    return is_signed ? sign_extend(t, width) : static_cast<std::int64_t>(t);
+  }
+
+  /// Raw bit pattern of a stored value (low `width` bits).
+  std::uint64_t bits_of(std::int64_t v) const { return truncate(v, width); }
+
+  std::string to_string() const;
+
+  /// Parse a type name such as "int32", "uint16", "int8", "uint64", "bool".
+  /// Returns std::nullopt for unknown names.
+  static std::optional<ValueType> parse(std::string_view name);
+};
+
+}  // namespace lisasim

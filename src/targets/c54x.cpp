@@ -1,0 +1,196 @@
+#include "targets/c54x.hpp"
+
+namespace lisasim::targets {
+
+namespace {
+
+constexpr std::string_view kC54x = R"LISA(
+MODEL c54x;
+
+RESOURCE {
+  PROGRAM_COUNTER uint32 PC;
+  int64 ACCA;                  // 40-bit accumulator A (kept in 64 bits,
+  int64 ACCB;                  // wrapped/saturated to 40 explicitly)
+  int32 T;                     // multiplicand register
+  REGISTER int32 AR[8];        // auxiliary (address) registers
+  MEMORY uint16 pmem[8192];
+  MEMORY int16 dmem[8192];
+  PIPELINE pipe = { PF; F; D; A; R; X };
+}
+
+FETCH {
+  WORD 16;
+  MEMORY pmem;
+}
+
+// ---------------------------------------------------------------- operands
+
+OPERATION acca {
+  CODING { 0b0 }
+  SYNTAX { "A" }
+  EXPRESSION { ACCA }
+}
+
+OPERATION accb {
+  CODING { 0b1 }
+  SYNTAX { "B" }
+  EXPRESSION { ACCB }
+}
+
+// ------------------------------------------------------ accumulator ops (X)
+
+OPERATION ld_acc IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL a; }
+  CODING { 0b00001 acc a=0bx[10] }
+  SYNTAX { "LD @" a ", " acc }
+  BEHAVIOR { acc = dmem[a]; }
+}
+
+OPERATION st_acc IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL a; }
+  CODING { 0b00010 acc a=0bx[10] }
+  SYNTAX { "ST " acc ", @" a }
+  BEHAVIOR { dmem[a] = sat(acc, 16); }
+}
+
+OPERATION add_acc IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL a; }
+  CODING { 0b00011 acc a=0bx[10] }
+  SYNTAX { "ADD @" a ", " acc }
+  BEHAVIOR { acc = sat(acc + dmem[a], 40); }
+}
+
+OPERATION sub_acc IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL a; }
+  CODING { 0b00100 acc a=0bx[10] }
+  SYNTAX { "SUB @" a ", " acc }
+  BEHAVIOR { acc = sat(acc - dmem[a], 40); }
+}
+
+OPERATION mac_acc IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL a; }
+  CODING { 0b00101 acc a=0bx[10] }
+  SYNTAX { "MAC @" a ", " acc }
+  BEHAVIOR { acc = sat(acc + T * dmem[a], 40); }
+}
+
+OPERATION ldt IN pipe.X {
+  DECLARE { LABEL a; }
+  CODING { 0b00110 0b0 a=0bx[10] }
+  SYNTAX { "LDT @" a }
+  BEHAVIOR { T = dmem[a]; }
+}
+
+OPERATION ldi IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL imm; }
+  CODING { 0b00111 acc imm=0bx[10] }
+  SYNTAX { "LDI " imm ", " acc }
+  BEHAVIOR { acc = sext(imm, 10); }
+}
+
+OPERATION sftl IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL k; }
+  CODING { 0b01000 acc k=0bx[5] 0b00000 }
+  SYNTAX { "SFTL " acc ", " k }
+  BEHAVIOR { acc = sext(acc << k, 40); }
+}
+
+// -------------------------------------------- indirect addressing ops (X)
+
+OPERATION ld_ind IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL ar; }
+  CODING { 0b01101 acc ar=0bx[3] 0b0000000 }
+  SYNTAX { "LD *AR" ar ", " acc }
+  BEHAVIOR { acc = dmem[AR[ar]]; }
+}
+
+OPERATION mac_ind IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL ar; }
+  CODING { 0b01110 acc ar=0bx[3] 0b0000000 }
+  SYNTAX { "MAC *AR" ar ", " acc }
+  BEHAVIOR { acc = sat(acc + T * dmem[AR[ar]], 40); }
+}
+
+OPERATION st_ind IN pipe.X {
+  DECLARE { GROUP acc = { acca || accb }; LABEL ar; }
+  CODING { 0b01111 acc ar=0bx[3] 0b0000000 }
+  SYNTAX { "ST " acc ", *AR" ar }
+  BEHAVIOR { dmem[AR[ar]] = sat(acc, 16); }
+}
+
+// ----------------------------------------------------- control ops (stage A)
+// Branches resolve in A (stage 3): a taken branch squashes the 3 younger
+// fetches. AR *writes* stay in X with the other data operations, so an AR
+// update can never overtake an older indirect access; BANZ reads (and
+// decrements) its counter in A, which still observes every older write
+// because X executes first within a cycle.
+
+OPERATION b_op IN pipe.A {
+  DECLARE { LABEL a; }
+  CODING { 0b01001 0b0 a=0bx[10] }
+  SYNTAX { "B " a }
+  BEHAVIOR {
+    PC = a;
+    flush();
+  }
+}
+
+OPERATION banz IN pipe.A {
+  DECLARE { LABEL ar, a; }
+  CODING { 0b01010 ar=0bx[3] a=0bx[8] }
+  SYNTAX { "BANZ " a ", AR" ar }
+  BEHAVIOR {
+    if (AR[ar] != 0) {
+      AR[ar] = AR[ar] - 1;
+      PC = a;
+      flush();
+    }
+  }
+}
+
+OPERATION ldar IN pipe.X {
+  DECLARE { LABEL ar, imm; }
+  CODING { 0b01100 ar=0bx[3] imm=0bx[8] }
+  SYNTAX { "LDAR AR" ar ", " imm }
+  BEHAVIOR { AR[ar] = zext(imm, 8); }
+}
+
+OPERATION mar IN pipe.X {
+  DECLARE { LABEL ar, imm; }
+  CODING { 0b01011 ar=0bx[3] imm=0bx[8] }
+  SYNTAX { "MAR AR" ar ", " imm }
+  BEHAVIOR { AR[ar] = AR[ar] + sext(imm, 8); }
+}
+
+// ----------------------------------------------------------------- misc
+
+OPERATION nop_op IN pipe.X {
+  CODING { 0b10000 0b00000000000 }
+  SYNTAX { "NOP" }
+  BEHAVIOR { }
+}
+
+OPERATION halt_op IN pipe.X {
+  CODING { 0b11111 0b00000000000 }
+  SYNTAX { "HALT" }
+  BEHAVIOR { halt(); }
+}
+
+// ----------------------------------------------------------------- decode
+
+OPERATION instruction {
+  DECLARE {
+    GROUP insn = { ld_acc || st_acc || add_acc || sub_acc || mac_acc ||
+                   ldt || ldi || sftl || ld_ind || mac_ind || st_ind ||
+                   b_op || banz || ldar || mar || nop_op || halt_op };
+  }
+  CODING { insn }
+  SYNTAX { insn }
+}
+)LISA";
+
+}  // namespace
+
+std::string_view c54x_model_source() { return kC54x; }
+
+}  // namespace lisasim::targets

@@ -1,0 +1,33 @@
+// c54x: a TMS320C54x-class accumulator DSP model — the paper's §6
+// comparison processor ("a custom compiled simulator for the less complex
+// TMS320C54x (six-stage pipeline) [took] the same designer more than 12
+// months"); modeling it here takes ~150 lines of description. Structure
+// preserved (simplified encodings, see DESIGN.md):
+//
+//   * 6-stage pipeline PF F D A R X (prefetch..execute)
+//   * two 40-bit accumulators A and B, a T multiplicand register,
+//     eight auxiliary (address) registers AR0..AR7
+//   * 16-bit instruction words, single issue
+//   * MAC-oriented ISA with direct and AR-indirect addressing and the
+//     classic BANZ decrement-and-branch loop instruction
+//
+// ISA (dst accumulator written as A or B):
+//   LD @a, A      A <- dmem[a]          LDI imm, A    A <- sext(imm10)
+//   ST A, @a      dmem[a] <- sat16(A)   LDT @a        T <- dmem[a]
+//   ADD @a, A     A <- sat40(A + m)     SUB @a, A
+//   MAC @a, A     A <- sat40(A + T*m)   SFTL A, k     A <<= k
+//   LD *ARn, A    indirect load         MAC *ARn, A   indirect MAC
+//   ST A, *ARn    indirect store
+//   LDAR ARn, imm8    AR <- imm         MAR ARn, imm8  AR += sext(imm)
+//   B a           branch (resolves in A: 3-cycle penalty)
+//   BANZ a, ARn   if (ARn != 0) { ARn--; branch }  — the loop primitive
+//   NOP           HALT
+#pragma once
+
+#include <string_view>
+
+namespace lisasim::targets {
+
+std::string_view c54x_model_source();
+
+}  // namespace lisasim::targets

@@ -1,0 +1,457 @@
+#include "targets/c62x.hpp"
+
+namespace lisasim::targets {
+
+namespace {
+
+constexpr std::string_view kC62x = R"LISA(
+MODEL c62x;
+
+RESOURCE {
+  PROGRAM_COUNTER uint32 PC;
+  REGISTER int32 A[16];
+  REGISTER int32 B[16];
+  MEMORY uint32 pmem[16384];
+  MEMORY int32 dmem[16384];
+
+  // Pipeline registers. Scalars suffice because stages drain oldest-first
+  // within a cycle and each class of instruction is limited to one slot
+  // per execute packet.
+  int32 mpy_g1;  int32 mpy_v1;                          // MPY E1 -> E2
+  int32 ld_g1;   int32 ld_a1;   int32 ld_h1;            // load E1 -> E2
+  int32 ld_g2;   int32 ld_a2;   int32 ld_h2;            // load E2 -> E3
+  int32 ld_g3;   int32 ld_v3;                           // load E3 -> E4
+  int32 ld_g4;   int32 ld_v4;                           // load E4 -> E5
+  int32 st_g1;   int32 st_a1;   int32 st_v1; int32 st_h1;  // store E1 -> E2
+  int32 st_g2;   int32 st_a2;   int32 st_v2; int32 st_h2;  // store E2 -> E3
+
+  PIPELINE pipe = { PG; PS; PW; PR; DP; DC; E1; E2; E3; E4; E5 };
+}
+
+FETCH {
+  WORD 32;
+  PACKET 8 PARALLEL_BIT 0;
+  MEMORY pmem;
+}
+
+// ---------------------------------------------------------------- operands
+
+OPERATION rega {
+  DECLARE { LABEL idx; }
+  CODING { 0b0 idx=0bx[4] }
+  SYNTAX { "A" idx }
+  EXPRESSION { A[idx] }
+}
+
+OPERATION regb {
+  DECLARE { LABEL idx; }
+  CODING { 0b1 idx=0bx[4] }
+  SYNTAX { "B" idx }
+  EXPRESSION { B[idx] }
+}
+
+OPERATION reg {
+  DECLARE { GROUP r = { rega || regb }; }
+  CODING { r }
+  SYNTAX { r }
+  EXPRESSION { r }
+}
+
+// -------------------------------------------------------------- predicates
+// creg(3)+z(1) exactly as on the C62x: B0=001, B1=010, B2=011, A1=100,
+// A2=101; z inverts. 0000 = unconditional.
+
+OPERATION p_b0  { CODING { 0b0010 } SYNTAX { "[B0] " }  EXPRESSION { B[0] != 0 } }
+OPERATION p_b0z { CODING { 0b0011 } SYNTAX { "[!B0] " } EXPRESSION { B[0] == 0 } }
+OPERATION p_b1  { CODING { 0b0100 } SYNTAX { "[B1] " }  EXPRESSION { B[1] != 0 } }
+OPERATION p_b1z { CODING { 0b0101 } SYNTAX { "[!B1] " } EXPRESSION { B[1] == 0 } }
+OPERATION p_b2  { CODING { 0b0110 } SYNTAX { "[B2] " }  EXPRESSION { B[2] != 0 } }
+OPERATION p_b2z { CODING { 0b0111 } SYNTAX { "[!B2] " } EXPRESSION { B[2] == 0 } }
+OPERATION p_a1  { CODING { 0b1000 } SYNTAX { "[A1] " }  EXPRESSION { A[1] != 0 } }
+OPERATION p_a1z { CODING { 0b1001 } SYNTAX { "[!A1] " } EXPRESSION { A[1] == 0 } }
+OPERATION p_a2  { CODING { 0b1010 } SYNTAX { "[A2] " }  EXPRESSION { A[2] != 0 } }
+OPERATION p_a2z { CODING { 0b1011 } SYNTAX { "[!A2] " } EXPRESSION { A[2] == 0 } }
+OPERATION p_always { CODING { 0b0000 } SYNTAX { "" } EXPRESSION { 1 } }
+
+// --------------------------------------------------- single-cycle (E1) ops
+
+OPERATION add IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b000001 dst src1 src2 0b000000 }
+  SYNTAX { "ADD " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 + src2; } }
+}
+
+OPERATION sub IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b000010 dst src1 src2 0b000000 }
+  SYNTAX { "SUB " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 - src2; } }
+}
+
+OPERATION and_op IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b000100 dst src1 src2 0b000000 }
+  SYNTAX { "AND " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 & src2; } }
+}
+
+OPERATION or_op IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b000101 dst src1 src2 0b000000 }
+  SYNTAX { "OR " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 | src2; } }
+}
+
+OPERATION xor_op IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b000110 dst src1 src2 0b000000 }
+  SYNTAX { "XOR " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 ^ src2; } }
+}
+
+OPERATION shl IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b000111 dst src1 src2 0b000000 }
+  SYNTAX { "SHL " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 << (src2 & 31); } }
+}
+
+OPERATION shr IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001000 dst src1 src2 0b000000 }
+  SYNTAX { "SHR " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 >> (src2 & 31); } }
+}
+
+OPERATION cmpeq IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001001 dst src1 src2 0b000000 }
+  SYNTAX { "CMPEQ " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 == src2; } }
+}
+
+OPERATION cmpgt IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001010 dst src1 src2 0b000000 }
+  SYNTAX { "CMPGT " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 > src2; } }
+}
+
+OPERATION cmplt IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001011 dst src1 src2 0b000000 }
+  SYNTAX { "CMPLT " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 < src2; } }
+}
+
+OPERATION sadd IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001100 dst src1 src2 0b000000 }
+  SYNTAX { "SADD " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = sat(src1 + src2, 32); } }
+}
+
+OPERATION ssub IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001101 dst src1 src2 0b000000 }
+  SYNTAX { "SSUB " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = sat(src1 - src2, 32); } }
+}
+
+OPERATION min2 IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001110 dst src1 src2 0b000000 }
+  SYNTAX { "MIN2 " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = min(src1, src2); } }
+}
+
+OPERATION max2 IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg; }
+  CODING { 0b001111 dst src1 src2 0b000000 }
+  SYNTAX { "MAX2 " src1 ", " src2 ", " dst }
+  BEHAVIOR { if (pred) { dst = max(src1, src2); } }
+}
+
+OPERATION mv IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE dst = reg; }
+  CODING { 0b010001 src1 dst 0b00000000000 }
+  SYNTAX { "MV " src1 ", " dst }
+  BEHAVIOR { if (pred) { dst = src1; } }
+}
+
+OPERATION absv IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE dst = reg; }
+  CODING { 0b010010 src1 dst 0b00000000000 }
+  SYNTAX { "ABS " src1 ", " dst }
+  BEHAVIOR { if (pred) { dst = sat(abs(src1), 32); } }
+}
+
+OPERATION mvk IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE dst = reg; LABEL imm; }
+  CODING { 0b010011 dst imm=0bx[16] }
+  SYNTAX { "MVK " imm ", " dst }
+  BEHAVIOR { if (pred) { dst = sext(imm, 16); } }
+}
+
+OPERATION mvkh IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE dst = reg; LABEL imm; }
+  CODING { 0b010100 dst imm=0bx[16] }
+  SYNTAX { "MVKH " imm ", " dst }
+  BEHAVIOR { if (pred) { dst = (imm << 16) | zext(dst, 16); } }
+}
+
+OPERATION addk IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE dst = reg; LABEL imm; }
+  CODING { 0b010101 dst imm=0bx[16] }
+  SYNTAX { "ADDK " imm ", " dst }
+  BEHAVIOR { if (pred) { dst = dst + sext(imm, 16); } }
+}
+
+OPERATION shli IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE dst = reg;
+            LABEL amt; }
+  CODING { 0b010110 dst src1 amt=0bx[5] 0b000000 }
+  SYNTAX { "SHLI " src1 ", " amt ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 << amt; } }
+}
+
+OPERATION shri IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE dst = reg;
+            LABEL amt; }
+  CODING { 0b010111 dst src1 amt=0bx[5] 0b000000 }
+  SYNTAX { "SHRI " src1 ", " amt ", " dst }
+  BEHAVIOR { if (pred) { dst = src1 >> amt; } }
+}
+
+// ------------------------------------------------------- multiplies (E2 wb)
+
+OPERATION mpy IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg;
+            INSTANCE mpy_e2; }
+  CODING { 0b000011 dst src1 src2 0b000000 }
+  SYNTAX { "MPY " src1 ", " src2 ", " dst }
+  BEHAVIOR {
+    mpy_g1 = pred;
+    mpy_v1 = sext(src1, 16) * sext(src2, 16);
+  }
+  ACTIVATION { mpy_e2 }
+}
+
+OPERATION mpyh IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg;
+            INSTANCE mpy_e2; }
+  CODING { 0b010000 dst src1 src2 0b000000 }
+  SYNTAX { "MPYH " src1 ", " src2 ", " dst }
+  BEHAVIOR {
+    mpy_g1 = pred;
+    mpy_v1 = sext(src1 >> 16, 16) * sext(src2 >> 16, 16);
+  }
+  ACTIVATION { mpy_e2 }
+}
+
+OPERATION smpy IN pipe.E1 {
+  DECLARE { REFERENCE pred;
+            INSTANCE src1 = reg; INSTANCE src2 = reg; INSTANCE dst = reg;
+            INSTANCE mpy_e2; }
+  CODING { 0b011111 dst src1 src2 0b000000 }
+  SYNTAX { "SMPY " src1 ", " src2 ", " dst }
+  BEHAVIOR {
+    mpy_g1 = pred;
+    mpy_v1 = sat((sext(src1, 16) * sext(src2, 16)) << 1, 32);
+  }
+  ACTIVATION { mpy_e2 }
+}
+
+OPERATION mpy_e2 IN pipe.E2 {
+  DECLARE { REFERENCE dst; }
+  BEHAVIOR { if (mpy_g1) { dst = mpy_v1; } }
+}
+
+// ------------------------------------------------------------ loads (E5 wb)
+
+OPERATION ldw IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE base = reg; INSTANCE dst = reg;
+            LABEL off; INSTANCE ld_e2; }
+  CODING { 0b011000 dst base off=0bx[11] }
+  SYNTAX { "LDW " base ", " off ", " dst }
+  BEHAVIOR {
+    ld_g1 = pred;
+    ld_a1 = base + sext(off, 11);
+    ld_h1 = 0;
+  }
+  ACTIVATION { ld_e2 }
+}
+
+OPERATION ldh IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE base = reg; INSTANCE dst = reg;
+            LABEL off; INSTANCE ld_e2; }
+  CODING { 0b011001 dst base off=0bx[11] }
+  SYNTAX { "LDH " base ", " off ", " dst }
+  BEHAVIOR {
+    ld_g1 = pred;
+    ld_a1 = base + sext(off, 11);
+    ld_h1 = 1;
+  }
+  ACTIVATION { ld_e2 }
+}
+
+OPERATION ld_e2 IN pipe.E2 {
+  DECLARE { INSTANCE ld_e3; }
+  BEHAVIOR {
+    ld_g2 = ld_g1;
+    ld_a2 = ld_a1;
+    ld_h2 = ld_h1;
+  }
+  ACTIVATION { ld_e3 }
+}
+
+OPERATION ld_e3 IN pipe.E3 {
+  DECLARE { INSTANCE ld_e4; }
+  BEHAVIOR {
+    ld_g3 = ld_g2;
+    if (ld_g2) {
+      if (ld_h2) {
+        ld_v3 = sext(dmem[ld_a2], 16);
+      } else {
+        ld_v3 = dmem[ld_a2];
+      }
+    }
+  }
+  ACTIVATION { ld_e4 }
+}
+
+OPERATION ld_e4 IN pipe.E4 {
+  DECLARE { INSTANCE ld_e5; }
+  BEHAVIOR {
+    ld_g4 = ld_g3;
+    ld_v4 = ld_v3;
+  }
+  ACTIVATION { ld_e5 }
+}
+
+OPERATION ld_e5 IN pipe.E5 {
+  DECLARE { REFERENCE dst; }
+  BEHAVIOR { if (ld_g4) { dst = ld_v4; } }
+}
+
+// ------------------------------------------------------------ stores (E3)
+
+OPERATION stw IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE base = reg;
+            LABEL off; INSTANCE st_e2; }
+  CODING { 0b011010 src1 base off=0bx[11] }
+  SYNTAX { "STW " src1 ", " base ", " off }
+  BEHAVIOR {
+    st_g1 = pred;
+    st_a1 = base + sext(off, 11);
+    st_v1 = src1;
+    st_h1 = 0;
+  }
+  ACTIVATION { st_e2 }
+}
+
+OPERATION sth IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE base = reg;
+            LABEL off; INSTANCE st_e2; }
+  CODING { 0b011011 src1 base off=0bx[11] }
+  SYNTAX { "STH " src1 ", " base ", " off }
+  BEHAVIOR {
+    st_g1 = pred;
+    st_a1 = base + sext(off, 11);
+    st_v1 = src1;
+    st_h1 = 1;
+  }
+  ACTIVATION { st_e2 }
+}
+
+OPERATION st_e2 IN pipe.E2 {
+  DECLARE { INSTANCE st_e3; }
+  BEHAVIOR {
+    st_g2 = st_g1;
+    st_a2 = st_a1;
+    st_v2 = st_v1;
+    st_h2 = st_h1;
+  }
+  ACTIVATION { st_e3 }
+}
+
+OPERATION st_e3 IN pipe.E3 {
+  BEHAVIOR {
+    if (st_g2) {
+      if (st_h2) {
+        dmem[st_a2] = (dmem[st_a2] & ~0xFFFF) | zext(st_v2, 16);
+      } else {
+        dmem[st_a2] = st_v2;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- control
+
+// The branch resolves in DC, which yields exactly 5 delay slots with the
+// oldest-first transition ordering (see DESIGN.md).
+OPERATION b_op IN pipe.DC {
+  DECLARE { REFERENCE pred; LABEL target; }
+  CODING { 0b011100 target=0bx[21] }
+  SYNTAX { "B " target }
+  BEHAVIOR { if (pred) { PC = target; } }
+}
+
+OPERATION nop_op IN pipe.E1 {
+  DECLARE { LABEL cnt; }
+  CODING { 0b011101 cnt=0bx[4] 0b00000000000000000 }
+  SYNTAX { "NOP " cnt }
+  BEHAVIOR {
+    if (cnt > 1) {
+      stall(cnt - 1);
+    }
+  }
+}
+
+OPERATION halt_op IN pipe.E1 {
+  CODING { 0b011110 0b000000000000000000000 }
+  SYNTAX { "HALT" }
+  BEHAVIOR { halt(); }
+}
+
+// ----------------------------------------------------------------- decode
+
+OPERATION instruction {
+  DECLARE {
+    GROUP pred = { p_b0 || p_b0z || p_b1 || p_b1z || p_b2 || p_b2z ||
+                   p_a1 || p_a1z || p_a2 || p_a2z || p_always };
+    GROUP insn = { add || sub || mpy || and_op || or_op || xor_op || shl ||
+                   shr || cmpeq || cmpgt || cmplt || sadd || ssub || min2 ||
+                   max2 || mpyh || mv || absv || mvk || mvkh || addk ||
+                   shli || shri || ldw || ldh || stw || sth || b_op ||
+                   nop_op || halt_op || smpy };
+    LABEL p;
+  }
+  CODING { pred insn p=0bx[1] }
+  SYNTAX { pred insn }
+}
+)LISA";
+
+}  // namespace
+
+std::string_view c62x_model_source() { return kC62x; }
+
+}  // namespace lisasim::targets

@@ -1,0 +1,32 @@
+// c62x: a TMS320C62x-class VLIW DSP model — the paper's case-study target.
+// Structure preserved from the real device (simplified encodings, see
+// DESIGN.md):
+//   * 11-stage pipeline PG PS PW PR DP DC E1 E2 E3 E4 E5
+//   * two 16-register files A and B
+//   * fetch packets of up to 8 32-bit words chained by the p-bit (bit 0)
+//   * full predication: 3-bit creg + z bit ([B0], [!B0], ... [A2], [!A2])
+//   * exposed pipeline: MPY has 1 delay slot, loads 4, branches 5
+//
+// ISA (TI-style operand order, results written last):
+//   ADD/SUB/AND/OR/XOR/SHL/SHR src1, src2, dst
+//   SADD/SSUB (saturating), MIN2/MAX2, CMPEQ/CMPGT/CMPLT
+//   MPY/MPYH/SMPY src1, src2, dst           (result in E2)
+//   MV src, dst   ABS src, dst
+//   MVK imm16, dst   MVKH imm16, dst   ADDK imm16, dst
+//   SHLI/SHRI src, imm5, dst
+//   LDW/LDH base, off, dst                  (result in E5; off signed)
+//   STW/STH src, base, off                  (memory written in E3)
+//   B target                                (resolves in DC; 5 delay slots)
+//   NOP n   HALT
+// Constraint (documented substitution): at most one load, one store and
+// one multiply per execute packet (the model uses one set of pipeline
+// registers per class instead of per-side duplicates).
+#pragma once
+
+#include <string_view>
+
+namespace lisasim::targets {
+
+std::string_view c62x_model_source();
+
+}  // namespace lisasim::targets

@@ -1,0 +1,179 @@
+#include "targets/tinydsp.hpp"
+
+namespace lisasim::targets {
+
+namespace {
+
+constexpr std::string_view kTinyDsp = R"LISA(
+MODEL tinydsp;
+
+RESOURCE {
+  PROGRAM_COUNTER uint32 PC;
+  REGISTER int32 R[16];
+  MEMORY uint32 pmem[4096];
+  MEMORY int32 dmem[4096];
+  int32 ld_pipe;                     // EX -> WB pipeline register for loads
+  PIPELINE pipe = { IF; ID; EX; WB };
+}
+
+FETCH {
+  WORD 32;
+  MEMORY pmem;
+}
+
+// ---------------------------------------------------------------- operands
+
+OPERATION reg {
+  DECLARE { LABEL idx; }
+  CODING { idx=0bx[4] }
+  SYNTAX { "R" idx }
+  EXPRESSION { R[idx] }
+}
+
+// Paper Fig. 4 / Example 1: a mode field shared non-orthogonally by the
+// arithmetic instructions (short/long operand arithmetic).
+OPERATION short_mode {
+  CODING { 0b0 }
+  SYNTAX { ".S" }
+}
+
+OPERATION long_mode {
+  CODING { 0b1 }
+  SYNTAX { ".L" }
+}
+
+// ------------------------------------------------------------- arithmetic
+
+OPERATION arith {
+  DECLARE {
+    GROUP aop = { add || sub || mul };
+    GROUP mode = { short_mode || long_mode };
+    LABEL rdst, rs1, rs2;
+  }
+  CODING { 0b01 aop mode rdst=0bx[4] rs1=0bx[4] rs2=0bx[4] 0b000000000000000 }
+  SYNTAX { aop mode " R" rdst ", R" rs1 ", R" rs2 }
+}
+
+OPERATION add IN pipe.EX {
+  DECLARE { REFERENCE mode; REFERENCE rdst; REFERENCE rs1; REFERENCE rs2; }
+  CODING { 0b00 }
+  SYNTAX { "ADD" }
+  IF (mode == short_mode) {
+    BEHAVIOR { R[rdst] = sext(sext(R[rs1], 16) + sext(R[rs2], 16), 16); }
+  } ELSE {
+    BEHAVIOR { R[rdst] = R[rs1] + R[rs2]; }
+  }
+}
+
+OPERATION sub IN pipe.EX {
+  DECLARE { REFERENCE mode; REFERENCE rdst; REFERENCE rs1; REFERENCE rs2; }
+  CODING { 0b01 }
+  SYNTAX { "SUB" }
+  IF (mode == short_mode) {
+    BEHAVIOR { R[rdst] = sext(sext(R[rs1], 16) - sext(R[rs2], 16), 16); }
+  } ELSE {
+    BEHAVIOR { R[rdst] = R[rs1] - R[rs2]; }
+  }
+}
+
+OPERATION mul IN pipe.EX {
+  DECLARE { REFERENCE mode; REFERENCE rdst; REFERENCE rs1; REFERENCE rs2; }
+  CODING { 0b10 }
+  SYNTAX { "MUL" }
+  // Short multiply keeps the full 32-bit product of the 16-bit operands —
+  // the classic DSP MAC building block.
+  IF (mode == short_mode) {
+    BEHAVIOR { R[rdst] = sext(R[rs1], 16) * sext(R[rs2], 16); }
+  } ELSE {
+    BEHAVIOR { R[rdst] = R[rs1] * R[rs2]; }
+  }
+}
+
+// ---------------------------------------------------------- memory access
+
+OPERATION ld IN pipe.EX {
+  DECLARE { INSTANCE rd = reg; INSTANCE rs = reg; LABEL off;
+            INSTANCE ld_wb; }
+  CODING { 0b0010 rd rs off=0bx[16] 0b0000 }
+  SYNTAX { "LD " rd ", " rs ", " off }
+  BEHAVIOR { ld_pipe = dmem[rs + sext(off, 16)]; }
+  ACTIVATION { ld_wb }
+}
+
+OPERATION ld_wb IN pipe.WB {
+  DECLARE { REFERENCE rd; }
+  BEHAVIOR { rd = ld_pipe; }
+}
+
+OPERATION st IN pipe.EX {
+  DECLARE { INSTANCE rd = reg; INSTANCE rs = reg; LABEL off; }
+  CODING { 0b0011 rd rs off=0bx[16] 0b0000 }
+  SYNTAX { "ST " rd ", " rs ", " off }
+  BEHAVIOR { dmem[rs + sext(off, 16)] = rd; }
+}
+
+// ------------------------------------------------------- moves and control
+
+OPERATION mvk IN pipe.EX {
+  DECLARE { INSTANCE rd = reg; LABEL imm; }
+  CODING { 0b1000 rd imm=0bx[16] 0b00000000 }
+  SYNTAX { "MVK " imm ", " rd }
+  BEHAVIOR { rd = sext(imm, 16); }
+}
+
+OPERATION br IN pipe.EX {
+  DECLARE { LABEL target; }
+  CODING { 0b1001 target=0bx[16] 0b000000000000 }
+  SYNTAX { "B " target }
+  BEHAVIOR {
+    PC = target;
+    flush();
+  }
+}
+
+OPERATION brz IN pipe.EX {
+  DECLARE { INSTANCE rs = reg; LABEL target; }
+  CODING { 0b1010 rs target=0bx[16] 0b00000000 }
+  SYNTAX { "BZ " rs ", " target }
+  BEHAVIOR {
+    if (rs == 0) {
+      PC = target;
+      flush();
+    }
+  }
+}
+
+OPERATION nop_op IN pipe.EX {
+  DECLARE { LABEL cnt; }
+  CODING { 0b0001 cnt=0bx[4] 0b000000000000000000000000 }
+  SYNTAX { "NOP " cnt }
+  BEHAVIOR {
+    if (cnt > 1) {
+      stall(cnt - 1);
+    }
+  }
+}
+
+OPERATION halt_op IN pipe.EX {
+  CODING { 0b1111 0b0000000000000000000000000000 }
+  SYNTAX { "HALT" }
+  BEHAVIOR { halt(); }
+}
+
+// ----------------------------------------------------------------- decode
+
+OPERATION instruction {
+  DECLARE {
+    GROUP insn = { arith || ld || st || mvk || br || brz || nop_op ||
+                   halt_op };
+  }
+  CODING { insn }
+  SYNTAX { insn }
+}
+)LISA";
+
+}  // namespace
+
+std::string_view tinydsp_model_source() { return kTinyDsp; }
+
+}  // namespace lisasim::targets

@@ -1,0 +1,24 @@
+// tinydsp: a small 4-stage (IF ID EX WB) DSP model — the pedagogical
+// machine of the paper's Fig. 2/Fig. 4: it demonstrates the intra-
+// instruction precedence of operations (load write-back via ACTIVATION into
+// WB), control hazards with flush(), and the non-orthogonal mode field of
+// the paper's Example 1 (REFERENCE mode + coding-time IF/ELSE).
+//
+// ISA summary (32-bit words, absolute word addressing):
+//   ADD.S/L Rd, Rs, Rt   SUB.S/L  MUL.S/L     (.S = 16-bit operands)
+//   LD Rd, Rs, off       Rd <- dmem[Rs+off]   (write-back in WB)
+//   ST Rd, Rs, off       dmem[Rs+off] <- Rd
+//   MVK imm16, Rd        Rd <- sext(imm)
+//   B target             branch (flushes IF/ID: 2-cycle penalty)
+//   BZ Rs, target        branch if Rs == 0
+//   NOP n                occupy EX for n cycles
+//   HALT
+#pragma once
+
+#include <string_view>
+
+namespace lisasim::targets {
+
+std::string_view tinydsp_model_source();
+
+}  // namespace lisasim::targets

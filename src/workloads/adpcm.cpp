@@ -1,0 +1,295 @@
+#include <array>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim::workloads {
+
+namespace {
+
+// Standard IMA ADPCM tables.
+constexpr std::array<std::int64_t, 89> kStepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr std::array<std::int64_t, 16> kIndexTable = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+// dmem layout (word addresses)
+constexpr std::uint64_t kStepBase = 0;    // 89 words
+constexpr std::uint64_t kIndexBase = 100; // 16 words
+constexpr std::uint64_t kInputBase = 128;
+constexpr std::uint64_t kOutputBase = 4096;   // encoder codes
+constexpr std::uint64_t kDecodedBase = 8192;  // decoder PCM output
+
+std::vector<std::int64_t> make_input(int samples) {
+  detail::Prng prng(0xAD9Cu * 2654435761u + 7u);
+  std::vector<std::int64_t> input;
+  // A wandering waveform, speech-ish dynamics.
+  std::int64_t level = 0;
+  for (int n = 0; n < samples; ++n) {
+    level += prng.range(-900, 900);
+    if (level > 20000) level = 20000;
+    if (level < -20000) level = -20000;
+    input.push_back(level);
+  }
+  return input;
+}
+
+/// IMA ADPCM encoder block; the per-sample body is branch-free
+/// (predicated), the classic C6x coding style. Register use: A0 = constant
+/// zero (never written), A4 = valpred, A5 = index, A6 = step, A9/A10 =
+/// in/out cursors.
+void emit_encoder(detail::AsmBuilder& b, const std::string& p, int samples) {
+  b.op("MVK 0, A4");   // valpred
+  b.op("MVK 0, A5");   // index
+  b.op("MVK 7, A6");   // step = stepTable[0]
+  b.op("MVK " + std::to_string(kInputBase) + ", A9");
+  b.op("MVK " + std::to_string(kOutputBase) + ", A10");
+  b.op("MVK " + std::to_string(samples) + ", B0");
+  b.label(p + "loop");
+  b.op("LDW A9, 0, A12");            // sample
+  b.op("NOP 4");
+  b.op("SUB A12, A4, A13");          // diff = sample - valpred
+  b.op("CMPLT A13, A0, B2");         // sign
+  b.op("MVK 0, A15");                // code
+  b.op("[B2] SUB A0, A13, A13");     // diff = -diff
+  b.op("[B2] MVK 8, A15");           // code = 8
+  b.op("SHRI A6, 3, A14");           // vpdiff = step >> 3
+  // bit 2 (value 4): full step
+  b.op("CMPLT A13, A6, B1");
+  b.op("[!B1] SUB A13, A6, A13");
+  b.op("[!B1] ADD A14, A6, A14");
+  b.op("[!B1] ADDK 4, A15");
+  // bit 1 (value 2): step >> 1
+  b.op("SHRI A6, 1, A11");
+  b.op("CMPLT A13, A11, B1");
+  b.op("[!B1] SUB A13, A11, A13");
+  b.op("[!B1] ADD A14, A11, A14");
+  b.op("[!B1] ADDK 2, A15");
+  // bit 0 (value 1): step >> 2
+  b.op("SHRI A6, 2, A11");
+  b.op("CMPLT A13, A11, B1");
+  b.op("[!B1] SUB A13, A11, A13");
+  b.op("[!B1] ADD A14, A11, A14");
+  b.op("[!B1] ADDK 1, A15");
+  // predicted value update + clamp
+  b.op("[B2] SUB A4, A14, A4");
+  b.op("[!B2] ADD A4, A14, A4");
+  b.op("MVK 32767, A11");
+  b.op("MIN2 A4, A11, A4");
+  b.op("MVK -32768, A11");
+  b.op("MAX2 A4, A11, A4");
+  // emit code
+  b.op("STW A15, A10, 0");
+  // index += indexTable[code], clamp [0, 88]
+  b.op("MVK " + std::to_string(kIndexBase) + ", A3");
+  b.op("ADD A3, A15, A3");
+  b.op("LDW A3, 0, A11");
+  b.op("NOP 4");
+  b.op("ADD A5, A11, A5");
+  b.op("MAX2 A5, A0, A5");
+  b.op("MVK 88, A11");
+  b.op("MIN2 A5, A11, A5");
+  // step = stepTable[index]
+  b.op("LDW A5, " + std::to_string(kStepBase) + ", A6");
+  b.op("NOP 4");
+  // next sample
+  b.op("ADDK 1, A9");
+  b.op("ADDK 1, A10");
+  b.op("ADDK -1, B0");
+  b.op("[B0] B " + p + "loop");
+  for (int i = 0; i < 5; ++i) b.op("NOP 1");
+}
+
+/// IMA decoder block: codes at kOutputBase -> PCM at kDecodedBase.
+void emit_decoder(detail::AsmBuilder& b, const std::string& p, int samples) {
+  b.op("MVK 0, A4");   // valpred
+  b.op("MVK 0, A5");   // index
+  b.op("MVK 7, A6");   // step
+  b.op("MVK " + std::to_string(kOutputBase) + ", A9");
+  b.op("MVK " + std::to_string(kDecodedBase) + ", A10");
+  b.op("MVK " + std::to_string(samples) + ", B0");
+  b.label(p + "dloop");
+  b.op("LDW A9, 0, A15");            // code
+  b.op("NOP 4");
+  // sign flag: (code >> 3) & 1, via a constant-one register
+  b.op("MVK 1, A12");
+  b.op("SHRI A15, 3, A11");
+  b.op("AND A11, A12, B2");          // B2 = sign
+  b.op("SHRI A6, 3, A14");           // vpdiff = step >> 3
+  // magnitude bit 2
+  b.op("SHRI A15, 2, A11");
+  b.op("AND A11, A12, B1");
+  b.op("[B1] ADD A14, A6, A14");
+  // magnitude bit 1
+  b.op("SHRI A15, 1, A11");
+  b.op("AND A11, A12, B1");
+  b.op("SHRI A6, 1, A13");
+  b.op("[B1] ADD A14, A13, A14");
+  // magnitude bit 0
+  b.op("AND A15, A12, B1");
+  b.op("SHRI A6, 2, A13");
+  b.op("[B1] ADD A14, A13, A14");
+  // predicted value update + clamp
+  b.op("[B2] SUB A4, A14, A4");
+  b.op("[!B2] ADD A4, A14, A4");
+  b.op("MVK 32767, A11");
+  b.op("MIN2 A4, A11, A4");
+  b.op("MVK -32768, A11");
+  b.op("MAX2 A4, A11, A4");
+  b.op("STW A4, A10, 0");            // reconstructed sample
+  // index += indexTable[code], clamp, step = stepTable[index]
+  b.op("MVK " + std::to_string(kIndexBase) + ", A3");
+  b.op("ADD A3, A15, A3");
+  b.op("LDW A3, 0, A11");
+  b.op("NOP 4");
+  b.op("ADD A5, A11, A5");
+  b.op("MAX2 A5, A0, A5");
+  b.op("MVK 88, A11");
+  b.op("MIN2 A5, A11, A5");
+  b.op("LDW A5, " + std::to_string(kStepBase) + ", A6");
+  b.op("NOP 4");
+  b.op("ADDK 1, A9");
+  b.op("ADDK 1, A10");
+  b.op("ADDK -1, B0");
+  b.op("[B0] B " + p + "dloop");
+  for (int i = 0; i < 5; ++i) b.op("NOP 1");
+}
+
+void emit_tables_and_input(detail::AsmBuilder& b,
+                           const std::vector<std::int64_t>& input) {
+  b.data("dmem", kStepBase,
+         std::vector<std::int64_t>(kStepTable.begin(), kStepTable.end()));
+  b.data("dmem", kIndexBase,
+         std::vector<std::int64_t>(kIndexTable.begin(), kIndexTable.end()));
+  b.data("dmem", kInputBase, input);
+}
+
+/// Reference IMA encode (mirrors emit_encoder).
+std::vector<std::int32_t> reference_encode(
+    const std::vector<std::int64_t>& input) {
+  std::int32_t valpred = 0;
+  int index = 0;
+  std::int32_t step = 7;
+  std::vector<std::int32_t> codes;
+  codes.reserve(input.size());
+  for (const std::int64_t sample64 : input) {
+    const std::int32_t sample = static_cast<std::int32_t>(sample64);
+    std::int32_t diff = sample - valpred;
+    std::int32_t code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    std::int32_t vpdiff = step >> 3;
+    if (diff >= step) {
+      code |= 4;
+      diff -= step;
+      vpdiff += step;
+    }
+    if (diff >= (step >> 1)) {
+      code |= 2;
+      diff -= step >> 1;
+      vpdiff += step >> 1;
+    }
+    if (diff >= (step >> 2)) {
+      code |= 1;
+      vpdiff += step >> 2;
+    }
+    valpred = (code & 8) ? valpred - vpdiff : valpred + vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+    index += static_cast<int>(kIndexTable[static_cast<std::size_t>(code)]);
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    step = static_cast<std::int32_t>(
+        kStepTable[static_cast<std::size_t>(index)]);
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+/// Reference IMA decode (mirrors emit_decoder).
+std::vector<std::int32_t> reference_decode(
+    const std::vector<std::int32_t>& codes) {
+  std::int32_t valpred = 0;
+  int index = 0;
+  std::int32_t step = 7;
+  std::vector<std::int32_t> out;
+  out.reserve(codes.size());
+  for (const std::int32_t code : codes) {
+    std::int32_t vpdiff = step >> 3;
+    if (code & 4) vpdiff += step;
+    if (code & 2) vpdiff += step >> 1;
+    if (code & 1) vpdiff += step >> 2;
+    valpred = (code & 8) ? valpred - vpdiff : valpred + vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+    index += static_cast<int>(kIndexTable[static_cast<std::size_t>(code)]);
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    step = static_cast<std::int32_t>(
+        kStepTable[static_cast<std::size_t>(index)]);
+    out.push_back(valpred);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload make_adpcm(int samples, int repeat) {
+  const std::vector<std::int64_t> input = make_input(samples);
+
+  Workload w;
+  w.name = "adpcm";
+  detail::AsmBuilder b;
+  b.raw("; IMA ADPCM encoder: " + std::to_string(samples) + " samples, x" +
+        std::to_string(repeat));
+  b.raw("        .entry start");
+  b.label("start");
+  for (int r = 0; r < repeat; ++r)
+    emit_encoder(b, "a" + std::to_string(r) + "_", samples);
+  b.op("HALT");
+  emit_tables_and_input(b, input);
+  w.asm_source = b.take();
+
+  const std::vector<std::int32_t> codes = reference_encode(input);
+  for (std::size_t n = 0; n < codes.size(); ++n)
+    w.expected_dmem.emplace_back(kOutputBase + n, codes[n]);
+  return w;
+}
+
+Workload make_adpcm_roundtrip(int samples) {
+  const std::vector<std::int64_t> input = make_input(samples);
+
+  Workload w;
+  w.name = "adpcm-roundtrip";
+  detail::AsmBuilder b;
+  b.raw("; IMA ADPCM encode + decode round trip: " +
+        std::to_string(samples) + " samples");
+  b.raw("        .entry start");
+  b.label("start");
+  emit_encoder(b, "enc_", samples);
+  emit_decoder(b, "dec_", samples);
+  b.op("HALT");
+  emit_tables_and_input(b, input);
+  w.asm_source = b.take();
+
+  const std::vector<std::int32_t> codes = reference_encode(input);
+  const std::vector<std::int32_t> decoded = reference_decode(codes);
+  for (std::size_t n = 0; n < codes.size(); ++n) {
+    w.expected_dmem.emplace_back(kOutputBase + n, codes[n]);
+    w.expected_dmem.emplace_back(kDecodedBase + n, decoded[n]);
+  }
+  return w;
+}
+
+}  // namespace lisasim::workloads

@@ -1,0 +1,80 @@
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim::workloads {
+
+namespace {
+
+// dmem layout (word addresses)
+constexpr std::uint64_t kCoeffBase = 0;
+constexpr std::uint64_t kInputBase = 256;
+constexpr std::uint64_t kOutputBase = 2048;
+
+}  // namespace
+
+// y[n] = sum_k h[k] * x[n+k], 16x16 multiplies, 32-bit accumulate.
+Workload make_fir(int taps, int samples, int repeat) {
+  detail::Prng prng(0xF1A2B3C4u);
+  std::vector<std::int64_t> coeffs, input;
+  for (int k = 0; k < taps; ++k) coeffs.push_back(prng.range(-1000, 1000));
+  for (int n = 0; n < samples + taps - 1; ++n)
+    input.push_back(prng.range(-1000, 1000));
+
+  Workload w;
+  w.name = "fir";
+
+  detail::AsmBuilder b;
+  b.raw("; FIR filter: " + std::to_string(taps) + " taps, " +
+        std::to_string(samples) + " samples, x" + std::to_string(repeat));
+  b.raw("        .entry start");
+  b.label("start");
+  for (int r = 0; r < repeat; ++r) {
+    const std::string p = "f" + std::to_string(r) + "_";
+    b.op("MVK " + std::to_string(samples) + ", B0");  // outer trip count
+    b.op("MVK 0, A10");                               // n
+    b.label(p + "outer");
+    b.op("MVK 0, A7");                                // acc
+    b.op("MVK " + std::to_string(taps) + ", B1");     // inner trip count
+    b.op("MVK 0, A8");                                // k
+    b.label(p + "kloop");
+    b.op("ADD A8, A10, A3");                          // n + k
+    b.op("ADDK " + std::to_string(kInputBase) + ", A3");
+    b.op("LDW A3, 0, A12");                           // x[n+k]
+    b.op("LDW A8, " + std::to_string(kCoeffBase) + ", A13");  // h[k]
+    b.op("NOP 3");                                    // load delay
+    b.op("MPY A12, A13, A14");
+    b.op("ADD A7, A14, A7");                          // product drains first
+    b.op("ADDK 1, A8");
+    b.op("ADDK -1, B1");
+    b.op("[B1] B " + p + "kloop");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");        // branch delay slots
+    b.op("MV A10, A3");
+    b.op("ADDK " + std::to_string(kOutputBase) + ", A3");
+    b.op("STW A7, A3, 0");
+    b.op("ADDK 1, A10");
+    b.op("ADDK -1, B0");
+    b.op("[B0] B " + p + "outer");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+  }
+  b.op("HALT");
+  b.data("dmem", kCoeffBase, coeffs);
+  b.data("dmem", kInputBase, input);
+  w.asm_source = b.take();
+
+  // Reference model.
+  for (int n = 0; n < samples; ++n) {
+    std::int32_t acc = 0;
+    for (int k = 0; k < taps; ++k)
+      acc = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(acc) +
+          static_cast<std::uint32_t>(detail::c_mpy(
+              static_cast<std::int32_t>(
+                  input[static_cast<std::size_t>(n + k)]),
+              static_cast<std::int32_t>(coeffs[static_cast<std::size_t>(k)]))));
+    w.expected_dmem.emplace_back(kOutputBase + static_cast<std::uint64_t>(n),
+                                 acc);
+  }
+  return w;
+}
+
+}  // namespace lisasim::workloads

@@ -1,0 +1,382 @@
+#include <cstdlib>
+
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim::workloads {
+
+namespace {
+
+// dmem layout (word addresses)
+constexpr std::uint64_t kInputBase = 0;
+constexpr std::uint64_t kScratchBase = 512;   // preemphasized samples
+constexpr std::uint64_t kResultBase = 8192;   // r[0..8], norm at +9
+constexpr std::uint64_t kPBase = 8210;        // schur P[0..8]
+constexpr std::uint64_t kKBase = 8220;        // schur K[1..7] (slot 0 pad)
+constexpr std::uint64_t kReflBase = 8230;     // reflection coeffs k[0..7]
+constexpr int kLags = 9;                      // GSM 06.10 uses r[0..8]
+constexpr int kCoeffs = 8;                    // 8 reflection coefficients
+
+// ---- fixed-point helpers of the schur recursion (C reference) ------------
+
+std::int32_t clamp16(std::int32_t v) {
+  return v > 32767 ? 32767 : (v < -32768 ? -32768 : v);
+}
+
+/// Rounded Q15 multiply: (a*b + 16384) >> 15, saturated to 16 bits.
+std::int32_t mult_r16(std::int32_t a, std::int32_t b) {
+  return clamp16(static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(a) * b + 16384) >> 15));
+}
+
+/// Q15 shift-subtract division, 0 <= num <= den, den > 0 (GSM gsm_div).
+std::int32_t div_q15(std::int32_t num, std::int32_t den) {
+  std::int32_t quotient = 0;
+  std::int32_t rest = num;
+  for (int i = 0; i < 15; ++i) {
+    quotient <<= 1;
+    rest <<= 1;
+    if (rest >= den) {
+      rest -= den;
+      quotient += 1;
+    }
+  }
+  return quotient;
+}
+
+/// Le Roux–Gueguen (schur) recursion on the 16-bit normalized ACF — the
+/// reflection-coefficient computation of the GSM 06.10 LPC analysis.
+std::vector<std::int32_t> reference_schur(
+    const std::vector<std::int32_t>& r16) {
+  std::vector<std::int32_t> refl(kCoeffs, 0);
+  std::vector<std::int32_t> p(r16.begin(), r16.end());  // P[0..8]
+  std::vector<std::int32_t> kk(r16.begin(), r16.end()); // K[m] = r16[m]
+  for (int n = 0; n < kCoeffs; ++n) {
+    const std::int32_t p1 = p[1];
+    const std::int32_t ap1 = p1 < 0 ? -p1 : p1;
+    if (p[0] <= 0 || p[0] < ap1) break;  // remaining coefficients stay 0
+    std::int32_t k = div_q15(ap1, p[0]);
+    if (p1 > 0) k = -k;
+    refl[static_cast<std::size_t>(n)] = k;
+    if (n == kCoeffs - 1) break;
+    p[0] = clamp16(p[0] + mult_r16(p1, k));
+    for (int m = 1; m <= 7 - n; ++m) {
+      const std::int32_t pm1 = p[static_cast<std::size_t>(m) + 1];
+      const std::int32_t km = kk[static_cast<std::size_t>(m)];
+      p[static_cast<std::size_t>(m)] = clamp16(pm1 + mult_r16(km, k));
+      kk[static_cast<std::size_t>(m)] = clamp16(km + mult_r16(pm1, k));
+    }
+  }
+  return refl;
+}
+
+}  // namespace
+
+// GSM 06.10-style front end: Q15 preemphasis (rounded saturating multiply
+// by 28180/32768), saturating autocorrelation over 9 lags (SMPY + SADD —
+// the L_MAC of the GSM reference code), and block normalization of the
+// autocorrelation values (the scaling step before schur recursion).
+Workload make_gsm(int samples, int repeat) {
+  detail::Prng prng(0x65A39C11u);
+  std::vector<std::int64_t> input;
+  std::int64_t level = 0;
+  for (int n = 0; n < samples; ++n) {
+    level += prng.range(-700, 700);
+    if (level > 5000) level = 5000;
+    if (level < -5000) level = -5000;
+    input.push_back(level);
+  }
+
+  Workload w;
+  w.name = "gsm";
+
+  detail::AsmBuilder b;
+  b.raw("; GSM-style front end: " + std::to_string(samples) +
+        " samples, x" + std::to_string(repeat));
+  b.raw("        .entry start");
+  b.label("start");
+  for (int r = 0; r < repeat; ++r) {
+    const std::string p = "g" + std::to_string(r) + "_";
+    // ---- phase 1: preemphasis -------------------------------------------
+    b.op("MVK 16384, A15");
+    b.op("ADD A15, A15, A15");  // A15 = 32768 (Q15 rounding constant)
+    b.op("MVK 28180, A14");     // preemphasis coefficient
+    b.op("LDW A0, " + std::to_string(kInputBase) + ", A12");  // in[0]
+    b.op("NOP 4");
+    b.op("MVK " + std::to_string(kScratchBase) + ", A3");
+    b.op("STW A12, A3, 0");     // s[0] = in[0]
+    b.op("MVK " + std::to_string(samples - 1) + ", B0");
+    b.op("MVK 1, A9");          // n = 1
+    b.label(p + "pre");
+    b.op("LDW A9, " + std::to_string(kInputBase) + ", A13");  // in[n]
+    b.op("SUB A9, A0, A3");     // (avoids negative offset fields)
+    b.op("ADDK -1, A3");
+    b.op("LDW A3, " + std::to_string(kInputBase) + ", A12");  // in[n-1]
+    b.op("NOP 3");
+    b.op("SMPY A12, A14, A11"); // (in[n-1] * 28180) << 1, saturated
+    b.op("SADD A11, A15, A11"); // + 32768 (round)
+    b.op("SHRI A11, 16, A11");  // Q15 result
+    b.op("SSUB A13, A11, A11"); // s[n] = in[n] - t
+    b.op("MV A9, A3");
+    b.op("ADDK " + std::to_string(kScratchBase) + ", A3");
+    b.op("STW A11, A3, 0");
+    b.op("ADDK 1, A9");
+    b.op("ADDK -1, B0");
+    b.op("[B0] B " + p + "pre");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // ---- phase 2: autocorrelation, r[k] = L_MAC over n ------------------
+    b.op("MVK " + std::to_string(kLags) + ", B1");
+    b.op("MVK 0, A10");         // k
+    b.label(p + "ak");
+    b.op("MVK 0, A7");          // acc
+    b.op("MV A10, A9");         // n = k
+    b.op("MVK " + std::to_string(samples) + ", A3");
+    b.op("SUB A3, A10, A3");
+    b.op("MV A3, B0");          // inner trips = samples - k
+    b.label(p + "an");
+    b.op("MV A9, A3");
+    b.op("ADDK " + std::to_string(kScratchBase) + ", A3");
+    b.op("LDW A3, 0, A12");     // s[n]
+    b.op("SUB A9, A10, A3");
+    b.op("ADDK " + std::to_string(kScratchBase) + ", A3");
+    b.op("LDW A3, 0, A13");     // s[n-k]
+    b.op("NOP 3");
+    b.op("SMPY A12, A13, A14");
+    b.op("SADD A7, A14, A7");   // L_MAC
+    b.op("ADDK 1, A9");
+    b.op("ADDK -1, B0");
+    b.op("[B0] B " + p + "an");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("MV A10, A3");
+    b.op("ADDK " + std::to_string(kResultBase) + ", A3");
+    b.op("STW A7, A3, 0");      // r[k]
+    b.op("ADDK 1, A10");
+    b.op("ADDK -1, B1");
+    b.op("[B1] B " + p + "ak");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // ---- phase 3: block normalization -----------------------------------
+    // smax = max |r[k]|
+    b.op("MVK 0, A7");
+    b.op("MVK " + std::to_string(kLags) + ", B1");
+    b.op("MVK " + std::to_string(kResultBase) + ", A9");
+    b.label(p + "fmax");
+    b.op("LDW A9, 0, A12");
+    b.op("NOP 4");
+    b.op("ABS A12, A12");
+    b.op("MAX2 A7, A12, A7");
+    b.op("ADDK 1, A9");
+    b.op("ADDK -1, B1");
+    b.op("[B1] B " + p + "fmax");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // norm = leading shift count to bring smax into [2^30, 2^31)
+    b.op("MVK 0, A8");
+    b.op("CMPEQ A7, A0, B2");
+    b.op("[B2] B " + p + "ndone");  // all-zero frame
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("MVK 0, A11");
+    b.op("MVKH 16384, A11");    // 2^30
+    b.label(p + "nloop");
+    b.op("CMPLT A7, A11, B2");
+    b.op("[!B2] B " + p + "ndone");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("SHLI A7, 1, A7");
+    b.op("ADDK 1, A8");
+    b.op("B " + p + "nloop");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.label(p + "ndone");
+    b.op("MVK " + std::to_string(kResultBase + kLags) + ", A3");
+    b.op("STW A8, A3, 0");      // norm
+    // r[k] <<= norm
+    b.op("MVK " + std::to_string(kLags) + ", B1");
+    b.op("MVK " + std::to_string(kResultBase) + ", A9");
+    b.label(p + "scale");
+    b.op("LDW A9, 0, A12");
+    b.op("NOP 4");
+    b.op("SHL A12, A8, A12");
+    b.op("STW A12, A9, 0");
+    b.op("ADDK 1, A9");
+    b.op("ADDK -1, B1");
+    b.op("[B1] B " + p + "scale");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // ---- phase 4: reflection coefficients (Le Roux-Gueguen / schur) ----
+    // P[i] = K[i] = r_scaled[i] >> 16 (16-bit normalized ACF)
+    b.op("MVK " + std::to_string(kLags) + ", B1");
+    b.op("MVK 0, A9");
+    b.label(p + "s4i");
+    b.op("MV A9, A3");
+    b.op("ADDK " + std::to_string(kResultBase) + ", A3");
+    b.op("LDW A3, 0, A12");
+    b.op("NOP 4");
+    b.op("SHRI A12, 16, A12");
+    b.op("MV A9, A3");
+    b.op("ADDK " + std::to_string(kPBase) + ", A3");
+    b.op("STW A12, A3, 0");
+    b.op("MV A9, A3");
+    b.op("ADDK " + std::to_string(kKBase) + ", A3");
+    b.op("STW A12, A3, 0");
+    b.op("ADDK 1, A9");
+    b.op("ADDK -1, B1");
+    b.op("[B1] B " + p + "s4i");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // clear the output coefficients (early exits leave zeros behind)
+    b.op("MVK " + std::to_string(kCoeffs) + ", B1");
+    b.op("MVK " + std::to_string(kReflBase) + ", A9");
+    b.label(p + "s4c");
+    b.op("STW A0, A9, 0");
+    b.op("ADDK 1, A9");
+    b.op("ADDK -1, B1");
+    b.op("[B1] B " + p + "s4c");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // constants and loop state
+    b.op("MVK 32767, B8");
+    b.op("MVK -32768, B9");
+    b.op("MVK " + std::to_string(kCoeffs) + ", B0");  // outer remaining
+    b.op("MVK 0, A10");                               // n
+    b.label(p + "s4o");
+    b.op("MVK " + std::to_string(kPBase) + ", A3");
+    b.op("LDW A3, 0, A11");  // P[0]
+    b.op("LDW A3, 1, A12");  // P[1]
+    b.op("NOP 4");
+    b.op("MV A12, B5");      // keep P[1]
+    b.op("ABS A12, A13");    // |P[1]|
+    b.op("CMPGT A11, A0, B1");
+    b.op("[!B1] B " + p + "s4done");  // P[0] <= 0: stop
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("CMPLT A11, A13, B1");
+    b.op("[B1] B " + p + "s4done");   // P[0] < |P[1]|: stop
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    // k = div_q15(|P[1]|, P[0]) — 15-step shift-subtract division
+    b.op("MVK 0, A14");
+    b.op("MV A13, A15");
+    b.op("MVK 15, B2");
+    b.label(p + "s4d");
+    b.op("SHLI A14, 1, A14");
+    b.op("SHLI A15, 1, A15");
+    b.op("CMPLT A15, A11, B1");
+    b.op("[!B1] SUB A15, A11, A15");
+    b.op("[!B1] ADDK 1, A14");
+    b.op("ADDK -1, B2");
+    b.op("[B2] B " + p + "s4d");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("CMPGT B5, A0, B1");
+    b.op("[B1] SUB A0, A14, A14");    // P[1] > 0: k = -k
+    b.op("MV A10, A3");
+    b.op("ADDK " + std::to_string(kReflBase) + ", A3");
+    b.op("STW A14, A3, 0");           // refl[n]
+    b.op("ADDK -1, B0");
+    b.op("[!B0] B " + p + "s4done");  // n == 7: stop
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("MV A14, B6");               // k
+    // P[0] += mult_r(P[1], k), saturated
+    b.op("MPY B5, B6, A8");
+    b.op("ADDK 16384, A8");
+    b.op("SHRI A8, 15, A8");
+    b.op("MIN2 A8, B8, A8");
+    b.op("MAX2 A8, B9, A8");
+    b.op("ADD A11, A8, A8");
+    b.op("MIN2 A8, B8, A8");
+    b.op("MAX2 A8, B9, A8");
+    b.op("MVK " + std::to_string(kPBase) + ", A3");
+    b.op("STW A8, A3, 0");
+    // inner schur update, m = 1 .. 7-n
+    b.op("MVK 7, A3");
+    b.op("SUB A3, A10, A3");
+    b.op("MV A3, B2");
+    b.op("MVK " + std::to_string(kPBase + 1) + ", A4");
+    b.op("MVK " + std::to_string(kKBase + 1) + ", A5");
+    b.label(p + "s4m");
+    b.op("LDW A4, 1, A6");   // P[m+1]
+    b.op("LDW A5, 0, A7");   // K[m]
+    b.op("NOP 3");
+    b.op("MPY A7, B6, A8");  // mult_r(K[m], k)
+    b.op("ADDK 16384, A8");
+    b.op("SHRI A8, 15, A8");
+    b.op("MIN2 A8, B8, A8");
+    b.op("MAX2 A8, B9, A8");
+    b.op("ADD A6, A8, A8");  // + P[m+1], saturated
+    b.op("MIN2 A8, B8, A8");
+    b.op("MAX2 A8, B9, A8");
+    b.op("STW A8, A4, 0");   // P[m]
+    b.op("MPY A6, B6, A9");  // mult_r(P[m+1], k)
+    b.op("ADDK 16384, A9");
+    b.op("SHRI A9, 15, A9");
+    b.op("MIN2 A9, B8, A9");
+    b.op("MAX2 A9, B9, A9");
+    b.op("ADD A7, A9, A9");  // + K[m], saturated
+    b.op("MIN2 A9, B8, A9");
+    b.op("MAX2 A9, B9, A9");
+    b.op("STW A9, A5, 0");   // K[m]
+    b.op("ADDK 1, A4");
+    b.op("ADDK 1, A5");
+    b.op("ADDK -1, B2");
+    b.op("[B2] B " + p + "s4m");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.op("ADDK 1, A10");
+    b.op("B " + p + "s4o");
+    for (int i = 0; i < 5; ++i) b.op("NOP 1");
+    b.label(p + "s4done");
+  }
+  b.op("HALT");
+  b.data("dmem", kInputBase, input);
+  w.asm_source = b.take();
+
+  // Reference model.
+  std::vector<std::int32_t> s(static_cast<std::size_t>(samples));
+  s[0] = static_cast<std::int32_t>(input[0]);
+  for (int n = 1; n < samples; ++n) {
+    std::int32_t t = detail::c_smpy(
+        static_cast<std::int32_t>(input[static_cast<std::size_t>(n - 1)]),
+        28180);
+    t = detail::c_sadd(t, 32768);
+    t >>= 16;
+    s[static_cast<std::size_t>(n)] = detail::c_ssub(
+        static_cast<std::int32_t>(input[static_cast<std::size_t>(n)]), t);
+  }
+  std::vector<std::int32_t> rk(kLags, 0);
+  for (int k = 0; k < kLags; ++k) {
+    std::int32_t acc = 0;
+    for (int n = k; n < samples; ++n)
+      acc = detail::c_sadd(
+          acc, detail::c_smpy(s[static_cast<std::size_t>(n)],
+                              s[static_cast<std::size_t>(n - k)]));
+    rk[static_cast<std::size_t>(k)] = acc;
+  }
+  std::int32_t smax = 0;
+  for (int k = 0; k < kLags; ++k) {
+    const std::int32_t a = detail::sat32(
+        std::abs(static_cast<std::int64_t>(rk[static_cast<std::size_t>(k)])));
+    if (a > smax) smax = a;
+  }
+  std::int32_t norm = 0;
+  if (smax != 0) {
+    std::int32_t v = smax;
+    while (v < (1 << 30)) {
+      v = static_cast<std::int32_t>(static_cast<std::uint32_t>(v) << 1);
+      ++norm;
+    }
+  }
+  std::vector<std::int32_t> r16;
+  for (int k = 0; k < kLags; ++k) {
+    const std::int32_t scaled = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(rk[static_cast<std::size_t>(k)]) << norm);
+    w.expected_dmem.emplace_back(
+        kResultBase + static_cast<std::uint64_t>(k), scaled);
+    r16.push_back(scaled >> 16);
+  }
+  w.expected_dmem.emplace_back(kResultBase + kLags, norm);
+  const std::vector<std::int32_t> refl = reference_schur(r16);
+  for (int n = 0; n < kCoeffs; ++n)
+    w.expected_dmem.emplace_back(kReflBase + static_cast<std::uint64_t>(n),
+                                 refl[static_cast<std::size_t>(n)]);
+  return w;
+}
+
+std::vector<Workload> paper_suite() {
+  std::vector<Workload> suite;
+  suite.push_back(make_fir(16, 64));
+  suite.push_back(make_adpcm(256));
+  suite.push_back(make_gsm(160));
+  return suite;
+}
+
+}  // namespace lisasim::workloads

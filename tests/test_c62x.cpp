@@ -1,0 +1,323 @@
+// End-to-end tests on the c62x model: VLIW execute packets, predication,
+// exposed pipeline latencies (MPY/load/branch delay slots), saturating
+// arithmetic, and cross-level accuracy.
+#include <gtest/gtest.h>
+
+#include "asm/disasm.hpp"
+#include "sim_test_util.hpp"
+#include "targets/c62x.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::CrossLevelRun;
+using testing::TestTarget;
+
+class C62xTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    target_ = new TestTarget(targets::c62x_model_source(), "c62x");
+  }
+  static void TearDownTestSuite() {
+    delete target_;
+    target_ = nullptr;
+  }
+  static TestTarget* target_;
+};
+
+TestTarget* C62xTest::target_ = nullptr;
+
+TEST_F(C62xTest, AssembleDisassembleRoundTrip) {
+  const char* sources[] = {
+      "ADD A1, A2, A3",       "SUB B1, B2, B3",      "MPY A1, B2, A3",
+      "MPYH A4, A5, A6",      "SMPY B1, B2, B3",     "AND A1, A2, A3",
+      "OR A1, A2, A3",        "XOR A1, A2, A3",      "SHL A1, A2, A3",
+      "SHR A1, A2, A3",       "CMPEQ A1, A2, A3",    "CMPGT A1, B2, B3",
+      "CMPLT A1, A2, A3",     "SADD A1, A2, A3",     "SSUB A1, A2, A3",
+      "MIN2 A1, A2, A3",      "MAX2 A1, A2, A3",     "MV A1, B1",
+      "ABS A1, A2",           "MVK 1000, A1",        "MVKH 513, A1",
+      "ADDK 77, B5",          "SHLI A1, 5, A2",      "SHRI B1, 3, B2",
+      "LDW A1, 16, A2",       "LDH B1, 2, B2",       "STW A1, A2, 3",
+      "STH B1, B2, 1",        "B 100",               "NOP 5",
+      "HALT",                 "[B0] ADD A1, A2, A3", "[!B0] MVK 5, A1",
+      "[A1] B 7",             "[!A2] STW A1, A2, 0",
+  };
+  for (const char* src : sources) {
+    const LoadedProgram p = target_->assemble(std::string(src) + "\nHALT\n");
+    const std::string dis = disassemble_word(*target_->decoder, p.words[0]);
+    const LoadedProgram p2 = target_->assemble(dis + "\nHALT\n");
+    EXPECT_EQ(p.words[0], p2.words[0]) << src << " -> " << dis;
+  }
+}
+
+TEST_F(C62xTest, ParallelBarsSetTheChainBit) {
+  const LoadedProgram p = target_->assemble(R"(
+        ADD A1, A2, A3
+     || SUB B1, B2, B3
+     || MVK 7, A4
+        HALT
+  )");
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.words[0] & 1u, 1u);  // chained to next
+  EXPECT_EQ(p.words[1] & 1u, 1u);
+  EXPECT_EQ(p.words[2] & 1u, 0u);  // last of packet
+  EXPECT_EQ(p.words[3] & 1u, 0u);
+}
+
+TEST_F(C62xTest, PacketTooLargeFails) {
+  std::string src = "ADD A1, A2, A3\n";
+  for (int i = 0; i < 8; ++i) src += " || ADD A1, A2, A3\n";
+  DiagnosticEngine diags;
+  Assembler assembler(*target_->model, *target_->decoder);
+  assembler.assemble(src, "t.asm", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST_F(C62xTest, ParallelPacketExecutesInOneCycle) {
+  const LoadedProgram sequential = target_->assemble(R"(
+        MVK 1, A1
+        MVK 2, A2
+        MVK 3, A3
+        MVK 4, A4
+        HALT
+  )");
+  const LoadedProgram parallel = target_->assemble(R"(
+        MVK 1, A1
+     || MVK 2, A2
+     || MVK 3, A3
+     || MVK 4, A4
+        HALT
+  )");
+  const auto r_seq = testing::run_all_levels(*target_->model, sequential);
+  const auto r_par = testing::run_all_levels(*target_->model, parallel);
+  EXPECT_EQ(r_seq.result.cycles - r_par.result.cycles, 3u);
+  // Same architectural result (the program words differ by p-bits, so
+  // compare registers, not the whole dump).
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_NE(r_seq.state_dump.find("A[" + std::to_string(i) + "] = " +
+                                    std::to_string(i)),
+              std::string::npos);
+    EXPECT_NE(r_par.state_dump.find("A[" + std::to_string(i) + "] = " +
+                                    std::to_string(i)),
+              std::string::npos);
+  }
+}
+
+TEST_F(C62xTest, PredicationControlsExecution) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 0, B0
+        MVK 1, B1
+        [B0] MVK 11, A3       ; B0 == 0: squashed
+        [B1] MVK 12, A4       ; B1 != 0: executes
+        [!B0] MVK 13, A5      ; executes
+        [!B1] MVK 14, A6      ; squashed
+        [A1] MVK 15, A7       ; A1 == 0: squashed
+        [!A2] MVK 16, A8      ; A2 == 0: executes
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_EQ(run.state_dump.find("A[3]"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[4] = 12"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[5] = 13"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("A[6]"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("A[7]"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[8] = 16"), std::string::npos);
+}
+
+TEST_F(C62xTest, MpyWritesBackInE2) {
+  // MPY's E2 writeback runs in the same cycle as the next packet's E1 but
+  // *before* it (oldest first), so the next instruction already sees the
+  // product; only a same-packet reader sees the old value.
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 6, A1
+        MVK 7, A2
+        MPY A1, A2, A3        ; A3 <- 42 in E2
+        MV A3, A4             ; next packet: sees 42
+        MV A3, A6             ; sees 42
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = 42"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[4] = 42"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[6] = 42"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(C62xTest, MpyResultNotVisibleInSamePacket) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 6, A1
+        MVK 7, A2
+        MPY A1, A2, A3
+     || MV A3, A4             ; same packet: must read old A3 (= 0)
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = 42"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("A[4]"), std::string::npos)
+      << run.state_dump;  // A4 stayed 0
+}
+
+TEST_F(C62xTest, LoadDelaySlots) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 3, A1             ; base
+        LDW A1, 2, A5         ; A5 <- dmem[5] = 999
+        MV A5, A6             ; too early: old A5
+        NOP 2
+        MV A5, A7             ; E5 writeback has drained: sees 999
+        HALT
+        .data dmem 5
+        .word 999
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[5] = 999"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("A[6]"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[7] = 999"), std::string::npos);
+}
+
+TEST_F(C62xTest, PredicatedFalseLoadDoesNotWrite) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 0, B0
+        MVK 77, A5
+        [B0] LDW A1, 0, A5    ; squashed: A5 keeps 77
+        NOP 5
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[5] = 77"), std::string::npos);
+}
+
+TEST_F(C62xTest, StoreCompletesInE3) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 55, A1
+        MVK 9, A2
+        STW A1, A2, 0         ; dmem[9] <- 55 (in E3)
+        NOP 4
+        LDW A2, 0, A3         ; A3 <- dmem[9]
+        NOP 4
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = 55"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(C62xTest, HalfwordLoadStoreSignExtend) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK -2, A1            ; 0xFFFFFFFE
+        MVK 4, A2
+        STH A1, A2, 0         ; dmem[4] low half <- 0xFFFE
+        NOP 4
+        LDH A2, 0, A3         ; A3 <- sext(0xFFFE) = -2
+        LDW A2, 0, A4         ; A4 <- raw word (0x0000FFFE = 65534)
+        NOP 4
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = -2"), std::string::npos)
+      << run.state_dump;
+  EXPECT_NE(run.state_dump.find("A[4] = 65534"), std::string::npos);
+}
+
+TEST_F(C62xTest, BranchHasFiveDelaySlots) {
+  const LoadedProgram p = target_->assemble(R"(
+        B target
+        MVK 1, A3             ; delay slot 1: executes
+        MVK 2, A4             ; delay slot 2: executes
+        MVK 3, A5             ; delay slot 3: executes
+        MVK 4, A6             ; delay slot 4: executes
+        MVK 5, A7             ; delay slot 5: executes
+        MVK 6, A8             ; never fetched
+        MVK 7, A9             ; never fetched
+target: HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = 1"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[7] = 5"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("A[8]"), std::string::npos)
+      << run.state_dump;
+  EXPECT_EQ(run.state_dump.find("A[9]"), std::string::npos);
+}
+
+TEST_F(C62xTest, CountedLoopSums) {
+  // Classic C6x down-counted loop: the body fills the branch's 5 delay
+  // slots (5 words — a multi-cycle NOP would shorten the fetch window, so
+  // single NOPs pad); HALT is fetched only when the branch falls through.
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 5, B0             ; trip count
+        MVK 0, A3             ; sum
+        MVK 1, A4             ; constant one
+loop:   [B0] B loop
+        ADD A3, B0, A3        ; sum += counter (delay slot 1)
+        SUB B0, A4, B0        ; counter-- (delay slot 2)
+        NOP 1
+        NOP 1
+        NOP 1                 ; delay slots 3..5
+        HALT                  ; reached when B0 == 0
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_TRUE(run.result.halted);
+  // sum = 5+4+3+2+1 = 15
+  EXPECT_NE(run.state_dump.find("A[3] = 15"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(C62xTest, SaturatingArithmetic) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 1, A1
+        MVKH 32768, A1        ; A1 = 0x80000001 -> INT32_MIN + 1
+        MVK -10, A2
+        SADD A1, A2, A3       ; saturates to INT32_MIN
+        MVK -1, B1
+        MVKH 32767, B1        ; B1 = 0x7FFFFFFF = INT32_MAX
+        MVK 10, B2
+        SADD B1, B2, B3       ; saturates to INT32_MAX
+        SSUB A1, B1, A4       ; min+1 - max saturates to INT32_MIN
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = -2147483648"), std::string::npos)
+      << run.state_dump;
+  EXPECT_NE(run.state_dump.find("B[3] = 2147483647"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("A[4] = -2147483648"), std::string::npos);
+}
+
+TEST_F(C62xTest, SmpyDoublesAndSaturates) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 16384, A1
+        MVK 16384, A2
+        SMPY A1, A2, A3       ; (16384*16384)<<1 = 2^29... fits
+        MVK -32768, B1
+        MVK -32768, B2
+        SMPY B1, B2, B3       ; (0x8000*0x8000)<<1 = 2^31 -> saturates
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = 536870912"), std::string::npos)
+      << run.state_dump;
+  EXPECT_NE(run.state_dump.find("B[3] = 2147483647"), std::string::npos);
+}
+
+TEST_F(C62xTest, MpyhUsesHighHalves) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 0, A1
+        MVKH 5, A1            ; A1 = 5 << 16
+        MVK 0, A2
+        MVKH 7, A2            ; A2 = 7 << 16
+        MPYH A1, A2, A3       ; 5 * 7
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("A[3] = 35"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(C62xTest, ElevenStagePipelineFillTime) {
+  // A lone HALT is fetched at the end of cycle 1 and travels PG..E1
+  // (stages 0..6), executing halt() in cycle 8.
+  const LoadedProgram p = target_->assemble("HALT\n");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_EQ(run.result.cycles, 8u);
+}
+
+}  // namespace
+}  // namespace lisasim

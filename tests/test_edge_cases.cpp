@@ -1,0 +1,200 @@
+// Edge-case tests across components: error paths and unusual-but-legal
+// model shapes that the main suites do not reach.
+#include <gtest/gtest.h>
+
+#include "behavior/eval.hpp"
+#include "behavior/microops.hpp"
+#include "behavior/specialize.hpp"
+#include "decode/decoder.hpp"
+#include "model/database.hpp"
+#include "model/sema.hpp"
+#include "sim_test_util.hpp"
+
+namespace lisasim {
+namespace {
+
+TEST(EdgeCase, SwitchWithoutMatchingCaseOrDefaultDoesNothing) {
+  const char* source = R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY int32 m[8]; int64 s;
+               PIPELINE pipe = { EX; }; }
+    FETCH { WORD 8; MEMORY m; }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL k; }
+      CODING { k=0bx[8] }
+      SWITCH (k) {
+        CASE 1: { BEHAVIOR { s = 10; } }
+      }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "edge");
+  Decoder decoder(*model);
+  ProcessorState state(*model);
+  PipelineControl control;
+  Evaluator eval(state, control);
+  // k = 5: no case matches, no default -> nothing executes.
+  DecodedNodePtr node = decoder.decode(5);
+  ASSERT_NE(node, nullptr);
+  eval.run_op(*node, nullptr);
+  EXPECT_EQ(state.read(model->resource_by_name("s")->id), 0);
+  // And the specializer produces an empty schedule for it.
+  Specializer specializer(*model);
+  std::vector<std::int64_t> words = {5};
+  PacketSchedule schedule =
+      specializer.schedule_packet(decoder.decode_packet(words, 0));
+  EXPECT_TRUE(schedule.stage_programs[0].empty());
+}
+
+TEST(EdgeCase, NestedCodingTimeConditionals) {
+  const char* source = R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY int32 m[8]; int64 s;
+               PIPELINE pipe = { EX; }; }
+    FETCH { WORD 8; MEMORY m; }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a, b; }
+      CODING { a=0bx[4] b=0bx[4] }
+      IF (a > 7) {
+        IF (b > 7) {
+          BEHAVIOR { s = 1; }
+        } ELSE {
+          BEHAVIOR { s = 2; }
+        }
+      } ELSE IF (b == 0) {
+        BEHAVIOR { s = 3; }
+      } ELSE {
+        BEHAVIOR { s = 4; }
+      }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "edge");
+  Decoder decoder(*model);
+  Specializer specializer(*model);
+  const auto value_for = [&](std::uint64_t word) {
+    std::vector<std::int64_t> words = {static_cast<std::int64_t>(word)};
+    PacketSchedule schedule =
+        specializer.schedule_packet(decoder.decode_packet(words, 0));
+    return schedule.stage_programs[0].stmts.at(0)->to_string();
+  };
+  EXPECT_EQ(value_for(0x99), "s = 1;\n");
+  EXPECT_EQ(value_for(0x91), "s = 2;\n");
+  EXPECT_EQ(value_for(0x10), "s = 3;\n");
+  EXPECT_EQ(value_for(0x11), "s = 4;\n");
+}
+
+TEST(EdgeCase, ExpressionOnlyGroupsSelectPerAlternative) {
+  // SWITCH over a group where cases are operation identities.
+  const char* source = R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY int32 m[8]; int64 s;
+               PIPELINE pipe = { EX; }; }
+    FETCH { WORD 8; MEMORY m; }
+    OPERATION small { CODING { 0b0 } }
+    OPERATION big   { CODING { 0b1 } }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { GROUP size = { small || big }; LABEL v; }
+      CODING { size v=0bx[7] }
+      SWITCH (size) {
+        CASE small: { BEHAVIOR { s = v; } }
+        CASE big:   { BEHAVIOR { s = v * 1000; } }
+      }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "edge");
+  Decoder decoder(*model);
+  ProcessorState state(*model);
+  PipelineControl control;
+  Evaluator eval(state, control);
+  const ResourceId s = model->resource_by_name("s")->id;
+
+  DecodedNodePtr node = decoder.decode(0x05);  // small, v=5
+  eval.run_op(*node, nullptr);
+  EXPECT_EQ(state.read(s), 5);
+  node = decoder.decode(0x85);  // big, v=5
+  eval.run_op(*node, nullptr);
+  EXPECT_EQ(state.read(s), 5000);
+}
+
+TEST(EdgeCase, SixtyFourBitWordModel) {
+  // Word width at the engine's 64-bit ceiling.
+  const char* source = R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY int64 m[8]; int64 s;
+               PIPELINE pipe = { EX; }; }
+    FETCH { WORD 64; MEMORY m; }
+    OPERATION wide IN pipe.EX {
+      DECLARE { LABEL imm; }
+      CODING { 0b1010 imm=0bx[60] }
+      SYNTAX { "WIDE " imm }
+      BEHAVIOR { s = imm; halt(); }
+    }
+    OPERATION instruction {
+      DECLARE { GROUP insn = { wide }; }
+      CODING { insn }
+      SYNTAX { insn }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "wide");
+  Decoder decoder(*model);
+  const std::uint64_t word =
+      (0b1010ull << 60) | 0x0123456789ABCDEull;
+  DecodedNodePtr node = decoder.decode(word);
+  ASSERT_NE(node, nullptr);
+  const DecodedNode* wide = node->children.at(0).get();
+  ASSERT_NE(wide, nullptr);
+  ASSERT_EQ(wide->op->name, "wide");
+  EXPECT_EQ(static_cast<std::uint64_t>(wide->fields.at(0)),
+            0x0123456789ABCDEull);
+  EXPECT_EQ(decoder.encode(*node), word);
+}
+
+TEST(EdgeCase, SingleStagePipelineRuns) {
+  const char* source = R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY uint32 m[16]; int64 s;
+               PIPELINE pipe = { GO; }; }
+    FETCH { WORD 8; MEMORY m; }
+    OPERATION bump IN pipe.GO {
+      CODING { 0b00000001 }
+      SYNTAX { "BUMP" }
+      BEHAVIOR { s = s + 1; }
+    }
+    OPERATION stop IN pipe.GO {
+      CODING { 0b11111111 }
+      SYNTAX { "STOP" }
+      BEHAVIOR { halt(); }
+    }
+    OPERATION instruction {
+      DECLARE { GROUP insn = { bump || stop }; }
+      CODING { insn }
+      SYNTAX { insn }
+    }
+  )";
+  testing::TestTarget target(source, "one-stage");
+  const LoadedProgram p = target.assemble("BUMP\nBUMP\nBUMP\nSTOP\n");
+  const auto run = testing::run_all_levels(*target.model, p);
+  EXPECT_TRUE(run.result.halted);
+  EXPECT_NE(run.state_dump.find("s = 3"), std::string::npos)
+      << run.state_dump;
+  // One stage: each instruction completes the cycle after its fetch.
+  EXPECT_EQ(run.result.cycles, 5u);
+}
+
+TEST(EdgeCase, MicroOpsRejectUnspecializedSymbols) {
+  SpecProgram program;
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kExpr;
+  stmt->value = Expr::make_sym("ghost");
+  stmt->value->sym.kind = SymKind::kField;
+  stmt->value->sym.index = 0;
+  program.stmts.push_back(std::move(stmt));
+  EXPECT_THROW(lower_to_microops(program), SimError);
+}
+
+TEST(EdgeCase, DatabaseRejectsGarbage) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(load_model("not a model at all {{{", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(EdgeCase, LoadModelFromMissingFileThrows) {
+  EXPECT_THROW(load_model_from_file("/nonexistent/model.lisa"), SimError);
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -1,0 +1,337 @@
+// Behavior-evaluator unit tests: arithmetic semantics on the 64-bit
+// domain, intrinsics, locals, run-time conditionals, operand delegation
+// through EXPRESSION, upward REFERENCE resolution and error cases.
+#include <gtest/gtest.h>
+
+#include "behavior/eval.hpp"
+#include "decode/decoder.hpp"
+#include "model/sema.hpp"
+
+namespace lisasim {
+namespace {
+
+/// Build a one-operation model whose instruction has two 8-bit fields `a`
+/// and `b` and the given BEHAVIOR body; execute it on the word (a<<8)|b
+/// and return the scalar resource `s`.
+class EvalHarness {
+ public:
+  explicit EvalHarness(const std::string& behavior_body,
+                       const std::string& extra_ops = "") {
+    const std::string source = R"(
+      RESOURCE {
+        PROGRAM_COUNTER uint32 PC;
+        REGISTER int32 R[8];
+        MEMORY int32 m[32];
+        int64 s;
+        PIPELINE pipe = { EX; };
+      }
+      FETCH { WORD 16; MEMORY m; }
+    )" + extra_ops + R"(
+      OPERATION instruction {
+        DECLARE { LABEL a, b; }
+        CODING { a=0bx[8] b=0bx[8] }
+        BEHAVIOR {
+    )" + behavior_body + R"(
+        }
+      }
+    )";
+    model_ = compile_model_source_or_throw(source, "eval-test");
+    decoder_ = std::make_unique<Decoder>(*model_);
+    state_ = std::make_unique<ProcessorState>(*model_);
+  }
+
+  std::int64_t run(std::uint8_t a = 0, std::uint8_t b = 0) {
+    const std::uint64_t word =
+        (static_cast<std::uint64_t>(a) << 8) | b;
+    DecodedNodePtr node = decoder_->decode(word);
+    EXPECT_NE(node, nullptr);
+    Evaluator eval(*state_, control_);
+    eval.run_op(*node, nullptr);
+    return state_->read(model_->resource_by_name("s")->id);
+  }
+
+  ProcessorState& state() { return *state_; }
+  PipelineControl& control() { return control_; }
+  const Model& model() const { return *model_; }
+
+ private:
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<Decoder> decoder_;
+  std::unique_ptr<ProcessorState> state_;
+  PipelineControl control_;
+};
+
+TEST(Eval, FieldsAreDecoded) {
+  EvalHarness h("s = a * 100 + b;");
+  EXPECT_EQ(h.run(3, 7), 307);
+}
+
+struct ArithCase {
+  const char* expr;
+  std::int64_t expected;
+};
+
+class EvalArith : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(EvalArith, Computes) {
+  EvalHarness h(std::string("s = ") + GetParam().expr + ";");
+  EXPECT_EQ(h.run(), GetParam().expected) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, EvalArith,
+    ::testing::Values(
+        ArithCase{"7 + 5", 12}, ArithCase{"7 - 9", -2},
+        ArithCase{"6 * 7", 42}, ArithCase{"17 / 5", 3},
+        ArithCase{"-17 / 5", -3}, ArithCase{"17 % 5", 2},
+        ArithCase{"-17 % 5", -2}, ArithCase{"12 & 10", 8},
+        ArithCase{"12 | 10", 14}, ArithCase{"12 ^ 10", 6},
+        ArithCase{"3 << 4", 48}, ArithCase{"-64 >> 3", -8},
+        ArithCase{"5 == 5", 1}, ArithCase{"5 == 6", 0},
+        ArithCase{"5 != 6", 1}, ArithCase{"4 < 5", 1},
+        ArithCase{"5 <= 5", 1}, ArithCase{"5 > 5", 0},
+        ArithCase{"5 >= 5", 1}, ArithCase{"1 && 0", 0},
+        ArithCase{"1 && 2", 1}, ArithCase{"0 || 3", 1},
+        ArithCase{"0 || 0", 0}, ArithCase{"!3", 0}, ArithCase{"!0", 1},
+        ArithCase{"~0", -1}, ArithCase{"-(5)", -5},
+        ArithCase{"1 ? 11 : 22", 11}, ArithCase{"0 ? 11 : 22", 22},
+        ArithCase{"2 + 3 * 4", 14}, ArithCase{"(2 + 3) * 4", 20}));
+
+struct IntrinsicCase {
+  const char* expr;
+  std::int64_t expected;
+};
+
+class EvalIntrinsics : public ::testing::TestWithParam<IntrinsicCase> {};
+
+TEST_P(EvalIntrinsics, Computes) {
+  EvalHarness h(std::string("s = ") + GetParam().expr + ";");
+  EXPECT_EQ(h.run(), GetParam().expected) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Intrinsics, EvalIntrinsics,
+    ::testing::Values(IntrinsicCase{"sext(255, 8)", -1},
+                      IntrinsicCase{"sext(127, 8)", 127},
+                      IntrinsicCase{"zext(-1, 8)", 255},
+                      IntrinsicCase{"sat(40000, 16)", 32767},
+                      IntrinsicCase{"sat(-40000, 16)", -32768},
+                      IntrinsicCase{"sat(100, 16)", 100},
+                      IntrinsicCase{"abs(-5)", 5},
+                      IntrinsicCase{"abs(5)", 5},
+                      IntrinsicCase{"min(3, -4)", -4},
+                      IntrinsicCase{"max(3, -4)", 3}));
+
+TEST(Eval, WrapAroundIsTwosComplement) {
+  // INT64_MAX + 1 wraps to INT64_MIN on the 64-bit evaluation domain.
+  EvalHarness h("s = ((1 << 63) - 1) + 1;");
+  EXPECT_EQ(h.run(), INT64_MIN);
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+  EvalHarness h("s = 1 / (a - a);");
+  EXPECT_THROW(h.run(), SimError);
+}
+
+TEST(Eval, RemainderByZeroThrows) {
+  EvalHarness h("s = 1 % (a - a);");
+  EXPECT_THROW(h.run(), SimError);
+}
+
+TEST(Eval, Int64MinDividedByMinusOneWraps) {
+  EvalHarness h("s = ((1 << 63)) / (0 - 1);");
+  EXPECT_EQ(h.run(), INT64_MIN);  // -INT64_MIN wraps
+}
+
+TEST(Eval, LocalsAndRuntimeIf) {
+  EvalHarness h(R"(
+    int32 t = a + 1;
+    if (t > 10) {
+      int32 u = t * 2;
+      s = u;
+    } else {
+      s = t;
+    }
+  )");
+  EXPECT_EQ(h.run(4), 5);
+  EXPECT_EQ(h.run(20), 42);
+}
+
+TEST(Eval, LocalShadowsInInnerScopeOnly) {
+  EvalHarness h(R"(
+    int32 t = 1;
+    if (a) {
+      int32 u = 50;
+      t = u;
+    }
+    s = t;
+  )");
+  EXPECT_EQ(h.run(0), 1);
+  EXPECT_EQ(h.run(1), 50);
+}
+
+TEST(Eval, RegisterFileAndMemoryAccess) {
+  EvalHarness h(R"(
+    R[a] = 11;
+    m[b] = R[a] + 1;
+    s = m[b] * 10;
+  )");
+  EXPECT_EQ(h.run(3, 5), 120);
+  EXPECT_EQ(h.state().read(h.model().resource_by_name("R")->id, 3), 11);
+  EXPECT_EQ(h.state().read(h.model().resource_by_name("m")->id, 5), 12);
+}
+
+TEST(Eval, MemoryCanonicalizesToElementType) {
+  // m is int32: a store of 2^31 reads back negative.
+  EvalHarness h(R"(
+    m[0] = (1 << 31);
+    s = m[0];
+  )");
+  EXPECT_EQ(h.run(), INT64_C(-2147483648));
+}
+
+TEST(Eval, OutOfBoundsMemoryThrows) {
+  EvalHarness h("s = m[99];");
+  EXPECT_THROW(h.run(), SimError);
+}
+
+TEST(Eval, ControlIntrinsicsRaiseFlags) {
+  EvalHarness h(R"(
+    stall(3);
+    flush();
+    halt();
+    s = 1;
+  )");
+  EXPECT_EQ(h.run(), 1);
+  EXPECT_EQ(h.control().stall_cycles, 3);
+  EXPECT_TRUE(h.control().flush);
+  EXPECT_TRUE(h.control().halt);
+}
+
+TEST(Eval, ShiftAmountsAreMasked) {
+  EvalHarness h("s = 1 << (64 + 3);");
+  EXPECT_EQ(h.run(), 8);
+}
+
+// ---- operand delegation and upward references ---------------------------
+
+constexpr const char* kOperandOps = R"(
+  OPERATION rop {
+    DECLARE { LABEL i; }
+    CODING { 0b0 i=0bx[3] }
+    SYNTAX { "R" i }
+    EXPRESSION { R[i] }
+  }
+  OPERATION mop {
+    DECLARE { LABEL i; }
+    CODING { 0b1 i=0bx[3] }
+    SYNTAX { "M" i }
+    EXPRESSION { m[i] }
+  }
+)";
+
+TEST(Eval, GroupOperandReadsAndWritesThroughExpression) {
+  // instruction: two 4-bit operand groups + 8 field bits reused as `a`.
+  const std::string source = R"(
+    RESOURCE {
+      PROGRAM_COUNTER uint32 PC;
+      REGISTER int32 R[8];
+      MEMORY int32 m[32];
+      int64 s;
+      PIPELINE pipe = { EX; };
+    }
+    FETCH { WORD 16; MEMORY m; }
+  )" + std::string(kOperandOps) + R"(
+    OPERATION instruction {
+      DECLARE { GROUP dst = { rop || mop }; GROUP src = { rop || mop };
+                LABEL a; }
+      CODING { dst src a=0bx[8] }
+      BEHAVIOR { dst = src + a; }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "operand-test");
+  Decoder decoder(*model);
+  ProcessorState state(*model);
+  PipelineControl control;
+  Evaluator eval(state, control);
+
+  // dst = R3 (0b0011), src = M2 (0b1010), a = 5  ->  R[3] = m[2] + 5
+  state.write(model->resource_by_name("m")->id, 2, 40);
+  DecodedNodePtr node = decoder.decode((0b0011u << 12) | (0b1010u << 8) | 5);
+  ASSERT_NE(node, nullptr);
+  eval.run_op(*node, nullptr);
+  EXPECT_EQ(state.read(model->resource_by_name("R")->id, 3), 45);
+
+  // dst = M7 (0b1111), src = R0 (0b0000), a = 1  ->  m[7] = R[0] + 1
+  state.write(model->resource_by_name("R")->id, 0, 9);
+  node = decoder.decode((0b1111u << 12) | (0b0000u << 8) | 1);
+  ASSERT_NE(node, nullptr);
+  eval.run_op(*node, nullptr);
+  EXPECT_EQ(state.read(model->resource_by_name("m")->id, 7), 10);
+}
+
+TEST(Eval, UpwardReferenceFindsParentFieldsAndChildren) {
+  const std::string source = R"(
+    RESOURCE {
+      PROGRAM_COUNTER uint32 PC;
+      REGISTER int32 R[8];
+      MEMORY int32 m[32];
+      int64 s;
+      PIPELINE pipe = { EX; };
+    }
+    FETCH { WORD 16; MEMORY m; }
+  )" + std::string(kOperandOps) + R"(
+    OPERATION child_op {
+      DECLARE { REFERENCE k; REFERENCE dst; }
+      CODING { 0b0 }
+      BEHAVIOR { dst = k * 3; }
+    }
+    OPERATION instruction {
+      DECLARE { GROUP dst = { rop || mop }; INSTANCE c = child_op;
+                LABEL k; }
+      CODING { dst c k=0bx[8] 0b000 }
+      BEHAVIOR { s = 1; }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "upward-test");
+  Decoder decoder(*model);
+  ProcessorState state(*model);
+  PipelineControl control;
+  Evaluator eval(state, control);
+
+  // dst = R5 (0b0101), c = 0, k = 7 -> child writes R[5] = 21
+  DecodedNodePtr root = decoder.decode((0b0101u << 12) | (7u << 3));
+  ASSERT_NE(root, nullptr);
+  // Execute the child node (it is coding-selected, slot 1).
+  eval.run_op(*root->children[1], nullptr);
+  EXPECT_EQ(state.read(model->resource_by_name("R")->id, 5), 21);
+}
+
+TEST(Eval, MissingExpressionThrows) {
+  const std::string source = R"(
+    RESOURCE {
+      PROGRAM_COUNTER uint32 PC;
+      MEMORY int32 m[32];
+      int64 s;
+      PIPELINE pipe = { EX; };
+    }
+    FETCH { WORD 8; MEMORY m; }
+    OPERATION noexpr { CODING { 0b0 } }
+    OPERATION instruction {
+      DECLARE { GROUP g = { noexpr }; }
+      CODING { g 0b0000000 }
+      BEHAVIOR { s = g; }
+    }
+  )";
+  auto model = compile_model_source_or_throw(source, "noexpr-test");
+  Decoder decoder(*model);
+  ProcessorState state(*model);
+  PipelineControl control;
+  Evaluator eval(state, control);
+  DecodedNodePtr node = decoder.decode(0);
+  ASSERT_NE(node, nullptr);
+  EXPECT_THROW(eval.run_op(*node, nullptr), SimError);
+}
+
+}  // namespace
+}  // namespace lisasim

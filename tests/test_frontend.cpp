@@ -1,0 +1,478 @@
+// Front-end tests: lexer, parser, semantic analysis and the model data
+// base (dump/reload round trip) on hand-written fragments and on the
+// shipped target models.
+#include <gtest/gtest.h>
+
+#include "lisa/lexer.hpp"
+#include "lisa/parser.hpp"
+#include "model/database.hpp"
+#include "model/sema.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, "test", diags);
+  auto tokens = lexer.lex_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return tokens;
+}
+
+TEST(Lexer, Keywords) {
+  const auto toks = lex("OPERATION RESOURCE if else IF ELSE");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, Tok::kKwOperation);
+  EXPECT_EQ(toks[1].kind, Tok::kKwResource);
+  EXPECT_EQ(toks[2].kind, Tok::kKwLowerIf);
+  EXPECT_EQ(toks[3].kind, Tok::kKwLowerElse);
+  EXPECT_EQ(toks[4].kind, Tok::kKwIf);
+  EXPECT_EQ(toks[5].kind, Tok::kKwElse);
+}
+
+TEST(Lexer, BitLiterals) {
+  const auto toks = lex("0b0101 0bx[5] 0b1");
+  EXPECT_EQ(toks[0].kind, Tok::kBits);
+  EXPECT_EQ(toks[0].value, 5);
+  EXPECT_EQ(toks[0].width, 4u);
+  EXPECT_EQ(toks[1].kind, Tok::kFieldPat);
+  EXPECT_EQ(toks[1].width, 5u);
+  EXPECT_EQ(toks[2].kind, Tok::kBits);
+  EXPECT_EQ(toks[2].width, 1u);
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = lex("42 0x2A 0");
+  EXPECT_EQ(toks[0].value, 42);
+  EXPECT_EQ(toks[1].value, 42);
+  EXPECT_EQ(toks[2].value, 0);
+}
+
+TEST(Lexer, OperatorsAndComments) {
+  const auto toks = lex("a << b >> c && d || e /* comment */ != f // end");
+  EXPECT_EQ(toks[1].kind, Tok::kShl);
+  EXPECT_EQ(toks[3].kind, Tok::kShr);
+  EXPECT_EQ(toks[5].kind, Tok::kAmpAmp);
+  EXPECT_EQ(toks[7].kind, Tok::kPipePipe);
+  EXPECT_EQ(toks[9].kind, Tok::kNe);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto toks = lex(R"("AB \" \\ C")");
+  EXPECT_EQ(toks[0].kind, Tok::kString);
+  EXPECT_EQ(toks[0].text, "AB \" \\ C");
+}
+
+TEST(Lexer, ReportsUnterminatedString) {
+  DiagnosticEngine diags;
+  Lexer lexer("\"abc", "test", diags);
+  lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, ResourceSection) {
+  DiagnosticEngine diags;
+  const auto ast = parse_model_source(R"(
+    MODEL demo;
+    RESOURCE {
+      PROGRAM_COUNTER uint32 PC;
+      REGISTER int32 R[16];
+      MEMORY int32 mem[256];
+      int32 acc;
+      PIPELINE pipe = { IF; ID; EX; WB };
+    }
+  )",
+                                      "test", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  EXPECT_EQ(ast.name, "demo");
+  ASSERT_EQ(ast.resources.size(), 4u);
+  EXPECT_EQ(ast.resources[0].kind, ast::ResourceKind::kProgramCounter);
+  EXPECT_EQ(ast.resources[1].kind, ast::ResourceKind::kRegisterFile);
+  EXPECT_EQ(ast.resources[1].size, 16u);
+  EXPECT_EQ(ast.resources[2].kind, ast::ResourceKind::kMemory);
+  EXPECT_EQ(ast.resources[3].kind, ast::ResourceKind::kScalar);
+  ASSERT_EQ(ast.pipelines.size(), 1u);
+  EXPECT_EQ(ast.pipelines[0].stages.size(), 4u);
+}
+
+TEST(Parser, OperationSections) {
+  DiagnosticEngine diags;
+  const auto ast = parse_model_source(R"(
+    OPERATION foo IN pipe.EX {
+      DECLARE { GROUP g = { a || b }; LABEL x, y; REFERENCE m; INSTANCE k = a; }
+      CODING { 0b01 x=0bx[4] g }
+      SYNTAX { "FOO " x ", " g }
+      BEHAVIOR {
+        int32 t = x + 1;
+        if (t > 3) { acc = t; } else { acc = 0; }
+      }
+      ACTIVATION { k }
+    }
+  )",
+                                      "test", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  ASSERT_EQ(ast.operations.size(), 1u);
+  const auto& op = ast.operations[0];
+  EXPECT_TRUE(op.has_stage);
+  EXPECT_EQ(op.stage, "EX");
+  EXPECT_EQ(op.declares.size(), 5u);  // g, x, y, m, k
+  EXPECT_EQ(op.body.items.size(), 4u);
+}
+
+TEST(Parser, CodingTimeConditionals) {
+  DiagnosticEngine diags;
+  const auto ast = parse_model_source(R"(
+    OPERATION add {
+      DECLARE { REFERENCE mode; }
+      IF (mode == short_mode) {
+        BEHAVIOR { d = s1 + s2; }
+      } ELSE {
+        BEHAVIOR { d = s1 + s2 + carry; }
+      }
+      SWITCH (mode) {
+        CASE short_mode: { EXPRESSION { 1 } }
+        DEFAULT: { EXPRESSION { 2 } }
+      }
+    }
+  )",
+                                      "test", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  EXPECT_EQ(ast.operations[0].body.items.size(), 2u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  DiagnosticEngine diags;
+  const auto ast = parse_model_source(
+      "OPERATION t { BEHAVIOR { x = 1 + 2 * 3 << 1 == 14 && 1; } }", "test",
+      diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  const auto& op = ast.operations[0];
+  const auto& sec = std::get<ast::BehaviorSec>(op.body.items[0]);
+  // ((1 + (2*3)) << 1) == 14) && 1
+  EXPECT_EQ(sec.stmts[0]->value->to_string(),
+            "((((1 + (2 * 3)) << 1) == 14) && 1)");
+}
+
+TEST(Parser, ReportsSyntaxError) {
+  DiagnosticEngine diags;
+  parse_model_source("OPERATION { }", "test", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, ResolvesTinyDsp) {
+  DiagnosticEngine diags;
+  auto model =
+      compile_model_source(targets::tinydsp_model_source(), "tinydsp", diags);
+  ASSERT_NE(model, nullptr) << diags.render();
+  EXPECT_EQ(model->name, "tinydsp");
+  EXPECT_EQ(model->pipeline.depth(), 4);
+  ASSERT_GE(model->root, 0);
+  EXPECT_EQ(model->op(model->root).coding_width, 32u);
+  ASSERT_GE(model->pc, 0);
+  ASSERT_GE(model->fetch_memory, 0);
+  EXPECT_EQ(model->resource(model->fetch_memory).name, "pmem");
+}
+
+TEST(Sema, ResolvesC62x) {
+  DiagnosticEngine diags;
+  auto model =
+      compile_model_source(targets::c62x_model_source(), "c62x", diags);
+  ASSERT_NE(model, nullptr) << diags.render();
+  EXPECT_EQ(model->pipeline.depth(), 11);
+  EXPECT_EQ(model->fetch.packet_max, 8u);
+  EXPECT_EQ(model->fetch.parallel_bit, 0);
+  EXPECT_EQ(model->op(model->root).coding_width, 32u);
+}
+
+TEST(Sema, RejectsDuplicateResource) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "RESOURCE { int32 a; int32 a; }", "test", diags);
+  EXPECT_EQ(model, nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Sema, RejectsUndeclaredIdentifier) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { BEHAVIOR { ghost = 1; } }", "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsWidthMismatchInGroup) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    OPERATION a { CODING { 0b00 } }
+    OPERATION b { CODING { 0b000 } }
+    OPERATION c {
+      DECLARE { GROUP g = { a || b }; }
+      CODING { g }
+    }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsRootWidthMismatch) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    FETCH { WORD 32; }
+    OPERATION instruction { CODING { 0b0101 } }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsIndexingScalar) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    RESOURCE { int32 acc; }
+    OPERATION t { BEHAVIOR { acc[0] = 1; } }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsAssignToField) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    OPERATION t {
+      DECLARE { LABEL f; }
+      CODING { f=0bx[4] }
+      BEHAVIOR { f = 1; }
+    }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsUnknownIntrinsic) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "RESOURCE { int32 a; } OPERATION t { BEHAVIOR { a = frobnicate(1); } }",
+      "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsIntrinsicArity) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "RESOURCE { int32 a; } OPERATION t { BEHAVIOR { a = sext(1); } }",
+      "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsCodingInsideConditional) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    OPERATION t {
+      DECLARE { LABEL f; }
+      IF (f == 0) { CODING { 0b1 } }
+    }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Database, TinyDspRoundTrip) {
+  auto model = compile_model_source_or_throw(targets::tinydsp_model_source(),
+                                             "tinydsp");
+  const std::string dumped = dump_model(*model);
+  DiagnosticEngine diags;
+  auto reloaded = load_model(dumped, diags);
+  ASSERT_NE(reloaded, nullptr) << diags.render() << "\n--- dump ---\n"
+                               << dumped;
+  // Fixed point: dumping the reloaded model reproduces the dump.
+  EXPECT_EQ(dump_model(*reloaded), dumped);
+  EXPECT_EQ(reloaded->operations.size(), model->operations.size());
+  EXPECT_EQ(reloaded->resources.size(), model->resources.size());
+}
+
+TEST(Database, C62xRoundTrip) {
+  auto model =
+      compile_model_source_or_throw(targets::c62x_model_source(), "c62x");
+  const std::string dumped = dump_model(*model);
+  DiagnosticEngine diags;
+  auto reloaded = load_model(dumped, diags);
+  ASSERT_NE(reloaded, nullptr) << diags.render();
+  EXPECT_EQ(dump_model(*reloaded), dumped);
+}
+
+
+TEST(Sema, RejectsUnknownPipelineStage) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    RESOURCE { PIPELINE pipe = { A; B; }; }
+    OPERATION t IN pipe.C { BEHAVIOR { halt(); } }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsSecondPipeline) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "RESOURCE { PIPELINE a = { X; }; PIPELINE b = { Y; }; }", "test",
+      diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsDuplicatePipelineStage) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "RESOURCE { PIPELINE p = { X; X; }; }", "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsDuplicateOperation) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { CODING { 0b1 } }\nOPERATION t { CODING { 0b0 } }",
+      "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsUnknownGroupTarget) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { DECLARE { GROUP g = { ghost }; } CODING { g } }",
+      "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsUnknownActivationTarget) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { ACTIVATION { ghost } }", "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsRecursiveCoding) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    OPERATION a {
+      DECLARE { GROUP g = { a }; }
+      CODING { 0b1 g }
+    }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsCodingFieldWithoutLabel) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { CODING { f=0bx[4] } }", "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsDoubleBoundLabel) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { DECLARE { LABEL f; } CODING { f=0bx[4] f=0bx[4] } }",
+      "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsMultipleCodingSections) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { CODING { 0b1 } CODING { 0b0 } }", "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsPacketWithoutParallelBit) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    RESOURCE { MEMORY uint32 m[8]; }
+    FETCH { WORD 32; PACKET 4; MEMORY m; }
+  )",
+                                    "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsUnknownSyntaxReference) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "OPERATION t { CODING { 0b1 } SYNTAX { \"T \" ghost } }", "test",
+      diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, RejectsMultiplePcResources) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(
+      "RESOURCE { PROGRAM_COUNTER uint32 A; PROGRAM_COUNTER uint32 B; }",
+      "test", diags);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(Sema, DefaultsFetchMemoryToUniqueMemory) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC; MEMORY uint32 only[8]; }
+    FETCH { WORD 8; }
+    OPERATION instruction { CODING { 0b11111111 } BEHAVIOR { halt(); } }
+  )",
+                                    "test", diags);
+  ASSERT_NE(model, nullptr) << diags.render();
+  EXPECT_EQ(model->resource(model->fetch_memory).name, "only");
+}
+
+TEST(Sema, AmbiguousFetchMemoryStaysUnset) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    RESOURCE { PROGRAM_COUNTER uint32 PC;
+               MEMORY uint32 a[8]; MEMORY uint32 b[8]; }
+  )",
+                                    "test", diags);
+  ASSERT_NE(model, nullptr) << diags.render();
+  EXPECT_LT(model->fetch_memory, 0);
+}
+
+TEST(Sema, ImplicitInstanceFromActivation) {
+  DiagnosticEngine diags;
+  auto model = compile_model_source(R"(
+    RESOURCE { int32 s; PIPELINE p = { A; B; }; }
+    OPERATION child IN p.B { BEHAVIOR { s = 1; } }
+    OPERATION t IN p.A {
+      CODING { 0b1 }
+      BEHAVIOR { s = 0; }
+      ACTIVATION { child }
+    }
+  )",
+                                    "test", diags);
+  ASSERT_NE(model, nullptr) << diags.render();
+  const Operation* t = model->operation_by_name("t");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->children.size(), 1u);
+  EXPECT_EQ(t->children[0].name, "child");
+  EXPECT_FALSE(t->children[0].in_coding);
+}
+
+TEST(Database, C54xRoundTrip) {
+  auto model =
+      compile_model_source_or_throw(targets::c54x_model_source(), "c54x");
+  const std::string dumped = dump_model(*model);
+  DiagnosticEngine diags;
+  auto reloaded = load_model(dumped, diags);
+  ASSERT_NE(reloaded, nullptr) << diags.render();
+  EXPECT_EQ(dump_model(*reloaded), dumped);
+}
+
+TEST(Database, DumpIsHumanReadable) {
+  auto model = compile_model_source_or_throw(targets::tinydsp_model_source(),
+                                             "tinydsp");
+  const std::string dumped = dump_model(*model);
+  EXPECT_NE(dumped.find("MODEL tinydsp;"), std::string::npos);
+  EXPECT_NE(dumped.find("PIPELINE pipe = { IF; ID; EX; WB };"),
+            std::string::npos);
+  EXPECT_NE(dumped.find("OPERATION add"), std::string::npos);
+  EXPECT_NE(dumped.find("IF ((mode == short_mode))"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -1,0 +1,166 @@
+// Behavior-IR unit tests: construction helpers, deep cloning, printing,
+// intrinsic metadata, and property sweeps over the shared fold helpers
+// (the single source of arithmetic truth for all execution paths).
+#include <gtest/gtest.h>
+
+#include "behavior/fold.hpp"
+#include "behavior/ir.hpp"
+
+namespace lisasim {
+namespace {
+
+TEST(Ir, MakeHelpersBuildExpectedShapes) {
+  auto e = Expr::make_binary(BinOp::kAdd, Expr::make_int(1),
+                             Expr::make_sym("x"));
+  EXPECT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->children[0]->value, 1);
+  EXPECT_EQ(e->children[1]->sym.name, "x");
+  EXPECT_EQ(e->to_string(), "(1 + x)");
+
+  auto u = Expr::make_unary(UnOp::kBitNot, Expr::make_int(0));
+  EXPECT_EQ(u->to_string(), "~(0)");
+}
+
+TEST(Ir, CloneIsDeep) {
+  auto original = Expr::make_binary(BinOp::kMul, Expr::make_sym("a"),
+                                    Expr::make_int(7));
+  auto copy = original->clone();
+  copy->children[0]->sym.name = "b";
+  copy->children[1]->value = 9;
+  EXPECT_EQ(original->to_string(), "(a * 7)");
+  EXPECT_EQ(copy->to_string(), "(b * 9)");
+}
+
+TEST(Ir, StmtCloneIsDeep) {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kIf;
+  stmt->value = Expr::make_sym("c");
+  auto inner = std::make_unique<Stmt>();
+  inner->kind = StmtKind::kAssign;
+  inner->lhs = Expr::make_sym("x");
+  inner->value = Expr::make_int(3);
+  stmt->then_body.push_back(std::move(inner));
+
+  auto copy = stmt->clone();
+  copy->then_body[0]->value->value = 99;
+  EXPECT_NE(stmt->to_string(), copy->to_string());
+  EXPECT_NE(stmt->to_string().find("x = 3;"), std::string::npos);
+  EXPECT_NE(copy->to_string().find("x = 99;"), std::string::npos);
+}
+
+TEST(Ir, IntrinsicMetadataIsConsistent) {
+  for (Intrinsic i :
+       {Intrinsic::kSext, Intrinsic::kZext, Intrinsic::kSat, Intrinsic::kAbs,
+        Intrinsic::kMin, Intrinsic::kMax, Intrinsic::kFlush,
+        Intrinsic::kStall, Intrinsic::kHalt}) {
+    EXPECT_EQ(intrinsic_by_name(intrinsic_name(i)), i);
+    EXPECT_GE(intrinsic_arity(i), 0);
+    EXPECT_LE(intrinsic_arity(i), 2);
+  }
+  EXPECT_EQ(intrinsic_by_name("nope"), Intrinsic::kNone);
+}
+
+TEST(Ir, SpellingsRoundTripThroughPrinter) {
+  // Every binary operator prints with its surface spelling.
+  EXPECT_STREQ(bin_op_spelling(BinOp::kShl), "<<");
+  EXPECT_STREQ(bin_op_spelling(BinOp::kLogicalAnd), "&&");
+  EXPECT_STREQ(un_op_spelling(UnOp::kLogicalNot), "!");
+}
+
+// ---- fold property sweeps ------------------------------------------------
+
+struct FoldCase {
+  std::int64_t a;
+  std::int64_t b;
+};
+
+class FoldSweep : public ::testing::TestWithParam<FoldCase> {};
+
+TEST_P(FoldSweep, MatchesWideArithmetic) {
+  const auto [a, b] = GetParam();
+  // Addition/subtraction/multiplication wrap exactly like unsigned 64-bit.
+  EXPECT_EQ(*fold_binary(BinOp::kAdd, a, b),
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                      static_cast<std::uint64_t>(b)));
+  EXPECT_EQ(*fold_binary(BinOp::kSub, a, b),
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                      static_cast<std::uint64_t>(b)));
+  EXPECT_EQ(*fold_binary(BinOp::kMul, a, b),
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                      static_cast<std::uint64_t>(b)));
+  // Comparisons agree with C semantics.
+  EXPECT_EQ(*fold_binary(BinOp::kLt, a, b), a < b ? 1 : 0);
+  EXPECT_EQ(*fold_binary(BinOp::kGe, a, b), a >= b ? 1 : 0);
+  EXPECT_EQ(*fold_binary(BinOp::kEq, a, b), a == b ? 1 : 0);
+  // Bit operations.
+  EXPECT_EQ(*fold_binary(BinOp::kAnd, a, b), a & b);
+  EXPECT_EQ(*fold_binary(BinOp::kXor, a, b), a ^ b);
+  // Division: nullopt exactly on zero divisors.
+  const auto div = fold_binary(BinOp::kDiv, a, b);
+  EXPECT_EQ(div.has_value(), b != 0);
+  if (b != 0 && b != -1) EXPECT_EQ(*div, a / b);
+  if (b == -1)
+    EXPECT_EQ(*div, static_cast<std::int64_t>(-static_cast<std::uint64_t>(a)));
+  // Shifts mask the amount.
+  EXPECT_EQ(*fold_binary(BinOp::kShl, a, b),
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                      << (static_cast<std::uint64_t>(b) & 63)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FoldSweep,
+    ::testing::Values(FoldCase{0, 0}, FoldCase{1, 2}, FoldCase{-1, 1},
+                      FoldCase{INT64_MAX, 1}, FoldCase{INT64_MIN, -1},
+                      FoldCase{INT64_MIN, 1}, FoldCase{123456789, -987654321},
+                      FoldCase{-5, 3}, FoldCase{5, -3}, FoldCase{7, 0},
+                      FoldCase{1, 63}, FoldCase{1, 64}, FoldCase{1, 127},
+                      FoldCase{-64, 3}));
+
+TEST(Fold, UnaryOperators) {
+  EXPECT_EQ(fold_unary(UnOp::kNeg, 5), -5);
+  EXPECT_EQ(fold_unary(UnOp::kNeg, INT64_MIN), INT64_MIN);  // wraps
+  EXPECT_EQ(fold_unary(UnOp::kLogicalNot, 0), 1);
+  EXPECT_EQ(fold_unary(UnOp::kLogicalNot, -3), 0);
+  EXPECT_EQ(fold_unary(UnOp::kBitNot, 0), -1);
+}
+
+TEST(Fold, SaturationBoundaries) {
+  EXPECT_EQ(fold_saturate(32768, 16), 32767);
+  EXPECT_EQ(fold_saturate(-32769, 16), -32768);
+  EXPECT_EQ(fold_saturate(32767, 16), 32767);
+  EXPECT_EQ(fold_saturate(-32768, 16), -32768);
+  EXPECT_EQ(fold_saturate(INT64_MAX, 40), (INT64_C(1) << 39) - 1);
+  EXPECT_EQ(fold_saturate(INT64_MIN, 40), -(INT64_C(1) << 39));
+  EXPECT_EQ(fold_saturate(12345, 64), 12345);
+}
+
+TEST(Fold, PureIntrinsics) {
+  const std::int64_t args1[] = {static_cast<std::int64_t>(0xF0), 8};
+  EXPECT_EQ(*fold_intrinsic(Intrinsic::kSext, args1), -16);
+  const std::int64_t args2[] = {-1, 4};
+  EXPECT_EQ(*fold_intrinsic(Intrinsic::kZext, args2), 15);
+  const std::int64_t args3[] = {-7};
+  EXPECT_EQ(*fold_intrinsic(Intrinsic::kAbs,
+                            std::span<const std::int64_t>(args3, 1)),
+            7);
+  const std::int64_t args4[] = {3, -4};
+  EXPECT_EQ(*fold_intrinsic(Intrinsic::kMin, args4), -4);
+  EXPECT_EQ(*fold_intrinsic(Intrinsic::kMax, args4), 3);
+}
+
+TEST(Fold, ControlIntrinsicsDoNotFold) {
+  const std::int64_t none[] = {0, 0};
+  EXPECT_FALSE(fold_intrinsic(Intrinsic::kFlush, none).has_value());
+  EXPECT_FALSE(fold_intrinsic(Intrinsic::kStall, none).has_value());
+  EXPECT_FALSE(fold_intrinsic(Intrinsic::kHalt, none).has_value());
+}
+
+TEST(Fold, LogicalOperatorsNormalize) {
+  EXPECT_EQ(*fold_binary(BinOp::kLogicalAnd, 5, 9), 1);
+  EXPECT_EQ(*fold_binary(BinOp::kLogicalAnd, 5, 0), 0);
+  EXPECT_EQ(*fold_binary(BinOp::kLogicalOr, 0, 0), 0);
+  EXPECT_EQ(*fold_binary(BinOp::kLogicalOr, 0, -2), 1);
+}
+
+}  // namespace
+}  // namespace lisasim

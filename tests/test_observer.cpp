@@ -1,0 +1,148 @@
+// Observer (trace/profile) tests, including the strong cross-level
+// property: the event trace of the interpretive simulator and that of the
+// compiled simulators are identical event-for-event.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/observer.hpp"
+#include "sim_test_util.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+
+TestTarget& tiny() {
+  static TestTarget t(targets::tinydsp_model_source(), "tinydsp");
+  return t;
+}
+
+const char* kLoopProgram = R"(
+        MVK 3, R1
+        MVK 1, R2
+loop:   BZ R1, done
+        SUB.L R1, R1, R2
+        B loop
+done:   HALT
+)";
+
+std::string trace_of_interp(const LoadedProgram& p) {
+  std::ostringstream out;
+  TraceObserver trace(out);
+  InterpSimulator sim(*tiny().model);
+  sim.set_observer(&trace);
+  sim.load(p);
+  sim.run(10000);
+  return out.str();
+}
+
+std::string trace_of_compiled(const LoadedProgram& p, SimLevel level) {
+  std::ostringstream out;
+  TraceObserver trace(out);
+  CompiledSimulator sim(*tiny().model, level);
+  sim.set_observer(&trace);
+  sim.load(p);
+  sim.run(10000);
+  return out.str();
+}
+
+TEST(Observer, TraceIsIdenticalAcrossLevels) {
+  const LoadedProgram p = tiny().assemble(kLoopProgram);
+  const std::string interp = trace_of_interp(p);
+  EXPECT_FALSE(interp.empty());
+  EXPECT_EQ(interp, trace_of_compiled(p, SimLevel::kCompiledDynamic));
+  EXPECT_EQ(interp, trace_of_compiled(p, SimLevel::kCompiledStatic));
+}
+
+TEST(Observer, TraceContainsFetchExecuteRetire) {
+  const LoadedProgram p = tiny().assemble("MVK 5, R1\nHALT\n");
+  const std::string trace = trace_of_interp(p);
+  EXPECT_NE(trace.find("fetch   @0"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("stage 2 @0"), std::string::npos);  // EX of MVK
+  EXPECT_NE(trace.find("retire  @0"), std::string::npos);
+}
+
+TEST(Observer, TraceShowsFlushOnTakenBranch) {
+  const LoadedProgram p = tiny().assemble(R"(
+        B over
+        MVK 1, R1
+over:   HALT
+  )");
+  const std::string trace = trace_of_interp(p);
+  EXPECT_NE(trace.find("flush below stage 2"), std::string::npos) << trace;
+}
+
+TEST(Observer, TraceDisassemblyAnnotation) {
+  const LoadedProgram p = tiny().assemble("MVK 5, R1\nHALT\n");
+  std::ostringstream out;
+  TraceObserver trace(out, [](std::uint64_t pc) {
+    return "insn@" + std::to_string(pc);
+  });
+  InterpSimulator sim(*tiny().model);
+  sim.set_observer(&trace);
+  sim.load(p);
+  sim.run(100);
+  EXPECT_NE(out.str().find("insn@0"), std::string::npos);
+}
+
+TEST(Observer, TraceEventLimit) {
+  const LoadedProgram p = tiny().assemble(kLoopProgram);
+  std::ostringstream out;
+  TraceObserver trace(out, nullptr, 3);
+  InterpSimulator sim(*tiny().model);
+  sim.set_observer(&trace);
+  sim.load(p);
+  sim.run(10000);
+  int lines = 0;
+  for (char c : out.str())
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(Observer, ProfileCountsHotLoop) {
+  const LoadedProgram p = tiny().assemble(kLoopProgram);
+  ProfileObserver profile;
+  InterpSimulator sim(*tiny().model);
+  sim.set_observer(&profile);
+  sim.load(p);
+  const RunResult r = sim.run(10000);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(profile.total_fetches(), r.fetches);
+  // The loop head (address 2) is fetched once per iteration (4 times:
+  // R1 = 3, 2, 1, 0).
+  EXPECT_EQ(profile.fetch_counts().at(2), 4u);
+  // Hottest entries are sorted descending.
+  const auto hottest = profile.hottest(3);
+  ASSERT_GE(hottest.size(), 2u);
+  EXPECT_GE(hottest[0].second, hottest[1].second);
+  EXPECT_GT(profile.flushes(), 0u);
+}
+
+TEST(Observer, ProfileReportRenders) {
+  const LoadedProgram p = tiny().assemble(kLoopProgram);
+  ProfileObserver profile;
+  InterpSimulator sim(*tiny().model);
+  sim.set_observer(&profile);
+  sim.load(p);
+  sim.run(10000);
+  const std::string report = profile.report(5);
+  EXPECT_NE(report.find("address"), std::string::npos);
+  EXPECT_NE(report.find("%"), std::string::npos);
+}
+
+TEST(Observer, DetachingStopsEvents) {
+  const LoadedProgram p = tiny().assemble("HALT\n");
+  std::ostringstream out;
+  TraceObserver trace(out);
+  InterpSimulator sim(*tiny().model);
+  sim.set_observer(&trace);
+  sim.set_observer(nullptr);
+  sim.load(p);
+  sim.run(100);
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -1,0 +1,300 @@
+// Specializer tests: compile-time decoding (fields -> constants), operand
+// inlining, coding-time conditional folding, predicate elimination,
+// constant arithmetic, schedule construction and error cases.
+#include <gtest/gtest.h>
+
+#include "behavior/specialize.hpp"
+#include "decode/decoder.hpp"
+#include "model/sema.hpp"
+#include "targets/c62x.hpp"
+
+namespace lisasim {
+namespace {
+
+struct SpecHarness {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Decoder> decoder;
+  std::unique_ptr<Specializer> specializer;
+
+  explicit SpecHarness(const std::string& source) {
+    model = compile_model_source_or_throw(source, "spec-test");
+    decoder = std::make_unique<Decoder>(*model);
+    specializer = std::make_unique<Specializer>(*model);
+  }
+
+  DecodedNodePtr decode(std::uint64_t word) {
+    auto node = decoder->decode(word);
+    EXPECT_NE(node, nullptr);
+    return node;
+  }
+
+  /// Specialized text of the whole stage-s program for a 1-word packet.
+  std::string stage_text(std::uint64_t word, int stage) {
+    std::vector<std::int64_t> words = {static_cast<std::int64_t>(word)};
+    DecodedPacket packet = decoder->decode_packet(words, 0);
+    PacketSchedule schedule = specializer->schedule_packet(packet);
+    std::string out;
+    for (const auto& stmt :
+         schedule.stage_programs[static_cast<std::size_t>(stage)].stmts)
+      out += stmt->to_string();
+    return out;
+  }
+};
+
+constexpr const char* kBaseModel = R"(
+  RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int32 R[8];
+    MEMORY int32 m[32];
+    int64 s;
+    PIPELINE pipe = { EX; WB; };
+  }
+  FETCH { WORD 16; MEMORY m; }
+)";
+
+TEST(Specialize, FieldsBecomeConstants) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a, b; }
+      CODING { a=0bx[8] b=0bx[8] }
+      BEHAVIOR { s = a + b; }
+    }
+  )");
+  EXPECT_EQ(h.stage_text((3u << 8) | 4u, 0), "s = 7;\n");
+}
+
+TEST(Specialize, OperandExpressionsAreInlined) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION rop {
+      DECLARE { LABEL i; }
+      CODING { i=0bx[3] }
+      EXPRESSION { R[i] }
+    }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { INSTANCE dst = rop; INSTANCE src = rop; }
+      CODING { dst src 0b0000000000 }
+      BEHAVIOR { dst = src + 1; }
+    }
+  )");
+  // dst = R5, src = R2: specialization produces direct indexed accesses.
+  EXPECT_EQ(h.stage_text((5u << 13) | (2u << 10), 0), "R[5] = (R[2] + 1);\n");
+}
+
+TEST(Specialize, CodingTimeIfSelectsBranch) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL mode, v; }
+      CODING { mode=0bx[1] v=0bx[8] 0b0000000 }
+      IF (mode == 1) {
+        BEHAVIOR { s = v * 2; }
+      } ELSE {
+        BEHAVIOR { s = v; }
+      }
+    }
+  )");
+  EXPECT_EQ(h.stage_text((1u << 15) | (10u << 7), 0), "s = 20;\n");
+  EXPECT_EQ(h.stage_text((0u << 15) | (10u << 7), 0), "s = 10;\n");
+}
+
+TEST(Specialize, IdentityComparisonFoldsGroupChoice) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION variant_a { CODING { 0b0 } }
+    OPERATION variant_b { CODING { 0b1 } }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { GROUP which = { variant_a || variant_b }; }
+      CODING { which 0b000000000000000 }
+      IF (which == variant_b) {
+        BEHAVIOR { s = 100; }
+      } ELSE {
+        BEHAVIOR { s = 200; }
+      }
+    }
+  )");
+  EXPECT_EQ(h.stage_text(1u << 15, 0), "s = 100;\n");
+  EXPECT_EQ(h.stage_text(0u << 15, 0), "s = 200;\n");
+}
+
+TEST(Specialize, SwitchSelectsCase) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL k; }
+      CODING { k=0bx[2] 0b00000000000000 }
+      SWITCH (k) {
+        CASE 0: { BEHAVIOR { s = 10; } }
+        CASE 1: { BEHAVIOR { s = 11; } }
+        DEFAULT: { BEHAVIOR { s = 99; } }
+      }
+    }
+  )");
+  EXPECT_EQ(h.stage_text(0u << 14, 0), "s = 10;\n");
+  EXPECT_EQ(h.stage_text(1u << 14, 0), "s = 11;\n");
+  EXPECT_EQ(h.stage_text(3u << 14, 0), "s = 99;\n");
+}
+
+TEST(Specialize, TruePredicateDisappears) {
+  // The headline win: an unpredicated instruction loses its guard.
+  auto model =
+      compile_model_source_or_throw(targets::c62x_model_source(), "c62x");
+  Decoder decoder(*model);
+  Specializer specializer(*model);
+  // Unpredicated ADD A1, A2, A3 (pred = 0b0000).
+  const std::uint32_t add =
+      (0b000001u << 22) | (3u << 17) | (1u << 12) | (2u << 7);
+  std::vector<std::int64_t> words = {static_cast<std::int64_t>(add)};
+  DecodedPacket packet = decoder.decode_packet(words, 0);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  const int e1 = model->pipeline.stage_index("E1");
+  const auto& program =
+      schedule.stage_programs[static_cast<std::size_t>(e1)];
+  ASSERT_EQ(program.stmts.size(), 1u);
+  EXPECT_EQ(program.stmts[0]->to_string(), "A[3] = (A[1] + A[2]);\n");
+
+  // Predicated [B0] version keeps a runtime test on B[0].
+  const std::uint32_t pred_add = add | (0b0010u << 28);
+  words[0] = static_cast<std::int64_t>(pred_add);
+  packet = decoder.decode_packet(words, 0);
+  schedule = specializer.schedule_packet(packet);
+  const std::string text =
+      schedule.stage_programs[static_cast<std::size_t>(e1)]
+          .stmts[0]
+          ->to_string();
+  EXPECT_NE(text.find("if ((B[0] != 0))"), std::string::npos) << text;
+}
+
+TEST(Specialize, ConstantFoldingAcrossOperators) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      BEHAVIOR {
+        s = sext(a, 4) + (a > 100 ? 1000 : 2000) + min(a, 3);
+      }
+    }
+  )");
+  // a = 9: sext(9,4) = -7; 9 > 100 false -> 2000; min(9,3) = 3 -> 1996
+  EXPECT_EQ(h.stage_text(9u << 8, 0), "s = 1996;\n");
+}
+
+TEST(Specialize, DivisionByConstantZeroIsKeptForRuntime) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      BEHAVIOR { s = 1 / a; }
+    }
+  )");
+  // a = 0: the fold must NOT turn this into a compile-time crash.
+  const std::string text = h.stage_text(0, 0);
+  EXPECT_NE(text.find("/"), std::string::npos) << text;
+}
+
+TEST(Specialize, RuntimeConditionSurvives) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      BEHAVIOR {
+        if (R[0] > a) { s = 1; } else { s = 2; }
+      }
+    }
+  )");
+  const std::string text = h.stage_text(7u << 8, 0);
+  EXPECT_NE(text.find("if ((R[0] > 7))"), std::string::npos) << text;
+}
+
+TEST(Specialize, NonStaticCodingTimeConditionThrows) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      IF (R[0] == 0) {
+        BEHAVIOR { s = 1; }
+      }
+    }
+  )");
+  std::vector<std::int64_t> words = {0};
+  DecodedPacket packet = h.decoder->decode_packet(words, 0);
+  EXPECT_THROW(h.specializer->schedule_packet(packet), SimError);
+}
+
+TEST(Specialize, ActivationsLandInTheirStages) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION wb_op IN pipe.WB {
+      DECLARE { REFERENCE a; }
+      BEHAVIOR { s = a; }
+    }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      BEHAVIOR { R[0] = a; }
+      ACTIVATION { wb_op }
+    }
+  )");
+  EXPECT_EQ(h.stage_text(5u << 8, 0), "R[0] = 5;\n");  // EX column
+  EXPECT_EQ(h.stage_text(5u << 8, 1), "s = 5;\n");     // WB column
+}
+
+TEST(Specialize, SameStageActivationInlinesInOrder) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION helper IN pipe.EX {
+      BEHAVIOR { s = s + 1; }
+    }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      BEHAVIOR { s = 10; }
+      ACTIVATION { helper }
+      BEHAVIOR { s = s * 2; }
+    }
+  )");
+  // order: s=10; helper (s=11); s=22 — activation inlined between the two
+  // behavior sections.
+  EXPECT_EQ(h.stage_text(0, 0), "s = 10;\ns = (s + 1);\ns = (s * 2);\n");
+}
+
+TEST(Specialize, LocalSlotsAreRebasedWhenMerging) {
+  SpecHarness h(std::string(kBaseModel) + R"(
+    OPERATION helper IN pipe.EX {
+      BEHAVIOR { int32 t = 5; s = s + t; }
+    }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL a; }
+      CODING { a=0bx[8] 0b00000000 }
+      BEHAVIOR { int32 t = 100; s = t; }
+      ACTIVATION { helper }
+    }
+  )");
+  std::vector<std::int64_t> words = {0};
+  DecodedPacket packet = h.decoder->decode_packet(words, 0);
+  PacketSchedule schedule = h.specializer->schedule_packet(packet);
+  const auto& program = schedule.stage_programs[0];
+  EXPECT_EQ(program.num_locals, 2);
+  // Distinct slots for the two `t`s.
+  ASSERT_GE(program.stmts.size(), 4u);
+  EXPECT_NE(program.stmts[0]->local_slot, program.stmts[2]->local_slot);
+}
+
+TEST(Specialize, MultipleSlotsOfAPacketMergeInSlotOrder) {
+  auto model =
+      compile_model_source_or_throw(targets::c62x_model_source(), "c62x");
+  Decoder decoder(*model);
+  Specializer specializer(*model);
+  // Packet: MVK 1, A1 || MVK 2, A2 (first word p-bit set).
+  const std::uint32_t mvk1 =
+      (0b010011u << 22) | (1u << 17) | (1u << 1) | 1u;
+  const std::uint32_t mvk2 = (0b010011u << 22) | (2u << 17) | (2u << 1);
+  std::vector<std::int64_t> words = {static_cast<std::int64_t>(mvk1),
+                                     static_cast<std::int64_t>(mvk2)};
+  DecodedPacket packet = decoder.decode_packet(words, 0);
+  ASSERT_EQ(packet.slots.size(), 2u);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  const int e1 = model->pipeline.stage_index("E1");
+  const auto& program =
+      schedule.stage_programs[static_cast<std::size_t>(e1)];
+  ASSERT_EQ(program.stmts.size(), 2u);
+  EXPECT_EQ(program.stmts[0]->to_string(), "A[1] = 1;\n");
+  EXPECT_EQ(program.stmts[1]->to_string(), "A[2] = 2;\n");
+}
+
+}  // namespace
+}  // namespace lisasim

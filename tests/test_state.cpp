@@ -1,0 +1,119 @@
+// ProcessorState unit tests: canonicalizing stores, bounds checking,
+// reset, views, equality and the dump format.
+#include <gtest/gtest.h>
+
+#include "model/sema.hpp"
+#include "model/state.hpp"
+
+namespace lisasim {
+namespace {
+
+std::unique_ptr<Model> small_model() {
+  return compile_model_source_or_throw(R"(
+    RESOURCE {
+      PROGRAM_COUNTER uint32 PC;
+      REGISTER int16 r[4];
+      MEMORY uint8 m[8];
+      int64 wide;
+      bool flag;
+    }
+  )",
+                                       "state-test");
+}
+
+TEST(State, CanonicalizesOnWrite) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  const ResourceId r = model->resource_by_name("r")->id;
+  state.write(r, 0, 70000);  // wraps into int16
+  const ValueType int16_type{16, true};
+  EXPECT_EQ(state.read(r, 0), int16_type.canonicalize(70000));
+  state.write(r, 1, -1);
+  EXPECT_EQ(state.read(r, 1), -1);
+
+  const ResourceId m = model->resource_by_name("m")->id;
+  state.write(m, 3, -1);  // uint8 wraps to 255
+  EXPECT_EQ(state.read(m, 3), 255);
+
+  const ResourceId flag = model->resource_by_name("flag")->id;
+  state.write(flag, 0, 3);  // bool keeps only the low bit
+  EXPECT_EQ(state.read(flag), 1);
+
+  const ResourceId wide = model->resource_by_name("wide")->id;
+  state.write(wide, 0, INT64_MIN);
+  EXPECT_EQ(state.read(wide), INT64_MIN);
+}
+
+TEST(State, BoundsChecking) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  const ResourceId r = model->resource_by_name("r")->id;
+  EXPECT_THROW(state.read(r, 4), SimError);
+  EXPECT_THROW(state.write(r, 4, 0), SimError);
+  EXPECT_NO_THROW(state.read(r, 3));
+  // Scalars are size 1.
+  const ResourceId wide = model->resource_by_name("wide")->id;
+  EXPECT_THROW(state.read(wide, 1), SimError);
+}
+
+TEST(State, PcAccessors) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  state.set_pc(1234);
+  EXPECT_EQ(state.pc(), 1234u);
+  // PC is uint32: wraps.
+  state.set_pc(0x1'0000'0005ull);
+  EXPECT_EQ(state.pc(), 5u);
+}
+
+TEST(State, ResetZeroesEverything) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  state.write(model->resource_by_name("r")->id, 2, 9);
+  state.set_pc(7);
+  state.reset();
+  EXPECT_EQ(state.read(model->resource_by_name("r")->id, 2), 0);
+  EXPECT_EQ(state.pc(), 0u);
+  EXPECT_EQ(state.dump_nonzero(), "");
+}
+
+TEST(State, EqualityComparesAllStorage) {
+  auto model = small_model();
+  ProcessorState a(*model);
+  ProcessorState b(*model);
+  EXPECT_TRUE(a == b);
+  a.write(model->resource_by_name("m")->id, 0, 1);
+  EXPECT_FALSE(a == b);
+  b.write(model->resource_by_name("m")->id, 0, 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(State, ArrayViewReflectsWrites) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  const ResourceId m = model->resource_by_name("m")->id;
+  state.write(m, 2, 7);
+  const auto view = state.array_view(m);
+  ASSERT_EQ(view.size(), 8u);
+  EXPECT_EQ(view[2], 7);
+  EXPECT_EQ(view[0], 0);
+}
+
+TEST(State, DumpFormat) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  state.write(model->resource_by_name("wide")->id, 0, -5);
+  state.write(model->resource_by_name("r")->id, 1, 3);
+  // Resources print in declaration order; arrays with indices.
+  EXPECT_EQ(state.dump_nonzero(), "r[1] = 3\nwide = -5\n");
+}
+
+TEST(State, SizeOf) {
+  auto model = small_model();
+  ProcessorState state(*model);
+  EXPECT_EQ(state.size_of(model->resource_by_name("m")->id), 8u);
+  EXPECT_EQ(state.size_of(model->resource_by_name("wide")->id), 1u);
+}
+
+}  // namespace
+}  // namespace lisasim

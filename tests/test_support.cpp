@@ -1,0 +1,135 @@
+// Unit tests for the support library: bit manipulation, the sized-value
+// type system, string interning and diagnostics.
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+#include "support/diag.hpp"
+#include "support/interner.hpp"
+#include "support/value.hpp"
+
+namespace lisasim {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(4), 0xFu);
+  EXPECT_EQ(low_mask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  const std::uint64_t word = 0xDEADBEEFCAFEBABEull;
+  for (unsigned lsb : {0u, 3u, 17u, 32u, 60u}) {
+    for (unsigned width : {1u, 4u, 11u, 16u}) {
+      if (lsb + width > 64) continue;
+      const std::uint64_t piece = extract_bits(word, lsb, width);
+      EXPECT_TRUE(fits_unsigned(piece, width));
+      const std::uint64_t rebuilt = insert_bits(word, lsb, width, piece);
+      EXPECT_EQ(rebuilt, word) << "lsb=" << lsb << " width=" << width;
+    }
+  }
+}
+
+TEST(Bits, InsertReplacesOnlyTheField) {
+  const std::uint64_t w = insert_bits(0xFFFFFFFFull, 8, 8, 0x00);
+  EXPECT_EQ(w, 0xFFFF00FFull);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xF, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x1234, 16), 0x1234);
+  EXPECT_EQ(sign_extend(5, 64), 5);
+}
+
+TEST(Bits, Truncate) {
+  EXPECT_EQ(truncate(-1, 8), 0xFFu);
+  EXPECT_EQ(truncate(256, 8), 0u);
+  EXPECT_EQ(truncate(-32768, 16), 0x8000u);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(-8, 4));
+  EXPECT_TRUE(fits_signed(7, 4));
+  EXPECT_FALSE(fits_signed(8, 4));
+  EXPECT_FALSE(fits_signed(-9, 4));
+  EXPECT_TRUE(fits_signed(INT64_MIN, 64));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(15, 4));
+  EXPECT_FALSE(fits_unsigned(16, 4));
+  EXPECT_TRUE(fits_unsigned(0, 1));
+}
+
+TEST(ValueType, ParseKnownNames) {
+  for (const char* name :
+       {"int8", "int16", "int32", "int64", "uint8", "uint16", "uint32",
+        "uint64", "bool"}) {
+    const auto t = ValueType::parse(name);
+    ASSERT_TRUE(t.has_value()) << name;
+    EXPECT_EQ(t->to_string(), name);
+  }
+}
+
+TEST(ValueType, ParseRejectsUnknown) {
+  EXPECT_FALSE(ValueType::parse("int7").has_value());
+  EXPECT_FALSE(ValueType::parse("float").has_value());
+  EXPECT_FALSE(ValueType::parse("int").has_value());
+  EXPECT_FALSE(ValueType::parse("uint").has_value());
+  EXPECT_FALSE(ValueType::parse("int128").has_value());
+}
+
+TEST(ValueType, CanonicalizeSigned) {
+  const ValueType t{16, true};
+  EXPECT_EQ(t.canonicalize(32767), 32767);
+  EXPECT_EQ(t.canonicalize(32768), -32768);
+  EXPECT_EQ(t.canonicalize(-32769), 32767);
+  EXPECT_EQ(t.canonicalize(65536), 0);
+}
+
+TEST(ValueType, CanonicalizeUnsigned) {
+  const ValueType t{8, false};
+  EXPECT_EQ(t.canonicalize(255), 255);
+  EXPECT_EQ(t.canonicalize(256), 0);
+  EXPECT_EQ(t.canonicalize(-1), 255);
+}
+
+TEST(Interner, DistinctAndStable) {
+  StringInterner interner;
+  const StringId a = interner.intern("alpha");
+  const StringId b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.str(a), "alpha");
+  EXPECT_EQ(interner.lookup("beta"), b);
+  EXPECT_EQ(interner.lookup("missing"), 0u);
+}
+
+TEST(Interner, ManyStringsStayValid) {
+  StringInterner interner;
+  std::vector<StringId> ids;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(interner.intern("sym" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(interner.str(ids[static_cast<std::size_t>(i)]),
+              "sym" + std::to_string(i));
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({"f", 1, 1}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({"f", 2, 3}, "bad");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_NE(diags.render().find("f:2:3: error: bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -1,0 +1,215 @@
+// End-to-end tests on the tinydsp model: assembly, decoding, pipeline
+// timing (flush penalty, load write-back, NOP stalls) and the cross-level
+// accuracy property.
+#include <gtest/gtest.h>
+
+#include "asm/disasm.hpp"
+#include "sim_test_util.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::CrossLevelRun;
+using testing::TestTarget;
+
+class TinyDspTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    target_ = new TestTarget(targets::tinydsp_model_source(), "tinydsp");
+  }
+  static void TearDownTestSuite() {
+    delete target_;
+    target_ = nullptr;
+  }
+  static TestTarget* target_;
+};
+
+TestTarget* TinyDspTest::target_ = nullptr;
+
+TEST_F(TinyDspTest, AssembleDisassembleRoundTrip) {
+  const char* sources[] = {
+      "ADD.L R1, R2, R3", "SUB.S R4, R5, R6", "MUL.L R7, R8, R9",
+      "LD R1, R2, 16",    "ST R3, R4, 100",   "MVK 1234, R5",
+      "B 42",             "BZ R1, 7",         "NOP 3",
+      "HALT",
+  };
+  for (const char* src : sources) {
+    const LoadedProgram p = target_->assemble(std::string(src) + "\n HALT\n");
+    ASSERT_GE(p.words.size(), 1u) << src;
+    const std::string dis =
+        disassemble_word(*target_->decoder, p.words[0]);
+    // Reassembling the disassembly must produce the same word.
+    const LoadedProgram p2 = target_->assemble(dis + "\n HALT\n");
+    EXPECT_EQ(p.words[0], p2.words[0]) << src << " -> " << dis;
+  }
+}
+
+TEST_F(TinyDspTest, DisassemblerShowsCanonicalForm) {
+  const LoadedProgram p = target_->assemble("ADD.L R1, R2, R3\n");
+  EXPECT_EQ(disassemble_word(*target_->decoder, p.words[0]),
+            "ADD.L R1, R2, R3");
+}
+
+TEST_F(TinyDspTest, UnknownMnemonicFails) {
+  DiagnosticEngine diags;
+  Assembler assembler(*target_->model, *target_->decoder);
+  assembler.assemble("FROB R1, R2\n", "t.asm", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST_F(TinyDspTest, OutOfRangeOperandFails) {
+  DiagnosticEngine diags;
+  Assembler assembler(*target_->model, *target_->decoder);
+  assembler.assemble("MVK 100000, R1\n", "t.asm", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST_F(TinyDspTest, ArithmeticShortAndLongModes) {
+  // Example 1 of the paper: the mode field selects 16-bit vs 32-bit
+  // arithmetic for the same ADD mnemonic.
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 30000, R1
+        MVK 30000, R2
+        ADD.S R3, R1, R2     ; 16-bit: 60000 wraps to -5536
+        ADD.L R4, R1, R2     ; 32-bit: 60000
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_TRUE(run.result.halted);
+
+  InterpSimulator sim(*target_->model);
+  sim.load(p);
+  sim.run(1000);
+  EXPECT_EQ(testing::reg_of(*target_->model, sim.state(), "R", 3),
+            sign_extend(60000, 16) + 0);  // -5536... computed as 64-bit sum
+  EXPECT_EQ(testing::reg_of(*target_->model, sim.state(), "R", 4), 60000);
+}
+
+TEST_F(TinyDspTest, LoadWriteBackInWb) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 5, R1
+        LD R2, R1, 3        ; R2 <- dmem[5 + 3]
+        HALT
+        .data dmem 8
+        .word 777
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_TRUE(run.result.halted);
+  EXPECT_NE(run.state_dump.find("R[2] = 777"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(TinyDspTest, StoreThenLoad) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 42, R1
+        MVK 100, R2
+        ST R1, R2, 0
+        NOP 2
+        LD R3, R2, 0
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_NE(run.state_dump.find("R[3] = 42"), std::string::npos);
+}
+
+TEST_F(TinyDspTest, BranchFlushSkipsWrongPath) {
+  const LoadedProgram p = target_->assemble(R"(
+        B skip
+        MVK 1, R1            ; must be squashed
+        MVK 2, R2            ; must be squashed
+skip:   MVK 3, R3
+        HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_EQ(run.state_dump.find("R[1]"), std::string::npos);
+  EXPECT_EQ(run.state_dump.find("R[2]"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("R[3] = 3"), std::string::npos);
+}
+
+TEST_F(TinyDspTest, BranchPenaltyIsTwoCycles) {
+  // Taken branch: flush of IF/ID creates a 2-cycle bubble. Compare a
+  // straight-line HALT with a branch-to-HALT.
+  const LoadedProgram straight = target_->assemble(R"(
+        NOP 1
+        HALT
+  )");
+  const LoadedProgram branched = target_->assemble(R"(
+        B done
+        NOP 1
+done:   HALT
+  )");
+  const auto r1 = testing::run_all_levels(*target_->model, straight);
+  const auto r2 = testing::run_all_levels(*target_->model, branched);
+  // straight: NOP then HALT. branched: B (EX at some cycle), bubble,
+  // bubble, HALT. The branch costs its own EX slot plus 2 flush bubbles.
+  EXPECT_EQ(r2.result.cycles - r1.result.cycles, 2u);
+}
+
+TEST_F(TinyDspTest, ConditionalBranchTakenAndNotTaken) {
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 0, R1
+        MVK 7, R2
+        BZ R1, taken         ; R1 == 0 -> taken
+        MVK 99, R3           ; squashed
+taken:  BZ R2, nottaken      ; R2 != 0 -> fall through
+        MVK 5, R4
+nottaken: HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_EQ(run.state_dump.find("R[3]"), std::string::npos);
+  EXPECT_NE(run.state_dump.find("R[4] = 5"), std::string::npos);
+}
+
+TEST_F(TinyDspTest, NopStallsThePipeline) {
+  const LoadedProgram short_nop = target_->assemble("NOP 1\nHALT\n");
+  const LoadedProgram long_nop = target_->assemble("NOP 9\nHALT\n");
+  const auto r1 = testing::run_all_levels(*target_->model, short_nop);
+  const auto r2 = testing::run_all_levels(*target_->model, long_nop);
+  EXPECT_EQ(r2.result.cycles - r1.result.cycles, 8u);
+}
+
+TEST_F(TinyDspTest, LoopSumsNumbers) {
+  // Sum 1..10 with a BZ loop; exercises repeated fetch of the same
+  // addresses (the compiled simulator's table is hit many times).
+  const LoadedProgram p = target_->assemble(R"(
+        MVK 10, R1          ; counter
+        MVK 0, R2           ; sum
+        MVK 1, R3           ; constant 1
+loop:   BZ R1, done
+        ADD.L R2, R2, R1
+        SUB.L R1, R1, R3
+        B loop
+done:   HALT
+  )");
+  const CrossLevelRun run = testing::run_all_levels(*target_->model, p);
+  EXPECT_TRUE(run.result.halted);
+  EXPECT_NE(run.state_dump.find("R[2] = 55"), std::string::npos)
+      << run.state_dump;
+}
+
+TEST_F(TinyDspTest, RunsOffProgramThrows) {
+  const LoadedProgram p = target_->assemble("NOP 1\n");  // no HALT
+  InterpSimulator sim(*target_->model);
+  sim.load(p);
+  EXPECT_THROW(sim.run(1000), SimError);
+
+  CompiledSimulator comp(*target_->model, SimLevel::kCompiledDynamic);
+  comp.load(p);
+  EXPECT_THROW(comp.run(1000), SimError);
+}
+
+TEST_F(TinyDspTest, MaxCyclesStopsWithoutHalt) {
+  const LoadedProgram p = target_->assemble(R"(
+loop:   B loop
+        HALT
+  )");
+  InterpSimulator sim(*target_->model);
+  sim.load(p);
+  const RunResult r = sim.run(100);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.cycles, 100u);
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -1,0 +1,155 @@
+// Model-validator (lint) tests: each check fires on a crafted bad model
+// and stays quiet on the shipped ones.
+#include <gtest/gtest.h>
+
+#include "model/sema.hpp"
+#include "model/validate.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+std::string findings(const std::string& source) {
+  auto model = compile_model_source_or_throw(source, "lint-test");
+  DiagnosticEngine diags;
+  validate_model(*model, diags);
+  return diags.render();
+}
+
+constexpr const char* kHeader = R"(
+  RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int32 R[4];
+    MEMORY int32 m[16];
+    PIPELINE pipe = { EX; WB; };
+  }
+  FETCH { WORD 8; MEMORY m; }
+)";
+
+TEST(Validate, CleanOnShippedModels) {
+  for (auto source : {targets::tinydsp_model_source(),
+                      targets::c62x_model_source(),
+                      targets::c54x_model_source()}) {
+    auto model = compile_model_source_or_throw(source, "shipped");
+    DiagnosticEngine diags;
+    validate_model(*model, diags);
+    // The shipped models must have zero *warnings* (notes are advisory).
+    for (const auto& d : diags.diagnostics())
+      EXPECT_NE(d.severity, Severity::kWarning) << d.to_string();
+  }
+}
+
+TEST(Validate, DetectsAmbiguousGroup) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION a { DECLARE { LABEL f; } CODING { 0b0 f=0bx[7] } }
+    OPERATION b { DECLARE { LABEL g; } CODING { 0b0 g=0bx[7] } }
+    OPERATION instruction {
+      DECLARE { GROUP pick = { a || b }; }
+      CODING { pick }
+      BEHAVIOR { R[0] = 1; }
+    }
+  )");
+  EXPECT_NE(out.find("compatible codings"), std::string::npos) << out;
+}
+
+TEST(Validate, AcceptsDisjointGroup) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION a { DECLARE { LABEL f; } CODING { 0b0 f=0bx[7] } }
+    OPERATION b { DECLARE { LABEL g; } CODING { 0b1 g=0bx[7] } }
+    OPERATION instruction {
+      DECLARE { GROUP pick = { a || b }; }
+      CODING { pick }
+      BEHAVIOR { R[0] = 1; }
+    }
+  )");
+  EXPECT_EQ(out.find("compatible codings"), std::string::npos) << out;
+}
+
+TEST(Validate, DetectsUnreachableOperation) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION orphan { BEHAVIOR { R[0] = 1; } }
+    OPERATION instruction {
+      DECLARE { LABEL f; }
+      CODING { f=0bx[8] }
+      BEHAVIOR { R[1] = f; }
+    }
+  )");
+  EXPECT_NE(out.find("'orphan' is unreachable"), std::string::npos) << out;
+}
+
+TEST(Validate, DetectsInstanceCycle) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION ping IN pipe.EX {
+      BEHAVIOR { R[0] = 1; }
+      ACTIVATION { pong }
+    }
+    OPERATION pong IN pipe.WB {
+      BEHAVIOR { R[1] = 1; }
+      ACTIVATION { ping }
+    }
+    OPERATION instruction {
+      DECLARE { LABEL f; INSTANCE start = ping; }
+      CODING { f=0bx[8] }
+      ACTIVATION { start }
+    }
+  )");
+  EXPECT_NE(out.find("instance cycle"), std::string::npos) << out;
+}
+
+TEST(Validate, DetectsBackwardActivation) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION early IN pipe.EX { BEHAVIOR { R[0] = 1; } }
+    OPERATION late IN pipe.WB {
+      BEHAVIOR { R[1] = 1; }
+      ACTIVATION { early }
+    }
+    OPERATION instruction IN pipe.EX {
+      DECLARE { LABEL f; INSTANCE w = late; }
+      CODING { f=0bx[8] }
+      ACTIVATION { w }
+    }
+  )");
+  EXPECT_NE(out.find("earlier stage"), std::string::npos) << out;
+}
+
+TEST(Validate, DetectsUnboundLabel) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION instruction {
+      DECLARE { LABEL f, ghost; }
+      CODING { f=0bx[8] }
+      BEHAVIOR { R[0] = ghost; }
+    }
+  )");
+  EXPECT_NE(out.find("'ghost'"), std::string::npos) << out;
+  EXPECT_NE(out.find("never bound"), std::string::npos);
+}
+
+TEST(Validate, DetectsGroupMissingFromSyntax) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION a { CODING { 0b0 } SYNTAX { "A" } }
+    OPERATION b { CODING { 0b1 } SYNTAX { "B" } }
+    OPERATION instruction {
+      DECLARE { GROUP pick = { a || b }; LABEL f; }
+      CODING { pick f=0bx[7] }
+      SYNTAX { "OP " f }
+      BEHAVIOR { R[0] = f; }
+    }
+  )");
+  EXPECT_NE(out.find("not in SYNTAX"), std::string::npos) << out;
+}
+
+TEST(Validate, NotesUnusedResource) {
+  const std::string out = findings(std::string(kHeader) + R"(
+    OPERATION instruction {
+      DECLARE { LABEL f; }
+      CODING { f=0bx[8] }
+      BEHAVIOR { m[0] = f; }
+    }
+  )");
+  EXPECT_NE(out.find("'R' is never referenced"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace lisasim
