@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_target.dir/bench_cross_target.cpp.o"
+  "CMakeFiles/bench_cross_target.dir/bench_cross_target.cpp.o.d"
+  "bench_cross_target"
+  "bench_cross_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_translation.dir/bench_model_translation.cpp.o"
+  "CMakeFiles/bench_model_translation.dir/bench_model_translation.cpp.o.d"
+  "bench_model_translation"
+  "bench_model_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpcm_codec.dir/adpcm_codec.cpp.o"
+  "CMakeFiles/adpcm_codec.dir/adpcm_codec.cpp.o.d"
+  "adpcm_codec"
+  "adpcm_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpcm_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

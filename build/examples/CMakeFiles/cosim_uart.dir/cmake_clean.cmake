@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_uart.dir/cosim_uart.cpp.o"
+  "CMakeFiles/cosim_uart.dir/cosim_uart.cpp.o.d"
+  "cosim_uart"
+  "cosim_uart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_uart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

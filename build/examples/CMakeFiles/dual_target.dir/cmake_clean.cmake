@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_target.dir/dual_target.cpp.o"
+  "CMakeFiles/dual_target.dir/dual_target.cpp.o.d"
+  "dual_target"
+  "dual_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim.dir/lisasim_cli.cpp.o"
+  "CMakeFiles/lisasim.dir/lisasim_cli.cpp.o.d"
+  "lisasim"
+  "lisasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

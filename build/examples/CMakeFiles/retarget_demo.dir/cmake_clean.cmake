@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_demo.dir/retarget_demo.cpp.o"
+  "CMakeFiles/retarget_demo.dir/retarget_demo.cpp.o.d"
+  "retarget_demo"
+  "retarget_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_asm.dir/assembler.cpp.o"
+  "CMakeFiles/lisasim_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/lisasim_asm.dir/disasm.cpp.o"
+  "CMakeFiles/lisasim_asm.dir/disasm.cpp.o.d"
+  "CMakeFiles/lisasim_asm.dir/program.cpp.o"
+  "CMakeFiles/lisasim_asm.dir/program.cpp.o.d"
+  "liblisasim_asm.a"
+  "liblisasim_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

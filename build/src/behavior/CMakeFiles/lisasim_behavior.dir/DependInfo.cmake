@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/behavior/eval.cpp" "src/behavior/CMakeFiles/lisasim_behavior.dir/eval.cpp.o" "gcc" "src/behavior/CMakeFiles/lisasim_behavior.dir/eval.cpp.o.d"
+  "/root/repo/src/behavior/microops.cpp" "src/behavior/CMakeFiles/lisasim_behavior.dir/microops.cpp.o" "gcc" "src/behavior/CMakeFiles/lisasim_behavior.dir/microops.cpp.o.d"
+  "/root/repo/src/behavior/specialize.cpp" "src/behavior/CMakeFiles/lisasim_behavior.dir/specialize.cpp.o" "gcc" "src/behavior/CMakeFiles/lisasim_behavior.dir/specialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/behavior/CMakeFiles/lisasim_behavior_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lisasim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/decode/CMakeFiles/lisasim_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisa/CMakeFiles/lisasim_lisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

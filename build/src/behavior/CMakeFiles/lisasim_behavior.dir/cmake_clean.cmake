@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_behavior.dir/eval.cpp.o"
+  "CMakeFiles/lisasim_behavior.dir/eval.cpp.o.d"
+  "CMakeFiles/lisasim_behavior.dir/microops.cpp.o"
+  "CMakeFiles/lisasim_behavior.dir/microops.cpp.o.d"
+  "CMakeFiles/lisasim_behavior.dir/specialize.cpp.o"
+  "CMakeFiles/lisasim_behavior.dir/specialize.cpp.o.d"
+  "liblisasim_behavior.a"
+  "liblisasim_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

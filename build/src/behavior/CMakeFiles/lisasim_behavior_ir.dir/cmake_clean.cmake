@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_behavior_ir.dir/ir.cpp.o"
+  "CMakeFiles/lisasim_behavior_ir.dir/ir.cpp.o.d"
+  "liblisasim_behavior_ir.a"
+  "liblisasim_behavior_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_behavior_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_codegen.dir/cppgen.cpp.o"
+  "CMakeFiles/lisasim_codegen.dir/cppgen.cpp.o.d"
+  "liblisasim_codegen.a"
+  "liblisasim_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

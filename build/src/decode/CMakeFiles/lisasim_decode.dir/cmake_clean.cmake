@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_decode.dir/analysis.cpp.o"
+  "CMakeFiles/lisasim_decode.dir/analysis.cpp.o.d"
+  "CMakeFiles/lisasim_decode.dir/decoder.cpp.o"
+  "CMakeFiles/lisasim_decode.dir/decoder.cpp.o.d"
+  "liblisasim_decode.a"
+  "liblisasim_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

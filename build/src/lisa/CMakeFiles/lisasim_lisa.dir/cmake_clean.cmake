@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_lisa.dir/lexer.cpp.o"
+  "CMakeFiles/lisasim_lisa.dir/lexer.cpp.o.d"
+  "CMakeFiles/lisasim_lisa.dir/parser.cpp.o"
+  "CMakeFiles/lisasim_lisa.dir/parser.cpp.o.d"
+  "liblisasim_lisa.a"
+  "liblisasim_lisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_lisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

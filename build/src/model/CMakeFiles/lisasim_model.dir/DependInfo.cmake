@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/database.cpp" "src/model/CMakeFiles/lisasim_model.dir/database.cpp.o" "gcc" "src/model/CMakeFiles/lisasim_model.dir/database.cpp.o.d"
+  "/root/repo/src/model/sema.cpp" "src/model/CMakeFiles/lisasim_model.dir/sema.cpp.o" "gcc" "src/model/CMakeFiles/lisasim_model.dir/sema.cpp.o.d"
+  "/root/repo/src/model/state.cpp" "src/model/CMakeFiles/lisasim_model.dir/state.cpp.o" "gcc" "src/model/CMakeFiles/lisasim_model.dir/state.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/model/CMakeFiles/lisasim_model.dir/validate.cpp.o" "gcc" "src/model/CMakeFiles/lisasim_model.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lisa/CMakeFiles/lisasim_lisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/behavior/CMakeFiles/lisasim_behavior_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_model.dir/database.cpp.o"
+  "CMakeFiles/lisasim_model.dir/database.cpp.o.d"
+  "CMakeFiles/lisasim_model.dir/sema.cpp.o"
+  "CMakeFiles/lisasim_model.dir/sema.cpp.o.d"
+  "CMakeFiles/lisasim_model.dir/state.cpp.o"
+  "CMakeFiles/lisasim_model.dir/state.cpp.o.d"
+  "CMakeFiles/lisasim_model.dir/validate.cpp.o"
+  "CMakeFiles/lisasim_model.dir/validate.cpp.o.d"
+  "liblisasim_model.a"
+  "liblisasim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

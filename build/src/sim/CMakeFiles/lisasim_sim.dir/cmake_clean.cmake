@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_sim.dir/cached_interp.cpp.o"
+  "CMakeFiles/lisasim_sim.dir/cached_interp.cpp.o.d"
+  "CMakeFiles/lisasim_sim.dir/interp.cpp.o"
+  "CMakeFiles/lisasim_sim.dir/interp.cpp.o.d"
+  "CMakeFiles/lisasim_sim.dir/simcompiler.cpp.o"
+  "CMakeFiles/lisasim_sim.dir/simcompiler.cpp.o.d"
+  "liblisasim_sim.a"
+  "liblisasim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_support.dir/diag.cpp.o"
+  "CMakeFiles/lisasim_support.dir/diag.cpp.o.d"
+  "CMakeFiles/lisasim_support.dir/value.cpp.o"
+  "CMakeFiles/lisasim_support.dir/value.cpp.o.d"
+  "liblisasim_support.a"
+  "liblisasim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/c54x.cpp" "src/targets/CMakeFiles/lisasim_targets.dir/c54x.cpp.o" "gcc" "src/targets/CMakeFiles/lisasim_targets.dir/c54x.cpp.o.d"
+  "/root/repo/src/targets/c62x.cpp" "src/targets/CMakeFiles/lisasim_targets.dir/c62x.cpp.o" "gcc" "src/targets/CMakeFiles/lisasim_targets.dir/c62x.cpp.o.d"
+  "/root/repo/src/targets/tinydsp.cpp" "src/targets/CMakeFiles/lisasim_targets.dir/tinydsp.cpp.o" "gcc" "src/targets/CMakeFiles/lisasim_targets.dir/tinydsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lisasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_targets.dir/c54x.cpp.o"
+  "CMakeFiles/lisasim_targets.dir/c54x.cpp.o.d"
+  "CMakeFiles/lisasim_targets.dir/c62x.cpp.o"
+  "CMakeFiles/lisasim_targets.dir/c62x.cpp.o.d"
+  "CMakeFiles/lisasim_targets.dir/tinydsp.cpp.o"
+  "CMakeFiles/lisasim_targets.dir/tinydsp.cpp.o.d"
+  "liblisasim_targets.a"
+  "liblisasim_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adpcm.cpp" "src/workloads/CMakeFiles/lisasim_workloads.dir/adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/lisasim_workloads.dir/adpcm.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/workloads/CMakeFiles/lisasim_workloads.dir/fir.cpp.o" "gcc" "src/workloads/CMakeFiles/lisasim_workloads.dir/fir.cpp.o.d"
+  "/root/repo/src/workloads/gsm.cpp" "src/workloads/CMakeFiles/lisasim_workloads.dir/gsm.cpp.o" "gcc" "src/workloads/CMakeFiles/lisasim_workloads.dir/gsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lisasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

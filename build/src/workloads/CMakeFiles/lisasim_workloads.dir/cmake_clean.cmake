@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisasim_workloads.dir/adpcm.cpp.o"
+  "CMakeFiles/lisasim_workloads.dir/adpcm.cpp.o.d"
+  "CMakeFiles/lisasim_workloads.dir/fir.cpp.o"
+  "CMakeFiles/lisasim_workloads.dir/fir.cpp.o.d"
+  "CMakeFiles/lisasim_workloads.dir/gsm.cpp.o"
+  "CMakeFiles/lisasim_workloads.dir/gsm.cpp.o.d"
+  "liblisasim_workloads.a"
+  "liblisasim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisasim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

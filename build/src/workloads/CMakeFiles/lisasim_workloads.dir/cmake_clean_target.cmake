@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblisasim_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c54x.dir/test_c54x.cpp.o"
+  "CMakeFiles/test_c54x.dir/test_c54x.cpp.o.d"
+  "test_c54x"
+  "test_c54x.pdb"
+  "test_c54x[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c54x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_c54x.
+# This may be replaced when dependencies are built.

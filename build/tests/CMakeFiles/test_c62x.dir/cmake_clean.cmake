@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c62x.dir/test_c62x.cpp.o"
+  "CMakeFiles/test_c62x.dir/test_c62x.cpp.o.d"
+  "test_c62x"
+  "test_c62x.pdb"
+  "test_c62x[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c62x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

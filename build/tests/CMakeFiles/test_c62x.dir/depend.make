@@ -1,0 +1,2 @@
+# Empty dependencies file for test_c62x.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microops.dir/test_microops.cpp.o"
+  "CMakeFiles/test_microops.dir/test_microops.cpp.o.d"
+  "test_microops"
+  "test_microops.pdb"
+  "test_microops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specialize.dir/test_specialize.cpp.o"
+  "CMakeFiles/test_specialize.dir/test_specialize.cpp.o.d"
+  "test_specialize"
+  "test_specialize.pdb"
+  "test_specialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

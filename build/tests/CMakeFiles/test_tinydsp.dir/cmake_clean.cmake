@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tinydsp.dir/test_tinydsp.cpp.o"
+  "CMakeFiles/test_tinydsp.dir/test_tinydsp.cpp.o.d"
+  "test_tinydsp"
+  "test_tinydsp.pdb"
+  "test_tinydsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tinydsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
