@@ -18,6 +18,10 @@
 //   --stats                         print simulation-compile statistics
 //   --trace [N]                     print the first N trace events (def 200)
 //   --profile                       print the hot-spot table at the end
+//   --threads N                     simulation-compiler workers (0 = auto)
+//   --cache                         serve repeated loads from the table
+//                                   cache (with --runs N, reloads hit it)
+//   --runs N                        load + run the program N times
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,7 +67,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lisasim <check|dump|asm|disasm|codegen|run> <model> "
                "[prog.asm] [--level interp|dynamic|static] [--max-cycles N] "
-               "[--dump] [--stats]\n"
+               "[--dump] [--stats] [--threads N] [--cache] [--runs N]\n"
                "       <model> is a .lisa path or @tinydsp / @c62x\n");
   return 2;
 }
@@ -143,6 +147,9 @@ int main(int argc, char** argv) {
     bool dump_state = false;
     bool show_stats = false;
     bool do_profile = false;
+    bool use_cache = false;
+    unsigned threads = 1;
+    std::uint64_t runs = 1;
     std::uint64_t trace_events = 0;
     for (int i = 4; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--level") && i + 1 < argc) {
@@ -158,6 +165,13 @@ int main(int argc, char** argv) {
         dump_state = true;
       } else if (!std::strcmp(argv[i], "--stats")) {
         show_stats = true;
+      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+      } else if (!std::strcmp(argv[i], "--cache")) {
+        use_cache = true;
+      } else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
+        runs = std::strtoull(argv[++i], nullptr, 0);
+        if (runs == 0) runs = 1;
       } else if (!std::strcmp(argv[i], "--profile")) {
         do_profile = true;
       } else if (!std::strcmp(argv[i], "--trace")) {
@@ -186,24 +200,45 @@ int main(int argc, char** argv) {
     if (level == SimLevel::kInterpretive) {
       InterpSimulator sim(*model);
       sim.set_observer(observer);
-      sim.load(program);
-      result = sim.run(max_cycles);
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        sim.load(program);
+        result = sim.run(max_cycles);
+      }
       state_dump = sim.state().dump_nonzero();
     } else if (level == SimLevel::kDecodeCached) {
       CachedInterpSimulator sim(*model);
       sim.set_observer(observer);
-      sim.load(program);
-      result = sim.run(max_cycles);
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        sim.load(program);
+        result = sim.run(max_cycles);
+      }
       state_dump = sim.state().dump_nonzero();
     } else {
+      SimTableCache table_cache;
       CompiledSimulator sim(*model, level);
       sim.set_observer(observer);
-      const SimCompileStats stats = sim.load(program);
-      if (show_stats)
-        std::printf("simulation compiler: %zu instructions, %zu table rows, "
-                    "%zu micro-ops\n",
-                    stats.instructions, stats.table_rows, stats.microops);
-      result = sim.run(max_cycles);
+      sim.set_threads(threads);
+      if (use_cache) sim.set_table_cache(&table_cache);
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        const SimCompileStats stats = sim.load(program);
+        if (show_stats)
+          std::printf(
+              "simulation compiler: %zu instructions, %zu table rows, "
+              "%zu micro-ops, %.3f ms, %u thread%s%s\n",
+              stats.instructions, stats.table_rows, stats.microops,
+              static_cast<double>(stats.compile_ns) / 1e6,
+              stats.threads_used, stats.threads_used == 1 ? "" : "s",
+              stats.cache_hit ? ", cache hit" : "");
+        result = sim.run(max_cycles);
+      }
+      if (show_stats && use_cache) {
+        const SimTableCache::Stats cs = table_cache.stats();
+        std::printf("table cache: %llu hit%s, %llu miss%s, %zu cached\n",
+                    static_cast<unsigned long long>(cs.hits),
+                    cs.hits == 1 ? "" : "s",
+                    static_cast<unsigned long long>(cs.misses),
+                    cs.misses == 1 ? "" : "es", cs.entries);
+      }
       state_dump = sim.state().dump_nonzero();
     }
     std::printf("%s: %llu cycles, %llu packets (%llu instructions) retired, "

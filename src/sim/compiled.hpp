@@ -20,6 +20,7 @@
 #include "sim/result.hpp"
 #include "sim/simcompiler.hpp"
 #include "sim/simtable.hpp"
+#include "sim/table_cache.hpp"
 
 namespace lisasim {
 
@@ -114,22 +115,48 @@ class CompiledSimulator {
         backend_(model, state_, level),
         engine_(model, state_, backend_) {}
 
-  /// Run the simulation compiler on `program`, then load it. Returns the
-  /// compile statistics (the bench for paper Fig. 6 times this call).
+  /// Sharded-build worker count for load()-time compilation (1 =
+  /// sequential, 0 = hardware threads). The table contents are identical
+  /// at any setting.
+  void set_threads(unsigned threads) { compile_options_.threads = threads; }
+
+  /// Attach a (possibly shared) table cache consulted by load(); nullptr
+  /// detaches. The cache must outlive the simulator.
+  void set_table_cache(SimTableCache* cache) { cache_ = cache; }
+
+  /// Run the simulation compiler on `program` (or fetch the table from the
+  /// attached cache), then load it. Returns the compile statistics (the
+  /// bench for paper Fig. 6 times this call); also forwarded to the
+  /// observer's on_compile hook.
   SimCompileStats load(const LoadedProgram& program) {
     SimCompileStats stats;
-    table_ = compiler_.compile(program, level_, &stats);
-    backend_.set_table(&table_);
+    if (cache_) {
+      table_ = cache_->get_or_compile(compiler_, *model_, program, level_,
+                                      &stats, compile_options_);
+    } else {
+      table_ = std::make_shared<const SimTable>(
+          compiler_.compile(program, level_, &stats, compile_options_));
+    }
+    backend_.set_table(table_.get());
     state_.reset();
     engine_.reset();
     load_into_state(program, state_);
+    if (observer_) observer_->on_compile(stats);
     return stats;
   }
 
   /// Load with a pre-built table (lets benches time compilation separately).
   void load_precompiled(const LoadedProgram& program, SimTable table) {
+    load_precompiled(program,
+                     std::make_shared<const SimTable>(std::move(table)));
+  }
+
+  /// Shared-table variant: several simulators (or repeated loads) can run
+  /// off one cached table object.
+  void load_precompiled(const LoadedProgram& program,
+                        std::shared_ptr<const SimTable> table) {
     table_ = std::move(table);
-    backend_.set_table(&table_);
+    backend_.set_table(table_.get());
     state_.reset();
     engine_.reset();
     load_into_state(program, state_);
@@ -150,11 +177,16 @@ class CompiledSimulator {
   ProcessorState& state() { return state_; }
   const Model& model() const { return *model_; }
   const Decoder& decoder() const { return decoder_; }
-  void set_observer(SimObserver* observer) { engine_.set_observer(observer); }
+  void set_observer(SimObserver* observer) {
+    observer_ = observer;
+    engine_.set_observer(observer);
+  }
   void schedule_interrupt(std::uint64_t cycle, std::uint64_t target) {
     engine_.schedule_interrupt(cycle, target);
   }
-  const SimTable& table() const { return table_; }
+  const SimTable& table() const { return *table_; }
+  /// The loaded table object itself — pointer identity shows cache hits.
+  std::shared_ptr<const SimTable> table_ptr() const { return table_; }
   SimLevel level() const { return level_; }
 
  private:
@@ -165,7 +197,10 @@ class CompiledSimulator {
   SimulationCompiler compiler_;
   CompiledBackend backend_;
   PipelineEngine<CompiledBackend> engine_;
-  SimTable table_;
+  std::shared_ptr<const SimTable> table_;
+  SimCompileOptions compile_options_;
+  SimTableCache* cache_ = nullptr;
+  SimObserver* observer_ = nullptr;
 };
 
 }  // namespace lisasim

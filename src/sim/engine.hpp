@@ -155,10 +155,13 @@ class PipelineEngine {
     return result;
   }
 
-  /// Drop all in-flight packets and restart simulation time (used between
-  /// benchmark repetitions and program loads).
+  /// Drop all in-flight packets, cancel pending interrupts and restart
+  /// simulation time (used between benchmark repetitions and program
+  /// loads). Interrupts are anchored to absolute simulation time, so one
+  /// scheduled before a reset must not fire into the next repetition.
   void reset() {
     for (auto& slot : slots_) slot.valid = false;
+    interrupts_.clear();
     total_cycles_ = 0;
   }
 

@@ -15,6 +15,8 @@
 
 namespace lisasim {
 
+struct SimCompileStats;
+
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -27,6 +29,10 @@ class SimObserver {
   virtual void on_retire(std::uint64_t cycle, std::uint64_t pc) = 0;
   /// Younger packets were squashed by a flush raised at `stage`.
   virtual void on_flush(std::uint64_t cycle, int stage) = 0;
+  /// A compiled simulator translated (or cache-fetched) a program; `stats`
+  /// carries compile time, worker count and cache-hit flag. Default no-op:
+  /// only levels with a simulation compiler raise it.
+  virtual void on_compile(const SimCompileStats&) {}
 };
 
 /// Streams a human-readable event trace. Pass a disassembly callback to

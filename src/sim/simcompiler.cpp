@@ -1,28 +1,30 @@
 #include "sim/simcompiler.hpp"
 
+#include <chrono>
 #include <span>
 
 #include "behavior/specialize.hpp"
+#include "support/thread_pool.hpp"
 
 namespace lisasim {
 
-SimTable SimulationCompiler::compile(const LoadedProgram& program,
-                                     SimLevel level,
-                                     SimCompileStats* stats) const {
-  if (level == SimLevel::kInterpretive || level == SimLevel::kDecodeCached)
-    throw SimError("only the compiled levels have a simulation table");
+SimulationCompiler::SimulationCompiler(const Model& model,
+                                       const Decoder& decoder)
+    : model_(&model), decoder_(&decoder) {}
 
+SimulationCompiler::~SimulationCompiler() = default;
+
+void SimulationCompiler::compile_range(const std::vector<std::int64_t>& words,
+                                       SimLevel level, std::size_t begin,
+                                       std::size_t end,
+                                       std::vector<SimTableEntry>& entries,
+                                       std::size_t& instructions) const {
+  // One specializer per shard: schedule_packet is a pure function of the
+  // (immutable) model and the decoded packet, so shards never share
+  // mutable state.
   Specializer specializer(*model_);
-  // decode_packet reads element-typed memory; present the program words as
-  // int64 elements the way they will sit in the fetch memory.
-  std::vector<std::int64_t> words(program.words.begin(), program.words.end());
-
-  std::vector<SimTableEntry> entries;
-  entries.reserve(words.size());
-  std::size_t instructions = 0;
-
-  for (std::uint64_t index = 0; index < words.size(); ++index) {
-    SimTableEntry entry;
+  for (std::size_t index = begin; index < end; ++index) {
+    SimTableEntry& entry = entries[index];
     try {
       DecodedPacket packet = decoder_->decode_packet(words, index);
       entry.words = packet.words;
@@ -43,15 +45,53 @@ SimTable SimulationCompiler::compile(const LoadedProgram& program,
       entry.valid = false;
       entry.error = e.what();
     }
-    entries.push_back(std::move(entry));
+  }
+}
+
+SimTable SimulationCompiler::compile(const LoadedProgram& program,
+                                     SimLevel level, SimCompileStats* stats,
+                                     const SimCompileOptions& options) {
+  if (level == SimLevel::kInterpretive || level == SimLevel::kDecodeCached)
+    throw SimError("only the compiled levels have a simulation table");
+
+  const auto start = std::chrono::steady_clock::now();
+  const unsigned threads =
+      options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
+
+  // decode_packet reads element-typed memory; present the program words as
+  // int64 elements the way they will sit in the fetch memory.
+  std::vector<std::int64_t> words(program.words.begin(), program.words.end());
+  std::vector<SimTableEntry> entries(words.size());
+
+  std::size_t instructions = 0;
+  if (threads <= 1 || words.size() < 2) {
+    compile_range(words, level, 0, words.size(), entries, instructions);
+  } else {
+    if (!pool_ || pool_->size() != threads)
+      pool_ = std::make_unique<ThreadPool>(threads);
+    // Each shard owns entries[begin, end): disjoint writes, merged in
+    // program order by construction.
+    std::vector<std::size_t> shard_instructions(threads, 0);
+    parallel_shards(*pool_, words.size(), threads, [&](const Shard& shard) {
+      compile_range(words, level, shard.begin, shard.end, entries,
+                    shard_instructions[shard.index]);
+    });
+    for (const std::size_t n : shard_instructions) instructions += n;
   }
 
   if (stats) {
     stats->instructions = instructions;
     stats->table_rows = entries.size();
+    stats->decode_calls = entries.size();
+    stats->threads_used = threads;
+    stats->cache_hit = false;
     stats->microops = 0;
     for (const auto& e : entries)
       for (const auto& p : e.micro) stats->microops += p.ops.size();
+    stats->compile_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
   }
   return SimTable(program.text_base, std::move(entries));
 }

@@ -9,9 +9,16 @@
 // Every address gets a row (not just sequential packet starts), so branches
 // may target any word; re-chaining of execute packets from the branch
 // target then matches hardware behavior.
+//
+// Translation is independent per word address (decode and sequencing read
+// only the immutable model and program text), so the compiler can shard
+// the address range across a thread pool. Each shard writes its own
+// contiguous slice of the row vector; the merged table is therefore
+// bit-identical to the sequential build at any thread count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "asm/program.hpp"
 #include "decode/decoder.hpp"
@@ -21,26 +28,48 @@
 
 namespace lisasim {
 
+class ThreadPool;
+
 struct SimCompileStats {
   std::size_t instructions = 0;   // target instructions translated
   std::size_t table_rows = 0;     // simulation-table rows generated
   std::size_t microops = 0;       // micro-ops instantiated (static level)
+  std::size_t decode_calls = 0;   // decode_packet invocations (0 on a hit)
+  unsigned threads_used = 1;      // workers that built the table
+  bool cache_hit = false;         // table came from a SimTableCache
+  std::uint64_t compile_ns = 0;   // wall time of compile() / cache lookup
+};
+
+struct SimCompileOptions {
+  /// Worker threads for the sharded build. 1 = sequential (default),
+  /// 0 = one per hardware thread.
+  unsigned threads = 1;
 };
 
 class SimulationCompiler {
  public:
   /// `decoder` must outlive the compiler.
-  SimulationCompiler(const Model& model, const Decoder& decoder)
-      : model_(&model), decoder_(&decoder) {}
+  SimulationCompiler(const Model& model, const Decoder& decoder);
+  ~SimulationCompiler();  // out of line: ThreadPool is incomplete here
 
   /// Translate object code into a simulation table. `level` must be a
   /// compiled level; micro-ops are instantiated only for kCompiledStatic.
+  /// The result is independent of `options.threads`.
   SimTable compile(const LoadedProgram& program, SimLevel level,
-                   SimCompileStats* stats = nullptr) const;
+                   SimCompileStats* stats = nullptr,
+                   const SimCompileOptions& options = {});
 
  private:
+  /// Translate rows [shard.begin, shard.end) into entries[...] (pre-sized
+  /// by the caller), accumulating per-shard counters.
+  void compile_range(const std::vector<std::int64_t>& words, SimLevel level,
+                     std::size_t begin, std::size_t end,
+                     std::vector<SimTableEntry>& entries,
+                     std::size_t& instructions) const;
+
   const Model* model_;
   const Decoder* decoder_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily sized to options.threads
 };
 
 }  // namespace lisasim

@@ -61,6 +61,39 @@ class SimTable {
     return total;
   }
 
+  /// Deterministic full serialization of the table contents: every row,
+  /// every per-stage specialized program and micro-program, rendered in
+  /// program order. Two tables are semantically identical iff their
+  /// signatures compare equal — this is how the tests pin the parallel
+  /// compiler's merge invariant (any thread count, same bytes).
+  std::string signature() const {
+    std::string out = "base=" + std::to_string(base_) +
+                      " rows=" + std::to_string(entries_.size()) + "\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const SimTableEntry& e = entries_[i];
+      out += "[" + std::to_string(i) + "] words=" + std::to_string(e.words) +
+             " slots=" + std::to_string(e.slot_count) +
+             " mask=" + std::to_string(e.work_mask) +
+             " valid=" + (e.valid ? "1" : "0");
+      if (!e.valid) out += " error=" + e.error;
+      out += "\n";
+      for (std::size_t s = 0; s < e.schedule.stage_programs.size(); ++s) {
+        const SpecProgram& p = e.schedule.stage_programs[s];
+        if (p.empty()) continue;
+        out += " stage " + std::to_string(s) +
+               " locals=" + std::to_string(p.num_locals) + "\n";
+        for (const StmtPtr& stmt : p.stmts) out += stmt->to_string(2);
+      }
+      for (std::size_t s = 0; s < e.micro.size(); ++s) {
+        if (e.micro[s].empty()) continue;
+        out += " micro " + std::to_string(s) +
+               " temps=" + std::to_string(e.micro[s].num_temps) + "\n" +
+               microops_to_string(e.micro[s]);
+      }
+    }
+    return out;
+  }
+
  private:
   std::uint64_t base_ = 0;
   std::vector<SimTableEntry> entries_;

@@ -1,0 +1,164 @@
+#include "sim/table_cache.hpp"
+
+#include <chrono>
+
+#include "model/database.hpp"
+
+namespace lisasim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline void fnv_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+inline void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  fnv_bytes(h, &v, sizeof v);
+}
+
+inline void fnv_str(std::uint64_t& h, const std::string& s) {
+  fnv_u64(h, s.size());
+  fnv_bytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+SimTableCache::SimTableCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t SimTableCache::hash_program(const LoadedProgram& program) {
+  std::uint64_t h = kFnvOffset;
+  fnv_str(h, program.name);
+  fnv_u64(h, program.text_base);
+  fnv_u64(h, program.entry);
+  fnv_u64(h, program.words.size());
+  fnv_bytes(h, program.words.data(),
+            program.words.size() * sizeof(std::uint64_t));
+  fnv_u64(h, program.symbols.size());
+  for (const auto& [name, value] : program.symbols) {
+    fnv_str(h, name);
+    fnv_u64(h, static_cast<std::uint64_t>(value));
+  }
+  fnv_u64(h, program.data.size());
+  for (const DataSegment& segment : program.data) {
+    fnv_str(h, segment.memory);
+    fnv_u64(h, segment.base);
+    fnv_u64(h, segment.values.size());
+    fnv_bytes(h, segment.values.data(),
+              segment.values.size() * sizeof(std::int64_t));
+  }
+  return h;
+}
+
+std::uint64_t SimTableCache::hash_model(const Model& model) {
+  std::uint64_t h = kFnvOffset;
+  fnv_str(h, model.name);
+  fnv_str(h, dump_model(model));
+  return h;
+}
+
+std::uint64_t SimTableCache::model_hash_for(const Model& model) {
+  // Called with mutex_ held. The dump walks the whole model, so memoize
+  // per instance; cached models must not mutate (they never do after
+  // sema).
+  auto it = model_hashes_.find(&model);
+  if (it != model_hashes_.end()) return it->second;
+  const std::uint64_t h = hash_model(model);
+  model_hashes_.emplace(&model, h);
+  return h;
+}
+
+std::size_t SimTableCache::KeyHash::operator()(
+    const TableCacheKey& key) const {
+  std::uint64_t h = kFnvOffset;
+  fnv_str(h, key.target);
+  fnv_u64(h, key.model_hash);
+  fnv_u64(h, key.program_hash);
+  fnv_u64(h, static_cast<std::uint64_t>(key.level));
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
+    SimulationCompiler& compiler, const Model& model,
+    const LoadedProgram& program, SimLevel level, SimCompileStats* stats,
+    const SimCompileOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  TableCacheKey key;
+  key.target = model.name;
+  key.program_hash = hash_program(program);
+  key.level = level;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    key.model_hash = model_hash_for(model);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      std::shared_ptr<const SimTable> table = it->second->table;
+      if (stats) {
+        *stats = it->second->compile_stats;
+        stats->decode_calls = 0;
+        stats->threads_used = 0;
+        stats->cache_hit = true;
+        stats->compile_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      }
+      return table;
+    }
+    ++stats_.misses;
+  }
+
+  // Compile outside the lock: a long build must not serialize unrelated
+  // lookups (and the compiler may itself fan out onto the pool).
+  SimCompileStats compile_stats;
+  auto table = std::make_shared<const SimTable>(
+      compiler.compile(program, level, &compile_stats, options));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      lru_.push_front(Entry{key, table, compile_stats});
+      map_.emplace(key, lru_.begin());
+      while (map_.size() > capacity_) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    } else {
+      // A concurrent miss raced us; keep the installed table so every
+      // caller converges on one shared object.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      table = it->second->table;
+    }
+  }
+  if (stats) *stats = compile_stats;
+  return table;
+}
+
+SimTableCache::Stats SimTableCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.entries = map_.size();
+  return s;
+}
+
+void SimTableCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  model_hashes_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace lisasim

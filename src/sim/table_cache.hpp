@@ -1,0 +1,96 @@
+// In-memory simulation-table cache. Reloading an unchanged program is the
+// dominant pattern in benchmark repetitions and multi-run workloads; the
+// table is a pure function of (machine model, program text, simulation
+// level), so it can be shared across simulator instances and reloads
+// instead of re-running the simulation compiler.
+//
+// Key = (target id, model hash, program content hash, level):
+//   * target id      — the model's name (cheap first-level discriminator);
+//   * model hash     — FNV-1a over the canonical model database dump, so
+//                      two differently-named but structurally different
+//                      models never alias (memoized per Model instance;
+//                      models must stay immutable while cached);
+//   * program hash   — FNV-1a over name, text base, entry, words, symbols
+//                      and data segments;
+//   * level          — dynamic and static tables differ (micro-ops).
+//
+// Entries are shared_ptr<const SimTable>: a hit hands out the same table
+// object, so holders keep it alive across LRU eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "asm/program.hpp"
+#include "model/model.hpp"
+#include "sim/result.hpp"
+#include "sim/simcompiler.hpp"
+#include "sim/simtable.hpp"
+
+namespace lisasim {
+
+struct TableCacheKey {
+  std::string target;
+  std::uint64_t model_hash = 0;
+  std::uint64_t program_hash = 0;
+  SimLevel level = SimLevel::kCompiledDynamic;
+
+  friend bool operator==(const TableCacheKey&, const TableCacheKey&) = default;
+};
+
+class SimTableCache {
+ public:
+  /// Keeps at most `capacity` tables, evicting least-recently-used.
+  explicit SimTableCache(std::size_t capacity = 64);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Return the cached table for (model, program, level), or run
+  /// `compiler` and insert. On a hit `stats` reports cache_hit = true,
+  /// zero decode calls and the lookup time; the translation counters
+  /// (instructions, rows, micro-ops) are replayed from the original
+  /// compile so callers can always print them. Thread-safe; concurrent
+  /// misses for the same key may compile twice but converge on one entry.
+  std::shared_ptr<const SimTable> get_or_compile(
+      SimulationCompiler& compiler, const Model& model,
+      const LoadedProgram& program, SimLevel level,
+      SimCompileStats* stats = nullptr, const SimCompileOptions& options = {});
+
+  Stats stats() const;
+  void clear();
+
+  /// FNV-1a content hash of a loaded program (exposed for tests).
+  static std::uint64_t hash_program(const LoadedProgram& program);
+  /// FNV-1a hash of the canonical model dump (exposed for tests).
+  static std::uint64_t hash_model(const Model& model);
+
+ private:
+  struct Entry {
+    TableCacheKey key;
+    std::shared_ptr<const SimTable> table;
+    SimCompileStats compile_stats;  // counters from the miss-time build
+  };
+  struct KeyHash {
+    std::size_t operator()(const TableCacheKey& key) const;
+  };
+
+  std::uint64_t model_hash_for(const Model& model);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<TableCacheKey, std::list<Entry>::iterator, KeyHash> map_;
+  std::unordered_map<const Model*, std::uint64_t> model_hashes_;
+  Stats stats_;
+};
+
+}  // namespace lisasim

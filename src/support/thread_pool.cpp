@@ -1,0 +1,93 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lisasim {
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  // Compact the consumed prefix while quiescent.
+  queue_.clear();
+  queue_head_ = 0;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(
+          lock, [this] { return stop_ || queue_head_ < queue_.size(); });
+      if (queue_head_ >= queue_.size()) return;  // stop_ and drained
+      task = std::move(queue_[queue_head_]);
+      ++queue_head_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_shards(ThreadPool& pool, std::size_t total, std::size_t shards,
+                     const std::function<void(const Shard&)>& fn) {
+  shards = std::min(shards, total);
+  if (shards <= 1) {
+    if (total > 0) fn(Shard{0, 0, total});
+    return;
+  }
+  const std::size_t base = total / shards;
+  const std::size_t extra = total % shards;  // first `extra` shards get +1
+  std::vector<std::exception_ptr> errors(shards);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::size_t end = begin + base + (i < extra ? 1 : 0);
+    pool.submit([&fn, &errors, i, begin, end] {
+      try {
+        fn(Shard{i, begin, end});
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    begin = end;
+  }
+  pool.wait_idle();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace lisasim

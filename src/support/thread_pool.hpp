@@ -1,0 +1,71 @@
+// A small fixed-size worker pool for compile-time parallelism (simulation
+// compilation shards, paper Fig. 6 amortization argument). The pool is
+// deliberately simple: a mutex-protected FIFO of type-erased tasks and a
+// blocking wait for quiescence. Simulation hot loops never touch it — it
+// exists so one-shot translation work (decode + sequencing per program
+// location) can use all cores without perturbing run-time determinism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lisasim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 means one worker per hardware thread.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not submit to the pool they run on while
+  /// a wait_idle() is pending completion accounting (shard helpers below
+  /// never do).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Best-effort hardware concurrency, never 0.
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  std::size_t queue_head_ = 0;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Shard description handed to parallel_shards workers.
+struct Shard {
+  std::size_t index = 0;  // shard number, 0-based, in program order
+  std::size_t begin = 0;  // first element (inclusive)
+  std::size_t end = 0;    // last element (exclusive)
+};
+
+/// Split [0, total) into `shards` contiguous, roughly equal ranges and run
+/// `fn(shard)` for each on the pool, blocking until all finish. Shards are
+/// contiguous and ordered so callers can merge results in program order —
+/// output is independent of worker scheduling. If a shard throws, the
+/// exception of the lowest-indexed failing shard is rethrown (again:
+/// deterministic regardless of which worker faulted first). With `shards`
+/// <= 1 (or `total` == 0) the single shard runs inline on the caller.
+void parallel_shards(ThreadPool& pool, std::size_t total, std::size_t shards,
+                     const std::function<void(const Shard&)>& fn);
+
+}  // namespace lisasim

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "asm/assembler.hpp"
 #include "model/sema.hpp"
@@ -49,17 +51,137 @@ inline CrossLevelRun run_all_levels(const Model& model,
   EXPECT_EQ(r_interp.cycles, r_cached.cycles) << "interp vs cached cycles";
   EXPECT_EQ(r_interp.cycles, r_dynamic.cycles) << "interp vs dynamic cycles";
   EXPECT_EQ(r_interp.cycles, r_static.cycles) << "interp vs static cycles";
+  EXPECT_EQ(r_interp.fetches, r_cached.fetches) << "interp vs cached fetches";
+  EXPECT_EQ(r_interp.fetches, r_dynamic.fetches)
+      << "interp vs dynamic fetches";
+  EXPECT_EQ(r_interp.fetches, r_static.fetches) << "interp vs static fetches";
   EXPECT_EQ(r_interp.packets_retired, r_cached.packets_retired);
   EXPECT_EQ(r_interp.packets_retired, r_dynamic.packets_retired);
   EXPECT_EQ(r_interp.slots_retired, r_static.slots_retired);
   EXPECT_EQ(r_interp.halted, r_cached.halted);
   EXPECT_EQ(r_interp.halted, r_dynamic.halted);
   EXPECT_EQ(r_interp.halted, r_static.halted);
+  // Belt and braces: the full RunResult must agree field-for-field...
+  EXPECT_EQ(r_interp, r_cached);
+  EXPECT_EQ(r_interp, r_dynamic);
+  EXPECT_EQ(r_interp, r_static);
+  // ...and so must every resource of the final architectural state, not
+  // just its non-zero rendering.
+  EXPECT_TRUE(interp.state() == cached.state()) << "interp vs cached state";
+  EXPECT_TRUE(interp.state() == dynamic.state()) << "interp vs dynamic state";
+  EXPECT_TRUE(interp.state() == stat.state()) << "interp vs static state";
   EXPECT_EQ(s_interp, s_cached) << "interp vs cached final state";
   EXPECT_EQ(s_interp, s_dynamic) << "interp vs dynamic final state";
   EXPECT_EQ(s_interp, s_static) << "interp vs static final state";
 
   return {r_interp, s_interp};
+}
+
+/// A named workload program for the differential harness.
+struct DiffProgram {
+  std::string name;
+  std::string asm_source;
+};
+
+/// Per-target workload programs exercised by the differential test across
+/// all simulation levels: control flow (taken/untaken branches, loops),
+/// memory traffic with load-delay effects, stalls, and target-specific
+/// idioms (tinydsp three-operand RISC, c54x accumulator/MAC/BANZ). The
+/// c62x suite comes from workloads::paper_suite()-style generators and is
+/// assembled in the test itself.
+inline std::vector<DiffProgram> differential_workloads(
+    std::string_view target) {
+  std::vector<DiffProgram> programs;
+  if (target == "tinydsp") {
+    programs.push_back({"count_loop", R"(
+        MVK 10, R1
+        MVK 0, R2
+        MVK 1, R3
+loop:   BZ R1, done
+        ADD.L R2, R2, R1
+        SUB.L R1, R1, R3
+        B loop
+done:   ST R2, R3, 15     ; dmem[16] = sum
+        HALT
+        .data dmem 0
+        .word 0
+    )"});
+    programs.push_back({"memcpy_stalls", R"(
+        MVK 0, R1         ; source index
+        MVK 4, R4         ; element count
+        MVK 1, R5
+loop:   BZ R4, done
+        LD R3, R1, 0
+        NOP 2             ; hold the load result through WB
+        ST R3, R1, 8
+        ADD.L R1, R1, R5
+        SUB.L R4, R4, R5
+        B loop
+done:   HALT
+        .data dmem 0
+        .word 11, -22, 33, -44
+    )"});
+    programs.push_back({"mac_kernel", R"(
+        MVK 0, R1         ; index
+        MVK 0, R6         ; accumulator
+        MVK 4, R4
+        MVK 1, R5
+loop:   BZ R4, done
+        LD R2, R1, 0
+        LD R3, R1, 4
+        MUL.L R7, R2, R3
+        ADD.L R6, R6, R7
+        ADD.L R1, R1, R5
+        SUB.L R4, R4, R5
+        B loop
+done:   ST R6, R5, 15     ; dmem[16] = dot product
+        HALT
+        .data dmem 0
+        .word 1, 2, 3, 4
+        .data dmem 4
+        .word 5, 6, 7, 8
+    )"});
+  } else if (target == "c54x") {
+    programs.push_back({"mac_banz", R"(
+        LDI 0, A
+        LDT @4            ; T = dmem[4]
+        LDAR AR1, 3
+loop:   MAC @0, A
+        MAC @1, A
+        BANZ loop, AR1
+        ST A, @5
+        HALT
+        .data dmem 0
+        .word 3, 5, 0, 0, 7
+    )"});
+    programs.push_back({"ar_indirect_copy", R"(
+        LDAR AR3, 0
+        LDAR AR7, 8
+        LDAR AR1, 3
+loop:   LD *AR3, A
+        ST A, *AR7
+        MAR AR3, 1
+        MAR AR7, 1
+        BANZ loop, AR1
+        HALT
+        .data dmem 0
+        .word 11, -22, 33, -44
+    )"});
+    programs.push_back({"shift_arith", R"(
+        LDI 100, A
+        SFTL A, 5
+        ADD @0, A
+        ST A, @6
+        LDI -5, B
+        SFTL B, 2
+        SUB @1, B
+        ST B, @7
+        HALT
+        .data dmem 0
+        .word 123, 45
+    )"});
+  }
+  return programs;
 }
 
 /// Compile + assemble helper (throws on any model/assembly error).

@@ -1,0 +1,105 @@
+// Differential harness across all simulation levels (paper §6.2 accuracy
+// claim, locked in as a test): for every target × workload program, the
+// interpretive, decode-cached and both compiled levels must produce an
+// identical RunResult (cycles, fetches, packets retired) and an identical
+// final ProcessorState. On top, the compiled levels must be insensitive
+// to how their simulation table was built: parallel sharded compilation
+// and cache-served tables replay the exact same run.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::DiffProgram;
+using testing::TestTarget;
+
+struct TargetCase {
+  const char* name;
+  std::string_view (*source)();
+};
+
+const TargetCase kTargets[] = {
+    {"tinydsp", targets::tinydsp_model_source},
+    {"c54x", targets::c54x_model_source},
+    {"c62x", targets::c62x_model_source},
+};
+
+class DifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  const TargetCase& target_case() const { return kTargets[GetParam()]; }
+};
+
+/// Programs for a target: the hand-written per-target suites from
+/// sim_test_util.hpp, plus the paper's workload generators on c62x.
+std::vector<DiffProgram> programs_for(const std::string& target) {
+  std::vector<DiffProgram> programs = testing::differential_workloads(target);
+  if (target == "c62x") {
+    for (const workloads::Workload& w :
+         {workloads::make_fir(8, 16), workloads::make_adpcm(24),
+          workloads::make_gsm(40)})
+      programs.push_back({w.name, w.asm_source});
+  }
+  return programs;
+}
+
+TEST_P(DifferentialTest, AllLevelsAgreeOnEveryWorkload) {
+  const TargetCase& tc = target_case();
+  TestTarget target(tc.source(), tc.name);
+  const std::vector<DiffProgram> programs = programs_for(tc.name);
+  ASSERT_FALSE(programs.empty());
+  for (const DiffProgram& program : programs) {
+    SCOPED_TRACE(std::string(tc.name) + " / " + program.name);
+    const LoadedProgram p = target.assemble(program.asm_source);
+    const auto run = testing::run_all_levels(*target.model, p);
+    EXPECT_TRUE(run.result.halted) << "workload must halt";
+    EXPECT_GT(run.result.cycles, 0u);
+  }
+}
+
+TEST_P(DifferentialTest, ParallelAndCachedTablesReplayIdentically) {
+  const TargetCase& tc = target_case();
+  TestTarget target(tc.source(), tc.name);
+  SimTableCache cache;
+  for (const DiffProgram& program : programs_for(tc.name)) {
+    SCOPED_TRACE(std::string(tc.name) + " / " + program.name);
+    const LoadedProgram p = target.assemble(program.asm_source);
+    for (const SimLevel level :
+         {SimLevel::kCompiledDynamic, SimLevel::kCompiledStatic}) {
+      // Reference: sequential compile, no cache.
+      CompiledSimulator reference(*target.model, level);
+      reference.load(p);
+      const RunResult want = reference.run(2'000'000);
+
+      // Parallel sharded compile through the shared cache, run twice so
+      // the second load is a cache hit.
+      CompiledSimulator sim(*target.model, level);
+      sim.set_threads(4);
+      sim.set_table_cache(&cache);
+      const SimCompileStats cold = sim.load(p);
+      EXPECT_FALSE(cold.cache_hit);
+      EXPECT_EQ(sim.run(2'000'000), want);
+      EXPECT_TRUE(reference.state() == sim.state());
+
+      const SimCompileStats warm = sim.load(p);
+      EXPECT_TRUE(warm.cache_hit);
+      EXPECT_EQ(warm.decode_calls, 0u);
+      EXPECT_EQ(sim.run(2'000'000), want);
+      EXPECT_TRUE(reference.state() == sim.state());
+      EXPECT_EQ(reference.table().signature(), sim.table().signature());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, DifferentialTest, ::testing::Range(0, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kTargets[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace lisasim

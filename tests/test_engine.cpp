@@ -138,6 +138,120 @@ TEST(Engine, InterruptedMidPipelineThenReloaded) {
   EXPECT_EQ(sim.state().read(tiny().model->resource_by_name("R")->id, 1), 1);
 }
 
+TEST(Engine, InterruptDuringStallSquashesInFlightAndRedirectsFetch) {
+  // The NOP 8 holds EX for 7 extra cycles; the two MVKs behind it are
+  // blocked in ID/IF when the interrupt fires mid-stall. All in-flight
+  // packets (the stalled one and the blocked younger ones) must be
+  // squashed and fetch redirected to the handler — so R2/R3 are never
+  // written, at every simulation level.
+  const LoadedProgram p = tiny().assemble(R"(
+        MVK 1, R1
+        NOP 8
+        MVK 7, R2
+        MVK 7, R3
+loop:   B loop
+        NOP 1
+irq:    MVK 42, R7
+        HALT
+  )");
+  const std::uint64_t irq = p.symbols.at("irq");
+  auto run_level = [&](auto& sim) {
+    sim.load(p);
+    sim.schedule_interrupt(6, irq);  // NOP stalls EX on cycles 4..11
+    const RunResult r = sim.run(100000);
+    return std::pair<RunResult, std::string>(r, sim.state().dump_nonzero());
+  };
+  InterpSimulator interp(*tiny().model);
+  CachedInterpSimulator cached(*tiny().model);
+  CompiledSimulator dynamic(*tiny().model, SimLevel::kCompiledDynamic);
+  CompiledSimulator stat(*tiny().model, SimLevel::kCompiledStatic);
+  const auto ri = run_level(interp);
+  const auto rc = run_level(cached);
+  const auto rd = run_level(dynamic);
+  const auto rs = run_level(stat);
+  EXPECT_TRUE(ri.first.halted);
+  EXPECT_NE(ri.second.find("R[1] = 1"), std::string::npos) << ri.second;
+  EXPECT_NE(ri.second.find("R[7] = 42"), std::string::npos) << ri.second;
+  EXPECT_EQ(ri.second.find("R[2]"), std::string::npos) << ri.second;
+  EXPECT_EQ(ri.second.find("R[3]"), std::string::npos) << ri.second;
+  EXPECT_EQ(ri.first, rc.first);
+  EXPECT_EQ(ri.first, rd.first);
+  EXPECT_EQ(ri.first, rs.first);
+  EXPECT_EQ(ri.second, rc.second);
+  EXPECT_EQ(ri.second, rd.second);
+  EXPECT_EQ(ri.second, rs.second);
+}
+
+TEST(Engine, RepeatedRunsKeepPipelineContents) {
+  // Splitting a run into 1-cycle quanta must not refetch or re-execute
+  // anything: packets stay in their pipeline slots between run() calls,
+  // so total fetches match the uninterrupted run exactly.
+  const LoadedProgram p = tiny().assemble(R"(
+        MVK 3, R1
+        MVK 4, R2
+        ADD.L R3, R1, R2
+        MUL.L R4, R1, R2
+        HALT
+  )");
+  CompiledSimulator whole(*tiny().model, SimLevel::kCompiledStatic);
+  whole.load(p);
+  const RunResult full = whole.run();
+
+  CompiledSimulator split(*tiny().model, SimLevel::kCompiledStatic);
+  split.load(p);
+  RunResult accumulated;
+  while (!accumulated.halted) {
+    const RunResult part = split.run(1);
+    accumulated.cycles += part.cycles;
+    accumulated.packets_retired += part.packets_retired;
+    accumulated.slots_retired += part.slots_retired;
+    accumulated.fetches += part.fetches;
+    accumulated.halted = part.halted;
+    ASSERT_LT(accumulated.cycles, 10000u);
+  }
+  EXPECT_EQ(accumulated, full);
+  EXPECT_TRUE(whole.state() == split.state());
+}
+
+TEST(Engine, ResetCancelsPendingInterrupts) {
+  // Interrupts are anchored to absolute simulation time; one left pending
+  // when the program halts must not leak into the next load/reload (the
+  // benchmark-repetition pattern). Two interrupts: the first is consumed,
+  // the second is still pending at the reload.
+  const LoadedProgram p = tiny().assemble(R"(
+        MVK 40, R1
+        MVK 1, R3
+loop:   BZ R1, done
+        SUB.L R1, R1, R3
+        B loop
+done:   HALT
+irq:    MVK 99, R5
+        HALT
+  )");
+  const std::uint64_t irq = p.symbols.at("irq");
+
+  CompiledSimulator fresh(*tiny().model, SimLevel::kCompiledStatic);
+  fresh.load(p);
+  const RunResult want = fresh.run(100000);
+  ASSERT_TRUE(want.halted);
+  ASSERT_GT(want.cycles, 50u) << "loop must outlast the pending interrupt";
+
+  CompiledSimulator sim(*tiny().model, SimLevel::kCompiledStatic);
+  sim.load(p);
+  sim.schedule_interrupt(5, irq);   // fires, handler halts the first run
+  sim.schedule_interrupt(50, irq);  // still pending when the run halts
+  const RunResult first = sim.run(100000);
+  ASSERT_TRUE(first.halted);
+  EXPECT_NE(sim.state().dump_nonzero().find("R[5] = 99"), std::string::npos);
+
+  sim.reload(p);  // resets the engine: pending interrupts must be gone
+  const RunResult second = sim.run(100000);
+  EXPECT_EQ(second, want);
+  EXPECT_EQ(sim.state().dump_nonzero().find("R[5]"), std::string::npos)
+      << sim.state().dump_nonzero();
+  EXPECT_TRUE(fresh.state() == sim.state());
+}
+
 TEST(Engine, FetchCountsAndRetireCountsAreConsistent) {
   const LoadedProgram p = tiny().assemble(R"(
         MVK 1, R1

@@ -1,0 +1,239 @@
+// The parallel simulation compiler's merge invariant and the table cache:
+// sharded builds are bit-identical to the sequential build at any thread
+// count, and a cache hit returns the same table object without re-invoking
+// the decoder. Runs under -DLISASIM_TSAN=ON via `ctest -L parallel`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sim_test_util.hpp"
+#include "support/thread_pool.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+
+TestTarget& c62x() {
+  static TestTarget t(targets::c62x_model_source(), "c62x");
+  return t;
+}
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, ParallelShardsCoverTheRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(101);
+  parallel_shards(pool, touched.size(), 7, [&](const Shard& shard) {
+    EXPECT_LE(shard.begin, shard.end);
+    for (std::size_t i = shard.begin; i < shard.end; ++i) ++touched[i];
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelShardsRethrowsLowestShardError) {
+  ThreadPool pool(4);
+  try {
+    parallel_shards(pool, 100, 8, [](const Shard& shard) {
+      if (shard.index == 2) throw SimError("boom-2");
+      if (shard.index == 6) throw SimError("boom-6");
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    // Deterministic: always the lowest-indexed failing shard, regardless
+    // of which worker faulted first.
+    EXPECT_STREQ(e.what(), "boom-2");
+  }
+}
+
+TEST(ThreadPool, ZeroAndSingleShardRunInline) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_shards(pool, 0, 4, [&](const Shard&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_shards(pool, 5, 1, [&](const Shard& shard) {
+    ++calls;
+    EXPECT_EQ(shard.begin, 0u);
+    EXPECT_EQ(shard.end, 5u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// ------------------------------------------------------- parallel build --
+
+class ThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadSweep, TableIsByteIdenticalToSequentialBuild) {
+  const workloads::Workload w = workloads::make_gsm(40, 2);
+  const LoadedProgram p = c62x().assemble(w.asm_source);
+  SimulationCompiler compiler(*c62x().model, *c62x().decoder);
+
+  SimCompileStats seq_stats;
+  const SimTable sequential =
+      compiler.compile(p, SimLevel::kCompiledStatic, &seq_stats, {1});
+  const std::string want = sequential.signature();
+
+  const unsigned threads = GetParam();
+  SimCompileStats stats;
+  const SimTable parallel =
+      compiler.compile(p, SimLevel::kCompiledStatic, &stats, {threads});
+  EXPECT_EQ(parallel.signature(), want);
+  EXPECT_EQ(stats.instructions, seq_stats.instructions);
+  EXPECT_EQ(stats.table_rows, seq_stats.table_rows);
+  EXPECT_EQ(stats.microops, seq_stats.microops);
+  EXPECT_EQ(stats.threads_used, threads);
+  EXPECT_EQ(stats.decode_calls, p.words.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ParallelCompile, DynamicLevelAndInvalidRowsAreDeterministicToo) {
+  // A text segment whose tail words do not decode (the repeated HALT words
+  // keep the program valid while the trailing garbage rows are poisoned):
+  // poisoned rows must carry identical error strings at any thread count.
+  std::string source;
+  for (int i = 0; i < 40; ++i)
+    source += "MVK " + std::to_string(i) + ", R" + std::to_string(i % 8) +
+              "\n";
+  source += "HALT\n";
+  TestTarget tiny(targets::tinydsp_model_source(), "tinydsp");
+  const LoadedProgram p = tiny.assemble(source);
+  SimulationCompiler compiler(*tiny.model, *tiny.decoder);
+  const std::string want =
+      compiler.compile(p, SimLevel::kCompiledDynamic, nullptr, {1})
+          .signature();
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(
+        compiler.compile(p, SimLevel::kCompiledDynamic, nullptr, {threads})
+            .signature(),
+        want)
+        << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------- cache --
+
+TEST(TableCache, HitReturnsSameObjectWithoutRedecoding) {
+  const workloads::Workload w = workloads::make_fir(8, 16);
+  const LoadedProgram p = c62x().assemble(w.asm_source);
+  SimulationCompiler compiler(*c62x().model, *c62x().decoder);
+  SimTableCache cache;
+
+  SimCompileStats cold;
+  auto first = cache.get_or_compile(compiler, *c62x().model, p,
+                                    SimLevel::kCompiledStatic, &cold);
+  EXPECT_FALSE(cold.cache_hit);
+  // The simulation compiler decodes once per table row — and never again
+  // on a hit.
+  EXPECT_EQ(cold.decode_calls, p.words.size());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  SimCompileStats warm;
+  auto second = cache.get_or_compile(compiler, *c62x().model, p,
+                                     SimLevel::kCompiledStatic, &warm);
+  EXPECT_EQ(first.get(), second.get()) << "hit must return the same table";
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.decode_calls, 0u);
+  // Translation counters replay from the miss-time build.
+  EXPECT_EQ(warm.instructions, cold.instructions);
+  EXPECT_EQ(warm.microops, cold.microops);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TableCache, KeyDiscriminatesProgramLevelAndModel) {
+  const LoadedProgram fir = c62x().assemble(workloads::make_fir(8, 16).asm_source);
+  const LoadedProgram adpcm = c62x().assemble(workloads::make_adpcm(16).asm_source);
+  SimulationCompiler compiler(*c62x().model, *c62x().decoder);
+  SimTableCache cache;
+
+  auto a = cache.get_or_compile(compiler, *c62x().model, fir,
+                                SimLevel::kCompiledStatic);
+  auto b = cache.get_or_compile(compiler, *c62x().model, adpcm,
+                                SimLevel::kCompiledStatic);
+  auto c = cache.get_or_compile(compiler, *c62x().model, fir,
+                                SimLevel::kCompiledDynamic);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().misses, 3u);
+
+  // Same content hashed from a distinct LoadedProgram object still hits.
+  LoadedProgram fir_copy = fir;
+  auto d = cache.get_or_compile(compiler, *c62x().model, fir_copy,
+                                SimLevel::kCompiledStatic);
+  EXPECT_EQ(a.get(), d.get());
+
+  // A one-word change misses.
+  LoadedProgram patched = fir;
+  patched.words[0] ^= 1;
+  EXPECT_NE(SimTableCache::hash_program(patched),
+            SimTableCache::hash_program(fir));
+}
+
+TEST(TableCache, EvictsLeastRecentlyUsedButKeepsSharedTablesAlive) {
+  SimulationCompiler compiler(*c62x().model, *c62x().decoder);
+  SimTableCache cache(2);
+  const LoadedProgram p1 = c62x().assemble(workloads::make_fir(4, 8).asm_source);
+  const LoadedProgram p2 = c62x().assemble(workloads::make_fir(4, 12).asm_source);
+  const LoadedProgram p3 = c62x().assemble(workloads::make_fir(4, 16).asm_source);
+
+  auto t1 = cache.get_or_compile(compiler, *c62x().model, p1,
+                                 SimLevel::kCompiledDynamic);
+  (void)cache.get_or_compile(compiler, *c62x().model, p2,
+                             SimLevel::kCompiledDynamic);
+  (void)cache.get_or_compile(compiler, *c62x().model, p3,
+                             SimLevel::kCompiledDynamic);  // evicts p1
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // The evicted table object stays valid while someone holds it.
+  EXPECT_GT(t1->size(), 0u);
+
+  auto t1_again = cache.get_or_compile(compiler, *c62x().model, p1,
+                                       SimLevel::kCompiledDynamic);
+  EXPECT_NE(t1.get(), t1_again.get()) << "p1 was evicted, so this recompiles";
+  EXPECT_EQ(t1->signature(), t1_again->signature());
+}
+
+TEST(TableCache, CachedSimulatorRunsMatchUncached) {
+  const LoadedProgram p = c62x().assemble(workloads::make_gsm(40).asm_source);
+  CompiledSimulator plain(*c62x().model, SimLevel::kCompiledStatic);
+  plain.load(p);
+  const RunResult want = plain.run();
+
+  SimTableCache cache;
+  CompiledSimulator cached_sim(*c62x().model, SimLevel::kCompiledStatic);
+  cached_sim.set_table_cache(&cache);
+  cached_sim.set_threads(0);  // hardware threads
+  cached_sim.load(p);
+  EXPECT_EQ(cached_sim.run(), want);
+  cached_sim.load(p);
+  EXPECT_EQ(cached_sim.run(), want);
+  EXPECT_TRUE(plain.state() == cached_sim.state());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace lisasim
