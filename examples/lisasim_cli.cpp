@@ -63,18 +63,33 @@ std::string model_source(const std::string& spec) {
   return read_file(spec);
 }
 
-int usage() {
-  std::fprintf(stderr,
+constexpr const char kLevelNames[] = "interp, cached, dynamic, static";
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: lisasim <check|dump|asm|disasm|codegen|run> <model> "
-               "[prog.asm] [--level interp|dynamic|static] [--max-cycles N] "
-               "[--dump] [--stats] [--threads N] [--cache] [--runs N]\n"
-               "       <model> is a .lisa path or @tinydsp / @c62x\n");
+               "[prog.asm] [--level interp|cached|dynamic|static] "
+               "[--max-cycles N] [--dump] [--stats] [--threads N] [--cache] "
+               "[--runs N] [--trace [N]] [--profile]\n"
+               "       <model> is a .lisa path or @tinydsp / @c62x / @c54x\n"
+               "       --level values: %s\n",
+               kLevelNames);
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      print_usage(stdout);
+      return 0;
+    }
+  }
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string model_spec = argv[2];
@@ -158,7 +173,13 @@ int main(int argc, char** argv) {
         else if (value == "cached") level = SimLevel::kDecodeCached;
         else if (value == "dynamic") level = SimLevel::kCompiledDynamic;
         else if (value == "static") level = SimLevel::kCompiledStatic;
-        else return usage();
+        else {
+          std::fprintf(stderr,
+                       "error: unknown simulation level '%s' (valid levels: "
+                       "%s)\n",
+                       value.c_str(), kLevelNames);
+          return 2;
+        }
       } else if (!std::strcmp(argv[i], "--max-cycles") && i + 1 < argc) {
         max_cycles = std::strtoull(argv[++i], nullptr, 0);
       } else if (!std::strcmp(argv[i], "--dump")) {

@@ -1,0 +1,81 @@
+// MicroArena: one contiguous, packed buffer of MicroOps shared by every
+// micro-program of a simulation table (or of a decode-cached program).
+// Owners keep (offset, len, num_temps) spans instead of per-entry
+// std::vector<MicroOp> heap blocks, so
+//
+//  * the execution core walks a single flat allocation (no pointer chase
+//    from table row to scattered vectors on the hot path),
+//  * spans stay valid across arena growth (offsets, not pointers — the
+//    decode-cached level appends lazily while the simulation runs),
+//  * sharded parallel table builds merge per-shard arenas with one splice
+//    per shard plus an offset rebase, reproducing the sequential layout
+//    byte for byte (the SimTable::signature() merge invariant).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "behavior/microops.hpp"
+
+namespace lisasim {
+
+/// A micro-program's location inside a MicroArena. A default-constructed
+/// span is empty (len == 0) and safe to execute as a no-op.
+struct MicroSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t len = 0;
+  std::int32_t num_temps = 0;
+
+  bool empty() const { return len == 0; }
+};
+
+class MicroArena {
+ public:
+  /// Append a lowered program; returns its span. The program's ops are
+  /// copied, so the MicroProgram may be discarded afterwards.
+  MicroSpan append(const MicroProgram& program) {
+    MicroSpan span;
+    span.offset = static_cast<std::uint32_t>(ops_.size());
+    span.len = static_cast<std::uint32_t>(program.ops.size());
+    span.num_temps = program.num_temps;
+    ops_.insert(ops_.end(), program.ops.begin(), program.ops.end());
+    if (program.num_temps > max_temps_) max_temps_ = program.num_temps;
+    return span;
+  }
+
+  /// Concatenate a whole shard arena (deterministic parallel-build merge).
+  /// Returns the offset the shard's spans must be rebased by; appending
+  /// shards in shard order reproduces the sequential build's layout.
+  std::uint32_t splice(const MicroArena& shard) {
+    const auto base = static_cast<std::uint32_t>(ops_.size());
+    ops_.insert(ops_.end(), shard.ops_.begin(), shard.ops_.end());
+    if (shard.max_temps_ > max_temps_) max_temps_ = shard.max_temps_;
+    return base;
+  }
+
+  std::span<const MicroOp> view(const MicroSpan& span) const {
+    return {ops_.data() + span.offset, span.len};
+  }
+
+  const MicroOp* data() const { return ops_.data(); }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Largest num_temps of any appended program: size the per-backend temp
+  /// scratch once, then reuse it across packets without per-call checks.
+  std::int32_t max_temps() const { return max_temps_; }
+
+  void reserve(std::size_t ops) { ops_.reserve(ops); }
+
+  void clear() {
+    ops_.clear();
+    max_temps_ = 0;
+  }
+
+ private:
+  std::vector<MicroOp> ops_;
+  std::int32_t max_temps_ = 0;
+};
+
+}  // namespace lisasim

@@ -234,11 +234,262 @@ class Lowerer {
   std::int32_t num_temps_ = 0;
 };
 
+[[noreturn]] void bad_temp(std::size_t index, std::int32_t temp,
+                           int num_temps) {
+  throw SimError("micro-op " + std::to_string(index) + ": temp t" +
+                 std::to_string(temp) + " outside scratch of " +
+                 std::to_string(num_temps));
+}
+
 }  // namespace
 
 MicroProgram lower_to_microops(const SpecProgram& program) {
-  return Lowerer().lower(program);
+  MicroProgram out = Lowerer().lower(program);
+  validate_microops(out);
+  return out;
 }
+
+void validate_microops(const MicroProgram& program) {
+  const auto size = static_cast<std::int64_t>(program.ops.size());
+  const auto check_temp = [&](std::size_t i, std::int32_t t) {
+    if (t < 0 || t >= program.num_temps) bad_temp(i, t, program.num_temps);
+  };
+  for (std::size_t i = 0; i < program.ops.size(); ++i) {
+    const MicroOp& op = program.ops[i];
+    switch (op.kind) {
+      case MKind::kConst:
+      case MKind::kReadRes:
+      case MKind::kStall:
+        check_temp(i, op.a);
+        break;
+      case MKind::kMov:
+      case MKind::kReadElem:
+      case MKind::kWriteElem:
+      case MKind::kUn:
+        check_temp(i, op.a);
+        check_temp(i, op.b);
+        break;
+      case MKind::kWriteRes:
+        check_temp(i, op.a);
+        break;
+      case MKind::kBin:
+        check_temp(i, op.a);
+        check_temp(i, op.b);
+        check_temp(i, op.c);
+        break;
+      case MKind::kIntr:
+        check_temp(i, op.a);
+        check_temp(i, op.b);
+        if (intrinsic_arity(op.intr) > 1) check_temp(i, op.c);
+        break;
+      case MKind::kBrZero:
+        check_temp(i, op.a);
+        [[fallthrough]];
+      case MKind::kBr:
+        // Target == size is the regular fall-off-the-end exit.
+        if (op.imm < 0 || op.imm > size)
+          throw SimError("micro-op " + std::to_string(i) +
+                         ": branch target " + std::to_string(op.imm) +
+                         " outside program of " + std::to_string(size) +
+                         " ops");
+        break;
+      case MKind::kFlush:
+      case MKind::kHalt:
+        break;
+    }
+  }
+}
+
+// The dispatch loop exists twice: a computed-goto threaded version (one
+// indirect jump per op, no bounds re-check, the form generated compiled
+// simulators use) and a portable switch loop that doubles as the counted
+// instrumentation path. Both share the per-op semantics via OP_* macros so
+// they cannot diverge.
+#define LISASIM_OP_CONST(op) t[(op).a] = (op).imm
+#define LISASIM_OP_MOV(op) t[(op).a] = t[(op).b]
+#define LISASIM_OP_READ_RES(op) t[(op).a] = state.read((op).res)
+#define LISASIM_OP_READ_ELEM(op) \
+  t[(op).a] = state.read((op).res, static_cast<std::uint64_t>(t[(op).b]))
+#define LISASIM_OP_WRITE_RES(op) state.write((op).res, 0, t[(op).a])
+#define LISASIM_OP_WRITE_ELEM(op) \
+  state.write((op).res, static_cast<std::uint64_t>(t[(op).b]), t[(op).a])
+#define LISASIM_OP_BIN(op)                                              \
+  do {                                                                  \
+    const auto folded = fold_binary((op).bop, t[(op).b], t[(op).c]);    \
+    if (!folded)                                                        \
+      throw SimError((op).bop == BinOp::kDiv ? "division by zero"       \
+                                             : "remainder by zero");    \
+    t[(op).a] = *folded;                                                \
+  } while (0)
+#define LISASIM_OP_UN(op) t[(op).a] = fold_unary((op).uop, t[(op).b])
+#define LISASIM_OP_INTR(op)                                             \
+  do {                                                                  \
+    const std::int64_t args[2] = {t[(op).b], t[(op).c]};                \
+    t[(op).a] = fold_intrinsic(                                         \
+                    (op).intr,                                          \
+                    std::span<const std::int64_t>(                      \
+                        args, static_cast<std::size_t>(                 \
+                                  intrinsic_arity((op).intr))))         \
+                    .value_or(0);                                       \
+  } while (0)
+
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(LISASIM_NO_COMPUTED_GOTO)
+#define LISASIM_COMPUTED_GOTO 1
+#endif
+
+void exec_microops(const MicroOp* ops, std::uint32_t count,
+                   ProcessorState& state, PipelineControl& control,
+                   std::int64_t* temps) {
+  if (count == 0) return;
+  std::int64_t* const t = temps;
+  const MicroOp* op = ops;
+  const MicroOp* const end = ops + count;
+#ifdef LISASIM_COMPUTED_GOTO
+  // Label order must match the MKind enumerator order.
+  static const void* const kDispatch[kNumMKinds] = {
+      &&l_const,      &&l_mov, &&l_read_res, &&l_read_elem, &&l_write_res,
+      &&l_write_elem, &&l_bin, &&l_un,       &&l_intr,      &&l_brzero,
+      &&l_br,         &&l_flush, &&l_stall,  &&l_halt,
+  };
+#define LISASIM_DISPATCH() goto* kDispatch[static_cast<int>(op->kind)]
+#define LISASIM_NEXT() \
+  do {                 \
+    if (++op == end)   \
+      return;          \
+    LISASIM_DISPATCH(); \
+  } while (0)
+  LISASIM_DISPATCH();
+l_const:
+  LISASIM_OP_CONST(*op);
+  LISASIM_NEXT();
+l_mov:
+  LISASIM_OP_MOV(*op);
+  LISASIM_NEXT();
+l_read_res:
+  LISASIM_OP_READ_RES(*op);
+  LISASIM_NEXT();
+l_read_elem:
+  LISASIM_OP_READ_ELEM(*op);
+  LISASIM_NEXT();
+l_write_res:
+  LISASIM_OP_WRITE_RES(*op);
+  LISASIM_NEXT();
+l_write_elem:
+  LISASIM_OP_WRITE_ELEM(*op);
+  LISASIM_NEXT();
+l_bin:
+  LISASIM_OP_BIN(*op);
+  LISASIM_NEXT();
+l_un:
+  LISASIM_OP_UN(*op);
+  LISASIM_NEXT();
+l_intr:
+  LISASIM_OP_INTR(*op);
+  LISASIM_NEXT();
+l_brzero:
+  if (t[op->a] == 0) {
+    op = ops + op->imm;
+    if (op == end) return;
+    LISASIM_DISPATCH();
+  }
+  LISASIM_NEXT();
+l_br:
+  op = ops + op->imm;
+  if (op == end) return;
+  LISASIM_DISPATCH();
+l_flush:
+  control.flush = true;
+  LISASIM_NEXT();
+l_stall:
+  control.stall_cycles += static_cast<int>(t[op->a]);
+  LISASIM_NEXT();
+l_halt:
+  control.halt = true;
+  LISASIM_NEXT();
+#undef LISASIM_NEXT
+#undef LISASIM_DISPATCH
+#else
+  while (op != end) {
+    switch (op->kind) {
+      case MKind::kConst: LISASIM_OP_CONST(*op); break;
+      case MKind::kMov: LISASIM_OP_MOV(*op); break;
+      case MKind::kReadRes: LISASIM_OP_READ_RES(*op); break;
+      case MKind::kReadElem: LISASIM_OP_READ_ELEM(*op); break;
+      case MKind::kWriteRes: LISASIM_OP_WRITE_RES(*op); break;
+      case MKind::kWriteElem: LISASIM_OP_WRITE_ELEM(*op); break;
+      case MKind::kBin: LISASIM_OP_BIN(*op); break;
+      case MKind::kUn: LISASIM_OP_UN(*op); break;
+      case MKind::kIntr: LISASIM_OP_INTR(*op); break;
+      case MKind::kBrZero:
+        if (t[op->a] == 0) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBr:
+        op = ops + op->imm;
+        continue;
+      case MKind::kFlush: control.flush = true; break;
+      case MKind::kStall:
+        control.stall_cycles += static_cast<int>(t[op->a]);
+        break;
+      case MKind::kHalt: control.halt = true; break;
+    }
+    ++op;
+  }
+#endif
+}
+
+std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
+                                    ProcessorState& state,
+                                    PipelineControl& control,
+                                    std::int64_t* temps) {
+  std::int64_t* const t = temps;
+  const MicroOp* op = ops;
+  const MicroOp* const end = ops + count;
+  std::uint64_t dispatched = 0;
+  while (op != end) {
+    ++dispatched;
+    switch (op->kind) {
+      case MKind::kConst: LISASIM_OP_CONST(*op); break;
+      case MKind::kMov: LISASIM_OP_MOV(*op); break;
+      case MKind::kReadRes: LISASIM_OP_READ_RES(*op); break;
+      case MKind::kReadElem: LISASIM_OP_READ_ELEM(*op); break;
+      case MKind::kWriteRes: LISASIM_OP_WRITE_RES(*op); break;
+      case MKind::kWriteElem: LISASIM_OP_WRITE_ELEM(*op); break;
+      case MKind::kBin: LISASIM_OP_BIN(*op); break;
+      case MKind::kUn: LISASIM_OP_UN(*op); break;
+      case MKind::kIntr: LISASIM_OP_INTR(*op); break;
+      case MKind::kBrZero:
+        if (t[op->a] == 0) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBr:
+        op = ops + op->imm;
+        continue;
+      case MKind::kFlush: control.flush = true; break;
+      case MKind::kStall:
+        control.stall_cycles += static_cast<int>(t[op->a]);
+        break;
+      case MKind::kHalt: control.halt = true; break;
+    }
+    ++op;
+  }
+  return dispatched;
+}
+
+#undef LISASIM_OP_CONST
+#undef LISASIM_OP_MOV
+#undef LISASIM_OP_READ_RES
+#undef LISASIM_OP_READ_ELEM
+#undef LISASIM_OP_WRITE_RES
+#undef LISASIM_OP_WRITE_ELEM
+#undef LISASIM_OP_BIN
+#undef LISASIM_OP_UN
+#undef LISASIM_OP_INTR
 
 void run_microops(const MicroProgram& program, ProcessorState& state,
                   PipelineControl& control,
@@ -247,78 +498,15 @@ void run_microops(const MicroProgram& program, ProcessorState& state,
   // written before it is read.
   if (temps.size() < static_cast<std::size_t>(program.num_temps))
     temps.resize(static_cast<std::size_t>(program.num_temps));
-  std::int64_t* t = temps.data();
-  const MicroOp* ops = program.ops.data();
-  const std::size_t count = program.ops.size();
-  std::size_t i = 0;
-  while (i < count) {
-    const MicroOp& op = ops[i];
-    switch (op.kind) {
-      case MKind::kConst:
-        t[op.a] = op.imm;
-        break;
-      case MKind::kMov:
-        t[op.a] = t[op.b];
-        break;
-      case MKind::kReadRes:
-        t[op.a] = state.read(op.res);
-        break;
-      case MKind::kReadElem:
-        t[op.a] = state.read(op.res, static_cast<std::uint64_t>(t[op.b]));
-        break;
-      case MKind::kWriteRes:
-        state.write(op.res, 0, t[op.a]);
-        break;
-      case MKind::kWriteElem:
-        state.write(op.res, static_cast<std::uint64_t>(t[op.b]), t[op.a]);
-        break;
-      case MKind::kBin: {
-        const auto v = fold_binary(op.bop, t[op.b], t[op.c]);
-        if (!v)
-          throw SimError(op.bop == BinOp::kDiv ? "division by zero"
-                                               : "remainder by zero");
-        t[op.a] = *v;
-        break;
-      }
-      case MKind::kUn:
-        t[op.a] = fold_unary(op.uop, t[op.b]);
-        break;
-      case MKind::kIntr: {
-        const std::int64_t args[2] = {t[op.b], t[op.c]};
-        const auto v = fold_intrinsic(
-            op.intr, std::span<const std::int64_t>(
-                         args, static_cast<std::size_t>(
-                                   intrinsic_arity(op.intr))));
-        t[op.a] = v.value_or(0);
-        break;
-      }
-      case MKind::kBrZero:
-        if (t[op.a] == 0) {
-          i = static_cast<std::size_t>(op.imm);
-          continue;
-        }
-        break;
-      case MKind::kBr:
-        i = static_cast<std::size_t>(op.imm);
-        continue;
-      case MKind::kFlush:
-        control.flush = true;
-        break;
-      case MKind::kStall:
-        control.stall_cycles += static_cast<int>(t[op.a]);
-        break;
-      case MKind::kHalt:
-        control.halt = true;
-        break;
-    }
-    ++i;
-  }
+  exec_microops(program.ops.data(),
+                static_cast<std::uint32_t>(program.ops.size()), state,
+                control, temps.data());
 }
 
-std::string microops_to_string(const MicroProgram& program) {
+std::string microops_to_string(const MicroOp* ops, std::size_t count) {
   std::string out;
-  for (std::size_t i = 0; i < program.ops.size(); ++i) {
-    const MicroOp& op = program.ops[i];
+  for (std::size_t i = 0; i < count; ++i) {
+    const MicroOp& op = ops[i];
     out += std::to_string(i) + ": ";
     const auto t = [](std::int32_t x) { return "t" + std::to_string(x); };
     switch (op.kind) {
@@ -366,6 +554,10 @@ std::string microops_to_string(const MicroProgram& program) {
     out += "\n";
   }
   return out;
+}
+
+std::string microops_to_string(const MicroProgram& program) {
+  return microops_to_string(program.ops.data(), program.ops.size());
 }
 
 }  // namespace lisasim

@@ -1,11 +1,18 @@
 // Micro-operation lowering: the third step of compiled simulation
 // ("operation instantiation and simulation loop unfolding", paper §3 —
 // listed as future work there). Specialized behavior trees are flattened
-// into linear register-machine programs executed by a tight dispatch loop,
-// removing the tree-walk overhead from the simulation hot path.
+// into linear register-machine programs executed by a tight dispatch loop
+// (threaded computed-goto where the compiler supports it, a switch loop
+// otherwise), removing the tree-walk overhead from the simulation hot path.
+//
+// Micro-programs are produced per packet per pipeline stage; the simulation
+// table and the decode-cached level pack them into one contiguous
+// MicroArena (behavior/microarena.hpp) and keep only (offset, len,
+// num_temps) spans, so the execution core walks a single flat buffer.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "behavior/eval.hpp"
@@ -32,6 +39,9 @@ enum class MKind : std::uint8_t {
   kHalt,       // control.halt = true
 };
 
+/// Number of MKind enumerators (dispatch tables are sized by this).
+inline constexpr int kNumMKinds = static_cast<int>(MKind::kHalt) + 1;
+
 struct MicroOp {
   MKind kind = MKind::kConst;
   BinOp bop = BinOp::kAdd;
@@ -53,15 +63,41 @@ struct MicroProgram {
 
 /// Lower a specialized program to micro-operations. The input must be fully
 /// specialized (symbols restricted to locals and resources); anything else
-/// throws SimError.
+/// throws SimError. The result is validated (validate_microops) before it
+/// is returned, so malformed branch targets surface at simulation-compile
+/// time, never as an out-of-bounds dispatch at run time.
 MicroProgram lower_to_microops(const SpecProgram& program);
 
-/// Execute a micro-program. `temps` is caller-provided scratch, resized and
-/// zeroed here so repeated executions do not allocate.
+/// Structural validation of a micro-program: every branch target must lie
+/// in [0, ops.size()] (== size is the fall-off-the-end exit) and every
+/// temp operand in [0, num_temps). Throws SimError. Called by
+/// lower_to_microops and optimize_microops; exec_microops trusts its input.
+void validate_microops(const MicroProgram& program);
+
+/// Execute `count` micro-ops starting at `ops` — a span of a MicroArena or
+/// the body of a MicroProgram. `temps` must point at scratch with room for
+/// the program's num_temps slots; no zero-fill is required because lowering
+/// guarantees every temp is written before it is read. This is the hot
+/// dispatch loop of the compiled-static and decode-cached levels.
+void exec_microops(const MicroOp* ops, std::uint32_t count,
+                   ProcessorState& state, PipelineControl& control,
+                   std::int64_t* temps);
+
+/// Instrumented variant of exec_microops: identical semantics, returns the
+/// number of micro-ops dispatched (benchmarks report micro-ops/cycle with
+/// it; the uncounted loop stays branch-free of instrumentation).
+std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
+                                    ProcessorState& state,
+                                    PipelineControl& control,
+                                    std::int64_t* temps);
+
+/// Convenience wrapper over exec_microops: `temps` is caller-provided
+/// scratch, resized here so repeated executions do not allocate.
 void run_microops(const MicroProgram& program, ProcessorState& state,
                   PipelineControl& control, std::vector<std::int64_t>& temps);
 
 /// Disassemble for debugging/tests.
+std::string microops_to_string(const MicroOp* ops, std::size_t count);
 std::string microops_to_string(const MicroProgram& program);
 
 }  // namespace lisasim

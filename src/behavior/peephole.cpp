@@ -1,0 +1,376 @@
+#include "behavior/peephole.hpp"
+
+#include <optional>
+
+#include "behavior/fold.hpp"
+
+namespace lisasim {
+
+namespace {
+
+bool is_branch(MKind k) { return k == MKind::kBrZero || k == MKind::kBr; }
+
+/// Ops whose only effect is writing their destination temp. kBin is pure
+/// except division/remainder (they throw on a zero divisor) and kReadElem
+/// can throw on an out-of-range index — both must execute even if their
+/// result is dead, or error behavior would diverge from the tree walk.
+bool is_pure_def(const MicroOp& op) {
+  switch (op.kind) {
+    case MKind::kConst:
+    case MKind::kMov:
+    case MKind::kReadRes:
+    case MKind::kUn:
+    case MKind::kIntr:
+      return true;
+    case MKind::kBin:
+      return op.bop != BinOp::kDiv && op.bop != BinOp::kRem;
+    default:
+      return false;
+  }
+}
+
+/// Invoke `fn` on every temp `op` reads (destinations excluded). The second
+/// operand of an arity-1 intrinsic is padding, not a read.
+template <typename Fn>
+void for_each_read(const MicroOp& op, Fn&& fn) {
+  switch (op.kind) {
+    case MKind::kMov:
+    case MKind::kReadElem:
+    case MKind::kUn:
+      fn(op.b);
+      break;
+    case MKind::kWriteRes:
+    case MKind::kBrZero:
+    case MKind::kStall:
+      fn(op.a);
+      break;
+    case MKind::kWriteElem:
+      fn(op.a);
+      fn(op.b);
+      break;
+    case MKind::kBin:
+      fn(op.b);
+      fn(op.c);
+      break;
+    case MKind::kIntr:
+      fn(op.b);
+      if (intrinsic_arity(op.intr) > 1) fn(op.c);
+      break;
+    case MKind::kConst:
+    case MKind::kReadRes:
+    case MKind::kBr:
+    case MKind::kFlush:
+    case MKind::kHalt:
+      break;
+  }
+}
+
+/// Destination temp of `op`, or -1 when it has none.
+std::int32_t def_of(const MicroOp& op) {
+  switch (op.kind) {
+    case MKind::kConst:
+    case MKind::kMov:
+    case MKind::kReadRes:
+    case MKind::kReadElem:
+    case MKind::kBin:
+    case MKind::kUn:
+    case MKind::kIntr:
+      return op.a;
+    default:
+      return -1;
+  }
+}
+
+class Peephole {
+ public:
+  explicit Peephole(MicroProgram& program) : program_(program) {}
+
+  void run() {
+    const std::size_t n = program_.ops.size();
+    if (n == 0) return;
+    is_target_.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const MicroOp& op = program_.ops[i];
+      if (!is_branch(op.kind)) continue;
+      // Backward branches could loop; the lowerer never emits them, so
+      // rather than reason about fixpoints just leave such programs alone.
+      if (op.imm <= static_cast<std::int64_t>(i)) return;
+      is_target_[static_cast<std::size_t>(op.imm)] = 1;
+    }
+    dead_.assign(n, 0);
+    propagate();
+    remove_dead();
+    compact();
+    validate_microops(program_);
+  }
+
+ private:
+  // -- pass 1: const/copy propagation ------------------------------------
+
+  void lattice_reset() {
+    const_val_.assign(const_val_.size(), std::nullopt);
+    copy_of_.assign(copy_of_.size(), -1);
+  }
+
+  /// Temp `d` was redefined: forget its value and every copy of it.
+  void kill(std::int32_t d) {
+    const_val_[static_cast<std::size_t>(d)].reset();
+    copy_of_[static_cast<std::size_t>(d)] = -1;
+    for (auto& c : copy_of_)
+      if (c == d) c = -1;
+  }
+
+  std::int32_t resolve(std::int32_t t) const {
+    const std::int32_t src = copy_of_[static_cast<std::size_t>(t)];
+    return src >= 0 ? src : t;
+  }
+
+  std::optional<std::int64_t> known(std::int32_t t) const {
+    return const_val_[static_cast<std::size_t>(t)];
+  }
+
+  void set_const(MicroOp& op, std::int64_t value) {
+    op = MicroOp{.kind = MKind::kConst, .a = op.a, .imm = value};
+    kill(op.a);
+    const_val_[static_cast<std::size_t>(op.a)] = value;
+  }
+
+  void propagate() {
+    const std::size_t n = program_.ops.size();
+    const_val_.assign(static_cast<std::size_t>(program_.num_temps),
+                      std::nullopt);
+    copy_of_.assign(static_cast<std::size_t>(program_.num_temps), -1);
+    bool reachable = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_target_[i]) {
+        lattice_reset();
+        reachable = true;
+      }
+      if (!reachable) {  // between an unconditional branch and its target
+        dead_[i] = 1;
+        continue;
+      }
+      MicroOp& op = program_.ops[i];
+      switch (op.kind) {
+        case MKind::kConst:
+          kill(op.a);
+          const_val_[static_cast<std::size_t>(op.a)] = op.imm;
+          break;
+        case MKind::kMov: {
+          op.b = resolve(op.b);
+          if (const auto v = known(op.b)) {
+            set_const(op, *v);
+          } else if (op.b == op.a) {
+            dead_[i] = 1;  // t[a] = t[a]; value unchanged, lattice intact
+          } else {
+            kill(op.a);
+            copy_of_[static_cast<std::size_t>(op.a)] = op.b;
+          }
+          break;
+        }
+        case MKind::kReadRes:
+          kill(op.a);
+          break;
+        case MKind::kReadElem:
+          op.b = resolve(op.b);
+          kill(op.a);
+          break;
+        case MKind::kWriteRes:
+          op.a = resolve(op.a);
+          break;
+        case MKind::kWriteElem:
+          op.a = resolve(op.a);
+          op.b = resolve(op.b);
+          break;
+        case MKind::kBin: {
+          op.b = resolve(op.b);
+          op.c = resolve(op.c);
+          const auto b = known(op.b);
+          const auto c = known(op.c);
+          if (b && c) {
+            // nullopt == constant /0 or %0: must still throw at run time.
+            if (const auto v = fold_binary(op.bop, *b, *c)) {
+              set_const(op, *v);
+              break;
+            }
+          }
+          kill(op.a);
+          break;
+        }
+        case MKind::kUn: {
+          op.b = resolve(op.b);
+          if (const auto b = known(op.b)) {
+            set_const(op, fold_unary(op.uop, *b));
+          } else {
+            kill(op.a);
+          }
+          break;
+        }
+        case MKind::kIntr: {
+          op.b = resolve(op.b);
+          const bool binary = intrinsic_arity(op.intr) > 1;
+          if (binary) op.c = resolve(op.c);
+          const auto b = known(op.b);
+          const auto c = binary ? known(op.c) : std::optional<std::int64_t>{0};
+          if (b && c) {
+            const std::int64_t args[2] = {*b, *c};
+            if (const auto v = fold_intrinsic(
+                    op.intr,
+                    std::span<const std::int64_t>(
+                        args,
+                        static_cast<std::size_t>(intrinsic_arity(op.intr))))) {
+              set_const(op, *v);
+              break;
+            }
+          }
+          kill(op.a);
+          break;
+        }
+        case MKind::kBrZero: {
+          op.a = resolve(op.a);
+          if (op.imm == static_cast<std::int64_t>(i) + 1) {
+            dead_[i] = 1;  // branches to fall-through either way
+            break;
+          }
+          if (const auto v = known(op.a)) {
+            if (*v == 0) {
+              op = MicroOp{.kind = MKind::kBr, .imm = op.imm};  // always taken
+              reachable = false;
+            } else {
+              dead_[i] = 1;  // never taken
+            }
+          }
+          break;
+        }
+        case MKind::kBr:
+          if (op.imm == static_cast<std::int64_t>(i) + 1) {
+            dead_[i] = 1;
+          } else {
+            reachable = false;
+          }
+          break;
+        case MKind::kStall:
+          op.a = resolve(op.a);
+          break;
+        case MKind::kFlush:
+        case MKind::kHalt:
+          break;
+      }
+    }
+  }
+
+  // -- pass 2: conservative dead-op removal ------------------------------
+
+  /// With forward-only branches an op can only be executed before any op at
+  /// a higher index, so "no live op at a higher index reads the dest" is a
+  /// sound (over-approximate) liveness test. Writes do NOT kill liveness —
+  /// a read past a join may see either definition.
+  void remove_dead() {
+    const std::size_t n = program_.ops.size();
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (dead_[i]) continue;
+        const MicroOp& op = program_.ops[i];
+        const std::int32_t d = def_of(op);
+        if (d < 0 || !is_pure_def(op)) continue;
+        bool read_later = false;
+        for (std::size_t j = i + 1; j < n && !read_later; ++j) {
+          if (dead_[j]) continue;
+          for_each_read(program_.ops[j], [&](std::int32_t r) {
+            if (r == d) read_later = true;
+          });
+        }
+        if (!read_later) {
+          dead_[i] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // -- pass 3: compaction ------------------------------------------------
+
+  void compact() {
+    const std::size_t n = program_.ops.size();
+    // Prefix map: new_index[i] == number of live ops before i, which is
+    // also where a branch to i (live or dead) lands after compaction.
+    std::vector<std::int32_t> new_index(n + 1, 0);
+    std::int32_t live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      new_index[i] = live;
+      if (!dead_[i]) ++live;
+    }
+    new_index[n] = live;
+
+    // Dense temp renumbering over live ops only.
+    std::vector<std::int32_t> temp_map(
+        static_cast<std::size_t>(program_.num_temps), -1);
+    std::int32_t next_temp = 0;
+    const auto remap = [&](std::int32_t t) {
+      auto& m = temp_map[static_cast<std::size_t>(t)];
+      if (m < 0) m = next_temp++;
+      return m;
+    };
+
+    std::vector<MicroOp> out;
+    out.reserve(static_cast<std::size_t>(live));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dead_[i]) continue;
+      MicroOp op = program_.ops[i];
+      switch (op.kind) {
+        case MKind::kConst:
+        case MKind::kReadRes:
+        case MKind::kWriteRes:
+        case MKind::kBrZero:
+        case MKind::kStall:
+          op.a = remap(op.a);
+          break;
+        case MKind::kMov:
+        case MKind::kReadElem:
+        case MKind::kWriteElem:
+        case MKind::kUn:
+          op.a = remap(op.a);
+          op.b = remap(op.b);
+          break;
+        case MKind::kBin:
+          op.a = remap(op.a);
+          op.b = remap(op.b);
+          op.c = remap(op.c);
+          break;
+        case MKind::kIntr:
+          op.a = remap(op.a);
+          op.b = remap(op.b);
+          // Arity-1 padding operand: renumbering may drop its old temp, so
+          // pin it to slot 0 (the op above guarantees at least one temp).
+          op.c = intrinsic_arity(op.intr) > 1 ? remap(op.c) : 0;
+          break;
+        case MKind::kBr:
+        case MKind::kFlush:
+        case MKind::kHalt:
+          break;
+      }
+      if (is_branch(op.kind))
+        op.imm = new_index[static_cast<std::size_t>(op.imm)];
+      out.push_back(op);
+    }
+    program_.ops = std::move(out);
+    program_.num_temps = next_temp;
+  }
+
+  MicroProgram& program_;
+  std::vector<char> is_target_;
+  std::vector<char> dead_;
+  std::vector<std::optional<std::int64_t>> const_val_;
+  std::vector<std::int32_t> copy_of_;
+};
+
+}  // namespace
+
+void optimize_microops(MicroProgram& program) {
+  validate_microops(program);
+  Peephole(program).run();
+}
+
+}  // namespace lisasim

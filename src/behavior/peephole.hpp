@@ -1,0 +1,28 @@
+// Peephole optimization over lowered micro-programs, run once at
+// simulation-compile time (lowering), never on the execution hot path.
+// Three passes over the straight-line, forward-branching programs the
+// lowerer emits:
+//
+//  1. const/copy propagation — fold kBin/kUn/kIntr with constant operands,
+//     forward mov sources into use sites, resolve constant-condition
+//     branches; the lattice resets at every branch target so joins stay
+//     sound,
+//  2. conservative dead-op removal — pure ops whose destination temp is
+//     never read at a higher index are dropped (iterated to fixpoint;
+//     division/remainder and element reads are kept, they can throw),
+//  3. compaction — dead ops removed, branch targets remapped, temps
+//     renumbered densely so the scratch buffer shrinks with the program.
+//
+// The result is validated; semantics (including SimError behavior) are
+// bit-identical to the unoptimized program.
+#pragma once
+
+#include "behavior/microops.hpp"
+
+namespace lisasim {
+
+/// Optimize `program` in place. Programs with backward branches (never
+/// produced by the lowerer) are left untouched.
+void optimize_microops(MicroProgram& program);
+
+}  // namespace lisasim

@@ -1,35 +1,16 @@
 #include "sim/cached_interp.hpp"
 
+#include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
+
 namespace lisasim {
-
-/// Same routing contract as InterpBackend::Sink / the schedule builder.
-class CachedInterpBackend::Sink final : public ActivationSink {
- public:
-  Sink(Evaluator& eval, Work& work, int stage)
-      : eval_(&eval), work_(&work), stage_(stage) {}
-
-  void activate(const DecodedNode& child) override {
-    const int child_stage = child.op->stage >= 0 ? child.op->stage : stage_;
-    if (child_stage > stage_) {
-      if (static_cast<std::size_t>(child_stage) >= work_->sched.size())
-        throw SimError("activation of '" + child.op->name +
-                       "' beyond the pipeline");
-      work_->sched[static_cast<std::size_t>(child_stage)].push_back(&child);
-    } else {
-      eval_->run_op(child, this);
-    }
-  }
-
- private:
-  Evaluator* eval_;
-  Work* work_;
-  int stage_;
-};
 
 void CachedInterpBackend::build_cache(const LoadedProgram& program) {
   cache_base_ = program.text_base;
   cache_.clear();
   cache_.reserve(program.words.size());
+  arena_.clear();
+  temps_.clear();
   std::vector<std::int64_t> words(program.words.begin(),
                                   program.words.end());
   for (std::uint64_t index = 0; index < words.size(); ++index) {
@@ -37,28 +18,52 @@ void CachedInterpBackend::build_cache(const LoadedProgram& program) {
     try {
       entry.packet = decoder_.decode_packet(words, index);
       entry.words = entry.packet.words;
-      for (const auto& slot : entry.packet.slots)
-        collect_auto_ops(*slot, entry.auto_ops);
+      entry.slot_count = static_cast<unsigned>(entry.packet.slots.size());
       entry.valid = true;
     } catch (const SimError& e) {
       entry.valid = false;
+      entry.lowered = true;  // nothing to lower on a poisoned entry
       entry.error = e.what();
       entry.words = 1;
     }
     cache_.push_back(std::move(entry));
   }
   out_of_range_.valid = false;
+  out_of_range_.lowered = true;
   out_of_range_.error = "program counter outside the pre-decoded program";
   out_of_range_.words = 1;
 }
 
+void CachedInterpBackend::lower_entry(CacheEntry& entry) {
+  entry.lowered = true;
+  try {
+    const PacketSchedule schedule = specializer_.schedule_packet(entry.packet);
+    entry.micro.resize(schedule.stage_programs.size());
+    for (std::size_t s = 0; s < schedule.stage_programs.size(); ++s) {
+      MicroProgram micro = lower_to_microops(schedule.stage_programs[s]);
+      optimize_microops(micro);
+      entry.micro[s] = arena_.append(micro);
+      if (!entry.micro[s].empty())
+        entry.work_mask |= std::uint32_t{1} << s;
+    }
+    // Spans are offsets, so earlier entries stay valid as the arena grows;
+    // only the shared scratch must keep up with the largest program.
+    if (arena_.max_temps() > static_cast<std::int32_t>(temps_.size()))
+      temps_.resize(static_cast<std::size_t>(arena_.max_temps()), 0);
+  } catch (const SimError& e) {
+    // Deferred like an invalid simulation-table row: fatal at retirement.
+    entry.valid = false;
+    entry.error = e.what();
+  }
+}
+
 void CachedInterpBackend::issue(std::uint64_t pc, Work& out,
                                 unsigned& words) {
-  const CacheEntry* entry = &out_of_range_;
+  CacheEntry* entry = &out_of_range_;
   if (pc >= cache_base_ && pc - cache_base_ < cache_.size())
     entry = &cache_[pc - cache_base_];
+  if (!entry->lowered) lower_entry(*entry);
   out.entry = entry;
-  out.sched.assign(static_cast<std::size_t>(depth_), {});
   words = entry->words;
 }
 
@@ -68,15 +73,14 @@ void CachedInterpBackend::execute(Work& work, int stage) {
     if (stage == depth_ - 1) throw SimError(entry.error);
     return;
   }
-  for (const auto& [node, node_stage] : entry.auto_ops) {
-    if (node_stage != stage) continue;
-    Sink sink(eval_, work, stage);
-    eval_.run_op(*node, &sink);
-  }
-  auto& queue = work.sched[static_cast<std::size_t>(stage)];
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    Sink sink(eval_, work, stage);
-    eval_.run_op(*queue[i], &sink);
+  if ((entry.work_mask >> stage & 1u) == 0) return;
+  const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
+  const MicroOp* ops = arena_.data() + span.offset;
+  if (count_microops_) {
+    microops_executed_ += exec_microops_counted(ops, span.len, *state_,
+                                                control_, temps_.data());
+  } else {
+    exec_microops(ops, span.len, *state_, control_, temps_.data());
   }
 }
 

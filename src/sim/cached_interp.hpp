@@ -1,23 +1,26 @@
 // Decode-cached interpretive simulator: the partial compiled level of
-// paper §3 that implements ONLY the first step (compile-time decoding).
-// All instruction words are decoded once, up front, into a packet cache;
-// operation sequencing (activation scheduling) and behavior evaluation
-// still happen at run time on the unspecialized trees. Together with the
+// paper §3 that performs compile-time decoding up front and defers the
+// remaining translation steps to first execution. All instruction words
+// are decoded once into a packet cache; the first time a packet is fetched
+// its behavior is sequenced, specialized and lowered to micro-ops (packed
+// into a lazily growing MicroArena), and every subsequent cycle runs the
+// same flat dispatch loop as the fully compiled levels. Together with the
 // other levels this completes the interpretive → fully-compiled spectrum:
 //
-//   interpretive        decode per fetch, sequence per cycle
-//   decode-cached       decode once,      sequence per cycle   (this file)
-//   compiled-dynamic    decode once,      sequence once
-//   compiled-static     decode once,      sequence once, instantiate
+//   interpretive        decode per fetch, sequence + tree-walk per cycle
+//   decode-cached       decode once, sequence + instantiate on first
+//                       execution, micro-op dispatch per cycle  (this file)
+//   compiled-dynamic    decode once, sequence once, tree-walk per cycle
+//   compiled-static     decode once, sequence once, instantiate once
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "asm/program.hpp"
 #include "behavior/eval.hpp"
+#include "behavior/microarena.hpp"
 #include "behavior/specialize.hpp"
 #include "decode/decoder.hpp"
 #include "model/model.hpp"
@@ -31,47 +34,64 @@ class CachedInterpBackend {
  public:
   struct CacheEntry {
     DecodedPacket packet;
-    std::vector<std::pair<const DecodedNode*, int>> auto_ops;
+    // Lazily lowered micro-programs, one span per pipeline stage, packed
+    // into the backend's MicroArena. Empty until `lowered`.
+    std::vector<MicroSpan> micro;
+    std::uint32_t work_mask = 0;  // bit s set <=> stage s has work
     unsigned words = 1;
+    unsigned slot_count = 0;
+    bool lowered = false;  // sequencing + lowering ran (lazy, at issue)
     bool valid = false;
     std::string error;
   };
 
   struct Work {
     const CacheEntry* entry = nullptr;
-    // Run-time operation sequencing: FIFO activation queues per stage.
-    std::vector<std::vector<const DecodedNode*>> sched;
   };
 
   CachedInterpBackend(const Model& model, ProcessorState& state)
-      : model_(&model),
-        state_(&state),
+      : state_(&state),
         depth_(model.pipeline.depth()),
         decoder_(model),
-        eval_(state, control_) {}
+        specializer_(model) {}
 
-  /// Pre-decode the whole program (the compile-time step of this level).
+  /// Pre-decode the whole program (the up-front compile step of this
+  /// level). Sequencing and micro-op lowering happen lazily at issue().
   void build_cache(const LoadedProgram& program);
+
+  /// Instrumented dispatch (micro-ops counted per execute) — bench only.
+  /// Enabling resets the counter.
+  void set_count_microops(bool on) {
+    count_microops_ = on;
+    if (on) microops_executed_ = 0;
+  }
+  std::uint64_t microops_executed() const { return microops_executed_; }
 
   PipelineControl& control() { return control_; }
   void issue(std::uint64_t pc, Work& out, unsigned& words);
   void execute(Work& work, int stage);
   std::uint64_t slot_count(const Work& work) const {
-    return work.entry && work.entry->valid ? work.entry->packet.slots.size()
-                                           : 0;
+    return work.entry && work.entry->valid ? work.entry->slot_count : 0;
   }
 
   const Decoder& decoder() const { return decoder_; }
 
  private:
-  class Sink;
+  /// First-fetch translation: sequence the packet, lower each stage
+  /// program to micro-ops, run the peephole pass and pack the result into
+  /// the arena. Failures poison the entry (deferred error, like invalid
+  /// simulation-table rows).
+  void lower_entry(CacheEntry& entry);
 
-  const Model* model_;
   ProcessorState* state_;
   int depth_;
   Decoder decoder_;
+  Specializer specializer_;
   PipelineControl control_;
-  Evaluator eval_;
+  MicroArena arena_;
+  std::vector<std::int64_t> temps_;  // shared scratch, grown with the arena
+  bool count_microops_ = false;
+  std::uint64_t microops_executed_ = 0;
   std::uint64_t cache_base_ = 0;
   std::vector<CacheEntry> cache_;
   CacheEntry out_of_range_;  // shared "PC outside program" entry
@@ -90,7 +110,8 @@ class CachedInterpSimulator {
     reload(program);
   }
 
-  /// Reset state and pipeline without re-decoding (benchmark loops).
+  /// Reset state and pipeline without re-decoding (benchmark loops). The
+  /// decode cache and already-lowered micro-programs are kept.
   void reload(const LoadedProgram& program) {
     state_.reset();
     engine_.reset();
@@ -99,6 +120,20 @@ class CachedInterpSimulator {
 
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
     return engine_.run(max_cycles);
+  }
+
+  /// Dispatched micro-ops per simulated cycle, measured with one
+  /// instrumented (switch-dispatch) run of `program`. Not for timed
+  /// regions.
+  double microops_per_cycle(const LoadedProgram& program,
+                            std::uint64_t max_cycles = UINT64_MAX) {
+    backend_.set_count_microops(true);
+    reload(program);
+    const RunResult result = run(max_cycles);
+    const std::uint64_t uops = backend_.microops_executed();
+    backend_.set_count_microops(false);
+    if (result.cycles == 0) return 0;
+    return static_cast<double>(uops) / static_cast<double>(result.cycles);
   }
 
   ProcessorState& state() { return state_; }

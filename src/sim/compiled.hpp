@@ -42,7 +42,20 @@ class CompiledBackend {
         depth_(model.pipeline.depth()),
         eval_(state, control_) {}
 
-  void set_table(const SimTable* table) { table_ = table; }
+  void set_table(const SimTable* table) {
+    table_ = table;
+    // One scratch allocation for the whole run: every span's temps fit.
+    temps_.assign(static_cast<std::size_t>(table->max_temps()), 0);
+  }
+
+  /// Instrumented dispatch (micro-ops counted per execute) — bench only;
+  /// the default path runs the uncounted threaded loop. Enabling resets
+  /// the counter.
+  void set_count_microops(bool on) {
+    count_microops_ = on;
+    if (on) microops_executed_ = 0;
+  }
+  std::uint64_t microops_executed() const { return microops_executed_; }
 
   PipelineControl& control() { return control_; }
 
@@ -76,8 +89,14 @@ class CompiledBackend {
     const SimTableEntry& entry = *work.entry;
     if ((entry.work_mask >> stage & 1u) == 0) return;
     if (level_ == SimLevel::kCompiledStatic) {
-      run_microops(entry.micro[static_cast<std::size_t>(stage)], *state_,
-                   control_, temps_);
+      const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
+      const MicroOp* ops = table_->arena().data() + span.offset;
+      if (count_microops_) {
+        microops_executed_ += exec_microops_counted(ops, span.len, *state_,
+                                                    control_, temps_.data());
+      } else {
+        exec_microops(ops, span.len, *state_, control_, temps_.data());
+      }
     } else {
       const SpecProgram& program =
           entry.schedule.stage_programs[static_cast<std::size_t>(stage)];
@@ -96,7 +115,9 @@ class CompiledBackend {
   const SimTable* table_ = nullptr;
   PipelineControl control_;
   Evaluator eval_;
-  std::vector<std::int64_t> temps_;
+  std::vector<std::int64_t> temps_;  // shared scratch, sized by the arena
+  bool count_microops_ = false;
+  std::uint64_t microops_executed_ = 0;
   std::vector<std::string> errors_;  // deferred fetch-error pool
   const std::string out_of_table_error_ =
       "program counter outside the compiled program";
@@ -172,6 +193,21 @@ class CompiledSimulator {
 
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
     return engine_.run(max_cycles);
+  }
+
+  /// Dispatched micro-ops per simulated cycle, measured with one
+  /// instrumented (switch-dispatch) run of `program` against the loaded
+  /// table. Static level only (0 elsewhere). Not meant for timed regions.
+  double microops_per_cycle(const LoadedProgram& program,
+                            std::uint64_t max_cycles = UINT64_MAX) {
+    if (level_ != SimLevel::kCompiledStatic) return 0;
+    backend_.set_count_microops(true);
+    reload(program);
+    const RunResult result = run(max_cycles);
+    const std::uint64_t uops = backend_.microops_executed();
+    backend_.set_count_microops(false);
+    if (result.cycles == 0) return 0;
+    return static_cast<double>(uops) / static_cast<double>(result.cycles);
   }
 
   ProcessorState& state() { return state_; }

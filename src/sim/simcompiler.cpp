@@ -3,6 +3,7 @@
 #include <chrono>
 #include <span>
 
+#include "behavior/peephole.hpp"
 #include "behavior/specialize.hpp"
 #include "support/thread_pool.hpp"
 
@@ -18,6 +19,7 @@ void SimulationCompiler::compile_range(const std::vector<std::int64_t>& words,
                                        SimLevel level, std::size_t begin,
                                        std::size_t end,
                                        std::vector<SimTableEntry>& entries,
+                                       MicroArena& arena,
                                        std::size_t& instructions) const {
   // One specializer per shard: schedule_packet is a pure function of the
   // (immutable) model and the decoded packet, so shards never share
@@ -36,9 +38,13 @@ void SimulationCompiler::compile_range(const std::vector<std::int64_t>& words,
       }
       if (level == SimLevel::kCompiledStatic) {
         entry.micro.resize(entry.schedule.stage_programs.size());
-        for (std::size_t s = 0; s < entry.schedule.stage_programs.size(); ++s)
-          entry.micro[s] =
+        for (std::size_t s = 0; s < entry.schedule.stage_programs.size();
+             ++s) {
+          MicroProgram micro =
               lower_to_microops(entry.schedule.stage_programs[s]);
+          optimize_microops(micro);
+          entry.micro[s] = arena.append(micro);
+        }
       }
       instructions += entry.slot_count;
     } catch (const SimError& e) {
@@ -62,21 +68,38 @@ SimTable SimulationCompiler::compile(const LoadedProgram& program,
   // int64 elements the way they will sit in the fetch memory.
   std::vector<std::int64_t> words(program.words.begin(), program.words.end());
   std::vector<SimTableEntry> entries(words.size());
+  MicroArena arena;
 
   std::size_t instructions = 0;
   if (threads <= 1 || words.size() < 2) {
-    compile_range(words, level, 0, words.size(), entries, instructions);
+    compile_range(words, level, 0, words.size(), entries, arena,
+                  instructions);
   } else {
     if (!pool_ || pool_->size() != threads)
       pool_ = std::make_unique<ThreadPool>(threads);
-    // Each shard owns entries[begin, end): disjoint writes, merged in
-    // program order by construction.
+    // Each shard owns entries[begin, end) and appends its micro-programs to
+    // its own arena: disjoint writes, no locking. Splicing the shard arenas
+    // in shard order and rebasing each shard's span offsets reproduces the
+    // sequential build's arena byte for byte (shards are contiguous and
+    // ordered), so signature() is identical at any thread count.
     std::vector<std::size_t> shard_instructions(threads, 0);
+    std::vector<MicroArena> shard_arenas(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> shard_rows(
+        threads, {0, 0});
     parallel_shards(*pool_, words.size(), threads, [&](const Shard& shard) {
+      shard_rows[shard.index] = {shard.begin, shard.end};
       compile_range(words, level, shard.begin, shard.end, entries,
+                    shard_arenas[shard.index],
                     shard_instructions[shard.index]);
     });
-    for (const std::size_t n : shard_instructions) instructions += n;
+    for (unsigned s = 0; s < threads; ++s) {
+      const std::uint32_t base = arena.splice(shard_arenas[s]);
+      for (std::size_t row = shard_rows[s].first; row < shard_rows[s].second;
+           ++row) {
+        for (MicroSpan& span : entries[row].micro) span.offset += base;
+      }
+      instructions += shard_instructions[s];
+    }
   }
 
   if (stats) {
@@ -85,15 +108,13 @@ SimTable SimulationCompiler::compile(const LoadedProgram& program,
     stats->decode_calls = entries.size();
     stats->threads_used = threads;
     stats->cache_hit = false;
-    stats->microops = 0;
-    for (const auto& e : entries)
-      for (const auto& p : e.micro) stats->microops += p.ops.size();
+    stats->microops = arena.size();
     stats->compile_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
   }
-  return SimTable(program.text_base, std::move(entries));
+  return SimTable(program.text_base, std::move(entries), std::move(arena));
 }
 
 }  // namespace lisasim

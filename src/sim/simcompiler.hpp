@@ -4,7 +4,8 @@
 //
 //   1. compile-time decoding      — decode_packet()
 //   2. operation sequencing       — Specializer::schedule_packet()
-//   3. operation instantiation    — lower_to_microops() (static level only)
+//   3. operation instantiation    — lower_to_microops() + optimize_microops()
+//                                   packed into a MicroArena (static level)
 //
 // Every address gets a row (not just sequential packet starts), so branches
 // may target any word; re-chaining of execute packets from the branch
@@ -61,10 +62,13 @@ class SimulationCompiler {
 
  private:
   /// Translate rows [shard.begin, shard.end) into entries[...] (pre-sized
-  /// by the caller), accumulating per-shard counters.
+  /// by the caller), accumulating per-shard counters. Micro-programs are
+  /// appended to `arena` in row order; the sharded build hands each shard
+  /// its own arena and splices them in shard order, which reproduces the
+  /// sequential build's packed layout byte for byte.
   void compile_range(const std::vector<std::int64_t>& words, SimLevel level,
                      std::size_t begin, std::size_t end,
-                     std::vector<SimTableEntry>& entries,
+                     std::vector<SimTableEntry>& entries, MicroArena& arena,
                      std::size_t& instructions) const;
 
   const Model* model_;

@@ -1,14 +1,17 @@
 // The simulation table (paper Fig. 1): one row per program location, one
 // column per pipeline stage, holding the pre-decoded, pre-sequenced (and,
 // at the static level, micro-op-instantiated) operations that drive the
-// simulator's transition function.
+// simulator's transition function. Micro-programs are not stored per row:
+// every row's per-stage program is a (offset, len, num_temps) span into one
+// shared MicroArena, so the static level executes out of a single flat
+// buffer.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "behavior/microops.hpp"
+#include "behavior/microarena.hpp"
 #include "behavior/specialize.hpp"
 #include "model/model.hpp"
 #include "sim/result.hpp"
@@ -18,8 +21,9 @@ namespace lisasim {
 struct SimTableEntry {
   // Dynamic-scheduling level: specialized statement programs per stage.
   PacketSchedule schedule;
-  // Static-scheduling level: the same programs lowered to micro-ops.
-  std::vector<MicroProgram> micro;
+  // Static-scheduling level: the same programs lowered to micro-ops,
+  // packed into the table's MicroArena; one span per pipeline stage.
+  std::vector<MicroSpan> micro;
   unsigned words = 0;       // fetch words the packet consumes
   unsigned slot_count = 0;  // instructions in the packet
   std::uint32_t work_mask = 0;  // bit s set <=> stage s has work
@@ -33,8 +37,9 @@ struct SimTableEntry {
 class SimTable {
  public:
   SimTable() = default;
-  SimTable(std::uint64_t base, std::vector<SimTableEntry> entries)
-      : base_(base), entries_(std::move(entries)) {}
+  SimTable(std::uint64_t base, std::vector<SimTableEntry> entries,
+           MicroArena arena)
+      : base_(base), entries_(std::move(entries)), arena_(std::move(arena)) {}
 
   const SimTableEntry& at(std::uint64_t pc) const {
     if (const SimTableEntry* entry = find(pc)) return *entry;
@@ -53,22 +58,27 @@ class SimTable {
   std::uint64_t base() const { return base_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// The packed micro-op buffer every row's spans point into.
+  const MicroArena& arena() const { return arena_; }
+
+  /// Largest scratch any span needs; backends size their temp buffer once.
+  std::int32_t max_temps() const { return arena_.max_temps(); }
+
   /// Total micro-operations across all rows (bench reporting).
-  std::size_t total_microops() const {
-    std::size_t total = 0;
-    for (const auto& e : entries_)
-      for (const auto& p : e.micro) total += p.ops.size();
-    return total;
-  }
+  std::size_t total_microops() const { return arena_.size(); }
 
   /// Deterministic full serialization of the table contents: every row,
-  /// every per-stage specialized program and micro-program, rendered in
-  /// program order. Two tables are semantically identical iff their
-  /// signatures compare equal — this is how the tests pin the parallel
-  /// compiler's merge invariant (any thread count, same bytes).
+  /// every per-stage specialized program and micro-program — including each
+  /// span's arena placement, so the signature pins the packed layout, not
+  /// just the op sequences. Two tables are identical iff their signatures
+  /// compare equal — this is how the tests pin the parallel compiler's
+  /// merge invariant (any thread count, same bytes).
   std::string signature() const {
     std::string out = "base=" + std::to_string(base_) +
-                      " rows=" + std::to_string(entries_.size()) + "\n";
+                      " rows=" + std::to_string(entries_.size()) +
+                      " arena=" + std::to_string(arena_.size()) +
+                      " max_temps=" + std::to_string(arena_.max_temps()) +
+                      "\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const SimTableEntry& e = entries_[i];
       out += "[" + std::to_string(i) + "] words=" + std::to_string(e.words) +
@@ -85,10 +95,13 @@ class SimTable {
         for (const StmtPtr& stmt : p.stmts) out += stmt->to_string(2);
       }
       for (std::size_t s = 0; s < e.micro.size(); ++s) {
-        if (e.micro[s].empty()) continue;
+        const MicroSpan& span = e.micro[s];
+        if (span.empty()) continue;
         out += " micro " + std::to_string(s) +
-               " temps=" + std::to_string(e.micro[s].num_temps) + "\n" +
-               microops_to_string(e.micro[s]);
+               " temps=" + std::to_string(span.num_temps) + " span=[" +
+               std::to_string(span.offset) + "," +
+               std::to_string(span.offset + span.len) + ")\n" +
+               microops_to_string(arena_.data() + span.offset, span.len);
       }
     }
     return out;
@@ -97,6 +110,7 @@ class SimTable {
  private:
   std::uint64_t base_ = 0;
   std::vector<SimTableEntry> entries_;
+  MicroArena arena_;
 };
 
 }  // namespace lisasim

@@ -16,7 +16,7 @@ fail() {
 
 expect_contains() {
   # expect_contains <file> <needle> <label>
-  grep -q "$2" "$1" || { echo "--- output ---"; cat "$1"; fail "$3"; }
+  grep -q -e "$2" "$1" || { echo "--- output ---"; cat "$1"; fail "$3"; }
 }
 
 # ---- check + lint ---------------------------------------------------------
@@ -82,10 +82,26 @@ lib_cycles=$(head -1 "$TMP/run_static.out" |
 [ "$gen_cycles" = "$lib_cycles" ] || \
     fail "generated cycles $gen_cycles != library $lib_cycles"
 
+# ---- help ------------------------------------------------------------------
+"$LISASIM" --help > "$TMP/help.out" 2>&1 || fail "--help should exit 0"
+expect_contains "$TMP/help.out" "usage: lisasim" "--help prints usage"
+expect_contains "$TMP/help.out" \
+    "--level values: interp, cached, dynamic, static" \
+    "--help lists the simulation levels"
+
 # ---- error handling ---------------------------------------------------------
 if "$LISASIM" run @c62x /nonexistent.asm > "$TMP/err.out" 2>&1; then
   fail "missing file should fail"
 fi
+if "$LISASIM" run @c62x "$TMP/prog.asm" --level bogus \
+    > "$TMP/err3.out" 2>&1; then
+  fail "unknown --level should fail"
+fi
+expect_contains "$TMP/err3.out" "unknown simulation level 'bogus'" \
+    "unknown --level names the bad value"
+expect_contains "$TMP/err3.out" \
+    "valid levels: interp, cached, dynamic, static" \
+    "unknown --level lists the valid names"
 echo "BROKEN !!" > "$TMP/bad.asm"
 if "$LISASIM" asm @c62x "$TMP/bad.asm" > "$TMP/err2.out" 2>&1; then
   fail "bad assembly should fail"

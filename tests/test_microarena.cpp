@@ -1,0 +1,337 @@
+// MicroArena packing, peephole soundness and micro-op edge cases: the
+// satellite coverage around the flat execution core — arena append/splice
+// determinism, empty spans, compile-time branch-target validation,
+// branch-over-branch lowering, intrinsic arity, division SimError paths and
+// temp-scratch reuse across packets sharing one arena.
+#include <gtest/gtest.h>
+
+#include "behavior/eval.hpp"
+#include "behavior/microarena.hpp"
+#include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
+#include "behavior/specialize.hpp"
+#include "decode/decoder.hpp"
+#include "model/sema.hpp"
+
+namespace lisasim {
+namespace {
+
+constexpr const char* kModel = R"(
+  RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int32 R[8];
+    MEMORY int32 m[32];
+    int64 s;
+    PIPELINE pipe = { EX; };
+  }
+  FETCH { WORD 16; MEMORY m; }
+  OPERATION instruction IN pipe.EX {
+    DECLARE { LABEL a, b; }
+    CODING { a=0bx[8] b=0bx[8] }
+    BEHAVIOR {
+      BODY
+    }
+  }
+)";
+
+struct ArenaHarness {
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Decoder> decoder;
+  std::unique_ptr<Specializer> specializer;
+
+  explicit ArenaHarness(const std::string& body) {
+    std::string source = kModel;
+    source.replace(source.find("BODY"), 4, body);
+    model = compile_model_source_or_throw(source, "arena-test");
+    decoder = std::make_unique<Decoder>(*model);
+    specializer = std::make_unique<Specializer>(*model);
+  }
+
+  MicroProgram lower(std::uint8_t a, std::uint8_t b, bool optimize = true) {
+    std::vector<std::int64_t> words = {
+        static_cast<std::int64_t>((static_cast<unsigned>(a) << 8) | b)};
+    DecodedPacket packet = decoder->decode_packet(words, 0);
+    PacketSchedule schedule = specializer->schedule_packet(packet);
+    MicroProgram mp = lower_to_microops(schedule.stage_programs[0]);
+    if (optimize) optimize_microops(mp);
+    return mp;
+  }
+};
+
+// ---- arena packing ---------------------------------------------------------
+
+TEST(MicroArena, AppendPacksContiguously) {
+  ArenaHarness h("s = a + b; R[1] = s * 2;");
+  const MicroProgram p1 = h.lower(1, 2);
+  const MicroProgram p2 = h.lower(3, 4);
+  MicroArena arena;
+  const MicroSpan s1 = arena.append(p1);
+  const MicroSpan s2 = arena.append(p2);
+  EXPECT_EQ(s1.offset, 0u);
+  EXPECT_EQ(s1.len, p1.ops.size());
+  EXPECT_EQ(s2.offset, p1.ops.size());
+  EXPECT_EQ(arena.size(), p1.ops.size() + p2.ops.size());
+  EXPECT_EQ(arena.max_temps(), std::max(p1.num_temps, p2.num_temps));
+  EXPECT_EQ(microops_to_string(arena.data() + s1.offset, s1.len),
+            microops_to_string(p1));
+  EXPECT_EQ(microops_to_string(arena.data() + s2.offset, s2.len),
+            microops_to_string(p2));
+}
+
+TEST(MicroArena, SpliceReproducesSequentialLayout) {
+  // The parallel-build merge invariant in miniature: appending shard
+  // arenas in shard order must equal the sequential single-arena build.
+  ArenaHarness h("s = a * b; m[a % 32] = s;");
+  std::vector<MicroProgram> programs;
+  for (int i = 0; i < 6; ++i)
+    programs.push_back(h.lower(static_cast<std::uint8_t>(i + 1),
+                               static_cast<std::uint8_t>(2 * i + 1)));
+
+  MicroArena sequential;
+  std::vector<MicroSpan> seq_spans;
+  for (const auto& p : programs) seq_spans.push_back(sequential.append(p));
+
+  MicroArena shard_a, shard_b, merged;
+  std::vector<MicroSpan> par_spans;
+  for (int i = 0; i < 3; ++i) par_spans.push_back(shard_a.append(programs[i]));
+  for (int i = 3; i < 6; ++i) par_spans.push_back(shard_b.append(programs[i]));
+  const std::uint32_t base_a = merged.splice(shard_a);
+  const std::uint32_t base_b = merged.splice(shard_b);
+  for (int i = 0; i < 3; ++i) par_spans[i].offset += base_a;
+  for (int i = 3; i < 6; ++i) par_spans[static_cast<std::size_t>(i)].offset +=
+      base_b;
+
+  ASSERT_EQ(merged.size(), sequential.size());
+  EXPECT_EQ(merged.max_temps(), sequential.max_temps());
+  EXPECT_EQ(microops_to_string(merged.data(), merged.size()),
+            microops_to_string(sequential.data(), sequential.size()));
+  for (std::size_t i = 0; i < seq_spans.size(); ++i) {
+    EXPECT_EQ(par_spans[i].offset, seq_spans[i].offset);
+    EXPECT_EQ(par_spans[i].len, seq_spans[i].len);
+    EXPECT_EQ(par_spans[i].num_temps, seq_spans[i].num_temps);
+  }
+}
+
+TEST(MicroArena, EmptySpansAreValidNoOps) {
+  ArenaHarness h("s = 1;");
+  MicroArena arena;
+  const MicroSpan empty = arena.append(MicroProgram{});
+  const MicroSpan real = arena.append(h.lower(0, 0));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(real.empty());
+  EXPECT_EQ(arena.view(empty).size(), 0u);
+
+  ProcessorState state(*h.model);
+  PipelineControl control;
+  std::vector<std::int64_t> temps(
+      static_cast<std::size_t>(arena.max_temps()), 0);
+  exec_microops(arena.data() + empty.offset, empty.len, state, control,
+                temps.data());  // no-op, no crash
+  exec_microops(arena.data() + real.offset, real.len, state, control,
+                temps.data());
+  EXPECT_EQ(state.dump_nonzero(), "s = 1\n");
+}
+
+TEST(MicroArena, TempScratchReusedAcrossPackets) {
+  // One shared scratch buffer sized by the arena maximum, reused across
+  // spans without clearing, must give the same results as fresh per-span
+  // buffers (the write-before-read lowering guarantee).
+  ArenaHarness h(R"(
+    int32 t = a * 3 + b;
+    R[a % 8] = t;
+    s = s + t;
+  )");
+  std::vector<MicroProgram> programs;
+  for (int i = 0; i < 4; ++i)
+    programs.push_back(h.lower(static_cast<std::uint8_t>(7 * i + 2),
+                               static_cast<std::uint8_t>(5 * i + 1)));
+  MicroArena arena;
+  std::vector<MicroSpan> spans;
+  for (const auto& p : programs) spans.push_back(arena.append(p));
+
+  ProcessorState shared_state(*h.model);
+  PipelineControl control;
+  std::vector<std::int64_t> shared_temps(
+      static_cast<std::size_t>(arena.max_temps()), -1);  // poisoned scratch
+  for (const MicroSpan& span : spans)
+    exec_microops(arena.data() + span.offset, span.len, shared_state,
+                  control, shared_temps.data());
+
+  ProcessorState fresh_state(*h.model);
+  for (const auto& p : programs) {
+    std::vector<std::int64_t> temps;  // fresh scratch per packet
+    run_microops(p, fresh_state, control, temps);
+  }
+  EXPECT_TRUE(shared_state == fresh_state)
+      << shared_state.dump_nonzero() << "\nvs\n" << fresh_state.dump_nonzero();
+}
+
+// ---- compile-time validation ----------------------------------------------
+
+MicroProgram branch_program(MKind kind, std::int64_t target) {
+  MicroProgram mp;
+  mp.num_temps = 1;
+  mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = 0});
+  mp.ops.push_back({.kind = kind, .a = 0, .imm = target});
+  return mp;
+}
+
+TEST(MicroValidate, BranchTargetsOutsideProgramThrowAtCompileTime) {
+  // Regression: an out-of-range target must be a SimError when the program
+  // is built, never an out-of-bounds dispatch while simulating.
+  EXPECT_THROW(validate_microops(branch_program(MKind::kBr, 3)), SimError);
+  EXPECT_THROW(validate_microops(branch_program(MKind::kBrZero, 99)),
+               SimError);
+  EXPECT_THROW(validate_microops(branch_program(MKind::kBr, -1)), SimError);
+  // Target == size is the regular fall-off-the-end exit.
+  EXPECT_NO_THROW(validate_microops(branch_program(MKind::kBr, 2)));
+  EXPECT_NO_THROW(validate_microops(branch_program(MKind::kBrZero, 0)));
+}
+
+TEST(MicroValidate, TempsOutsideScratchThrow) {
+  MicroProgram mp;
+  mp.num_temps = 1;
+  mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});
+  EXPECT_THROW(validate_microops(mp), SimError);
+  mp.ops[0] = {.kind = MKind::kMov, .a = 0, .b = -2};
+  EXPECT_THROW(validate_microops(mp), SimError);
+}
+
+TEST(MicroValidate, ArityOnePaddingOperandIsNotChecked) {
+  // abs() is arity 1: its c field is padding and may name any slot.
+  MicroProgram mp;
+  mp.num_temps = 2;
+  mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = -5});
+  mp.ops.push_back({.kind = MKind::kIntr,
+                    .intr = Intrinsic::kAbs,
+                    .a = 1,
+                    .b = 0,
+                    .c = 77});  // out of range, but unused at arity 1
+  EXPECT_NO_THROW(validate_microops(mp));
+  mp.ops[1].intr = Intrinsic::kSext;  // arity 2: now c is a real operand
+  EXPECT_THROW(validate_microops(mp), SimError);
+}
+
+// ---- lowering / peephole edge cases ---------------------------------------
+
+TEST(MicroEdge, BranchOverBranch) {
+  // `||` lowers to a brzero jumping over an unconditional br; nesting it in
+  // an if/else stacks branch-over-branch. Exercise both truth sides and
+  // the optimized form.
+  ArenaHarness h(R"(
+    if ((a != 0 || b != 0) && (a != 1 || b != 1)) { s = 1; } else { s = 2; }
+  )");
+  struct Case { std::uint8_t a, b; std::int64_t expect; };
+  for (const Case c : {Case{0, 0, 2}, Case{1, 1, 2}, Case{1, 0, 1},
+                       Case{0, 2, 1}}) {
+    for (const bool optimize : {false, true}) {
+      const MicroProgram mp = h.lower(c.a, c.b, optimize);
+      ProcessorState state(*h.model);
+      PipelineControl control;
+      std::vector<std::int64_t> temps;
+      run_microops(mp, state, control, temps);
+      EXPECT_EQ(state.read(h.model->resource_by_name("s")->id), c.expect)
+          << "a=" << int(c.a) << " b=" << int(c.b)
+          << " optimize=" << optimize << "\n" << microops_to_string(mp);
+    }
+  }
+}
+
+TEST(MicroEdge, DivisionAndRemainderByZeroStillThrowAfterOptimize) {
+  for (const char* body : {"s = 1 / R[0];", "s = 1 % R[0];"}) {
+    ArenaHarness h(body);
+    const MicroProgram mp = h.lower(0, 0);  // optimized
+    ProcessorState state(*h.model);
+    PipelineControl control;
+    std::vector<std::int64_t> temps;
+    EXPECT_THROW(run_microops(mp, state, control, temps), SimError);
+  }
+}
+
+TEST(MicroEdge, ConstantDivisionByZeroIsNotFoldedAway) {
+  // Both operands constant and divisor zero: the peephole must keep the op
+  // (folding would silently drop the run-time SimError).
+  MicroProgram mp;
+  mp.num_temps = 3;
+  mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = 1});
+  mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});
+  mp.ops.push_back(
+      {.kind = MKind::kBin, .bop = BinOp::kDiv, .a = 2, .b = 0, .c = 1});
+  optimize_microops(mp);
+  ASSERT_FALSE(mp.empty());
+  ArenaHarness h("s = 1;");
+  ProcessorState state(*h.model);
+  PipelineControl control;
+  std::vector<std::int64_t> temps;
+  EXPECT_THROW(run_microops(mp, state, control, temps), SimError);
+}
+
+TEST(MicroEdge, PeepholeFoldsConstantsAndCompactsTemps) {
+  // A chain of local copies lowers to redundant movs the specializer cannot
+  // see; the peephole must forward them, drop the dead movs and shrink the
+  // temp scratch.
+  ArenaHarness h(R"(
+    R[0] = 5;
+    int32 u = R[0];
+    int32 v = u;
+    s = v;
+    R[1] = 1 + 0;
+  )");
+  MicroProgram mp = h.lower(0, 0, /*optimize=*/false);
+  MicroProgram opt = mp;
+  optimize_microops(opt);
+  EXPECT_LT(opt.ops.size(), mp.ops.size())
+      << "before:\n" << microops_to_string(mp) << "after:\n"
+      << microops_to_string(opt);
+  EXPECT_LT(opt.num_temps, mp.num_temps);
+
+  ProcessorState state(*h.model);
+  PipelineControl control;
+  std::vector<std::int64_t> temps;
+  run_microops(opt, state, control, temps);
+  EXPECT_EQ(state.dump_nonzero(), "R[0] = 5\nR[1] = 1\ns = 5\n");
+}
+
+TEST(MicroEdge, PeepholeKeepsControlIntrinsics) {
+  ArenaHarness h("stall(3); flush(); halt();");
+  const MicroProgram mp = h.lower(0, 0);
+  ProcessorState state(*h.model);
+  PipelineControl control;
+  std::vector<std::int64_t> temps;
+  run_microops(mp, state, control, temps);
+  EXPECT_TRUE(control.flush);
+  EXPECT_TRUE(control.halt);
+  EXPECT_EQ(control.stall_cycles, 3);
+}
+
+TEST(MicroEdge, IntrinsicArityLoweringAndFolding) {
+  // Mixed arity-1 (abs) and arity-2 (sext/min) intrinsics with constant
+  // and run-time arguments, through the full lower + optimize + exec path.
+  ArenaHarness h(R"(
+    R[0] = a;
+    s = abs(0 - R[0]) + sext(R[0], 4) + min(R[0], 9) + abs(0 - 7);
+  )");
+  for (const std::uint8_t a : {std::uint8_t{3}, std::uint8_t{200}}) {
+    const MicroProgram mp = h.lower(a, 0);
+    ProcessorState micro_state(*h.model);
+    PipelineControl control;
+    std::vector<std::int64_t> temps;
+    run_microops(mp, micro_state, control, temps);
+
+    std::vector<std::int64_t> words = {static_cast<std::int64_t>(
+        static_cast<unsigned>(a) << 8)};
+    DecodedPacket packet = h.decoder->decode_packet(words, 0);
+    PacketSchedule schedule = h.specializer->schedule_packet(packet);
+    ProcessorState tree_state(*h.model);
+    PipelineControl tree_control;
+    Evaluator eval(tree_state, tree_control);
+    eval.exec_flat(schedule.stage_programs[0].stmts,
+                   schedule.stage_programs[0].num_locals);
+    EXPECT_TRUE(tree_state == micro_state)
+        << tree_state.dump_nonzero() << "\nvs\n"
+        << micro_state.dump_nonzero();
+  }
+}
+
+}  // namespace
+}  // namespace lisasim

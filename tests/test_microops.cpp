@@ -5,6 +5,7 @@
 
 #include "behavior/eval.hpp"
 #include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
 #include "behavior/specialize.hpp"
 #include "decode/decoder.hpp"
 #include "model/sema.hpp"
@@ -73,6 +74,23 @@ struct MicroHarness {
     EXPECT_EQ(tree_control.flush, micro_control.flush);
     EXPECT_EQ(tree_control.halt, micro_control.halt);
     EXPECT_EQ(tree_control.stall_cycles, micro_control.stall_cycles);
+
+    // Third way: the peephole-optimized program (what the simulators
+    // actually execute) must match too.
+    ProcessorState opt_state(*model);
+    PipelineControl opt_control;
+    MicroProgram opt = mp;
+    optimize_microops(opt);
+    EXPECT_LE(opt.ops.size(), mp.ops.size());
+    EXPECT_LE(opt.num_temps, mp.num_temps);
+    std::vector<std::int64_t> opt_temps;
+    run_microops(opt, opt_state, opt_control, opt_temps);
+    EXPECT_TRUE(tree_state == opt_state)
+        << "tree:\n" << tree_state.dump_nonzero() << "optimized micro:\n"
+        << opt_state.dump_nonzero() << microops_to_string(opt);
+    EXPECT_EQ(tree_control.flush, opt_control.flush);
+    EXPECT_EQ(tree_control.halt, opt_control.halt);
+    EXPECT_EQ(tree_control.stall_cycles, opt_control.stall_cycles);
     return tree_state.dump_nonzero();
   }
 };
