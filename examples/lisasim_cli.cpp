@@ -22,6 +22,18 @@
 //   --cache                         serve repeated loads from the table
 //                                   cache (with --runs N, reloads hit it)
 //   --runs N                        load + run the program N times
+//   --guard off|recompile|fallback  write-guard policy for self-modifying
+//                                   code (default off)
+//   --watchdog N                    recoverable error after N cycles
+//                                   without the program halting
+//   --max-stuck N                   recoverable error after N consecutive
+//                                   cycles without a retirement (livelock)
+//   --checkpoint N                  save a checkpoint at cycle N, finish,
+//                                   restore and replay; verify both runs
+//                                   agree bit for bit
+//
+// exit codes: 0 success, 1 fatal simulation error, 2 usage error,
+// 3 recoverable guarded-execution stop (watchdog / stuck limit).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +49,9 @@
 #include "model/sema.hpp"
 #include "model/validate.hpp"
 #include "sim/cached_interp.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/compiled.hpp"
+#include "sim/guard.hpp"
 #include "sim/interp.hpp"
 #include "sim/observer.hpp"
 #include "targets/c54x.hpp"
@@ -70,15 +84,84 @@ void print_usage(std::FILE* out) {
                "usage: lisasim <check|dump|asm|disasm|codegen|run> <model> "
                "[prog.asm] [--level interp|cached|dynamic|static] "
                "[--max-cycles N] [--dump] [--stats] [--threads N] [--cache] "
-               "[--runs N] [--trace [N]] [--profile]\n"
+               "[--runs N] [--trace [N]] [--profile] "
+               "[--guard off|recompile|fallback] [--watchdog N] "
+               "[--max-stuck N] [--checkpoint N]\n"
                "       <model> is a .lisa path or @tinydsp / @c62x / @c54x\n"
-               "       --level values: %s\n",
+               "       --level values: %s\n"
+               "       exit codes: 0 ok, 1 fatal error, 2 usage, "
+               "3 recoverable stop\n",
                kLevelNames);
 }
 
 int usage() {
   print_usage(stderr);
   return 2;
+}
+
+/// Value of a long option given as "--name value" or "--name=value";
+/// nullptr when argv[i] is not `name` (advances i for the spaced form).
+const char* option_value(int argc, char** argv, int& i, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
+/// Run once under `limits`; with `checkpoint_at` != 0, stop there, save a
+/// checkpoint, finish the run, then restore and replay the tail — the two
+/// executions must agree on RunResult and final state bit for bit.
+template <typename Sim>
+RunResult run_with_checkpoint(Sim& sim, const RunLimits& limits,
+                              std::uint64_t checkpoint_at) {
+  if (checkpoint_at == 0) return sim.run(limits);
+  RunLimits head = limits;
+  head.max_cycles = checkpoint_at;
+  RunResult total = sim.run(head);
+  if (total.halted) {
+    std::printf("checkpoint: program halted at cycle %llu, before the "
+                "checkpoint\n",
+                static_cast<unsigned long long>(total.cycles));
+    return total;
+  }
+  const EngineCheckpoint cp = sim.save_checkpoint();
+  RunLimits tail = limits;
+  if (limits.max_cycles != UINT64_MAX)
+    tail.max_cycles = limits.max_cycles > total.cycles
+                          ? limits.max_cycles - total.cycles
+                          : 0;
+  const RunResult first = sim.run(tail);
+  const std::string first_state = sim.state().dump_nonzero();
+  sim.restore_checkpoint(cp);
+  const RunResult replay = sim.run(tail);
+  if (!(first == replay) || sim.state().dump_nonzero() != first_state)
+    throw SimError("checkpoint replay diverged from the original run");
+  std::printf("checkpoint: saved at cycle %llu, replay of %llu cycles "
+              "verified\n",
+              static_cast<unsigned long long>(total.cycles),
+              static_cast<unsigned long long>(replay.cycles));
+  total.cycles += replay.cycles;
+  total.packets_retired += replay.packets_retired;
+  total.slots_retired += replay.slots_retired;
+  total.fetches += replay.fetches;
+  total.halted = replay.halted;
+  return total;
+}
+
+template <typename Sim>
+void print_guard_stats(const Sim& sim) {
+  const GuardStats& gs = sim.guard_stats();
+  std::printf("guards: %llu guarded write%s, %llu stale issue%s, "
+              "%llu recompile%s, %llu fallback%s\n",
+              static_cast<unsigned long long>(sim.guarded_writes()),
+              sim.guarded_writes() == 1 ? "" : "s",
+              static_cast<unsigned long long>(gs.stale_issues),
+              gs.stale_issues == 1 ? "" : "s",
+              static_cast<unsigned long long>(gs.recompiles),
+              gs.recompiles == 1 ? "" : "s",
+              static_cast<unsigned long long>(gs.fallbacks),
+              gs.fallbacks == 1 ? "" : "s");
 }
 
 }  // namespace
@@ -158,7 +241,9 @@ int main(int argc, char** argv) {
 
     // Options.
     SimLevel level = SimLevel::kCompiledStatic;
-    std::uint64_t max_cycles = UINT64_MAX;
+    RunLimits limits;
+    GuardPolicy guard = GuardPolicy::kOff;
+    std::uint64_t checkpoint_at = 0;
     bool dump_state = false;
     bool show_stats = false;
     bool do_profile = false;
@@ -167,21 +252,43 @@ int main(int argc, char** argv) {
     std::uint64_t runs = 1;
     std::uint64_t trace_events = 0;
     for (int i = 4; i < argc; ++i) {
-      if (!std::strcmp(argv[i], "--level") && i + 1 < argc) {
-        const std::string value = argv[++i];
-        if (value == "interp") level = SimLevel::kInterpretive;
-        else if (value == "cached") level = SimLevel::kDecodeCached;
-        else if (value == "dynamic") level = SimLevel::kCompiledDynamic;
-        else if (value == "static") level = SimLevel::kCompiledStatic;
+      if (const char* value = option_value(argc, argv, i, "--level")) {
+        const std::string v = value;
+        if (v == "interp") level = SimLevel::kInterpretive;
+        else if (v == "cached") level = SimLevel::kDecodeCached;
+        else if (v == "dynamic") level = SimLevel::kCompiledDynamic;
+        else if (v == "static") level = SimLevel::kCompiledStatic;
         else {
           std::fprintf(stderr,
                        "error: unknown simulation level '%s' (valid levels: "
                        "%s)\n",
-                       value.c_str(), kLevelNames);
+                       v.c_str(), kLevelNames);
           return 2;
         }
-      } else if (!std::strcmp(argv[i], "--max-cycles") && i + 1 < argc) {
-        max_cycles = std::strtoull(argv[++i], nullptr, 0);
+      } else if (const char* value =
+                     option_value(argc, argv, i, "--max-cycles")) {
+        limits.max_cycles = std::strtoull(value, nullptr, 0);
+      } else if (const char* value =
+                     option_value(argc, argv, i, "--watchdog")) {
+        limits.watchdog_cycles = std::strtoull(value, nullptr, 0);
+      } else if (const char* value =
+                     option_value(argc, argv, i, "--max-stuck")) {
+        limits.max_stuck_cycles = std::strtoull(value, nullptr, 0);
+      } else if (const char* value =
+                     option_value(argc, argv, i, "--checkpoint")) {
+        checkpoint_at = std::strtoull(value, nullptr, 0);
+      } else if (const char* value = option_value(argc, argv, i, "--guard")) {
+        const std::string v = value;
+        if (v == "off") guard = GuardPolicy::kOff;
+        else if (v == "recompile") guard = GuardPolicy::kRecompile;
+        else if (v == "fallback") guard = GuardPolicy::kFallback;
+        else {
+          std::fprintf(stderr,
+                       "error: unknown guard policy '%s' (valid policies: "
+                       "off, recompile, fallback)\n",
+                       v.c_str());
+          return 2;
+        }
       } else if (!std::strcmp(argv[i], "--dump")) {
         dump_state = true;
       } else if (!std::strcmp(argv[i], "--stats")) {
@@ -223,22 +330,25 @@ int main(int argc, char** argv) {
       sim.set_observer(observer);
       for (std::uint64_t r = 0; r < runs; ++r) {
         sim.load(program);
-        result = sim.run(max_cycles);
+        result = run_with_checkpoint(sim, limits, checkpoint_at);
       }
       state_dump = sim.state().dump_nonzero();
     } else if (level == SimLevel::kDecodeCached) {
       CachedInterpSimulator sim(*model);
       sim.set_observer(observer);
+      sim.set_guard_policy(guard);
       for (std::uint64_t r = 0; r < runs; ++r) {
         sim.load(program);
-        result = sim.run(max_cycles);
+        result = run_with_checkpoint(sim, limits, checkpoint_at);
       }
+      if (show_stats && guard != GuardPolicy::kOff) print_guard_stats(sim);
       state_dump = sim.state().dump_nonzero();
     } else {
       SimTableCache table_cache;
       CompiledSimulator sim(*model, level);
       sim.set_observer(observer);
       sim.set_threads(threads);
+      sim.set_guard_policy(guard);
       if (use_cache) sim.set_table_cache(&table_cache);
       for (std::uint64_t r = 0; r < runs; ++r) {
         const SimCompileStats stats = sim.load(program);
@@ -250,15 +360,19 @@ int main(int argc, char** argv) {
               static_cast<double>(stats.compile_ns) / 1e6,
               stats.threads_used, stats.threads_used == 1 ? "" : "s",
               stats.cache_hit ? ", cache hit" : "");
-        result = sim.run(max_cycles);
+        result = run_with_checkpoint(sim, limits, checkpoint_at);
       }
+      if (show_stats && guard != GuardPolicy::kOff) print_guard_stats(sim);
       if (show_stats && use_cache) {
         const SimTableCache::Stats cs = table_cache.stats();
-        std::printf("table cache: %llu hit%s, %llu miss%s, %zu cached\n",
+        std::printf("table cache: %llu hit%s, %llu miss%s, %llu "
+                    "invalidation%s, %zu cached\n",
                     static_cast<unsigned long long>(cs.hits),
                     cs.hits == 1 ? "" : "s",
                     static_cast<unsigned long long>(cs.misses),
-                    cs.misses == 1 ? "" : "es", cs.entries);
+                    cs.misses == 1 ? "" : "es",
+                    static_cast<unsigned long long>(cs.invalidations),
+                    cs.invalidations == 1 ? "" : "s", cs.entries);
       }
       state_dump = sim.state().dump_nonzero();
     }
@@ -276,6 +390,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const SimError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    // Recoverable guarded-execution stops (watchdog / stuck limits) exit
+    // with a distinct code so scripts can tell them from fatal errors.
+    return e.recoverable() ? 3 : 1;
   }
 }

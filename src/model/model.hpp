@@ -12,6 +12,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "behavior/ir.hpp"
@@ -157,11 +158,46 @@ struct Operation {
   }
 };
 
+/// Severity of a SimError: fatal errors indicate a malformed program or a
+/// broken invariant (the simulation cannot meaningfully continue), while
+/// recoverable errors are guarded-execution stops (watchdog limits) from
+/// which the caller may resume — e.g. by restoring a checkpoint or raising
+/// the limit and calling run() again.
+enum class SimErrorKind : std::uint8_t { kFatal, kRecoverable };
+
+/// Structured context attached to a SimError. Fields are best-effort: the
+/// throw site fills what it knows (has_pc/has_cycle gate the numeric
+/// fields; `level` is a SimLevel cast to int, -1 when unknown; `resource`
+/// names the resource involved in an access error, empty otherwise).
+struct SimErrorContext {
+  std::uint64_t pc = 0;
+  std::uint64_t cycle = 0;
+  int level = -1;
+  std::string resource;
+  bool has_pc = false;
+  bool has_cycle = false;
+};
+
 /// Exception for malformed target programs and internal simulation errors
-/// (out-of-bounds access, decode failure at run time, ...).
+/// (out-of-bounds access, decode failure at run time, ...), and — with
+/// kind() == kRecoverable — for guarded-execution stops such as watchdog
+/// limits.
 class SimError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+  SimError(const std::string& message, SimErrorKind kind,
+           SimErrorContext context = {})
+      : std::runtime_error(message),
+        kind_(kind),
+        context_(std::move(context)) {}
+
+  SimErrorKind kind() const { return kind_; }
+  bool recoverable() const { return kind_ == SimErrorKind::kRecoverable; }
+  const SimErrorContext& context() const { return context_; }
+
+ private:
+  SimErrorKind kind_ = SimErrorKind::kFatal;
+  SimErrorContext context_;
 };
 
 class Model {

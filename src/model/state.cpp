@@ -10,17 +10,30 @@ ProcessorState::ProcessorState(const Model& model) : model_(&model) {
     total += r.size;
   }
   storage_.assign(total, 0);
+  hooked_.assign(model.resources.size(), 0);
 }
 
 void ProcessorState::reset() {
   storage_.assign(storage_.size(), 0);
 }
 
+void ProcessorState::restore_storage(const std::vector<std::int64_t>& snapshot) {
+  if (snapshot.size() != storage_.size())
+    throw SimError("state snapshot has " + std::to_string(snapshot.size()) +
+                   " elements, state has " + std::to_string(storage_.size()) +
+                   " (checkpoint from a different model?)");
+  storage_ = snapshot;
+}
+
 void ProcessorState::throw_out_of_bounds(ResourceId id,
                                          std::uint64_t index) const {
   const Resource& r = model_->resource(id);
+  SimErrorContext context;
+  context.resource = r.name;
   throw SimError("out-of-bounds access to resource '" + r.name + "': index " +
-                 std::to_string(index) + ", size " + std::to_string(r.size));
+                     std::to_string(index) + ", size " +
+                     std::to_string(r.size),
+                 SimErrorKind::kFatal, std::move(context));
 }
 
 std::string ProcessorState::dump_nonzero() const {

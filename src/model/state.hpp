@@ -39,11 +39,14 @@ class ProcessorState {
   explicit ProcessorState(const Model& model);
 
   /// Read element `index` of a resource (index 0 for scalars). Values are
-  /// stored canonicalized, so reads are a plain load.
+  /// stored canonicalized, so reads are a plain load. The per-resource
+  /// `hooked_` byte keeps unhooked resources (the vast majority even when
+  /// hooks exist — registers and data memory during a guarded run) at one
+  /// predictable extra branch.
   std::int64_t read(ResourceId id, std::uint64_t index = 0) const {
     const Cell& cell = cells_[static_cast<std::size_t>(id)];
     if (index >= cell.size) throw_out_of_bounds(id, index);
-    if (has_hooks_) [[unlikely]] {
+    if (hooked_[static_cast<std::size_t>(id)]) [[unlikely]] {
       if (MemoryHook* hook = find_hook(id, index))
         return hook->on_read(index, storage_[cell.offset + index]);
     }
@@ -57,20 +60,46 @@ class ProcessorState {
     if (index >= cell.size) throw_out_of_bounds(id, index);
     const std::int64_t canonical = cell.type.canonicalize(value);
     storage_[cell.offset + index] = canonical;
-    if (has_hooks_) [[unlikely]] {
+    if (hooked_[static_cast<std::size_t>(id)]) [[unlikely]] {
       if (MemoryHook* hook = find_hook(id, index))
         hook->on_write(index, canonical);
     }
   }
 
   /// Map `hook` over elements [begin, end) of resource `id`. The hook is
-  /// not owned and must outlive the state. Multiple regions may be hooked;
-  /// overlapping regions resolve to the first registered.
+  /// not owned and must outlive the state (or be unmapped first). Multiple
+  /// regions may be hooked; overlapping regions resolve to the first
+  /// registered. Registrations survive reset() — only values are cleared.
   void map_hook(ResourceId id, std::uint64_t begin, std::uint64_t end,
                 MemoryHook* hook) {
     hooks_.push_back({id, begin, end, hook});
-    has_hooks_ = true;
+    hooked_[static_cast<std::size_t>(id)] = 1;
   }
+
+  /// Remove every region registered for `hook` (inverse of map_hook).
+  /// Unknown hooks are a no-op.
+  void unmap_hook(const MemoryHook* hook) {
+    std::erase_if(hooks_, [hook](const HookRegion& region) {
+      return region.hook == hook;
+    });
+    hooked_.assign(hooked_.size(), 0);
+    for (const HookRegion& region : hooks_)
+      hooked_[static_cast<std::size_t>(region.resource)] = 1;
+  }
+
+  /// Number of registered hook regions (tests and diagnostics).
+  std::size_t hook_count() const { return hooks_.size(); }
+
+  /// Raw snapshot of every resource element (checkpointing). The snapshot
+  /// is valid for any state built from the same model.
+  std::vector<std::int64_t> save_storage() const { return storage_; }
+
+  /// Restore a snapshot taken with save_storage(). Bypasses hooks: a
+  /// checkpoint restore is not an architectural write, so MMIO bridges and
+  /// guards do not observe it (guarded simulators re-stale their tables
+  /// separately). Throws SimError on a size mismatch (snapshot from a
+  /// different model).
+  void restore_storage(const std::vector<std::int64_t>& snapshot);
 
   std::uint64_t pc() const {
     return static_cast<std::uint64_t>(read(model_->pc));
@@ -134,7 +163,7 @@ class ProcessorState {
   std::vector<Cell> cells_;        // indexed by ResourceId
   std::vector<std::int64_t> storage_;  // all elements, contiguous
   std::vector<HookRegion> hooks_;
-  bool has_hooks_ = false;
+  std::vector<std::uint8_t> hooked_;  // by ResourceId: any region mapped
 };
 
 }  // namespace lisasim

@@ -57,17 +57,90 @@ void CachedInterpBackend::lower_entry(CacheEntry& entry) {
   }
 }
 
+const std::shared_ptr<const PatchedPacket>& CachedInterpBackend::patch_for(
+    std::uint64_t pc) {
+  auto it = patches_.find(pc);
+  if (it == patches_.end() ||
+      it->second->stamp != guard_->span_stamp(pc, it->second->stamp_words)) {
+    std::shared_ptr<const PatchedPacket> patch = compile_packet_from_state(
+        *model_, decoder_, specializer_, *state_, pc,
+        /*lower_microops=*/true, *guard_);
+    if (patch->arena.max_temps() > static_cast<std::int32_t>(temps_.size()))
+      temps_.resize(static_cast<std::size_t>(patch->arena.max_temps()), 0);
+    it = patches_.insert_or_assign(pc, std::move(patch)).first;
+    ++guard_stats_.recompiles;
+  }
+  return it->second;
+}
+
+void CachedInterpBackend::guarded_issue(std::uint64_t pc, Work& out,
+                                        unsigned& words) {
+  out.patch.reset();
+  out.fallback.reset();
+  CacheEntry* entry = lookup(pc);
+  const unsigned span = entry->valid ? entry->words : 1;
+  if (guard_->span_clean(pc, span)) {
+    // No covered write since the pre-decode: the cached packet is sound.
+    if (!entry->lowered) lower_entry(*entry);
+    out.entry = entry;
+    words = entry->words;
+    return;
+  }
+  ++guard_stats_.stale_issues;
+  if (policy_ == GuardPolicy::kFallback) {
+    out.fallback = std::make_shared<TreeWalkWork>();
+    treewalk_issue(decoder_, *model_, *state_, pc, depth_, *out.fallback,
+                   words);
+    out.entry = nullptr;
+    ++guard_stats_.fallbacks;
+    return;
+  }
+  const std::shared_ptr<const PatchedPacket>& patch = patch_for(pc);
+  out.entry = nullptr;
+  out.patch = patch;
+  words = patch->entry.valid ? patch->entry.words : 1;
+}
+
 void CachedInterpBackend::issue(std::uint64_t pc, Work& out,
                                 unsigned& words) {
-  CacheEntry* entry = &out_of_range_;
-  if (pc >= cache_base_ && pc - cache_base_ < cache_.size())
-    entry = &cache_[pc - cache_base_];
+  // A clean program pays exactly this one branch per fetch for the guard.
+  if (guard_ != nullptr && guard_->writes() != 0) [[unlikely]] {
+    guarded_issue(pc, out, words);
+    return;
+  }
+  out.patch.reset();
+  out.fallback.reset();
+  CacheEntry* entry = lookup(pc);
   if (!entry->lowered) lower_entry(*entry);
   out.entry = entry;
   words = entry->words;
 }
 
+void CachedInterpBackend::run_micro(const MicroOp* ops, std::uint32_t len) {
+  if (count_microops_) {
+    microops_executed_ +=
+        exec_microops_counted(ops, len, *state_, control_, temps_.data());
+  } else {
+    exec_microops(ops, len, *state_, control_, temps_.data());
+  }
+}
+
 void CachedInterpBackend::execute(Work& work, int stage) {
+  if (work.fallback) [[unlikely]] {
+    treewalk_execute(eval_, *work.fallback, stage, depth_);
+    return;
+  }
+  if (work.patch) [[unlikely]] {
+    const SimTableEntry& entry = work.patch->entry;
+    if (!entry.valid) {
+      if (stage == depth_ - 1) throw SimError(entry.error);
+      return;
+    }
+    if ((entry.work_mask >> stage & 1u) == 0) return;
+    const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
+    run_micro(work.patch->arena.data() + span.offset, span.len);
+    return;
+  }
   const CacheEntry& entry = *work.entry;
   if (!entry.valid) {
     if (stage == depth_ - 1) throw SimError(entry.error);
@@ -75,13 +148,47 @@ void CachedInterpBackend::execute(Work& work, int stage) {
   }
   if ((entry.work_mask >> stage & 1u) == 0) return;
   const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
-  const MicroOp* ops = arena_.data() + span.offset;
-  if (count_microops_) {
-    microops_executed_ += exec_microops_counted(ops, span.len, *state_,
-                                                control_, temps_.data());
-  } else {
-    exec_microops(ops, span.len, *state_, control_, temps_.data());
+  run_micro(arena_.data() + span.offset, span.len);
+}
+
+void CachedInterpBackend::save_work(const Work& work,
+                                    WorkSnapshot& out) const {
+  out = WorkSnapshot{};
+  if (work.fallback) {
+    treewalk_save(*work.fallback, out);
+    return;
   }
+  if (work.patch && !work.patch->entry.valid) {
+    out.error = work.patch->entry.error;
+  } else if (work.entry && !work.entry->valid) {
+    out.error = work.entry->error;
+  }
+}
+
+void CachedInterpBackend::restore_work(std::uint64_t pc,
+                                       const WorkSnapshot& snapshot,
+                                       Work& out) {
+  out = Work{};
+  if (snapshot.treewalk) {
+    out.fallback = std::make_shared<TreeWalkWork>();
+    treewalk_restore(decoder_, *model_, *state_, pc, depth_, snapshot,
+                     *out.fallback);
+    return;
+  }
+  // Rebuild from the restored memory, preserving the execution mode (see
+  // CompiledBackend::restore_work for why stale packets re-translate here
+  // even under kFallback policy).
+  if (guard_ != nullptr && guard_->writes() != 0) {
+    CacheEntry* entry = lookup(pc);
+    const unsigned span = entry->valid ? entry->words : 1;
+    if (!guard_->span_clean(pc, span)) {
+      out.patch = patch_for(pc);
+      return;
+    }
+  }
+  CacheEntry* entry = lookup(pc);
+  if (!entry->lowered) lower_entry(*entry);
+  out.entry = entry;
 }
 
 }  // namespace lisasim

@@ -12,10 +12,16 @@
 //                       execution, micro-op dispatch per cycle  (this file)
 //   compiled-dynamic    decode once, sequence once, tree-walk per cycle
 //   compiled-static     decode once, sequence once, instantiate once
+//
+// Like the fully compiled levels, the decode cache is stale the moment the
+// program writes its own text; the same guard machinery (sim/guard.hpp)
+// re-translates or tree-walks affected packets at issue time.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "asm/program.hpp"
@@ -25,8 +31,11 @@
 #include "decode/decoder.hpp"
 #include "model/model.hpp"
 #include "model/state.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
+#include "sim/guard.hpp"
 #include "sim/result.hpp"
+#include "sim/treewalk.hpp"
 
 namespace lisasim {
 
@@ -45,19 +54,37 @@ class CachedInterpBackend {
     std::string error;
   };
 
+  // `entry` points into the (load-stable) cache vector; guarded packets
+  // pin their payload instead: `patch` holds a re-translation of a
+  // self-modified packet (immutable once published — an in-flight fetch
+  // keeps executing its own snapshot even if the address is re-translated
+  // again), `fallback` a tree-walk execution.
   struct Work {
     const CacheEntry* entry = nullptr;
+    std::shared_ptr<const PatchedPacket> patch;
+    std::shared_ptr<TreeWalkWork> fallback;
   };
 
   CachedInterpBackend(const Model& model, ProcessorState& state)
-      : state_(&state),
+      : model_(&model),
+        state_(&state),
         depth_(model.pipeline.depth()),
         decoder_(model),
-        specializer_(model) {}
+        specializer_(model),
+        eval_(state, control_) {}
 
   /// Pre-decode the whole program (the up-front compile step of this
   /// level). Sequencing and micro-op lowering happen lazily at issue().
   void build_cache(const LoadedProgram& program);
+
+  /// Arm (or disarm) guarded execution; see CompiledBackend::set_guard.
+  void set_guard(const ProgramGuard* guard, GuardPolicy policy) {
+    guard_ = guard;
+    policy_ = policy;
+    patches_.clear();
+    guard_stats_ = GuardStats{};
+  }
+  const GuardStats& guard_stats() const { return guard_stats_; }
 
   /// Instrumented dispatch (micro-ops counted per execute) — bench only.
   /// Enabling resets the counter.
@@ -71,8 +98,14 @@ class CachedInterpBackend {
   void issue(std::uint64_t pc, Work& out, unsigned& words);
   void execute(Work& work, int stage);
   std::uint64_t slot_count(const Work& work) const {
+    if (work.fallback) return work.fallback->packet.slots.size();
+    if (work.patch)
+      return work.patch->entry.valid ? work.patch->entry.slot_count : 0;
     return work.entry && work.entry->valid ? work.entry->slot_count : 0;
   }
+
+  void save_work(const Work& work, WorkSnapshot& out) const;
+  void restore_work(std::uint64_t pc, const WorkSnapshot& snapshot, Work& out);
 
   const Decoder& decoder() const { return decoder_; }
 
@@ -83,11 +116,23 @@ class CachedInterpBackend {
   /// simulation-table rows).
   void lower_entry(CacheEntry& entry);
 
+  CacheEntry* lookup(std::uint64_t pc) {
+    if (pc >= cache_base_ && pc - cache_base_ < cache_.size())
+      return &cache_[pc - cache_base_];
+    return &out_of_range_;
+  }
+
+  void guarded_issue(std::uint64_t pc, Work& out, unsigned& words);
+  const std::shared_ptr<const PatchedPacket>& patch_for(std::uint64_t pc);
+  void run_micro(const MicroOp* ops, std::uint32_t len);
+
+  const Model* model_;
   ProcessorState* state_;
   int depth_;
   Decoder decoder_;
   Specializer specializer_;
   PipelineControl control_;
+  Evaluator eval_;
   MicroArena arena_;
   std::vector<std::int64_t> temps_;  // shared scratch, grown with the arena
   bool count_microops_ = false;
@@ -95,6 +140,12 @@ class CachedInterpBackend {
   std::uint64_t cache_base_ = 0;
   std::vector<CacheEntry> cache_;
   CacheEntry out_of_range_;  // shared "PC outside program" entry
+  // Guarded execution (null/empty while disarmed).
+  const ProgramGuard* guard_ = nullptr;
+  GuardPolicy policy_ = GuardPolicy::kOff;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const PatchedPacket>>
+      patches_;  // by pc: latest re-translation of self-modified packets
+  GuardStats guard_stats_;
 };
 
 class CachedInterpSimulator {
@@ -103,7 +154,9 @@ class CachedInterpSimulator {
       : model_(&model),
         state_(model),
         backend_(model, state_),
-        engine_(model, state_, backend_) {}
+        engine_(model, state_, backend_) {
+    engine_.set_level(SimLevel::kDecodeCached);
+  }
 
   void load(const LoadedProgram& program) {
     backend_.build_cache(program);
@@ -116,10 +169,37 @@ class CachedInterpSimulator {
     state_.reset();
     engine_.reset();
     load_into_state(program, state_);
+    if (guard_policy_ == GuardPolicy::kOff) {
+      guard_.detach();
+      backend_.set_guard(nullptr, GuardPolicy::kOff);
+    } else {
+      guard_.attach(state_);
+      guard_.reset();  // the load wrote the text through the hook
+      backend_.set_guard(&guard_, guard_policy_);
+    }
+  }
+
+  /// Select the self-modifying-code policy; effective at the next
+  /// (re)load, like CompiledSimulator::set_guard_policy.
+  void set_guard_policy(GuardPolicy policy) { guard_policy_ = policy; }
+  GuardPolicy guard_policy() const { return guard_policy_; }
+  const GuardStats& guard_stats() const { return backend_.guard_stats(); }
+  std::uint64_t guarded_writes() const {
+    return guard_.attached() ? guard_.writes() : 0;
   }
 
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
     return engine_.run(max_cycles);
+  }
+  RunResult run(const RunLimits& limits) { return engine_.run(limits); }
+
+  EngineCheckpoint save_checkpoint() const {
+    return engine_.save_checkpoint();
+  }
+  void restore_checkpoint(const EngineCheckpoint& checkpoint) {
+    engine_.restore_checkpoint(checkpoint, [this] {
+      if (guard_.attached()) guard_.bump_all();
+    });
   }
 
   /// Dispatched micro-ops per simulated cycle, measured with one
@@ -148,6 +228,8 @@ class CachedInterpSimulator {
   ProcessorState state_;
   CachedInterpBackend backend_;
   PipelineEngine<CachedInterpBackend> engine_;
+  ProgramGuard guard_;
+  GuardPolicy guard_policy_ = GuardPolicy::kOff;
 };
 
 }  // namespace lisasim

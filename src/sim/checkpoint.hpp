@@ -1,0 +1,79 @@
+// Guarded-execution support types shared by the pipeline engine and the
+// backends: run limits (watchdog), and the engine checkpoint format.
+//
+// A checkpoint snapshots everything the engine needs to resume a run at a
+// cycle boundary: the full ProcessorState storage, the scalar fields of
+// every pipeline slot, pending interrupts and the absolute cycle count.
+// In-flight packet payloads (Backend::Work) are not serialized wholesale —
+// they hold pointers into backend-private structures (simulation tables,
+// decode caches, decode trees). Instead each backend implements
+//
+//   void save_work(const Work&, WorkSnapshot&) const;
+//   void restore_work(std::uint64_t pc, const WorkSnapshot&, Work&);
+//
+// where restore_work rebuilds the payload from the slot's PC against the
+// restored program memory. The only dynamic in-flight state that cannot be
+// re-derived from the PC — the FIFO activation queues of tree-walk packets
+// — is serialized structurally as decode-tree node paths (see
+// sim/treewalk.hpp). Caveat: a checkpoint taken in the window between the
+// fetch of a packet and a later overwrite of that same in-flight packet's
+// words re-decodes the overwritten bytes on restore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lisasim {
+
+/// Engine-level run limits. `max_cycles` is the classic soft cap: run()
+/// returns normally when it is reached (benchmark slices, cosim lock-step).
+/// The watchdog limits are hard: exceeding one throws a *recoverable*
+/// SimError with pc/cycle/level context — the engine stays consistent and
+/// run() may be called again (or a checkpoint restored) to continue.
+struct RunLimits {
+  /// Soft stop: run() returns after this many cycles.
+  std::uint64_t max_cycles = UINT64_MAX;
+  /// Hard stop: a run exceeding this many cycles throws a recoverable
+  /// SimError ("runaway program"). 0 disables.
+  std::uint64_t watchdog_cycles = 0;
+  /// Livelock/deadlock watchdog: this many *consecutive* cycles without a
+  /// single packet retiring throws a recoverable SimError. Must be set
+  /// above pipeline depth + the longest legitimate stall. 0 disables.
+  std::uint64_t max_stuck_cycles = 0;
+};
+
+/// Backend-neutral serialization of one in-flight packet payload.
+struct WorkSnapshot {
+  /// Payload was a tree-walk packet (interpretive work or guard fallback);
+  /// restore must rebuild the same execution mode, queues included.
+  bool treewalk = false;
+  /// Deferred fetch-error text, empty if the packet decoded.
+  std::string error;
+  /// Tree-walk activation queues: per pipeline stage, per queued request,
+  /// the structural path of the activated node in the packet's decode tree
+  /// (slot index, then child-slot indices root-to-node).
+  std::vector<std::vector<std::vector<std::int32_t>>> sched_paths;
+};
+
+/// A resumable snapshot of a PipelineEngine + ProcessorState pair, taken
+/// between cycles. Valid for restore into the same simulator (same model,
+/// same loaded program image family); restoring into a different pipeline
+/// shape throws.
+struct EngineCheckpoint {
+  struct SlotImage {
+    std::uint64_t pc = 0;
+    int stall = 0;
+    bool valid = false;
+    bool executed = false;
+    WorkSnapshot work;
+  };
+
+  std::vector<std::int64_t> state;  // ProcessorState::save_storage()
+  std::vector<SlotImage> slots;     // one per pipeline stage
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> interrupts;
+  std::uint64_t total_cycles = 0;
+};
+
+}  // namespace lisasim

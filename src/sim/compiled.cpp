@@ -1,0 +1,123 @@
+// Guarded-execution paths of the compiled backend: stale-packet detection,
+// in-place micro-recompile, tree-walk fallback, and in-flight packet
+// serialization for checkpoints. Kept out of line — these run only after
+// the program wrote its own text (or around a checkpoint), never on the
+// clean hot path.
+#include "sim/compiled.hpp"
+
+namespace lisasim {
+
+const std::shared_ptr<const PatchedPacket>& CompiledBackend::patch_for(
+    std::uint64_t pc) {
+  auto it = patches_.find(pc);
+  if (it == patches_.end() ||
+      it->second->stamp != guard_->span_stamp(pc, it->second->stamp_words)) {
+    std::shared_ptr<const PatchedPacket> patch = compile_packet_from_state(
+        *model_, *decoder_, specializer_, *state_, pc,
+        level_ == SimLevel::kCompiledStatic, *guard_);
+    // The shared scratch must fit the largest program of table and patches.
+    if (patch->arena.max_temps() >
+        static_cast<std::int32_t>(temps_.size()))
+      temps_.resize(static_cast<std::size_t>(patch->arena.max_temps()), 0);
+    it = patches_.insert_or_assign(pc, std::move(patch)).first;
+    ++guard_stats_.recompiles;
+  }
+  return it->second;
+}
+
+void CompiledBackend::guarded_issue(std::uint64_t pc, Work& out,
+                                    unsigned& words) {
+  out.patch.reset();
+  out.fallback.reset();
+  const SimTableEntry* entry = table_->find(pc);
+  const unsigned span = entry && entry->valid ? entry->words : 1;
+  if (guard_->span_clean(pc, span)) {
+    // No covered write since translation: the original row is sound.
+    // (Once a word is written its generation never returns to zero, so a
+    // packet that was ever patched can never take this branch again.)
+    if (entry && entry->valid) {
+      out.error_id = -1;
+      out.entry = entry;
+      words = entry->words;
+      return;
+    }
+    issue_error(entry ? entry->error : out_of_table_error_, out, words);
+    return;
+  }
+  ++guard_stats_.stale_issues;
+  if (policy_ == GuardPolicy::kFallback) {
+    // Execute this packet the way the interpretive oracle would: decode
+    // from live memory, walk the trees.
+    out.fallback = std::make_shared<TreeWalkWork>();
+    treewalk_issue(*decoder_, *model_, *state_, pc, depth_, *out.fallback,
+                   words);
+    out.entry = nullptr;
+    out.error_id = -1;
+    ++guard_stats_.fallbacks;
+    return;
+  }
+  // kRecompile: run the simulation compiler's per-row recipe on just this
+  // packet, against live memory. Works for any pc — including addresses
+  // beyond the original table that the program wrote code into.
+  const std::shared_ptr<const PatchedPacket>& patch = patch_for(pc);
+  if (patch->entry.valid) {
+    out.entry = &patch->entry;
+    out.patch = patch;
+    out.error_id = -1;
+    words = patch->entry.words;
+    return;
+  }
+  issue_error(patch->entry.error, out, words);
+}
+
+void CompiledBackend::save_work(const Work& work, WorkSnapshot& out) const {
+  out = WorkSnapshot{};
+  if (work.fallback) {
+    treewalk_save(*work.fallback, out);
+    return;
+  }
+  if (work.error_id >= 0)
+    out.error = errors_[static_cast<std::size_t>(work.error_id)];
+}
+
+void CompiledBackend::restore_work(std::uint64_t pc,
+                                   const WorkSnapshot& snapshot, Work& out) {
+  out = Work{};
+  if (snapshot.treewalk) {
+    out.fallback = std::make_shared<TreeWalkWork>();
+    treewalk_restore(*decoder_, *model_, *state_, pc, depth_, snapshot,
+                     *out.fallback);
+    return;
+  }
+  // Rebuild a compiled payload from the restored memory. The execution
+  // mode must be preserved — a compiled in-flight packet has the
+  // activations of its already-executed stages statically scheduled into
+  // its later-stage programs, so switching it to a (freshly queued) tree
+  // walk would drop them. Hence even under kFallback policy the restore
+  // path re-translates stale packets instead of falling back.
+  unsigned words = 0;
+  if (guard_ != nullptr && guard_->writes() != 0) {
+    const SimTableEntry* entry = table_->find(pc);
+    const unsigned span = entry && entry->valid ? entry->words : 1;
+    if (!guard_->span_clean(pc, span)) {
+      const std::shared_ptr<const PatchedPacket>& patch = patch_for(pc);
+      if (patch->entry.valid) {
+        out.entry = &patch->entry;
+        out.patch = patch;
+        out.error_id = -1;
+      } else {
+        issue_error(patch->entry.error, out, words);
+      }
+      return;
+    }
+  }
+  const SimTableEntry* entry = table_->find(pc);
+  if (entry && entry->valid) {
+    out.entry = entry;
+    out.error_id = -1;
+    return;
+  }
+  issue_error(entry ? entry->error : out_of_table_error_, out, words);
+}
+
+}  // namespace lisasim

@@ -5,39 +5,62 @@
 // pre-built per-stage programs — as specialized statement trees (dynamic
 // scheduling) or as flattened micro-op programs (static scheduling /
 // operation instantiation).
+//
+// With a guard policy enabled (sim/guard.hpp) the backend additionally
+// detects writes to program memory and, at issue time, either
+// micro-recompiles the affected packet from live memory or executes it
+// through the interpretive tree walk — restoring the soundness that
+// compiled simulation otherwise loses on self-modifying code.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "asm/program.hpp"
 #include "behavior/eval.hpp"
 #include "behavior/microops.hpp"
+#include "behavior/specialize.hpp"
 #include "decode/decoder.hpp"
 #include "model/model.hpp"
 #include "model/state.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
+#include "sim/guard.hpp"
 #include "sim/result.hpp"
 #include "sim/simcompiler.hpp"
 #include "sim/simtable.hpp"
 #include "sim/table_cache.hpp"
+#include "sim/treewalk.hpp"
 
 namespace lisasim {
 
 class CompiledBackend {
  public:
-  // Trivially copyable: the engine shifts Work through pipeline slots every
-  // cycle, so it must be cheap to move. Packets that could not be compiled
-  // (wrong-path fetch of data words, PC outside the table) carry an error
-  // id into the backend's error pool; deferred like in the interpretive
-  // engine — fatal only at retirement.
+  // Cheap to move: the engine shifts Work through pipeline slots every
+  // cycle. Packets that could not be compiled (wrong-path fetch of data
+  // words, PC outside the table) carry an error id into the backend's
+  // error pool; deferred like in the interpretive engine — fatal only at
+  // retirement. Guarded packets additionally pin their payload: `patch`
+  // keeps a re-translated packet alive even if the same address is
+  // re-translated again while this fetch is still in flight (published
+  // PatchedPackets are immutable, matching the interpretive simulator's
+  // decode-at-fetch snapshot semantics), and `fallback` carries a
+  // tree-walk execution.
   struct Work {
     const SimTableEntry* entry = nullptr;
+    std::shared_ptr<const PatchedPacket> patch;
+    std::shared_ptr<TreeWalkWork> fallback;
     std::int32_t error_id = -1;
   };
 
-  CompiledBackend(const Model& model, ProcessorState& state, SimLevel level)
-      : state_(&state),
+  CompiledBackend(const Model& model, ProcessorState& state,
+                  const Decoder& decoder, SimLevel level)
+      : model_(&model),
+        state_(&state),
+        decoder_(&decoder),
+        specializer_(model),
         level_(level),
         depth_(model.pipeline.depth()),
         eval_(state, control_) {}
@@ -47,6 +70,17 @@ class CompiledBackend {
     // One scratch allocation for the whole run: every span's temps fit.
     temps_.assign(static_cast<std::size_t>(table->max_temps()), 0);
   }
+
+  /// Arm (or disarm, guard = nullptr) guarded execution. Drops packets
+  /// re-translated under a previous arming and resets the counters; the
+  /// simulator calls this on every (re)load.
+  void set_guard(const ProgramGuard* guard, GuardPolicy policy) {
+    guard_ = guard;
+    policy_ = policy;
+    patches_.clear();
+    guard_stats_ = GuardStats{};
+  }
+  const GuardStats& guard_stats() const { return guard_stats_; }
 
   /// Instrumented dispatch (micro-ops counted per execute) — bench only;
   /// the default path runs the uncounted threaded loop. Enabling resets
@@ -60,6 +94,14 @@ class CompiledBackend {
   PipelineControl& control() { return control_; }
 
   void issue(std::uint64_t pc, Work& out, unsigned& words) {
+    // The guarded path only exists once program memory was actually
+    // written: a clean program pays exactly this one branch per fetch.
+    if (guard_ != nullptr && guard_->writes() != 0) [[unlikely]] {
+      guarded_issue(pc, out, words);
+      return;
+    }
+    out.patch.reset();
+    out.fallback.reset();
     const SimTableEntry* entry = table_->find(pc);
     if (entry && entry->valid) {
       out.error_id = -1;
@@ -67,20 +109,14 @@ class CompiledBackend {
       words = entry->words;
       return;
     }
-    // Deferred-error path (wrong-path prefetch past the program or onto a
-    // data word) — no exceptions here: this happens on every taken branch
-    // near the text end. Dedupe against the previous message so loops
-    // cannot grow the pool.
-    out.entry = nullptr;
-    const std::string& message =
-        entry ? entry->error : out_of_table_error_;
-    if (errors_.empty() || errors_.back() != message)
-      errors_.push_back(message);
-    out.error_id = static_cast<std::int32_t>(errors_.size()) - 1;
-    words = 1;
+    issue_error(entry ? entry->error : out_of_table_error_, out, words);
   }
 
   void execute(Work& work, int stage) {
+    if (work.fallback) [[unlikely]] {
+      treewalk_execute(eval_, *work.fallback, stage, depth_);
+      return;
+    }
     if (work.error_id >= 0) {
       if (stage == depth_ - 1)
         throw SimError(errors_[static_cast<std::size_t>(work.error_id)]);
@@ -90,7 +126,9 @@ class CompiledBackend {
     if ((entry.work_mask >> stage & 1u) == 0) return;
     if (level_ == SimLevel::kCompiledStatic) {
       const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
-      const MicroOp* ops = table_->arena().data() + span.offset;
+      const MicroArena& arena =
+          work.patch ? work.patch->arena : table_->arena();
+      const MicroOp* ops = arena.data() + span.offset;
       if (count_microops_) {
         microops_executed_ += exec_microops_counted(ops, span.len, *state_,
                                                     control_, temps_.data());
@@ -105,11 +143,38 @@ class CompiledBackend {
   }
 
   std::uint64_t slot_count(const Work& work) const {
+    if (work.fallback) return work.fallback->packet.slots.size();
     return work.entry ? work.entry->slot_count : 0;
   }
 
+  void save_work(const Work& work, WorkSnapshot& out) const;
+  void restore_work(std::uint64_t pc, const WorkSnapshot& snapshot, Work& out);
+
  private:
+  void guarded_issue(std::uint64_t pc, Work& out, unsigned& words);
+
+  /// Fill an error payload (deferred, fatal at retirement). No exceptions
+  /// here: wrong-path prefetch past the program happens on every taken
+  /// branch near the text end. Dedupe against the previous message so
+  /// loops cannot grow the pool.
+  void issue_error(const std::string& message, Work& out, unsigned& words) {
+    out.entry = nullptr;
+    out.patch.reset();
+    out.fallback.reset();
+    if (errors_.empty() || errors_.back() != message)
+      errors_.push_back(message);
+    out.error_id = static_cast<std::int32_t>(errors_.size()) - 1;
+    words = 1;
+  }
+
+  /// Current re-translation of the (written) packet at `pc`, compiling one
+  /// if none exists or memory changed again since.
+  const std::shared_ptr<const PatchedPacket>& patch_for(std::uint64_t pc);
+
+  const Model* model_;
   ProcessorState* state_;
+  const Decoder* decoder_;
+  Specializer specializer_;
   SimLevel level_;
   int depth_;
   const SimTable* table_ = nullptr;
@@ -121,6 +186,12 @@ class CompiledBackend {
   std::vector<std::string> errors_;  // deferred fetch-error pool
   const std::string out_of_table_error_ =
       "program counter outside the compiled program";
+  // Guarded execution (null/empty while disarmed).
+  const ProgramGuard* guard_ = nullptr;
+  GuardPolicy policy_ = GuardPolicy::kOff;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const PatchedPacket>>
+      patches_;  // by pc: latest re-translation of self-modified packets
+  GuardStats guard_stats_;
 };
 
 class CompiledSimulator {
@@ -133,8 +204,10 @@ class CompiledSimulator {
         state_(model),
         decoder_(model),
         compiler_(model, decoder_),
-        backend_(model, state_, level),
-        engine_(model, state_, backend_) {}
+        backend_(model, state_, decoder_, level),
+        engine_(model, state_, backend_) {
+    engine_.set_level(level);
+  }
 
   /// Sharded-build worker count for load()-time compilation (1 =
   /// sequential, 0 = hardware threads). The table contents are identical
@@ -145,23 +218,39 @@ class CompiledSimulator {
   /// detaches. The cache must outlive the simulator.
   void set_table_cache(SimTableCache* cache) { cache_ = cache; }
 
+  /// Select the self-modifying-code policy. Takes effect at the next
+  /// (re)load: the guard baselines against the freshly loaded image.
+  void set_guard_policy(GuardPolicy policy) { guard_policy_ = policy; }
+  GuardPolicy guard_policy() const { return guard_policy_; }
+  /// Guarded-execution counters of the current load (zeros while off).
+  const GuardStats& guard_stats() const { return backend_.guard_stats(); }
+  /// Program-memory writes the guard observed since load (0 = clean run).
+  std::uint64_t guarded_writes() const {
+    return guard_.attached() ? guard_.writes() : 0;
+  }
+
   /// Run the simulation compiler on `program` (or fetch the table from the
   /// attached cache), then load it. Returns the compile statistics (the
   /// bench for paper Fig. 6 times this call); also forwarded to the
   /// observer's on_compile hook.
   SimCompileStats load(const LoadedProgram& program) {
     SimCompileStats stats;
+    // A previous load whose program wrote its own text leaves its cached
+    // table describing code the image never contained at rest — drop it
+    // so the cache can never serve a self-invalidated translation.
+    if (cache_ && program_hash_ != 0 && guarded_writes() != 0)
+      cache_->invalidate(program_hash_);
     if (cache_) {
       table_ = cache_->get_or_compile(compiler_, *model_, program, level_,
                                       &stats, compile_options_);
+      program_hash_ = SimTableCache::hash_program(program);
     } else {
       table_ = std::make_shared<const SimTable>(
           compiler_.compile(program, level_, &stats, compile_options_));
+      program_hash_ = 0;
     }
     backend_.set_table(table_.get());
-    state_.reset();
-    engine_.reset();
-    load_into_state(program, state_);
+    reset_and_load(program);
     if (observer_) observer_->on_compile(stats);
     return stats;
   }
@@ -177,22 +266,31 @@ class CompiledSimulator {
   void load_precompiled(const LoadedProgram& program,
                         std::shared_ptr<const SimTable> table) {
     table_ = std::move(table);
+    program_hash_ = 0;
     backend_.set_table(table_.get());
-    state_.reset();
-    engine_.reset();
-    load_into_state(program, state_);
+    reset_and_load(program);
   }
 
   /// Reset state and pipeline and reload the program without recompiling —
   /// repeated runs against the same simulation table (benchmark loops).
-  void reload(const LoadedProgram& program) {
-    state_.reset();
-    engine_.reset();
-    load_into_state(program, state_);
-  }
+  void reload(const LoadedProgram& program) { reset_and_load(program); }
 
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
     return engine_.run(max_cycles);
+  }
+  RunResult run(const RunLimits& limits) { return engine_.run(limits); }
+
+  EngineCheckpoint save_checkpoint() const {
+    return engine_.save_checkpoint();
+  }
+  /// Restore a checkpoint of this simulator. The guard (if armed) marks
+  /// every translation stale first: restore rewinds program memory without
+  /// architectural writes, and generations are monotonic, so a re-translated
+  /// packet's stamp could otherwise falsely match the rewound bytes.
+  void restore_checkpoint(const EngineCheckpoint& checkpoint) {
+    engine_.restore_checkpoint(checkpoint, [this] {
+      if (guard_.attached()) guard_.bump_all();
+    });
   }
 
   /// Dispatched micro-ops per simulated cycle, measured with one
@@ -226,6 +324,22 @@ class CompiledSimulator {
   SimLevel level() const { return level_; }
 
  private:
+  void reset_and_load(const LoadedProgram& program) {
+    state_.reset();
+    engine_.reset();
+    load_into_state(program, state_);
+    if (guard_policy_ == GuardPolicy::kOff) {
+      guard_.detach();
+      backend_.set_guard(nullptr, GuardPolicy::kOff);
+    } else {
+      guard_.attach(state_);
+      // Loading wrote the text through the hook; re-baseline so the load
+      // itself does not look like self-modification.
+      guard_.reset();
+      backend_.set_guard(&guard_, guard_policy_);
+    }
+  }
+
   const Model* model_;
   SimLevel level_;
   ProcessorState state_;
@@ -237,6 +351,9 @@ class CompiledSimulator {
   SimCompileOptions compile_options_;
   SimTableCache* cache_ = nullptr;
   SimObserver* observer_ = nullptr;
+  ProgramGuard guard_;
+  GuardPolicy guard_policy_ = GuardPolicy::kOff;
+  std::uint64_t program_hash_ = 0;  // cache key of the loaded program
 };
 
 }  // namespace lisasim

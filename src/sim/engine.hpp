@@ -24,16 +24,24 @@
 //   void issue(std::uint64_t pc, Work& out, unsigned& words);
 //   void execute(Work& work, int stage);
 //   std::uint64_t slot_count(const Work& work) const;
+//
+// Backends that support checkpointing additionally provide (only required
+// when save_checkpoint/restore_checkpoint are instantiated):
+//   void save_work(const Work&, WorkSnapshot&) const;
+//   void restore_work(std::uint64_t pc, const WorkSnapshot&, Work&);
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "behavior/eval.hpp"
 #include "model/model.hpp"
 #include "model/state.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/observer.hpp"
 #include "sim/result.hpp"
 
@@ -66,14 +74,31 @@ class PipelineEngine {
                      });
   }
 
+  /// Identify the simulation level for error context (diagnostics only —
+  /// the engine's semantics are level-independent by construction).
+  void set_level(SimLevel level) { level_ctx_ = static_cast<int>(level); }
+
   /// Run until halt() or `max_cycles`. Can be called repeatedly; pipeline
   /// contents persist between calls.
   RunResult run(std::uint64_t max_cycles) {
+    RunLimits limits;
+    limits.max_cycles = max_cycles;
+    return run(limits);
+  }
+
+  /// Run under guarded-execution limits. `max_cycles` returns normally;
+  /// the watchdog limits throw a *recoverable* SimError with pc/cycle
+  /// context at a completed-cycle boundary — the pipeline stays
+  /// consistent, so the caller may raise the limit and run() again, or
+  /// restore an earlier checkpoint.
+  RunResult run(const RunLimits& limits) {
     RunResult result;
     PipelineControl& control = backend_->control();
     bool halted = false;
+    std::uint64_t stuck = 0;  // consecutive cycles without a retirement
 
-    while (result.cycles < max_cycles) {
+    while (result.cycles < limits.max_cycles) {
+      const std::uint64_t retired_before = result.packets_retired;
       // ---- fused execute + advance sweep, oldest first -------------------
       // Processing stages downward keeps the transition-function ordering
       // (older packets' writes are visible to younger ones in the same
@@ -151,8 +176,84 @@ class PipelineEngine {
         ++result.fetches;
         if (observer_) observer_->on_fetch(result.cycles, pc);
       }
+
+      // ---- watchdog limits -----------------------------------------------
+      // Checked after the fetch phase so the throw happens at the same
+      // clean cycle boundary where run() returns and checkpoints are taken:
+      // a caught watchdog error leaves the engine resumable.
+      if (result.packets_retired == retired_before) {
+        ++stuck;
+      } else {
+        stuck = 0;
+      }
+      if (limits.watchdog_cycles != 0 &&
+          result.cycles >= limits.watchdog_cycles) {
+        throw_limit("watchdog: cycle limit " +
+                    std::to_string(limits.watchdog_cycles) +
+                    " exceeded without the program halting");
+      }
+      if (limits.max_stuck_cycles != 0 && stuck >= limits.max_stuck_cycles) {
+        throw_limit("watchdog: " + std::to_string(stuck) +
+                    " consecutive cycles without a retiring packet "
+                    "(livelocked or deadlocked pipeline)");
+      }
     }
     return result;
+  }
+
+  /// Snapshot the engine + processor state at a cycle boundary (i.e. while
+  /// run() is not executing). See sim/checkpoint.hpp for what is captured.
+  EngineCheckpoint save_checkpoint() const {
+    EngineCheckpoint cp;
+    cp.state = state_->save_storage();
+    cp.total_cycles = total_cycles_;
+    cp.interrupts.reserve(interrupts_.size());
+    for (const Interrupt& irq : interrupts_)
+      cp.interrupts.push_back({irq.cycle, irq.target});
+    cp.slots.resize(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      EngineCheckpoint::SlotImage& image = cp.slots[i];
+      image.pc = slot.pc;
+      image.stall = slot.stall;
+      image.valid = slot.valid;
+      image.executed = slot.executed;
+      if (slot.valid) backend_->save_work(slot.work, image.work);
+    }
+    return cp;
+  }
+
+  /// Restore a snapshot taken with save_checkpoint(). `after_state` runs
+  /// after the processor state is restored but before in-flight packets
+  /// are rebuilt — guarded simulators use it to re-stale their translation
+  /// tables (restore rewinds memory without architectural writes, so the
+  /// guard would not notice otherwise).
+  void restore_checkpoint(const EngineCheckpoint& cp,
+                          const std::function<void()>& after_state = {}) {
+    if (cp.slots.size() != slots_.size())
+      throw SimError("checkpoint has " + std::to_string(cp.slots.size()) +
+                     " pipeline slots, engine has " +
+                     std::to_string(slots_.size()) +
+                     " (checkpoint from a different model?)");
+    state_->restore_storage(cp.state);
+    if (after_state) after_state();
+    total_cycles_ = cp.total_cycles;
+    interrupts_.clear();
+    for (const auto& [cycle, target] : cp.interrupts)
+      interrupts_.push_back({cycle, target});
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      const EngineCheckpoint::SlotImage& image = cp.slots[i];
+      slot.pc = image.pc;
+      slot.stall = image.stall;
+      slot.valid = image.valid;
+      slot.executed = image.executed;
+      if (image.valid) {
+        backend_->restore_work(image.pc, image.work, slot.work);
+      } else {
+        slot.work = {};
+      }
+    }
   }
 
   /// Drop all in-flight packets, cancel pending interrupts and restart
@@ -179,6 +280,22 @@ class PipelineEngine {
     std::uint64_t target = 0;
   };
 
+  [[noreturn]] void throw_limit(std::string message) const {
+    SimErrorContext context;
+    context.pc = state_->pc();
+    context.has_pc = true;
+    context.cycle = total_cycles_;
+    context.has_cycle = true;
+    context.level = level_ctx_;
+    message += " (pc " + std::to_string(context.pc) + ", cycle " +
+               std::to_string(context.cycle);
+    if (level_ctx_ >= 0)
+      message += ", level " +
+                 std::string(sim_level_name(static_cast<SimLevel>(level_ctx_)));
+    message += ")";
+    throw SimError(message, SimErrorKind::kRecoverable, std::move(context));
+  }
+
   int depth_;
   ProcessorState* state_;
   Backend* backend_;
@@ -186,6 +303,7 @@ class PipelineEngine {
   std::vector<Slot> slots_;
   std::vector<Interrupt> interrupts_;
   std::uint64_t total_cycles_ = 0;
+  int level_ctx_ = -1;  // SimLevel for error context, -1 = unset
 };
 
 }  // namespace lisasim

@@ -1,0 +1,55 @@
+#include "sim/guard.hpp"
+
+#include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
+#include "behavior/specialize.hpp"
+
+namespace lisasim {
+
+const char* guard_policy_name(GuardPolicy policy) {
+  switch (policy) {
+    case GuardPolicy::kOff: return "off";
+    case GuardPolicy::kRecompile: return "recompile";
+    case GuardPolicy::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+std::shared_ptr<const PatchedPacket> compile_packet_from_state(
+    const Model& model, const Decoder& decoder, const Specializer& specializer,
+    const ProcessorState& state, std::uint64_t pc, bool lower_microops,
+    const ProgramGuard& guard) {
+  auto patch = std::make_shared<PatchedPacket>();
+  SimTableEntry& entry = patch->entry;
+  try {
+    const DecodedPacket packet =
+        decoder.decode_packet(state.array_view(model.fetch_memory), pc);
+    entry.words = packet.words;
+    entry.slot_count = static_cast<unsigned>(packet.slots.size());
+    entry.schedule = specializer.schedule_packet(packet);
+    for (std::size_t s = 0; s < entry.schedule.stage_programs.size(); ++s) {
+      if (!entry.schedule.stage_programs[s].empty())
+        entry.work_mask |= std::uint32_t{1} << s;
+    }
+    if (lower_microops) {
+      entry.micro.resize(entry.schedule.stage_programs.size());
+      for (std::size_t s = 0; s < entry.schedule.stage_programs.size(); ++s) {
+        MicroProgram micro = lower_to_microops(entry.schedule.stage_programs[s]);
+        optimize_microops(micro);
+        entry.micro[s] = patch->arena.append(micro);
+      }
+    }
+  } catch (const SimError& e) {
+    entry.valid = false;
+    entry.error = e.what();
+    entry.words = 1;
+  }
+  // Stamp over what the packet actually consumed (poisoned entries cover
+  // one word): a later write to any covered word changes the stamp and
+  // forces a fresh translation.
+  patch->stamp_words = entry.words > 0 ? entry.words : 1;
+  patch->stamp = guard.span_stamp(pc, patch->stamp_words);
+  return patch;
+}
+
+}  // namespace lisasim

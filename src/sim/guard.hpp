@@ -1,0 +1,167 @@
+// Write guards for compiled simulation (self-modifying-code detection).
+//
+// Compiled simulation is sound only while program memory is immutable: the
+// simulation table, the decode cache and every lazily lowered micro-program
+// were derived from the instruction words at translation time (paper §3 —
+// the a-priori knowledge the technique exploits). A program that writes its
+// own text (overlay loaders, patched inner loops, bootloaders) invalidates
+// that knowledge, and an unguarded compiled simulator silently keeps
+// executing the stale translation while the interpretive simulator — which
+// decodes from live memory on every fetch — follows the new code.
+//
+// The guard closes that soundness hole with a MemoryHook over the whole
+// fetch memory: every architectural write to program memory bumps a
+// per-word generation counter. Backends stamp each translated packet with
+// the sum of the generations its words had at translation time; at issue
+// they compare. Generations only grow, so stamp equality <=> no covered
+// word was written since translation. A clean program pays one branch per
+// fetch (`writes() == 0`), which is what keeps the guard inside the ≤2%
+// overhead budget.
+//
+// On a stale packet the backend either re-translates it in place
+// (GuardPolicy::kRecompile — a micro-recompile of just that packet from
+// live memory) or executes it through the interpretive tree-walk path
+// (GuardPolicy::kFallback). Both happen at issue time, exactly where the
+// interpretive simulator decodes, so RunResult and final state stay
+// bit-identical to the interpretive oracle at every level.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "behavior/microarena.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/result.hpp"
+#include "sim/simtable.hpp"
+
+namespace lisasim {
+
+class Specializer;
+
+/// What a guarded backend does when it fetches a packet whose words were
+/// written since translation.
+enum class GuardPolicy : std::uint8_t {
+  kOff,        // no guard: stale translations execute silently (fastest)
+  kRecompile,  // re-decode/re-sequence/re-lower the packet in place
+  kFallback,   // execute the packet through the interpretive tree walk
+};
+
+const char* guard_policy_name(GuardPolicy policy);
+
+/// Guarded-execution counters (per backend, reset at load).
+struct GuardStats {
+  std::uint64_t stale_issues = 0;  // fetches that hit a stale translation
+  std::uint64_t recompiles = 0;    // packets re-translated in place
+  std::uint64_t fallbacks = 0;     // packets executed via tree walk
+};
+
+/// The write guard itself: a MemoryHook spanning the whole fetch memory
+/// with one generation counter per word.
+class ProgramGuard final : public MemoryHook {
+ public:
+  ~ProgramGuard() override { detach(); }
+
+  /// Map this guard over all of `state`'s fetch memory. Re-attaching to
+  /// the same state is idempotent. The guard must outlive the mapping (it
+  /// unmaps itself on destruction).
+  void attach(ProcessorState& state) {
+    detach();
+    const Model& model = state.model();
+    if (model.fetch_memory < 0)
+      throw SimError("model has no fetch memory to guard");
+    state_ = &state;
+    resource_ = model.fetch_memory;
+    gen_.assign(state.size_of(resource_), 0);
+    writes_ = 0;
+    state.map_hook(resource_, 0, state.size_of(resource_), this);
+  }
+
+  void detach() {
+    if (state_) state_->unmap_hook(this);
+    state_ = nullptr;
+  }
+
+  bool attached() const { return state_ != nullptr; }
+
+  /// Re-baseline: current memory content becomes generation 0 everywhere.
+  /// Called after load_into_state (loading writes the text through the
+  /// hook, which must not look like self-modification).
+  void reset() {
+    gen_.assign(gen_.size(), 0);
+    writes_ = 0;
+  }
+
+  /// Conservatively mark every word written. Used after checkpoint
+  /// restore: generations are monotonic but restore_storage rewinds the
+  /// memory content, so a patched packet's stamp could otherwise falsely
+  /// match bytes it was not translated from.
+  void bump_all() {
+    for (std::uint32_t& g : gen_) ++g;
+    ++writes_;
+  }
+
+  /// Total guarded program-memory writes observed since reset(). The hot
+  /// fast path: zero means no translation anywhere can be stale.
+  std::uint64_t writes() const { return writes_; }
+
+  /// True iff no word of [pc, pc+words) was ever written. Out-of-range
+  /// words are clean by definition (nothing was translated from them).
+  bool span_clean(std::uint64_t pc, unsigned words) const {
+    for (unsigned w = 0; w < words; ++w) {
+      const std::uint64_t index = pc + w;
+      if (index < gen_.size() && gen_[index] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Monotonic stamp of [pc, pc+words): the sum of the word generations.
+  /// Equal stamps <=> no covered write happened in between.
+  std::uint64_t span_stamp(std::uint64_t pc, unsigned words) const {
+    std::uint64_t stamp = 0;
+    for (unsigned w = 0; w < words; ++w) {
+      const std::uint64_t index = pc + w;
+      if (index < gen_.size()) stamp += gen_[index];
+    }
+    return stamp;
+  }
+
+  void on_write(std::uint64_t index, std::int64_t /*value*/) override {
+    if (index < gen_.size()) ++gen_[index];
+    ++writes_;
+  }
+
+ private:
+  ProcessorState* state_ = nullptr;
+  ResourceId resource_ = -1;
+  std::vector<std::uint32_t> gen_;  // one generation counter per word
+  std::uint64_t writes_ = 0;
+};
+
+/// One re-translated packet, produced when a guarded backend hits a stale
+/// translation under GuardPolicy::kRecompile. Self-contained: the entry's
+/// micro spans point into the packet's own arena, and backends hand
+/// shared_ptrs to in-flight Work so a packet that is re-translated *again*
+/// never mutates under an older in-flight fetch (matching the interpretive
+/// simulator's decode-at-fetch snapshot semantics).
+struct PatchedPacket {
+  SimTableEntry entry;
+  MicroArena arena;
+  std::uint64_t stamp = 0;       // guard span_stamp at translation time
+  unsigned stamp_words = 1;      // words the stamp covers (>= entry.words)
+};
+
+/// Translate the packet at `pc` from *live* state memory — the per-row
+/// recipe of the simulation compiler (decode, sequence, and for the
+/// static/cached levels lower to micro-ops), applied to one packet. Decode
+/// failures poison the entry exactly like an invalid simulation-table row
+/// (deferred error, fatal at retirement). `lower_microops` selects the
+/// micro-op instantiation step (static & decode-cached levels).
+std::shared_ptr<const PatchedPacket> compile_packet_from_state(
+    const Model& model, const Decoder& decoder, const Specializer& specializer,
+    const ProcessorState& state, std::uint64_t pc, bool lower_microops,
+    const ProgramGuard& guard);
+
+}  // namespace lisasim

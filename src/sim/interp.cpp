@@ -1,74 +1,4 @@
+// The interpretive backend is a thin adapter over sim/treewalk.cpp (the
+// shared tree-walk execution core); its members are defined inline in
+// interp.hpp. This unit anchors the translation unit for the library.
 #include "sim/interp.hpp"
-
-#include "behavior/specialize.hpp"
-
-namespace lisasim {
-
-/// Routes ACTIVATION requests: later stages enqueue FIFO, same-or-earlier
-/// stages execute immediately (the ordering contract shared with the
-/// simulation compiler's schedule builder).
-class InterpBackend::Sink final : public ActivationSink {
- public:
-  Sink(Evaluator& eval, Work& work, int stage)
-      : eval_(&eval), work_(&work), stage_(stage) {}
-
-  void activate(const DecodedNode& child) override {
-    const int child_stage =
-        child.op->stage >= 0 ? child.op->stage : stage_;
-    if (child_stage > stage_) {
-      if (static_cast<std::size_t>(child_stage) >= work_->sched.size())
-        throw SimError("activation of '" + child.op->name +
-                       "' beyond the pipeline");
-      work_->sched[static_cast<std::size_t>(child_stage)].push_back(&child);
-    } else {
-      eval_->run_op(child, this);
-    }
-  }
-
- private:
-  Evaluator* eval_;
-  Work* work_;
-  int stage_;
-};
-
-void InterpBackend::issue(std::uint64_t pc, Work& out, unsigned& words) {
-  if (model_->fetch_memory < 0)
-    throw SimError("model has no fetch memory");
-  out.error.clear();
-  out.auto_ops.clear();
-  // Run-time decoding: this work is re-done on every fetch of the same
-  // address — precisely what compiled simulation eliminates.
-  if (!decoder_.try_decode_packet(state_->array_view(model_->fetch_memory),
-                                  pc, out.packet, out.error)) {
-    out.packet = {};
-    words = 1;
-    return;
-  }
-  for (const auto& slot : out.packet.slots)
-    collect_auto_ops(*slot, out.auto_ops);
-  out.sched.assign(static_cast<std::size_t>(depth_), {});
-  words = out.packet.words;
-}
-
-void InterpBackend::execute(Work& work, int stage) {
-  if (!work.error.empty()) {
-    // Undecodable packet: harmless while it can still be squashed, fatal
-    // once it retires.
-    if (stage == depth_ - 1) throw SimError(work.error);
-    return;
-  }
-  // Auto-run operations in tree order first...
-  for (const auto& [node, node_stage] : work.auto_ops) {
-    if (node_stage != stage) continue;
-    Sink sink(eval_, work, stage);
-    eval_.run_op(*node, &sink);
-  }
-  // ...then activations in FIFO order (the list can grow while we run).
-  auto& queue = work.sched[static_cast<std::size_t>(stage)];
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    Sink sink(eval_, work, stage);
-    eval_.run_op(*queue[i], &sink);
-  }
-}
-
-}  // namespace lisasim

@@ -4,6 +4,12 @@
 // simulation compiler moves to compile time (instruction decoding, operand
 // extraction, operation sequencing), like the vendor instruction-set
 // simulators the paper benchmarks TI's sim62x against.
+//
+// The tree-walk execution itself lives in sim/treewalk.hpp so the guarded
+// compiled levels can fall back to it on self-modified packets; this
+// backend is a thin adapter. Because it decodes from live state memory on
+// every fetch, the interpretive level needs no write guard: it is the
+// oracle the guarded levels are held bit-identical to.
 #pragma once
 
 #include <cstdint>
@@ -15,24 +21,17 @@
 #include "decode/decoder.hpp"
 #include "model/model.hpp"
 #include "model/state.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
+#include "sim/guard.hpp"
 #include "sim/result.hpp"
+#include "sim/treewalk.hpp"
 
 namespace lisasim {
 
 class InterpBackend {
  public:
-  struct Work {
-    DecodedPacket packet;
-    // Tree-order auto-run operations with their effective stages.
-    std::vector<std::pair<const DecodedNode*, int>> auto_ops;
-    // FIFO activation queues per stage.
-    std::vector<std::vector<const DecodedNode*>> sched;
-    // Fetches of undecodable words (wrong-path prefetch past a branch or
-    // HALT) are deferred: the error is raised only if the packet survives
-    // to retirement un-squashed.
-    std::string error;
-  };
+  using Work = TreeWalkWork;
 
   InterpBackend(const Model& model, ProcessorState& state)
       : model_(&model),
@@ -42,17 +41,27 @@ class InterpBackend {
         eval_(state, control_) {}
 
   PipelineControl& control() { return control_; }
-  void issue(std::uint64_t pc, Work& out, unsigned& words);
-  void execute(Work& work, int stage);
+  void issue(std::uint64_t pc, Work& out, unsigned& words) {
+    treewalk_issue(decoder_, *model_, *state_, pc, depth_, out, words);
+  }
+  void execute(Work& work, int stage) {
+    treewalk_execute(eval_, work, stage, depth_);
+  }
   std::uint64_t slot_count(const Work& work) const {
     return work.packet.slots.size();
+  }
+
+  void save_work(const Work& work, WorkSnapshot& out) const {
+    treewalk_save(work, out);
+  }
+  void restore_work(std::uint64_t pc, const WorkSnapshot& snapshot,
+                    Work& out) {
+    treewalk_restore(decoder_, *model_, *state_, pc, depth_, snapshot, out);
   }
 
   const Decoder& decoder() const { return decoder_; }
 
  private:
-  class Sink;
-
   const Model* model_;
   ProcessorState* state_;
   int depth_;
@@ -67,7 +76,9 @@ class InterpSimulator {
       : model_(&model),
         state_(model),
         backend_(model, state_),
-        engine_(model, state_, backend_) {}
+        engine_(model, state_, backend_) {
+    engine_.set_level(SimLevel::kInterpretive);
+  }
 
   /// Reset state and load `program` (text, data, entry PC).
   void load(const LoadedProgram& program) {
@@ -78,6 +89,25 @@ class InterpSimulator {
 
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
     return engine_.run(max_cycles);
+  }
+  RunResult run(const RunLimits& limits) { return engine_.run(limits); }
+
+  /// Accepted for API uniformity with the compiled levels: the
+  /// interpretive simulator decodes from live memory every fetch, so it is
+  /// always coherent and every policy is equivalent to kOff.
+  void set_guard_policy(GuardPolicy /*policy*/) {}
+  /// Uniform guard accessors: nothing here can ever be stale.
+  std::uint64_t guarded_writes() const { return 0; }
+  const GuardStats& guard_stats() const {
+    static const GuardStats kNone{};
+    return kNone;
+  }
+
+  EngineCheckpoint save_checkpoint() const {
+    return engine_.save_checkpoint();
+  }
+  void restore_checkpoint(const EngineCheckpoint& checkpoint) {
+    engine_.restore_checkpoint(checkpoint);
   }
 
   ProcessorState& state() { return state_; }

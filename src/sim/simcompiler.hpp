@@ -39,6 +39,13 @@ struct SimCompileStats {
   unsigned threads_used = 1;      // workers that built the table
   bool cache_hit = false;         // table came from a SimTableCache
   std::uint64_t compile_ns = 0;   // wall time of compile() / cache lookup
+  // Cumulative counters of the consulted SimTableCache, snapshotted after
+  // this load's lookup (all zero when no cache is attached). Lets CLI and
+  // bench output report cache effectiveness without a second API round
+  // trip.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
 struct SimCompileOptions {

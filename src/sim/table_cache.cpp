@@ -108,6 +108,9 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
         stats->decode_calls = 0;
         stats->threads_used = 0;
         stats->cache_hit = true;
+        stats->cache_hits = stats_.hits;
+        stats->cache_misses = stats_.misses;
+        stats->cache_evictions = stats_.evictions;
         stats->compile_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - start)
@@ -141,9 +144,28 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
       lru_.splice(lru_.begin(), lru_, it->second);
       table = it->second->table;
     }
+    compile_stats.cache_hits = stats_.hits;
+    compile_stats.cache_misses = stats_.misses;
+    compile_stats.cache_evictions = stats_.evictions;
   }
   if (stats) *stats = compile_stats;
   return table;
+}
+
+std::size_t SimTableCache::invalidate(std::uint64_t program_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.program_hash == program_hash) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  return dropped;
 }
 
 SimTableCache::Stats SimTableCache::stats() const {

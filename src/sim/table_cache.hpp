@@ -51,6 +51,7 @@ class SimTableCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  // tables dropped via invalidate()
     std::size_t entries = 0;
   };
 
@@ -67,6 +68,14 @@ class SimTableCache {
 
   Stats stats() const;
   void clear();
+
+  /// Drop every cached table built from a program whose content hash is
+  /// `program_hash` — all targets, models and levels. Returns the number
+  /// of tables dropped. Guarded simulators call this when their program
+  /// wrote its own text: the translation the cache holds describes code
+  /// the image no longer runs, and must not be served to a future load.
+  /// Holders of already-handed-out shared_ptr tables are unaffected.
+  std::size_t invalidate(std::uint64_t program_hash);
 
   /// FNV-1a content hash of a loaded program (exposed for tests).
   static std::uint64_t hash_program(const LoadedProgram& program);

@@ -1,0 +1,167 @@
+#include "sim/treewalk.hpp"
+
+#include <algorithm>
+
+#include "behavior/specialize.hpp"
+
+namespace lisasim {
+
+namespace {
+
+/// Routes ACTIVATION requests: later stages enqueue FIFO, same-or-earlier
+/// stages execute immediately (the ordering contract shared with the
+/// simulation compiler's schedule builder).
+class TreeWalkSink final : public ActivationSink {
+ public:
+  TreeWalkSink(Evaluator& eval, TreeWalkWork& work, int stage)
+      : eval_(&eval), work_(&work), stage_(stage) {}
+
+  void activate(const DecodedNode& child) override {
+    const int child_stage = child.op->stage >= 0 ? child.op->stage : stage_;
+    if (child_stage > stage_) {
+      if (static_cast<std::size_t>(child_stage) >= work_->sched.size())
+        throw SimError("activation of '" + child.op->name +
+                       "' beyond the pipeline");
+      work_->sched[static_cast<std::size_t>(child_stage)].push_back(&child);
+    } else {
+      eval_->run_op(child, this);
+    }
+  }
+
+ private:
+  Evaluator* eval_;
+  TreeWalkWork* work_;
+  int stage_;
+};
+
+/// Structural address of a decode-tree node: the packet slot index
+/// followed by the child-slot indices from that root down to the node.
+std::vector<std::int32_t> node_path(const DecodedPacket& packet,
+                                    const DecodedNode& node) {
+  std::vector<std::int32_t> path;
+  const DecodedNode* n = &node;
+  while (n->parent) {
+    const DecodedNode* parent = n->parent;
+    std::int32_t slot = -1;
+    for (std::size_t i = 0; i < parent->children.size(); ++i) {
+      if (parent->children[i].get() == n) {
+        slot = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    if (slot < 0)
+      throw SimError("checkpoint: decode-tree node unreachable from parent");
+    path.push_back(slot);
+    n = parent;
+  }
+  std::int32_t root = -1;
+  for (std::size_t i = 0; i < packet.slots.size(); ++i) {
+    if (packet.slots[i].get() == n) {
+      root = static_cast<std::int32_t>(i);
+      break;
+    }
+  }
+  if (root < 0)
+    throw SimError("checkpoint: decode-tree node outside its packet");
+  path.push_back(root);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+const DecodedNode* resolve_path(const DecodedPacket& packet,
+                                const std::vector<std::int32_t>& path,
+                                std::uint64_t pc) {
+  const auto fail = [pc]() -> const DecodedNode* {
+    throw SimError("checkpoint restore: activation path does not resolve in "
+                   "the re-decoded packet at pc " + std::to_string(pc) +
+                   " (program memory changed under an in-flight packet?)");
+  };
+  if (path.empty()) return fail();
+  const std::size_t root = static_cast<std::size_t>(path[0]);
+  if (path[0] < 0 || root >= packet.slots.size()) return fail();
+  const DecodedNode* node = packet.slots[root].get();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const std::size_t child = static_cast<std::size_t>(path[i]);
+    if (path[i] < 0 || child >= node->children.size() ||
+        !node->children[child])
+      return fail();
+    node = node->children[child].get();
+  }
+  return node;
+}
+
+}  // namespace
+
+void treewalk_issue(const Decoder& decoder, const Model& model,
+                    const ProcessorState& state, std::uint64_t pc, int depth,
+                    TreeWalkWork& out, unsigned& words) {
+  if (model.fetch_memory < 0) throw SimError("model has no fetch memory");
+  out.error.clear();
+  out.auto_ops.clear();
+  if (!decoder.try_decode_packet(state.array_view(model.fetch_memory), pc,
+                                 out.packet, out.error)) {
+    out.packet = {};
+    out.sched.clear();
+    words = 1;
+    return;
+  }
+  for (const auto& slot : out.packet.slots)
+    collect_auto_ops(*slot, out.auto_ops);
+  out.sched.assign(static_cast<std::size_t>(depth), {});
+  words = out.packet.words;
+}
+
+void treewalk_execute(Evaluator& eval, TreeWalkWork& work, int stage,
+                      int depth) {
+  if (!work.error.empty()) {
+    // Undecodable packet: harmless while it can still be squashed, fatal
+    // once it retires.
+    if (stage == depth - 1) throw SimError(work.error);
+    return;
+  }
+  // Auto-run operations in tree order first...
+  for (const auto& [node, node_stage] : work.auto_ops) {
+    if (node_stage != stage) continue;
+    TreeWalkSink sink(eval, work, stage);
+    eval.run_op(*node, &sink);
+  }
+  // ...then activations in FIFO order (the list can grow while we run).
+  auto& queue = work.sched[static_cast<std::size_t>(stage)];
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    TreeWalkSink sink(eval, work, stage);
+    eval.run_op(*queue[i], &sink);
+  }
+}
+
+void treewalk_save(const TreeWalkWork& work, WorkSnapshot& out) {
+  out.treewalk = true;
+  out.error = work.error;
+  out.sched_paths.clear();
+  out.sched_paths.resize(work.sched.size());
+  for (std::size_t s = 0; s < work.sched.size(); ++s) {
+    for (const DecodedNode* node : work.sched[s])
+      out.sched_paths[s].push_back(node_path(work.packet, *node));
+  }
+}
+
+void treewalk_restore(const Decoder& decoder, const Model& model,
+                      const ProcessorState& state, std::uint64_t pc, int depth,
+                      const WorkSnapshot& snapshot, TreeWalkWork& out) {
+  unsigned words = 0;
+  treewalk_issue(decoder, model, state, pc, depth, out, words);
+  bool any_queued = false;
+  for (const auto& queue : snapshot.sched_paths)
+    if (!queue.empty()) any_queued = true;
+  if (!any_queued) return;
+  if (!out.error.empty())
+    throw SimError("checkpoint restore: in-flight packet at pc " +
+                   std::to_string(pc) + " no longer decodes: " + out.error);
+  if (out.sched.size() < snapshot.sched_paths.size())
+    out.sched.resize(snapshot.sched_paths.size());
+  for (std::size_t s = 0; s < snapshot.sched_paths.size(); ++s) {
+    for (const auto& path : snapshot.sched_paths[s])
+      out.sched[s].push_back(resolve_path(out.packet, path, pc));
+  }
+}
+
+}  // namespace lisasim

@@ -1,0 +1,68 @@
+// Tree-walk packet execution: decode at fetch from live program memory,
+// then evaluate the unspecialized operation behaviors directly off the
+// decode tree, routing ACTIVATION requests through per-stage FIFO queues.
+//
+// This is the interpretive simulator's execution mode, factored out of its
+// backend so the guarded compiled levels can reuse it verbatim as the
+// GuardPolicy::kFallback path for self-modified packets — the fallback is
+// then the interpretive oracle by construction, not a re-implementation.
+// The same factoring provides checkpoint support: the activation queues are
+// the only in-flight packet state that cannot be re-derived from a PC, and
+// they serialize structurally as decode-tree node paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "behavior/eval.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace lisasim {
+
+/// In-flight state of one tree-walk packet.
+struct TreeWalkWork {
+  DecodedPacket packet;
+  // Tree-order auto-run operations with their effective stages.
+  std::vector<std::pair<const DecodedNode*, int>> auto_ops;
+  // FIFO activation queues per stage.
+  std::vector<std::vector<const DecodedNode*>> sched;
+  // Fetches of undecodable words (wrong-path prefetch past a branch or
+  // HALT) are deferred: the error is raised only if the packet survives
+  // to retirement un-squashed.
+  std::string error;
+};
+
+/// Run-time decode of the packet at `pc` from the live fetch memory —
+/// re-done on every fetch of the same address, which is precisely the work
+/// compiled simulation eliminates. `depth` is the pipeline depth (sizes the
+/// activation queues).
+void treewalk_issue(const Decoder& decoder, const Model& model,
+                    const ProcessorState& state, std::uint64_t pc, int depth,
+                    TreeWalkWork& out, unsigned& words);
+
+/// Execute stage `stage` of a tree-walk packet: auto-run operations in
+/// tree order first, then queued activations in FIFO order. A deferred
+/// decode error becomes fatal when the packet retires (stage == depth-1).
+void treewalk_execute(Evaluator& eval, TreeWalkWork& work, int stage,
+                      int depth);
+
+/// Serialize the dynamic part of a tree-walk packet for a checkpoint:
+/// the deferred error and the activation queues as structural node paths
+/// (slot index, then child-slot indices root-to-node).
+void treewalk_save(const TreeWalkWork& work, WorkSnapshot& out);
+
+/// Rebuild a tree-walk packet from a checkpoint: re-decode at `pc` from
+/// the restored memory, then resolve the saved queue paths against the
+/// fresh decode tree. Throws a fatal SimError if the packet no longer
+/// decodes to a tree the paths resolve in (program memory changed between
+/// the in-flight fetch and the checkpoint — see sim/checkpoint.hpp).
+void treewalk_restore(const Decoder& decoder, const Model& model,
+                      const ProcessorState& state, std::uint64_t pc, int depth,
+                      const WorkSnapshot& snapshot, TreeWalkWork& out);
+
+}  // namespace lisasim

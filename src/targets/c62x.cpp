@@ -404,6 +404,29 @@ OPERATION st_e3 IN pipe.E3 {
   }
 }
 
+// ------------------------------------------------- program-memory access
+// LDP/STP move whole instruction words between registers and pmem
+// (overlay loaders, self-patching kernels). Modeled as single-cycle E1
+// accesses: pmem has no load/store pipeline on this model, and a store
+// into fetched code is the self-modifying-code hazard the write guards
+// detect.
+
+OPERATION ldp IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE base = reg; INSTANCE dst = reg;
+            LABEL off; }
+  CODING { 0b100000 dst base off=0bx[11] }
+  SYNTAX { "LDP " base ", " off ", " dst }
+  BEHAVIOR { if (pred) { dst = pmem[base + sext(off, 11)]; } }
+}
+
+OPERATION stp IN pipe.E1 {
+  DECLARE { REFERENCE pred; INSTANCE src1 = reg; INSTANCE base = reg;
+            LABEL off; }
+  CODING { 0b100001 src1 base off=0bx[11] }
+  SYNTAX { "STP " src1 ", " base ", " off }
+  BEHAVIOR { if (pred) { pmem[base + sext(off, 11)] = src1; } }
+}
+
 // ----------------------------------------------------------------- control
 
 // The branch resolves in DC, which yields exactly 5 delay slots with the
@@ -441,8 +464,8 @@ OPERATION instruction {
     GROUP insn = { add || sub || mpy || and_op || or_op || xor_op || shl ||
                    shr || cmpeq || cmpgt || cmplt || sadd || ssub || min2 ||
                    max2 || mpyh || mv || absv || mvk || mvkh || addk ||
-                   shli || shri || ldw || ldh || stw || sth || b_op ||
-                   nop_op || halt_op || smpy };
+                   shli || shri || ldw || ldh || stw || sth || ldp || stp ||
+                   b_op || nop_op || halt_op || smpy };
     LABEL p;
   }
   CODING { pred insn p=0bx[1] }

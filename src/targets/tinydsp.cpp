@@ -112,6 +112,24 @@ OPERATION st IN pipe.EX {
   BEHAVIOR { dmem[rs + sext(off, 16)] = rd; }
 }
 
+// Program-memory access (overlay loaders, self-patching kernels). LDP/STP
+// move whole instruction words between registers and pmem; a store into
+// fetched code is the self-modifying-code hazard the write guards detect.
+
+OPERATION ldp IN pipe.EX {
+  DECLARE { INSTANCE rd = reg; INSTANCE rs = reg; LABEL off; }
+  CODING { 0b1011 rd rs off=0bx[16] 0b0000 }
+  SYNTAX { "LDP " rd ", " rs ", " off }
+  BEHAVIOR { rd = pmem[rs + sext(off, 16)]; }
+}
+
+OPERATION stp IN pipe.EX {
+  DECLARE { INSTANCE rd = reg; INSTANCE rs = reg; LABEL off; }
+  CODING { 0b1100 rd rs off=0bx[16] 0b0000 }
+  SYNTAX { "STP " rd ", " rs ", " off }
+  BEHAVIOR { pmem[rs + sext(off, 16)] = rd; }
+}
+
 // ------------------------------------------------------- moves and control
 
 OPERATION mvk IN pipe.EX {
@@ -164,8 +182,8 @@ OPERATION halt_op IN pipe.EX {
 
 OPERATION instruction {
   DECLARE {
-    GROUP insn = { arith || ld || st || mvk || br || brz || nop_op ||
-                   halt_op };
+    GROUP insn = { arith || ld || st || ldp || stp || mvk || br || brz ||
+                   nop_op || halt_op };
   }
   CODING { insn }
   SYNTAX { insn }

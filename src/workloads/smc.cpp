@@ -1,0 +1,107 @@
+#include "workloads/wl_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim::workloads {
+
+// Self-modifying accumulator: phase 1 runs an ADD loop body `k` times,
+// then the program copies a SUB template word from its own text over the
+// loop body (LDP/STP through program memory) and runs `m` more trips.
+// Final accumulator = 100 + 3k - 3m, stored to dmem[32].
+//
+// The patch is the canonical compiled-simulation hazard (paper §3: the
+// simulation table assumes immutable program memory), so these workloads
+// only agree with the interpretive oracle when write guards are enabled.
+// On both targets the STP resolves several cycles before the patched word
+// can be re-fetched (branch redirect latency), so the program is
+// timing-safe: no in-flight fetch ever races the store.
+
+namespace {
+
+constexpr std::uint64_t kResultAddr = 32;
+constexpr int kInitial = 100;
+constexpr int kAddend = 3;
+
+void expect_result(Workload& w, int phase1_trips, int phase2_trips) {
+  const std::int64_t acc =
+      kInitial + static_cast<std::int64_t>(kAddend) * phase1_trips -
+      static_cast<std::int64_t>(kAddend) * phase2_trips;
+  w.expected_dmem.emplace_back(kResultAddr, acc);
+}
+
+}  // namespace
+
+Workload make_smc_tinydsp(int phase1_trips, int phase2_trips) {
+  Workload w;
+  w.name = "smc";
+
+  detail::AsmBuilder b;
+  b.raw("; self-modifying accumulator: " + std::to_string(phase1_trips) +
+        " ADD trips, patch, " + std::to_string(phase2_trips) + " SUB trips");
+  b.raw("        .entry start");
+  b.label("start");
+  b.op("MVK 0, R0");  // pmem base for LDP/STP
+  b.op("MVK " + std::to_string(kAddend) + ", R2");
+  b.op("MVK " + std::to_string(kInitial) + ", R6");  // accumulator
+  b.op("MVK 1, R5");                                 // loop decrement
+  b.op("MVK 1, R9");                                 // phase flag, 1 = phase 1
+  b.op("MVK " + std::to_string(phase1_trips) + ", R4");
+  b.label_op("loop", "BZ R4, phase");
+  b.label_op("patch", "ADD.L R6, R6, R2");  // overwritten with tmpl's word
+  b.op("SUB.L R4, R4, R5");
+  b.op("B loop");
+  b.label_op("phase", "BZ R9, done");
+  b.op("MVK 0, R9");
+  b.op("LDP R7, R0, tmpl");    // read the template instruction word
+  b.op("STP R7, R0, patch");   // ...and patch the loop body with it
+  b.op("MVK " + std::to_string(phase2_trips) + ", R4");
+  b.op("B loop");
+  b.label_op("done", "ST R6, R0, " + std::to_string(kResultAddr));
+  b.op("HALT");
+  b.label_op("tmpl", "SUB.L R6, R6, R2");  // template, never executed here
+  w.asm_source = b.take();
+
+  expect_result(w, phase1_trips, phase2_trips);
+  return w;
+}
+
+Workload make_smc_c62x(int phase1_trips, int phase2_trips) {
+  Workload w;
+  w.name = "smc";
+
+  detail::AsmBuilder b;
+  b.raw("; self-modifying accumulator: " + std::to_string(phase1_trips) +
+        " ADD trips, patch, " + std::to_string(phase2_trips) + " SUB trips");
+  b.raw("        .entry start");
+  b.label("start");
+  b.op("MVK 0, A0");  // pmem base for LDP/STP
+  b.op("MVK " + std::to_string(kAddend) + ", A3");
+  b.op("MVK " + std::to_string(kInitial) + ", A7");  // accumulator
+  b.op("MVK 1, A1");                                 // phase flag, 1 = phase 1
+  b.op("MVK " + std::to_string(phase1_trips) + ", B0");
+  b.label_op("loop", "ADDK -1, B0");
+  b.label_op("patch", "ADD A7, A3, A7");  // overwritten with tmpl's word
+  b.op("[B0] B loop");
+  for (int i = 0; i < 5; ++i) b.op("NOP 1");  // branch delay slots
+  // Phase transition. The [!A1] exit branch has five delay slots, so the
+  // patch sequence sits inside them, predicated on [A1]: it runs on the
+  // phase-1 fall-through and is a no-op on the phase-2 one.
+  b.op("[!A1] B done");
+  b.op("[A1] LDP A0, tmpl, A5");    // read the template instruction word
+  b.op("[A1] STP A5, A0, patch");   // ...and patch the loop body with it
+  b.op("[A1] MVK " + std::to_string(phase2_trips) + ", B0");
+  b.op("[A1] MVK 0, A1");
+  b.op("NOP 1");
+  b.op("B loop");
+  for (int i = 0; i < 5; ++i) b.op("NOP 1");
+  b.label_op("done", "MVK " + std::to_string(kResultAddr) + ", A8");
+  b.op("STW A7, A8, 0");
+  for (int i = 0; i < 4; ++i) b.op("NOP 1");  // drain the store before HALT
+  b.op("HALT");
+  b.label_op("tmpl", "SUB A7, A3, A7");  // template, never executed here
+  w.asm_source = b.take();
+
+  expect_result(w, phase1_trips, phase2_trips);
+  return w;
+}
+
+}  // namespace lisasim::workloads

@@ -16,6 +16,11 @@
 // Every generator takes a `repeat` knob that emits independent copies of
 // the kernel (unique label prefixes): the instruction-count axis of the
 // paper's Fig. 6 without changing the computation.
+//
+// On top of the paper suite, SMC (self-modifying code) variants for
+// tinydsp and c62x exercise the write guards: they patch their own loop
+// body through program memory mid-run, so compiled levels are only
+// correct with guarded execution enabled.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +53,16 @@ Workload make_adpcm_roundtrip(int samples);
 
 /// GSM-style front end over a frame of `samples` (<= 160 idiomatic).
 Workload make_gsm(int samples, int repeat = 1);
+
+/// Self-modifying accumulator (guarded-execution test target): phase 1
+/// runs an ADD loop `phase1_trips` times, then the program patches its
+/// own loop body with a SUB template word via STP and runs `phase2_trips`
+/// more trips. dmem[32] = 100 + 3*phase1_trips - 3*phase2_trips. Only
+/// agrees with the interpretive oracle when write guards are on.
+Workload make_smc_tinydsp(int phase1_trips = 5, int phase2_trips = 7);
+/// The same program shape on c62x (patch sequence predicated inside the
+/// exit branch's delay slots).
+Workload make_smc_c62x(int phase1_trips = 5, int phase2_trips = 7);
 
 /// The paper's three-application suite at representative sizes.
 std::vector<Workload> paper_suite();

@@ -89,6 +89,132 @@ expect_contains "$TMP/help.out" \
     "--level values: interp, cached, dynamic, static" \
     "--help lists the simulation levels"
 
+# ---- guarded execution ------------------------------------------------------
+# A self-patching tinydsp program: after 5 ADD trips it overwrites its own
+# loop body with the SUB template word, then runs 7 more trips.
+# dmem[32] = 100 + 3*5 - 3*7 = 94. Unguarded compiled levels keep
+# executing the stale ADD translation and get 136 instead.
+cat > "$TMP/smc.asm" <<'EOF'
+        .entry start
+start:  MVK 0, R0
+        MVK 3, R2
+        MVK 100, R6
+        MVK 1, R5
+        MVK 1, R9
+        MVK 5, R4
+loop:   BZ R4, phase
+patch:  ADD.L R6, R6, R2
+        SUB.L R4, R4, R5
+        B loop
+phase:  BZ R9, done
+        MVK 0, R9
+        LDP R7, R0, tmpl
+        STP R7, R0, patch
+        MVK 7, R4
+        B loop
+done:   ST R6, R0, 32
+        HALT
+tmpl:   SUB.L R6, R6, R2
+EOF
+"$LISASIM" run @tinydsp "$TMP/smc.asm" --level interp --dump \
+    > "$TMP/smc_interp.out"
+expect_contains "$TMP/smc_interp.out" "dmem\[32\] = 94" \
+    "interp follows the patch"
+"$LISASIM" run @tinydsp "$TMP/smc.asm" --level static --dump \
+    > "$TMP/smc_off.out"
+expect_contains "$TMP/smc_off.out" "dmem\[32\] = 136" \
+    "unguarded static executes the stale translation"
+for policy in recompile fallback; do
+  # Both option spellings: --guard <p> and --guard=<p>.
+  "$LISASIM" run @tinydsp "$TMP/smc.asm" --level static --guard "$policy" \
+      --dump > "$TMP/smc_sp_$policy.out"
+  "$LISASIM" run @tinydsp "$TMP/smc.asm" --level static --guard="$policy" \
+      --dump --stats > "$TMP/smc_$policy.out"
+  expect_contains "$TMP/smc_sp_$policy.out" "dmem\[32\] = 94" \
+      "--guard $policy matches the interpretive oracle"
+  expect_contains "$TMP/smc_$policy.out" "dmem\[32\] = 94" \
+      "--guard=$policy matches the interpretive oracle"
+  expect_contains "$TMP/smc_$policy.out" "guards: 1 guarded write" \
+      "--guard=$policy reports guard stats"
+  # Guarded timing must equal the oracle's, cycle for cycle.
+  a=$(grep ' cycles,' "$TMP/smc_interp.out" |
+      sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+  b=$(grep ' cycles,' "$TMP/smc_$policy.out" |
+      sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+  [ "$a" = "$b" ] || fail "guarded cycles interp=$a vs $policy=$b"
+done
+if "$LISASIM" run @tinydsp "$TMP/smc.asm" --guard bogus \
+    > "$TMP/err4.out" 2>&1; then
+  fail "unknown --guard should fail"
+fi
+expect_contains "$TMP/err4.out" "unknown guard policy 'bogus'" \
+    "unknown --guard names the bad value"
+
+# ---- watchdog limits --------------------------------------------------------
+cat > "$TMP/spin.asm" <<'EOF'
+        .entry start
+start:  MVK 1, R1
+loop:   B loop
+        HALT
+EOF
+# --max-cycles is a soft stop (exit 0) ...
+"$LISASIM" run @tinydsp "$TMP/spin.asm" --level static --max-cycles 300 \
+    > "$TMP/mc.out"
+expect_contains "$TMP/mc.out" "300 cycles" "--max-cycles stops the run"
+expect_contains "$TMP/mc.out" "cycle limit reached" "--max-cycles is soft"
+# ... while --watchdog is a recoverable error (exit 3) at every level.
+for level in interp cached dynamic static; do
+  if "$LISASIM" run @tinydsp "$TMP/spin.asm" --level "$level" \
+      --watchdog 500 > "$TMP/wd.out" 2>&1; then
+    fail "--watchdog should fail ($level)"
+  else
+    code=$?
+  fi
+  [ "$code" = "3" ] || fail "--watchdog should exit 3 ($level, got $code)"
+  expect_contains "$TMP/wd.out" "watchdog: cycle limit 500" \
+      "watchdog message ($level)"
+done
+# The livelock watchdog trips on consecutive non-retiring cycles.
+cat > "$TMP/stall.asm" <<'EOF'
+        .entry start
+start:  NOP 15
+        HALT
+EOF
+if "$LISASIM" run @tinydsp "$TMP/stall.asm" --max-stuck 5 \
+    > "$TMP/stuck.out" 2>&1; then
+  fail "--max-stuck should fail"
+else
+  code=$?
+fi
+[ "$code" = "3" ] || fail "--max-stuck should exit 3 (got $code)"
+expect_contains "$TMP/stuck.out" "consecutive cycles without a retiring" \
+    "stuck-limit message"
+# Fatal simulation errors keep exiting 1, distinct from recoverable stops.
+cat > "$TMP/oob.asm" <<'EOF'
+        .entry start
+start:  MVK 9999, R1
+        LD R2, R1, 0
+        HALT
+EOF
+if "$LISASIM" run @tinydsp "$TMP/oob.asm" --level interp \
+    > "$TMP/oob.out" 2>&1; then
+  fail "out-of-bounds access should fail"
+else
+  code=$?
+fi
+[ "$code" = "1" ] || fail "fatal error should exit 1 (got $code)"
+expect_contains "$TMP/oob.out" "out-of-bounds access" "fatal error message"
+
+# ---- checkpoint save/restore round trip ------------------------------------
+for level in interp cached dynamic static; do
+  "$LISASIM" run @tinydsp "$TMP/smc.asm" --level "$level" --guard recompile \
+      --checkpoint 40 --dump > "$TMP/ckpt_$level.out"
+  expect_contains "$TMP/ckpt_$level.out" "cycles verified" \
+      "checkpoint replay verified ($level)"
+  expect_contains "$TMP/ckpt_$level.out" "dmem\[32\] = 94" \
+      "checkpoint run reaches the same result ($level)"
+done
+
 # ---- error handling ---------------------------------------------------------
 if "$LISASIM" run @c62x /nonexistent.asm > "$TMP/err.out" 2>&1; then
   fail "missing file should fail"

@@ -24,26 +24,32 @@ struct CrossLevelRun {
 
 /// Run `program` on all four simulation levels (interpretive,
 /// decode-cached, compiled-dynamic, compiled-static) and assert exact
-/// agreement of timing and final state.
+/// agreement of timing and final state. `guard` arms the write guards of
+/// the table-based levels (the interpretive oracle needs none); it is
+/// required for any program that writes its own text.
 inline CrossLevelRun run_all_levels(const Model& model,
                                     const LoadedProgram& program,
-                                    std::uint64_t max_cycles = 2'000'000) {
+                                    std::uint64_t max_cycles = 2'000'000,
+                                    GuardPolicy guard = GuardPolicy::kOff) {
   InterpSimulator interp(model);
   interp.load(program);
   const RunResult r_interp = interp.run(max_cycles);
   const std::string s_interp = interp.state().dump_nonzero();
 
   CachedInterpSimulator cached(model);
+  cached.set_guard_policy(guard);
   cached.load(program);
   const RunResult r_cached = cached.run(max_cycles);
   const std::string s_cached = cached.state().dump_nonzero();
 
   CompiledSimulator dynamic(model, SimLevel::kCompiledDynamic);
+  dynamic.set_guard_policy(guard);
   dynamic.load(program);
   const RunResult r_dynamic = dynamic.run(max_cycles);
   const std::string s_dynamic = dynamic.state().dump_nonzero();
 
   CompiledSimulator stat(model, SimLevel::kCompiledStatic);
+  stat.set_guard_policy(guard);
   stat.load(program);
   const RunResult r_static = stat.run(max_cycles);
   const std::string s_static = stat.state().dump_nonzero();

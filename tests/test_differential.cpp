@@ -62,6 +62,27 @@ TEST_P(DifferentialTest, AllLevelsAgreeOnEveryWorkload) {
   }
 }
 
+TEST_P(DifferentialTest, SelfModifyingCodeAgreesUnderGuards) {
+  // The SMC workload patches its own loop body mid-run — the one program
+  // class where compiled simulation is unsound without write guards. With
+  // either guard policy, all four levels must still agree bit for bit.
+  const TargetCase& tc = target_case();
+  const std::string name = tc.name;
+  if (name == "c54x") GTEST_SKIP() << "no SMC workload for c54x";
+  TestTarget target(tc.source(), tc.name);
+  const workloads::Workload w = name == "tinydsp"
+                                    ? workloads::make_smc_tinydsp()
+                                    : workloads::make_smc_c62x();
+  const LoadedProgram p = target.assemble(w.asm_source);
+  for (const GuardPolicy policy :
+       {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+    SCOPED_TRACE(guard_policy_name(policy));
+    const auto run = testing::run_all_levels(*target.model, p, 2'000'000,
+                                             policy);
+    EXPECT_TRUE(run.result.halted) << "SMC workload must halt";
+  }
+}
+
 TEST_P(DifferentialTest, ParallelAndCachedTablesReplayIdentically) {
   const TargetCase& tc = target_case();
   TestTarget target(tc.source(), tc.name);

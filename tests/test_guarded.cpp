@@ -1,0 +1,526 @@
+// Guarded execution: self-modifying-code detection and recovery, watchdog
+// limits, checkpoint/restore, and the memory-hook machinery they build on.
+//
+// The load-bearing property is the same as the differential harness's: with
+// guards enabled, every compiled level must stay bit-identical to the
+// interpretive oracle even when the program rewrites its own text — and
+// without guards, the compiled levels must demonstrably diverge (that
+// divergence is the hazard the guards exist to close, paper §3).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim_test_util.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/guard.hpp"
+#include "sim/table_cache.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+using testing::reg_of;
+
+constexpr SimLevel kAllLevels[] = {
+    SimLevel::kInterpretive, SimLevel::kDecodeCached,
+    SimLevel::kCompiledDynamic, SimLevel::kCompiledStatic};
+constexpr SimLevel kTableLevels[] = {SimLevel::kDecodeCached,
+                                     SimLevel::kCompiledDynamic,
+                                     SimLevel::kCompiledStatic};
+constexpr GuardPolicy kPolicies[] = {GuardPolicy::kRecompile,
+                                     GuardPolicy::kFallback};
+
+/// Construct the simulator for `level`, apply the guard policy, load, and
+/// hand it to `fn` (a generic lambda taking `auto& sim`).
+template <typename Fn>
+decltype(auto) with_sim(const Model& model, SimLevel level,
+                        GuardPolicy policy, const LoadedProgram& program,
+                        Fn&& fn) {
+  if (level == SimLevel::kInterpretive) {
+    InterpSimulator sim(model);
+    sim.load(program);
+    return fn(sim);
+  }
+  if (level == SimLevel::kDecodeCached) {
+    CachedInterpSimulator sim(model);
+    sim.set_guard_policy(policy);
+    sim.load(program);
+    return fn(sim);
+  }
+  CompiledSimulator sim(model, level);
+  sim.set_guard_policy(policy);
+  sim.load(program);
+  return fn(sim);
+}
+
+// ---------------------------------------------------------------- hooks
+
+struct RecordingHook final : MemoryHook {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> writes;
+  std::int64_t read_bias = 0;
+
+  std::int64_t on_read(std::uint64_t /*index*/, std::int64_t stored) override {
+    return stored + read_bias;
+  }
+  void on_write(std::uint64_t index, std::int64_t value) override {
+    writes.emplace_back(index, value);
+  }
+};
+
+class MemoryHookTest : public ::testing::Test {
+ protected:
+  MemoryHookTest()
+      : target_(targets::tinydsp_model_source(), "tinydsp"),
+        state_(*target_.model),
+        dmem_(target_.model->resource_by_name("dmem")->id),
+        pmem_(target_.model->resource_by_name("pmem")->id) {}
+
+  TestTarget target_;
+  ProcessorState state_;
+  ResourceId dmem_;
+  ResourceId pmem_;
+};
+
+TEST_F(MemoryHookTest, OverlappingRegionsResolveToFirstRegistered) {
+  RecordingHook first, second;
+  first.read_bias = 100;
+  second.read_bias = 200;
+  state_.map_hook(dmem_, 0, 10, &first);
+  state_.map_hook(dmem_, 5, 15, &second);
+
+  state_.write(dmem_, 7, 42);  // inside both regions
+  ASSERT_EQ(first.writes.size(), 1u);
+  EXPECT_EQ(first.writes[0], std::make_pair(std::uint64_t{7},
+                                            std::int64_t{42}));
+  EXPECT_TRUE(second.writes.empty());
+  EXPECT_EQ(state_.read(dmem_, 7), 42 + 100);
+
+  state_.write(dmem_, 12, 7);  // only the second region covers it
+  ASSERT_EQ(second.writes.size(), 1u);
+  EXPECT_EQ(second.writes[0], std::make_pair(std::uint64_t{12},
+                                             std::int64_t{7}));
+  EXPECT_EQ(state_.read(dmem_, 12), 7 + 200);
+}
+
+TEST_F(MemoryHookTest, HookOverProgramMemoryObservesTextWrites) {
+  RecordingHook hook;
+  state_.map_hook(pmem_, 0, state_.size_of(pmem_), &hook);
+  state_.write(pmem_, 3, 0x12345678);
+  ASSERT_EQ(hook.writes.size(), 1u);
+  EXPECT_EQ(hook.writes[0].first, 3u);
+  EXPECT_EQ(hook.writes[0].second, 0x12345678);
+  // Loading a program writes its text through the hook too.
+  const LoadedProgram p = target_.assemble("        HALT\n");
+  load_into_state(p, state_);
+  EXPECT_GT(hook.writes.size(), 1u);
+}
+
+TEST_F(MemoryHookTest, ResetPreservesHookRegistrations) {
+  RecordingHook hook;
+  state_.map_hook(dmem_, 0, 8, &hook);
+  state_.write(dmem_, 2, 5);
+  ASSERT_EQ(state_.hook_count(), 1u);
+
+  state_.reset();
+  EXPECT_EQ(state_.hook_count(), 1u) << "reset clears values, not hooks";
+  EXPECT_EQ(state_.read(dmem_, 2), 0 + 0) << "values are cleared";
+  state_.write(dmem_, 2, 9);
+  ASSERT_EQ(hook.writes.size(), 2u) << "hook still fires after reset";
+  EXPECT_EQ(hook.writes[1], std::make_pair(std::uint64_t{2},
+                                           std::int64_t{9}));
+}
+
+TEST_F(MemoryHookTest, UnmapHookRemovesEveryRegionOfTheHook) {
+  RecordingHook hook, other;
+  state_.map_hook(dmem_, 0, 4, &hook);
+  state_.map_hook(dmem_, 8, 12, &hook);  // two regions, one hook
+  state_.map_hook(pmem_, 0, 4, &other);
+  EXPECT_EQ(state_.hook_count(), 3u);
+
+  state_.unmap_hook(&hook);
+  EXPECT_EQ(state_.hook_count(), 1u);
+  state_.write(dmem_, 1, 3);
+  state_.write(dmem_, 9, 3);
+  EXPECT_TRUE(hook.writes.empty());
+  state_.write(pmem_, 1, 3);
+  EXPECT_EQ(other.writes.size(), 1u) << "other hooks stay mapped";
+  state_.unmap_hook(&hook);  // unknown hook: no-op
+  EXPECT_EQ(state_.hook_count(), 1u);
+}
+
+TEST_F(MemoryHookTest, ProgramGuardGenerationsTrackWrites) {
+  ProgramGuard guard;
+  guard.attach(state_);
+  EXPECT_TRUE(guard.attached());
+  EXPECT_EQ(guard.writes(), 0u);
+  EXPECT_TRUE(guard.span_clean(0, 16));
+
+  state_.write(pmem_, 5, 0xABCD);
+  EXPECT_EQ(guard.writes(), 1u);
+  EXPECT_FALSE(guard.span_clean(4, 4));
+  EXPECT_TRUE(guard.span_clean(0, 5));
+  EXPECT_TRUE(guard.span_clean(6, 16));
+  const std::uint64_t stamp = guard.span_stamp(4, 4);
+  EXPECT_EQ(stamp, 1u);
+  state_.write(pmem_, 5, 0xABCD);  // same value still bumps the generation
+  EXPECT_EQ(guard.span_stamp(4, 4), stamp + 1);
+
+  guard.reset();  // re-baseline (what load() does after writing the text)
+  EXPECT_EQ(guard.writes(), 0u);
+  EXPECT_TRUE(guard.span_clean(4, 4));
+
+  guard.bump_all();  // conservative re-stale (checkpoint restore)
+  EXPECT_GT(guard.writes(), 0u);
+  EXPECT_FALSE(guard.span_clean(0, 1));
+  // Out-of-range words were never translated from, so they stay clean.
+  const std::uint64_t size = state_.size_of(pmem_);
+  EXPECT_TRUE(guard.span_clean(size + 10, 4));
+  EXPECT_EQ(guard.span_stamp(size + 10, 4), 0u);
+
+  guard.detach();
+  EXPECT_FALSE(guard.attached());
+  EXPECT_EQ(state_.hook_count(), 0u);
+}
+
+// ---------------------------------------------- self-modifying-code runs
+
+struct SmcCase {
+  const char* target_name;
+  std::string_view (*source)();
+  workloads::Workload (*make)(int, int);
+};
+
+const SmcCase kSmcCases[] = {
+    {"tinydsp", targets::tinydsp_model_source, workloads::make_smc_tinydsp},
+    {"c62x", targets::c62x_model_source, workloads::make_smc_c62x},
+};
+
+TEST(GuardedSmc, GuardedLevelsMatchTheInterpretiveOracle) {
+  for (const SmcCase& smc : kSmcCases) {
+    SCOPED_TRACE(smc.target_name);
+    TestTarget target(smc.source(), smc.target_name);
+    const workloads::Workload w = smc.make(5, 7);
+    const LoadedProgram p = target.assemble(w.asm_source);
+
+    InterpSimulator oracle(*target.model);
+    oracle.load(p);
+    const RunResult want = oracle.run(100000);
+    ASSERT_TRUE(want.halted);
+    for (const auto& [addr, value] : w.expected_dmem)
+      EXPECT_EQ(reg_of(*target.model, oracle.state(), "dmem", addr), value);
+
+    for (const SimLevel level : kTableLevels) {
+      for (const GuardPolicy policy : kPolicies) {
+        SCOPED_TRACE(std::string(sim_level_name(level)) + " / " +
+                     guard_policy_name(policy));
+        with_sim(*target.model, level, policy, p, [&](auto& sim) {
+          EXPECT_EQ(sim.run(100000), want);
+          EXPECT_TRUE(oracle.state() == sim.state());
+          EXPECT_GT(sim.guarded_writes(), 0u);
+          const GuardStats& gs = sim.guard_stats();
+          EXPECT_GT(gs.stale_issues, 0u);
+          if (policy == GuardPolicy::kRecompile) {
+            EXPECT_GT(gs.recompiles, 0u);
+            EXPECT_EQ(gs.fallbacks, 0u);
+          } else {
+            EXPECT_GT(gs.fallbacks, 0u);
+            EXPECT_EQ(gs.recompiles, 0u);
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(GuardedSmc, UnguardedCompiledLevelsExecuteStaleTranslations) {
+  // The divergence the guards close: without them every table-based level
+  // keeps running the pre-patch ADD, overshooting the accumulator by
+  // 3 * (phase1 + phase2) relative to the oracle's 100 + 3*5 - 3*7.
+  for (const SmcCase& smc : kSmcCases) {
+    SCOPED_TRACE(smc.target_name);
+    TestTarget target(smc.source(), smc.target_name);
+    const workloads::Workload w = smc.make(5, 7);
+    const LoadedProgram p = target.assemble(w.asm_source);
+    for (const SimLevel level : kTableLevels) {
+      SCOPED_TRACE(sim_level_name(level));
+      with_sim(*target.model, level, GuardPolicy::kOff, p, [&](auto& sim) {
+        const RunResult r = sim.run(100000);
+        EXPECT_TRUE(r.halted);
+        EXPECT_EQ(reg_of(*target.model, sim.state(), "dmem", 32),
+                  100 + 3 * 5 + 3 * 7);
+        EXPECT_EQ(sim.guarded_writes(), 0u) << "guard is detached when off";
+      });
+    }
+  }
+}
+
+// ------------------------------------------------------- watchdog limits
+
+constexpr const char* kSpinAsm = R"(
+        .entry start
+start:  MVK 1, R1
+loop:   B loop
+        HALT
+)";
+
+TEST(Watchdog, CycleLimitThrowsRecoverableAtEveryLevel) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const LoadedProgram p = target.assemble(kSpinAsm);
+  for (const SimLevel level : kAllLevels) {
+    SCOPED_TRACE(sim_level_name(level));
+    with_sim(*target.model, level, GuardPolicy::kOff, p, [&](auto& sim) {
+      RunLimits limits;
+      limits.watchdog_cycles = 200;
+      try {
+        sim.run(limits);
+        FAIL() << "watchdog must throw";
+      } catch (const SimError& e) {
+        EXPECT_TRUE(e.recoverable());
+        EXPECT_EQ(e.kind(), SimErrorKind::kRecoverable);
+        EXPECT_TRUE(e.context().has_cycle);
+        EXPECT_EQ(e.context().cycle, 200u);
+        EXPECT_TRUE(e.context().has_pc);
+        EXPECT_EQ(e.context().level, static_cast<int>(level));
+        EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+      }
+    });
+  }
+}
+
+TEST(Watchdog, StuckLimitCatchesNonRetiringPipeline) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  // NOP 15 stalls the pipeline for 14 cycles: no packet retires while the
+  // stall drains, which is exactly the livelock signature.
+  const LoadedProgram p = target.assemble(R"(
+        .entry start
+start:  NOP 15
+        HALT
+)");
+  for (const SimLevel level : kAllLevels) {
+    SCOPED_TRACE(sim_level_name(level));
+    with_sim(*target.model, level, GuardPolicy::kOff, p, [&](auto& sim) {
+      RunLimits limits;
+      limits.max_stuck_cycles = 5;
+      try {
+        sim.run(limits);
+        FAIL() << "stuck limit must throw";
+      } catch (const SimError& e) {
+        EXPECT_TRUE(e.recoverable());
+        EXPECT_NE(std::string(e.what()).find("without a retiring"),
+                  std::string::npos);
+      }
+      // Without the limit the same pipeline state simply finishes.
+      EXPECT_TRUE(sim.run(1000).halted);
+    });
+  }
+}
+
+TEST(Watchdog, MaxCyclesIsASoftStopNotAnError) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const LoadedProgram p = target.assemble(kSpinAsm);
+  for (const SimLevel level : kAllLevels) {
+    SCOPED_TRACE(sim_level_name(level));
+    with_sim(*target.model, level, GuardPolicy::kOff, p, [&](auto& sim) {
+      const RunResult r = sim.run(300);
+      EXPECT_EQ(r.cycles, 300u);
+      EXPECT_FALSE(r.halted);
+    });
+  }
+}
+
+TEST(Watchdog, RunResumesAfterARecoverableStop) {
+  // The watchdog fires at a clean cycle boundary, so catching it and
+  // calling run() again must finish the program with the same total cycle
+  // count and final state as an uninterrupted run — at every level, on the
+  // self-modifying workload.
+  for (const SmcCase& smc : kSmcCases) {
+    SCOPED_TRACE(smc.target_name);
+    TestTarget target(smc.source(), smc.target_name);
+    const workloads::Workload w = smc.make(5, 7);
+    const LoadedProgram p = target.assemble(w.asm_source);
+
+    InterpSimulator oracle(*target.model);
+    oracle.load(p);
+    const RunResult want = oracle.run(100000);
+
+    for (const SimLevel level : kAllLevels) {
+      SCOPED_TRACE(sim_level_name(level));
+      with_sim(*target.model, level, GuardPolicy::kRecompile, p,
+               [&](auto& sim) {
+        RunLimits limits;
+        limits.watchdog_cycles = want.cycles / 2;
+        std::uint64_t cycles = 0;
+        try {
+          sim.run(limits);
+          FAIL() << "watchdog must fire mid-run";
+        } catch (const SimError& e) {
+          ASSERT_TRUE(e.recoverable());
+          cycles = e.context().cycle;
+        }
+        const RunResult rest = sim.run(100000);
+        EXPECT_TRUE(rest.halted);
+        EXPECT_EQ(cycles + rest.cycles, want.cycles);
+        EXPECT_TRUE(oracle.state() == sim.state());
+      });
+    }
+  }
+}
+
+// -------------------------------------------------- checkpoint / restore
+
+TEST(Checkpoint, MidRunRoundTripReplaysBitIdentically) {
+  for (const SmcCase& smc : kSmcCases) {
+    SCOPED_TRACE(smc.target_name);
+    TestTarget target(smc.source(), smc.target_name);
+    const workloads::Workload w = smc.make(5, 7);
+    const LoadedProgram p = target.assemble(w.asm_source);
+
+    InterpSimulator oracle(*target.model);
+    oracle.load(p);
+    const RunResult want = oracle.run(100000);
+    const std::string want_state = oracle.state().dump_nonzero();
+
+    for (const SimLevel level : kAllLevels) {
+      for (const GuardPolicy policy : kPolicies) {
+        // Checkpoint at several points: before the patch, around it, and
+        // deep into phase 2, so in-flight pipeline slots of every flavor
+        // (clean, stale, fallback) get snapshotted.
+        for (const std::uint64_t at : {std::uint64_t{10}, want.cycles / 2,
+                                       want.cycles - 5}) {
+          SCOPED_TRACE(std::string(sim_level_name(level)) + " / " +
+                       guard_policy_name(policy) + " @ " +
+                       std::to_string(at));
+          with_sim(*target.model, level, policy, p, [&](auto& sim) {
+            const RunResult head = sim.run(at);
+            ASSERT_FALSE(head.halted);
+            const EngineCheckpoint cp = sim.save_checkpoint();
+            const RunResult first = sim.run(100000);
+            const std::string first_state = sim.state().dump_nonzero();
+            EXPECT_TRUE(first.halted);
+            EXPECT_EQ(head.cycles + first.cycles, want.cycles);
+            EXPECT_EQ(first_state, want_state);
+
+            sim.restore_checkpoint(cp);
+            const RunResult replay = sim.run(100000);
+            EXPECT_EQ(replay, first);
+            EXPECT_EQ(sim.state().dump_nonzero(), first_state);
+            EXPECT_TRUE(oracle.state() == sim.state());
+          });
+        }
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, RestoresIntoAFreshSimulatorInstance) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const workloads::Workload w = workloads::make_smc_tinydsp(5, 7);
+  const LoadedProgram p = target.assemble(w.asm_source);
+
+  CompiledSimulator a(*target.model, SimLevel::kCompiledStatic);
+  a.set_guard_policy(GuardPolicy::kRecompile);
+  a.load(p);
+  ASSERT_FALSE(a.run(50).halted);
+  const EngineCheckpoint cp = a.save_checkpoint();
+  const RunResult want = a.run(100000);
+  ASSERT_TRUE(want.halted);
+
+  // A second simulator of the same model/level/program picks the snapshot
+  // up and finishes identically (migration between simulator instances).
+  CompiledSimulator b(*target.model, SimLevel::kCompiledStatic);
+  b.set_guard_policy(GuardPolicy::kRecompile);
+  b.load(p);
+  b.restore_checkpoint(cp);
+  EXPECT_EQ(b.run(100000), want);
+  EXPECT_TRUE(a.state() == b.state());
+}
+
+TEST(Checkpoint, RestoreAfterWatchdogRewindsTheRun) {
+  // checkpoint -> watchdog stop -> restore -> raise the limit -> finish:
+  // the canonical recovery loop the recoverable error class exists for.
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const LoadedProgram p = target.assemble(kSpinAsm);
+  CompiledSimulator sim(*target.model, SimLevel::kCompiledStatic);
+  sim.load(p);
+  ASSERT_FALSE(sim.run(100).halted);
+  const EngineCheckpoint cp = sim.save_checkpoint();
+
+  RunLimits limits;
+  limits.watchdog_cycles = 50;
+  EXPECT_THROW(sim.run(limits), SimError);
+  sim.restore_checkpoint(cp);
+  const RunResult r = sim.run(75);
+  EXPECT_EQ(r.cycles, 75u) << "restored run continues past the old stop";
+  EXPECT_FALSE(r.halted);
+}
+
+// ------------------------------------------------- table-cache integration
+
+TEST(GuardedCache, SelfModifiedProgramsInvalidateTheirCachedTables) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const workloads::Workload w = workloads::make_smc_tinydsp(5, 7);
+  const LoadedProgram p = target.assemble(w.asm_source);
+
+  SimTableCache cache;
+  CompiledSimulator sim(*target.model, SimLevel::kCompiledStatic);
+  sim.set_table_cache(&cache);
+  sim.set_guard_policy(GuardPolicy::kRecompile);
+
+  const SimCompileStats cold = sim.load(p);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.cache_misses, 1u);
+  ASSERT_TRUE(sim.run(100000).halted);
+  EXPECT_GT(sim.guarded_writes(), 0u);
+
+  // The program wrote its own text, so the cached table describes code the
+  // image no longer holds: the reload must not be served from the cache.
+  const SimCompileStats again = sim.load(p);
+  EXPECT_FALSE(again.cache_hit) << "stale table must not be served";
+  EXPECT_GE(cache.stats().invalidations, 1u);
+  ASSERT_TRUE(sim.run(100000).halted);
+  EXPECT_EQ(reg_of(*target.model, sim.state(), "dmem", 32), 94);
+}
+
+TEST(GuardedCache, CleanProgramsKeepHittingTheCache) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const LoadedProgram p = target.assemble(kSpinAsm);
+
+  SimTableCache cache;
+  CompiledSimulator sim(*target.model, SimLevel::kCompiledStatic);
+  sim.set_table_cache(&cache);
+  sim.set_guard_policy(GuardPolicy::kRecompile);
+
+  EXPECT_FALSE(sim.load(p).cache_hit);
+  sim.run(100);
+  EXPECT_EQ(sim.guarded_writes(), 0u);
+  const SimCompileStats warm = sim.load(p);
+  EXPECT_TRUE(warm.cache_hit) << "no self-modification, no invalidation";
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(warm.cache_hits, 1u);
+  EXPECT_EQ(warm.cache_misses, 1u);
+  EXPECT_EQ(warm.cache_evictions, 0u);
+}
+
+TEST(GuardedCache, InvalidateDropsEveryLevelOfAProgram) {
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const LoadedProgram p = target.assemble(kSpinAsm);
+  SimTableCache cache;
+  for (const SimLevel level :
+       {SimLevel::kCompiledDynamic, SimLevel::kCompiledStatic}) {
+    CompiledSimulator sim(*target.model, level);
+    sim.set_table_cache(&cache);
+    sim.load(p);
+  }
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.invalidate(SimTableCache::hash_program(p)), 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.invalidate(0xDEADBEEF), 0u) << "unknown hash is a no-op";
+}
+
+}  // namespace
+}  // namespace lisasim
