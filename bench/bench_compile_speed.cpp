@@ -14,8 +14,12 @@
 // table; (b) the simulation-table cache — a warm reload of an unchanged
 // program skips translation entirely, which is the dominant pattern in
 // benchmark repetitions.
+// `--json <path>` writes the three tables as a machine-readable snapshot
+// (BENCH_compile.json is the checked-in reference).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -25,7 +29,17 @@
 
 using namespace lisasim;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::BenchTarget target;
   SimulationCompiler compiler(*target.model, *target.decoder);
 
@@ -46,6 +60,15 @@ int main() {
   rows.push_back({"gsm x16", workloads::make_gsm(160, 16)});
   rows.push_back({"gsm x32", workloads::make_gsm(160, 32)});
 
+  struct JsonRow {
+    std::string app;
+    std::size_t instructions = 0;
+    double compile_ms = 0;
+    double instructions_per_second = 0;
+    std::size_t microops = 0;
+  };
+  std::vector<JsonRow> json_rows;
+
   std::printf("E1 / Fig.6 -- simulation compilation speed (c62x model)\n");
   std::printf("%-14s %12s %12s %14s %14s\n", "application", "instructions",
               "time [ms]", "instr/s", "microops");
@@ -63,6 +86,8 @@ int main() {
     std::printf("%-14s %12zu %12.3f %14s %14zu\n", row.app.c_str(),
                 stats.instructions, seconds * 1e3,
                 bench::format_rate(speed).c_str(), stats.microops);
+    json_rows.push_back(
+        {row.app, stats.instructions, seconds * 1e3, speed, stats.microops});
   }
   std::printf(
       "\nshape check: compilation speed spread max/min = %.2fx "
@@ -83,6 +108,13 @@ int main() {
       ThreadPool::hardware_threads() == 1 ? "" : "s");
   std::printf("%-8s %12s %10s %12s\n", "threads", "time [ms]", "speedup",
               "identical");
+  struct ParallelRow {
+    unsigned threads = 0;
+    double compile_ms = 0;
+    double speedup = 0;
+    bool identical = false;
+  };
+  std::vector<ParallelRow> parallel_rows;
   double t1 = 0;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     SimCompileOptions options;
@@ -96,6 +128,7 @@ int main() {
     const bool identical = table.signature() == reference_signature;
     std::printf("%-8u %12.3f %9.2fx %12s\n", threads, seconds * 1e3,
                 t1 / seconds, identical ? "yes" : "NO");
+    parallel_rows.push_back({threads, seconds * 1e3, t1 / seconds, identical});
   }
   std::printf("(speedup tracks the physical core count; the table is "
               "bit-identical at every thread count)\n");
@@ -118,5 +151,44 @@ int main() {
       "\ntable cache, gsm x32: cold compile %.3f ms, warm reload %.4f ms "
       "(%.2f%% of cold, %.0fx)\n",
       cold * 1e3, warm * 1e3, 100.0 * warm / cold, cold / warm);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f, "{\n  \"bench\": \"compile_speed\",\n  \"target\": \"c62x\",\n");
+    std::fprintf(f, "  \"applications\": [\n");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      std::fprintf(f,
+                   "    {\"app\": \"%s\", \"instructions\": %zu, "
+                   "\"compile_ms\": %.3f, \"instructions_per_second\": %.0f, "
+                   "\"microops\": %zu}%s\n",
+                   r.app.c_str(), r.instructions, r.compile_ms,
+                   r.instructions_per_second, r.microops,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"speed_spread_max_over_min\": %.3f,\n",
+                 max_speed / min_speed);
+    std::fprintf(f, "  \"parallel_gsm_x32\": [\n");
+    for (std::size_t i = 0; i < parallel_rows.size(); ++i) {
+      const auto& r = parallel_rows[i];
+      std::fprintf(f,
+                   "    {\"threads\": %u, \"compile_ms\": %.3f, "
+                   "\"speedup\": %.2f, \"identical\": %s}%s\n",
+                   r.threads, r.compile_ms, r.speedup,
+                   r.identical ? "true" : "false",
+                   i + 1 < parallel_rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"table_cache_gsm_x32\": {\"cold_ms\": %.3f, "
+                 "\"warm_ms\": %.4f}\n}\n",
+                 cold * 1e3, warm * 1e3);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

@@ -12,12 +12,15 @@
 // models "@tinydsp" / "@c62x".
 //
 // run options:
-//   --level interp|cached|dynamic|static   simulation level (default static)
+//   --level interp|cached|dynamic|static|trace
+//                                   simulation level (default static)
 //   --max-cycles N                  stop after N cycles
 //   --dump                          print non-zero state at the end
 //   --stats                         print simulation-compile statistics
 //   --trace [N]                     print the first N trace events (def 200)
 //   --profile                       print the hot-spot table at the end
+//   --trace-threshold N             fetches before a packet is hot enough
+//                                   for superblock formation (--level trace)
 //   --threads N                     simulation-compiler workers (0 = auto)
 //   --cache                         serve repeated loads from the table
 //                                   cache (with --runs N, reloads hit it)
@@ -31,6 +34,9 @@
 //   --checkpoint N                  save a checkpoint at cycle N, finish,
 //                                   restore and replay; verify both runs
 //                                   agree bit for bit
+//
+// The --trace/--profile observers need per-cycle events, so they disable
+// hot-trace dispatch while attached (results are identical either way).
 //
 // exit codes: 0 success, 1 fatal simulation error, 2 usage error,
 // 3 recoverable guarded-execution stop (watchdog / stuck limit).
@@ -77,20 +83,31 @@ std::string model_source(const std::string& spec) {
   return read_file(spec);
 }
 
-constexpr const char kLevelNames[] = "interp, cached, dynamic, static";
+constexpr const char kLevelNames[] = "interp, cached, dynamic, static, trace";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: lisasim <check|dump|asm|disasm|codegen|run> <model> "
-               "[prog.asm] [--level interp|cached|dynamic|static] "
+               "[prog.asm] [--level interp|cached|dynamic|static|trace] "
                "[--max-cycles N] [--dump] [--stats] [--threads N] [--cache] "
-               "[--runs N] [--trace [N]] [--profile] "
+               "[--runs N] [--trace [N]] [--profile] [--trace-threshold N] "
                "[--guard off|recompile|fallback] [--watchdog N] "
                "[--max-stuck N] [--checkpoint N]\n"
                "       <model> is a .lisa path or @tinydsp / @c62x / @c54x\n"
-               "       --level values: %s\n"
-               "       exit codes: 0 ok, 1 fatal error, 2 usage, "
-               "3 recoverable stop\n",
+               "       --level values: %s ('trace' adds hot-path\n"
+               "         superblock dispatch on top of 'static'; "
+               "--trace-threshold N\n"
+               "         sets its hotness threshold, default 32)\n"
+               "       exit codes: 0 ok, 1 fatal simulation error, 2 usage "
+               "error,\n"
+               "         3 recoverable guarded-execution stop: a --watchdog "
+               "cycle limit\n"
+               "         or --max-stuck livelock limit fired; the error "
+               "names the pc,\n"
+               "         cycle and level, and the pipeline stays consistent, "
+               "so a rerun\n"
+               "         with a higher limit (or a restored --checkpoint) "
+               "may continue\n",
                kLevelNames);
 }
 
@@ -251,6 +268,7 @@ int main(int argc, char** argv) {
     unsigned threads = 1;
     std::uint64_t runs = 1;
     std::uint64_t trace_events = 0;
+    std::uint32_t trace_threshold = 0;  // 0 = TraceConfig default
     for (int i = 4; i < argc; ++i) {
       if (const char* value = option_value(argc, argv, i, "--level")) {
         const std::string v = value;
@@ -258,6 +276,7 @@ int main(int argc, char** argv) {
         else if (v == "cached") level = SimLevel::kDecodeCached;
         else if (v == "dynamic") level = SimLevel::kCompiledDynamic;
         else if (v == "static") level = SimLevel::kCompiledStatic;
+        else if (v == "trace") level = SimLevel::kTrace;
         else {
           std::fprintf(stderr,
                        "error: unknown simulation level '%s' (valid levels: "
@@ -277,6 +296,11 @@ int main(int argc, char** argv) {
       } else if (const char* value =
                      option_value(argc, argv, i, "--checkpoint")) {
         checkpoint_at = std::strtoull(value, nullptr, 0);
+      } else if (const char* value =
+                     option_value(argc, argv, i, "--trace-threshold")) {
+        trace_threshold =
+            static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
+        if (trace_threshold == 0) trace_threshold = 1;
       } else if (const char* value = option_value(argc, argv, i, "--guard")) {
         const std::string v = value;
         if (v == "off") guard = GuardPolicy::kOff;
@@ -341,6 +365,16 @@ int main(int argc, char** argv) {
         sim.load(program);
         result = run_with_checkpoint(sim, limits, checkpoint_at);
       }
+      if (show_stats) {
+        // Snapshot after the run: this level sequences + lowers lazily at
+        // first issue, so only now is the translation work complete.
+        const SimCompileStats stats = sim.compile_stats();
+        std::printf(
+            "decode cache: %zu instructions pre-decoded (%zu rows), "
+            "%zu packet%s lazily lowered to %zu micro-ops\n",
+            stats.instructions, stats.table_rows, stats.lazy_lowered_packets,
+            stats.lazy_lowered_packets == 1 ? "" : "s", stats.microops);
+      }
       if (show_stats && guard != GuardPolicy::kOff) print_guard_stats(sim);
       state_dump = sim.state().dump_nonzero();
     } else {
@@ -350,6 +384,11 @@ int main(int argc, char** argv) {
       sim.set_threads(threads);
       sim.set_guard_policy(guard);
       if (use_cache) sim.set_table_cache(&table_cache);
+      if (trace_threshold != 0) {
+        TraceConfig config;
+        config.hot_threshold = trace_threshold;
+        sim.set_trace_config(config);
+      }
       for (std::uint64_t r = 0; r < runs; ++r) {
         const SimCompileStats stats = sim.load(program);
         if (show_stats)
@@ -361,6 +400,30 @@ int main(int argc, char** argv) {
               stats.threads_used, stats.threads_used == 1 ? "" : "s",
               stats.cache_hit ? ", cache hit" : "");
         result = run_with_checkpoint(sim, limits, checkpoint_at);
+      }
+      if (show_stats && sim.trace_stats() != nullptr) {
+        const TraceStats& ts = *sim.trace_stats();
+        std::printf(
+            "traces: %llu formed (%llu key%s rejected), %llu adopted, "
+            "%llu invalidated\n",
+            static_cast<unsigned long long>(ts.formed),
+            static_cast<unsigned long long>(ts.rejected),
+            ts.rejected == 1 ? "" : "s",
+            static_cast<unsigned long long>(ts.adopted),
+            static_cast<unsigned long long>(ts.invalidated));
+        std::printf(
+            "traces: %llu entries, %llu chained, %llu side exits "
+            "(%.1f%% of entries), %llu cycles in traces (%.1f%% of run)\n",
+            static_cast<unsigned long long>(ts.entries),
+            static_cast<unsigned long long>(ts.chained),
+            static_cast<unsigned long long>(ts.side_exits),
+            ts.entries == 0 ? 0.0
+                            : 100.0 * static_cast<double>(ts.side_exits) /
+                                  static_cast<double>(ts.entries),
+            static_cast<unsigned long long>(ts.trace_cycles),
+            result.cycles == 0 ? 0.0
+                               : 100.0 * static_cast<double>(ts.trace_cycles) /
+                                     static_cast<double>(result.cycles));
       }
       if (show_stats && guard != GuardPolicy::kOff) print_guard_stats(sim);
       if (show_stats && use_cache) {

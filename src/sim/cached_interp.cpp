@@ -11,15 +11,21 @@ void CachedInterpBackend::build_cache(const LoadedProgram& program) {
   cache_.reserve(program.words.size());
   arena_.clear();
   temps_.clear();
+  decode_calls_ = 0;
+  instructions_ = 0;
+  lazy_lowered_packets_ = 0;
+  lowered_microops_ = 0;
   std::vector<std::int64_t> words(program.words.begin(),
                                   program.words.end());
   for (std::uint64_t index = 0; index < words.size(); ++index) {
     CacheEntry entry;
     try {
+      ++decode_calls_;
       entry.packet = decoder_.decode_packet(words, index);
       entry.words = entry.packet.words;
       entry.slot_count = static_cast<unsigned>(entry.packet.slots.size());
       entry.valid = true;
+      instructions_ += entry.packet.slots.size();
     } catch (const SimError& e) {
       entry.valid = false;
       entry.lowered = true;  // nothing to lower on a poisoned entry
@@ -36,12 +42,14 @@ void CachedInterpBackend::build_cache(const LoadedProgram& program) {
 
 void CachedInterpBackend::lower_entry(CacheEntry& entry) {
   entry.lowered = true;
+  ++lazy_lowered_packets_;
   try {
     const PacketSchedule schedule = specializer_.schedule_packet(entry.packet);
     entry.micro.resize(schedule.stage_programs.size());
     for (std::size_t s = 0; s < schedule.stage_programs.size(); ++s) {
       MicroProgram micro = lower_to_microops(schedule.stage_programs[s]);
       optimize_microops(micro);
+      lowered_microops_ += micro.ops.size();
       entry.micro[s] = arena_.append(micro);
       if (!entry.micro[s].empty())
         entry.work_mask |= std::uint32_t{1} << s;

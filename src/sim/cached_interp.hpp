@@ -18,6 +18,7 @@
 // re-translates or tree-walks affected packets at issue time.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -35,6 +36,7 @@
 #include "sim/engine.hpp"
 #include "sim/guard.hpp"
 #include "sim/result.hpp"
+#include "sim/simcompiler.hpp"
 #include "sim/treewalk.hpp"
 
 namespace lisasim {
@@ -109,6 +111,16 @@ class CachedInterpBackend {
 
   const Decoder& decoder() const { return decoder_; }
 
+  // Translation counters: the decode work of build_cache() plus the
+  // sequencing/lowering this level defers to first issue (cumulative for
+  // the current cache — reload() keeps lowered entries, so these do not
+  // restart with the run).
+  std::size_t decode_calls() const { return decode_calls_; }
+  std::size_t instructions() const { return instructions_; }
+  std::size_t cache_rows() const { return cache_.size(); }
+  std::size_t lazy_lowered_packets() const { return lazy_lowered_packets_; }
+  std::size_t lowered_microops() const { return lowered_microops_; }
+
  private:
   /// First-fetch translation: sequence the packet, lower each stage
   /// program to micro-ops, run the peephole pass and pack the result into
@@ -137,6 +149,10 @@ class CachedInterpBackend {
   std::vector<std::int64_t> temps_;  // shared scratch, grown with the arena
   bool count_microops_ = false;
   std::uint64_t microops_executed_ = 0;
+  std::size_t decode_calls_ = 0;
+  std::size_t instructions_ = 0;
+  std::size_t lazy_lowered_packets_ = 0;
+  std::size_t lowered_microops_ = 0;
   std::uint64_t cache_base_ = 0;
   std::vector<CacheEntry> cache_;
   CacheEntry out_of_range_;  // shared "PC outside program" entry
@@ -158,9 +174,33 @@ class CachedInterpSimulator {
     engine_.set_level(SimLevel::kDecodeCached);
   }
 
-  void load(const LoadedProgram& program) {
+  /// Pre-decode `program`. Returns the load-time translation counters;
+  /// this level lowers lazily, so compile_stats() after a run reports the
+  /// complete picture (lazy_lowered_packets, micro-ops).
+  SimCompileStats load(const LoadedProgram& program) {
+    const auto start = std::chrono::steady_clock::now();
     backend_.build_cache(program);
     reload(program);
+    load_stats_ = SimCompileStats{};
+    load_stats_.instructions = backend_.instructions();
+    load_stats_.table_rows = backend_.cache_rows();
+    load_stats_.decode_calls = backend_.decode_calls();
+    load_stats_.compile_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    const SimCompileStats stats = compile_stats();
+    if (observer_) observer_->on_compile(stats);
+    return stats;
+  }
+
+  /// The load-time counters plus the lazy sequencing/lowering performed
+  /// since (the decode-cached level's deferred operation instantiation).
+  SimCompileStats compile_stats() const {
+    SimCompileStats stats = load_stats_;
+    stats.lazy_lowered_packets = backend_.lazy_lowered_packets();
+    stats.microops = backend_.lowered_microops();
+    return stats;
   }
 
   /// Reset state and pipeline without re-decoding (benchmark loops). The
@@ -218,7 +258,10 @@ class CachedInterpSimulator {
 
   ProcessorState& state() { return state_; }
   const Model& model() const { return *model_; }
-  void set_observer(SimObserver* observer) { engine_.set_observer(observer); }
+  void set_observer(SimObserver* observer) {
+    observer_ = observer;
+    engine_.set_observer(observer);
+  }
   void schedule_interrupt(std::uint64_t cycle, std::uint64_t target) {
     engine_.schedule_interrupt(cycle, target);
   }
@@ -230,6 +273,8 @@ class CachedInterpSimulator {
   PipelineEngine<CachedInterpBackend> engine_;
   ProgramGuard guard_;
   GuardPolicy guard_policy_ = GuardPolicy::kOff;
+  SimObserver* observer_ = nullptr;
+  SimCompileStats load_stats_;
 };
 
 }  // namespace lisasim

@@ -32,6 +32,7 @@
 #include "sim/simcompiler.hpp"
 #include "sim/simtable.hpp"
 #include "sim/table_cache.hpp"
+#include "sim/trace.hpp"
 #include "sim/treewalk.hpp"
 
 namespace lisasim {
@@ -197,16 +198,21 @@ class CompiledBackend {
 class CompiledSimulator {
  public:
   /// Builds the decoder and simulation compiler for `model`; programs are
-  /// translated on load(). `level` selects dynamic or static scheduling.
+  /// translated on load(). `level` selects dynamic or static scheduling,
+  /// or the trace tier (static tables + hot-trace superblock dispatch).
   CompiledSimulator(const Model& model, SimLevel level)
       : model_(&model),
         level_(level),
         state_(model),
         decoder_(model),
         compiler_(model, decoder_),
-        backend_(model, state_, decoder_, level),
+        backend_(model, state_, decoder_, table_level(level)),
         engine_(model, state_, backend_) {
     engine_.set_level(level);
+    if (level == SimLevel::kTrace) {
+      traces_ = std::make_unique<TraceRuntime>(model, state_);
+      engine_.set_trace_runtime(traces_.get());
+    }
   }
 
   /// Sharded-build worker count for load()-time compilation (1 =
@@ -235,21 +241,31 @@ class CompiledSimulator {
   /// observer's on_compile hook.
   SimCompileStats load(const LoadedProgram& program) {
     SimCompileStats stats;
+    // Publish the traces formed against the outgoing table before it can
+    // be dropped: a later load of the same program warm-starts from them.
+    publish_traces();
     // A previous load whose program wrote its own text leaves its cached
     // table describing code the image never contained at rest — drop it
     // so the cache can never serve a self-invalidated translation.
     if (cache_ && program_hash_ != 0 && guarded_writes() != 0)
       cache_->invalidate(program_hash_);
     if (cache_) {
-      table_ = cache_->get_or_compile(compiler_, *model_, program, level_,
-                                      &stats, compile_options_);
+      table_ = cache_->get_or_compile(compiler_, *model_, program,
+                                      table_level(level_), &stats,
+                                      compile_options_);
       program_hash_ = SimTableCache::hash_program(program);
     } else {
-      table_ = std::make_shared<const SimTable>(
-          compiler_.compile(program, level_, &stats, compile_options_));
+      table_ = std::make_shared<const SimTable>(compiler_.compile(
+          program, table_level(level_), &stats, compile_options_));
       program_hash_ = 0;
     }
     backend_.set_table(table_.get());
+    if (traces_) {
+      traces_->set_program(table_.get());
+      if (cache_)
+        if (auto snapshot = cache_->load_traces(*model_, program))
+          traces_->adopt(snapshot);
+    }
     reset_and_load(program);
     if (observer_) observer_->on_compile(stats);
     return stats;
@@ -268,6 +284,7 @@ class CompiledSimulator {
     table_ = std::move(table);
     program_hash_ = 0;
     backend_.set_table(table_.get());
+    if (traces_) traces_->set_program(table_.get());
     reset_and_load(program);
   }
 
@@ -298,12 +315,16 @@ class CompiledSimulator {
   /// table. Static level only (0 elsewhere). Not meant for timed regions.
   double microops_per_cycle(const LoadedProgram& program,
                             std::uint64_t max_cycles = UINT64_MAX) {
-    if (level_ != SimLevel::kCompiledStatic) return 0;
+    if (level_ != SimLevel::kCompiledStatic && level_ != SimLevel::kTrace)
+      return 0;
     backend_.set_count_microops(true);
+    if (traces_) traces_->set_count_microops(true);
     reload(program);
     const RunResult result = run(max_cycles);
-    const std::uint64_t uops = backend_.microops_executed();
+    std::uint64_t uops = backend_.microops_executed();
+    if (traces_) uops += traces_->microops_executed();
     backend_.set_count_microops(false);
+    if (traces_) traces_->set_count_microops(false);
     if (result.cycles == 0) return 0;
     return static_cast<double>(uops) / static_cast<double>(result.cycles);
   }
@@ -323,7 +344,34 @@ class CompiledSimulator {
   std::shared_ptr<const SimTable> table_ptr() const { return table_; }
   SimLevel level() const { return level_; }
 
+  /// Trace-tier tuning (hotness threshold etc.); no-op below kTrace.
+  void set_trace_config(const TraceConfig& config) {
+    if (traces_) traces_->configure(config);
+  }
+  /// Trace-tier counters; nullptr below kTrace.
+  const TraceStats* trace_stats() const {
+    return traces_ ? &traces_->stats() : nullptr;
+  }
+
  private:
+  /// The table level a simulation level runs from: the trace tier splices
+  /// static-level micro spans, so it compiles (and cache-keys) its tables
+  /// at kCompiledStatic and shares them with that level.
+  static constexpr SimLevel table_level(SimLevel level) {
+    return level == SimLevel::kTrace ? SimLevel::kCompiledStatic : level;
+  }
+
+  /// Publish the current trace set to the attached cache, keyed alongside
+  /// the table. Skipped when the guard saw writes: the traces describe a
+  /// self-modified image no other load will reproduce.
+  void publish_traces() {
+    if (cache_ == nullptr || traces_ == nullptr || program_hash_ == 0 ||
+        guarded_writes() != 0)
+      return;
+    if (auto snapshot = traces_->snapshot())
+      cache_->store_traces(*model_, program_hash_, std::move(snapshot));
+  }
+
   void reset_and_load(const LoadedProgram& program) {
     state_.reset();
     engine_.reset();
@@ -338,6 +386,11 @@ class CompiledSimulator {
       guard_.reset();
       backend_.set_guard(&guard_, guard_policy_);
     }
+    // Traces survive a reload (they are table-derived), but the guard they
+    // stamp against follows the current policy.
+    if (traces_)
+      traces_->set_guard(guard_policy_ == GuardPolicy::kOff ? nullptr
+                                                            : &guard_);
   }
 
   const Model* model_;
@@ -347,6 +400,7 @@ class CompiledSimulator {
   SimulationCompiler compiler_;
   CompiledBackend backend_;
   PipelineEngine<CompiledBackend> engine_;
+  std::unique_ptr<TraceRuntime> traces_;  // kTrace only
   std::shared_ptr<const SimTable> table_;
   SimCompileOptions compile_options_;
   SimTableCache* cache_ = nullptr;

@@ -44,6 +44,7 @@
 #include "sim/checkpoint.hpp"
 #include "sim/observer.hpp"
 #include "sim/result.hpp"
+#include "sim/trace.hpp"
 
 namespace lisasim {
 
@@ -78,6 +79,14 @@ class PipelineEngine {
   /// the engine's semantics are level-independent by construction).
   void set_level(SimLevel level) { level_ctx_ = static_cast<int>(level); }
 
+  /// Attach the hot-trace tier (nullptr detaches). When attached, the run
+  /// loop first offers each cycle boundary to the runtime, which may
+  /// replay many pre-verified cycles in one micro-op dispatch; the engine
+  /// then resumes from the trace's exit image. The runtime only accepts a
+  /// boundary when the outcome is provably identical to stepping, so
+  /// attaching it never changes RunResult or architectural state.
+  void set_trace_runtime(TraceRuntime* traces) { traces_ = traces; }
+
   /// Run until halt() or `max_cycles`. Can be called repeatedly; pipeline
   /// contents persist between calls.
   RunResult run(std::uint64_t max_cycles) {
@@ -98,6 +107,13 @@ class PipelineEngine {
     std::uint64_t stuck = 0;  // consecutive cycles without a retirement
 
     while (result.cycles < limits.max_cycles) {
+      // ---- hot-trace dispatch (cycle boundaries only) --------------------
+      // Observers need per-cycle events, so the trace tier stands down
+      // while one is attached (execution stays identical either way).
+      if (traces_ != nullptr && observer_ == nullptr &&
+          try_trace(result, limits, stuck)) {
+        continue;
+      }
       const std::uint64_t retired_before = result.packets_retired;
       // ---- fused execute + advance sweep, oldest first -------------------
       // Processing stages downward keeps the transition-function ordering
@@ -163,19 +179,7 @@ class PipelineEngine {
       }
 
       // ---- fetch ---------------------------------------------------------
-      Slot& head = slots_[0];
-      if (!head.valid) {
-        const std::uint64_t pc = state_->pc();
-        unsigned words = 0;
-        backend_->issue(pc, head.work, words);
-        head.valid = true;
-        head.executed = false;
-        head.stall = 0;
-        head.pc = pc;
-        state_->set_pc(pc + words);
-        ++result.fetches;
-        if (observer_) observer_->on_fetch(result.cycles, pc);
-      }
+      fetch_head(result);
 
       // ---- watchdog limits -----------------------------------------------
       // Checked after the fetch phase so the throw happens at the same
@@ -280,6 +284,79 @@ class PipelineEngine {
     std::uint64_t target = 0;
   };
 
+  /// Refill the fetch stage if it is free: the engine's fetch phase, also
+  /// used to perform a pre-fetch trace exit's pending fetch. Feeds the
+  /// trace tier's hotness counters — fetch frequency is the profile.
+  void fetch_head(RunResult& result) {
+    Slot& head = slots_[0];
+    if (head.valid) return;
+    const std::uint64_t pc = state_->pc();
+    unsigned words = 0;
+    backend_->issue(pc, head.work, words);
+    head.valid = true;
+    head.executed = false;
+    head.stall = 0;
+    head.pc = pc;
+    state_->set_pc(pc + words);
+    ++result.fetches;
+    if (traces_ != nullptr) traces_->note_fetch(pc);
+    if (observer_) observer_->on_fetch(result.cycles, pc);
+  }
+
+  /// Offer the current cycle boundary to the trace runtime. Preconditions
+  /// for a boundary the runtime can reason about statically: every valid
+  /// slot is un-executed with no pending stall (i.e. all in-flight packets
+  /// sit exactly at a stage entry). On success the engine state is rolled
+  /// forward wholesale: counters advance by the trace's totals, in-flight
+  /// slots are rebuilt from the exit image by re-issuing their (verified
+  /// clean) packets, and the exit cycle's pending fetch is performed.
+  bool try_trace(RunResult& result, const RunLimits& limits,
+                 std::uint64_t& stuck) {
+    if (depth_ > TraceRuntime::kMaxDepth) return false;
+    const Slot& head = slots_[0];
+    if (!head.valid || head.executed || head.stall != 0) return false;
+    std::uint64_t pcs[TraceRuntime::kMaxDepth];
+    for (int stage = 0; stage < depth_; ++stage) {
+      const Slot& slot = slots_[static_cast<std::size_t>(stage)];
+      if (!slot.valid) {
+        pcs[stage] = TraceRuntime::kNoPacket;
+        continue;
+      }
+      if (slot.executed || slot.stall != 0) return false;
+      pcs[stage] = slot.pc;
+    }
+    TraceBudget budget;
+    budget.cycles_remaining = limits.max_cycles - result.cycles;
+    if (limits.watchdog_cycles != 0)
+      budget.watchdog_remaining = limits.watchdog_cycles - result.cycles;
+    if (!interrupts_.empty())
+      budget.irq_remaining = interrupts_.front().cycle - total_cycles_;
+    budget.max_stuck = limits.max_stuck_cycles;
+    budget.stuck = stuck;
+    TraceExit exit;
+    if (!traces_->try_run(pcs, depth_, budget, exit)) return false;
+    result.cycles += exit.cycles;
+    total_cycles_ += exit.cycles;
+    result.fetches += exit.fetches;
+    result.packets_retired += exit.packets;
+    result.slots_retired += exit.slots;
+    stuck = budget.stuck;
+    for (int stage = 0; stage < depth_; ++stage) {
+      Slot& slot = slots_[static_cast<std::size_t>(stage)];
+      const TraceExitSlot& image =
+          (*exit.image)[static_cast<std::size_t>(stage)];
+      slot.valid = image.valid;
+      if (!image.valid) continue;
+      slot.pc = image.pc;
+      slot.executed = image.executed;
+      slot.stall = image.stall;
+      unsigned words = 0;
+      backend_->issue(image.pc, slot.work, words);
+    }
+    if (exit.needs_fetch) fetch_head(result);
+    return true;
+  }
+
   [[noreturn]] void throw_limit(std::string message) const {
     SimErrorContext context;
     context.pc = state_->pc();
@@ -300,6 +377,7 @@ class PipelineEngine {
   ProcessorState* state_;
   Backend* backend_;
   SimObserver* observer_ = nullptr;
+  TraceRuntime* traces_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<Interrupt> interrupts_;
   std::uint64_t total_cycles_ = 0;

@@ -5,16 +5,20 @@
 
 namespace lisasim {
 
-/// The three simulation levels evaluated by the benchmarks (paper §3):
+/// The simulation levels evaluated by the benchmarks (paper §3):
 /// fully interpretive (the sim62x-class baseline), compiled with dynamic
 /// scheduling (the paper's implemented system: compile-time decoding +
-/// operation sequencing), and compiled with static scheduling / operation
-/// instantiation (micro-op lowered, the paper's future-work third step).
+/// operation sequencing), compiled with static scheduling / operation
+/// instantiation (micro-op lowered, the paper's future-work third step),
+/// and the profile-guided trace tier on top of static scheduling that
+/// splices hot cross-packet micro-op superblocks (the loop-unfolding
+/// direction of §3, taken across instruction boundaries).
 enum class SimLevel : std::uint8_t {
   kInterpretive,
   kDecodeCached,  // compile-time decoding only (partial compiled level)
   kCompiledDynamic,
   kCompiledStatic,
+  kTrace,  // static tables + hot-trace superblock dispatch
 };
 
 inline const char* sim_level_name(SimLevel level) {
@@ -23,6 +27,7 @@ inline const char* sim_level_name(SimLevel level) {
     case SimLevel::kDecodeCached: return "decode-cached";
     case SimLevel::kCompiledDynamic: return "compiled-dynamic";
     case SimLevel::kCompiledStatic: return "compiled-static";
+    case SimLevel::kTrace: return "compiled-trace";
   }
   return "?";
 }

@@ -36,6 +36,12 @@ struct SimCompileStats {
   std::size_t table_rows = 0;     // simulation-table rows generated
   std::size_t microops = 0;       // micro-ops instantiated (static level)
   std::size_t decode_calls = 0;   // decode_packet invocations (0 on a hit)
+  // Packets sequenced + lowered lazily at first issue. The decode-cached
+  // level defers operation instantiation to execution time, so its load()
+  // alone under-reports translation work; this counter (snapshotted via
+  // CachedInterpSimulator::compile_stats() after a run) completes it.
+  // Always 0 for the ahead-of-time compiled levels.
+  std::size_t lazy_lowered_packets = 0;
   unsigned threads_used = 1;      // workers that built the table
   bool cache_hit = false;         // table came from a SimTableCache
   std::uint64_t compile_ns = 0;   // wall time of compile() / cache lookup

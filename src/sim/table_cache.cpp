@@ -152,6 +152,31 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
   return table;
 }
 
+void SimTableCache::store_traces(const Model& model,
+                                 std::uint64_t program_hash,
+                                 std::shared_ptr<const TraceSet> traces) {
+  if (!traces) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TableCacheKey key;
+  key.target = model.name;
+  key.model_hash = model_hash_for(model);
+  key.program_hash = program_hash;
+  key.level = SimLevel::kTrace;
+  traces_[key] = std::move(traces);
+}
+
+std::shared_ptr<const TraceSet> SimTableCache::load_traces(
+    const Model& model, const LoadedProgram& program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TableCacheKey key;
+  key.target = model.name;
+  key.model_hash = model_hash_for(model);
+  key.program_hash = hash_program(program);
+  key.level = SimLevel::kTrace;
+  const auto it = traces_.find(key);
+  return it == traces_.end() ? nullptr : it->second;
+}
+
 std::size_t SimTableCache::invalidate(std::uint64_t program_hash) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t dropped = 0;
@@ -159,6 +184,16 @@ std::size_t SimTableCache::invalidate(std::uint64_t program_hash) {
     if (it->key.program_hash == program_hash) {
       map_.erase(it->key);
       it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  // Trace snapshots describe the dropped tables' micro layout: a program
+  // that invalidated its translations invalidates its traces with them.
+  for (auto it = traces_.begin(); it != traces_.end();) {
+    if (it->first.program_hash == program_hash) {
+      it = traces_.erase(it);
       ++dropped;
     } else {
       ++it;
@@ -179,6 +214,7 @@ void SimTableCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
   lru_.clear();
+  traces_.clear();
   model_hashes_.clear();
   stats_ = Stats{};
 }

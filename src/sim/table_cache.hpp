@@ -33,6 +33,8 @@
 
 namespace lisasim {
 
+struct TraceSet;  // sim/trace.hpp; the cache stores it opaquely
+
 struct TableCacheKey {
   std::string target;
   std::uint64_t model_hash = 0;
@@ -77,6 +79,21 @@ class SimTableCache {
   /// Holders of already-handed-out shared_ptr tables are unaffected.
   std::size_t invalidate(std::uint64_t program_hash);
 
+  /// Stash the trace set a kTrace simulator formed against (model,
+  /// program_hash) — keyed alongside the table with level = kTrace, so a
+  /// future load of the same program warm-starts its trace tier instead of
+  /// re-profiling. Stored opaquely (shared, immutable); the adopter
+  /// re-verifies the table fingerprint inside the snapshot before use.
+  /// Replaces any earlier snapshot for the key (later = hotter).
+  void store_traces(const Model& model, std::uint64_t program_hash,
+                    std::shared_ptr<const TraceSet> traces);
+
+  /// The stashed trace set for (model, program), or nullptr. Does not age
+  /// the LRU: snapshots are dropped by invalidate()/clear() only — they
+  /// are small next to tables and must not pin table entries alive.
+  std::shared_ptr<const TraceSet> load_traces(const Model& model,
+                                              const LoadedProgram& program);
+
   /// FNV-1a content hash of a loaded program (exposed for tests).
   static std::uint64_t hash_program(const LoadedProgram& program);
   /// FNV-1a hash of the canonical model dump (exposed for tests).
@@ -98,6 +115,8 @@ class SimTableCache {
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<TableCacheKey, std::list<Entry>::iterator, KeyHash> map_;
+  std::unordered_map<TableCacheKey, std::shared_ptr<const TraceSet>, KeyHash>
+      traces_;  // trace-tier snapshots, key.level = kTrace
   std::unordered_map<const Model*, std::uint64_t> model_hashes_;
   Stats stats_;
 };

@@ -1,0 +1,504 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "behavior/peephole.hpp"
+
+namespace lisasim {
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  h ^= value;
+  h *= 1099511628211ull;
+}
+
+}  // namespace
+
+std::uint64_t trace_table_fingerprint(const SimTable& table) {
+  std::uint64_t h = 14695981039346656037ull;
+  fnv_mix(h, table.base());
+  fnv_mix(h, table.size());
+  const MicroArena& arena = table.arena();
+  fnv_mix(h, arena.size());
+  fnv_mix(h, static_cast<std::uint64_t>(arena.max_temps()));
+  const MicroOp* ops = arena.data();
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    const MicroOp& op = ops[i];
+    fnv_mix(h, static_cast<std::uint64_t>(op.kind));
+    fnv_mix(h, static_cast<std::uint64_t>(op.bop));
+    fnv_mix(h, static_cast<std::uint64_t>(op.uop));
+    fnv_mix(h, static_cast<std::uint64_t>(op.intr));
+    fnv_mix(h, static_cast<std::uint64_t>(op.a));
+    fnv_mix(h, static_cast<std::uint64_t>(op.b));
+    fnv_mix(h, static_cast<std::uint64_t>(op.c));
+    fnv_mix(h, static_cast<std::uint64_t>(op.res));
+    fnv_mix(h, static_cast<std::uint64_t>(op.imm));
+  }
+  for (std::uint64_t pc = table.base(); pc < table.base() + table.size();
+       ++pc) {
+    const SimTableEntry* row = table.find(pc);
+    fnv_mix(h, row->words);
+    fnv_mix(h, row->slot_count);
+    fnv_mix(h, row->work_mask);
+    fnv_mix(h, row->valid ? 1 : 0);
+    for (const MicroSpan& span : row->micro) {
+      fnv_mix(h, span.offset);
+      fnv_mix(h, span.len);
+      fnv_mix(h, static_cast<std::uint64_t>(span.num_temps));
+    }
+  }
+  return h;
+}
+
+TraceRuntime::TraceRuntime(const Model& model, ProcessorState& state)
+    : model_(&model), state_(&state), depth_(model.pipeline.depth()) {}
+
+void TraceRuntime::set_program(const SimTable* table) {
+  table_ = table;
+  set_ = TraceSet{};
+  set_.depth = depth_;
+  set_.fingerprint = table ? trace_table_fingerprint(*table) : 0;
+  base_ = table ? table->base() : 0;
+  heat_.assign(table ? table->size() : 0, 0);
+  temps_.clear();
+}
+
+bool TraceRuntime::adopt(const std::shared_ptr<const TraceSet>& snapshot) {
+  if (!snapshot || table_ == nullptr) return false;
+  if (snapshot->fingerprint != set_.fingerprint ||
+      snapshot->depth != depth_)
+    return false;
+  set_ = *snapshot;
+  temps_.assign(static_cast<std::size_t>(set_.arena.max_temps()), 0);
+  // The snapshot exists because these keys were hot; skip the re-warmup.
+  std::fill(heat_.begin(), heat_.end(), cfg_.hot_threshold);
+  for (const Trace& trace : set_.traces)
+    if (!trace.dead) ++stats_.adopted;
+  return true;
+}
+
+std::shared_ptr<const TraceSet> TraceRuntime::snapshot() const {
+  bool any_live = false;
+  for (const Trace& trace : set_.traces) any_live |= !trace.dead;
+  if (!any_live) return nullptr;
+  return std::make_shared<const TraceSet>(set_);
+}
+
+TraceRuntime::SpanScan TraceRuntime::scan_span(const MicroOp* ops,
+                                               std::uint32_t len) const {
+  SpanScan scan;
+  bool has_branch = false;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const MKind kind = ops[i].kind;
+    has_branch |= kind == MKind::kBr || kind == MKind::kBrZero;
+  }
+  for (std::uint32_t i = 0; i < len && !scan.bad; ++i) {
+    const MicroOp& op = ops[i];
+    switch (op.kind) {
+      case MKind::kFlush:
+      case MKind::kHalt:
+        scan.bad = true;
+        break;
+      case MKind::kWriteRes:
+        if (op.res == model_->fetch_memory) scan.bad = true;
+        if (op.res == model_->pc) scan.writes_pc = true;
+        break;
+      case MKind::kWriteElem:
+        if (op.res == model_->fetch_memory) scan.bad = true;
+        break;
+      case MKind::kStall: {
+        // A stall is statically replayable only when its amount is a
+        // plain constant on a straight-line path (which is what NOP-style
+        // stalls look like after specialization folds their immediate).
+        if (has_branch) {
+          scan.bad = true;
+          break;
+        }
+        bool found = false;
+        for (std::uint32_t j = i; j-- > 0;) {
+          const MicroOp& def = ops[j];
+          const bool writes_temp =
+              def.kind == MKind::kConst || def.kind == MKind::kMov ||
+              def.kind == MKind::kReadRes || def.kind == MKind::kReadElem ||
+              def.kind == MKind::kBin || def.kind == MKind::kUn ||
+              def.kind == MKind::kIntr;
+          if (!writes_temp || def.a != op.a) continue;
+          if (def.kind == MKind::kConst) {
+            scan.stall += def.imm;
+            found = true;
+          }
+          break;
+        }
+        if (!found) scan.bad = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return scan;
+}
+
+bool TraceRuntime::row_traceable(const SimTableEntry& row) const {
+  if (!row.valid) return false;
+  if (row.micro.size() < static_cast<std::size_t>(depth_)) return false;
+  const MicroOp* arena = table_->arena().data();
+  for (int stage = 0; stage < depth_; ++stage) {
+    if ((row.work_mask >> stage & 1u) == 0) continue;
+    const MicroSpan& span = row.micro[static_cast<std::size_t>(stage)];
+    if (scan_span(arena + span.offset, span.len).bad) return false;
+  }
+  return true;
+}
+
+void TraceRuntime::emit_span(const MicroOp* ops, std::uint32_t len,
+                             std::vector<MicroOp>& out, int& temp_base,
+                             int span_temps) const {
+  const auto base = static_cast<std::int64_t>(out.size());
+  for (std::uint32_t i = 0; i < len; ++i) {
+    MicroOp op = ops[i];
+    switch (op.kind) {
+      case MKind::kStall:
+        // Statically applied to the virtual pipeline; spans holding one
+        // are branch-free, so dropping it cannot skew branch targets.
+        continue;
+      case MKind::kConst:
+      case MKind::kReadRes:
+        op.a += temp_base;
+        break;
+      case MKind::kMov:
+      case MKind::kReadElem:
+      case MKind::kWriteElem:
+      case MKind::kUn:
+        op.a += temp_base;
+        op.b += temp_base;
+        break;
+      case MKind::kBin:
+      case MKind::kIntr:
+        op.a += temp_base;
+        op.b += temp_base;
+        op.c += temp_base;
+        break;
+      case MKind::kWriteRes:
+      case MKind::kBrZero:
+        op.a += temp_base;
+        if (op.kind == MKind::kBrZero) op.imm += base;
+        break;
+      case MKind::kBr:
+        op.imm += base;
+        break;
+      case MKind::kFlush:
+      case MKind::kHalt:
+        break;  // unreachable: scan_span rejected the row
+    }
+    out.push_back(op);
+  }
+  temp_base += span_temps;
+}
+
+std::int32_t TraceRuntime::find_or_build(const std::uint64_t* key) {
+  const std::uint64_t hash = hash_key(key, depth_);
+  const auto it = set_.index.find(hash);
+  if (it != set_.index.end()) {
+    if (it->second == kRejected) return kRejected;
+    const Trace& trace = set_.traces[static_cast<std::size_t>(it->second)];
+    if (!std::equal(trace.key.begin(), trace.key.end(), key))
+      return kRejected;  // hash collision: leave the incumbent alone
+    return it->second;
+  }
+  const std::int32_t idx = build(key);
+  set_.index.emplace(hash, idx);
+  if (idx == kRejected) {
+    ++stats_.rejected;
+  } else {
+    ++stats_.formed;
+  }
+  return idx;
+}
+
+std::int32_t TraceRuntime::build(const std::uint64_t* key) {
+  if (set_.traces.size() >= cfg_.max_traces) return kRejected;
+
+  Trace trace;
+  trace.key.assign(key, key + depth_);
+
+  // Reconstruct the entry boundary as virtual pipeline slots. Every
+  // in-flight packet must be a clean, fully replayable table row — the
+  // entry guard stamp then also proves the engine's in-flight Works are
+  // plain table entries (no patches, fallbacks or deferred errors).
+  std::vector<VSlot> slots(static_cast<std::size_t>(depth_));
+  for (int s = 0; s < depth_; ++s) {
+    if (key[s] == kNoPacket) continue;
+    const SimTableEntry* row = table_->find(key[s]);
+    if (row == nullptr || !row_traceable(*row)) return kRejected;
+    if (guard_ && !guard_->span_clean(key[s], row->words)) return kRejected;
+    slots[static_cast<std::size_t>(s)] = {key[s], row, true, false, 0};
+    trace.covered.emplace_back(key[s], row->words);
+  }
+  if (!slots[0].valid) return kRejected;  // the engine always refills slot 0
+  std::uint64_t vpc = key[0] + slots[0].row->words;
+  trace.entry_pc_after_fetch = vpc;
+
+  const MicroOp* arena = table_->arena().data();
+  MicroProgram fused;
+  int temp_base = 0;
+  std::vector<std::uint8_t> retired;  // per committed cycle
+  bool ended = false;
+
+  while (!ended && trace.cycles < cfg_.max_trace_cycles) {
+    std::vector<VSlot> next = slots;
+    std::uint64_t cycle_packets = 0, cycle_slots = 0;
+    bool wrote_pc = false;
+    // The engine's fused execute + advance sweep, replayed statically.
+    for (int stage = depth_ - 1; stage >= 0; --stage) {
+      VSlot& slot = next[static_cast<std::size_t>(stage)];
+      if (!slot.valid) continue;
+      if (!slot.executed) {
+        if (slot.row->work_mask >> stage & 1u) {
+          const MicroSpan& span =
+              slot.row->micro[static_cast<std::size_t>(stage)];
+          const SpanScan scan = scan_span(arena + span.offset, span.len);
+          emit_span(arena + span.offset, span.len, fused.ops, temp_base,
+                    span.num_temps);
+          if (scan.stall > 0) slot.stall += scan.stall;
+          wrote_pc |= scan.writes_pc;
+        }
+        slot.executed = true;
+      }
+      if (slot.stall > 0) {
+        --slot.stall;
+        continue;
+      }
+      if (stage == depth_ - 1) {
+        ++cycle_packets;
+        cycle_slots += slot.row->slot_count;
+        slot.valid = false;
+        continue;
+      }
+      VSlot& up = next[static_cast<std::size_t>(stage + 1)];
+      if (!up.valid) {
+        up = slot;
+        up.executed = false;
+        up.stall = 0;
+        slot.valid = false;
+      }
+    }
+    if (wrote_pc) {
+      // Branch cycle: the live PC decides the successor — stop before this
+      // cycle's fetch and let the dispatcher fetch (or chain) at it.
+      ended = true;
+    } else if (!next[0].valid) {
+      const SimTableEntry* row = table_->find(vpc);
+      const bool fetchable =
+          row != nullptr && row_traceable(*row) &&
+          (guard_ == nullptr || guard_->span_clean(vpc, row->words));
+      if (!fetchable) {
+        ended = true;  // static knowledge ends at this fetch
+      } else {
+        next[0] = {vpc, row, true, false, 0};
+        trace.covered.emplace_back(vpc, row->words);
+        vpc += row->words;
+        // Keep the architectural PC exact inside the trace: mirror the
+        // engine's post-fetch set_pc so mid-trace PC reads and the value
+        // at any side exit match the cycle-by-cycle run.
+        MicroOp c;
+        c.kind = MKind::kConst;
+        c.a = temp_base;
+        c.imm = static_cast<std::int64_t>(vpc);
+        fused.ops.push_back(c);
+        MicroOp w;
+        w.kind = MKind::kWriteRes;
+        w.res = model_->pc;
+        w.a = temp_base;
+        fused.ops.push_back(w);
+        ++temp_base;
+        ++trace.fetches;
+      }
+    }
+    // The cycle is committed either way: the sweep (and fetch, if any)
+    // above happened exactly as the engine would have run it.
+    slots = next;
+    ++trace.cycles;
+    trace.packets += cycle_packets;
+    trace.slots += cycle_slots;
+    retired.push_back(cycle_packets != 0);
+  }
+
+  if (trace.cycles < cfg_.min_trace_cycles) return kRejected;
+  if (trace.packets == 0 && trace.fetches == 0) return kRejected;
+
+  // Non-retirement runs for the livelock watchdog budget.
+  std::uint64_t run = 0;
+  bool saw_retire = false;
+  for (std::size_t i = 0; i < retired.size(); ++i) {
+    if (retired[i]) {
+      saw_retire = true;
+      run = 0;
+      continue;
+    }
+    ++run;
+    trace.max_nonretire = std::max(trace.max_nonretire, run);
+    if (!saw_retire) trace.lead_nonretire = run;
+  }
+  trace.tail_nonretire = run;
+  trace.any_retire = saw_retire;
+
+  // Exit image + chain eligibility: chaining needs the exit to be a clean
+  // boundary (advanced slots only — nothing stalled, nothing blocked).
+  trace.image.resize(static_cast<std::size_t>(depth_));
+  trace.needs_fetch = !slots[0].valid;
+  trace.chainable = true;
+  for (int s = 0; s < depth_; ++s) {
+    const VSlot& slot = slots[static_cast<std::size_t>(s)];
+    TraceExitSlot& image = trace.image[static_cast<std::size_t>(s)];
+    image.pc = slot.pc;
+    image.valid = slot.valid;
+    image.executed = slot.executed;
+    image.stall = static_cast<int>(slot.stall);
+    if (slot.valid && (slot.executed || slot.stall != 0))
+      trace.chainable = false;
+  }
+
+  fused.num_temps = temp_base;
+  validate_microops(fused);
+  // The headline optimization: the peephole pass now sees one straight-
+  // line program spanning every former packet boundary of the trace.
+  optimize_microops(fused);
+  trace.body = set_.arena.append(fused);
+  trace.stamp = 0;
+  if (guard_) {
+    for (const auto& [pc, words] : trace.covered)
+      trace.stamp += guard_->span_stamp(pc, words);
+  }
+
+  set_.traces.push_back(std::move(trace));
+  temps_.assign(static_cast<std::size_t>(set_.arena.max_temps()), 0);
+  return static_cast<std::int32_t>(set_.traces.size()) - 1;
+}
+
+bool TraceRuntime::fits_budget(const Trace& trace,
+                               const TraceBudget& budget) const {
+  if (trace.cycles > budget.cycles_remaining) return false;
+  if (trace.cycles >= budget.watchdog_remaining) return false;
+  if (trace.cycles >= budget.irq_remaining) return false;
+  if (budget.max_stuck != 0) {
+    if (!trace.any_retire) {
+      if (budget.stuck + trace.cycles >= budget.max_stuck) return false;
+    } else {
+      if (budget.stuck + trace.lead_nonretire >= budget.max_stuck)
+        return false;
+      if (trace.max_nonretire >= budget.max_stuck) return false;
+    }
+  }
+  return true;
+}
+
+void TraceRuntime::invalidate(std::int32_t idx) {
+  Trace& trace = set_.traces[static_cast<std::size_t>(idx)];
+  trace.dead = true;
+  set_.index.erase(hash_key(trace.key.data(), depth_));
+  ++stats_.invalidated;
+}
+
+bool TraceRuntime::try_run(const std::uint64_t* slot_pcs, int depth,
+                           TraceBudget& budget, TraceExit& out) {
+  if (table_ == nullptr || depth != depth_) return false;
+  // Hotness pre-filter: one array read on the freshly fetched head pc.
+  const std::uint64_t head = slot_pcs[0] - base_;
+  if (head >= heat_.size() || heat_[head] < cfg_.hot_threshold) return false;
+
+  std::int32_t idx = find_or_build(slot_pcs);
+  if (idx == kRejected) return false;
+  const Trace* trace = &set_.traces[static_cast<std::size_t>(idx)];
+  if (trace->dead) return false;
+  if (state_->pc() != trace->entry_pc_after_fetch) return false;
+  if (stale(*trace)) {
+    invalidate(idx);
+    return false;
+  }
+  if (!fits_budget(*trace, budget)) return false;
+
+  for (;;) {
+    const MicroOp* ops = set_.arena.data() + trace->body.offset;
+    if (count_microops_) {
+      microops_executed_ += exec_microops_counted(
+          ops, trace->body.len, *state_, control_, temps_.data());
+    } else {
+      exec_microops(ops, trace->body.len, *state_, control_, temps_.data());
+    }
+    ++stats_.entries;
+    stats_.trace_cycles += trace->cycles;
+    out.cycles += trace->cycles;
+    out.fetches += trace->fetches;
+    out.packets += trace->packets;
+    out.slots += trace->slots;
+    budget.cycles_remaining -= trace->cycles;
+    if (budget.watchdog_remaining != UINT64_MAX)
+      budget.watchdog_remaining -= trace->cycles;
+    if (budget.irq_remaining != UINT64_MAX)
+      budget.irq_remaining -= trace->cycles;
+    budget.stuck = trace->any_retire ? trace->tail_nonretire
+                                     : budget.stuck + trace->cycles;
+
+    if (!trace->chainable) break;
+    // Build the successor's entry key from the exit image; a pre-fetch
+    // exit keys on the *live* PC, which is how taken and not-taken
+    // branches chain to different successors.
+    std::uint64_t chain_key[kMaxDepth];
+    std::uint64_t chain_pc;
+    if (trace->needs_fetch) {
+      chain_pc = state_->pc();
+      chain_key[0] = chain_pc;
+      for (int s = 1; s < depth_; ++s)
+        chain_key[s] = trace->image[static_cast<std::size_t>(s)].valid
+                           ? trace->image[static_cast<std::size_t>(s)].pc
+                           : kNoPacket;
+    } else {
+      chain_pc = trace->image[0].pc;
+      for (int s = 0; s < depth_; ++s)
+        chain_key[s] = trace->image[static_cast<std::size_t>(s)].valid
+                           ? trace->image[static_cast<std::size_t>(s)].pc
+                           : kNoPacket;
+    }
+    std::int32_t next = kRejected;
+    auto& way = trace->chain[chain_pc & 1];
+    if (way.first == chain_pc) {
+      next = way.second;
+    } else {
+      next = find_or_build(chain_key);
+      way = {chain_pc, next};
+    }
+    if (next == kRejected) break;
+    const Trace* successor = &set_.traces[static_cast<std::size_t>(next)];
+    if (successor->dead) break;
+    if (!std::equal(successor->key.begin(), successor->key.end(), chain_key))
+      break;  // chain-cache way reused across a different image (paranoia)
+    // A no-fetch boundary keys on already-fetched slots only, which does
+    // not pin the live PC (a predecessor branch may have redirected it);
+    // the successor's replay assumed the sequential value, so verify it.
+    if (!trace->needs_fetch &&
+        state_->pc() != successor->entry_pc_after_fetch)
+      break;
+    if (stale(*successor)) {
+      invalidate(next);
+      break;
+    }
+    if (!fits_budget(*successor, budget)) break;
+    if (trace->needs_fetch) {
+      // The chained entry absorbs this cycle's fetch: count it and place
+      // the PC where the engine's post-fetch increment would have.
+      ++out.fetches;
+      state_->set_pc(successor->entry_pc_after_fetch);
+    }
+    ++stats_.chained;
+    trace = successor;
+  }
+
+  ++stats_.side_exits;
+  out.image = &trace->image;
+  out.needs_fetch = trace->needs_fetch;
+  return true;
+}
+
+}  // namespace lisasim

@@ -1,0 +1,285 @@
+// Hot-trace superblock compilation: the profile-guided trace tier on top
+// of the flat micro-op core (the natural continuation of the paper's §3
+// "simulation loop unfolding" — unfold across *packets*, not only inside
+// one). Per-pc fetch counters feed a trace builder; once the packet at the
+// head of a clean pipeline boundary crosses the hotness threshold, the
+// builder statically replays the engine's cycle loop over the simulation
+// table — virtual fetches, constant stalls, advancement, retirement — and
+// splices the micro-op spans of every (packet, stage) execution, in engine
+// order, into one fused MicroArena program. `optimize_microops` then runs
+// across the former packet boundaries, so const-fold/copy-prop/dead-temp
+// elimination finally work inter-packet. Executing a trace is a single
+// exec_microops dispatch covering many engine cycles, with
+//
+//   * one guard-stamp check over all constituent words per entry (instead
+//     of a per-fetch check per cycle),
+//   * one watchdog/limit budget check per trace (instead of per cycle),
+//   * a trace-to-trace chaining cache that patches hot exit->entry edges,
+//     so steady-state loops run trace-to-trace without touching the engine.
+//
+// Bit-identity contract: a trace is formed only from table rows whose
+// micro-programs are statically replayable — no flush(), no halt(), no
+// data-dependent stall(), no write to fetch memory — and it ends exactly
+// where static knowledge ends: at the cycle a packet writes the PC (the
+// fetch of that cycle is performed live by the dispatcher, so taken,
+// not-taken and computed branches all follow the engine path), at a fetch
+// that would leave the table or hit an invalid/guard-dirty row, or at the
+// cycle cap. RunResult deltas (cycles, fetches, retirements) and the
+// watchdog's consecutive-non-retirement runs are precomputed by the same
+// static replay, so a trace entry is observationally identical to running
+// the engine loop cycle by cycle.
+//
+// Guard integration: traced packets never write fetch memory, so a trace
+// cannot invalidate itself mid-flight; staleness can only arrive between
+// entries and is caught by comparing the trace's build-time stamp over all
+// covered (pc, words) spans. A stale trace is invalidated (and its key
+// permanently rejected after the rebuild attempt sees dirty words), falling
+// back to the normal guarded per-packet path. Checkpoints are taken between
+// run() calls — always a trace boundary — and restore's bump_all() makes
+// every stamp stale, lazily invalidating adopted traces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "behavior/eval.hpp"
+#include "behavior/microarena.hpp"
+#include "behavior/microops.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/guard.hpp"
+#include "sim/simtable.hpp"
+
+namespace lisasim {
+
+struct TraceConfig {
+  /// Fetches of a pc before trace formation is attempted at a boundary
+  /// headed by that pc.
+  std::uint32_t hot_threshold = 32;
+  /// Longest engine-cycle span one trace may cover.
+  std::uint32_t max_trace_cycles = 96;
+  /// Traces shorter than this are rejected (not worth the dispatch).
+  std::uint32_t min_trace_cycles = 3;
+  /// Upper bound on formed traces per program (runaway-formation stop).
+  std::uint32_t max_traces = 1024;
+};
+
+struct TraceStats {
+  std::uint64_t formed = 0;       // traces built and installed
+  std::uint64_t rejected = 0;     // hot keys found untraceable (cached)
+  std::uint64_t entries = 0;      // trace executions, chained ones included
+  std::uint64_t chained = 0;      // exit->entry edges taken trace-to-trace
+  std::uint64_t invalidated = 0;  // traces dropped on a stale guard stamp
+  std::uint64_t side_exits = 0;   // returns into the per-packet engine loop
+  std::uint64_t trace_cycles = 0; // simulated cycles covered by traces
+  std::uint64_t adopted = 0;      // traces adopted from a cache snapshot
+};
+
+/// Pipeline-slot image at a trace's exit boundary; the engine rebuilds its
+/// slots from this (re-issuing valid pcs against the table, which is safe
+/// because traces never dirty fetch memory).
+struct TraceExitSlot {
+  std::uint64_t pc = 0;
+  int stall = 0;
+  bool valid = false;
+  bool executed = false;
+};
+
+struct Trace {
+  /// Entry key: per-slot fetch pcs at a clean cycle boundary, slot 0
+  /// (newest) first; TraceRuntime::kNoPacket marks a bubble.
+  std::vector<std::uint64_t> key;
+  /// The fused, peephole-optimized micro-program in the TraceSet arena.
+  MicroSpan body;
+  /// state.pc() value the entry boundary implies (key[0] + its words) —
+  /// checked at entry, installed by a chaining predecessor.
+  std::uint64_t entry_pc_after_fetch = 0;
+  // Static RunResult deltas of one execution.
+  std::uint64_t cycles = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t packets = 0;  // packets retired inside the trace
+  std::uint64_t slots = 0;    // instruction slots retired inside the trace
+  // Consecutive-non-retirement runs for the livelock watchdog: the run
+  // touching the entry edge, the longest run anywhere, the run touching
+  // the exit edge, and whether any cycle retired at all.
+  std::uint64_t lead_nonretire = 0;
+  std::uint64_t max_nonretire = 0;
+  std::uint64_t tail_nonretire = 0;
+  bool any_retire = false;
+  /// Exit contract: the trace ended before its final cycle's fetch — the
+  /// dispatcher performs it live (normal issue path) or chains instead.
+  bool needs_fetch = false;
+  /// Exit image is itself a clean boundary, so a successor trace may be
+  /// entered directly (trace-to-trace chaining).
+  bool chainable = false;
+  bool dead = false;  // invalidated by the guard; kept for index stability
+  std::vector<TraceExitSlot> image;  // one per pipeline stage
+  /// Every (pc, words) span translated into the trace; the guard stamp at
+  /// entry covers exactly these words.
+  std::vector<std::pair<std::uint64_t, unsigned>> covered;
+  std::uint64_t stamp = 0;  // guard span stamps at build time (sum)
+  /// Two-way direct-mapped chain cache: live exit pc -> successor index.
+  mutable std::array<std::pair<std::uint64_t, std::int32_t>, 2> chain{
+      {{UINT64_MAX, -1}, {UINT64_MAX, -1}}};
+};
+
+/// The value object SimTableCache snapshots: everything needed to replay
+/// the traces of one (table, model) pair. Copyable by design — snapshot
+/// and adopt are plain copies.
+struct TraceSet {
+  MicroArena arena;
+  std::vector<Trace> traces;
+  /// Entry-key hash -> trace index, or kRejected for keys proven
+  /// untraceable (negative cache: rows and generations only harden).
+  std::unordered_map<std::uint64_t, std::int32_t> index;
+  std::uint64_t fingerprint = 0;  // trace_table_fingerprint of the table
+  int depth = 0;
+};
+
+/// Per-entry budget the engine grants a trace run: a trace may only
+/// execute if its static cycle/stuck deltas provably cannot cross a limit
+/// or interrupt mid-trace — otherwise the engine path runs, bit-identical.
+struct TraceBudget {
+  std::uint64_t cycles_remaining = 0;             // limits.max_cycles slack
+  std::uint64_t watchdog_remaining = UINT64_MAX;  // must stay strictly below
+  std::uint64_t irq_remaining = UINT64_MAX;       // cycles to next interrupt
+  std::uint64_t max_stuck = 0;                    // 0 = watchdog disabled
+  std::uint64_t stuck = 0;  // in: current run; out: run at the exit edge
+};
+
+/// What the engine applies after a successful trace run.
+struct TraceExit {
+  std::uint64_t cycles = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t slots = 0;
+  const std::vector<TraceExitSlot>* image = nullptr;
+  bool needs_fetch = false;
+};
+
+/// Cheap deterministic fingerprint of a simulation table's micro layout
+/// (FNV-1a over base, rows and every arena op field) — the discriminator a
+/// cached TraceSet is keyed alongside: adopting a snapshot against any
+/// other table is rejected.
+std::uint64_t trace_table_fingerprint(const SimTable& table);
+
+class TraceRuntime {
+ public:
+  static constexpr int kMaxDepth = 32;
+  /// Entry-key sentinel for an empty pipeline slot (bubble).
+  static constexpr std::uint64_t kNoPacket = UINT64_MAX;
+  static constexpr std::int32_t kRejected = -1;
+
+  TraceRuntime(const Model& model, ProcessorState& state);
+
+  void configure(const TraceConfig& config) { cfg_ = config; }
+  const TraceConfig& config() const { return cfg_; }
+
+  /// (Re)target the runtime at a freshly loaded simulation table (must be
+  /// a static-level table: traces splice its micro spans). Drops all
+  /// traces and heat; adopt() may warm-start from a cache snapshot.
+  void set_program(const SimTable* table);
+
+  /// Update the guard the entry stamp checks read (nullptr while the
+  /// simulator runs unguarded). Called on every (re)load; traces survive —
+  /// they are table-derived, and stamps baseline at zero generations.
+  void set_guard(const ProgramGuard* guard) { guard_ = guard; }
+
+  /// Adopt a snapshot published to the table cache by a previous load of
+  /// the same table. Rejected (returns false) unless the fingerprint and
+  /// pipeline depth match the current table exactly.
+  bool adopt(const std::shared_ptr<const TraceSet>& snapshot);
+
+  /// Copy of the current trace set for cache publication; nullptr when no
+  /// trace was formed (nothing worth publishing).
+  std::shared_ptr<const TraceSet> snapshot() const;
+
+  /// The engine's per-fetch profiling hook (hotness counters).
+  void note_fetch(std::uint64_t pc) {
+    const std::uint64_t slot = pc - base_;
+    if (slot < heat_.size() && heat_[slot] < cfg_.hot_threshold)
+      ++heat_[slot];
+  }
+
+  /// Attempt to run traces from the clean cycle boundary described by
+  /// `slot_pcs` (slot 0 first, kNoPacket = bubble). On success the
+  /// accumulated deltas of every chained trace are in `out`, the exit-edge
+  /// stuck run in `budget.stuck`, and the caller must rebuild its slots
+  /// from `out.image` (then fetch live if `out.needs_fetch`). Returns
+  /// false — with no side effects on the simulation — when no trace
+  /// applies or the budget does not provably cover one.
+  bool try_run(const std::uint64_t* slot_pcs, int depth, TraceBudget& budget,
+               TraceExit& out);
+
+  /// Instrumented dispatch for bench (micro-ops counted per trace entry).
+  /// Enabling resets the counter.
+  void set_count_microops(bool on) {
+    count_microops_ = on;
+    if (on) microops_executed_ = 0;
+  }
+  std::uint64_t microops_executed() const { return microops_executed_; }
+
+  const TraceStats& stats() const { return stats_; }
+
+ private:
+  /// Per-span static analysis: can this micro-program be replayed without
+  /// running it — and what does it do to the pipeline if so?
+  struct SpanScan {
+    bool bad = false;       // flush/halt/text write/data-dependent stall
+    bool writes_pc = false; // branch: ends the trace at this cycle
+    std::int64_t stall = 0; // constant stall cycles the span contributes
+  };
+  struct VSlot {
+    std::uint64_t pc = 0;
+    const SimTableEntry* row = nullptr;
+    bool valid = false;
+    bool executed = false;
+    std::int64_t stall = 0;
+  };
+
+  SpanScan scan_span(const MicroOp* ops, std::uint32_t len) const;
+  bool row_traceable(const SimTableEntry& row) const;
+  void emit_span(const MicroOp* ops, std::uint32_t len,
+                 std::vector<MicroOp>& out, int& temp_base,
+                 int span_temps) const;
+  std::int32_t find_or_build(const std::uint64_t* key);
+  std::int32_t build(const std::uint64_t* key);
+  bool fits_budget(const Trace& trace, const TraceBudget& budget) const;
+  bool stale(const Trace& trace) const {
+    if (guard_ == nullptr || guard_->writes() == 0) return false;
+    std::uint64_t stamp = 0;
+    for (const auto& [pc, words] : trace.covered)
+      stamp += guard_->span_stamp(pc, words);
+    return stamp != trace.stamp;
+  }
+  void invalidate(std::int32_t idx);
+  static std::uint64_t hash_key(const std::uint64_t* key, int depth) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (int i = 0; i < depth; ++i) {
+      h ^= key[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  const Model* model_;
+  ProcessorState* state_;
+  int depth_;
+  const SimTable* table_ = nullptr;
+  const ProgramGuard* guard_ = nullptr;
+  TraceConfig cfg_;
+  TraceSet set_;
+  std::vector<std::uint32_t> heat_;  // per table row, saturates at threshold
+  std::uint64_t base_ = 0;           // table base (heat index origin)
+  PipelineControl control_;  // scratch; traces contain no control ops
+  std::vector<std::int64_t> temps_;  // shared scratch, sized by the arena
+  bool count_microops_ = false;
+  std::uint64_t microops_executed_ = 0;
+  TraceStats stats_;
+};
+
+}  // namespace lisasim

@@ -46,7 +46,7 @@ expect_contains "$TMP/dis.out" "MVK 5, A1" "disasm round trip"
 expect_contains "$TMP/dis.out" "ADD A1, A1, A2" "disasm round trip (2)"
 
 # ---- run at every level ----------------------------------------------------
-for level in interp cached dynamic static; do
+for level in interp cached dynamic static trace; do
   "$LISASIM" run @c62x "$TMP/prog.asm" --level "$level" --dump \
       > "$TMP/run_$level.out"
   expect_contains "$TMP/run_$level.out" "halted" "run --level $level halts"
@@ -54,7 +54,7 @@ for level in interp cached dynamic static; do
       "run --level $level result"
 done
 # All levels report the same cycle count.
-for level in cached dynamic static; do
+for level in cached dynamic static trace; do
   a=$(head -1 "$TMP/run_interp.out" | sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
   b=$(head -1 "$TMP/run_$level.out" | sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
   [ "$a" = "$b" ] || fail "cycle count interp=$a vs $level=$b"
@@ -69,6 +69,45 @@ expect_contains "$TMP/profile.out" "hot spots:" "--profile prints table"
 # ---- stats -----------------------------------------------------------------
 "$LISASIM" run @c62x "$TMP/prog.asm" --stats > "$TMP/stats.out"
 expect_contains "$TMP/stats.out" "simulation compiler:" "--stats"
+"$LISASIM" run @c62x "$TMP/prog.asm" --level cached --stats \
+    > "$TMP/stats_cached.out"
+expect_contains "$TMP/stats_cached.out" "lazily lowered" \
+    "--stats reports the decode-cached level's lazy lowering"
+
+# ---- hot-trace tier --------------------------------------------------------
+# A loop hot enough (200 trips) to cross the default threshold; the trace
+# run must report formation/chaining stats and match interp cycle for
+# cycle (checked by the all-levels loop above for the straight-line
+# program; this one adds real superblock coverage).
+cat > "$TMP/hot.asm" <<'EOF'
+        MVK 200, B0
+        MVK 0, A3
+        MVK 1, A4
+loop:   [B0] B loop
+        ADD A3, B0, A3
+        SUB B0, A4, B0
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+EOF
+"$LISASIM" run @c62x "$TMP/hot.asm" --level interp --dump \
+    > "$TMP/hot_interp.out"
+"$LISASIM" run @c62x "$TMP/hot.asm" --level trace --trace-threshold 4 \
+    --stats --dump > "$TMP/hot_trace.out"
+expect_contains "$TMP/hot_trace.out" "traces: .* formed" \
+    "--level trace reports formation stats"
+expect_contains "$TMP/hot_trace.out" "chained" \
+    "--level trace reports chaining stats"
+expect_contains "$TMP/hot_trace.out" "A\[3\] = 20100" \
+    "--level trace computes the loop sum"
+formed=$(sed -n 's/^traces: \([0-9][0-9]*\) formed.*/\1/p' \
+    "$TMP/hot_trace.out")
+[ "${formed:-0}" -ge 1 ] || fail "hot loop should form at least one trace"
+a=$(head -1 "$TMP/hot_interp.out" | sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+b=$(grep ' cycles,' "$TMP/hot_trace.out" |
+    sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+[ "$a" = "$b" ] || fail "trace cycles $b != interp $a on the hot loop"
 
 # ---- codegen: emitted simulator compiles and reproduces the run ------------
 "$LISASIM" codegen @c62x "$TMP/prog.asm" > "$TMP/gen.cpp"
@@ -86,8 +125,12 @@ lib_cycles=$(head -1 "$TMP/run_static.out" |
 "$LISASIM" --help > "$TMP/help.out" 2>&1 || fail "--help should exit 0"
 expect_contains "$TMP/help.out" "usage: lisasim" "--help prints usage"
 expect_contains "$TMP/help.out" \
-    "--level values: interp, cached, dynamic, static" \
+    "--level values: interp, cached, dynamic, static, trace" \
     "--help lists the simulation levels"
+expect_contains "$TMP/help.out" "--trace-threshold N" \
+    "--help documents the trace hotness threshold"
+expect_contains "$TMP/help.out" "3 recoverable guarded-execution stop" \
+    "--help documents the exit-code-3 semantics"
 
 # ---- guarded execution ------------------------------------------------------
 # A self-patching tinydsp program: after 5 ADD trips it overwrites its own
@@ -150,6 +193,76 @@ fi
 expect_contains "$TMP/err4.out" "unknown guard policy 'bogus'" \
     "unknown --guard names the bad value"
 
+# ---- hot traces under guarded execution (SMC) ------------------------------
+# The c62x flavor of the self-patching accumulator: the loop body is
+# branch-predictable, so with an eager threshold the patched packet sits
+# inside a formed superblock. The guard must invalidate that stale trace
+# and the run must stay bit-identical to the interpretive oracle; without
+# guards the trace tier must diverge exactly like the static level does.
+cat > "$TMP/smc62.asm" <<'EOF'
+        .entry start
+start:  MVK 0, A0
+        MVK 3, A3
+        MVK 100, A7
+        MVK 1, A1
+        MVK 5, B0
+loop:   ADDK -1, B0
+patch:  ADD A7, A3, A7
+        [B0] B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        [!A1] B done
+        [A1] LDP A0, tmpl, A5
+        [A1] STP A5, A0, patch
+        [A1] MVK 7, B0
+        [A1] MVK 0, A1
+        NOP 1
+        B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+done:   MVK 32, A8
+        STW A7, A8, 0
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+tmpl:   SUB A7, A3, A7
+EOF
+"$LISASIM" run @c62x "$TMP/smc62.asm" --level interp --dump \
+    > "$TMP/smc62_interp.out"
+expect_contains "$TMP/smc62_interp.out" "dmem\[32\] = 94" \
+    "interp follows the c62x patch"
+for policy in recompile fallback; do
+  "$LISASIM" run @c62x "$TMP/smc62.asm" --level trace --trace-threshold 1 \
+      --guard "$policy" --stats --dump > "$TMP/smc62_trace_$policy.out"
+  expect_contains "$TMP/smc62_trace_$policy.out" "dmem\[32\] = 94" \
+      "guarded trace run matches the oracle ($policy)"
+  inv=$(sed -n 's/^traces: .* \([0-9][0-9]*\) invalidated$/\1/p' \
+      "$TMP/smc62_trace_$policy.out")
+  [ "${inv:-0}" -ge 1 ] || \
+      fail "patching traced text must invalidate a trace ($policy)"
+  a=$(grep ' cycles,' "$TMP/smc62_interp.out" |
+      sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+  b=$(grep ' cycles,' "$TMP/smc62_trace_$policy.out" |
+      sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+  [ "$a" = "$b" ] || fail "guarded trace cycles interp=$a vs trace=$b"
+done
+"$LISASIM" run @c62x "$TMP/smc62.asm" --level trace --trace-threshold 1 \
+    --dump > "$TMP/smc62_off.out"
+"$LISASIM" run @c62x "$TMP/smc62.asm" --level static --dump \
+    > "$TMP/smc62_static_off.out"
+expect_contains "$TMP/smc62_off.out" "dmem\[32\] = 136" \
+    "unguarded traces replay the stale translation"
+expect_contains "$TMP/smc62_static_off.out" "dmem\[32\] = 136" \
+    "unguarded static diverges identically"
+
 # ---- watchdog limits --------------------------------------------------------
 cat > "$TMP/spin.asm" <<'EOF'
         .entry start
@@ -163,7 +276,7 @@ EOF
 expect_contains "$TMP/mc.out" "300 cycles" "--max-cycles stops the run"
 expect_contains "$TMP/mc.out" "cycle limit reached" "--max-cycles is soft"
 # ... while --watchdog is a recoverable error (exit 3) at every level.
-for level in interp cached dynamic static; do
+for level in interp cached dynamic static trace; do
   if "$LISASIM" run @tinydsp "$TMP/spin.asm" --level "$level" \
       --watchdog 500 > "$TMP/wd.out" 2>&1; then
     fail "--watchdog should fail ($level)"
@@ -206,7 +319,7 @@ fi
 expect_contains "$TMP/oob.out" "out-of-bounds access" "fatal error message"
 
 # ---- checkpoint save/restore round trip ------------------------------------
-for level in interp cached dynamic static; do
+for level in interp cached dynamic static trace; do
   "$LISASIM" run @tinydsp "$TMP/smc.asm" --level "$level" --guard recompile \
       --checkpoint 40 --dump > "$TMP/ckpt_$level.out"
   expect_contains "$TMP/ckpt_$level.out" "cycles verified" \
@@ -226,7 +339,7 @@ fi
 expect_contains "$TMP/err3.out" "unknown simulation level 'bogus'" \
     "unknown --level names the bad value"
 expect_contains "$TMP/err3.out" \
-    "valid levels: interp, cached, dynamic, static" \
+    "valid levels: interp, cached, dynamic, static, trace" \
     "unknown --level lists the valid names"
 echo "BROKEN !!" > "$TMP/bad.asm"
 if "$LISASIM" asm @c62x "$TMP/bad.asm" > "$TMP/err2.out" 2>&1; then

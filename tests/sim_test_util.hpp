@@ -22,11 +22,13 @@ struct CrossLevelRun {
   std::string state_dump;  // identical across levels (asserted)
 };
 
-/// Run `program` on all four simulation levels (interpretive,
-/// decode-cached, compiled-dynamic, compiled-static) and assert exact
-/// agreement of timing and final state. `guard` arms the write guards of
-/// the table-based levels (the interpretive oracle needs none); it is
-/// required for any program that writes its own text.
+/// Run `program` on all five simulation levels (interpretive,
+/// decode-cached, compiled-dynamic, compiled-static, compiled-trace) and
+/// assert exact agreement of timing and final state. `guard` arms the
+/// write guards of the table-based levels (the interpretive oracle needs
+/// none); it is required for any program that writes its own text. The
+/// trace level runs with a hotness threshold of 1 so even short test
+/// loops exercise superblock formation and chaining.
 inline CrossLevelRun run_all_levels(const Model& model,
                                     const LoadedProgram& program,
                                     std::uint64_t max_cycles = 2'000'000,
@@ -54,31 +56,49 @@ inline CrossLevelRun run_all_levels(const Model& model,
   const RunResult r_static = stat.run(max_cycles);
   const std::string s_static = stat.state().dump_nonzero();
 
+  CompiledSimulator trace(model, SimLevel::kTrace);
+  TraceConfig eager;
+  eager.hot_threshold = 1;
+  eager.min_trace_cycles = 1;
+  trace.set_trace_config(eager);
+  trace.set_guard_policy(guard);
+  trace.load(program);
+  const RunResult r_trace = trace.run(max_cycles);
+  const std::string s_trace = trace.state().dump_nonzero();
+
   EXPECT_EQ(r_interp.cycles, r_cached.cycles) << "interp vs cached cycles";
   EXPECT_EQ(r_interp.cycles, r_dynamic.cycles) << "interp vs dynamic cycles";
   EXPECT_EQ(r_interp.cycles, r_static.cycles) << "interp vs static cycles";
+  EXPECT_EQ(r_interp.cycles, r_trace.cycles) << "interp vs trace cycles";
   EXPECT_EQ(r_interp.fetches, r_cached.fetches) << "interp vs cached fetches";
   EXPECT_EQ(r_interp.fetches, r_dynamic.fetches)
       << "interp vs dynamic fetches";
   EXPECT_EQ(r_interp.fetches, r_static.fetches) << "interp vs static fetches";
+  EXPECT_EQ(r_interp.fetches, r_trace.fetches) << "interp vs trace fetches";
   EXPECT_EQ(r_interp.packets_retired, r_cached.packets_retired);
   EXPECT_EQ(r_interp.packets_retired, r_dynamic.packets_retired);
+  EXPECT_EQ(r_interp.packets_retired, r_trace.packets_retired);
   EXPECT_EQ(r_interp.slots_retired, r_static.slots_retired);
+  EXPECT_EQ(r_interp.slots_retired, r_trace.slots_retired);
   EXPECT_EQ(r_interp.halted, r_cached.halted);
   EXPECT_EQ(r_interp.halted, r_dynamic.halted);
   EXPECT_EQ(r_interp.halted, r_static.halted);
+  EXPECT_EQ(r_interp.halted, r_trace.halted);
   // Belt and braces: the full RunResult must agree field-for-field...
   EXPECT_EQ(r_interp, r_cached);
   EXPECT_EQ(r_interp, r_dynamic);
   EXPECT_EQ(r_interp, r_static);
+  EXPECT_EQ(r_interp, r_trace);
   // ...and so must every resource of the final architectural state, not
   // just its non-zero rendering.
   EXPECT_TRUE(interp.state() == cached.state()) << "interp vs cached state";
   EXPECT_TRUE(interp.state() == dynamic.state()) << "interp vs dynamic state";
   EXPECT_TRUE(interp.state() == stat.state()) << "interp vs static state";
+  EXPECT_TRUE(interp.state() == trace.state()) << "interp vs trace state";
   EXPECT_EQ(s_interp, s_cached) << "interp vs cached final state";
   EXPECT_EQ(s_interp, s_dynamic) << "interp vs dynamic final state";
   EXPECT_EQ(s_interp, s_static) << "interp vs static final state";
+  EXPECT_EQ(s_interp, s_trace) << "interp vs trace final state";
 
   return {r_interp, s_interp};
 }

@@ -1,0 +1,466 @@
+// Hot-trace superblock tier (sim/trace.hpp): formation and chaining on hot
+// loops, guard-driven invalidation on self-modifying code, checkpoint
+// interaction, cache snapshot adoption, watchdog parity with the static
+// level — plus the peephole guarantees the trace splicer depends on when
+// it re-runs optimize_microops across former packet boundaries.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
+#include "sim_test_util.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/table_cache.hpp"
+#include "sim/trace.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+using testing::reg_of;
+
+/// Hotness threshold 1 so even short test loops form superblocks.
+TraceConfig eager_config() {
+  TraceConfig config;
+  config.hot_threshold = 1;
+  config.min_trace_cycles = 1;
+  return config;
+}
+
+/// A c62x counted loop: branch in DC with 5 exposed delay slots, all of
+/// them doing work or padding — the packet sequence is statically
+/// predictable, so the whole body splices into one superblock.
+const char* kLoopAsm = R"(
+        MVK 200, B0           ; trip count
+        MVK 0, A3             ; sum
+        MVK 1, A4             ; constant one
+loop:   [B0] B loop
+        ADD A3, B0, A3        ; sum += counter (delay slot 1)
+        SUB B0, A4, B0        ; counter-- (delay slot 2)
+        NOP 1
+        NOP 1
+        NOP 1                 ; delay slots 3..5
+        HALT                  ; reached when B0 == 0
+)";
+
+// ------------------------------------------------ formation and chaining
+
+TEST(Trace, FormsAndChainsOnHotLoop) {
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(kLoopAsm);
+
+  CompiledSimulator reference(*target.model, SimLevel::kCompiledStatic);
+  reference.load(p);
+  const RunResult want = reference.run(2'000'000);
+  ASSERT_TRUE(want.halted);
+
+  CompiledSimulator sim(*target.model, SimLevel::kTrace);
+  sim.set_trace_config(eager_config());
+  sim.load(p);
+  const RunResult got = sim.run(2'000'000);
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(reference.state() == sim.state());
+
+  const TraceStats* stats = sim.trace_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->formed, 1u) << "hot loop must form a superblock";
+  EXPECT_GT(stats->entries, 0u);
+  EXPECT_GT(stats->chained, 0u) << "loop back-edge must chain trace->trace";
+  EXPECT_GT(stats->trace_cycles, 0u);
+  EXPECT_LE(stats->trace_cycles, got.cycles);
+  EXPECT_GE(stats->side_exits, 1u) << "loop exit leaves through a side exit";
+  EXPECT_EQ(stats->invalidated, 0u) << "nothing is stale without SMC";
+  // Every entry ends in either a side exit or the run's end; chained
+  // continuations never exceed the entry count's trace executions.
+  EXPECT_LE(stats->side_exits, stats->entries);
+}
+
+TEST(Trace, DefaultThresholdGatesFormation) {
+  // Five trips never reach the default hotness threshold (32): the trace
+  // tier must stay cold and the run must still match the static level.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(R"(
+        MVK 5, B0
+        MVK 0, A3
+        MVK 1, A4
+loop:   [B0] B loop
+        ADD A3, B0, A3
+        SUB B0, A4, B0
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+  )");
+  CompiledSimulator reference(*target.model, SimLevel::kCompiledStatic);
+  reference.load(p);
+  const RunResult want = reference.run(100'000);
+
+  CompiledSimulator sim(*target.model, SimLevel::kTrace);
+  sim.load(p);  // default TraceConfig
+  EXPECT_EQ(sim.run(100'000), want);
+  EXPECT_TRUE(reference.state() == sim.state());
+  const TraceStats* stats = sim.trace_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->formed, 0u);
+  EXPECT_EQ(stats->entries, 0u);
+}
+
+TEST(Trace, PaperSuiteMatchesStaticAndReference) {
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  for (const workloads::Workload& w :
+       {workloads::make_fir(8, 16), workloads::make_adpcm(24),
+        workloads::make_gsm(40)}) {
+    SCOPED_TRACE(w.name);
+    const LoadedProgram p = target.assemble(w.asm_source);
+
+    CompiledSimulator reference(*target.model, SimLevel::kCompiledStatic);
+    reference.load(p);
+    const RunResult want = reference.run(2'000'000);
+    ASSERT_TRUE(want.halted);
+
+    CompiledSimulator sim(*target.model, SimLevel::kTrace);
+    sim.set_trace_config(eager_config());
+    sim.load(p);
+    EXPECT_EQ(sim.run(2'000'000), want);
+    EXPECT_TRUE(reference.state() == sim.state());
+    for (const auto& [address, value] : w.expected_dmem)
+      EXPECT_EQ(reg_of(*target.model, sim.state(), "dmem", address), value)
+          << w.name << " dmem[" << address << "]";
+    const TraceStats* stats = sim.trace_stats();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GE(stats->formed, 1u) << w.name;
+    EXPECT_GT(stats->trace_cycles, 0u) << w.name;
+  }
+}
+
+// ------------------------------------------------ guard invalidation (SMC)
+
+TEST(Trace, SelfModifyingCodeInvalidatesStaleTraces) {
+  // The SMC workload patches its own loop body mid-run. With guards on,
+  // the traces formed over the pre-patch text must go stale, be
+  // invalidated, and the run must stay bit-identical to the interpretive
+  // oracle under both guard policies.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_smc_c62x();
+  const LoadedProgram p = target.assemble(w.asm_source);
+
+  InterpSimulator oracle(*target.model);
+  oracle.load(p);
+  const RunResult want = oracle.run(2'000'000);
+  ASSERT_TRUE(want.halted);
+
+  for (const GuardPolicy policy :
+       {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+    SCOPED_TRACE(guard_policy_name(policy));
+    CompiledSimulator sim(*target.model, SimLevel::kTrace);
+    sim.set_trace_config(eager_config());
+    sim.set_guard_policy(policy);
+    sim.load(p);
+    EXPECT_EQ(sim.run(2'000'000), want);
+    EXPECT_TRUE(oracle.state() == sim.state());
+    for (const auto& [address, value] : w.expected_dmem)
+      EXPECT_EQ(reg_of(*target.model, sim.state(), "dmem", address), value);
+
+    const TraceStats* stats = sim.trace_stats();
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GE(stats->formed, 1u);
+    EXPECT_GE(stats->invalidated, 1u)
+        << "patching traced text must invalidate the covering trace";
+  }
+}
+
+TEST(Trace, UnguardedSmcDivergesLikeStatic) {
+  // Without guards the trace tier replays the stale static translation —
+  // deliberately: the divergence is the hazard the guards exist to close,
+  // and the unguarded trace level must at least diverge *identically* to
+  // the unguarded static level.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_smc_c62x();
+  const LoadedProgram p = target.assemble(w.asm_source);
+
+  CompiledSimulator stale(*target.model, SimLevel::kCompiledStatic);
+  stale.load(p);
+  const RunResult want = stale.run(2'000'000);
+
+  CompiledSimulator sim(*target.model, SimLevel::kTrace);
+  sim.set_trace_config(eager_config());
+  sim.load(p);
+  EXPECT_EQ(sim.run(2'000'000), want);
+  EXPECT_TRUE(stale.state() == sim.state());
+}
+
+// ------------------------------------------------ checkpoint interaction
+
+TEST(Trace, CheckpointRoundTripAtTraceBoundaries) {
+  // run() only returns (and save_checkpoint() only runs) between engine
+  // cycles, which a whole-trace dispatch never straddles — so checkpoints
+  // taken mid-run always land on a trace boundary and replay exactly.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_smc_c62x();
+  const LoadedProgram p = target.assemble(w.asm_source);
+
+  CompiledSimulator sim(*target.model, SimLevel::kTrace);
+  sim.set_trace_config(eager_config());
+  sim.set_guard_policy(GuardPolicy::kRecompile);
+  sim.load(p);
+  ASSERT_FALSE(sim.run(40).halted);
+  const EngineCheckpoint cp = sim.save_checkpoint();
+  const RunResult tail = sim.run(2'000'000);
+  ASSERT_TRUE(tail.halted);
+  const std::string final_state = sim.state().dump_nonzero();
+
+  // Replay in place: restore conservatively re-stales every guarded word,
+  // so surviving traces are invalidated lazily — the result must not move.
+  sim.restore_checkpoint(cp);
+  EXPECT_EQ(sim.run(2'000'000), tail);
+  EXPECT_EQ(sim.state().dump_nonzero(), final_state);
+
+  // And into a fresh simulator instance of the same model/level/program.
+  CompiledSimulator fresh(*target.model, SimLevel::kTrace);
+  fresh.set_trace_config(eager_config());
+  fresh.set_guard_policy(GuardPolicy::kRecompile);
+  fresh.load(p);
+  fresh.restore_checkpoint(cp);
+  EXPECT_EQ(fresh.run(2'000'000), tail);
+  EXPECT_TRUE(fresh.state() == sim.state());
+}
+
+// ------------------------------------------------ watchdog parity
+
+TEST(Trace, WatchdogTripsAtTheSameCycleAsStatic) {
+  // fits_budget() must keep whole-trace dispatch from overshooting a
+  // watchdog: the recoverable stop has to fire at the exact cycle the
+  // per-packet levels report, pc and all.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(R"(
+        MVK 1, B0
+loop:   [B0] B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+  )");
+  RunLimits limits;
+  limits.watchdog_cycles = 500;
+
+  SimErrorContext want;
+  {
+    CompiledSimulator sim(*target.model, SimLevel::kCompiledStatic);
+    sim.load(p);
+    try {
+      sim.run(limits);
+      FAIL() << "static watchdog must fire";
+    } catch (const SimError& e) {
+      EXPECT_TRUE(e.recoverable());
+      want = e.context();
+    }
+  }
+  CompiledSimulator sim(*target.model, SimLevel::kTrace);
+  sim.set_trace_config(eager_config());
+  sim.load(p);
+  try {
+    sim.run(limits);
+    FAIL() << "trace watchdog must fire";
+  } catch (const SimError& e) {
+    EXPECT_TRUE(e.recoverable());
+    EXPECT_EQ(e.context().cycle, want.cycle);
+    EXPECT_EQ(e.context().pc, want.pc);
+  }
+  const TraceStats* stats = sim.trace_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->entries, 0u) << "the spin loop must run in traces";
+}
+
+TEST(Trace, StuckLimitTripsAtTheSameCycleAsStatic) {
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(R"(
+        NOP 12
+        HALT
+  )");
+  RunLimits limits;
+  limits.max_stuck_cycles = 5;
+
+  SimErrorContext want;
+  {
+    CompiledSimulator sim(*target.model, SimLevel::kCompiledStatic);
+    sim.load(p);
+    try {
+      sim.run(limits);
+      FAIL() << "static stuck limit must fire";
+    } catch (const SimError& e) {
+      EXPECT_TRUE(e.recoverable());
+      want = e.context();
+    }
+  }
+  CompiledSimulator sim(*target.model, SimLevel::kTrace);
+  sim.set_trace_config(eager_config());
+  sim.load(p);
+  try {
+    sim.run(limits);
+    FAIL() << "trace stuck limit must fire";
+  } catch (const SimError& e) {
+    EXPECT_TRUE(e.recoverable());
+    EXPECT_EQ(e.context().cycle, want.cycle);
+    EXPECT_EQ(e.context().pc, want.pc);
+  }
+}
+
+// ------------------------------------------------ cache snapshot adoption
+
+TEST(Trace, CacheSnapshotIsAdoptedByALaterSimulator) {
+  // Traces formed during a run are published to the SimTableCache on the
+  // next load (keyed next to the table signature); a second simulator on
+  // the same cache adopts them pre-warmed and replays without re-forming.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(kLoopAsm);
+  SimTableCache cache;
+
+  CompiledSimulator first(*target.model, SimLevel::kTrace);
+  first.set_trace_config(eager_config());
+  first.set_table_cache(&cache);
+  first.load(p);
+  const RunResult want = first.run(2'000'000);
+  ASSERT_TRUE(want.halted);
+  ASSERT_NE(first.trace_stats(), nullptr);
+  ASSERT_GE(first.trace_stats()->formed, 1u);
+  const std::string want_state = first.state().dump_nonzero();
+  first.load(p);  // publishes the trace set alongside the cached table
+
+  CompiledSimulator second(*target.model, SimLevel::kTrace);
+  second.set_trace_config(eager_config());
+  second.set_table_cache(&cache);
+  second.load(p);
+  const TraceStats* stats = second.trace_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->adopted, 1u) << "snapshot must be adopted at load";
+  EXPECT_EQ(second.run(2'000'000), want);
+  EXPECT_EQ(second.state().dump_nonzero(), want_state);
+  EXPECT_EQ(stats->formed, 0u)
+      << "adopted traces dispatch without re-forming";
+  EXPECT_GT(stats->entries, 0u);
+
+  // Dropping the program from the cache drops the trace stash with it.
+  cache.invalidate(SimTableCache::hash_program(p));
+  CompiledSimulator third(*target.model, SimLevel::kTrace);
+  third.set_trace_config(eager_config());
+  third.set_table_cache(&cache);
+  third.load(p);
+  ASSERT_NE(third.trace_stats(), nullptr);
+  EXPECT_EQ(third.trace_stats()->adopted, 0u);
+  EXPECT_EQ(third.run(2'000'000), want);
+}
+
+// ------------------------------------------------ compile-stats satellite
+
+TEST(CompileStats, DecodeCachedCountsLazyLowering) {
+  // The decode-cached level defers sequencing + lowering to first issue;
+  // load() alone must report zero lazily lowered packets, and after a run
+  // compile_stats() must account for every packet the run touched.
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(kLoopAsm);
+
+  CachedInterpSimulator sim(*target.model);
+  const SimCompileStats at_load = sim.load(p);
+  EXPECT_GT(at_load.instructions, 0u);
+  EXPECT_GT(at_load.table_rows, 0u);
+  EXPECT_EQ(at_load.lazy_lowered_packets, 0u)
+      << "nothing is lowered before execution";
+  EXPECT_EQ(at_load.microops, 0u);
+
+  ASSERT_TRUE(sim.run(2'000'000).halted);
+  const SimCompileStats after = sim.compile_stats();
+  EXPECT_GT(after.lazy_lowered_packets, 0u)
+      << "the run must have instantiated packets";
+  EXPECT_LE(after.lazy_lowered_packets, after.table_rows);
+  EXPECT_GT(after.microops, 0u);
+
+  // Re-running does not re-lower: the counters are cumulative per cache.
+  sim.reload(p);
+  ASSERT_TRUE(sim.run(2'000'000).halted);
+  EXPECT_EQ(sim.compile_stats().lazy_lowered_packets,
+            after.lazy_lowered_packets);
+
+  // Ahead-of-time levels never report lazy lowering.
+  CompiledSimulator aot(*target.model, SimLevel::kCompiledStatic);
+  const SimCompileStats aot_stats = aot.load(p);
+  EXPECT_EQ(aot_stats.lazy_lowered_packets, 0u);
+  EXPECT_GT(aot_stats.microops, 0u);
+}
+
+// ------------------------------------------------ peephole seam guarantees
+
+// The trace builder splices per-packet micro-op spans into one program and
+// re-runs optimize_microops across the former packet boundaries. Two
+// properties keep that fusion sound, pinned here on hand-built programs of
+// the exact shape the splicer emits.
+
+TEST(TraceSplice, ConstLatticeResetsAtSideExitLabel) {
+  // A side-exit label inside a spliced superblock is a branch target: a
+  // constant definition that only one incoming path establishes must not
+  // be propagated past the label. t2 is 10 on the taken path and 20 on
+  // the fall-through; folding the write after the label to either value
+  // would corrupt the other path.
+  TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+  const Resource* regs = target.model->resource_by_name("R");
+  ASSERT_NE(regs, nullptr);
+
+  MicroProgram mp;
+  mp.num_temps = 4;
+  mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});   // idx 0
+  mp.ops.push_back(
+      {.kind = MKind::kReadElem, .a = 0, .b = 1, .res = regs->id});
+  mp.ops.push_back({.kind = MKind::kConst, .a = 3, .imm = 1});   // idx 1
+  mp.ops.push_back({.kind = MKind::kConst, .a = 2, .imm = 10});
+  mp.ops.push_back({.kind = MKind::kBrZero, .a = 0, .imm = 6});  // side exit
+  mp.ops.push_back({.kind = MKind::kConst, .a = 2, .imm = 20});
+  // op 6 — the side-exit label (join): R[1] = t2.
+  mp.ops.push_back(
+      {.kind = MKind::kWriteElem, .a = 2, .b = 3, .res = regs->id});
+  validate_microops(mp);
+
+  for (const std::int64_t cond : {0, 1}) {
+    MicroProgram opt = mp;
+    optimize_microops(opt);
+    ProcessorState state(*target.model);
+    PipelineControl control;
+    std::vector<std::int64_t> temps;
+    state.write(regs->id, 0, cond);
+    run_microops(opt, state, control, temps);
+    EXPECT_EQ(state.read(regs->id, 1), cond == 0 ? 10 : 20)
+        << "cond=" << cond << "\n" << microops_to_string(opt);
+  }
+}
+
+TEST(TraceSplice, DivisionByZeroIsNotFoldedAcrossAPacketSeam) {
+  // Splicing makes both operands of a later packet's division visible as
+  // constants from an earlier packet. The peephole must still keep the
+  // op: folding would silently drop the run-time SimError the per-packet
+  // levels raise.
+  for (const BinOp op : {BinOp::kDiv, BinOp::kRem}) {
+    MicroProgram mp;
+    mp.num_temps = 3;
+    // ---- packet A's span: the constants ----
+    mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = 1});
+    mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});
+    // ---- packet B's span (temps renamed by the splicer) ----
+    mp.ops.push_back({.kind = MKind::kBin, .bop = op, .a = 2, .b = 0, .c = 1});
+    optimize_microops(mp);
+    ASSERT_FALSE(mp.empty());
+
+    TestTarget target(targets::tinydsp_model_source(), "tinydsp");
+    ProcessorState state(*target.model);
+    PipelineControl control;
+    std::vector<std::int64_t> temps;
+    EXPECT_THROW(run_microops(mp, state, control, temps), SimError)
+        << microops_to_string(mp);
+  }
+}
+
+}  // namespace
+}  // namespace lisasim
