@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include "asm/assembler.hpp"
+#include "behavior/fuse.hpp"
 #include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
 #include "behavior/specialize.hpp"
 #include "model/sema.hpp"
 #include "sim/interp.hpp"
@@ -117,6 +119,53 @@ void BM_ExecMicroops(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExecMicroops);
+
+void BM_ExecMicroopsFused(benchmark::State& state) {
+  // Same stage program as BM_ExecMicroops, but run through the full
+  // optimizer (const-fold, DCE, register caching, superinstruction
+  // fusion). The delta against BM_ExecMicroops is the per-execution win
+  // the fused encodings buy; the op-count reduction is reported as a
+  // counter.
+  auto& f = fixture();
+  Specializer specializer(*f.model);
+  ProcessorState pstate(*f.model);
+  PipelineControl control;
+  DecodedPacket packet = f.decoder->decode_packet(f.words, 6);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  const int e1 = f.model->pipeline.stage_index("E1");
+  MicroProgram mp = lower_to_microops(
+      schedule.stage_programs[static_cast<std::size_t>(e1)]);
+  const double unfused_ops = static_cast<double>(mp.ops.size());
+  optimize_microops(mp, f.model.get());
+  std::vector<std::int64_t> temps;
+  for (auto _ : state) {
+    run_microops(mp, pstate, control, temps);
+    control.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ops_before"] = unfused_ops;
+  state.counters["ops_after"] = static_cast<double>(mp.ops.size());
+}
+BENCHMARK(BM_ExecMicroopsFused);
+
+void BM_FuseMicroops(benchmark::State& state) {
+  // Cost of the fusion pass itself — what the simulation compiler pays
+  // once per stage program on top of lowering.
+  auto& f = fixture();
+  Specializer specializer(*f.model);
+  DecodedPacket packet = f.decoder->decode_packet(f.words, 6);
+  PacketSchedule schedule = specializer.schedule_packet(packet);
+  const int e1 = f.model->pipeline.stage_index("E1");
+  const MicroProgram lowered = lower_to_microops(
+      schedule.stage_programs[static_cast<std::size_t>(e1)]);
+  for (auto _ : state) {
+    MicroProgram mp = lowered;
+    fuse_microops(mp);
+    benchmark::DoNotOptimize(mp.ops.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuseMicroops);
 
 void BM_InterpRunOp(benchmark::State& state) {
   auto& f = fixture();

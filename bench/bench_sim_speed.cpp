@@ -16,6 +16,7 @@
 // `--json <path>` additionally writes the two tables as a machine-readable
 // snapshot (BENCH_sim.json is the checked-in reference).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -48,6 +49,12 @@ struct GuardRow {
   double off_cycles_per_second = 0;
   double on_cycles_per_second = 0;
   double overhead_percent = 0;
+  // Half the interquartile range of the per-pair time ratios, in percent:
+  // the noise bound the overhead estimate lives inside.
+  double ratio_spread_percent = 0;
+  // The spread swamps the signal: overhead_percent is clamped to zero
+  // because the measurement cannot distinguish it from zero.
+  bool noise_dominated = false;
 };
 
 template <typename Sim>
@@ -146,8 +153,9 @@ GuardRow print_guarded(const char* app, const char* level, Sim& sim,
   run_once(GuardPolicy::kRecompile);
   const int kPairs = 150;
   std::vector<double> ratios;
+  std::vector<double> offs;
   ratios.reserve(kPairs);
-  double total_off = 0, total_on = 0;
+  offs.reserve(kPairs);
   for (int i = 0; i < kPairs; ++i) {
     double t_off, t_on;
     if (i % 2 == 0) {
@@ -157,22 +165,42 @@ GuardRow print_guarded(const char* app, const char* level, Sim& sim,
       t_on = run_once(GuardPolicy::kRecompile);
       t_off = run_once(GuardPolicy::kOff);
     }
-    total_off += t_off;
-    total_on += t_on;
+    offs.push_back(t_off);
     ratios.push_back(t_on / t_off);
   }
   std::sort(ratios.begin(), ratios.end());
-  const double overhead = (ratios[ratios.size() / 2] - 1.0) * 100.0;
-  std::printf("%-8s %-9s %12s %12s %+9.2f%%\n", app, level,
-              bench::format_rate(cycles * kPairs / total_off).c_str(),
-              bench::format_rate(cycles * kPairs / total_on).c_str(),
-              overhead);
+  std::sort(offs.begin(), offs.end());
+  const double median_ratio = ratios[ratios.size() / 2];
+  // Half the interquartile range of the per-pair ratios: the drift band
+  // the median overhead estimate lives inside.
+  const double spread =
+      (ratios[(3 * ratios.size()) / 4] - ratios[ratios.size() / 4]) / 2.0 *
+      100.0;
+  double overhead = (median_ratio - 1.0) * 100.0;
+  // When the band is wider than the effect, the row cannot distinguish
+  // the overhead from zero: label it, and clamp the physically
+  // impossible negative estimates host drift produces.
+  const bool noisy = std::fabs(overhead) <= spread;
+  if (noisy && overhead < 0) overhead = 0;
+  // Publish one self-consistent triple: off from the median per-pair off
+  // time, on derived from off and the overhead estimate, so the row
+  // always satisfies off/on == 1 + overhead/100. (Totals would mix two
+  // incompatible estimators — a mean rate next to a median overhead.)
+  const double off_rate =
+      static_cast<double>(cycles) / offs[offs.size() / 2];
+  const double on_rate = off_rate / (1.0 + overhead / 100.0);
+  std::printf("%-8s %-9s %12s %12s %+9.2f%%%s\n", app, level,
+              bench::format_rate(off_rate).c_str(),
+              bench::format_rate(on_rate).c_str(), overhead,
+              noisy ? "  (noise)" : "");
   GuardRow row;
   row.app = app;
   row.level = level;
-  row.off_cycles_per_second = cycles * kPairs / total_off;
-  row.on_cycles_per_second = cycles * kPairs / total_on;
+  row.off_cycles_per_second = off_rate;
+  row.on_cycles_per_second = on_rate;
   row.overhead_percent = overhead;
+  row.ratio_spread_percent = spread;
+  row.noise_dominated = noisy;
   return row;
 }
 
@@ -204,9 +232,13 @@ void write_json(const char* path, const std::vector<SpeedRow>& speed,
                  "    {\"app\": \"%s\", \"level\": \"%s\", "
                  "\"guard_off_cycles_per_second\": %.0f, "
                  "\"guard_on_cycles_per_second\": %.0f, "
-                 "\"overhead_percent\": %.2f}%s\n",
+                 "\"overhead_percent\": %.2f, "
+                 "\"ratio_spread_percent\": %.2f, "
+                 "\"noise_dominated\": %s}%s\n",
                  r.app.c_str(), r.level.c_str(), r.off_cycles_per_second,
                  r.on_cycles_per_second, r.overhead_percent,
+                 r.ratio_spread_percent,
+                 r.noise_dominated ? "true" : "false",
                  i + 1 < guard.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

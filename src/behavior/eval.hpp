@@ -24,6 +24,10 @@ struct PipelineControl {
   bool halt = false;      // stop simulation
 
   void clear() { *this = {}; }
+  /// Any request pending? The engine tests this once after each execute
+  /// and only clears when something fired, so the (overwhelmingly common)
+  /// uneventful execute costs one predictable branch.
+  bool any() const { return flush || halt || stall_cycles != 0; }
 };
 
 /// Engine callback used for ACTIVATION: schedule `child` (a node of the

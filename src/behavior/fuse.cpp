@@ -1,0 +1,390 @@
+#include "behavior/fuse.hpp"
+
+#include "behavior/opt_util.hpp"
+
+namespace lisasim {
+
+namespace {
+
+bool commutative(BinOp bop) {
+  switch (bop) {
+    case BinOp::kAdd:
+    case BinOp::kMul:
+    case BinOp::kAnd:
+    case BinOp::kOr:
+    case BinOp::kXor:
+    case BinOp::kEq:
+    case BinOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_div_rem(BinOp bop) {
+  return bop == BinOp::kDiv || bop == BinOp::kRem;
+}
+
+class Fuser {
+ public:
+  explicit Fuser(MicroProgram& program) : program_(program) {}
+
+  bool run() {
+    const std::size_t n = program_.ops.size();
+    if (n < 2) return false;
+    if (!mo_collect_targets(program_, is_target_)) return false;
+    // tgt_prefix_[i] = branch targets at indices <= i; a producer at p may
+    // fuse into a consumer at q only when no target lies in (p, q] — a
+    // branch entering between them would skip the producer's half of the
+    // fused op.
+    tgt_prefix_.assign(n + 1, 0);
+    std::int32_t running = 0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      running += is_target_[i];
+      tgt_prefix_[i] = running;
+    }
+    count_defs_uses();
+    dead_.assign(n, 0);
+    fuse_const_operands();
+    fuse_elem_indices();
+    fuse_adjacent_pairs();
+    fuse_scalar_moves();
+    fuse_scalar_branches();
+    mo_remove_marked(program_, dead_);
+    return changed_;
+  }
+
+ private:
+  void count_defs_uses() {
+    const auto nt = static_cast<std::size_t>(program_.num_temps);
+    def_count_.assign(nt, 0);
+    use_count_.assign(nt, 0);
+    def_idx_.assign(nt, -1);
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      const MicroOp& op = program_.ops[i];
+      mo_for_each_read(op, [&](std::int16_t r) {
+        ++use_count_[static_cast<std::size_t>(r)];
+      });
+      const std::int32_t d = mo_def_of(op);
+      if (d >= 0) {
+        ++def_count_[static_cast<std::size_t>(d)];
+        def_idx_[static_cast<std::size_t>(d)] =
+            static_cast<std::int32_t>(i);
+      }
+    }
+  }
+
+  /// Index of the sole definition of `t`, or -1 when `t` has several (or
+  /// is a live-in local slot, which the lowerer zero-initializes — so
+  /// def_count >= 1 always holds for read temps).
+  std::int32_t single_def(std::int32_t t) const {
+    return def_count_[static_cast<std::size_t>(t)] == 1
+               ? def_idx_[static_cast<std::size_t>(t)]
+               : -1;
+  }
+
+  bool no_target_between(std::int32_t p, std::int32_t q) const {
+    return tgt_prefix_[static_cast<std::size_t>(q)] ==
+           tgt_prefix_[static_cast<std::size_t>(p)];
+  }
+
+  /// A read of `t` was fused away. When the last use of a single-def pure
+  /// producer disappears, the producer dies too, cascading through its own
+  /// reads (kConst feeding kBinImm feeding kReadElemOff, for example).
+  void drop_use(std::int32_t t) {
+    if (--use_count_[static_cast<std::size_t>(t)] > 0) return;
+    const std::int32_t d = single_def(t);
+    if (d < 0 || dead_[static_cast<std::size_t>(d)]) return;
+    const MicroOp& def = program_.ops[static_cast<std::size_t>(d)];
+    if (!mo_is_pure_def(def)) return;
+    dead_[static_cast<std::size_t>(d)] = 1;
+    mo_for_each_read(def, [&](std::int16_t r) { drop_use(r); });
+  }
+
+  /// If `t` is a single-def kConst visible at `use` (no target between),
+  /// return its def index.
+  std::int32_t const_def_at(std::int32_t t, std::int32_t use) const {
+    const std::int32_t d = single_def(t);
+    if (d < 0 || dead_[static_cast<std::size_t>(d)]) return -1;
+    if (program_.ops[static_cast<std::size_t>(d)].kind != MKind::kConst)
+      return -1;
+    if (!no_target_between(d, use)) return -1;
+    return d;
+  }
+
+  // -- pattern 1: const -> bin -------------------------------------------
+
+  void fuse_const_operands() {
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      MicroOp& op = program_.ops[i];
+      if (op.kind == MKind::kIntr && intrinsic_arity(op.intr()) == 2) {
+        // sext/zext and friends almost always take a constant width.
+        const std::int32_t cd =
+            const_def_at(op.c, static_cast<std::int32_t>(i));
+        if (cd >= 0) {
+          const std::int16_t t = op.c;
+          op = mo_intr_imm(
+              op.intr(), op.a, op.b,
+              static_cast<std::int32_t>(
+                  program_.ops[static_cast<std::size_t>(cd)].imm));
+          drop_use(t);
+          changed_ = true;
+        }
+        continue;
+      }
+      if (op.kind != MKind::kBin) continue;
+      const auto use = static_cast<std::int32_t>(i);
+      // Right operand constant is the straightforward kBinImm form; a
+      // constant-zero divisor must stay a kBin so it throws at run time.
+      const std::int32_t cd = const_def_at(op.c, use);
+      if (cd >= 0) {
+        const std::int32_t cval =
+            static_cast<std::int32_t>(
+                program_.ops[static_cast<std::size_t>(cd)].imm);
+        if (is_div_rem(op.bop()) && cval == 0) continue;
+        const std::int16_t t = op.c;
+        op = mo_bin_imm(op.bop(), op.a, op.b, cval);
+        drop_use(t);
+        changed_ = true;
+        continue;
+      }
+      const std::int32_t bd = const_def_at(op.b, use);
+      if (bd >= 0) {
+        const std::int32_t bval =
+            static_cast<std::int32_t>(
+                program_.ops[static_cast<std::size_t>(bd)].imm);
+        const std::int16_t t = op.b;
+        if (commutative(op.bop())) {
+          op = mo_bin_imm(op.bop(), op.a, op.c, bval);
+        } else {
+          // imm <op> t[b]: the divisor stays dynamic, so /0 still throws.
+          op = mo_bin_imm_r(op.bop(), op.a, bval, op.c);
+        }
+        drop_use(t);
+        changed_ = true;
+      }
+    }
+  }
+
+  // -- pattern 2: folded element indices ---------------------------------
+
+  /// The index temp of kReadElem/kWriteElem lives in .b for both kinds.
+  void fuse_elem_indices() {
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      MicroOp& op = program_.ops[i];
+      const bool is_read = op.kind == MKind::kReadElem;
+      const bool is_write = op.kind == MKind::kWriteElem;
+      if (!is_read && !is_write) continue;
+      const auto use = static_cast<std::int32_t>(i);
+      const std::int32_t d = single_def(op.b);
+      if (d < 0 || dead_[static_cast<std::size_t>(d)]) continue;
+      if (!no_target_between(d, use)) continue;
+      const MicroOp& def = program_.ops[static_cast<std::size_t>(d)];
+      if (def.kind == MKind::kConst) {
+        const std::int16_t t = op.b;
+        op = is_read ? mo_read_elem_c(op.a, op.res,
+                                      static_cast<std::int32_t>(def.imm))
+                     : mo_write_elem_c(op.res,
+                                       static_cast<std::int32_t>(def.imm),
+                                       op.a);
+        drop_use(t);
+        changed_ = true;
+        continue;
+      }
+      if (def.kind == MKind::kBinImm && def.bop() == BinOp::kAdd) {
+        // index = src + #k: the fused op wrap-adds exactly like kBinImm
+        // kAdd followed by the uint64 index cast. The source temp must
+        // still hold its def-site value at the use.
+        const std::int16_t src = def.b;
+        if (redefined_between(src, d, use)) continue;
+        const std::int16_t t = op.b;
+        op = is_read ? mo_read_elem_off(op.a, op.res, src, def.imm)
+                     : mo_write_elem_off(op.res, src, def.imm, op.a);
+        ++use_count_[static_cast<std::size_t>(src)];
+        drop_use(t);
+        changed_ = true;
+        continue;
+      }
+      // index = scal r: kReadElemScal re-reads r at the consumer's slot,
+      // so nothing between the pair may write r.
+      if (is_read && def.kind == MKind::kReadScal &&
+          !resource_written_between(def.res, d, use)) {
+        const std::int16_t t = op.b;
+        op = mo_read_elem_scal(op.a, op.res, def.res);
+        drop_use(t);
+        changed_ = true;
+      }
+    }
+  }
+
+  bool redefined_between(std::int32_t t, std::int32_t def,
+                         std::int32_t use) const {
+    for (std::int32_t j = def + 1; j < use; ++j) {
+      if (dead_[static_cast<std::size_t>(j)]) continue;
+      if (mo_def_of(program_.ops[static_cast<std::size_t>(j)]) == t)
+        return true;
+    }
+    return false;
+  }
+
+  // -- pattern 3: adjacent producer/consumer pairs -----------------------
+
+  std::int32_t next_live(std::size_t i) const {
+    for (std::size_t j = i + 1; j < program_.ops.size(); ++j)
+      if (!dead_[j]) return static_cast<std::int32_t>(j);
+    return -1;
+  }
+
+  void fuse_adjacent_pairs() {
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      if (dead_[i]) continue;
+      MicroOp& prod = program_.ops[i];
+      const bool bin = prod.kind == MKind::kBin;
+      const bool bin_imm = prod.kind == MKind::kBinImm;
+      if (!bin && !bin_imm) continue;
+      const std::int32_t j = next_live(i);
+      if (j < 0) continue;
+      if (!no_target_between(static_cast<std::int32_t>(i), j)) continue;
+      const std::int32_t t = prod.a;
+      // The intermediate must exist only for this pair: one def, one use.
+      if (single_def(t) != static_cast<std::int32_t>(i)) continue;
+      if (use_count_[static_cast<std::size_t>(t)] != 1) continue;
+      MicroOp& cons = program_.ops[static_cast<std::size_t>(j)];
+      if (bin && cons.kind == MKind::kWriteScal && cons.b == t) {
+        // kWriteBin evaluates the same operands and throws the same /0
+        // before any store, so div/rem fuse soundly here.
+        cons = mo_write_bin(prod.bop(), cons.res, prod.b, prod.c);
+        dead_[i] = 1;
+        changed_ = true;
+        continue;
+      }
+      if (cons.kind == MKind::kBrZero && cons.a == t &&
+          !is_div_rem(prod.bop())) {
+        if (bin) {
+          cons = mo_br_bin(prod.bop(), prod.b, prod.c, cons.imm);
+          dead_[i] = 1;
+          changed_ = true;
+        } else if (prod.imm >= INT16_MIN && prod.imm <= INT16_MAX) {
+          cons = mo_br_bin_imm(prod.bop(), prod.b, prod.imm, cons.imm);
+          dead_[i] = 1;
+          changed_ = true;
+        }
+      }
+    }
+  }
+
+  // -- pattern 4: scalar register moves ----------------------------------
+
+  /// Pipeline-register shifts between stages are chains of
+  /// `t = scal r_src; scal r_dst = t` pairs, and constant control writes
+  /// are `t = #k; scal r = t`. Both collapse into a single dispatch
+  /// (kMovScal / kWriteScalImm) when the temp exists only for the pair.
+  /// kMovScal re-reads the source at the consumer's position, so nothing
+  /// between the pair may write r_src.
+  void fuse_scalar_moves() {
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      if (dead_[i]) continue;
+      MicroOp& cons = program_.ops[i];
+      if (cons.kind == MKind::kWriteElemC) {
+        // scal -> element store: the scalar is re-read at the consumer's
+        // slot, so nothing between the pair may write it.
+        const auto use = static_cast<std::int32_t>(i);
+        const std::int32_t d = single_def(cons.a);
+        if (d < 0 || dead_[static_cast<std::size_t>(d)]) continue;
+        if (!no_target_between(d, use)) continue;
+        const MicroOp& def = program_.ops[static_cast<std::size_t>(d)];
+        if (def.kind == MKind::kReadScal &&
+            !resource_written_between(def.res, d, use)) {
+          const std::int16_t t = cons.a;
+          cons = mo_mov_elem_scal(cons.res, cons.imm, def.res);
+          drop_use(t);
+          changed_ = true;
+        }
+        continue;
+      }
+      if (cons.kind != MKind::kWriteScal) continue;
+      const auto use = static_cast<std::int32_t>(i);
+      const std::int32_t d = single_def(cons.b);
+      if (d < 0 || dead_[static_cast<std::size_t>(d)]) continue;
+      if (!no_target_between(d, use)) continue;
+      const MicroOp& def = program_.ops[static_cast<std::size_t>(d)];
+      if (def.kind == MKind::kConst) {
+        const std::int16_t t = cons.b;
+        cons = mo_write_scal_imm(cons.res, def.imm);
+        drop_use(t);
+        changed_ = true;
+        continue;
+      }
+      // kReadScal exists only where the regcache proved the resource
+      // scalar, so kMovScal's scalar read/write stays in bounds.
+      if (def.kind == MKind::kReadScal &&
+          !resource_written_between(def.res, d, use)) {
+        const std::int16_t t = cons.b;
+        cons = mo_mov_scal(cons.res, def.res);
+        drop_use(t);
+        changed_ = true;
+        continue;
+      }
+      // element -> scal move: a kReadElemC can throw, and fusing moves
+      // that throw to the consumer's slot, so the pair must be adjacent
+      // (no live op in between that could observe the difference).
+      if (def.kind == MKind::kReadElemC &&
+          next_live(static_cast<std::size_t>(d)) == use) {
+        const std::int16_t t = cons.b;
+        cons = mo_mov_scal_elem(cons.res, def.res, def.imm);
+        drop_use(t);
+        changed_ = true;
+      }
+    }
+  }
+
+  // -- pattern 5: scalar-conditioned branches ----------------------------
+
+  /// `t = scal r; brzero t -> L` re-reads r at the branch, so nothing
+  /// between the pair may write r.
+  void fuse_scalar_branches() {
+    for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+      if (dead_[i]) continue;
+      MicroOp& cons = program_.ops[i];
+      if (cons.kind != MKind::kBrZero) continue;
+      const auto use = static_cast<std::int32_t>(i);
+      const std::int32_t d = single_def(cons.a);
+      if (d < 0 || dead_[static_cast<std::size_t>(d)]) continue;
+      if (!no_target_between(d, use)) continue;
+      const MicroOp& def = program_.ops[static_cast<std::size_t>(d)];
+      if (def.kind != MKind::kReadScal) continue;
+      if (resource_written_between(def.res, d, use)) continue;
+      const std::int16_t t = cons.a;
+      cons = mo_br_scal_zero(def.res, cons.imm);
+      drop_use(t);
+      changed_ = true;
+    }
+  }
+
+  bool resource_written_between(std::int16_t res, std::int32_t def,
+                                std::int32_t use) const {
+    for (std::int32_t j = def + 1; j < use; ++j) {
+      if (dead_[static_cast<std::size_t>(j)]) continue;
+      const MicroOp& op = program_.ops[static_cast<std::size_t>(j)];
+      if (mo_writes_res(op.kind) && op.res == res) return true;
+    }
+    return false;
+  }
+
+  MicroProgram& program_;
+  std::vector<char> is_target_;
+  std::vector<char> dead_;
+  std::vector<std::int32_t> tgt_prefix_;
+  std::vector<std::int32_t> def_count_;
+  std::vector<std::int32_t> use_count_;
+  std::vector<std::int32_t> def_idx_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+bool fuse_microops(MicroProgram& program) {
+  return Fuser(program).run();
+}
+
+}  // namespace lisasim

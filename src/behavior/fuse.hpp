@@ -1,0 +1,55 @@
+// Superinstruction fusion: collapse the dominant micro-op chains left
+// after constant folding and DCE into single fused dispatches, halving the
+// dispatch count of typical packet bodies. Runs at simulation-compile time
+// from optimize_microops (and therefore again across trace seams when the
+// trace runtime re-optimizes a spliced superblock).
+//
+// Fusion catalog (all conservative — a pattern only fires when the
+// intermediate temp has exactly one def and one use and no branch target
+// falls between producer and consumer):
+//
+//   kConst t; kBin a,b,t        -> kBinImm a,b,#imm   (kBinImmR when the
+//                                  constant is the left operand of a non-
+//                                  commutative operator; /0 %0 never fused)
+//   kBinImm t,b,#k (kAdd);
+//     kReadElem a,res,t         -> kReadElemOff a,res[b+#k]   (same for
+//                                  kWriteElem; a bare kConst index fuses
+//                                  to kReadElemC/kWriteElemC)
+//   kBin t,b,c; kWriteScal res,t-> kWriteBin res, b <op> c
+//   kBin t,b,c; kBrZero t,L     -> kBrBin (b <op> c) -> L    (no /, %)
+//   kBinImm t,b,#k; kBrZero t,L -> kBrBinImm (b <op> #k) -> L (#k must
+//                                  fit int16)
+//   kConst t; kWriteScal r,t    -> kWriteScalImm r,#imm
+//   kReadScal t,r1;
+//     kWriteScal r2,t           -> kMovScal r2,r1  (only when nothing
+//                                  between the pair writes r1 — the fused
+//                                  op re-reads r1 at the consumer's slot)
+//   kConst t; kIntr a,b,t       -> kIntrImm a,b,#imm  (arity-2 only; the
+//                                  immediate replaces the second operand)
+//   kReadScal t,r; kBrZero t,L  -> kBrScalZero r -> L  (re-reads r, so no
+//                                  write to r may fall between the pair)
+//   kReadElemC t,arr[#k];
+//     kWriteScal r,t            -> kMovScalElem r,arr[#k]  (the element
+//                                  read can throw, so the pair must be
+//                                  adjacent)
+//   kReadScal t,r;
+//     kWriteElemC arr[#k],t     -> kMovElemScal arr[#k],r  (re-reads r)
+//   kReadScal t,r; kReadElem
+//     a,arr[t]                  -> kReadElemScal a,arr[scal r] (re-reads r)
+//
+// Consumed producers whose temp has no remaining uses are removed; branch
+// targets are remapped. Temps are not renumbered here — the peephole's
+// compaction already ran, and scratch sizing tolerates gaps.
+#pragma once
+
+#include "behavior/microops.hpp"
+
+namespace lisasim {
+
+/// Fuse superinstructions in `program`, in place. Programs with backward
+/// branches are left untouched. Semantics (including SimError behavior)
+/// are preserved exactly. Returns true when anything fused, so the caller
+/// can run one more peephole sweep over the simplified program.
+bool fuse_microops(MicroProgram& program);
+
+}  // namespace lisasim

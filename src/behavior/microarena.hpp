@@ -33,23 +33,38 @@ struct MicroSpan {
 class MicroArena {
  public:
   /// Append a lowered program; returns its span. The program's ops are
-  /// copied, so the MicroProgram may be discarded afterwards.
+  /// copied, so the MicroProgram may be discarded afterwards. The program's
+  /// constant pool is concatenated onto the arena pool and the copied
+  /// kConstPool ops are rebased to the arena-wide indices, so every span
+  /// of the arena reads the same flat pool at execution time.
   MicroSpan append(const MicroProgram& program) {
     MicroSpan span;
     span.offset = static_cast<std::uint32_t>(ops_.size());
     span.len = static_cast<std::uint32_t>(program.ops.size());
     span.num_temps = program.num_temps;
     ops_.insert(ops_.end(), program.ops.begin(), program.ops.end());
+    if (!program.pool.empty()) {
+      const auto pool_base = static_cast<std::int32_t>(pool_.size());
+      pool_.insert(pool_.end(), program.pool.begin(), program.pool.end());
+      rebase_pool_refs(span.offset, pool_base);
+    }
     if (program.num_temps > max_temps_) max_temps_ = program.num_temps;
     return span;
   }
 
   /// Concatenate a whole shard arena (deterministic parallel-build merge).
   /// Returns the offset the shard's spans must be rebased by; appending
-  /// shards in shard order reproduces the sequential build's layout.
+  /// shards in shard order reproduces the sequential build's layout — the
+  /// pool concatenates in the same order, with the spliced ops' pool
+  /// indices rebased just like their span offsets.
   std::uint32_t splice(const MicroArena& shard) {
     const auto base = static_cast<std::uint32_t>(ops_.size());
     ops_.insert(ops_.end(), shard.ops_.begin(), shard.ops_.end());
+    if (!shard.pool_.empty()) {
+      const auto pool_base = static_cast<std::int32_t>(pool_.size());
+      pool_.insert(pool_.end(), shard.pool_.begin(), shard.pool_.end());
+      rebase_pool_refs(base, pool_base);
+    }
     if (shard.max_temps_ > max_temps_) max_temps_ = shard.max_temps_;
     return base;
   }
@@ -62,6 +77,10 @@ class MicroArena {
   std::size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
 
+  /// Arena-wide constant pool (kConstPool operands of every span).
+  const std::int64_t* pool_data() const { return pool_.data(); }
+  std::size_t pool_size() const { return pool_.size(); }
+
   /// Largest num_temps of any appended program: size the per-backend temp
   /// scratch once, then reuse it across packets without per-call checks.
   std::int32_t max_temps() const { return max_temps_; }
@@ -70,11 +89,18 @@ class MicroArena {
 
   void clear() {
     ops_.clear();
+    pool_.clear();
     max_temps_ = 0;
   }
 
  private:
+  void rebase_pool_refs(std::uint32_t first_op, std::int32_t pool_base) {
+    for (std::size_t i = first_op; i < ops_.size(); ++i)
+      if (ops_[i].kind == MKind::kConstPool) ops_[i].imm += pool_base;
+  }
+
   std::vector<MicroOp> ops_;
+  std::vector<std::int64_t> pool_;
   std::int32_t max_temps_ = 0;
 };
 

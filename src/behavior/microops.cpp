@@ -1,6 +1,7 @@
 #include "behavior/microops.hpp"
 
 #include <cassert>
+#include <span>
 #include <string>
 
 #include "behavior/fold.hpp"
@@ -12,20 +13,50 @@ namespace {
 class Lowerer {
  public:
   MicroProgram lower(const SpecProgram& program) {
+    check_temp_budget(program.num_locals);
     num_temps_ = program.num_locals;  // local slot i lives in temp i
     emit_stmts(program.stmts);
     MicroProgram out;
     out.ops = std::move(ops_);
+    out.pool = std::move(pool_);
     out.num_temps = num_temps_;
     return out;
   }
 
  private:
-  std::int32_t new_temp() { return num_temps_++; }
+  // Temps and resource ids are int16 in the compact encoding; the lowerer
+  // is the narrowing boundary, so it is the one that checks.
+  static void check_temp_budget(std::int32_t n) {
+    if (n > INT16_MAX)
+      throw SimError("micro-op lowering: temp count " + std::to_string(n) +
+                     " exceeds the int16 encoding limit");
+  }
+
+  static std::int16_t check_res(std::int32_t res) {
+    if (res < 0 || res > INT16_MAX)
+      throw SimError("micro-op lowering: resource id " + std::to_string(res) +
+                     " exceeds the int16 encoding limit");
+    return static_cast<std::int16_t>(res);
+  }
+
+  std::int32_t new_temp() {
+    check_temp_budget(num_temps_ + 1);
+    return num_temps_++;
+  }
 
   std::int32_t emit(MicroOp op) {
     ops_.push_back(op);
     return static_cast<std::int32_t>(ops_.size() - 1);
+  }
+
+  std::int32_t emit_const(std::int32_t t, std::int64_t value) {
+    if (mo_imm_fits(value)) return emit(mo_const(t, value));
+    std::int32_t index;
+    for (index = 0; index < static_cast<std::int32_t>(pool_.size()); ++index)
+      if (pool_[static_cast<std::size_t>(index)] == value) break;
+    if (index == static_cast<std::int32_t>(pool_.size()))
+      pool_.push_back(value);
+    return emit(mo_pool(t, index));
   }
 
   void emit_stmts(const std::vector<StmtPtr>& stmts) {
@@ -38,9 +69,9 @@ class Lowerer {
         const std::int32_t slot = stmt.local_slot;
         if (stmt.value) {
           const std::int32_t v = emit_expr(*stmt.value);
-          emit({.kind = MKind::kMov, .a = slot, .b = v});
+          emit(mo_mov(slot, v));
         } else {
-          emit({.kind = MKind::kConst, .a = slot, .imm = 0});
+          emit(mo_const(slot, 0));
         }
         break;
       }
@@ -54,13 +85,12 @@ class Lowerer {
         break;
       case StmtKind::kIf: {
         const std::int32_t cond = emit_expr(*stmt.value);
-        const std::int32_t br_else =
-            emit({.kind = MKind::kBrZero, .a = cond});
+        const std::int32_t br_else = emit(mo_brzero(cond, 0));
         emit_stmts(stmt.then_body);
         if (stmt.else_body.empty()) {
           patch(br_else, here());
         } else {
-          const std::int32_t br_end = emit({.kind = MKind::kBr});
+          const std::int32_t br_end = emit(mo_br(0));
           patch(br_else, here());
           emit_stmts(stmt.else_body);
           patch(br_end, here());
@@ -81,12 +111,10 @@ class Lowerer {
       case ExprKind::kSym:
         switch (lhs.sym.kind) {
           case SymKind::kLocal:
-            emit({.kind = MKind::kMov, .a = lhs.sym.index, .b = value_temp});
+            emit(mo_mov(lhs.sym.index, value_temp));
             return;
           case SymKind::kResource:
-            emit({.kind = MKind::kWriteRes,
-                  .a = value_temp,
-                  .res = lhs.sym.index});
+            emit(mo_write_res(check_res(lhs.sym.index), value_temp));
             return;
           default:
             break;
@@ -94,10 +122,7 @@ class Lowerer {
         break;
       case ExprKind::kIndex: {
         const std::int32_t idx = emit_expr(*lhs.children[0]);
-        emit({.kind = MKind::kWriteElem,
-              .a = value_temp,
-              .b = idx,
-              .res = lhs.sym.index});
+        emit(mo_write_elem(check_res(lhs.sym.index), idx, value_temp));
         return;
       }
       default:
@@ -111,7 +136,7 @@ class Lowerer {
     switch (expr.kind) {
       case ExprKind::kIntLit: {
         const std::int32_t t = new_temp();
-        emit({.kind = MKind::kConst, .a = t, .imm = expr.value});
+        emit_const(t, expr.value);
         return t;
       }
       case ExprKind::kSym:
@@ -120,7 +145,7 @@ class Lowerer {
             return expr.sym.index;  // locals live in their temp slots
           case SymKind::kResource: {
             const std::int32_t t = new_temp();
-            emit({.kind = MKind::kReadRes, .a = t, .res = expr.sym.index});
+            emit(mo_read_res(t, check_res(expr.sym.index)));
             return t;
           }
           default:
@@ -131,16 +156,13 @@ class Lowerer {
       case ExprKind::kIndex: {
         const std::int32_t idx = emit_expr(*expr.children[0]);
         const std::int32_t t = new_temp();
-        emit({.kind = MKind::kReadElem,
-              .a = t,
-              .b = idx,
-              .res = expr.sym.index});
+        emit(mo_read_elem(t, check_res(expr.sym.index), idx));
         return t;
       }
       case ExprKind::kUnary: {
         const std::int32_t v = emit_expr(*expr.children[0]);
         const std::int32_t t = new_temp();
-        emit({.kind = MKind::kUn, .uop = expr.un_op, .a = t, .b = v});
+        emit(mo_un(expr.un_op, t, v));
         return t;
       }
       case ExprKind::kBinary: {
@@ -151,57 +173,54 @@ class Lowerer {
           const std::int32_t t = new_temp();
           const std::int32_t lhs = emit_expr(*expr.children[0]);
           const std::int32_t zero = new_temp();
-          emit({.kind = MKind::kConst, .a = zero, .imm = 0});
-          emit({.kind = MKind::kBin, .bop = BinOp::kNe, .a = t, .b = lhs,
-                .c = zero});
+          emit(mo_const(zero, 0));
+          emit(mo_bin(BinOp::kNe, t, lhs, zero));
           std::int32_t skip;
           if (is_and) {
-            skip = emit({.kind = MKind::kBrZero, .a = t});
+            skip = emit(mo_brzero(t, 0));
           } else {
             // skip rhs when lhs != 0: brzero over an unconditional branch
-            const std::int32_t over = emit({.kind = MKind::kBrZero, .a = t});
-            skip = emit({.kind = MKind::kBr});
+            const std::int32_t over = emit(mo_brzero(t, 0));
+            skip = emit(mo_br(0));
             patch(over, here());
           }
           const std::int32_t rhs = emit_expr(*expr.children[1]);
-          emit({.kind = MKind::kBin, .bop = BinOp::kNe, .a = t, .b = rhs,
-                .c = zero});
+          emit(mo_bin(BinOp::kNe, t, rhs, zero));
           patch(skip, here());
           return t;
         }
         const std::int32_t a = emit_expr(*expr.children[0]);
         const std::int32_t b = emit_expr(*expr.children[1]);
         const std::int32_t t = new_temp();
-        emit({.kind = MKind::kBin, .bop = expr.bin_op, .a = t, .b = a,
-              .c = b});
+        emit(mo_bin(expr.bin_op, t, a, b));
         return t;
       }
       case ExprKind::kTernary: {
         const std::int32_t t = new_temp();
         const std::int32_t cond = emit_expr(*expr.children[0]);
-        const std::int32_t br_else = emit({.kind = MKind::kBrZero, .a = cond});
+        const std::int32_t br_else = emit(mo_brzero(cond, 0));
         const std::int32_t then_v = emit_expr(*expr.children[1]);
-        emit({.kind = MKind::kMov, .a = t, .b = then_v});
-        const std::int32_t br_end = emit({.kind = MKind::kBr});
+        emit(mo_mov(t, then_v));
+        const std::int32_t br_end = emit(mo_br(0));
         patch(br_else, here());
         const std::int32_t else_v = emit_expr(*expr.children[2]);
-        emit({.kind = MKind::kMov, .a = t, .b = else_v});
+        emit(mo_mov(t, else_v));
         patch(br_end, here());
         return t;
       }
       case ExprKind::kCall:
         switch (expr.intrinsic) {
           case Intrinsic::kFlush: {
-            emit({.kind = MKind::kFlush});
+            emit(mo_flush());
             return result_zero();
           }
           case Intrinsic::kStall: {
             const std::int32_t v = emit_expr(*expr.children[0]);
-            emit({.kind = MKind::kStall, .a = v});
+            emit(mo_stall(v));
             return result_zero();
           }
           case Intrinsic::kHalt: {
-            emit({.kind = MKind::kHalt});
+            emit(mo_halt());
             return result_zero();
           }
           case Intrinsic::kNone:
@@ -212,11 +231,7 @@ class Lowerer {
             const std::int32_t b =
                 expr.children.size() > 1 ? emit_expr(*expr.children[1]) : 0;
             const std::int32_t t = new_temp();
-            emit({.kind = MKind::kIntr,
-                  .intr = expr.intrinsic,
-                  .a = t,
-                  .b = a,
-                  .c = b});
+            emit(mo_intr(expr.intrinsic, t, a, b));
             return t;
           }
         }
@@ -226,11 +241,12 @@ class Lowerer {
 
   std::int32_t result_zero() {
     const std::int32_t t = new_temp();
-    emit({.kind = MKind::kConst, .a = t, .imm = 0});
+    emit(mo_const(t, 0));
     return t;
   }
 
   std::vector<MicroOp> ops_;
+  std::vector<std::int64_t> pool_;
   std::int32_t num_temps_ = 0;
 };
 
@@ -239,6 +255,14 @@ class Lowerer {
   throw SimError("micro-op " + std::to_string(index) + ": temp t" +
                  std::to_string(temp) + " outside scratch of " +
                  std::to_string(num_temps));
+}
+
+inline std::int64_t bin_or_throw(BinOp bop, std::int64_t x, std::int64_t y) {
+  const auto folded = fold_binary(bop, x, y);
+  if (!folded) [[unlikely]]
+    throw SimError(bop == BinOp::kDiv ? "division by zero"
+                                      : "remainder by zero");
+  return *folded;
 }
 
 }  // namespace
@@ -251,50 +275,53 @@ MicroProgram lower_to_microops(const SpecProgram& program) {
 
 void validate_microops(const MicroProgram& program) {
   const auto size = static_cast<std::int64_t>(program.ops.size());
+  const auto pool_size = static_cast<std::int64_t>(program.pool.size());
   const auto check_temp = [&](std::size_t i, std::int32_t t) {
     if (t < 0 || t >= program.num_temps) bad_temp(i, t, program.num_temps);
   };
   for (std::size_t i = 0; i < program.ops.size(); ++i) {
     const MicroOp& op = program.ops[i];
+    const std::int32_t def = mo_def_of(op);
+    if (def >= 0) check_temp(i, def);
+    mo_for_each_read(op, [&](std::int16_t t) { check_temp(i, t); });
+    if (mo_is_branch(op.kind)) {
+      // Target == size is the regular fall-off-the-end exit.
+      if (op.imm < 0 || op.imm > size)
+        throw SimError("micro-op " + std::to_string(i) + ": branch target " +
+                       std::to_string(op.imm) + " outside program of " +
+                       std::to_string(size) + " ops");
+    }
     switch (op.kind) {
-      case MKind::kConst:
-      case MKind::kReadRes:
-      case MKind::kStall:
-        check_temp(i, op.a);
+      case MKind::kConstPool:
+        if (op.imm < 0 || op.imm >= pool_size)
+          throw SimError("micro-op " + std::to_string(i) + ": pool index " +
+                         std::to_string(op.imm) + " outside pool of " +
+                         std::to_string(pool_size) + " entries");
         break;
-      case MKind::kMov:
-      case MKind::kReadElem:
-      case MKind::kWriteElem:
-      case MKind::kUn:
-        check_temp(i, op.a);
-        check_temp(i, op.b);
-        break;
-      case MKind::kWriteRes:
-        check_temp(i, op.a);
-        break;
-      case MKind::kBin:
-        check_temp(i, op.a);
-        check_temp(i, op.b);
-        check_temp(i, op.c);
-        break;
-      case MKind::kIntr:
-        check_temp(i, op.a);
-        check_temp(i, op.b);
-        if (intrinsic_arity(op.intr) > 1) check_temp(i, op.c);
-        break;
-      case MKind::kBrZero:
-        check_temp(i, op.a);
-        [[fallthrough]];
-      case MKind::kBr:
-        // Target == size is the regular fall-off-the-end exit.
-        if (op.imm < 0 || op.imm > size)
+      case MKind::kBinImm:
+        // kBinImm is treated as a pure def by DCE, so a constant zero
+        // divisor (which would throw) must never be encoded.
+        if ((op.bop() == BinOp::kDiv || op.bop() == BinOp::kRem) &&
+            op.imm == 0)
           throw SimError("micro-op " + std::to_string(i) +
-                         ": branch target " + std::to_string(op.imm) +
-                         " outside program of " + std::to_string(size) +
-                         " ops");
+                         ": fused division by constant zero");
         break;
-      case MKind::kFlush:
-      case MKind::kHalt:
+      case MKind::kBrBin:
+      case MKind::kBrBinImm:
+        // Fused compare-and-branch never carries a throwing operator.
+        if (op.bop() == BinOp::kDiv || op.bop() == BinOp::kRem)
+          throw SimError("micro-op " + std::to_string(i) +
+                         ": division fused into a branch");
+        break;
+      case MKind::kIntrImm:
+        // The immediate replaces exactly the second operand, so only
+        // arity-2 intrinsics may be encoded this way.
+        if (intrinsic_arity(op.intr()) != 2)
+          throw SimError("micro-op " + std::to_string(i) +
+                         ": kIntrImm on intrinsic of arity " +
+                         std::to_string(intrinsic_arity(op.intr())));
+        break;
+      default:
         break;
     }
   }
@@ -306,32 +333,93 @@ void validate_microops(const MicroProgram& program) {
 // instrumentation path. Both share the per-op semantics via OP_* macros so
 // they cannot diverge.
 #define LISASIM_OP_CONST(op) t[(op).a] = (op).imm
+#define LISASIM_OP_CONST_POOL(op) t[(op).a] = pool[(op).imm]
 #define LISASIM_OP_MOV(op) t[(op).a] = t[(op).b]
 #define LISASIM_OP_READ_RES(op) t[(op).a] = state.read((op).res)
+#define LISASIM_OP_READ_SCAL(op) t[(op).a] = state.read_scalar((op).res)
 #define LISASIM_OP_READ_ELEM(op) \
   t[(op).a] = state.read((op).res, static_cast<std::uint64_t>(t[(op).b]))
+#define LISASIM_OP_READ_ELEM_C(op)   \
+  t[(op).a] = state.read((op).res,   \
+                         static_cast<std::uint64_t>( \
+                             static_cast<std::int64_t>((op).imm)))
+#define LISASIM_OP_READ_ELEM_OFF(op)                        \
+  t[(op).a] = state.read((op).res,                          \
+                         static_cast<std::uint64_t>(t[(op).b]) + \
+                             static_cast<std::uint64_t>(    \
+                                 static_cast<std::int64_t>((op).imm)))
 #define LISASIM_OP_WRITE_RES(op) state.write((op).res, 0, t[(op).a])
+#define LISASIM_OP_WRITE_SCAL(op) state.write_scalar((op).res, t[(op).b])
+#define LISASIM_OP_WRITE_OUT(op) \
+  t[(op).a] = state.write_scalar((op).res, t[(op).b])
+#define LISASIM_OP_WRITE_SCAL_IMM(op) state.write_scalar((op).res, (op).imm)
+#define LISASIM_OP_MOV_SCAL(op) \
+  state.write_scalar((op).res, state.read_scalar((op).b))
 #define LISASIM_OP_WRITE_ELEM(op) \
   state.write((op).res, static_cast<std::uint64_t>(t[(op).b]), t[(op).a])
-#define LISASIM_OP_BIN(op)                                              \
-  do {                                                                  \
-    const auto folded = fold_binary((op).bop, t[(op).b], t[(op).c]);    \
-    if (!folded)                                                        \
-      throw SimError((op).bop == BinOp::kDiv ? "division by zero"       \
-                                             : "remainder by zero");    \
-    t[(op).a] = *folded;                                                \
-  } while (0)
-#define LISASIM_OP_UN(op) t[(op).a] = fold_unary((op).uop, t[(op).b])
+#define LISASIM_OP_WRITE_ELEM_C(op) \
+  state.write((op).res,             \
+              static_cast<std::uint64_t>(static_cast<std::int64_t>((op).imm)), \
+              t[(op).a])
+#define LISASIM_OP_WRITE_ELEM_OFF(op)                       \
+  state.write((op).res,                                     \
+              static_cast<std::uint64_t>(t[(op).b]) +       \
+                  static_cast<std::uint64_t>(               \
+                      static_cast<std::int64_t>((op).imm)), \
+              t[(op).a])
+#define LISASIM_OP_BIN(op) \
+  t[(op).a] = bin_or_throw((op).bop(), t[(op).b], t[(op).c])
+#define LISASIM_OP_BIN_IMM(op) \
+  t[(op).a] = bin_or_throw((op).bop(), t[(op).b], (op).imm)
+#define LISASIM_OP_BIN_IMM_R(op) \
+  t[(op).a] = bin_or_throw((op).bop(), (op).imm, t[(op).b])
+#define LISASIM_OP_WRITE_BIN(op) \
+  state.write_scalar((op).res, bin_or_throw((op).bop(), t[(op).b], t[(op).c]))
+#define LISASIM_OP_UN(op) t[(op).a] = fold_unary((op).uop(), t[(op).b])
 #define LISASIM_OP_INTR(op)                                             \
   do {                                                                  \
     const std::int64_t args[2] = {t[(op).b], t[(op).c]};                \
     t[(op).a] = fold_intrinsic(                                         \
-                    (op).intr,                                          \
+                    (op).intr(),                                        \
                     std::span<const std::int64_t>(                      \
                         args, static_cast<std::size_t>(                 \
-                                  intrinsic_arity((op).intr))))         \
+                                  intrinsic_arity((op).intr()))))       \
                     .value_or(0);                                       \
   } while (0)
+// Fused arity-2 intrinsic with an immediate second operand (sext/zext
+// widths are almost always constants).
+#define LISASIM_OP_INTR_IMM(op)                                         \
+  do {                                                                  \
+    const std::int64_t args[2] = {t[(op).b],                            \
+                                  static_cast<std::int64_t>((op).imm)}; \
+    t[(op).a] = fold_intrinsic(                                         \
+                    (op).intr(),                                        \
+                    std::span<const std::int64_t>(args, 2))             \
+                    .value_or(0);                                       \
+  } while (0)
+#define LISASIM_OP_MOV_SCAL_ELEM(op)                       \
+  state.write_scalar((op).res,                             \
+                     state.read((op).b,                    \
+                                static_cast<std::uint64_t>( \
+                                    static_cast<std::int64_t>((op).imm))))
+#define LISASIM_OP_MOV_ELEM_SCAL(op)                                   \
+  state.write((op).res,                                                \
+              static_cast<std::uint64_t>(                              \
+                  static_cast<std::int64_t>((op).imm)),                \
+              state.read_scalar((op).b))
+#define LISASIM_OP_READ_ELEM_SCAL(op)  \
+  t[(op).a] = state.read((op).res,     \
+                         static_cast<std::uint64_t>(state.read_scalar((op).b)))
+#define LISASIM_BR_SCAL_ZERO_TAKEN(op) (state.read_scalar((op).b) == 0)
+// Validation bars kDiv/kRem from the fused branches, so fold_binary cannot
+// come back empty here; value_or(1) keeps the impossible case a no-branch
+// instead of UB.
+#define LISASIM_BR_BIN_TAKEN(op) \
+  (fold_binary((op).bop(), t[(op).b], t[(op).c]).value_or(1) == 0)
+#define LISASIM_BR_BIN_IMM_TAKEN(op)           \
+  (fold_binary((op).bop(), t[(op).b],          \
+               static_cast<std::int64_t>((op).c)) \
+       .value_or(1) == 0)
 
 #if (defined(__GNUC__) || defined(__clang__)) && \
     !defined(LISASIM_NO_COMPUTED_GOTO)
@@ -339,19 +427,32 @@ void validate_microops(const MicroProgram& program) {
 #endif
 
 void exec_microops(const MicroOp* ops, std::uint32_t count,
-                   ProcessorState& state, PipelineControl& control,
-                   std::int64_t* temps) {
+                   const std::int64_t* pool, ProcessorState& state,
+                   PipelineControl& control, std::int64_t* temps) {
   if (count == 0) return;
   std::int64_t* const t = temps;
   const MicroOp* op = ops;
   const MicroOp* const end = ops + count;
 #ifdef LISASIM_COMPUTED_GOTO
-  // Label order must match the MKind enumerator order.
-  static const void* const kDispatch[kNumMKinds] = {
-      &&l_const,      &&l_mov, &&l_read_res, &&l_read_elem, &&l_write_res,
-      &&l_write_elem, &&l_bin, &&l_un,       &&l_intr,      &&l_brzero,
-      &&l_br,         &&l_flush, &&l_stall,  &&l_halt,
+  // Label order must match the MKind enumerator order
+  // (LISASIM_MKIND_LIST); the static_assert below pins the count so a new
+  // kind without a handler label fails the build here.
+  static const void* const kDispatch[] = {
+      &&l_const,         &&l_mov,          &&l_read_res,
+      &&l_read_elem,     &&l_write_res,    &&l_write_elem,
+      &&l_bin,           &&l_un,           &&l_intr,
+      &&l_brzero,        &&l_br,           &&l_flush,
+      &&l_stall,         &&l_halt,         &&l_const_pool,
+      &&l_read_scal,     &&l_write_scal,   &&l_write_out,
+      &&l_bin_imm,       &&l_bin_imm_r,    &&l_write_bin,
+      &&l_br_bin,        &&l_br_bin_imm,   &&l_read_elem_c,
+      &&l_write_elem_c,  &&l_read_elem_off, &&l_write_elem_off,
+      &&l_write_scal_imm, &&l_mov_scal,     &&l_br_scal_zero,
+      &&l_intr_imm,      &&l_mov_scal_elem, &&l_mov_elem_scal,
+      &&l_read_elem_scal,
   };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == kNumMKinds,
+                "dispatch table must have a label per MKind");
 #define LISASIM_DISPATCH() goto* kDispatch[static_cast<int>(op->kind)]
 #define LISASIM_NEXT() \
   do {                 \
@@ -363,23 +464,74 @@ void exec_microops(const MicroOp* ops, std::uint32_t count,
 l_const:
   LISASIM_OP_CONST(*op);
   LISASIM_NEXT();
+l_const_pool:
+  LISASIM_OP_CONST_POOL(*op);
+  LISASIM_NEXT();
 l_mov:
   LISASIM_OP_MOV(*op);
   LISASIM_NEXT();
 l_read_res:
   LISASIM_OP_READ_RES(*op);
   LISASIM_NEXT();
+l_read_scal:
+  LISASIM_OP_READ_SCAL(*op);
+  LISASIM_NEXT();
 l_read_elem:
   LISASIM_OP_READ_ELEM(*op);
+  LISASIM_NEXT();
+l_read_elem_c:
+  LISASIM_OP_READ_ELEM_C(*op);
+  LISASIM_NEXT();
+l_read_elem_off:
+  LISASIM_OP_READ_ELEM_OFF(*op);
   LISASIM_NEXT();
 l_write_res:
   LISASIM_OP_WRITE_RES(*op);
   LISASIM_NEXT();
+l_write_scal:
+  LISASIM_OP_WRITE_SCAL(*op);
+  LISASIM_NEXT();
+l_write_out:
+  LISASIM_OP_WRITE_OUT(*op);
+  LISASIM_NEXT();
+l_write_scal_imm:
+  LISASIM_OP_WRITE_SCAL_IMM(*op);
+  LISASIM_NEXT();
+l_mov_scal:
+  LISASIM_OP_MOV_SCAL(*op);
+  LISASIM_NEXT();
+l_mov_scal_elem:
+  LISASIM_OP_MOV_SCAL_ELEM(*op);
+  LISASIM_NEXT();
+l_mov_elem_scal:
+  LISASIM_OP_MOV_ELEM_SCAL(*op);
+  LISASIM_NEXT();
+l_read_elem_scal:
+  LISASIM_OP_READ_ELEM_SCAL(*op);
+  LISASIM_NEXT();
+l_intr_imm:
+  LISASIM_OP_INTR_IMM(*op);
+  LISASIM_NEXT();
 l_write_elem:
   LISASIM_OP_WRITE_ELEM(*op);
   LISASIM_NEXT();
+l_write_elem_c:
+  LISASIM_OP_WRITE_ELEM_C(*op);
+  LISASIM_NEXT();
+l_write_elem_off:
+  LISASIM_OP_WRITE_ELEM_OFF(*op);
+  LISASIM_NEXT();
 l_bin:
   LISASIM_OP_BIN(*op);
+  LISASIM_NEXT();
+l_bin_imm:
+  LISASIM_OP_BIN_IMM(*op);
+  LISASIM_NEXT();
+l_bin_imm_r:
+  LISASIM_OP_BIN_IMM_R(*op);
+  LISASIM_NEXT();
+l_write_bin:
+  LISASIM_OP_WRITE_BIN(*op);
   LISASIM_NEXT();
 l_un:
   LISASIM_OP_UN(*op);
@@ -389,6 +541,27 @@ l_intr:
   LISASIM_NEXT();
 l_brzero:
   if (t[op->a] == 0) {
+    op = ops + op->imm;
+    if (op == end) return;
+    LISASIM_DISPATCH();
+  }
+  LISASIM_NEXT();
+l_br_bin:
+  if (LISASIM_BR_BIN_TAKEN(*op)) {
+    op = ops + op->imm;
+    if (op == end) return;
+    LISASIM_DISPATCH();
+  }
+  LISASIM_NEXT();
+l_br_bin_imm:
+  if (LISASIM_BR_BIN_IMM_TAKEN(*op)) {
+    op = ops + op->imm;
+    if (op == end) return;
+    LISASIM_DISPATCH();
+  }
+  LISASIM_NEXT();
+l_br_scal_zero:
+  if (LISASIM_BR_SCAL_ZERO_TAKEN(*op)) {
     op = ops + op->imm;
     if (op == end) return;
     LISASIM_DISPATCH();
@@ -413,16 +586,51 @@ l_halt:
   while (op != end) {
     switch (op->kind) {
       case MKind::kConst: LISASIM_OP_CONST(*op); break;
+      case MKind::kConstPool: LISASIM_OP_CONST_POOL(*op); break;
       case MKind::kMov: LISASIM_OP_MOV(*op); break;
       case MKind::kReadRes: LISASIM_OP_READ_RES(*op); break;
+      case MKind::kReadScal: LISASIM_OP_READ_SCAL(*op); break;
       case MKind::kReadElem: LISASIM_OP_READ_ELEM(*op); break;
+      case MKind::kReadElemC: LISASIM_OP_READ_ELEM_C(*op); break;
+      case MKind::kReadElemOff: LISASIM_OP_READ_ELEM_OFF(*op); break;
       case MKind::kWriteRes: LISASIM_OP_WRITE_RES(*op); break;
+      case MKind::kWriteScal: LISASIM_OP_WRITE_SCAL(*op); break;
+      case MKind::kWriteOut: LISASIM_OP_WRITE_OUT(*op); break;
+      case MKind::kWriteScalImm: LISASIM_OP_WRITE_SCAL_IMM(*op); break;
+      case MKind::kMovScal: LISASIM_OP_MOV_SCAL(*op); break;
+      case MKind::kMovScalElem: LISASIM_OP_MOV_SCAL_ELEM(*op); break;
+      case MKind::kMovElemScal: LISASIM_OP_MOV_ELEM_SCAL(*op); break;
+      case MKind::kReadElemScal: LISASIM_OP_READ_ELEM_SCAL(*op); break;
+      case MKind::kIntrImm: LISASIM_OP_INTR_IMM(*op); break;
       case MKind::kWriteElem: LISASIM_OP_WRITE_ELEM(*op); break;
+      case MKind::kWriteElemC: LISASIM_OP_WRITE_ELEM_C(*op); break;
+      case MKind::kWriteElemOff: LISASIM_OP_WRITE_ELEM_OFF(*op); break;
       case MKind::kBin: LISASIM_OP_BIN(*op); break;
+      case MKind::kBinImm: LISASIM_OP_BIN_IMM(*op); break;
+      case MKind::kBinImmR: LISASIM_OP_BIN_IMM_R(*op); break;
+      case MKind::kWriteBin: LISASIM_OP_WRITE_BIN(*op); break;
       case MKind::kUn: LISASIM_OP_UN(*op); break;
       case MKind::kIntr: LISASIM_OP_INTR(*op); break;
       case MKind::kBrZero:
         if (t[op->a] == 0) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBrBin:
+        if (LISASIM_BR_BIN_TAKEN(*op)) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBrBinImm:
+        if (LISASIM_BR_BIN_IMM_TAKEN(*op)) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBrScalZero:
+        if (LISASIM_BR_SCAL_ZERO_TAKEN(*op)) {
           op = ops + op->imm;
           continue;
         }
@@ -442,6 +650,7 @@ l_halt:
 }
 
 std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
+                                    const std::int64_t* pool,
                                     ProcessorState& state,
                                     PipelineControl& control,
                                     std::int64_t* temps) {
@@ -453,16 +662,51 @@ std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
     ++dispatched;
     switch (op->kind) {
       case MKind::kConst: LISASIM_OP_CONST(*op); break;
+      case MKind::kConstPool: LISASIM_OP_CONST_POOL(*op); break;
       case MKind::kMov: LISASIM_OP_MOV(*op); break;
       case MKind::kReadRes: LISASIM_OP_READ_RES(*op); break;
+      case MKind::kReadScal: LISASIM_OP_READ_SCAL(*op); break;
       case MKind::kReadElem: LISASIM_OP_READ_ELEM(*op); break;
+      case MKind::kReadElemC: LISASIM_OP_READ_ELEM_C(*op); break;
+      case MKind::kReadElemOff: LISASIM_OP_READ_ELEM_OFF(*op); break;
       case MKind::kWriteRes: LISASIM_OP_WRITE_RES(*op); break;
+      case MKind::kWriteScal: LISASIM_OP_WRITE_SCAL(*op); break;
+      case MKind::kWriteOut: LISASIM_OP_WRITE_OUT(*op); break;
+      case MKind::kWriteScalImm: LISASIM_OP_WRITE_SCAL_IMM(*op); break;
+      case MKind::kMovScal: LISASIM_OP_MOV_SCAL(*op); break;
+      case MKind::kMovScalElem: LISASIM_OP_MOV_SCAL_ELEM(*op); break;
+      case MKind::kMovElemScal: LISASIM_OP_MOV_ELEM_SCAL(*op); break;
+      case MKind::kReadElemScal: LISASIM_OP_READ_ELEM_SCAL(*op); break;
+      case MKind::kIntrImm: LISASIM_OP_INTR_IMM(*op); break;
       case MKind::kWriteElem: LISASIM_OP_WRITE_ELEM(*op); break;
+      case MKind::kWriteElemC: LISASIM_OP_WRITE_ELEM_C(*op); break;
+      case MKind::kWriteElemOff: LISASIM_OP_WRITE_ELEM_OFF(*op); break;
       case MKind::kBin: LISASIM_OP_BIN(*op); break;
+      case MKind::kBinImm: LISASIM_OP_BIN_IMM(*op); break;
+      case MKind::kBinImmR: LISASIM_OP_BIN_IMM_R(*op); break;
+      case MKind::kWriteBin: LISASIM_OP_WRITE_BIN(*op); break;
       case MKind::kUn: LISASIM_OP_UN(*op); break;
       case MKind::kIntr: LISASIM_OP_INTR(*op); break;
       case MKind::kBrZero:
         if (t[op->a] == 0) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBrBin:
+        if (LISASIM_BR_BIN_TAKEN(*op)) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBrBinImm:
+        if (LISASIM_BR_BIN_IMM_TAKEN(*op)) {
+          op = ops + op->imm;
+          continue;
+        }
+        break;
+      case MKind::kBrScalZero:
+        if (LISASIM_BR_SCAL_ZERO_TAKEN(*op)) {
           op = ops + op->imm;
           continue;
         }
@@ -482,14 +726,34 @@ std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
 }
 
 #undef LISASIM_OP_CONST
+#undef LISASIM_OP_CONST_POOL
 #undef LISASIM_OP_MOV
 #undef LISASIM_OP_READ_RES
+#undef LISASIM_OP_READ_SCAL
 #undef LISASIM_OP_READ_ELEM
+#undef LISASIM_OP_READ_ELEM_C
+#undef LISASIM_OP_READ_ELEM_OFF
 #undef LISASIM_OP_WRITE_RES
+#undef LISASIM_OP_WRITE_SCAL
+#undef LISASIM_OP_WRITE_OUT
+#undef LISASIM_OP_WRITE_SCAL_IMM
+#undef LISASIM_OP_MOV_SCAL
 #undef LISASIM_OP_WRITE_ELEM
+#undef LISASIM_OP_WRITE_ELEM_C
+#undef LISASIM_OP_WRITE_ELEM_OFF
 #undef LISASIM_OP_BIN
+#undef LISASIM_OP_BIN_IMM
+#undef LISASIM_OP_BIN_IMM_R
+#undef LISASIM_OP_WRITE_BIN
 #undef LISASIM_OP_UN
 #undef LISASIM_OP_INTR
+#undef LISASIM_BR_BIN_TAKEN
+#undef LISASIM_BR_BIN_IMM_TAKEN
+#undef LISASIM_OP_INTR_IMM
+#undef LISASIM_OP_MOV_SCAL_ELEM
+#undef LISASIM_OP_MOV_ELEM_SCAL
+#undef LISASIM_OP_READ_ELEM_SCAL
+#undef LISASIM_BR_SCAL_ZERO_TAKEN
 
 void run_microops(const MicroProgram& program, ProcessorState& state,
                   PipelineControl& control,
@@ -499,50 +763,122 @@ void run_microops(const MicroProgram& program, ProcessorState& state,
   if (temps.size() < static_cast<std::size_t>(program.num_temps))
     temps.resize(static_cast<std::size_t>(program.num_temps));
   exec_microops(program.ops.data(),
-                static_cast<std::uint32_t>(program.ops.size()), state,
-                control, temps.data());
+                static_cast<std::uint32_t>(program.ops.size()),
+                program.pool.data(), state, control, temps.data());
 }
 
-std::string microops_to_string(const MicroOp* ops, std::size_t count) {
+std::string microops_to_string(const MicroOp* ops, std::size_t count,
+                               const std::int64_t* pool) {
   std::string out;
   for (std::size_t i = 0; i < count; ++i) {
     const MicroOp& op = ops[i];
     out += std::to_string(i) + ": ";
     const auto t = [](std::int32_t x) { return "t" + std::to_string(x); };
+    const auto r = [](std::int32_t x) { return "res" + std::to_string(x); };
     switch (op.kind) {
       case MKind::kConst:
         out += t(op.a) + " = " + std::to_string(op.imm);
+        break;
+      case MKind::kConstPool:
+        out += t(op.a) + " = pool[" + std::to_string(op.imm) + "]";
+        if (pool) out += " (" + std::to_string(pool[op.imm]) + ")";
         break;
       case MKind::kMov:
         out += t(op.a) + " = " + t(op.b);
         break;
       case MKind::kReadRes:
-        out += t(op.a) + " = res" + std::to_string(op.res);
+        out += t(op.a) + " = " + r(op.res);
+        break;
+      case MKind::kReadScal:
+        out += t(op.a) + " = scal " + r(op.res);
         break;
       case MKind::kReadElem:
-        out += t(op.a) + " = res" + std::to_string(op.res) + "[" + t(op.b) +
+        out += t(op.a) + " = " + r(op.res) + "[" + t(op.b) + "]";
+        break;
+      case MKind::kReadElemC:
+        out += t(op.a) + " = " + r(op.res) + "[" + std::to_string(op.imm) +
                "]";
         break;
+      case MKind::kReadElemOff:
+        out += t(op.a) + " = " + r(op.res) + "[" + t(op.b) + " + " +
+               std::to_string(op.imm) + "]";
+        break;
       case MKind::kWriteRes:
-        out += "res" + std::to_string(op.res) + " = " + t(op.a);
+        out += r(op.res) + " = " + t(op.a);
+        break;
+      case MKind::kWriteScal:
+        out += "scal " + r(op.res) + " = " + t(op.b);
+        break;
+      case MKind::kWriteOut:
+        out += "scal " + r(op.res) + " = " + t(op.b) + " -> " + t(op.a);
+        break;
+      case MKind::kWriteScalImm:
+        out += "scal " + r(op.res) + " = " + std::to_string(op.imm);
+        break;
+      case MKind::kMovScal:
+        out += "scal " + r(op.res) + " = scal " + r(op.b);
+        break;
+      case MKind::kMovScalElem:
+        out += "scal " + r(op.res) + " = " + r(op.b) + "[" +
+               std::to_string(op.imm) + "]";
+        break;
+      case MKind::kMovElemScal:
+        out += r(op.res) + "[" + std::to_string(op.imm) + "] = scal " +
+               r(op.b);
+        break;
+      case MKind::kReadElemScal:
+        out += t(op.a) + " = " + r(op.res) + "[scal " + r(op.b) + "]";
         break;
       case MKind::kWriteElem:
-        out += "res" + std::to_string(op.res) + "[" + t(op.b) + "] = " +
-               t(op.a);
+        out += r(op.res) + "[" + t(op.b) + "] = " + t(op.a);
+        break;
+      case MKind::kWriteElemC:
+        out += r(op.res) + "[" + std::to_string(op.imm) + "] = " + t(op.a);
+        break;
+      case MKind::kWriteElemOff:
+        out += r(op.res) + "[" + t(op.b) + " + " + std::to_string(op.imm) +
+               "] = " + t(op.a);
         break;
       case MKind::kBin:
-        out += t(op.a) + " = " + t(op.b) + " " + bin_op_spelling(op.bop) +
+        out += t(op.a) + " = " + t(op.b) + " " + bin_op_spelling(op.bop()) +
                " " + t(op.c);
         break;
+      case MKind::kBinImm:
+        out += t(op.a) + " = " + t(op.b) + " " + bin_op_spelling(op.bop()) +
+               " " + std::to_string(op.imm);
+        break;
+      case MKind::kBinImmR:
+        out += t(op.a) + " = " + std::to_string(op.imm) + " " +
+               bin_op_spelling(op.bop()) + " " + t(op.b);
+        break;
+      case MKind::kWriteBin:
+        out += "scal " + r(op.res) + " = " + t(op.b) + " " +
+               bin_op_spelling(op.bop()) + " " + t(op.c);
+        break;
       case MKind::kUn:
-        out += t(op.a) + " = " + un_op_spelling(op.uop) + t(op.b);
+        out += t(op.a) + " = " + un_op_spelling(op.uop()) + t(op.b);
         break;
       case MKind::kIntr:
-        out += t(op.a) + " = " + intrinsic_name(op.intr) + "(" + t(op.b) +
+        out += t(op.a) + " = " + intrinsic_name(op.intr()) + "(" + t(op.b) +
                ", " + t(op.c) + ")";
+        break;
+      case MKind::kIntrImm:
+        out += t(op.a) + " = " + intrinsic_name(op.intr()) + "(" + t(op.b) +
+               ", " + std::to_string(op.imm) + ")";
         break;
       case MKind::kBrZero:
         out += "brzero " + t(op.a) + " -> " + std::to_string(op.imm);
+        break;
+      case MKind::kBrBin:
+        out += "brzero (" + t(op.b) + " " + bin_op_spelling(op.bop()) + " " +
+               t(op.c) + ") -> " + std::to_string(op.imm);
+        break;
+      case MKind::kBrBinImm:
+        out += "brzero (" + t(op.b) + " " + bin_op_spelling(op.bop()) + " " +
+               std::to_string(op.c) + ") -> " + std::to_string(op.imm);
+        break;
+      case MKind::kBrScalZero:
+        out += "brzero scal " + r(op.b) + " -> " + std::to_string(op.imm);
         break;
       case MKind::kBr:
         out += "br -> " + std::to_string(op.imm);
@@ -557,7 +893,8 @@ std::string microops_to_string(const MicroOp* ops, std::size_t count) {
 }
 
 std::string microops_to_string(const MicroProgram& program) {
-  return microops_to_string(program.ops.data(), program.ops.size());
+  return microops_to_string(program.ops.data(), program.ops.size(),
+                            program.pool.data());
 }
 
 }  // namespace lisasim

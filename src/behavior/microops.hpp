@@ -9,6 +9,19 @@
 // table and the decode-cached level pack them into one contiguous
 // MicroArena (behavior/microarena.hpp) and keep only (offset, len,
 // num_temps) spans, so the execution core walks a single flat buffer.
+//
+// Encoding (16 bytes per op — half a cache line holds four):
+//
+//     byte  0      1      2..3   4..5   6..7   8..9   10..11  12..15
+//           kind   sub    a      b      c      res    (pad)   imm
+//
+// `kind`/`sub` form the directly-dispatched opcode byte-pair: `kind`
+// selects the handler, `sub` selects the BinOp/UnOp/Intrinsic inside it.
+// Temps and resource ids are int16 (validated at lowering; trace splicing
+// re-checks its accumulated temp base). `imm` is int32 and multiplexes
+// small constants, branch targets, element indices/offsets and constant-
+// pool indices; 64-bit immediates that do not fit live in a per-program
+// (later per-arena) constant pool addressed by kConstPool.
 #pragma once
 
 #include <cstdint>
@@ -22,44 +35,488 @@
 
 namespace lisasim {
 
+// The op-kind list is an X-macro so the enum, the dispatch tables and the
+// completeness static_asserts are generated from one place: adding a kind
+// without a handler label fails to compile instead of falling through.
+//
+// The first group is the base ISA the lowerer emits; the second group is
+// produced only by the optimizer (behavior/regcache.cpp promotes scalar
+// resource accesses, behavior/fuse.cpp emits superinstructions).
+#define LISASIM_MKIND_LIST(X)                                               \
+  X(kConst)        /* t[a] = imm                                         */ \
+  X(kMov)          /* t[a] = t[b]                                        */ \
+  X(kReadRes)      /* t[a] = state[res]         (hook-aware)             */ \
+  X(kReadElem)     /* t[a] = state[res][t[b]]                            */ \
+  X(kWriteRes)     /* state[res] = t[a]         (hook-aware)             */ \
+  X(kWriteElem)    /* state[res][t[b]] = t[a]                            */ \
+  X(kBin)          /* t[a] = t[b] <sub> t[c]    (throws on /0, %0)       */ \
+  X(kUn)           /* t[a] = <sub> t[b]                                  */ \
+  X(kIntr)         /* t[a] = sub(t[b] [, t[c]])  pure intrinsics         */ \
+  X(kBrZero)       /* if (t[a] == 0) goto imm                            */ \
+  X(kBr)           /* goto imm                                           */ \
+  X(kFlush)        /* control.flush = true                               */ \
+  X(kStall)        /* control.stall_cycles += t[a]                       */ \
+  X(kHalt)         /* control.halt = true                                */ \
+  X(kConstPool)    /* t[a] = pool[imm]                                   */ \
+  X(kReadScal)     /* t[a] = scalar res         (no bounds/hook check)   */ \
+  X(kWriteScal)    /* scalar res = t[b]         (no bounds/hook check)   */ \
+  X(kWriteOut)     /* scalar res = t[b]; t[a] = stored (canonical) value */ \
+  X(kBinImm)       /* t[a] = t[b] <sub> imm     (imm != 0 for /, %)      */ \
+  X(kBinImmR)      /* t[a] = imm <sub> t[b]     (throws on /0, %0)       */ \
+  X(kWriteBin)     /* scalar res = t[b] <sub> t[c]  (throws on /0, %0)   */ \
+  X(kBrBin)        /* if ((t[b] <sub> t[c]) == 0) goto imm  (no /, %)    */ \
+  X(kBrBinImm)     /* if ((t[b] <sub> c) == 0) goto imm     (no /, %)    */ \
+  X(kReadElemC)    /* t[a] = state[res][imm]                             */ \
+  X(kWriteElemC)   /* state[res][imm] = t[a]                             */ \
+  X(kReadElemOff)  /* t[a] = state[res][t[b] + imm]                      */ \
+  X(kWriteElemOff) /* state[res][t[b] + imm] = t[a]                      */ \
+  X(kWriteScalImm) /* scalar res = imm                                   */ \
+  X(kMovScal)      /* scalar res = scalar b     (b is a resource id)     */ \
+  X(kBrScalZero)   /* if (scalar b == 0) goto imm                        */ \
+  X(kIntrImm)      /* t[a] = sub(t[b], imm)     arity-2 intrinsics       */ \
+  X(kMovScalElem)  /* scalar res = state[b][imm]   (b is an array id)    */ \
+  X(kMovElemScal)  /* state[res][imm] = scalar b                         */ \
+  X(kReadElemScal) /* t[a] = state[res][scalar b]                        */
+
 enum class MKind : std::uint8_t {
-  kConst,      // t[a] = imm
-  kMov,        // t[a] = t[b]
-  kReadRes,    // t[a] = state[res]
-  kReadElem,   // t[a] = state[res][t[b]]
-  kWriteRes,   // state[res] = t[a]
-  kWriteElem,  // state[res][t[b]] = t[a]
-  kBin,        // t[a] = t[b] <bop> t[c]   (throws on /0, %0)
-  kUn,         // t[a] = <uop> t[b]
-  kIntr,       // t[a] = intr(t[b] [, t[c]])   pure intrinsics
-  kBrZero,     // if (t[a] == 0) goto imm
-  kBr,         // goto imm
-  kFlush,      // control.flush = true
-  kStall,      // control.stall_cycles += t[a]
-  kHalt,       // control.halt = true
+#define LISASIM_MKIND_ENUM(name) name,
+  LISASIM_MKIND_LIST(LISASIM_MKIND_ENUM)
+#undef LISASIM_MKIND_ENUM
 };
 
 /// Number of MKind enumerators (dispatch tables are sized by this).
-inline constexpr int kNumMKinds = static_cast<int>(MKind::kHalt) + 1;
+inline constexpr int kNumMKinds = 0
+#define LISASIM_MKIND_COUNT(name) +1
+    LISASIM_MKIND_LIST(LISASIM_MKIND_COUNT)
+#undef LISASIM_MKIND_COUNT
+    ;
 
 struct MicroOp {
   MKind kind = MKind::kConst;
-  BinOp bop = BinOp::kAdd;
-  UnOp uop = UnOp::kNeg;
-  Intrinsic intr = Intrinsic::kNone;
-  std::int32_t a = 0;
-  std::int32_t b = 0;
-  std::int32_t c = 0;
-  ResourceId res = -1;
-  std::int64_t imm = 0;
+  std::uint8_t sub = 0;  // BinOp / UnOp / Intrinsic selector
+  std::int16_t a = 0;
+  std::int16_t b = 0;
+  std::int16_t c = 0;
+  std::int16_t res = -1;
+  std::int32_t imm = 0;
+
+  BinOp bop() const { return static_cast<BinOp>(sub); }
+  UnOp uop() const { return static_cast<UnOp>(sub); }
+  Intrinsic intr() const { return static_cast<Intrinsic>(sub); }
 };
+
+// The compact layout is the contract the dispatch loop, the arena packing
+// and SimTable::signature() all rely on; growing the struct is a perf (and
+// signature) break, not a refactor.
+static_assert(sizeof(MicroOp) <= 16, "MicroOp must stay within 16 bytes");
+
+/// Does `imm` fit the in-op 32-bit immediate field (wider constants go
+/// through the per-program constant pool)?
+inline bool mo_imm_fits(std::int64_t value) {
+  return value >= INT32_MIN && value <= INT32_MAX;
+}
 
 struct MicroProgram {
   std::vector<MicroOp> ops;
-  int num_temps = 0;
+  std::vector<std::int64_t> pool;  // kConstPool operands (64-bit immediates)
+  std::int32_t num_temps = 0;
 
   bool empty() const { return ops.empty(); }
+
+  /// Intern `value` into the constant pool (deduplicated; programs are
+  /// small, a linear probe keeps this deterministic and allocation-free).
+  std::int32_t add_pool(std::int64_t value) {
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (pool[i] == value) return static_cast<std::int32_t>(i);
+    pool.push_back(value);
+    return static_cast<std::int32_t>(pool.size()) - 1;
+  }
 };
+
+// -- op constructors ---------------------------------------------------------
+// The int16 operand narrowing happens in exactly one place (here); the
+// lowerer and the optimizer passes validate ranges before calling.
+
+inline MicroOp mo_op(MKind kind, int sub, std::int32_t a, std::int32_t b,
+                     std::int32_t c, std::int32_t res, std::int64_t imm) {
+  MicroOp op;
+  op.kind = kind;
+  op.sub = static_cast<std::uint8_t>(sub);
+  op.a = static_cast<std::int16_t>(a);
+  op.b = static_cast<std::int16_t>(b);
+  op.c = static_cast<std::int16_t>(c);
+  op.res = static_cast<std::int16_t>(res);
+  op.imm = static_cast<std::int32_t>(imm);
+  return op;
+}
+
+inline MicroOp mo_const(std::int32_t t, std::int64_t imm) {
+  return mo_op(MKind::kConst, 0, t, 0, 0, -1, imm);
+}
+inline MicroOp mo_pool(std::int32_t t, std::int32_t index) {
+  return mo_op(MKind::kConstPool, 0, t, 0, 0, -1, index);
+}
+inline MicroOp mo_mov(std::int32_t a, std::int32_t b) {
+  return mo_op(MKind::kMov, 0, a, b, 0, -1, 0);
+}
+inline MicroOp mo_read_res(std::int32_t t, ResourceId res) {
+  return mo_op(MKind::kReadRes, 0, t, 0, 0, res, 0);
+}
+inline MicroOp mo_read_elem(std::int32_t t, ResourceId res, std::int32_t idx) {
+  return mo_op(MKind::kReadElem, 0, t, idx, 0, res, 0);
+}
+inline MicroOp mo_write_res(ResourceId res, std::int32_t t) {
+  return mo_op(MKind::kWriteRes, 0, t, 0, 0, res, 0);
+}
+inline MicroOp mo_write_elem(ResourceId res, std::int32_t idx,
+                             std::int32_t t) {
+  return mo_op(MKind::kWriteElem, 0, t, idx, 0, res, 0);
+}
+inline MicroOp mo_bin(BinOp bop, std::int32_t a, std::int32_t b,
+                      std::int32_t c) {
+  return mo_op(MKind::kBin, static_cast<int>(bop), a, b, c, -1, 0);
+}
+inline MicroOp mo_un(UnOp uop, std::int32_t a, std::int32_t b) {
+  return mo_op(MKind::kUn, static_cast<int>(uop), a, b, 0, -1, 0);
+}
+inline MicroOp mo_intr(Intrinsic intr, std::int32_t a, std::int32_t b,
+                       std::int32_t c) {
+  return mo_op(MKind::kIntr, static_cast<int>(intr), a, b, c, -1, 0);
+}
+inline MicroOp mo_brzero(std::int32_t t, std::int32_t target) {
+  return mo_op(MKind::kBrZero, 0, t, 0, 0, -1, target);
+}
+inline MicroOp mo_br(std::int32_t target) {
+  return mo_op(MKind::kBr, 0, 0, 0, 0, -1, target);
+}
+inline MicroOp mo_flush() { return mo_op(MKind::kFlush, 0, 0, 0, 0, -1, 0); }
+inline MicroOp mo_stall(std::int32_t t) {
+  return mo_op(MKind::kStall, 0, t, 0, 0, -1, 0);
+}
+inline MicroOp mo_halt() { return mo_op(MKind::kHalt, 0, 0, 0, 0, -1, 0); }
+inline MicroOp mo_read_scal(std::int32_t t, ResourceId res) {
+  return mo_op(MKind::kReadScal, 0, t, 0, 0, res, 0);
+}
+inline MicroOp mo_write_scal(ResourceId res, std::int32_t t) {
+  return mo_op(MKind::kWriteScal, 0, 0, t, 0, res, 0);
+}
+inline MicroOp mo_write_out(ResourceId res, std::int32_t out,
+                            std::int32_t t) {
+  return mo_op(MKind::kWriteOut, 0, out, t, 0, res, 0);
+}
+inline MicroOp mo_bin_imm(BinOp bop, std::int32_t a, std::int32_t b,
+                          std::int32_t imm) {
+  return mo_op(MKind::kBinImm, static_cast<int>(bop), a, b, 0, -1, imm);
+}
+inline MicroOp mo_bin_imm_r(BinOp bop, std::int32_t a, std::int32_t imm,
+                            std::int32_t b) {
+  return mo_op(MKind::kBinImmR, static_cast<int>(bop), a, b, 0, -1, imm);
+}
+inline MicroOp mo_write_bin(BinOp bop, ResourceId res, std::int32_t b,
+                            std::int32_t c) {
+  return mo_op(MKind::kWriteBin, static_cast<int>(bop), 0, b, c, res, 0);
+}
+inline MicroOp mo_br_bin(BinOp bop, std::int32_t b, std::int32_t c,
+                         std::int32_t target) {
+  return mo_op(MKind::kBrBin, static_cast<int>(bop), 0, b, c, -1, target);
+}
+inline MicroOp mo_br_bin_imm(BinOp bop, std::int32_t b, std::int32_t cimm,
+                             std::int32_t target) {
+  return mo_op(MKind::kBrBinImm, static_cast<int>(bop), 0, b, cimm, -1,
+               target);
+}
+inline MicroOp mo_read_elem_c(std::int32_t t, ResourceId res,
+                              std::int32_t index) {
+  return mo_op(MKind::kReadElemC, 0, t, 0, 0, res, index);
+}
+inline MicroOp mo_write_elem_c(ResourceId res, std::int32_t index,
+                               std::int32_t t) {
+  return mo_op(MKind::kWriteElemC, 0, t, 0, 0, res, index);
+}
+inline MicroOp mo_read_elem_off(std::int32_t t, ResourceId res,
+                                std::int32_t b, std::int32_t off) {
+  return mo_op(MKind::kReadElemOff, 0, t, b, 0, res, off);
+}
+inline MicroOp mo_write_elem_off(ResourceId res, std::int32_t b,
+                                 std::int32_t off, std::int32_t t) {
+  return mo_op(MKind::kWriteElemOff, 0, t, b, 0, res, off);
+}
+inline MicroOp mo_write_scal_imm(ResourceId res, std::int32_t imm) {
+  return mo_op(MKind::kWriteScalImm, 0, 0, 0, 0, res, imm);
+}
+inline MicroOp mo_mov_scal(ResourceId dst, ResourceId src) {
+  return mo_op(MKind::kMovScal, 0, 0, src, 0, dst, 0);
+}
+inline MicroOp mo_br_scal_zero(ResourceId res, std::int32_t target) {
+  return mo_op(MKind::kBrScalZero, 0, 0, res, 0, -1, target);
+}
+inline MicroOp mo_intr_imm(Intrinsic intr, std::int32_t a, std::int32_t b,
+                           std::int32_t imm) {
+  return mo_op(MKind::kIntrImm, static_cast<int>(intr), a, b, 0, -1, imm);
+}
+inline MicroOp mo_mov_scal_elem(ResourceId dst, ResourceId array,
+                                std::int32_t index) {
+  return mo_op(MKind::kMovScalElem, 0, 0, array, 0, dst, index);
+}
+inline MicroOp mo_mov_elem_scal(ResourceId array, std::int32_t index,
+                                ResourceId src) {
+  return mo_op(MKind::kMovElemScal, 0, 0, src, 0, array, index);
+}
+inline MicroOp mo_read_elem_scal(std::int32_t t, ResourceId res,
+                                 ResourceId index_scal) {
+  return mo_op(MKind::kReadElemScal, 0, t, index_scal, 0, res, 0);
+}
+
+// -- shared per-kind structure helpers ---------------------------------------
+// Every pass that walks micro-programs (peephole, regcache, fuse, trace
+// splicing, validation) classifies ops through these four helpers, so a new
+// kind added to LISASIM_MKIND_LIST is handled — or rejected by -Wswitch —
+// in one audit instead of five.
+
+inline bool mo_is_branch(MKind kind) {
+  return kind == MKind::kBrZero || kind == MKind::kBr ||
+         kind == MKind::kBrBin || kind == MKind::kBrBinImm ||
+         kind == MKind::kBrScalZero;
+}
+
+/// Destination temp of `op`, or -1 when it has none.
+inline std::int32_t mo_def_of(const MicroOp& op) {
+  switch (op.kind) {
+    case MKind::kConst:
+    case MKind::kConstPool:
+    case MKind::kMov:
+    case MKind::kReadRes:
+    case MKind::kReadScal:
+    case MKind::kReadElem:
+    case MKind::kReadElemC:
+    case MKind::kReadElemOff:
+    case MKind::kBin:
+    case MKind::kBinImm:
+    case MKind::kBinImmR:
+    case MKind::kUn:
+    case MKind::kIntr:
+    case MKind::kIntrImm:
+    case MKind::kReadElemScal:
+    case MKind::kWriteOut:
+      return op.a;
+    case MKind::kWriteRes:
+    case MKind::kWriteScal:
+    case MKind::kWriteElem:
+    case MKind::kWriteElemC:
+    case MKind::kWriteElemOff:
+    case MKind::kWriteBin:
+    case MKind::kBrZero:
+    case MKind::kBr:
+    case MKind::kBrBin:
+    case MKind::kBrBinImm:
+    case MKind::kFlush:
+    case MKind::kStall:
+    case MKind::kHalt:
+    case MKind::kWriteScalImm:
+    case MKind::kMovScal:
+    case MKind::kBrScalZero:
+    case MKind::kMovScalElem:
+    case MKind::kMovElemScal:
+      return -1;
+  }
+  return -1;
+}
+
+/// Ops whose only effect is writing their destination temp. kBin is pure
+/// except division/remainder (they throw on a zero divisor) and element
+/// reads can throw on an out-of-range index — both must execute even if
+/// their result is dead, or error behavior would diverge from the tree
+/// walk. kBinImm divisions are pure: fusion guarantees a nonzero constant
+/// divisor (validated).
+inline bool mo_is_pure_def(const MicroOp& op) {
+  switch (op.kind) {
+    case MKind::kConst:
+    case MKind::kConstPool:
+    case MKind::kMov:
+    case MKind::kReadRes:
+    case MKind::kReadScal:
+    case MKind::kUn:
+    case MKind::kIntr:
+    case MKind::kIntrImm:
+    case MKind::kBinImm:
+      return true;
+    case MKind::kBin:
+    case MKind::kBinImmR:
+      return op.bop() != BinOp::kDiv && op.bop() != BinOp::kRem;
+    default:
+      return false;
+  }
+}
+
+/// Invoke `fn` on every temp `op` reads (destinations excluded). The second
+/// operand of an arity-1 intrinsic is padding, not a read; kBrBinImm's `c`
+/// is a 16-bit immediate, not a temp.
+template <typename Fn>
+void mo_for_each_read(const MicroOp& op, Fn&& fn) {
+  switch (op.kind) {
+    case MKind::kMov:
+    case MKind::kReadElem:
+    case MKind::kReadElemOff:
+    case MKind::kUn:
+    case MKind::kWriteScal:
+    case MKind::kWriteOut:
+    case MKind::kBinImm:
+    case MKind::kBinImmR:
+    case MKind::kBrBinImm:
+    case MKind::kIntrImm:
+      fn(op.b);
+      break;
+    case MKind::kWriteRes:
+    case MKind::kWriteElemC:
+    case MKind::kBrZero:
+    case MKind::kStall:
+      fn(op.a);
+      break;
+    case MKind::kWriteElem:
+    case MKind::kWriteElemOff:
+      fn(op.a);
+      fn(op.b);
+      break;
+    case MKind::kBin:
+      fn(op.b);
+      fn(op.c);
+      break;
+    case MKind::kWriteBin:
+    case MKind::kBrBin:
+      fn(op.b);
+      fn(op.c);
+      break;
+    case MKind::kIntr:
+      fn(op.b);
+      if (intrinsic_arity(op.intr()) > 1) fn(op.c);
+      break;
+    case MKind::kConst:
+    case MKind::kConstPool:
+    case MKind::kReadRes:
+    case MKind::kReadScal:
+    case MKind::kReadElemC:
+    case MKind::kBr:
+    case MKind::kFlush:
+    case MKind::kHalt:
+    case MKind::kWriteScalImm:
+    case MKind::kMovScal:      // b is a resource id, not a temp
+    case MKind::kBrScalZero:   // likewise
+    case MKind::kMovScalElem:  // likewise
+    case MKind::kMovElemScal:  // likewise
+    case MKind::kReadElemScal: // likewise (a is the def, not a read)
+      break;
+  }
+}
+
+/// Invoke `fn` with a mutable reference to every temp-operand *field* of
+/// `op` (reads and destinations alike) — the single place that knows which
+/// int16 fields hold temp indices. Trace splicing rebases temps through
+/// this; peephole compaction renumbers through it.
+template <typename Fn>
+void mo_for_each_temp_field(MicroOp& op, Fn&& fn) {
+  switch (op.kind) {
+    case MKind::kConst:
+    case MKind::kConstPool:
+    case MKind::kReadRes:
+    case MKind::kReadScal:
+    case MKind::kReadElemC:
+    case MKind::kWriteRes:
+    case MKind::kWriteElemC:
+    case MKind::kBrZero:
+    case MKind::kStall:
+      fn(op.a);
+      break;
+    case MKind::kMov:
+    case MKind::kReadElem:
+    case MKind::kReadElemOff:
+    case MKind::kWriteElem:
+    case MKind::kWriteElemOff:
+    case MKind::kUn:
+    case MKind::kWriteOut:
+      fn(op.a);
+      fn(op.b);
+      break;
+    case MKind::kBin:
+    case MKind::kIntr:
+      fn(op.a);
+      fn(op.b);
+      fn(op.c);
+      break;
+    case MKind::kBinImm:
+    case MKind::kBinImmR:
+    case MKind::kIntrImm:
+      fn(op.a);
+      fn(op.b);
+      break;
+    case MKind::kWriteScal:
+      fn(op.b);
+      break;
+    case MKind::kWriteBin:
+    case MKind::kBrBin:
+      fn(op.b);
+      fn(op.c);
+      break;
+    case MKind::kBrBinImm:
+      fn(op.b);
+      break;
+    case MKind::kReadElemScal:
+      fn(op.a);  // b is a resource id, not a temp
+      break;
+    case MKind::kBr:
+    case MKind::kFlush:
+    case MKind::kHalt:
+    case MKind::kWriteScalImm:
+    case MKind::kMovScal:     // b is a resource id, not a temp
+    case MKind::kBrScalZero:  // likewise
+    case MKind::kMovScalElem:
+    case MKind::kMovElemScal:
+      break;
+  }
+}
+
+/// Kinds that write a processor resource (scalar or element). Used by the
+/// trace scanner (fetch-memory / PC detection) and the regcache pass.
+inline bool mo_writes_res(MKind kind) {
+  switch (kind) {
+    case MKind::kWriteRes:
+    case MKind::kWriteScal:
+    case MKind::kWriteOut:
+    case MKind::kWriteBin:
+    case MKind::kWriteElem:
+    case MKind::kWriteElemC:
+    case MKind::kWriteElemOff:
+    case MKind::kWriteScalImm:
+    case MKind::kMovScal:
+    case MKind::kMovScalElem:
+    case MKind::kMovElemScal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Can executing `op` throw a SimError (zero divisor, out-of-bounds
+/// element index)? The dead-store barrier of the regcache pass.
+inline bool mo_can_throw(const MicroOp& op) {
+  switch (op.kind) {
+    case MKind::kBin:
+    case MKind::kBinImmR:
+    case MKind::kWriteBin:
+      return op.bop() == BinOp::kDiv || op.bop() == BinOp::kRem;
+    case MKind::kReadElem:
+    case MKind::kReadElemC:
+    case MKind::kReadElemOff:
+    case MKind::kWriteElem:
+    case MKind::kWriteElemC:
+    case MKind::kWriteElemOff:
+    case MKind::kMovScalElem:
+    case MKind::kMovElemScal:
+    case MKind::kReadElemScal:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// Lower a specialized program to micro-operations. The input must be fully
 /// specialized (symbols restricted to locals and resources); anything else
@@ -69,24 +526,28 @@ struct MicroProgram {
 MicroProgram lower_to_microops(const SpecProgram& program);
 
 /// Structural validation of a micro-program: every branch target must lie
-/// in [0, ops.size()] (== size is the fall-off-the-end exit) and every
-/// temp operand in [0, num_temps). Throws SimError. Called by
+/// in [0, ops.size()] (== size is the fall-off-the-end exit), every temp
+/// operand in [0, num_temps), every pool index in [0, pool.size()), and
+/// fused-division immediates nonzero. Throws SimError. Called by
 /// lower_to_microops and optimize_microops; exec_microops trusts its input.
 void validate_microops(const MicroProgram& program);
 
 /// Execute `count` micro-ops starting at `ops` — a span of a MicroArena or
-/// the body of a MicroProgram. `temps` must point at scratch with room for
-/// the program's num_temps slots; no zero-fill is required because lowering
-/// guarantees every temp is written before it is read. This is the hot
-/// dispatch loop of the compiled-static and decode-cached levels.
+/// the body of a MicroProgram. `pool` is the owning arena's (or program's)
+/// constant pool; it may be null only when no op is kConstPool. `temps`
+/// must point at scratch with room for the program's num_temps slots; no
+/// zero-fill is required because lowering guarantees every temp is written
+/// before it is read. This is the hot dispatch loop of the compiled-static
+/// and decode-cached levels.
 void exec_microops(const MicroOp* ops, std::uint32_t count,
-                   ProcessorState& state, PipelineControl& control,
-                   std::int64_t* temps);
+                   const std::int64_t* pool, ProcessorState& state,
+                   PipelineControl& control, std::int64_t* temps);
 
 /// Instrumented variant of exec_microops: identical semantics, returns the
 /// number of micro-ops dispatched (benchmarks report micro-ops/cycle with
 /// it; the uncounted loop stays branch-free of instrumentation).
 std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
+                                    const std::int64_t* pool,
                                     ProcessorState& state,
                                     PipelineControl& control,
                                     std::int64_t* temps);
@@ -96,8 +557,10 @@ std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
 void run_microops(const MicroProgram& program, ProcessorState& state,
                   PipelineControl& control, std::vector<std::int64_t>& temps);
 
-/// Disassemble for debugging/tests.
-std::string microops_to_string(const MicroOp* ops, std::size_t count);
+/// Disassemble for debugging/tests. With a `pool`, kConstPool operands
+/// print their value; without, the pool index.
+std::string microops_to_string(const MicroOp* ops, std::size_t count,
+                               const std::int64_t* pool = nullptr);
 std::string microops_to_string(const MicroProgram& program);
 
 }  // namespace lisasim

@@ -1,0 +1,59 @@
+// Small shared utilities for the micro-op optimizer passes (peephole,
+// regcache, fuse): branch-target collection and marked-op removal. These
+// are compile-time-only helpers; nothing here runs on the execution path.
+#pragma once
+
+#include <vector>
+
+#include "behavior/microops.hpp"
+
+namespace lisasim {
+
+/// Collect branch targets of `program` into `is_target` (sized ops+1; the
+/// one-past-the-end slot is the fall-off exit). Returns false — and leaves
+/// `is_target` unspecified — when the program has a backward branch, which
+/// the lowerer never emits; passes skip such programs rather than reason
+/// about loops.
+inline bool mo_collect_targets(const MicroProgram& program,
+                               std::vector<char>& is_target) {
+  const std::size_t n = program.ops.size();
+  is_target.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MicroOp& op = program.ops[i];
+    if (!mo_is_branch(op.kind)) continue;
+    if (op.imm <= static_cast<std::int64_t>(i)) return false;
+    is_target[static_cast<std::size_t>(op.imm)] = 1;
+  }
+  return true;
+}
+
+/// Drop every op with dead[i] != 0, remapping branch targets onto the
+/// compacted indices. Temps and the constant pool are left untouched (the
+/// peephole's full compaction renumbers those); a branch to a dead op
+/// lands on the next live one, which is exactly the semantics of skipping
+/// a removed no-op.
+inline void mo_remove_marked(MicroProgram& program,
+                             const std::vector<char>& dead) {
+  const std::size_t n = program.ops.size();
+  std::vector<std::int32_t> new_index(n + 1, 0);
+  std::int32_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    new_index[i] = live;
+    if (!dead[i]) ++live;
+  }
+  new_index[n] = live;
+  if (static_cast<std::size_t>(live) == n) return;
+
+  std::vector<MicroOp> out;
+  out.reserve(static_cast<std::size_t>(live));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) continue;
+    MicroOp op = program.ops[i];
+    if (mo_is_branch(op.kind))
+      op.imm = new_index[static_cast<std::size_t>(op.imm)];
+    out.push_back(op);
+  }
+  program.ops = std::move(out);
+}
+
+}  // namespace lisasim

@@ -3,81 +3,53 @@
 #include <optional>
 
 #include "behavior/fold.hpp"
+#include "behavior/fuse.hpp"
+#include "behavior/opt_util.hpp"
+#include "behavior/regcache.hpp"
 
 namespace lisasim {
 
 namespace {
 
-bool is_branch(MKind k) { return k == MKind::kBrZero || k == MKind::kBr; }
-
-/// Ops whose only effect is writing their destination temp. kBin is pure
-/// except division/remainder (they throw on a zero divisor) and kReadElem
-/// can throw on an out-of-range index — both must execute even if their
-/// result is dead, or error behavior would diverge from the tree walk.
-bool is_pure_def(const MicroOp& op) {
-  switch (op.kind) {
-    case MKind::kConst:
-    case MKind::kMov:
-    case MKind::kReadRes:
-    case MKind::kUn:
-    case MKind::kIntr:
-      return true;
-    case MKind::kBin:
-      return op.bop != BinOp::kDiv && op.bop != BinOp::kRem;
+/// v on the given side leaves the other operand unchanged (x+0, x*1,
+/// x&-1, x<<0, x/1, ...). Folding to a plain mov is sound even when the
+/// other operand is unknown.
+bool bin_identity(BinOp bop, std::int64_t v, bool on_right) {
+  switch (bop) {
+    case BinOp::kAdd:
+    case BinOp::kOr:
+    case BinOp::kXor:
+      return v == 0;
+    case BinOp::kSub:
+    case BinOp::kShl:
+    case BinOp::kShr:
+      return on_right && v == 0;
+    case BinOp::kMul:
+      return v == 1;
+    case BinOp::kDiv:
+      return on_right && v == 1;
+    case BinOp::kAnd:
+      return v == -1;
     default:
       return false;
   }
 }
 
-/// Invoke `fn` on every temp `op` reads (destinations excluded). The second
-/// operand of an arity-1 intrinsic is padding, not a read.
-template <typename Fn>
-void for_each_read(const MicroOp& op, Fn&& fn) {
-  switch (op.kind) {
-    case MKind::kMov:
-    case MKind::kReadElem:
-    case MKind::kUn:
-      fn(op.b);
-      break;
-    case MKind::kWriteRes:
-    case MKind::kBrZero:
-    case MKind::kStall:
-      fn(op.a);
-      break;
-    case MKind::kWriteElem:
-      fn(op.a);
-      fn(op.b);
-      break;
-    case MKind::kBin:
-      fn(op.b);
-      fn(op.c);
-      break;
-    case MKind::kIntr:
-      fn(op.b);
-      if (intrinsic_arity(op.intr) > 1) fn(op.c);
-      break;
-    case MKind::kConst:
-    case MKind::kReadRes:
-    case MKind::kBr:
-    case MKind::kFlush:
-    case MKind::kHalt:
-      break;
-  }
-}
-
-/// Destination temp of `op`, or -1 when it has none.
-std::int32_t def_of(const MicroOp& op) {
-  switch (op.kind) {
-    case MKind::kConst:
-    case MKind::kMov:
-    case MKind::kReadRes:
-    case MKind::kReadElem:
-    case MKind::kBin:
-    case MKind::kUn:
-    case MKind::kIntr:
-      return op.a;
+/// v on the given side forces the result to zero regardless of the other
+/// operand (x*0, x&0, 0<<x, x%1). Division is excluded on the left: 0/x
+/// must still throw when x is zero.
+bool bin_annihilator(BinOp bop, std::int64_t v, bool on_right) {
+  switch (bop) {
+    case BinOp::kMul:
+    case BinOp::kAnd:
+      return v == 0;
+    case BinOp::kShl:
+    case BinOp::kShr:
+      return !on_right && v == 0;
+    case BinOp::kRem:
+      return on_right && v == 1;
     default:
-      return -1;
+      return false;
   }
 }
 
@@ -88,18 +60,11 @@ class Peephole {
   void run() {
     const std::size_t n = program_.ops.size();
     if (n == 0) return;
-    is_target_.assign(n + 1, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const MicroOp& op = program_.ops[i];
-      if (!is_branch(op.kind)) continue;
-      // Backward branches could loop; the lowerer never emits them, so
-      // rather than reason about fixpoints just leave such programs alone.
-      if (op.imm <= static_cast<std::int64_t>(i)) return;
-      is_target_[static_cast<std::size_t>(op.imm)] = 1;
-    }
+    if (!mo_collect_targets(program_, is_target_)) return;
     dead_.assign(n, 0);
     propagate();
     remove_dead();
+    downgrade_write_outs();
     compact();
     validate_microops(program_);
   }
@@ -120,19 +85,34 @@ class Peephole {
       if (c == d) c = -1;
   }
 
-  std::int32_t resolve(std::int32_t t) const {
+  std::int16_t resolve(std::int16_t t) const {
     const std::int32_t src = copy_of_[static_cast<std::size_t>(t)];
-    return src >= 0 ? src : t;
+    return src >= 0 ? static_cast<std::int16_t>(src) : t;
   }
 
   std::optional<std::int64_t> known(std::int32_t t) const {
     return const_val_[static_cast<std::size_t>(t)];
   }
 
+  /// Rewrite the op at `i` (defining through a) into `t[a] = t[src]`,
+  /// updating the copy lattice exactly like a source-level kMov.
+  void set_mov(std::size_t i, MicroOp& op, std::int16_t src) {
+    const std::int16_t dst = op.a;
+    if (src == dst) {
+      dead_[i] = 1;  // value unchanged, lattice intact
+      return;
+    }
+    op = mo_mov(dst, src);
+    kill(dst);
+    copy_of_[static_cast<std::size_t>(dst)] = src;
+  }
+
   void set_const(MicroOp& op, std::int64_t value) {
-    op = MicroOp{.kind = MKind::kConst, .a = op.a, .imm = value};
-    kill(op.a);
-    const_val_[static_cast<std::size_t>(op.a)] = value;
+    const std::int16_t dst = op.a;  // every foldable op defines through a
+    op = mo_imm_fits(value) ? mo_const(dst, value)
+                            : mo_pool(dst, program_.add_pool(value));
+    kill(dst);
+    const_val_[static_cast<std::size_t>(dst)] = value;
   }
 
   void propagate() {
@@ -156,6 +136,11 @@ class Peephole {
           kill(op.a);
           const_val_[static_cast<std::size_t>(op.a)] = op.imm;
           break;
+        case MKind::kConstPool:
+          kill(op.a);
+          const_val_[static_cast<std::size_t>(op.a)] =
+              program_.pool[static_cast<std::size_t>(op.imm)];
+          break;
         case MKind::kMov: {
           op.b = resolve(op.b);
           if (const auto v = known(op.b)) {
@@ -169,19 +154,60 @@ class Peephole {
           break;
         }
         case MKind::kReadRes:
+        case MKind::kReadScal:
+        case MKind::kReadElemC:
           kill(op.a);
           break;
         case MKind::kReadElem:
           op.b = resolve(op.b);
           kill(op.a);
           break;
+        case MKind::kReadElemOff: {
+          op.b = resolve(op.b);
+          if (const auto b = known(op.b)) {
+            // Constant base folds the offset add away entirely.
+            const std::int64_t index = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(*b) +
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(op.imm)));
+            if (mo_imm_fits(index))
+              op = mo_read_elem_c(op.a, op.res,
+                                  static_cast<std::int32_t>(index));
+          }
+          kill(op.a);
+          break;
+        }
         case MKind::kWriteRes:
           op.a = resolve(op.a);
+          break;
+        case MKind::kWriteScal:
+          op.b = resolve(op.b);
+          break;
+        case MKind::kWriteOut:
+          op.b = resolve(op.b);
+          kill(op.a);  // canonicalized value; not the raw source
           break;
         case MKind::kWriteElem:
           op.a = resolve(op.a);
           op.b = resolve(op.b);
           break;
+        case MKind::kWriteElemC:
+          op.a = resolve(op.a);
+          break;
+        case MKind::kWriteElemOff: {
+          op.a = resolve(op.a);
+          op.b = resolve(op.b);
+          if (const auto b = known(op.b)) {
+            const std::int64_t index = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(*b) +
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(op.imm)));
+            if (mo_imm_fits(index))
+              op = mo_write_elem_c(op.res,
+                                   static_cast<std::int32_t>(index), op.a);
+          }
+          break;
+        }
         case MKind::kBin: {
           op.b = resolve(op.b);
           op.c = resolve(op.c);
@@ -189,18 +215,74 @@ class Peephole {
           const auto c = known(op.c);
           if (b && c) {
             // nullopt == constant /0 or %0: must still throw at run time.
-            if (const auto v = fold_binary(op.bop, *b, *c)) {
+            if (const auto v = fold_binary(op.bop(), *b, *c)) {
               set_const(op, *v);
               break;
             }
+          } else if (c && bin_identity(op.bop(), *c, true)) {
+            set_mov(i, op, op.b);
+            break;
+          } else if (c && bin_annihilator(op.bop(), *c, true)) {
+            set_const(op, 0);
+            break;
+          } else if (b && bin_identity(op.bop(), *b, false)) {
+            set_mov(i, op, op.c);
+            break;
+          } else if (b && bin_annihilator(op.bop(), *b, false)) {
+            set_const(op, 0);
+            break;
           }
           kill(op.a);
           break;
         }
+        case MKind::kBinImm: {
+          op.b = resolve(op.b);
+          if (const auto b = known(op.b)) {
+            // Validation bars a constant zero divisor in kBinImm, so the
+            // fold cannot come back empty.
+            if (const auto v = fold_binary(op.bop(), *b, op.imm)) {
+              set_const(op, *v);
+              break;
+            }
+          }
+          if (bin_identity(op.bop(), op.imm, true)) {
+            set_mov(i, op, op.b);
+            break;
+          }
+          if (bin_annihilator(op.bop(), op.imm, true)) {
+            set_const(op, 0);
+            break;
+          }
+          kill(op.a);
+          break;
+        }
+        case MKind::kBinImmR: {
+          op.b = resolve(op.b);
+          if (const auto b = known(op.b)) {
+            if (const auto v = fold_binary(op.bop(), op.imm, *b)) {
+              set_const(op, *v);
+              break;
+            }
+          }
+          if (bin_identity(op.bop(), op.imm, false)) {
+            set_mov(i, op, op.b);
+            break;
+          }
+          if (bin_annihilator(op.bop(), op.imm, false)) {
+            set_const(op, 0);
+            break;
+          }
+          kill(op.a);
+          break;
+        }
+        case MKind::kWriteBin:
+          op.b = resolve(op.b);
+          op.c = resolve(op.c);
+          break;
         case MKind::kUn: {
           op.b = resolve(op.b);
           if (const auto b = known(op.b)) {
-            set_const(op, fold_unary(op.uop, *b));
+            set_const(op, fold_unary(op.uop(), *b));
           } else {
             kill(op.a);
           }
@@ -208,17 +290,17 @@ class Peephole {
         }
         case MKind::kIntr: {
           op.b = resolve(op.b);
-          const bool binary = intrinsic_arity(op.intr) > 1;
+          const bool binary = intrinsic_arity(op.intr()) > 1;
           if (binary) op.c = resolve(op.c);
           const auto b = known(op.b);
           const auto c = binary ? known(op.c) : std::optional<std::int64_t>{0};
           if (b && c) {
             const std::int64_t args[2] = {*b, *c};
             if (const auto v = fold_intrinsic(
-                    op.intr,
+                    op.intr(),
                     std::span<const std::int64_t>(
-                        args,
-                        static_cast<std::size_t>(intrinsic_arity(op.intr))))) {
+                        args, static_cast<std::size_t>(
+                                  intrinsic_arity(op.intr()))))) {
               set_const(op, *v);
               break;
             }
@@ -234,10 +316,70 @@ class Peephole {
           }
           if (const auto v = known(op.a)) {
             if (*v == 0) {
-              op = MicroOp{.kind = MKind::kBr, .imm = op.imm};  // always taken
+              op = mo_br(op.imm);  // always taken
               reachable = false;
             } else {
               dead_[i] = 1;  // never taken
+            }
+          }
+          break;
+        }
+        case MKind::kIntrImm: {
+          op.b = resolve(op.b);
+          if (const auto b = known(op.b)) {
+            const std::int64_t args[2] = {*b,
+                                          static_cast<std::int64_t>(op.imm)};
+            if (const auto v = fold_intrinsic(
+                    op.intr(), std::span<const std::int64_t>(args, 2))) {
+              set_const(op, *v);
+              break;
+            }
+          }
+          kill(op.a);
+          break;
+        }
+        case MKind::kReadElemScal:
+          kill(op.a);
+          break;
+        case MKind::kBrScalZero:
+          // Scalar-resource condition: not foldable from the temp lattice,
+          // but a branch to its own fall-through is still dead.
+          if (op.imm == static_cast<std::int64_t>(i) + 1) dead_[i] = 1;
+          break;
+        case MKind::kBrBin: {
+          op.b = resolve(op.b);
+          op.c = resolve(op.c);
+          if (op.imm == static_cast<std::int64_t>(i) + 1) {
+            dead_[i] = 1;
+            break;
+          }
+          const auto b = known(op.b);
+          const auto c = known(op.c);
+          if (b && c) {
+            // Validation bars /,% in fused branches, so the fold is total.
+            if (fold_binary(op.bop(), *b, *c).value_or(1) == 0) {
+              op = mo_br(op.imm);
+              reachable = false;
+            } else {
+              dead_[i] = 1;
+            }
+          }
+          break;
+        }
+        case MKind::kBrBinImm: {
+          op.b = resolve(op.b);
+          if (op.imm == static_cast<std::int64_t>(i) + 1) {
+            dead_[i] = 1;
+            break;
+          }
+          if (const auto b = known(op.b)) {
+            if (fold_binary(op.bop(), *b,
+                            static_cast<std::int64_t>(op.c))
+                    .value_or(1) == 0) {
+              op = mo_br(op.imm);
+              reachable = false;
+            } else {
+              dead_[i] = 1;
             }
           }
           break;
@@ -252,6 +394,10 @@ class Peephole {
         case MKind::kStall:
           op.a = resolve(op.a);
           break;
+        case MKind::kWriteScalImm:
+        case MKind::kMovScal:      // resource-to-resource; no temps involved
+        case MKind::kMovScalElem:  // resource-to-resource; no temps involved
+        case MKind::kMovElemScal:  // resource-to-resource; no temps involved
         case MKind::kFlush:
         case MKind::kHalt:
           break;
@@ -273,19 +419,41 @@ class Peephole {
       for (std::size_t i = 0; i < n; ++i) {
         if (dead_[i]) continue;
         const MicroOp& op = program_.ops[i];
-        const std::int32_t d = def_of(op);
-        if (d < 0 || !is_pure_def(op)) continue;
-        bool read_later = false;
-        for (std::size_t j = i + 1; j < n && !read_later; ++j) {
-          if (dead_[j]) continue;
-          for_each_read(program_.ops[j], [&](std::int32_t r) {
-            if (r == d) read_later = true;
-          });
-        }
-        if (!read_later) {
+        const std::int32_t d = mo_def_of(op);
+        if (d < 0 || !mo_is_pure_def(op)) continue;
+        if (!read_later(i, d)) {
           dead_[i] = 1;
           changed = true;
         }
+      }
+    }
+  }
+
+  bool read_later(std::size_t i, std::int32_t d) const {
+    const std::size_t n = program_.ops.size();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dead_[j]) continue;
+      bool read = false;
+      mo_for_each_read(program_.ops[j], [&](std::int16_t r) {
+        if (r == d) read = true;
+      });
+      if (read) return true;
+    }
+    return false;
+  }
+
+  /// kWriteOut defines the canonicalized stored value for store-to-load
+  /// forwarding (behavior/regcache.cpp); once propagation and DCE settle,
+  /// an out-temp nothing reads makes the op a plain store again.
+  void downgrade_write_outs() {
+    const std::size_t n = program_.ops.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dead_[i]) continue;
+      MicroOp& op = program_.ops[i];
+      if (op.kind != MKind::kWriteOut) continue;
+      if (!read_later(i, op.a)) {
+        op.kind = MKind::kWriteScal;
+        op.a = 0;  // no longer a def; keep the encoding deterministic
       }
     }
   }
@@ -308,54 +476,41 @@ class Peephole {
     std::vector<std::int32_t> temp_map(
         static_cast<std::size_t>(program_.num_temps), -1);
     std::int32_t next_temp = 0;
-    const auto remap = [&](std::int32_t t) {
+    const auto remap = [&](std::int16_t t) {
       auto& m = temp_map[static_cast<std::size_t>(t)];
       if (m < 0) m = next_temp++;
-      return m;
+      return static_cast<std::int16_t>(m);
     };
+
+    // The pool is rebuilt from surviving kConstPool ops in program order,
+    // so folded-away wide constants do not linger in the arena.
+    std::vector<std::int64_t> new_pool;
+    std::vector<std::int32_t> pool_map(program_.pool.size(), -1);
 
     std::vector<MicroOp> out;
     out.reserve(static_cast<std::size_t>(live));
     for (std::size_t i = 0; i < n; ++i) {
       if (dead_[i]) continue;
       MicroOp op = program_.ops[i];
-      switch (op.kind) {
-        case MKind::kConst:
-        case MKind::kReadRes:
-        case MKind::kWriteRes:
-        case MKind::kBrZero:
-        case MKind::kStall:
-          op.a = remap(op.a);
-          break;
-        case MKind::kMov:
-        case MKind::kReadElem:
-        case MKind::kWriteElem:
-        case MKind::kUn:
-          op.a = remap(op.a);
-          op.b = remap(op.b);
-          break;
-        case MKind::kBin:
-          op.a = remap(op.a);
-          op.b = remap(op.b);
-          op.c = remap(op.c);
-          break;
-        case MKind::kIntr:
-          op.a = remap(op.a);
-          op.b = remap(op.b);
-          // Arity-1 padding operand: renumbering may drop its old temp, so
-          // pin it to slot 0 (the op above guarantees at least one temp).
-          op.c = intrinsic_arity(op.intr) > 1 ? remap(op.c) : 0;
-          break;
-        case MKind::kBr:
-        case MKind::kFlush:
-        case MKind::kHalt:
-          break;
-      }
-      if (is_branch(op.kind))
+      // Arity-1 intrinsic padding operand: renumbering may drop its old
+      // temp, so alias it to the real operand instead of pinning a slot.
+      if (op.kind == MKind::kIntr && intrinsic_arity(op.intr()) <= 1)
+        op.c = op.b;
+      mo_for_each_temp_field(op, [&](std::int16_t& t) { t = remap(t); });
+      if (mo_is_branch(op.kind))
         op.imm = new_index[static_cast<std::size_t>(op.imm)];
+      if (op.kind == MKind::kConstPool) {
+        auto& m = pool_map[static_cast<std::size_t>(op.imm)];
+        if (m < 0) {
+          m = static_cast<std::int32_t>(new_pool.size());
+          new_pool.push_back(program_.pool[static_cast<std::size_t>(op.imm)]);
+        }
+        op.imm = m;
+      }
       out.push_back(op);
     }
     program_.ops = std::move(out);
+    program_.pool = std::move(new_pool);
     program_.num_temps = next_temp;
   }
 
@@ -368,9 +523,19 @@ class Peephole {
 
 }  // namespace
 
-void optimize_microops(MicroProgram& program) {
+void optimize_microops(MicroProgram& program, const Model* model) {
   validate_microops(program);
   Peephole(program).run();
+  if (model != nullptr) {
+    // Register caching needs the model to prove scalar-ness; the second
+    // peephole sweep folds the movs it plants into their use sites.
+    if (regcache_microops(program, *model)) Peephole(program).run();
+  }
+  // Fusion exposes one more round of simplification: const operands fused
+  // into identity kBinImm forms (x+0, x*1) fold to movs that copy-
+  // propagate away only on a sweep after the fuser ran.
+  if (fuse_microops(program)) Peephole(program).run();
+  validate_microops(program);
 }
 
 }  // namespace lisasim

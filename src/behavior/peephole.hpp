@@ -1,17 +1,24 @@
 // Peephole optimization over lowered micro-programs, run once at
 // simulation-compile time (lowering), never on the execution hot path.
-// Three passes over the straight-line, forward-branching programs the
-// lowerer emits:
+// optimize_microops chains the passes of the whole optimizer:
 //
-//  1. const/copy propagation — fold kBin/kUn/kIntr with constant operands,
-//     forward mov sources into use sites, resolve constant-condition
-//     branches; the lattice resets at every branch target so joins stay
-//     sound,
+//  1. const/copy propagation — fold kBin/kUn/kIntr (and their fused forms)
+//     with constant operands, forward mov sources into use sites, resolve
+//     constant-condition branches; the lattice resets at every branch
+//     target so joins stay sound,
 //  2. conservative dead-op removal — pure ops whose destination temp is
 //     never read at a higher index are dropped (iterated to fixpoint;
-//     division/remainder and element reads are kept, they can throw),
+//     division/remainder and element reads are kept, they can throw), and
+//     kWriteOut stores whose forwarded value is never read downgrade to
+//     plain kWriteScal,
 //  3. compaction — dead ops removed, branch targets remapped, temps
-//     renumbered densely so the scratch buffer shrinks with the program.
+//     renumbered densely, the constant pool rebuilt from surviving
+//     kConstPool ops so no orphaned entries remain,
+//  4. with a Model: hot-resource register caching (behavior/regcache.cpp)
+//     promotes scalar resource accesses onto the temp bank, followed by a
+//     second peephole sweep to clean up the introduced movs,
+//  5. superinstruction fusion (behavior/fuse.cpp) collapses the dominant
+//     two-op chains into single fused dispatches.
 //
 // The result is validated; semantics (including SimError behavior) are
 // bit-identical to the unoptimized program.
@@ -22,7 +29,10 @@
 namespace lisasim {
 
 /// Optimize `program` in place. Programs with backward branches (never
-/// produced by the lowerer) are left untouched.
-void optimize_microops(MicroProgram& program);
+/// produced by the lowerer) are left untouched. With a `model`, scalar
+/// resource accesses are additionally promoted to hook-free fast paths and
+/// cached in temps (the model is what proves a resource is scalar); without
+/// one, only the model-independent passes run.
+void optimize_microops(MicroProgram& program, const Model* model = nullptr);
 
 }  // namespace lisasim

@@ -1,0 +1,97 @@
+#include "behavior/regcache.hpp"
+
+#include "behavior/opt_util.hpp"
+
+namespace lisasim {
+
+bool regcache_microops(MicroProgram& program, const Model& model) {
+  const std::size_t n = program.ops.size();
+  if (n == 0) return false;
+  // The pass mints one out-temp per scalar write; if even the worst case
+  // cannot fit the int16 temp encoding, skip (giant spliced traces).
+  if (static_cast<std::size_t>(program.num_temps) + n >
+      static_cast<std::size_t>(INT16_MAX))
+    return false;
+  std::vector<char> is_target;
+  if (!mo_collect_targets(program, is_target)) return false;
+
+  const std::size_t num_res = model.resources.size();
+  const auto scalar = [&](std::int16_t res) {
+    return res >= 0 && static_cast<std::size_t>(res) < num_res &&
+           !model.resources[static_cast<std::size_t>(res)].is_array();
+  };
+
+  // cache[res] = temp currently holding the resource's canonical value,
+  // -1 when unknown. Reset at joins; invalidated when the temp is
+  // redefined by anything else.
+  std::vector<std::int32_t> cache(num_res, -1);
+  const auto reset_cache = [&] { cache.assign(num_res, -1); };
+
+  bool changed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_target[i]) reset_cache();
+    MicroOp& op = program.ops[i];
+    std::int32_t just_cached_res = -1;
+    switch (op.kind) {
+      case MKind::kReadRes:
+      case MKind::kReadScal:
+        if (scalar(op.res)) {
+          const std::int32_t res = op.res;
+          const std::int32_t cached = cache[static_cast<std::size_t>(res)];
+          if (cached >= 0) {
+            // A self-move (cached == a) is dead and the peephole drops it;
+            // either way the resource's entry stays valid.
+            op = mo_mov(op.a, cached);
+            just_cached_res = res;
+          } else {
+            if (op.kind == MKind::kReadRes) op.kind = MKind::kReadScal;
+            cache[static_cast<std::size_t>(res)] = op.a;
+            just_cached_res = res;
+          }
+          changed = true;
+        }
+        break;
+      case MKind::kWriteRes:
+        if (scalar(op.res)) {
+          const std::int32_t out = program.num_temps++;
+          op = mo_write_out(op.res, out, op.a);
+          cache[static_cast<std::size_t>(op.res)] = out;
+          just_cached_res = op.res;
+          changed = true;
+        }
+        break;
+      case MKind::kWriteScal: {
+        const std::int32_t out = program.num_temps++;
+        op = mo_write_out(op.res, out, op.b);
+        cache[static_cast<std::size_t>(op.res)] = out;
+        just_cached_res = op.res;
+        changed = true;
+        break;
+      }
+      case MKind::kWriteOut:
+        cache[static_cast<std::size_t>(op.res)] = op.a;
+        just_cached_res = op.res;
+        break;
+      case MKind::kWriteBin:
+      case MKind::kWriteScalImm:
+      case MKind::kMovScal:
+      case MKind::kMovScalElem:
+        // The stored value exists in no temp; forget the resource.
+        cache[static_cast<std::size_t>(op.res)] = -1;
+        break;
+      default:
+        break;
+    }
+    // Any redefinition of a temp invalidates cache entries pointing at it
+    // (other than the entry this very op just established).
+    const std::int32_t d = mo_def_of(op);
+    if (d >= 0) {
+      for (std::size_t r = 0; r < num_res; ++r)
+        if (cache[r] == d && static_cast<std::int32_t>(r) != just_cached_res)
+          cache[r] = -1;
+    }
+  }
+  return changed;
+}
+
+}  // namespace lisasim

@@ -1,0 +1,34 @@
+// Hot-resource register caching: promote scalar resource accesses inside a
+// micro-program (one packet span, or one spliced trace superblock) onto
+// the temp bank.
+//
+//   * every scalar read/write drops its bounds/hook checks (kReadScal /
+//     kWriteOut — the model proves the resource is scalar, and
+//     ProcessorState::map_hook refuses hooks on scalars),
+//   * a read of a scalar whose value is already in a temp — loaded by an
+//     earlier read or produced by an earlier write in the same span —
+//     becomes a register move, which the follow-up peephole sweep then
+//     forwards into the use sites and deletes. Store-to-load forwarding
+//     goes through kWriteOut's canonicalized result, never the raw source
+//     temp, so narrow-typed resources read back exactly what state holds.
+//
+// The pass is write-through: every write still reaches ProcessorState
+// immediately, so nothing needs flushing at side exits, guard stamps,
+// watchdog fires, checkpoints, or SimError escapes — state is consistent
+// at every op boundary by construction, and observer/guard semantics are
+// untouched. The cache lattice resets at branch targets (joins) exactly
+// like the peephole's const lattice.
+#pragma once
+
+#include "behavior/microops.hpp"
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// Promote scalar resource accesses of `program` in place; `model` is
+/// consulted only for Resource::is_array(). Returns true when anything
+/// changed (callers re-run the peephole to clean up the planted movs).
+/// Programs with backward branches are left untouched.
+bool regcache_microops(MicroProgram& program, const Model& model);
+
+}  // namespace lisasim

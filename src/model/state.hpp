@@ -66,12 +66,38 @@ class ProcessorState {
     }
   }
 
+  /// Read a scalar resource without the bounds/hook checks. The compiled
+  /// micro-op optimizer (behavior/regcache.cpp) emits kReadScal only for
+  /// non-array resources, which map_hook() refuses to hook — so a scalar
+  /// read is always the plain canonicalized load.
+  std::int64_t read_scalar(ResourceId id) const {
+    return storage_[cells_[static_cast<std::size_t>(id)].offset];
+  }
+
+  /// Write a scalar resource (canonicalizing) without the bounds/hook
+  /// checks; returns the stored canonical value so fused writes can forward
+  /// it to later reads. Same soundness argument as read_scalar.
+  std::int64_t write_scalar(ResourceId id, std::int64_t value) {
+    const Cell& cell = cells_[static_cast<std::size_t>(id)];
+    const std::int64_t canonical = cell.type.canonicalize(value);
+    storage_[cell.offset] = canonical;
+    return canonical;
+  }
+
   /// Map `hook` over elements [begin, end) of resource `id`. The hook is
   /// not owned and must outlive the state (or be unmapped first). Multiple
   /// regions may be hooked; overlapping regions resolve to the first
   /// registered. Registrations survive reset() — only values are cleared.
+  /// Only array resources (register files, memories) can be hooked: the
+  /// optimizer compiles scalar accesses to hook-free fast paths, so a
+  /// scalar hook would fire at some simulation levels and not others.
   void map_hook(ResourceId id, std::uint64_t begin, std::uint64_t end,
                 MemoryHook* hook) {
+    if (!model_->resources[static_cast<std::size_t>(id)].is_array())
+      throw SimError("map_hook: resource '" +
+                     model_->resources[static_cast<std::size_t>(id)].name +
+                     "' is scalar; hooks are only supported on array "
+                     "resources (register files, memories)");
     hooks_.push_back({id, begin, end, hook});
     hooked_[static_cast<std::size_t>(id)] = 1;
   }
@@ -101,11 +127,13 @@ class ProcessorState {
   /// different model).
   void restore_storage(const std::vector<std::int64_t>& snapshot);
 
+  // PC is a scalar resource (never hookable), so the fetch loop takes the
+  // scalar fast path every cycle.
   std::uint64_t pc() const {
-    return static_cast<std::uint64_t>(read(model_->pc));
+    return static_cast<std::uint64_t>(read_scalar(model_->pc));
   }
   void set_pc(std::uint64_t value) {
-    write(model_->pc, 0, static_cast<std::int64_t>(value));
+    write_scalar(model_->pc, static_cast<std::int64_t>(value));
   }
 
   /// Zero every resource.

@@ -48,7 +48,7 @@ void CachedInterpBackend::lower_entry(CacheEntry& entry) {
     entry.micro.resize(schedule.stage_programs.size());
     for (std::size_t s = 0; s < schedule.stage_programs.size(); ++s) {
       MicroProgram micro = lower_to_microops(schedule.stage_programs[s]);
-      optimize_microops(micro);
+      optimize_microops(micro, model_);
       lowered_microops_ += micro.ops.size();
       entry.micro[s] = arena_.append(micro);
       if (!entry.micro[s].empty())
@@ -124,12 +124,13 @@ void CachedInterpBackend::issue(std::uint64_t pc, Work& out,
   words = entry->words;
 }
 
-void CachedInterpBackend::run_micro(const MicroOp* ops, std::uint32_t len) {
+void CachedInterpBackend::run_micro(const MicroOp* ops, std::uint32_t len,
+                                    const std::int64_t* pool) {
   if (count_microops_) {
-    microops_executed_ +=
-        exec_microops_counted(ops, len, *state_, control_, temps_.data());
+    microops_executed_ += exec_microops_counted(ops, len, pool, *state_,
+                                                control_, temps_.data());
   } else {
-    exec_microops(ops, len, *state_, control_, temps_.data());
+    exec_microops(ops, len, pool, *state_, control_, temps_.data());
   }
 }
 
@@ -146,7 +147,8 @@ void CachedInterpBackend::execute(Work& work, int stage) {
     }
     if ((entry.work_mask >> stage & 1u) == 0) return;
     const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
-    run_micro(work.patch->arena.data() + span.offset, span.len);
+    run_micro(work.patch->arena.data() + span.offset, span.len,
+              work.patch->arena.pool_data());
     return;
   }
   const CacheEntry& entry = *work.entry;
@@ -156,7 +158,7 @@ void CachedInterpBackend::execute(Work& work, int stage) {
   }
   if ((entry.work_mask >> stage & 1u) == 0) return;
   const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
-  run_micro(arena_.data() + span.offset, span.len);
+  run_micro(arena_.data() + span.offset, span.len, arena_.pool_data());
 }
 
 void CachedInterpBackend::save_work(const Work& work,

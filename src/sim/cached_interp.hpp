@@ -136,7 +136,8 @@ class CachedInterpBackend {
 
   void guarded_issue(std::uint64_t pc, Work& out, unsigned& words);
   const std::shared_ptr<const PatchedPacket>& patch_for(std::uint64_t pc);
-  void run_micro(const MicroOp* ops, std::uint32_t len);
+  void run_micro(const MicroOp* ops, std::uint32_t len,
+                 const std::int64_t* pool);
 
   const Model* model_;
   ProcessorState* state_;

@@ -38,6 +38,7 @@ void CompiledBackend::guarded_issue(std::uint64_t pc, Work& out,
     if (entry && entry->valid) {
       out.error_id = -1;
       out.entry = entry;
+      out.mask = entry->work_mask;
       words = entry->words;
       return;
     }
@@ -53,6 +54,7 @@ void CompiledBackend::guarded_issue(std::uint64_t pc, Work& out,
                    words);
     out.entry = nullptr;
     out.error_id = -1;
+    out.mask = ~0u;  // the tree walk decides per stage what to run
     ++guard_stats_.fallbacks;
     return;
   }
@@ -64,6 +66,7 @@ void CompiledBackend::guarded_issue(std::uint64_t pc, Work& out,
     out.entry = &patch->entry;
     out.patch = patch;
     out.error_id = -1;
+    out.mask = patch->entry.work_mask;
     words = patch->entry.words;
     return;
   }
@@ -87,6 +90,7 @@ void CompiledBackend::restore_work(std::uint64_t pc,
     out.fallback = std::make_shared<TreeWalkWork>();
     treewalk_restore(*decoder_, *model_, *state_, pc, depth_, snapshot,
                      *out.fallback);
+    out.mask = ~0u;
     return;
   }
   // Rebuild a compiled payload from the restored memory. The execution
@@ -105,6 +109,7 @@ void CompiledBackend::restore_work(std::uint64_t pc,
         out.entry = &patch->entry;
         out.patch = patch;
         out.error_id = -1;
+        out.mask = patch->entry.work_mask;
       } else {
         issue_error(patch->entry.error, out, words);
       }
@@ -115,6 +120,7 @@ void CompiledBackend::restore_work(std::uint64_t pc,
   if (entry && entry->valid) {
     out.entry = entry;
     out.error_id = -1;
+    out.mask = entry->work_mask;
     return;
   }
   issue_error(entry ? entry->error : out_of_table_error_, out, words);

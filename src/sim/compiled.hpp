@@ -54,6 +54,11 @@ class CompiledBackend {
     std::shared_ptr<const PatchedPacket> patch;
     std::shared_ptr<TreeWalkWork> fallback;
     std::int32_t error_id = -1;
+    // Copy of the packet's stage mask (all-ones for fallbacks, the
+    // retirement stage alone for error packets): execute() tests it with
+    // one load from the Work it was handed, so the engine's sweep pays
+    // nothing for the many stages a packet does nothing in.
+    std::uint32_t mask = 0;
   };
 
   CompiledBackend(const Model& model, ProcessorState& state,
@@ -107,6 +112,7 @@ class CompiledBackend {
     if (entry && entry->valid) {
       out.error_id = -1;
       out.entry = entry;
+      out.mask = entry->work_mask;
       words = entry->words;
       return;
     }
@@ -114,6 +120,7 @@ class CompiledBackend {
   }
 
   void execute(Work& work, int stage) {
+    if ((work.mask >> stage & 1u) == 0) return;
     if (work.fallback) [[unlikely]] {
       treewalk_execute(eval_, *work.fallback, stage, depth_);
       return;
@@ -124,17 +131,18 @@ class CompiledBackend {
       return;
     }
     const SimTableEntry& entry = *work.entry;
-    if ((entry.work_mask >> stage & 1u) == 0) return;
     if (level_ == SimLevel::kCompiledStatic) {
       const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
       const MicroArena& arena =
           work.patch ? work.patch->arena : table_->arena();
       const MicroOp* ops = arena.data() + span.offset;
       if (count_microops_) {
-        microops_executed_ += exec_microops_counted(ops, span.len, *state_,
-                                                    control_, temps_.data());
+        microops_executed_ += exec_microops_counted(
+            ops, span.len, arena.pool_data(), *state_, control_,
+            temps_.data());
       } else {
-        exec_microops(ops, span.len, *state_, control_, temps_.data());
+        exec_microops(ops, span.len, arena.pool_data(), *state_, control_,
+                      temps_.data());
       }
     } else {
       const SpecProgram& program =
@@ -165,6 +173,8 @@ class CompiledBackend {
     if (errors_.empty() || errors_.back() != message)
       errors_.push_back(message);
     out.error_id = static_cast<std::int32_t>(errors_.size()) - 1;
+    // Deferred errors act (throw) at retirement only.
+    out.mask = 1u << (depth_ - 1);
     words = 1;
   }
 

@@ -54,6 +54,13 @@ class PipelineEngine {
   PipelineEngine(const Model& model, ProcessorState& state, Backend& backend)
       : depth_(model.pipeline.depth()), state_(&state), backend_(&backend) {
     slots_.resize(static_cast<std::size_t>(depth_));
+    // Payloads live in a fixed pool and slots hold stable pointers into
+    // it: advancing a packet swaps two pointers instead of move-assigning
+    // a Work (which can carry shared_ptr pins) once per stage per cycle.
+    work_pool_.resize(static_cast<std::size_t>(depth_));
+    for (int i = 0; i < depth_; ++i)
+      slots_[static_cast<std::size_t>(i)].work =
+          &work_pool_[static_cast<std::size_t>(i)];
   }
 
   /// Attach a trace/profile observer (nullptr detaches). Observer events
@@ -101,18 +108,32 @@ class PipelineEngine {
   /// consistent, so the caller may raise the limit and run() again, or
   /// restore an earlier checkpoint.
   RunResult run(const RunLimits& limits) {
+    // The observer hooks pepper the innermost sweep; compiling an
+    // observer-free instantiation keeps the common (unobserved) cycle
+    // loop free of their branches.
+    return observer_ != nullptr ? run_impl<true>(limits)
+                                : run_impl<false>(limits);
+  }
+
+ private:
+  template <bool kObserved>
+  RunResult run_impl(const RunLimits& limits) {
     RunResult result;
     PipelineControl& control = backend_->control();
     bool halted = false;
     std::uint64_t stuck = 0;  // consecutive cycles without a retirement
 
+    // Event-driven clearing: the sweep clears control only after an
+    // execute actually raised something, so control.any() below is exact.
+    control.clear();
     while (result.cycles < limits.max_cycles) {
       // ---- hot-trace dispatch (cycle boundaries only) --------------------
       // Observers need per-cycle events, so the trace tier stands down
       // while one is attached (execution stays identical either way).
-      if (traces_ != nullptr && observer_ == nullptr &&
-          try_trace(result, limits, stuck)) {
-        continue;
+      if constexpr (!kObserved) {
+        if (traces_ != nullptr && try_trace(result, limits, stuck)) {
+          continue;
+        }
       }
       const std::uint64_t retired_before = result.packets_retired;
       // ---- fused execute + advance sweep, oldest first -------------------
@@ -125,18 +146,21 @@ class PipelineEngine {
         Slot& slot = slots_[static_cast<std::size_t>(stage)];
         if (!slot.valid) continue;
         if (!slot.executed) {
-          control.clear();
-          backend_->execute(slot.work, stage);
+          backend_->execute(*slot.work, stage);
           slot.executed = true;
-          if (observer_)
+          if constexpr (kObserved)
             observer_->on_execute(result.cycles + 1, stage, slot.pc);
-          if (control.stall_cycles > 0) slot.stall += control.stall_cycles;
-          if (control.flush) {
-            for (int k = 0; k < stage; ++k)
-              slots_[static_cast<std::size_t>(k)].valid = false;
-            if (observer_) observer_->on_flush(result.cycles + 1, stage);
+          if (control.any()) [[unlikely]] {
+            if (control.stall_cycles > 0) slot.stall += control.stall_cycles;
+            if (control.flush) {
+              for (int k = 0; k < stage; ++k)
+                slots_[static_cast<std::size_t>(k)].valid = false;
+              if constexpr (kObserved)
+                observer_->on_flush(result.cycles + 1, stage);
+            }
+            if (control.halt) halted = true;
+            control.clear();
           }
-          if (control.halt) halted = true;
         }
         if (halted) continue;  // no advancement in the halting cycle
         if (slot.stall > 0) {
@@ -145,14 +169,17 @@ class PipelineEngine {
         }
         if (stage == depth_ - 1) {
           ++result.packets_retired;
-          result.slots_retired += backend_->slot_count(slot.work);
-          if (observer_) observer_->on_retire(result.cycles + 1, slot.pc);
+          result.slots_retired += backend_->slot_count(*slot.work);
+          if constexpr (kObserved)
+            observer_->on_retire(result.cycles + 1, slot.pc);
           slot.valid = false;
           continue;
         }
         Slot& next = slots_[static_cast<std::size_t>(stage + 1)];
         if (!next.valid) {
-          next.work = std::move(slot.work);
+          typename Backend::Work* const free_work = next.work;
+          next.work = slot.work;
+          slot.work = free_work;
           next.pc = slot.pc;
           next.valid = true;
           next.executed = false;
@@ -175,7 +202,7 @@ class PipelineEngine {
         interrupts_.erase(interrupts_.begin());
         for (auto& slot : slots_) slot.valid = false;
         state_->set_pc(irq.target);
-        if (observer_) observer_->on_flush(total_cycles_, depth_);
+        if constexpr (kObserved) observer_->on_flush(total_cycles_, depth_);
       }
 
       // ---- fetch ---------------------------------------------------------
@@ -205,6 +232,8 @@ class PipelineEngine {
     return result;
   }
 
+ public:
+
   /// Snapshot the engine + processor state at a cycle boundary (i.e. while
   /// run() is not executing). See sim/checkpoint.hpp for what is captured.
   EngineCheckpoint save_checkpoint() const {
@@ -222,7 +251,7 @@ class PipelineEngine {
       image.stall = slot.stall;
       image.valid = slot.valid;
       image.executed = slot.executed;
-      if (slot.valid) backend_->save_work(slot.work, image.work);
+      if (slot.valid) backend_->save_work(*slot.work, image.work);
     }
     return cp;
   }
@@ -253,9 +282,9 @@ class PipelineEngine {
       slot.valid = image.valid;
       slot.executed = image.executed;
       if (image.valid) {
-        backend_->restore_work(image.pc, image.work, slot.work);
+        backend_->restore_work(image.pc, image.work, *slot.work);
       } else {
-        slot.work = {};
+        *slot.work = {};
       }
     }
   }
@@ -272,7 +301,7 @@ class PipelineEngine {
 
  private:
   struct Slot {
-    typename Backend::Work work{};
+    typename Backend::Work* work = nullptr;  // into work_pool_, never null
     std::uint64_t pc = 0;
     bool valid = false;
     bool executed = false;
@@ -292,7 +321,7 @@ class PipelineEngine {
     if (head.valid) return;
     const std::uint64_t pc = state_->pc();
     unsigned words = 0;
-    backend_->issue(pc, head.work, words);
+    backend_->issue(pc, *head.work, words);
     head.valid = true;
     head.executed = false;
     head.stall = 0;
@@ -351,7 +380,7 @@ class PipelineEngine {
       slot.executed = image.executed;
       slot.stall = image.stall;
       unsigned words = 0;
-      backend_->issue(image.pc, slot.work, words);
+      backend_->issue(image.pc, *slot.work, words);
     }
     if (exit.needs_fetch) fetch_head(result);
     return true;
@@ -379,6 +408,7 @@ class PipelineEngine {
   SimObserver* observer_ = nullptr;
   TraceRuntime* traces_ = nullptr;
   std::vector<Slot> slots_;
+  std::vector<typename Backend::Work> work_pool_;  // slot payload storage
   std::vector<Interrupt> interrupts_;
   std::uint64_t total_cycles_ = 0;
   int level_ctx_ = -1;  // SimLevel for error context, -1 = unset

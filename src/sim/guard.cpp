@@ -35,7 +35,7 @@ std::shared_ptr<const PatchedPacket> compile_packet_from_state(
       entry.micro.resize(entry.schedule.stage_programs.size());
       for (std::size_t s = 0; s < entry.schedule.stage_programs.size(); ++s) {
         MicroProgram micro = lower_to_microops(entry.schedule.stage_programs[s]);
-        optimize_microops(micro);
+        optimize_microops(micro, &model);
         entry.micro[s] = patch->arena.append(micro);
       }
     }

@@ -42,7 +42,7 @@ void SimulationCompiler::compile_range(const std::vector<std::int64_t>& words,
              ++s) {
           MicroProgram micro =
               lower_to_microops(entry.schedule.stage_programs[s]);
-          optimize_microops(micro);
+          optimize_microops(micro, model_);
           entry.micro[s] = arena.append(micro);
         }
       }

@@ -77,6 +77,8 @@ class SimTable {
     std::string out = "base=" + std::to_string(base_) +
                       " rows=" + std::to_string(entries_.size()) +
                       " arena=" + std::to_string(arena_.size()) +
+                      " pool=" + std::to_string(arena_.pool_size()) +
+                      " opsize=" + std::to_string(sizeof(MicroOp)) +
                       " max_temps=" + std::to_string(arena_.max_temps()) +
                       "\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -101,7 +103,8 @@ class SimTable {
                " temps=" + std::to_string(span.num_temps) + " span=[" +
                std::to_string(span.offset) + "," +
                std::to_string(span.offset + span.len) + ")\n" +
-               microops_to_string(arena_.data() + span.offset, span.len);
+               microops_to_string(arena_.data() + span.offset, span.len,
+                                  arena_.pool_data());
       }
     }
     return out;

@@ -26,15 +26,16 @@ std::uint64_t trace_table_fingerprint(const SimTable& table) {
   for (std::size_t i = 0; i < arena.size(); ++i) {
     const MicroOp& op = ops[i];
     fnv_mix(h, static_cast<std::uint64_t>(op.kind));
-    fnv_mix(h, static_cast<std::uint64_t>(op.bop));
-    fnv_mix(h, static_cast<std::uint64_t>(op.uop));
-    fnv_mix(h, static_cast<std::uint64_t>(op.intr));
+    fnv_mix(h, static_cast<std::uint64_t>(op.sub));
     fnv_mix(h, static_cast<std::uint64_t>(op.a));
     fnv_mix(h, static_cast<std::uint64_t>(op.b));
     fnv_mix(h, static_cast<std::uint64_t>(op.c));
     fnv_mix(h, static_cast<std::uint64_t>(op.res));
     fnv_mix(h, static_cast<std::uint64_t>(op.imm));
   }
+  fnv_mix(h, arena.pool_size());
+  for (std::size_t i = 0; i < arena.pool_size(); ++i)
+    fnv_mix(h, static_cast<std::uint64_t>(arena.pool_data()[i]));
   for (std::uint64_t pc = table.base(); pc < table.base() + table.size();
        ++pc) {
     const SimTableEntry* row = table.find(pc);
@@ -88,24 +89,16 @@ std::shared_ptr<const TraceSet> TraceRuntime::snapshot() const {
 TraceRuntime::SpanScan TraceRuntime::scan_span(const MicroOp* ops,
                                                std::uint32_t len) const {
   SpanScan scan;
+  const std::int64_t* pool = table_->arena().pool_data();
   bool has_branch = false;
-  for (std::uint32_t i = 0; i < len; ++i) {
-    const MKind kind = ops[i].kind;
-    has_branch |= kind == MKind::kBr || kind == MKind::kBrZero;
-  }
+  for (std::uint32_t i = 0; i < len; ++i)
+    has_branch |= mo_is_branch(ops[i].kind);
   for (std::uint32_t i = 0; i < len && !scan.bad; ++i) {
     const MicroOp& op = ops[i];
     switch (op.kind) {
       case MKind::kFlush:
       case MKind::kHalt:
         scan.bad = true;
-        break;
-      case MKind::kWriteRes:
-        if (op.res == model_->fetch_memory) scan.bad = true;
-        if (op.res == model_->pc) scan.writes_pc = true;
-        break;
-      case MKind::kWriteElem:
-        if (op.res == model_->fetch_memory) scan.bad = true;
         break;
       case MKind::kStall: {
         // A stall is statically replayable only when its amount is a
@@ -118,14 +111,12 @@ TraceRuntime::SpanScan TraceRuntime::scan_span(const MicroOp* ops,
         bool found = false;
         for (std::uint32_t j = i; j-- > 0;) {
           const MicroOp& def = ops[j];
-          const bool writes_temp =
-              def.kind == MKind::kConst || def.kind == MKind::kMov ||
-              def.kind == MKind::kReadRes || def.kind == MKind::kReadElem ||
-              def.kind == MKind::kBin || def.kind == MKind::kUn ||
-              def.kind == MKind::kIntr;
-          if (!writes_temp || def.a != op.a) continue;
+          if (mo_def_of(def) != op.a) continue;
           if (def.kind == MKind::kConst) {
             scan.stall += def.imm;
+            found = true;
+          } else if (def.kind == MKind::kConstPool) {
+            scan.stall += pool[def.imm];
             found = true;
           }
           break;
@@ -134,6 +125,10 @@ TraceRuntime::SpanScan TraceRuntime::scan_span(const MicroOp* ops,
         break;
       }
       default:
+        if (mo_writes_res(op.kind)) {
+          if (op.res == model_->fetch_memory) scan.bad = true;
+          if (op.res == model_->pc) scan.writes_pc = true;
+        }
         break;
     }
   }
@@ -153,46 +148,26 @@ bool TraceRuntime::row_traceable(const SimTableEntry& row) const {
 }
 
 void TraceRuntime::emit_span(const MicroOp* ops, std::uint32_t len,
-                             std::vector<MicroOp>& out, int& temp_base,
+                             MicroProgram& out, int& temp_base,
                              int span_temps) const {
-  const auto base = static_cast<std::int64_t>(out.size());
+  const auto base = static_cast<std::int32_t>(out.ops.size());
+  const std::int64_t* pool = table_->arena().pool_data();
   for (std::uint32_t i = 0; i < len; ++i) {
     MicroOp op = ops[i];
-    switch (op.kind) {
-      case MKind::kStall:
-        // Statically applied to the virtual pipeline; spans holding one
-        // are branch-free, so dropping it cannot skew branch targets.
-        continue;
-      case MKind::kConst:
-      case MKind::kReadRes:
-        op.a += temp_base;
-        break;
-      case MKind::kMov:
-      case MKind::kReadElem:
-      case MKind::kWriteElem:
-      case MKind::kUn:
-        op.a += temp_base;
-        op.b += temp_base;
-        break;
-      case MKind::kBin:
-      case MKind::kIntr:
-        op.a += temp_base;
-        op.b += temp_base;
-        op.c += temp_base;
-        break;
-      case MKind::kWriteRes:
-      case MKind::kBrZero:
-        op.a += temp_base;
-        if (op.kind == MKind::kBrZero) op.imm += base;
-        break;
-      case MKind::kBr:
-        op.imm += base;
-        break;
-      case MKind::kFlush:
-      case MKind::kHalt:
-        break;  // unreachable: scan_span rejected the row
+    if (op.kind == MKind::kStall) {
+      // Statically applied to the virtual pipeline; spans holding one
+      // are branch-free, so dropping it cannot skew branch targets.
+      continue;
     }
-    out.push_back(op);
+    // Rebase every temp operand into the trace's flat temp space; branch
+    // targets move with the span, pool loads re-intern their value into
+    // the fused program's pool (the table's pool is not carried along).
+    mo_for_each_temp_field(op, [&](std::int16_t& field) {
+      field = static_cast<std::int16_t>(field + temp_base);
+    });
+    if (mo_is_branch(op.kind)) op.imm += base;
+    if (op.kind == MKind::kConstPool) op.imm = out.add_pool(pool[op.imm]);
+    out.ops.push_back(op);
   }
   temp_base += span_temps;
 }
@@ -247,6 +222,16 @@ std::int32_t TraceRuntime::build(const std::uint64_t* key) {
   bool ended = false;
 
   while (!ended && trace.cycles < cfg_.max_trace_cycles) {
+    // Temp operands are 16-bit: stop growing the trace before the spans
+    // this cycle would emit (plus one fetch-PC temp) can overflow the flat
+    // temp space. Ending here is a clean boundary, same as the cycle cap.
+    std::int64_t cycle_temps = 1;
+    for (int s = 0; s < depth_; ++s) {
+      const VSlot& slot = slots[static_cast<std::size_t>(s)];
+      if (slot.valid && !slot.executed && (slot.row->work_mask >> s & 1u))
+        cycle_temps += slot.row->micro[static_cast<std::size_t>(s)].num_temps;
+    }
+    if (temp_base + cycle_temps > INT16_MAX) break;
     std::vector<VSlot> next = slots;
     std::uint64_t cycle_packets = 0, cycle_slots = 0;
     bool wrote_pc = false;
@@ -259,7 +244,7 @@ std::int32_t TraceRuntime::build(const std::uint64_t* key) {
           const MicroSpan& span =
               slot.row->micro[static_cast<std::size_t>(stage)];
           const SpanScan scan = scan_span(arena + span.offset, span.len);
-          emit_span(arena + span.offset, span.len, fused.ops, temp_base,
+          emit_span(arena + span.offset, span.len, fused, temp_base,
                     span.num_temps);
           if (scan.stall > 0) slot.stall += scan.stall;
           wrote_pc |= scan.writes_pc;
@@ -302,16 +287,12 @@ std::int32_t TraceRuntime::build(const std::uint64_t* key) {
         // Keep the architectural PC exact inside the trace: mirror the
         // engine's post-fetch set_pc so mid-trace PC reads and the value
         // at any side exit match the cycle-by-cycle run.
-        MicroOp c;
-        c.kind = MKind::kConst;
-        c.a = temp_base;
-        c.imm = static_cast<std::int64_t>(vpc);
-        fused.ops.push_back(c);
-        MicroOp w;
-        w.kind = MKind::kWriteRes;
-        w.res = model_->pc;
-        w.a = temp_base;
-        fused.ops.push_back(w);
+        const auto pc_value = static_cast<std::int64_t>(vpc);
+        fused.ops.push_back(
+            mo_imm_fits(pc_value)
+                ? mo_const(temp_base, pc_value)
+                : mo_pool(temp_base, fused.add_pool(pc_value)));
+        fused.ops.push_back(mo_write_res(model_->pc, temp_base));
         ++temp_base;
         ++trace.fetches;
       }
@@ -362,9 +343,10 @@ std::int32_t TraceRuntime::build(const std::uint64_t* key) {
 
   fused.num_temps = temp_base;
   validate_microops(fused);
-  // The headline optimization: the peephole pass now sees one straight-
-  // line program spanning every former packet boundary of the trace.
-  optimize_microops(fused);
+  // The headline optimization: the optimizer (const-fold, fusion,
+  // register caching) now sees one straight-line program spanning every
+  // former packet boundary of the trace.
+  optimize_microops(fused, model_);
   trace.body = set_.arena.append(fused);
   trace.stamp = 0;
   if (guard_) {
@@ -422,10 +404,12 @@ bool TraceRuntime::try_run(const std::uint64_t* slot_pcs, int depth,
   for (;;) {
     const MicroOp* ops = set_.arena.data() + trace->body.offset;
     if (count_microops_) {
-      microops_executed_ += exec_microops_counted(
-          ops, trace->body.len, *state_, control_, temps_.data());
+      microops_executed_ +=
+          exec_microops_counted(ops, trace->body.len, set_.arena.pool_data(),
+                                *state_, control_, temps_.data());
     } else {
-      exec_microops(ops, trace->body.len, *state_, control_, temps_.data());
+      exec_microops(ops, trace->body.len, set_.arena.pool_data(), *state_,
+                    control_, temps_.data());
     }
     ++stats_.entries;
     stats_.trace_cycles += trace->cycles;
@@ -462,12 +446,15 @@ bool TraceRuntime::try_run(const std::uint64_t* slot_pcs, int depth,
                            : kNoPacket;
     }
     std::int32_t next = kRejected;
-    auto& way = trace->chain[chain_pc & 1];
-    if (way.first == chain_pc) {
-      next = way.second;
+    const std::size_t way_idx = chain_pc & 1;
+    if (trace->chain[way_idx].first == chain_pc) {
+      next = trace->chain[way_idx].second;
     } else {
+      // find_or_build may grow set_.traces and reallocate it out from
+      // under `trace`; re-resolve through the index before touching it.
       next = find_or_build(chain_key);
-      way = {chain_pc, next};
+      trace = &set_.traces[static_cast<std::size_t>(idx)];
+      trace->chain[way_idx] = {chain_pc, next};
     }
     if (next == kRejected) break;
     const Trace* successor = &set_.traces[static_cast<std::size_t>(next)];
@@ -493,6 +480,7 @@ bool TraceRuntime::try_run(const std::uint64_t* slot_pcs, int depth,
     }
     ++stats_.chained;
     trace = successor;
+    idx = next;
   }
 
   ++stats_.side_exits;

@@ -243,9 +243,8 @@ class TraceRuntime {
 
   SpanScan scan_span(const MicroOp* ops, std::uint32_t len) const;
   bool row_traceable(const SimTableEntry& row) const;
-  void emit_span(const MicroOp* ops, std::uint32_t len,
-                 std::vector<MicroOp>& out, int& temp_base,
-                 int span_temps) const;
+  void emit_span(const MicroOp* ops, std::uint32_t len, MicroProgram& out,
+                 int& temp_base, int span_temps) const;
   std::int32_t find_or_build(const std::uint64_t* key);
   std::int32_t build(const std::uint64_t* key);
   bool fits_budget(const Trace& trace, const TraceBudget& budget) const;

@@ -1,0 +1,320 @@
+// Superinstruction-fusion tests: disassembly round-trips for every fused
+// micro-op kind, constant-pool edge cases, the soundness fences (no fusion
+// across a branch target, no folded division by a constant zero), and
+// end-to-end equivalence of hand-built programs before and after fusion.
+#include <gtest/gtest.h>
+
+#include "behavior/fuse.hpp"
+#include "behavior/microops.hpp"
+#include "behavior/peephole.hpp"
+#include "model/sema.hpp"
+
+namespace lisasim {
+namespace {
+
+constexpr const char* kModel = R"(
+  RESOURCE {
+    PROGRAM_COUNTER uint32 PC;
+    REGISTER int32 R[8];
+    MEMORY int32 m[32];
+    int64 s;
+    int64 u;
+    PIPELINE pipe = { EX; };
+  }
+  FETCH { WORD 16; MEMORY m; }
+  OPERATION instruction IN pipe.EX {
+    DECLARE { LABEL a, b; }
+    CODING { a=0bx[8] b=0bx[8] }
+    BEHAVIOR { s = a; }
+  }
+)";
+
+struct FusionHarness {
+  std::unique_ptr<Model> model;
+  ResourceId s, u, m, r;
+
+  FusionHarness() {
+    model = compile_model_source_or_throw(kModel, "fusion-test");
+    s = model->resource_by_name("s")->id;
+    u = model->resource_by_name("u")->id;
+    m = model->resource_by_name("m")->id;
+    r = model->resource_by_name("R")->id;
+  }
+
+  /// Execute `program` on a fresh state (s = 7, u = 9, m[3] = 40) and
+  /// return the nonzero-state dump.
+  std::string run(const MicroProgram& program) {
+    ProcessorState state(*model);
+    state.write_scalar(s, 7);
+    state.write_scalar(u, 9);
+    state.write(m, 3, 40);
+    PipelineControl control;
+    std::vector<std::int64_t> temps;
+    run_microops(program, state, control, temps);
+    return state.dump_nonzero();
+  }
+
+  /// Fuse a copy of `program`; expect identical behavior, then hand the
+  /// fused program back for structural checks.
+  MicroProgram fuse_and_check(const MicroProgram& program) {
+    MicroProgram fused = program;
+    fuse_microops(fused);
+    EXPECT_EQ(run(program), run(fused))
+        << "unfused:\n" << microops_to_string(program) << "fused:\n"
+        << microops_to_string(fused);
+    return fused;
+  }
+
+  static int count_kind(const MicroProgram& program, MKind kind) {
+    int n = 0;
+    for (const MicroOp& op : program.ops) n += op.kind == kind;
+    return n;
+  }
+};
+
+// -- disassembly round-trips ---------------------------------------------
+
+TEST(FusionToString, EveryFusedKindRendersDistinctly) {
+  // One op of every fused kind; the disassembly must render each with its
+  // dedicated syntax (no two kinds may collapse into the same text and no
+  // kind may fall through to an empty line).
+  const struct {
+    MicroOp op;
+    const char* expect;
+  } rows[] = {
+      {mo_pool(0, 1), "t0 = pool[1]"},
+      {mo_bin_imm(BinOp::kAdd, 1, 0, 5), "t1 = t0 + 5"},
+      {mo_bin_imm_r(BinOp::kSub, 1, 5, 0), "t1 = 5 - t0"},
+      {mo_write_bin(BinOp::kMul, 3, 0, 1), "scal res3 = t0 * t1"},
+      {mo_br_bin(BinOp::kEq, 0, 1, 9), "brzero (t0 == t1) -> 9"},
+      {mo_br_bin_imm(BinOp::kNe, 0, 4, 9), "brzero (t0 != 4) -> 9"},
+      {mo_read_elem_c(0, 2, 6), "t0 = res2[6]"},
+      {mo_write_elem_c(2, 6, 0), "res2[6] = t0"},
+      {mo_read_elem_off(0, 2, 1, 4), "t0 = res2[t1 + 4]"},
+      {mo_write_elem_off(2, 1, 4, 0), "res2[t1 + 4] = t0"},
+      {mo_write_scal_imm(3, 42), "scal res3 = 42"},
+      {mo_mov_scal(3, 4), "scal res3 = scal res4"},
+      {mo_br_scal_zero(3, 9), "brzero scal res3 -> 9"},
+      {mo_intr_imm(Intrinsic::kSext, 1, 0, 8), "t1 = sext(t0, 8)"},
+      {mo_mov_scal_elem(3, 2, 6), "scal res3 = res2[6]"},
+      {mo_mov_elem_scal(2, 6, 3), "res2[6] = scal res3"},
+      {mo_read_elem_scal(0, 2, 3), "t0 = res2[scal res3]"},
+  };
+  for (const auto& row : rows) {
+    const std::string text = microops_to_string(&row.op, 1, nullptr);
+    EXPECT_NE(text.find(row.expect), std::string::npos)
+        << "expected \"" << row.expect << "\" in \"" << text << "\"";
+  }
+}
+
+// -- constant-pool edge cases --------------------------------------------
+
+TEST(FusionPool, WideImmediateRoundTripsThroughPool) {
+  FusionHarness h;
+  // 0x1234'5678'9abc does not fit the 32-bit inline immediate; it must
+  // survive the pool round trip exactly.
+  const std::int64_t wide = 0x123456789abcLL;
+  MicroProgram p;
+  p.num_temps = 1;
+  p.ops = {mo_pool(0, p.add_pool(wide)), mo_write_scal(h.s, 0)};
+  validate_microops(p);
+  EXPECT_NE(h.run(p).find("s = " + std::to_string(wide)),
+            std::string::npos);
+  // Interning deduplicates: a second request returns the same slot.
+  EXPECT_EQ(p.add_pool(wide), 0);
+  EXPECT_EQ(p.pool.size(), 1u);
+}
+
+TEST(FusionPool, EmptyPoolIsValidAndOutOfRangeIndexIsNot) {
+  FusionHarness h;
+  MicroProgram no_pool;
+  no_pool.num_temps = 1;
+  no_pool.ops = {mo_const(0, 1), mo_write_scal(h.s, 0)};
+  validate_microops(no_pool);  // empty pool, no kConstPool: fine
+  EXPECT_NE(h.run(no_pool).find("s = 1"), std::string::npos);
+
+  MicroProgram bad = no_pool;
+  bad.ops[0] = mo_pool(0, 0);  // pool index 0 against an empty pool
+  EXPECT_THROW(validate_microops(bad), SimError);
+}
+
+// -- soundness fences ----------------------------------------------------
+
+TEST(FusionFences, NeverFusesAcrossABranchTarget) {
+  FusionHarness h;
+  // A branch targets the consumer: a path entering there would skip the
+  // producer, so const->bin must NOT fuse. The same pair with the target
+  // moved past the consumer is the positive control.
+  MicroProgram blocked;
+  blocked.num_temps = 3;
+  blocked.ops = {
+      mo_const(0, 5),
+      mo_brzero(2, 2),  // target == consumer index
+      mo_bin(BinOp::kAdd, 1, 0, 0),
+      mo_write_scal(h.s, 1),
+  };
+  const MicroProgram fused_blocked = h.fuse_and_check(blocked);
+  EXPECT_EQ(FusionHarness::count_kind(fused_blocked, MKind::kBinImm), 0)
+      << microops_to_string(fused_blocked);
+
+  MicroProgram clear = blocked;
+  clear.ops[1] = mo_brzero(2, 4);  // past the consumer: no target between
+  const MicroProgram fused_clear = h.fuse_and_check(clear);
+  EXPECT_GE(FusionHarness::count_kind(fused_clear, MKind::kBinImm), 1)
+      << microops_to_string(fused_clear);
+}
+
+TEST(FusionFences, DivisionByConstantZeroIsNeverFolded) {
+  FusionHarness h;
+  for (const BinOp bop : {BinOp::kDiv, BinOp::kRem}) {
+    MicroProgram p;
+    p.num_temps = 3;
+    p.ops = {
+        mo_const(0, 0),               // divisor: constant zero
+        mo_bin(bop, 1, 2, 0),         // t1 = t2 <op> 0 -- must still throw
+        mo_write_scal(h.s, 1),
+    };
+    MicroProgram fused = p;
+    fuse_microops(fused);
+    EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kBinImm), 0)
+        << microops_to_string(fused);
+    EXPECT_THROW(h.run(fused), SimError);
+
+    // The full optimizer (const-fold + DCE + fusion) must preserve the
+    // throw as well.
+    MicroProgram opt = p;
+    EXPECT_NO_THROW(optimize_microops(opt));
+    EXPECT_THROW(h.run(opt), SimError);
+  }
+}
+
+TEST(FusionFences, ValidationRejectsFusedZeroDivisors) {
+  MicroProgram p;
+  p.num_temps = 2;
+  p.ops = {mo_bin_imm(BinOp::kDiv, 0, 1, 0)};
+  EXPECT_THROW(validate_microops(p), SimError);
+  p.ops = {mo_br_bin(BinOp::kDiv, 0, 1, 1)};
+  EXPECT_THROW(validate_microops(p), SimError);
+  // kIntrImm encodes the immediate as the second operand, so only
+  // arity-2 intrinsics are legal.
+  p.ops = {mo_intr_imm(Intrinsic::kAbs, 0, 1, 8)};
+  EXPECT_THROW(validate_microops(p), SimError);
+}
+
+// -- end-to-end fusion of the scalar/element patterns --------------------
+
+TEST(FusionPatterns, ConstToWriteScalBecomesWriteScalImm) {
+  FusionHarness h;
+  MicroProgram p;
+  p.num_temps = 1;
+  p.ops = {mo_const(0, 123), mo_write_scal(h.s, 0)};
+  const MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kWriteScalImm), 1);
+  EXPECT_EQ(fused.ops.size(), 1u);  // the producer died with its only use
+}
+
+TEST(FusionPatterns, ScalarToScalarBecomesMovScal) {
+  FusionHarness h;
+  MicroProgram p;
+  p.num_temps = 1;
+  p.ops = {mo_read_scal(0, h.s), mo_write_scal(h.u, 0)};
+  const MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kMovScal), 1);
+}
+
+TEST(FusionPatterns, MovScalBlockedByInterveningWrite) {
+  FusionHarness h;
+  // s is rewritten between the pair; kMovScal would re-read the new
+  // value, so the fuser must keep the temp. u must end up 7 (the value
+  // of s at the producer), not 55.
+  MicroProgram p;
+  p.num_temps = 1;
+  p.ops = {
+      mo_read_scal(0, h.s),
+      mo_write_scal_imm(h.s, 55),
+      mo_write_scal(h.u, 0),
+  };
+  const MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kMovScal), 0)
+      << microops_to_string(fused);
+  EXPECT_NE(h.run(fused).find("u = 7"), std::string::npos);
+}
+
+TEST(FusionPatterns, ScalarBranchBecomesBrScalZero) {
+  FusionHarness h;
+  MicroProgram p;
+  p.num_temps = 1;
+  p.ops = {
+      mo_read_scal(0, h.s),
+      mo_brzero(0, 3),
+      mo_write_scal_imm(h.u, 1),
+  };
+  const MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kBrScalZero), 1)
+      << microops_to_string(fused);
+}
+
+TEST(FusionPatterns, ConstIntrinsicOperandBecomesIntrImm) {
+  FusionHarness h;
+  MicroProgram p;
+  p.num_temps = 3;
+  p.ops = {
+      mo_const(0, 200),
+      mo_const(1, 8),
+      mo_intr(Intrinsic::kSext, 2, 0, 1),  // sext(200, 8) = -56
+      mo_write_scal(h.s, 2),
+  };
+  MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kIntrImm), 1)
+      << microops_to_string(fused);
+  EXPECT_NE(h.run(fused).find("s = -56"), std::string::npos);
+}
+
+TEST(FusionPatterns, ElementMovesAndScalarIndexedReads) {
+  FusionHarness h;
+  // m[3] holds 40. scal = elem, elem = scal, and t = arr[scal] forms.
+  MicroProgram p;
+  p.num_temps = 2;
+  p.ops = {
+      mo_read_elem_c(0, h.m, 3),
+      mo_write_scal(h.u, 0),      // -> kMovScalElem (adjacent)
+      mo_read_scal(1, h.u),
+      mo_write_elem_c(h.m, 5, 1),  // -> kMovElemScal
+  };
+  const MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kMovScalElem), 1)
+      << microops_to_string(fused);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kMovElemScal), 1)
+      << microops_to_string(fused);
+
+  MicroProgram q;
+  q.num_temps = 2;
+  q.ops = {
+      mo_read_scal(0, h.s),      // s = 7
+      mo_read_elem(1, h.m, 0),   // t1 = m[7] -> kReadElemScal
+      mo_write_scal(h.u, 1),
+  };
+  const MicroProgram fused_q = h.fuse_and_check(q);
+  EXPECT_EQ(FusionHarness::count_kind(fused_q, MKind::kReadElemScal), 1)
+      << microops_to_string(fused_q);
+}
+
+TEST(FusionPatterns, MovScalElemRequiresAdjacency)
+{
+  FusionHarness h;
+  // A live op between the element read (which can throw) and the scalar
+  // write moves the throw point if fused -- the fuser must refuse.
+  MicroProgram p;
+  p.num_temps = 2;
+  p.ops = {
+      mo_read_elem_c(0, h.m, 3),
+      mo_write_scal_imm(h.s, 1),  // live op between the pair
+      mo_write_scal(h.u, 0),
+  };
+  const MicroProgram fused = h.fuse_and_check(p);
+  EXPECT_EQ(FusionHarness::count_kind(fused, MKind::kMovScalElem), 0)
+      << microops_to_string(fused);
+}
+
+}  // namespace
+}  // namespace lisasim

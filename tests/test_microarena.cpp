@@ -125,10 +125,10 @@ TEST(MicroArena, EmptySpansAreValidNoOps) {
   PipelineControl control;
   std::vector<std::int64_t> temps(
       static_cast<std::size_t>(arena.max_temps()), 0);
-  exec_microops(arena.data() + empty.offset, empty.len, state, control,
-                temps.data());  // no-op, no crash
-  exec_microops(arena.data() + real.offset, real.len, state, control,
-                temps.data());
+  exec_microops(arena.data() + empty.offset, empty.len, arena.pool_data(),
+                state, control, temps.data());  // no-op, no crash
+  exec_microops(arena.data() + real.offset, real.len, arena.pool_data(),
+                state, control, temps.data());
   EXPECT_EQ(state.dump_nonzero(), "s = 1\n");
 }
 
@@ -154,8 +154,8 @@ TEST(MicroArena, TempScratchReusedAcrossPackets) {
   std::vector<std::int64_t> shared_temps(
       static_cast<std::size_t>(arena.max_temps()), -1);  // poisoned scratch
   for (const MicroSpan& span : spans)
-    exec_microops(arena.data() + span.offset, span.len, shared_state,
-                  control, shared_temps.data());
+    exec_microops(arena.data() + span.offset, span.len, arena.pool_data(),
+                  shared_state, control, shared_temps.data());
 
   ProcessorState fresh_state(*h.model);
   for (const auto& p : programs) {
@@ -168,11 +168,12 @@ TEST(MicroArena, TempScratchReusedAcrossPackets) {
 
 // ---- compile-time validation ----------------------------------------------
 
-MicroProgram branch_program(MKind kind, std::int64_t target) {
+MicroProgram branch_program(MKind kind, std::int32_t target) {
   MicroProgram mp;
   mp.num_temps = 1;
-  mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = 0});
-  mp.ops.push_back({.kind = kind, .a = 0, .imm = target});
+  mp.ops.push_back(mo_const(0, 0));
+  mp.ops.push_back(kind == MKind::kBr ? mo_br(target)
+                                      : mo_brzero(0, target));
   return mp;
 }
 
@@ -191,9 +192,9 @@ TEST(MicroValidate, BranchTargetsOutsideProgramThrowAtCompileTime) {
 TEST(MicroValidate, TempsOutsideScratchThrow) {
   MicroProgram mp;
   mp.num_temps = 1;
-  mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});
+  mp.ops.push_back(mo_const(1, 0));
   EXPECT_THROW(validate_microops(mp), SimError);
-  mp.ops[0] = {.kind = MKind::kMov, .a = 0, .b = -2};
+  mp.ops[0] = mo_mov(0, -2);
   EXPECT_THROW(validate_microops(mp), SimError);
 }
 
@@ -201,14 +202,12 @@ TEST(MicroValidate, ArityOnePaddingOperandIsNotChecked) {
   // abs() is arity 1: its c field is padding and may name any slot.
   MicroProgram mp;
   mp.num_temps = 2;
-  mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = -5});
-  mp.ops.push_back({.kind = MKind::kIntr,
-                    .intr = Intrinsic::kAbs,
-                    .a = 1,
-                    .b = 0,
-                    .c = 77});  // out of range, but unused at arity 1
+  mp.ops.push_back(mo_const(0, -5));
+  // c = 77 is out of range, but unused at arity 1.
+  mp.ops.push_back(mo_intr(Intrinsic::kAbs, 1, 0, 77));
   EXPECT_NO_THROW(validate_microops(mp));
-  mp.ops[1].intr = Intrinsic::kSext;  // arity 2: now c is a real operand
+  // Arity 2: now c is a real operand.
+  mp.ops[1].sub = static_cast<std::uint8_t>(Intrinsic::kSext);
   EXPECT_THROW(validate_microops(mp), SimError);
 }
 
@@ -253,10 +252,9 @@ TEST(MicroEdge, ConstantDivisionByZeroIsNotFoldedAway) {
   // (folding would silently drop the run-time SimError).
   MicroProgram mp;
   mp.num_temps = 3;
-  mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = 1});
-  mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});
-  mp.ops.push_back(
-      {.kind = MKind::kBin, .bop = BinOp::kDiv, .a = 2, .b = 0, .c = 1});
+  mp.ops.push_back(mo_const(0, 1));
+  mp.ops.push_back(mo_const(1, 0));
+  mp.ops.push_back(mo_bin(BinOp::kDiv, 2, 0, 1));
   optimize_microops(mp);
   ASSERT_FALSE(mp.empty());
   ArenaHarness h("s = 1;");

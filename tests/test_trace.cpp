@@ -412,16 +412,14 @@ TEST(TraceSplice, ConstLatticeResetsAtSideExitLabel) {
 
   MicroProgram mp;
   mp.num_temps = 4;
-  mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});   // idx 0
-  mp.ops.push_back(
-      {.kind = MKind::kReadElem, .a = 0, .b = 1, .res = regs->id});
-  mp.ops.push_back({.kind = MKind::kConst, .a = 3, .imm = 1});   // idx 1
-  mp.ops.push_back({.kind = MKind::kConst, .a = 2, .imm = 10});
-  mp.ops.push_back({.kind = MKind::kBrZero, .a = 0, .imm = 6});  // side exit
-  mp.ops.push_back({.kind = MKind::kConst, .a = 2, .imm = 20});
+  mp.ops.push_back(mo_const(1, 0));                      // idx 0
+  mp.ops.push_back(mo_read_elem(0, regs->id, 1));
+  mp.ops.push_back(mo_const(3, 1));                      // idx 1
+  mp.ops.push_back(mo_const(2, 10));
+  mp.ops.push_back(mo_brzero(0, 6));                     // side exit
+  mp.ops.push_back(mo_const(2, 20));
   // op 6 — the side-exit label (join): R[1] = t2.
-  mp.ops.push_back(
-      {.kind = MKind::kWriteElem, .a = 2, .b = 3, .res = regs->id});
+  mp.ops.push_back(mo_write_elem(regs->id, 3, 2));
   validate_microops(mp);
 
   for (const std::int64_t cond : {0, 1}) {
@@ -446,10 +444,10 @@ TEST(TraceSplice, DivisionByZeroIsNotFoldedAcrossAPacketSeam) {
     MicroProgram mp;
     mp.num_temps = 3;
     // ---- packet A's span: the constants ----
-    mp.ops.push_back({.kind = MKind::kConst, .a = 0, .imm = 1});
-    mp.ops.push_back({.kind = MKind::kConst, .a = 1, .imm = 0});
+    mp.ops.push_back(mo_const(0, 1));
+    mp.ops.push_back(mo_const(1, 0));
     // ---- packet B's span (temps renamed by the splicer) ----
-    mp.ops.push_back({.kind = MKind::kBin, .bop = op, .a = 2, .b = 0, .c = 1});
+    mp.ops.push_back(mo_bin(op, 2, 0, 1));
     optimize_microops(mp);
     ASSERT_FALSE(mp.empty());
 

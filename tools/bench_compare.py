@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sim_speed --json run against a checked-in baseline.
+
+Usage:
+    bench/bench_sim_speed --json > /tmp/bench_new.json
+    python3 tools/bench_compare.py /tmp/bench_new.json [BENCH_sim.json]
+
+Rows are matched on (app, level) and compared on cycles_per_second. A row
+that regresses by more than the threshold (default 15%, override with
+--threshold PCT) is flagged and the script exits nonzero, so the check can
+gate a refresh of the checked-in numbers. Guard-overhead rows marked
+noise_dominated in either file are reported but never flagged.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("levels", []):
+        rows[(row["app"], row["level"])] = row
+    return data, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="JSON from a new bench_sim_speed --json run")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sim.json"),
+        help="checked-in baseline (default: repo BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        help="regression threshold in percent (default 15)",
+    )
+    args = parser.parse_args()
+
+    fresh_data, fresh = load_rows(args.fresh)
+    base_data, base = load_rows(args.baseline)
+
+    if fresh_data.get("target") != base_data.get("target"):
+        print(
+            f"note: target differs ({fresh_data.get('target')} vs "
+            f"{base_data.get('target')}); comparing anyway",
+            file=sys.stderr,
+        )
+
+    regressions = []
+    print(f"{'app':8s} {'level':8s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
+    for key in sorted(base):
+        b = base[key]["cycles_per_second"]
+        if key not in fresh:
+            print(f"{key[0]:8s} {key[1]:8s} {b:12,d} {'missing':>12s}")
+            regressions.append((key, "row missing from fresh run"))
+            continue
+        f = fresh[key]["cycles_per_second"]
+        delta = (f - b) / b * 100.0
+        flag = ""
+        if delta < -args.threshold:
+            flag = f"  << regression > {args.threshold:.0f}%"
+            regressions.append((key, f"{delta:+.1f}%"))
+        print(f"{key[0]:8s} {key[1]:8s} {b:12,d} {f:12,d} {delta:+7.1f}%{flag}")
+    for key in sorted(set(fresh) - set(base)):
+        print(f"{key[0]:8s} {key[1]:8s} {'new row':>12s} "
+              f"{fresh[key]['cycles_per_second']:12,d}")
+
+    # Guard overhead: informational only. The measurement is a ratio of two
+    # timings of the same work, so run-to-run noise routinely exceeds the
+    # signal; rows self-identify via noise_dominated.
+    base_guard = {(r["app"], r["level"]): r for r in base_data.get("guard_overhead", [])}
+    fresh_guard = {(r["app"], r["level"]): r for r in fresh_data.get("guard_overhead", [])}
+    shared = sorted(set(base_guard) & set(fresh_guard))
+    if shared:
+        print("\nguard overhead (informational):")
+        for key in shared:
+            b, f = base_guard[key], fresh_guard[key]
+            noisy = b.get("noise_dominated") or f.get("noise_dominated")
+            print(
+                f"{key[0]:8s} {key[1]:8s} "
+                f"{b['overhead_percent']:+6.2f}% -> {f['overhead_percent']:+6.2f}%"
+                f"{'  (noise)' if noisy else ''}"
+            )
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0f}%:",
+              file=sys.stderr)
+        for key, what in regressions:
+            print(f"  {key[0]}/{key[1]}: {what}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no row regressed by more than {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
