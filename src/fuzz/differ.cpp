@@ -1,0 +1,433 @@
+#include "fuzz/differ.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "sim/cached_interp.hpp"
+#include "sim/checkpoint_io.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+
+namespace lisasim::fuzz {
+
+namespace {
+
+/// Level indices mirror tests/sim_test_util.hpp's run_all_levels order.
+constexpr int kLevelCount = 5;
+constexpr const char* kLevelNames[kLevelCount] = {"interp", "cached",
+                                                 "dynamic", "static",
+                                                 "trace"};
+
+/// Per-attempt sub-seed derivation (splitmix increment keeps attempts of
+/// one seed far apart from the next seed's attempts).
+std::uint64_t derive_seed(std::uint64_t seed, int attempt) {
+  return seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt);
+}
+
+template <typename Sim>
+Outcome finish_run(Sim& sim, const RunLimits& limits) {
+  Outcome o;
+  try {
+    o.result = sim.run(limits);
+    o.kind = o.result.halted ? OutcomeKind::kHalted : OutcomeKind::kLimit;
+    o.state = sim.state().dump_nonzero();
+  } catch (const SimError& e) {
+    o.kind = e.recoverable() ? OutcomeKind::kRecoverable
+                             : OutcomeKind::kFatal;
+    o.error = e.what();
+    // Watchdog stops leave the engine consistent at a cycle boundary, so
+    // the architectural state is comparable across levels. Fatal errors
+    // may leave a half-executed packet behind; only the kind compares.
+    if (e.recoverable()) o.state = sim.state().dump_nonzero();
+  }
+  return o;
+}
+
+Outcome run_level(const Model& model, int level, GuardPolicy policy,
+                  const LoadedProgram& program, const RunLimits& limits) {
+  try {
+    switch (level) {
+      case 0: {
+        InterpSimulator sim(model);
+        sim.load(program);
+        return finish_run(sim, limits);
+      }
+      case 1: {
+        CachedInterpSimulator sim(model);
+        sim.set_guard_policy(policy);
+        sim.load(program);
+        return finish_run(sim, limits);
+      }
+      case 4: {
+        CompiledSimulator sim(model, SimLevel::kTrace);
+        TraceConfig eager;
+        eager.hot_threshold = 1;
+        eager.min_trace_cycles = 1;
+        sim.set_trace_config(eager);
+        sim.set_guard_policy(policy);
+        sim.load(program);
+        return finish_run(sim, limits);
+      }
+      default: {
+        CompiledSimulator sim(model, level == 2 ? SimLevel::kCompiledDynamic
+                                                : SimLevel::kCompiledStatic);
+        sim.set_guard_policy(policy);
+        sim.load(program);
+        return finish_run(sim, limits);
+      }
+    }
+  } catch (const SimError& e) {
+    // load()/compile failures count as outcomes too: a level that cannot
+    // even load a program the oracle accepts is itself a divergence.
+    Outcome o;
+    o.kind = e.recoverable() ? OutcomeKind::kRecoverable
+                             : OutcomeKind::kFatal;
+    o.error = e.what();
+    return o;
+  }
+}
+
+std::string describe_result_diff(const RunResult& a, const RunResult& b) {
+  std::string out;
+  const auto field = [&](const char* name, std::uint64_t x, std::uint64_t y) {
+    if (x == y) return;
+    if (!out.empty()) out += ", ";
+    out += std::string(name) + " " + std::to_string(x) + " vs " +
+           std::to_string(y);
+  };
+  field("cycles", a.cycles, b.cycles);
+  field("fetches", a.fetches, b.fetches);
+  field("packets_retired", a.packets_retired, b.packets_retired);
+  field("slots_retired", a.slots_retired, b.slots_retired);
+  field("halted", a.halted ? 1 : 0, b.halted ? 1 : 0);
+  return out;
+}
+
+/// nullopt when `other` agrees with the oracle; otherwise a description.
+std::optional<std::string> compare_outcomes(const Outcome& oracle,
+                                            const Outcome& other) {
+  if (oracle.kind != other.kind)
+    return "outcome kind: oracle " +
+           std::string(outcome_kind_name(oracle.kind)) + " vs " +
+           std::string(outcome_kind_name(other.kind)) +
+           (other.error.empty() ? "" : " (" + other.error + ")") +
+           (oracle.error.empty() ? "" : " [oracle: " + oracle.error + "]");
+  switch (oracle.kind) {
+    case OutcomeKind::kFatal:
+      return std::nullopt;  // both fatal: agreement on kind is enough
+    case OutcomeKind::kRecoverable:
+      if (oracle.state != other.state)
+        return std::string("state mismatch at watchdog stop");
+      return std::nullopt;
+    case OutcomeKind::kHalted:
+    case OutcomeKind::kLimit: {
+      if (!(oracle.result == other.result))
+        return "run result: " +
+               describe_result_diff(oracle.result, other.result);
+      if (oracle.state != other.state)
+        return std::string("final state mismatch");
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LoadedProgram> assemble_quiet(const Model& model,
+                                            const Decoder& decoder,
+                                            const std::string& source) {
+  try {
+    return assemble_or_throw(model, decoder, source, "fuzz");
+  } catch (const SimError&) {
+    return std::nullopt;
+  }
+}
+
+RunLimits make_limits(const FuzzOptions& opts) {
+  RunLimits limits;
+  limits.max_cycles = opts.max_cycles;
+  limits.watchdog_cycles = opts.watchdog_cycles;
+  limits.max_stuck_cycles = opts.max_stuck_cycles;
+  return limits;
+}
+
+/// Binary-search the last cycle where the oracle and the diverging level
+/// still agree on architectural state, by replaying both from scratch to
+/// candidate boundaries. Watchdogs stay off so every boundary is
+/// reachable.
+std::uint64_t find_last_agree_cycle(const Model& model,
+                                    const LoadedProgram& program, int level,
+                                    GuardPolicy policy,
+                                    std::uint64_t max_cycles) {
+  const auto agree_at = [&](std::uint64_t c) {
+    RunLimits limits;
+    limits.max_cycles = c;
+    const Outcome a = run_level(model, 0, GuardPolicy::kOff, program, limits);
+    const Outcome b = run_level(model, level, policy, program, limits);
+    return a.kind == b.kind && a.state == b.state;
+  };
+  std::uint64_t lo = 0;
+  std::uint64_t hi = max_cycles;
+  if (agree_at(hi)) return hi;  // divergence is in RunResult bookkeeping
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (agree_at(mid))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+std::string checkpoint_at(const Model& model, const LoadedProgram& program,
+                          std::uint64_t cycle) {
+  InterpSimulator sim(model);
+  sim.load(program);
+  if (cycle > 0) {
+    RunLimits limits;
+    limits.max_cycles = cycle;
+    sim.run(limits);
+  }
+  return serialize_checkpoint(sim.save_checkpoint());
+}
+
+// ---- greedy program minimizer ---------------------------------------------
+
+/// One deletable unit of a generated program: an instruction line plus its
+/// `||` continuations, or a `.data` directive plus its `.word`/`.space`
+/// initializer lines. Deleting an instruction unit keeps its label as a
+/// label-only line so branch targets elsewhere still resolve (they then
+/// bind to the next emitted unit).
+struct SourceUnit {
+  std::vector<std::string> lines;
+  std::string label;  // "L<n>" for instruction units, else empty
+};
+
+bool is_continuation(std::string_view line) {
+  const std::size_t p = line.find_first_not_of(" \t");
+  if (p == std::string_view::npos) return true;  // blank: glue to previous
+  const std::string_view body = line.substr(p);
+  return body.rfind("||", 0) == 0 || body.rfind(".word", 0) == 0 ||
+         body.rfind(".space", 0) == 0;
+}
+
+std::vector<SourceUnit> split_units(const std::string& source) {
+  std::vector<SourceUnit> units;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string::npos) eol = source.size();
+    std::string line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!units.empty() && is_continuation(line)) {
+      units.back().lines.push_back(std::move(line));
+      continue;
+    }
+    SourceUnit unit;
+    const std::size_t colon = line.find(':');
+    const std::size_t sp = line.find_first_of(" \t");
+    if (colon != std::string::npos && (sp == std::string::npos || colon < sp))
+      unit.label = line.substr(0, colon);
+    unit.lines.push_back(std::move(line));
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+std::string join_units(const std::vector<SourceUnit>& units,
+                       const std::vector<bool>& keep) {
+  std::string out;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (keep[i]) {
+      for (const std::string& line : units[i].lines) out += line + "\n";
+    } else if (!units[i].label.empty()) {
+      out += units[i].label + ":\n";
+    }
+  }
+  return out;
+}
+
+int count_packets(const std::vector<SourceUnit>& units,
+                  const std::vector<bool>& keep) {
+  int n = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (!keep[i] || units[i].label.empty()) continue;
+    // A kept labeled line that carries an instruction is one packet.
+    const std::string& first = units[i].lines.front();
+    const std::size_t colon = first.find(':');
+    if (first.find_first_not_of(" \t", colon + 1) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+const char* outcome_kind_name(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kHalted: return "halted";
+    case OutcomeKind::kLimit: return "cycle-limit";
+    case OutcomeKind::kRecoverable: return "watchdog";
+    case OutcomeKind::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+DifferentialFuzzer::DifferentialFuzzer(const Model& model)
+    : model_(model), decoder_(model), gen_(model) {}
+
+GeneratedProgram DifferentialFuzzer::program_for_seed(
+    std::uint64_t seed, const FuzzOptions& opts) const {
+  GeneratedProgram first;
+  for (int attempt = 0; attempt < std::max(1, opts.attempts_per_seed);
+       ++attempt) {
+    GeneratedProgram prog = gen_.generate(derive_seed(seed, attempt),
+                                          opts.gen);
+    if (attempt == 0) first = prog;
+    const auto loaded = assemble_quiet(model_, decoder_, prog.source);
+    if (!loaded) continue;
+    const Outcome oracle =
+        run_level(model_, 0, GuardPolicy::kOff, *loaded, make_limits(opts));
+    if (oracle.kind != OutcomeKind::kFatal) return prog;
+  }
+  return first;
+}
+
+std::optional<Divergence> DifferentialFuzzer::run_seed(
+    std::uint64_t seed, const FuzzOptions& opts, FuzzStats& stats) const {
+  ++stats.seeds;
+  const RunLimits limits = make_limits(opts);
+
+  GeneratedProgram prog;
+  std::optional<LoadedProgram> loaded;
+  Outcome oracle;
+  bool accepted = false;
+  for (int attempt = 0; attempt < std::max(1, opts.attempts_per_seed);
+       ++attempt) {
+    prog = gen_.generate(derive_seed(seed, attempt), opts.gen);
+    loaded = assemble_quiet(model_, decoder_, prog.source);
+    if (!loaded) {
+      ++stats.rejected;
+      continue;
+    }
+    oracle = run_level(model_, 0, GuardPolicy::kOff, *loaded, limits);
+    if (oracle.kind == OutcomeKind::kFatal) {
+      // Usually a chaos-weighted operand escaping its bound; fatal
+      // errors abort mid-packet, so cross-level state comparison is
+      // meaningless. Reject and try the next attempt.
+      ++stats.rejected;
+      continue;
+    }
+    accepted = true;
+    break;
+  }
+  if (!accepted) return std::nullopt;
+
+  ++stats.programs;
+  stats.coverage += prog.coverage;
+
+  // SMC programs must run guarded: kOff executes stale translations by
+  // design and legitimately disagrees with the interpretive oracle.
+  std::vector<GuardPolicy> policies;
+  if (!prog.has_smc) policies.push_back(GuardPolicy::kOff);
+  policies.push_back(GuardPolicy::kRecompile);
+  policies.push_back(GuardPolicy::kFallback);
+
+  const bool corrupt_trace = opts.inject && opts.inject_seed == seed;
+  for (const GuardPolicy policy : policies) {
+    for (int level = 1; level < kLevelCount; ++level) {
+      Outcome other = run_level(model_, level, policy, *loaded, limits);
+      if (corrupt_trace && level == 4)
+        other.state += "\n<injected divergence>";
+      const auto diff = compare_outcomes(oracle, other);
+      if (!diff) continue;
+
+      ++stats.divergences;
+      Divergence d;
+      d.seed = seed;
+      d.level = kLevelNames[level];
+      d.policy = guard_policy_name(policy);
+      d.description = *diff;
+      d.source = prog.source;
+      d.minimized = prog.source;
+      d.last_agree_cycle = find_last_agree_cycle(model_, *loaded, level,
+                                                 policy, opts.max_cycles);
+
+      // Reproduction predicate for the minimizer: the candidate must
+      // assemble, stay non-fatal on the oracle, and still disagree at
+      // the same level under the same policy.
+      const auto reproduces = [&](const std::string& candidate) {
+        const auto cand = assemble_quiet(model_, decoder_, candidate);
+        if (!cand) return false;
+        const Outcome o = run_level(model_, 0, GuardPolicy::kOff, *cand,
+                                    limits);
+        if (o.kind == OutcomeKind::kFatal) return false;
+        Outcome v = run_level(model_, level, policy, *cand, limits);
+        if (corrupt_trace && level == 4) v.state += "\n<injected divergence>";
+        return compare_outcomes(o, v).has_value();
+      };
+
+      std::vector<SourceUnit> units = split_units(prog.source);
+      std::vector<bool> keep(units.size(), true);
+      if (opts.minimize) {
+        int budget = 300;
+        bool shrunk = true;
+        while (shrunk && budget > 0) {
+          shrunk = false;
+          for (std::size_t i = 0; i < units.size() && budget > 0; ++i) {
+            if (!keep[i]) continue;
+            keep[i] = false;
+            --budget;
+            if (reproduces(join_units(units, keep)))
+              shrunk = true;
+            else
+              keep[i] = true;
+          }
+        }
+        d.minimized = join_units(units, keep);
+      }
+      d.minimized_packets = count_packets(units, keep);
+
+      if (!opts.repro_dir.empty()) {
+        try {
+          namespace fs = std::filesystem;
+          const fs::path dir =
+              fs::path(opts.repro_dir) /
+              ("seed" + std::to_string(seed) + "_" + d.level + "_" +
+               d.policy);
+          fs::create_directories(dir);
+          const auto write = [&](const char* name, const std::string& body) {
+            std::ofstream out(dir / name, std::ios::binary);
+            out << body;
+          };
+          write("program.asm", d.source);
+          write("minimized.asm", d.minimized);
+          write("checkpoint.txt",
+                checkpoint_at(model_, *loaded, d.last_agree_cycle));
+          std::string meta;
+          meta += "target " + model_.name + "\n";
+          meta += "seed " + std::to_string(seed) + "\n";
+          meta += "level " + d.level + "\n";
+          meta += "policy " + d.policy + "\n";
+          meta += "last_agree_cycle " +
+                  std::to_string(d.last_agree_cycle) + "\n";
+          meta += "max_cycles " + std::to_string(opts.max_cycles) + "\n";
+          meta += "minimized_packets " +
+                  std::to_string(d.minimized_packets) + "\n";
+          meta += "description " + d.description + "\n";
+          write("meta.txt", meta);
+          d.bundle_dir = dir.string();
+        } catch (const std::exception&) {
+          d.bundle_dir.clear();
+        }
+      }
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lisasim::fuzz

@@ -1,0 +1,109 @@
+// Differential fuzzer: assemble generated programs and run them through
+// all five simulation levels (interpretive oracle, decode-cached,
+// compiled-dynamic, compiled-static, hot-trace) under every applicable
+// guard policy, comparing the full RunResult and final architectural
+// state. A disagreement is a bug in one of the table-based tiers; the
+// fuzzer then persists a self-contained repro bundle — the seed, the
+// assembly source, a greedily minimized variant, and an EngineCheckpoint
+// of the interpretive oracle at the last cycle where all levels still
+// agree — so the failure can be replayed in a fresh process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "decode/decoder.hpp"
+#include "fuzz/progen.hpp"
+#include "sim/result.hpp"
+
+namespace lisasim::fuzz {
+
+/// How one simulation run ended. Watchdog stops (recoverable SimError)
+/// and soft cycle-cap returns are legitimate outcomes for random
+/// programs; only the *kind and resulting state* must agree across
+/// levels, never whether the program was "correct".
+enum class OutcomeKind : std::uint8_t {
+  kHalted,       // run() returned with result.halted
+  kLimit,        // run() returned at the soft max_cycles cap
+  kRecoverable,  // watchdog threw a recoverable SimError
+  kFatal,        // fatal SimError (bad access, decode failure, ...)
+};
+
+const char* outcome_kind_name(OutcomeKind kind);
+
+struct Outcome {
+  OutcomeKind kind = OutcomeKind::kHalted;
+  RunResult result;   // meaningful for kHalted / kLimit
+  std::string state;  // dump_nonzero(); empty for kFatal
+  std::string error;  // SimError text for kRecoverable / kFatal
+};
+
+struct FuzzOptions {
+  GenOptions gen;
+  /// Soft cycle cap: non-halting programs are compared at this boundary.
+  std::uint64_t max_cycles = 30000;
+  /// Hard watchdog limits, forwarded to RunLimits (0 = disabled).
+  std::uint64_t watchdog_cycles = 0;
+  std::uint64_t max_stuck_cycles = 2048;
+  /// Generation attempts per seed before the seed counts as rejected
+  /// (a program that does not assemble or is fatal on the oracle).
+  int attempts_per_seed = 16;
+  bool minimize = true;
+  /// Where repro bundles land; empty disables bundle writing.
+  std::string repro_dir = "fuzz-repros";
+  /// Test hook: corrupt the trace-level state comparison for this seed,
+  /// forcing a divergence through the bundle + minimizer machinery.
+  bool inject = false;
+  std::uint64_t inject_seed = 0;
+};
+
+struct Divergence {
+  std::uint64_t seed = 0;
+  std::string level;        // "cached", "dynamic", "static", "trace"
+  std::string policy;       // guard_policy_name()
+  std::string description;  // what disagreed, with both sides
+  std::string source;       // full assembly source
+  std::string minimized;    // greedily shrunk source (== source if off)
+  int minimized_packets = 0;
+  std::string bundle_dir;   // empty if bundle writing was disabled/failed
+  std::uint64_t last_agree_cycle = 0;
+};
+
+struct FuzzStats {
+  std::uint64_t seeds = 0;
+  std::uint64_t programs = 0;  // accepted programs actually compared
+  std::uint64_t rejected = 0;  // attempts dropped (assembly/oracle-fatal)
+  std::uint64_t divergences = 0;
+  Coverage coverage;
+};
+
+class DifferentialFuzzer {
+ public:
+  /// `model` is kept by reference and must outlive the fuzzer. Throws
+  /// SimError if the model yields no renderable instructions.
+  explicit DifferentialFuzzer(const Model& model);
+
+  /// Fuzz one seed: generate (retrying within the seed on rejected
+  /// programs), assemble, run every applicable guard policy across all
+  /// five levels, and compare. On divergence, minimizes and writes a
+  /// repro bundle per `opts`, and returns the report. Updates `stats`
+  /// either way.
+  std::optional<Divergence> run_seed(std::uint64_t seed,
+                                     const FuzzOptions& opts,
+                                     FuzzStats& stats) const;
+
+  /// The generated program a seed maps to (first accepted attempt, or
+  /// the raw first attempt if none assembles), for --print.
+  GeneratedProgram program_for_seed(std::uint64_t seed,
+                                    const FuzzOptions& opts) const;
+
+  const ProgramGenerator& generator() const { return gen_; }
+
+ private:
+  const Model& model_;
+  Decoder decoder_;
+  ProgramGenerator gen_;
+};
+
+}  // namespace lisasim::fuzz

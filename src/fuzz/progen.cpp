@@ -1,0 +1,1524 @@
+#include "fuzz/progen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+
+namespace lisasim::fuzz {
+
+namespace {
+
+using support::SplitMix64;
+
+/// A coding field, identified by the operation that declares the LABEL and
+/// the label slot. All field-level constraints are keyed this way so the
+/// renderer can look them up while walking the SYNTAX tree.
+struct FieldKey {
+  OperationId op = -1;
+  std::int32_t slot = -1;
+  friend bool operator==(const FieldKey&, const FieldKey&) = default;
+  friend bool operator<(const FieldKey& a, const FieldKey& b) {
+    return a.op != b.op ? a.op < b.op : a.slot < b.slot;
+  }
+};
+
+/// What a field means to the generated program, derived from the BEHAVIOR
+/// trees. Ordered by precedence: when one field plays several parts in a
+/// template, the strongest constraint wins.
+enum class FieldRole : std::uint8_t {
+  kFree,      // no constraint beyond the field width
+  kRegIndex,  // indexes a register file that is only read
+  kAddrPart,  // feeds address arithmetic (kept small and non-negative)
+  kPoolBase,  // indexes a register file element used as an address base
+  kRegWrite,  // indexes a register file element that is written
+  kMemIndex,  // directly indexes a memory
+};
+
+struct FieldInfo {
+  FieldRole role = FieldRole::kFree;
+  ResourceId resource = -1;  // memory or register file, role-dependent
+  std::uint64_t cap = 0;     // kMemIndex: exclusive bound from zext/sext
+                             // truncation in the behavior; 0 = none
+};
+
+int role_rank(FieldRole r) { return static_cast<int>(r); }
+
+/// How an operand operation (an alternative reachable through a GROUP
+/// child) resolves to storage: either a scalar resource or an element of a
+/// register file selected by a coding field of some descendant operation.
+/// `steps` records the (child slot, alternative) path from the shape's
+/// owner down to the resolving EXPRESSION.
+struct Shape {
+  ResourceId file = -1;
+  bool is_file = false;
+  OperationId leaf = -1;     // op whose EXPRESSION is file[field]
+  std::int32_t idx_slot = -1;
+  std::vector<std::pair<std::int32_t, OperationId>> steps;
+};
+
+/// A shape of a specific child slot: the chosen top alternative plus the
+/// path within it.
+struct ChildShape {
+  OperationId alt = -1;
+  Shape shape;
+};
+
+/// Captured "load a constant into a register" pattern: a template whose
+/// whole behavior is one assignment of a (possibly sign/zero-extended)
+/// immediate field into a register-file element. Used to build address
+/// pools and to load label addresses for SMC patch sequences.
+struct RecipeCapture {
+  bool valid = false;
+  bool via_child = false;  // destination is an operand child vs file[field]
+  FieldKey dst_child;
+  ResourceId file = -1;    // !via_child
+  FieldKey dst_index;      // !via_child
+  FieldKey imm;
+  std::uint64_t max_value = 0;  // largest non-negative loadable value
+};
+
+/// A direct program-text access pattern: mem_fetch[base (+ sext(off))]
+/// read into / written from an operand child. The raw material for
+/// ProgramGuard-visible SMC patch sequences.
+struct TextAccess {
+  int tmpl = -1;
+  FieldKey base_child;
+  FieldKey off_field;   // op = -1 when the index is the bare base child
+  FieldKey data_child;
+};
+
+/// Everything the analysis learned about one instruction template (one
+/// alternative of the root's instruction GROUP).
+struct TemplateInfo {
+  OperationId op = -1;
+  bool is_halt = false;
+  bool is_branch = false;        // writes the program counter
+  bool branch_targeted = false;  // PC target is a plain coding field
+  FieldKey branch_target;
+  unsigned branch_width = 0;     // width of the target field
+  int branch_stage = 0;
+  int pc_writes = 0;
+  int uncond_pc_writes = 0;
+  bool has_load = false;    // reads a non-fetch memory
+  bool has_store = false;   // writes a non-fetch memory
+  bool text_load = false;   // reads the fetch memory
+  bool text_store = false;  // writes the fetch memory
+  std::map<FieldKey, FieldInfo> fields;
+  std::set<FieldKey> written_children;  // operand children that are written
+  std::set<FieldKey> base_children;     // operands used as address bases
+  std::vector<std::pair<ResourceId, int>> scalar_writes;  // (scalar, stage)
+  int assign_count = 0;
+  RecipeCapture recipe;
+  std::optional<TextAccess> store_access;
+  std::optional<TextAccess> load_access;
+
+  bool inherently_cond() const { return pc_writes > 0 && uncond_pc_writes == 0; }
+};
+
+/// A usable per-register-file const-load recipe.
+struct PoolRecipe {
+  int tmpl = -1;
+  bool via_child = false;
+  FieldKey dst_child;
+  int shape_idx = -1;  // into Analysis::child_shapes[dst_child]
+  FieldKey dst_index;
+  FieldKey imm;
+  std::uint64_t max_value = 0;
+};
+
+/// Memoized computation of operand shapes from EXPRESSION sections.
+class ShapeCache {
+ public:
+  explicit ShapeCache(const Model& m) : m_(m) {}
+
+  const std::vector<Shape>& of(OperationId id) {
+    auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    memo_[id] = {};  // break recursion on (malformed) cyclic trees
+    std::vector<Shape> shapes;
+    const Operation& op = m_.op(id);
+    std::vector<const Expr*> exprs;
+    for (const auto& item : op.items) collect_exprs(*item, exprs);
+    for (const Expr* e : exprs) add_shapes(id, *e, shapes);
+    return memo_[id] = std::move(shapes);
+  }
+
+ private:
+  static void collect_exprs(const OpItem& item,
+                            std::vector<const Expr*>& out) {
+    switch (item.kind) {
+      case OpItem::Kind::kExpression:
+        if (item.expr) out.push_back(item.expr.get());
+        break;
+      case OpItem::Kind::kIf:
+        for (const auto& i : item.then_items) collect_exprs(*i, out);
+        for (const auto& i : item.else_items) collect_exprs(*i, out);
+        break;
+      case OpItem::Kind::kSwitch:
+        for (const auto& c : item.cases)
+          for (const auto& i : c.items) collect_exprs(*i, out);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void add_shapes(OperationId id, const Expr& e, std::vector<Shape>& out) {
+    const Operation& op = m_.op(id);
+    if (e.kind == ExprKind::kSym && e.sym.kind == SymKind::kResource) {
+      const Resource& r = m_.resource(e.sym.index);
+      if (!r.is_array()) {
+        Shape s;
+        s.file = r.id;
+        out.push_back(std::move(s));
+      }
+    } else if (e.kind == ExprKind::kIndex &&
+               e.sym.kind == SymKind::kResource && !e.children.empty() &&
+               e.children[0]->kind == ExprKind::kSym &&
+               e.children[0]->sym.kind == SymKind::kField) {
+      const Resource& r = m_.resource(e.sym.index);
+      if (r.kind == ast::ResourceKind::kRegisterFile) {
+        Shape s;
+        s.file = r.id;
+        s.is_file = true;
+        s.leaf = id;
+        s.idx_slot = e.children[0]->sym.index;
+        out.push_back(std::move(s));
+      }
+    } else if (e.kind == ExprKind::kSym && e.sym.kind == SymKind::kChild) {
+      const ChildDecl& child =
+          op.children[static_cast<std::size_t>(e.sym.index)];
+      for (OperationId alt : child.alternatives) {
+        for (const Shape& sub : of(alt)) {
+          Shape s = sub;
+          s.steps.insert(s.steps.begin(), {e.sym.index, alt});
+          out.push_back(std::move(s));
+        }
+      }
+    }
+  }
+
+  const Model& m_;
+  std::map<OperationId, std::vector<Shape>> memo_;
+};
+
+std::uint64_t pow2(unsigned bits) {
+  return bits >= 63 ? (std::uint64_t{1} << 62) : (std::uint64_t{1} << bits);
+}
+
+/// Largest value the assembler accepts for a field of this width
+/// (fits_unsigned), used as the generic upper clamp.
+std::int64_t field_max(unsigned width) {
+  return static_cast<std::int64_t>(pow2(width) - 1);
+}
+
+bool is_plain_field(const Expr& e) {
+  return e.kind == ExprKind::kSym && (e.sym.kind == SymKind::kField ||
+                                      e.sym.kind == SymKind::kUpward);
+}
+
+/// sext(field, k) / zext(field, k) with a literal width. Returns the inner
+/// field expression and fills `nonneg_cap` with the largest non-negative
+/// value that survives the truncation.
+const Expr* unwrap_extend(const Expr& e, std::uint64_t& nonneg_cap) {
+  if (e.kind != ExprKind::kCall) return nullptr;
+  if (e.intrinsic != Intrinsic::kSext && e.intrinsic != Intrinsic::kZext)
+    return nullptr;
+  if (e.children.size() != 2 || !is_plain_field(*e.children[0]) ||
+      e.children[1]->kind != ExprKind::kIntLit)
+    return nullptr;
+  const auto k = static_cast<unsigned>(e.children[1]->value);
+  nonneg_cap = e.intrinsic == Intrinsic::kZext
+                   ? pow2(k)
+                   : (k > 0 ? pow2(k - 1) : 1);
+  return e.children[0].get();
+}
+
+}  // namespace
+
+/// The full static analysis of a model: decorations, instruction
+/// templates with field roles, operand shapes, const-load recipes,
+/// text-access recipes and the derived capability flags. Built once per
+/// generator; generate() only reads it.
+struct ProgramGenerator::Analysis {
+  const Model* m = nullptr;
+  OperationId root = -1;
+  std::int32_t insn_slot = -1;
+
+  struct Decoration {
+    std::int32_t slot = -1;
+    OperationId default_alt = -1;        // the alternative rendering ""
+    std::vector<OperationId> others;     // non-default alternatives
+  };
+  std::vector<Decoration> decorations;
+
+  std::vector<TemplateInfo> templates;
+  std::vector<int> branch_tmpls;  // targeted branches only
+  std::vector<int> mem_tmpls;     // loads/stores (text stores excluded)
+  std::vector<int> alu_tmpls;     // everything else except halt/branch
+  int halt_tmpl = -1;
+  unsigned min_branch_width = 64;
+
+  std::map<FieldKey, std::vector<ChildShape>> child_shapes;
+  std::map<ResourceId, PoolRecipe> recipes;
+  std::set<ResourceId> pool_files;   // register files used as address bases
+  std::set<ResourceId> addr_scalars; // scalars carrying addresses
+
+  // SMC plan: one register file serving template/victim/data registers for
+  // the load/store text-access pair. Unset when the model cannot patch its
+  // own text through plain stores (e.g. c54x has no store to pmem).
+  bool smc_ok = false;
+  ResourceId smc_file = -1;
+  TextAccess smc_store, smc_load;
+  int smc_store_base_shape = -1, smc_store_data_shape = -1;
+  int smc_load_base_shape = -1, smc_load_data_shape = -1;
+
+  std::map<ResourceId, std::set<std::uint64_t>> reserved;  // per file
+};
+
+namespace {
+
+/// Walks one template's subtree (behaviors, expressions, activations and
+/// both arms of every conditional), resolving REFERENCEs upward through
+/// the decode-tree stack, and fills a TemplateInfo. Address knowledge
+/// (which scalars and register files carry addresses) accumulates in the
+/// Analysis across templates; the caller re-scans to a fixed point.
+class Scanner {
+ public:
+  Scanner(ProgramGenerator::Analysis& a, ShapeCache& shapes)
+      : a_(a), m_(*a.m), shapes_(shapes) {}
+
+  TemplateInfo scan_template(OperationId tmpl) {
+    TemplateInfo t;
+    t.op = tmpl;
+    t_ = &t;
+    stack_.clear();
+    stack_.push_back(&m_.op(a_.root));
+    const int root_stage = std::max(0, m_.op(a_.root).stage);
+    stage_stack_.assign(1, root_stage);
+    nondec_conds_ = 0;
+    scan_op(tmpl, 0);
+    return t;
+  }
+
+ private:
+  struct Resolved {
+    enum class Kind : std::uint8_t { kNone, kField, kChild, kResource };
+    Kind kind = Kind::kNone;
+    OperationId op = -1;      // kField/kChild: owning operation
+    std::int32_t slot = -1;
+    ResourceId res = -1;      // kResource
+  };
+
+  Resolved resolve(const SymRef& sym) const {
+    Resolved r;
+    const Operation* cur = stack_.back();
+    switch (sym.kind) {
+      case SymKind::kField:
+        r = {Resolved::Kind::kField, cur->id, sym.index, -1};
+        break;
+      case SymKind::kChild:
+        r = {Resolved::Kind::kChild, cur->id, sym.index, -1};
+        break;
+      case SymKind::kResource:
+        r = {Resolved::Kind::kResource, -1, -1, sym.index};
+        break;
+      case SymKind::kUpward:
+        for (std::size_t i = stack_.size(); i-- > 0;) {
+          const Operation* op = stack_[i];
+          if (op == cur) continue;
+          if (int s = op->label_slot(sym.name_id); s >= 0)
+            return {Resolved::Kind::kField, op->id,
+                    static_cast<std::int32_t>(s), -1};
+          if (int s = op->child_slot(sym.name_id); s >= 0)
+            return {Resolved::Kind::kChild, op->id,
+                    static_cast<std::int32_t>(s), -1};
+        }
+        break;
+      default:
+        break;
+    }
+    return r;
+  }
+
+  std::optional<FieldKey> plain_field(const Expr& e) const {
+    if (!is_plain_field(e)) return std::nullopt;
+    const Resolved r = resolve(e.sym);
+    if (r.kind != Resolved::Kind::kField) return std::nullopt;
+    return FieldKey{r.op, r.slot};
+  }
+
+  std::optional<FieldKey> child_ref(const Expr& e) const {
+    if (e.kind != ExprKind::kSym) return std::nullopt;
+    if (e.sym.kind != SymKind::kChild && e.sym.kind != SymKind::kUpward)
+      return std::nullopt;
+    const Resolved r = resolve(e.sym);
+    if (r.kind != Resolved::Kind::kChild) return std::nullopt;
+    return FieldKey{r.op, r.slot};
+  }
+
+  unsigned field_width(FieldKey k) const {
+    return m_.op(k.op).labels[static_cast<std::size_t>(k.slot)].width;
+  }
+
+  void set_role(FieldKey k, FieldRole role, ResourceId res,
+                std::uint64_t cap = 0) {
+    FieldInfo& info = t_->fields[k];
+    if (role_rank(role) > role_rank(info.role)) {
+      info = {role, res, cap};
+    } else if (role == info.role && role == FieldRole::kMemIndex && cap) {
+      info.cap = info.cap ? std::min(info.cap, cap) : cap;
+    }
+  }
+
+  /// Is this condition a bare reference to a root decoration child (a
+  /// predicate guard)? Those make an instruction *predicable*, not
+  /// inherently conditional.
+  bool is_decoration_guard(const Expr& e) const {
+    const auto c = child_ref(e);
+    if (!c || c->op != a_.root) return false;
+    for (const auto& d : a_.decorations)
+      if (d.slot == c->slot) return true;
+    return false;
+  }
+
+  int cur_stage() const { return stage_stack_.back(); }
+
+  void scan_op(OperationId id, int depth) {
+    if (depth > 24) return;  // decode trees are shallow; guard cycles
+    const Operation& op = m_.op(id);
+    stack_.push_back(&op);
+    stage_stack_.push_back(op.stage >= 0 ? op.stage : cur_stage());
+    for (const auto& item : op.items) scan_item(*item);
+    for (const auto& child : op.children)
+      for (OperationId alt : child.alternatives) scan_op(alt, depth + 1);
+    stage_stack_.pop_back();
+    stack_.pop_back();
+  }
+
+  void scan_item(const OpItem& item) {
+    switch (item.kind) {
+      case OpItem::Kind::kBehavior:
+        for (const auto& s : item.stmts) scan_stmt(*s);
+        break;
+      case OpItem::Kind::kExpression:
+        if (item.expr) walk_read(*item.expr);
+        break;
+      case OpItem::Kind::kIf:
+        // Coding-time conditional: both arms are possible specializations.
+        for (const auto& i : item.then_items) scan_item(*i);
+        for (const auto& i : item.else_items) scan_item(*i);
+        break;
+      case OpItem::Kind::kSwitch:
+        for (const auto& c : item.cases)
+          for (const auto& i : c.items) scan_item(*i);
+        break;
+      case OpItem::Kind::kActivation:
+        break;  // activated children are scanned via the child loop
+    }
+  }
+
+  void scan_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kLocalDecl:
+      case StmtKind::kExpr:
+        if (s.value) walk_read(*s.value);
+        break;
+      case StmtKind::kIf: {
+        const bool dec = s.value && is_decoration_guard(*s.value);
+        if (s.value) walk_read(*s.value);
+        nondec_conds_ += dec ? 0 : 1;
+        for (const auto& b : s.then_body) scan_stmt(*b);
+        for (const auto& b : s.else_body) scan_stmt(*b);
+        nondec_conds_ -= dec ? 0 : 1;
+        break;
+      }
+      case StmtKind::kAssign:
+        handle_assign(s);
+        break;
+    }
+  }
+
+  void handle_assign(const Stmt& s) {
+    if (!s.lhs || !s.value) return;
+    walk_read(*s.value);
+    capture_recipe(s);
+    maybe_capture_text_load(s);
+    const Expr& lhs = *s.lhs;
+    if (lhs.kind == ExprKind::kSym) {
+      const Resolved r = resolve(lhs.sym);
+      if (r.kind == Resolved::Kind::kChild) {
+        t_->written_children.insert({r.op, r.slot});
+      } else if (r.kind == Resolved::Kind::kResource) {
+        const Resource& res = m_.resource(r.res);
+        if (res.id == m_.pc) {
+          handle_pc_write(*s.value);
+        } else if (!res.is_array()) {
+          t_->scalar_writes.emplace_back(res.id, cur_stage());
+          if (a_.addr_scalars.count(res.id)) mark_address(*s.value);
+        }
+      }
+    } else if (lhs.kind == ExprKind::kIndex && !lhs.children.empty()) {
+      if (lhs.sym.kind != SymKind::kResource) return;
+      const Resource& res = m_.resource(lhs.sym.index);
+      const Expr& idx = *lhs.children[0];
+      if (res.kind == ast::ResourceKind::kMemory) {
+        if (res.id == m_.fetch_memory) {
+          t_->text_store = true;
+          capture_text_store(idx, *s.value);
+        } else {
+          t_->has_store = true;
+        }
+        analyze_index(res, idx);
+      } else if (res.kind == ast::ResourceKind::kRegisterFile) {
+        if (auto k = plain_field(idx))
+          set_role(*k, FieldRole::kRegWrite, res.id);
+        else
+          walk_read(idx);
+        if (a_.pool_files.count(res.id)) mark_address(*s.value);
+      }
+    }
+  }
+
+  void handle_pc_write(const Expr& rhs) {
+    ++t_->pc_writes;
+    if (nondec_conds_ == 0) ++t_->uncond_pc_writes;
+    t_->is_branch = true;
+    t_->branch_stage = cur_stage();
+    t_->scalar_writes.emplace_back(m_.pc, cur_stage());
+    std::uint64_t cap = 0;
+    const Expr* field = unwrap_extend(rhs, cap);
+    if (!field && is_plain_field(rhs)) field = &rhs;
+    if (field && !t_->branch_targeted) {
+      if (auto k = plain_field(*field)) {
+        t_->branch_targeted = true;
+        t_->branch_target = *k;
+        t_->branch_width = field_width(*k);
+      }
+    }
+  }
+
+  /// Classify the index expression of a memory access.
+  void analyze_index(const Resource& mem, const Expr& idx) {
+    std::uint64_t cap = 0;
+    if (const Expr* inner = unwrap_extend(idx, cap)) {
+      if (auto k = plain_field(*inner)) {
+        set_role(*k, FieldRole::kMemIndex, mem.id, std::min(cap, mem.size));
+        return;
+      }
+    }
+    if (auto k = plain_field(idx)) {
+      set_role(*k, FieldRole::kMemIndex, mem.id, mem.size);
+      return;
+    }
+    mark_address(idx);
+  }
+
+  /// The expression contributes to an address: small fields, pooled base
+  /// registers, and propagate through scalars (fixed point across scans).
+  void mark_address(const Expr& e) {
+    std::uint64_t cap = 0;
+    if (const Expr* inner = unwrap_extend(e, cap)) {
+      if (auto k = plain_field(*inner)) {
+        set_role(*k, FieldRole::kAddrPart, -1);
+        return;
+      }
+    }
+    if (auto k = plain_field(e)) {
+      set_role(*k, FieldRole::kAddrPart, -1);
+      return;
+    }
+    if (auto c = child_ref(e)) {
+      t_->base_children.insert(*c);
+      for (const ChildShape& cs : shapes_of(*c))
+        if (cs.shape.is_file) a_.pool_files.insert(cs.shape.file);
+      return;
+    }
+    if (e.kind == ExprKind::kSym && e.sym.kind == SymKind::kResource) {
+      const Resource& r = m_.resource(e.sym.index);
+      if (!r.is_array()) a_.addr_scalars.insert(r.id);
+      return;
+    }
+    if (e.kind == ExprKind::kIndex && e.sym.kind == SymKind::kResource) {
+      const Resource& r = m_.resource(e.sym.index);
+      if (r.kind == ast::ResourceKind::kRegisterFile &&
+          !e.children.empty()) {
+        a_.pool_files.insert(r.id);
+        if (auto k = plain_field(*e.children[0]))
+          set_role(*k, FieldRole::kPoolBase, r.id);
+        return;
+      }
+    }
+    for (const auto& c : e.children)
+      if (c) mark_address(*c);
+  }
+
+  /// Generic read walk: memory loads, register-file index roles, halt.
+  void walk_read(const Expr& e) {
+    if (e.kind == ExprKind::kIndex && e.sym.kind == SymKind::kResource) {
+      const Resource& res = m_.resource(e.sym.index);
+      if (res.kind == ast::ResourceKind::kMemory && !e.children.empty()) {
+        if (res.id == m_.fetch_memory)
+          t_->text_load = true;
+        else
+          t_->has_load = true;
+        analyze_index(res, *e.children[0]);
+        return;
+      }
+      if (res.kind == ast::ResourceKind::kRegisterFile &&
+          !e.children.empty()) {
+        if (auto k = plain_field(*e.children[0]))
+          set_role(*k, FieldRole::kRegIndex, res.id);
+        walk_read(*e.children[0]);
+        return;
+      }
+    }
+    if (e.kind == ExprKind::kCall && e.intrinsic == Intrinsic::kHalt)
+      t_->is_halt = true;
+    for (const auto& c : e.children)
+      if (c) walk_read(*c);
+  }
+
+  const std::vector<ChildShape>& shapes_of(FieldKey child) {
+    auto it = a_.child_shapes.find(child);
+    if (it != a_.child_shapes.end()) return it->second;
+    std::vector<ChildShape> out;
+    const Operation& op = m_.op(child.op);
+    const ChildDecl& decl = op.children[static_cast<std::size_t>(child.slot)];
+    for (OperationId alt : decl.alternatives)
+      for (const Shape& s : shapes_.of(alt)) out.push_back({alt, s});
+    return a_.child_shapes[child] = std::move(out);
+  }
+
+  void capture_recipe(const Stmt& s) {
+    TemplateInfo& t = *t_;
+    if (++t.assign_count > 1 || nondec_conds_ > 0) {
+      t.recipe.valid = false;
+      return;
+    }
+    RecipeCapture r;
+    const Expr& lhs = *s.lhs;
+    if (auto c = child_ref(lhs)) {
+      r.via_child = true;
+      r.dst_child = *c;
+    } else if (lhs.kind == ExprKind::kIndex &&
+               lhs.sym.kind == SymKind::kResource && !lhs.children.empty()) {
+      const Resource& res = m_.resource(lhs.sym.index);
+      if (res.kind != ast::ResourceKind::kRegisterFile) return;
+      auto k = plain_field(*lhs.children[0]);
+      if (!k) return;
+      r.file = res.id;
+      r.dst_index = *k;
+    } else {
+      return;
+    }
+    std::uint64_t cap = 0;
+    const Expr* imm = unwrap_extend(*s.value, cap);
+    if (!imm && is_plain_field(*s.value)) imm = s.value.get();
+    if (!imm) return;
+    auto k = plain_field(*imm);
+    if (!k) return;
+    r.imm = *k;
+    const std::uint64_t wmax = pow2(field_width(*k));
+    r.max_value = (cap ? std::min(cap, wmax) : wmax) - 1;
+    r.valid = true;
+    t.recipe = r;
+  }
+
+  void capture_text_store(const Expr& idx, const Expr& value) {
+    auto access = match_text_index(idx);
+    if (!access) return;
+    auto data = child_ref(value);
+    if (!data) return;
+    access->data_child = *data;
+    if (!t_->store_access) t_->store_access = *access;
+  }
+
+ public:
+  /// Called from handle_assign for `child = fetchmem[...]` loads; public so
+  /// the per-statement hook below can live with the other capture logic.
+  void maybe_capture_text_load(const Stmt& s) {
+    if (!s.lhs || !s.value) return;
+    auto data = child_ref(*s.lhs);
+    if (!data) return;
+    const Expr& rhs = *s.value;
+    if (rhs.kind != ExprKind::kIndex || rhs.sym.kind != SymKind::kResource ||
+        rhs.children.empty())
+      return;
+    if (m_.resource(rhs.sym.index).id != m_.fetch_memory) return;
+    auto access = match_text_index(*rhs.children[0]);
+    if (!access) return;
+    access->data_child = *data;
+    if (!t_->load_access) t_->load_access = *access;
+  }
+
+ private:
+  std::optional<TextAccess> match_text_index(const Expr& idx) {
+    TextAccess a;
+    a.off_field = {-1, -1};
+    if (auto base = child_ref(idx)) {
+      a.base_child = *base;
+      return a;
+    }
+    if (idx.kind == ExprKind::kBinary && idx.bin_op == BinOp::kAdd &&
+        idx.children.size() == 2) {
+      for (int i = 0; i < 2; ++i) {
+        auto base = child_ref(*idx.children[i]);
+        if (!base) continue;
+        const Expr& other = *idx.children[1 - i];
+        std::uint64_t cap = 0;
+        const Expr* field = unwrap_extend(other, cap);
+        if (!field && is_plain_field(other)) field = &other;
+        if (!field) continue;
+        auto off = plain_field(*field);
+        if (!off) continue;
+        a.base_child = *base;
+        a.off_field = *off;
+        return a;
+      }
+    }
+    return std::nullopt;
+  }
+
+  ProgramGenerator::Analysis& a_;
+  const Model& m_;
+  ShapeCache& shapes_;
+  TemplateInfo* t_ = nullptr;
+  std::vector<const Operation*> stack_;
+  std::vector<int> stage_stack_;
+  int nondec_conds_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+bool subtree_has_behavior(const Model& m, OperationId id,
+                          std::map<OperationId, bool>& memo, int depth) {
+  if (depth > 24) return false;
+  auto it = memo.find(id);
+  if (it != memo.end()) return it->second;
+  memo[id] = false;
+  const Operation& op = m.op(id);
+  bool result = op.has_behavior;
+  for (const auto& child : op.children)
+    for (OperationId alt : child.alternatives)
+      result = result || subtree_has_behavior(m, alt, memo, depth + 1);
+  return memo[id] = result;
+}
+
+bool renders_empty(const Model& m, OperationId id) {
+  for (const auto& e : m.op(id).syntax) {
+    if (e.kind != SyntaxElem::Kind::kLiteral) return false;
+    for (char c : e.text)
+      if (c != ' ') return false;
+  }
+  return true;
+}
+
+const std::vector<ChildShape>& ensure_shapes(ProgramGenerator::Analysis& a,
+                                             ShapeCache& sc, FieldKey child) {
+  auto it = a.child_shapes.find(child);
+  if (it != a.child_shapes.end()) return it->second;
+  std::vector<ChildShape> out;
+  const ChildDecl& decl =
+      a.m->op(child.op).children[static_cast<std::size_t>(child.slot)];
+  for (OperationId alt : decl.alternatives)
+    for (const Shape& s : sc.of(alt)) out.push_back({alt, s});
+  return a.child_shapes[child] = std::move(out);
+}
+
+int shape_for_file(const std::vector<ChildShape>& shapes, ResourceId file) {
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    if (shapes[i].shape.is_file && shapes[i].shape.file == file)
+      return static_cast<int>(i);
+  return -1;
+}
+
+void build_analysis(ProgramGenerator::Analysis& a, const Model& m) {
+  a.m = &m;
+  a.root = m.root;
+  if (m.root < 0) throw SimError("fuzz: model has no root instruction");
+  ShapeCache shapes(m);
+
+  // Root children: the instruction group (first child with behavior in its
+  // subtree) and the decoration groups (behavior-free groups with a
+  // neutral, empty-rendering default such as the c62x p_always predicate).
+  const Operation& root = m.op(m.root);
+  std::map<OperationId, bool> beh_memo;
+  for (std::size_t slot = 0; slot < root.children.size(); ++slot) {
+    const ChildDecl& child = root.children[slot];
+    bool any_beh = false;
+    for (OperationId alt : child.alternatives)
+      any_beh = any_beh || subtree_has_behavior(m, alt, beh_memo, 0);
+    if (any_beh) {
+      if (a.insn_slot < 0) a.insn_slot = static_cast<std::int32_t>(slot);
+      continue;
+    }
+    if (!child.is_group || child.alternatives.size() < 2) continue;
+    ProgramGenerator::Analysis::Decoration d;
+    d.slot = static_cast<std::int32_t>(slot);
+    for (OperationId alt : child.alternatives) {
+      if (d.default_alt < 0 && renders_empty(m, alt))
+        d.default_alt = alt;
+      else
+        d.others.push_back(alt);
+    }
+    if (d.default_alt >= 0 && !d.others.empty())
+      a.decorations.push_back(std::move(d));
+  }
+  if (a.insn_slot < 0)
+    throw SimError("fuzz: model has no instruction group with behavior");
+
+  // Scan every template, iterating until the global address knowledge
+  // (pooled register files, address-carrying scalars) stops growing —
+  // pipelined memory behaviors reveal their base registers only after the
+  // intermediate address scalars are known.
+  const ChildDecl& insn =
+      root.children[static_cast<std::size_t>(a.insn_slot)];
+  Scanner scanner(a, shapes);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t before = a.pool_files.size() + a.addr_scalars.size();
+    a.templates.clear();
+    for (OperationId alt : insn.alternatives) {
+      if (!m.op(alt).has_syntax) continue;
+      a.templates.push_back(scanner.scan_template(alt));
+    }
+    if (iter > 0 && a.pool_files.size() + a.addr_scalars.size() == before)
+      break;
+  }
+  if (a.templates.empty())
+    throw SimError("fuzz: model has no renderable instruction templates");
+
+  // Selection pools.
+  for (std::size_t i = 0; i < a.templates.size(); ++i) {
+    const TemplateInfo& t = a.templates[i];
+    const int idx = static_cast<int>(i);
+    // Pre-compute operand shapes the renderer will need.
+    for (const FieldKey& k : t.written_children) ensure_shapes(a, shapes, k);
+    for (const FieldKey& k : t.base_children) ensure_shapes(a, shapes, k);
+    if (t.is_halt && !t.is_branch) {
+      if (a.halt_tmpl < 0) a.halt_tmpl = idx;
+      continue;
+    }
+    if (t.is_branch) {
+      if (t.branch_targeted && t.branch_width >= 2) {
+        a.branch_tmpls.push_back(idx);
+        a.min_branch_width = std::min(a.min_branch_width, t.branch_width);
+      }
+      continue;  // indirect branches are not generated
+    }
+    if (t.text_store) continue;  // only used via planned patch sequences
+    if (t.has_load || t.has_store || t.text_load)
+      a.mem_tmpls.push_back(idx);
+    else
+      a.alu_tmpls.push_back(idx);
+  }
+
+  // Const-load recipes per register file; keep the widest immediate.
+  for (std::size_t i = 0; i < a.templates.size(); ++i) {
+    const TemplateInfo& t = a.templates[i];
+    const RecipeCapture& rc = t.recipe;
+    if (!rc.valid || t.assign_count != 1 || t.is_branch || t.is_halt ||
+        t.has_load || t.has_store || t.text_load || t.text_store)
+      continue;
+    PoolRecipe r;
+    r.tmpl = static_cast<int>(i);
+    r.via_child = rc.via_child;
+    r.dst_child = rc.dst_child;
+    r.dst_index = rc.dst_index;
+    r.imm = rc.imm;
+    r.max_value = rc.max_value;
+    const auto consider = [&a](ResourceId file, const PoolRecipe& cand) {
+      auto it = a.recipes.find(file);
+      if (it == a.recipes.end() || cand.max_value > it->second.max_value)
+        a.recipes[file] = cand;
+    };
+    if (!rc.via_child) {
+      consider(rc.file, r);
+    } else {
+      const auto& cs = ensure_shapes(a, shapes, rc.dst_child);
+      for (std::size_t j = 0; j < cs.size(); ++j) {
+        if (!cs[j].shape.is_file) continue;
+        r.shape_idx = static_cast<int>(j);
+        consider(cs[j].shape.file, r);
+      }
+    }
+  }
+
+  // SMC plan: a direct text-load/text-store pair plus one register file
+  // (with a const-load recipe and three spare reserved registers) that all
+  // four forced operands can name.
+  std::optional<TextAccess> store, load;
+  for (std::size_t i = 0; i < a.templates.size(); ++i) {
+    if (a.templates[i].store_access && !store) {
+      store = *a.templates[i].store_access;
+      store->tmpl = static_cast<int>(i);
+    }
+    if (a.templates[i].load_access && !load) {
+      load = *a.templates[i].load_access;
+      load->tmpl = static_cast<int>(i);
+    }
+  }
+  if (store && load) {
+    const auto& sb = ensure_shapes(a, shapes, store->base_child);
+    const auto& sd = ensure_shapes(a, shapes, store->data_child);
+    const auto& lb = ensure_shapes(a, shapes, load->base_child);
+    const auto& ld = ensure_shapes(a, shapes, load->data_child);
+    for (const auto& [file, recipe] : a.recipes) {
+      if (m.resource(file).size < 8) continue;
+      const int isb = shape_for_file(sb, file), isd = shape_for_file(sd, file);
+      const int ilb = shape_for_file(lb, file), ild = shape_for_file(ld, file);
+      if (isb < 0 || isd < 0 || ilb < 0 || ild < 0) continue;
+      a.smc_ok = true;
+      a.smc_file = file;
+      a.smc_store = *store;
+      a.smc_load = *load;
+      a.smc_store_base_shape = isb;
+      a.smc_store_data_shape = isd;
+      a.smc_load_base_shape = ilb;
+      a.smc_load_data_shape = ild;
+      break;
+    }
+  }
+
+  // Reserved register-file elements: pool bases (top two elements when a
+  // recipe can initialize them, element 0 — which resets to zero — when
+  // not) and the three SMC scratch registers.
+  for (ResourceId f : a.pool_files) {
+    const Resource& res = m.resource(f);
+    if (a.recipes.count(f) && res.size >= 4) {
+      a.reserved[f].insert(res.size - 1);
+      a.reserved[f].insert(res.size - 2);
+    } else {
+      a.reserved[f].insert(0);
+    }
+  }
+  if (a.smc_ok) {
+    const Resource& res = m.resource(a.smc_file);
+    a.reserved[a.smc_file].insert(res.size - 3);
+    a.reserved[a.smc_file].insert(res.size - 4);
+    a.reserved[a.smc_file].insert(res.size - 5);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Renders instructions by walking SYNTAX trees, honoring the field roles
+/// and operand constraints of the template being rendered.
+struct Renderer {
+  const ProgramGenerator::Analysis& a;
+  const Model& m;
+  SplitMix64& rng;
+  const GenOptions& opts;
+  std::uint64_t bound;  // effective data-memory bound
+  std::map<ResourceId, std::vector<std::pair<std::uint64_t, std::int64_t>>>
+      pools;  // per file: (element index, preloaded value)
+  const TemplateInfo* t = nullptr;
+  bool predicated = false;  // last render chose a non-default decoration
+
+  struct Ctx {
+    std::map<FieldKey, std::string> field_text;
+    std::map<FieldKey, OperationId> forced_alt;
+    std::map<FieldKey, std::pair<const ChildShape*, std::int64_t>>
+        forced_operand;
+  };
+
+  struct Forced {
+    const Shape* shape = nullptr;
+    std::size_t step = 0;
+    std::int64_t index = 0;
+  };
+
+  std::string render_instruction(int tmpl_idx, Ctx ctx, bool plain,
+                                 unsigned pred_weight) {
+    t = &a.templates[static_cast<std::size_t>(tmpl_idx)];
+    predicated = false;
+    ctx.forced_alt[{a.root, a.insn_slot}] = t->op;
+    for (const auto& d : a.decorations) {
+      const FieldKey k{a.root, d.slot};
+      if (ctx.forced_alt.count(k)) continue;
+      OperationId alt = d.default_alt;
+      if (!plain && pred_weight && rng.chance(pred_weight)) {
+        alt = d.others[static_cast<std::size_t>(
+            rng.range(0, static_cast<std::int64_t>(d.others.size()) - 1))];
+        predicated = true;
+      }
+      ctx.forced_alt[k] = alt;
+    }
+    return render_op(a.root, ctx, std::nullopt);
+  }
+
+  /// Render a const-load of `value_text` into element `idx` of `file`.
+  std::string const_load(ResourceId file, std::uint64_t idx,
+                         const std::string& value_text) {
+    const PoolRecipe& r = a.recipes.at(file);
+    Ctx ctx;
+    ctx.field_text[r.imm] = value_text;
+    if (r.via_child) {
+      const ChildShape* cs =
+          &a.child_shapes.at(r.dst_child)[static_cast<std::size_t>(
+              r.shape_idx)];
+      ctx.forced_operand[r.dst_child] = {cs,
+                                         static_cast<std::int64_t>(idx)};
+    } else {
+      ctx.field_text[r.dst_index] = std::to_string(idx);
+    }
+    return render_instruction(r.tmpl, std::move(ctx), true, 0);
+  }
+
+  /// Render a text access with both operands pinned to scratch registers.
+  std::string text_access(const TextAccess& ta, int base_shape,
+                          int data_shape, std::uint64_t base_reg,
+                          std::uint64_t data_reg) {
+    Ctx ctx;
+    ctx.forced_operand[ta.base_child] = {
+        &a.child_shapes.at(ta.base_child)[static_cast<std::size_t>(
+            base_shape)],
+        static_cast<std::int64_t>(base_reg)};
+    ctx.forced_operand[ta.data_child] = {
+        &a.child_shapes.at(ta.data_child)[static_cast<std::size_t>(
+            data_shape)],
+        static_cast<std::int64_t>(data_reg)};
+    if (ta.off_field.op >= 0) ctx.field_text[ta.off_field] = "0";
+    return render_instruction(ta.tmpl, std::move(ctx), true, 0);
+  }
+
+  std::string render_op(OperationId id, const Ctx& ctx,
+                        std::optional<Forced> forced) {
+    const Operation& op = m.op(id);
+    std::string out;
+    for (const auto& elem : op.syntax) {
+      switch (elem.kind) {
+        case SyntaxElem::Kind::kLiteral:
+          out += elem.text;
+          break;
+        case SyntaxElem::Kind::kField: {
+          const FieldKey k{id, elem.slot};
+          if (auto it = ctx.field_text.find(k);
+              it != ctx.field_text.end()) {
+            out += it->second;
+          } else if (forced && forced->step == forced->shape->steps.size() &&
+                     id == forced->shape->leaf &&
+                     elem.slot == forced->shape->idx_slot) {
+            out += std::to_string(forced->index);
+          } else {
+            const unsigned width =
+                op.labels[static_cast<std::size_t>(elem.slot)].width;
+            out += std::to_string(field_value(k, width, elem.field_signed));
+          }
+          break;
+        }
+        case SyntaxElem::Kind::kChild: {
+          const FieldKey k{id, elem.slot};
+          const ChildDecl& child =
+              op.children[static_cast<std::size_t>(elem.slot)];
+          if (forced && forced->step < forced->shape->steps.size() &&
+              forced->shape->steps[forced->step].first == elem.slot) {
+            out += render_op(
+                forced->shape->steps[forced->step].second, ctx,
+                Forced{forced->shape, forced->step + 1, forced->index});
+            break;
+          }
+          if (auto it = ctx.forced_alt.find(k); it != ctx.forced_alt.end()) {
+            out += render_op(it->second, ctx, std::nullopt);
+            break;
+          }
+          if (auto it = ctx.forced_operand.find(k);
+              it != ctx.forced_operand.end()) {
+            const ChildShape* cs = it->second.first;
+            out += render_op(cs->alt, ctx,
+                             Forced{&cs->shape, 0, it->second.second});
+            break;
+          }
+          const bool as_base = t->base_children.count(k) != 0;
+          if (as_base || t->written_children.count(k)) {
+            if (auto pick = pick_operand(k, as_base)) {
+              out += render_op(pick->first->alt, ctx,
+                               Forced{&pick->first->shape, 0, pick->second});
+              break;
+            }
+          }
+          const OperationId alt =
+              child.alternatives[static_cast<std::size_t>(rng.range(
+                  0,
+                  static_cast<std::int64_t>(child.alternatives.size()) - 1))];
+          out += render_op(alt, ctx, std::nullopt);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::optional<std::pair<const ChildShape*, std::int64_t>> pick_operand(
+      FieldKey k, bool as_base) {
+    auto it = a.child_shapes.find(k);
+    if (it == a.child_shapes.end() || it->second.empty())
+      return std::nullopt;
+    const std::vector<ChildShape>& shapes = it->second;
+    if (as_base) {
+      std::vector<const ChildShape*> cands;
+      for (const ChildShape& cs : shapes)
+        if (cs.shape.is_file && pools.count(cs.shape.file))
+          cands.push_back(&cs);
+      if (!cands.empty()) {
+        const ChildShape* cs = cands[static_cast<std::size_t>(
+            rng.range(0, static_cast<std::int64_t>(cands.size()) - 1))];
+        const auto& pool = pools.at(cs->shape.file);
+        const auto& entry = pool[static_cast<std::size_t>(
+            rng.range(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        return std::make_pair(cs, static_cast<std::int64_t>(entry.first));
+      }
+      for (const ChildShape& cs : shapes)
+        if (cs.shape.is_file)
+          return std::make_pair(&cs, std::int64_t{0});
+      return std::make_pair(&shapes[0], std::int64_t{0});
+    }
+    const ChildShape* cs = &shapes[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(shapes.size()) - 1))];
+    std::int64_t idx = 0;
+    if (cs->shape.is_file) {
+      const unsigned width =
+          m.op(cs->shape.leaf)
+              .labels[static_cast<std::size_t>(cs->shape.idx_slot)]
+              .width;
+      idx = reg_write_index(cs->shape.file, width);
+    }
+    return std::make_pair(cs, idx);
+  }
+
+  std::int64_t reg_write_index(ResourceId file, unsigned width) {
+    const Resource& res = m.resource(file);
+    const std::int64_t hi =
+        static_cast<std::int64_t>(std::min<std::uint64_t>(
+            res.size, pow2(width))) - 1;
+    if (hi <= 0) return 0;
+    const auto rit = a.reserved.find(file);
+    if (rit == a.reserved.end()) return rng.range(0, hi);
+    for (int tries = 0; tries < 16; ++tries) {
+      const std::int64_t v = rng.range(0, hi);
+      if (!rit->second.count(static_cast<std::uint64_t>(v))) return v;
+    }
+    for (std::int64_t v = 0; v <= hi; ++v)
+      if (!rit->second.count(static_cast<std::uint64_t>(v))) return v;
+    return 0;
+  }
+
+  std::int64_t field_value(FieldKey k, unsigned width, bool signed_syntax) {
+    FieldInfo info;
+    if (auto it = t->fields.find(k); it != t->fields.end()) info = it->second;
+    const std::int64_t fmax = field_max(width);
+    switch (info.role) {
+      case FieldRole::kMemIndex: {
+        const Resource& mem = m.resource(info.resource);
+        std::uint64_t hard = std::min<std::uint64_t>(mem.size, pow2(width));
+        if (info.cap) hard = std::min(hard, info.cap);
+        const std::uint64_t soft = std::min<std::uint64_t>(hard, bound);
+        const std::uint64_t hi =
+            rng.chance(opts.weights.chaos) ? hard : soft;
+        return hi ? rng.range(0, static_cast<std::int64_t>(hi) - 1) : 0;
+      }
+      case FieldRole::kRegWrite:
+        return reg_write_index(info.resource, width);
+      case FieldRole::kPoolBase: {
+        auto it = pools.find(info.resource);
+        if (it == pools.end() || it->second.empty()) return 0;
+        const auto& entry = it->second[static_cast<std::size_t>(rng.range(
+            0, static_cast<std::int64_t>(it->second.size()) - 1))];
+        return static_cast<std::int64_t>(entry.first);
+      }
+      case FieldRole::kRegIndex: {
+        const Resource& res = m.resource(info.resource);
+        const std::int64_t hi =
+            static_cast<std::int64_t>(std::min<std::uint64_t>(
+                res.size, pow2(width))) - 1;
+        return hi > 0 ? rng.range(0, hi) : 0;
+      }
+      case FieldRole::kAddrPart: {
+        const std::int64_t soft = std::min<std::int64_t>(
+            static_cast<std::int64_t>(bound / 4), fmax);
+        const std::int64_t hard =
+            std::min<std::int64_t>(static_cast<std::int64_t>(bound), fmax);
+        return rng.range(0, rng.chance(opts.weights.chaos) ? hard : soft);
+      }
+      case FieldRole::kFree: {
+        const std::int64_t pick = rng.range(0, 9);
+        if (pick < 6) return rng.range(0, std::min<std::int64_t>(7, fmax));
+        if (pick < 9) return rng.range(0, std::min<std::int64_t>(255, fmax));
+        if (signed_syntax && width > 1) {
+          const std::int64_t lo = -static_cast<std::int64_t>(
+              std::min<std::uint64_t>(128, pow2(width - 1)));
+          return rng.range(lo, std::min<std::int64_t>(4095, fmax));
+        }
+        return rng.range(0, std::min<std::int64_t>(4095, fmax));
+      }
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+GeneratedProgram ProgramGenerator::generate(std::uint64_t seed,
+                                            const GenOptions& opts) const {
+  const Analysis& a = *analysis_;
+  const Model& m = *a.m;
+  SplitMix64 rng(seed);
+  GeneratedProgram out;
+  Coverage& cov = out.coverage;
+  cov.programs = 1;
+
+  // Effective data bound: the configured bound, but inside every memory.
+  std::uint64_t bound = std::max<std::uint64_t>(8, opts.mem_bound);
+  for (const Resource& r : m.resources)
+    if (r.kind == ast::ResourceKind::kMemory)
+      bound = std::min(bound, r.size);
+
+  Renderer ren{a, m, rng, opts, bound, {}};
+
+  // Address pools: two preloaded elements per pooled register file. Files
+  // without a const-load recipe fall back to element 0, which resets to 0.
+  struct PoolLoad {
+    ResourceId file;
+    std::uint64_t idx;
+    std::int64_t val;
+  };
+  std::vector<PoolLoad> preamble;
+  for (ResourceId f : a.pool_files) {
+    const Resource& res = m.resource(f);
+    const auto rit = a.recipes.find(f);
+    if (rit == a.recipes.end() || res.size < 4) {
+      ren.pools[f] = {{0, 0}};
+      continue;
+    }
+    const std::int64_t vmax = std::min<std::int64_t>(
+        static_cast<std::int64_t>(bound - bound / 4) - 1,
+        static_cast<std::int64_t>(rit->second.max_value));
+    for (const std::uint64_t idx : {res.size - 1, res.size - 2}) {
+      const std::int64_t val = vmax > 0 ? rng.range(0, vmax) : 0;
+      ren.pools[f].push_back({idx, val});
+      preamble.push_back({f, idx, val});
+    }
+  }
+
+  const unsigned packet_max = std::max(1u, m.fetch.packet_max);
+
+  // Program-size cap: branch-target field widths and the fetch memory.
+  std::uint64_t cap_words = m.resource(m.fetch_memory).size;
+  if (!a.branch_tmpls.empty())
+    cap_words = std::min(cap_words, pow2(a.min_branch_width - 1));
+
+  int n_body = static_cast<int>(
+      rng.range(std::max(1, opts.min_packets),
+                std::max(opts.min_packets, opts.max_packets)));
+  bool do_smc = a.smc_ok && rng.chance(opts.weights.smc);
+  const std::uint64_t fixed_units = preamble.size() + (do_smc ? 5 : 0) + 1;
+  while (n_body > 1 &&
+         fixed_units + static_cast<std::uint64_t>(n_body) * packet_max >
+             cap_words)
+    --n_body;
+  if (do_smc &&
+      a.recipes.at(a.smc_file).max_value <
+          fixed_units + static_cast<std::uint64_t>(n_body) * packet_max)
+    do_smc = false;
+
+  // Unit schedule. Every unit gets a label L<unit-id> (its index in the
+  // schedule), so branches and the SMC address loads can name any packet.
+  struct UnitPlan {
+    enum Kind : std::uint8_t { kPool, kBody, kPatch, kHalt, kTmpl } kind;
+    int index;
+  };
+  std::vector<UnitPlan> schedule;
+  for (std::size_t i = 0; i < preamble.size(); ++i)
+    schedule.push_back({UnitPlan::kPool, static_cast<int>(i)});
+  const int patch_pos =
+      do_smc ? static_cast<int>(rng.range(0, n_body - 1)) : -1;
+  std::vector<int> body_unit(static_cast<std::size_t>(n_body), -1);
+  for (int i = 0; i < n_body; ++i) {
+    if (i == patch_pos)
+      for (int p = 0; p < 4; ++p) schedule.push_back({UnitPlan::kPatch, p});
+    body_unit[static_cast<std::size_t>(i)] =
+        static_cast<int>(schedule.size());
+    schedule.push_back({UnitPlan::kBody, i});
+  }
+  // Fix up body unit ids now that patch units shifted them.
+  {
+    int id = 0;
+    for (std::size_t u = 0; u < schedule.size(); ++u)
+      if (schedule[u].kind == UnitPlan::kBody)
+        body_unit[static_cast<std::size_t>(id++)] = static_cast<int>(u);
+  }
+  const int halt_unit = static_cast<int>(schedule.size());
+  schedule.push_back({UnitPlan::kHalt, 0});
+  const int tmpl_unit = static_cast<int>(schedule.size());
+  if (do_smc) schedule.push_back({UnitPlan::kTmpl, 0});
+  const int vict_pos =
+      do_smc ? static_cast<int>(rng.range(patch_pos, n_body - 1)) : -1;
+
+  // Template selection pools, with fallbacks for sparse models.
+  std::vector<int> alu_list = a.alu_tmpls;
+  if (alu_list.empty()) alu_list = a.mem_tmpls;
+  if (alu_list.empty())
+    alu_list.push_back(a.halt_tmpl >= 0 ? a.halt_tmpl : 0);
+  std::vector<int> mem_list = a.mem_tmpls.empty() ? alu_list : a.mem_tmpls;
+
+  const auto pick_from = [&rng](const std::vector<int>& list) {
+    return list[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(list.size()) - 1))];
+  };
+  const auto note_template = [&](const TemplateInfo& ti, bool pred) {
+    ++cov.instructions;
+    if (ti.has_load || ti.text_load) ++cov.loads;
+    if (ti.has_store) ++cov.stores;
+    if (pred) ++cov.predicated;
+  };
+  const auto label_of = [](int u) { return "L" + std::to_string(u); };
+
+  std::string text;
+  int branch_shadow = 0;  // body/patch units still inside a branch shadow
+
+  for (std::size_t u = 0; u < schedule.size(); ++u) {
+    const UnitPlan& plan = schedule[u];
+    std::string line;
+    std::vector<std::string> extra;
+    switch (plan.kind) {
+      case UnitPlan::kPool: {
+        const PoolLoad& pl = preamble[static_cast<std::size_t>(plan.index)];
+        line = ren.const_load(pl.file, pl.idx, std::to_string(pl.val));
+        note_template(a.templates[static_cast<std::size_t>(
+                          a.recipes.at(pl.file).tmpl)],
+                      false);
+        break;
+      }
+      case UnitPlan::kPatch: {
+        const Resource& fres = m.resource(a.smc_file);
+        const std::uint64_t rt = fres.size - 3;
+        const std::uint64_t rv = fres.size - 4;
+        const std::uint64_t rd = fres.size - 5;
+        switch (plan.index) {
+          case 0:
+            line = ren.const_load(a.smc_file, rt, label_of(tmpl_unit));
+            break;
+          case 1:
+            line = ren.const_load(
+                a.smc_file, rv,
+                label_of(body_unit[static_cast<std::size_t>(vict_pos)]));
+            break;
+          case 2:
+            line = ren.text_access(a.smc_load, a.smc_load_base_shape,
+                                   a.smc_load_data_shape, rt, rd);
+            ++cov.loads;
+            break;
+          case 3:
+            line = ren.text_access(a.smc_store, a.smc_store_base_shape,
+                                   a.smc_store_data_shape, rv, rd);
+            ++cov.smc_patches;
+            out.has_smc = true;
+            break;
+        }
+        ++cov.instructions;
+        if (branch_shadow > 0) {
+          ++cov.delay_slot_fills;
+          --branch_shadow;
+        }
+        break;
+      }
+      case UnitPlan::kBody: {
+        const bool single = plan.index == vict_pos;
+        Renderer::Ctx ctx;
+        int first;
+        bool force_pred = false;
+        bool took_branch = false;
+        bool backward = false;
+        if (!a.branch_tmpls.empty() && n_body >= 2 &&
+            rng.chance(opts.weights.branch)) {
+          first = pick_from(a.branch_tmpls);
+          const TemplateInfo& bt =
+              a.templates[static_cast<std::size_t>(first)];
+          backward = plan.index > 0 && rng.chance(opts.weights.backward);
+          if (backward && !bt.inherently_cond()) {
+            if (!a.decorations.empty())
+              force_pred = true;  // predicate the loop-back edge
+            else if (!rng.chance(25))
+              backward = false;  // most unconditional edges aim forward
+          }
+          int target_unit;
+          if (backward) {
+            target_unit = body_unit[static_cast<std::size_t>(
+                rng.range(0, plan.index - 1))];
+          } else {
+            const std::int64_t r = rng.range(plan.index + 1, n_body);
+            target_unit = r == n_body
+                              ? halt_unit
+                              : body_unit[static_cast<std::size_t>(r)];
+          }
+          ctx.field_text[bt.branch_target] = label_of(target_unit);
+          took_branch = true;
+        } else {
+          first = rng.chance(opts.weights.memory) ? pick_from(mem_list)
+                                                  : pick_from(alu_list);
+        }
+        const TemplateInfo& ft = a.templates[static_cast<std::size_t>(first)];
+        line = ren.render_instruction(first, std::move(ctx), false,
+                                      force_pred ? 100
+                                                 : opts.weights.predicate);
+        note_template(ft, ren.predicated);
+        if (took_branch) {
+          ++cov.branches;
+          if (backward) ++cov.backward_branches;
+          if (ft.inherently_cond() || ren.predicated) ++cov.cond_branches;
+          branch_shadow = ft.branch_stage;
+        } else if (branch_shadow > 0) {
+          ++cov.delay_slot_fills;
+          --branch_shadow;
+        }
+        // Extend into a parallel packet, pre-checking structural hazards
+        // (two slots writing one scalar resource in one stage).
+        std::vector<const TemplateInfo*> in_packet{&ft};
+        while (!single && packet_max > 1 &&
+               in_packet.size() < packet_max &&
+               rng.chance(opts.weights.parallel)) {
+          int cand = -1;
+          for (int tries = 0; tries < 4 && cand < 0; ++tries) {
+            const int c = rng.chance(opts.weights.memory)
+                              ? pick_from(mem_list)
+                              : pick_from(alu_list);
+            const TemplateInfo& ct =
+                a.templates[static_cast<std::size_t>(c)];
+            if (ct.is_branch || ct.is_halt) continue;
+            bool conflict = false;
+            for (const auto& [res, stage] : ct.scalar_writes)
+              for (const TemplateInfo* pi : in_packet)
+                for (const auto& [pres, pstage] : pi->scalar_writes)
+                  conflict = conflict || (res == pres && stage == pstage);
+            if (!conflict) cand = c;
+          }
+          if (cand < 0) break;
+          const TemplateInfo& ct =
+              a.templates[static_cast<std::size_t>(cand)];
+          extra.push_back(ren.render_instruction(
+              cand, {}, false, opts.weights.predicate));
+          note_template(ct, ren.predicated);
+          in_packet.push_back(&ct);
+        }
+        if (!extra.empty()) ++cov.parallel_packets;
+        break;
+      }
+      case UnitPlan::kHalt:
+        line = a.halt_tmpl >= 0
+                   ? ren.render_instruction(a.halt_tmpl, {}, true, 0)
+                   : ren.render_instruction(pick_from(alu_list), {}, true, 0);
+        ++cov.instructions;
+        break;
+      case UnitPlan::kTmpl:
+        line = ren.render_instruction(pick_from(alu_list), {}, true, 0);
+        ++cov.instructions;
+        break;
+    }
+    text += label_of(static_cast<int>(u)) + ": " + line + "\n";
+    for (const std::string& e : extra) text += "        || " + e + "\n";
+    ++cov.packets;
+  }
+
+  // Data sections: deterministic contents for every non-fetch memory.
+  for (const Resource& r : m.resources) {
+    if (r.kind != ast::ResourceKind::kMemory || r.id == m.fetch_memory)
+      continue;
+    const std::uint64_t n = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::max(0, opts.data_words)), r.size);
+    if (n == 0) continue;
+    text += "        .data " + r.name + " 0\n";
+    std::string row;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t v;
+      if (r.type.is_signed && r.type.width > 1) {
+        const std::int64_t h =
+            static_cast<std::int64_t>(pow2(r.type.width - 1));
+        v = rng.range(-h, h - 1);
+      } else {
+        v = rng.range(0, field_max(r.type.width));
+      }
+      row += (row.empty() ? "" : ", ") + std::to_string(v);
+      if ((i + 1) % 8 == 0 || i + 1 == n) {
+        text += "        .word " + row + "\n";
+        row.clear();
+      }
+    }
+  }
+
+  out.source = std::move(text);
+  return out;
+}
+
+Coverage& Coverage::operator+=(const Coverage& o) {
+  programs += o.programs;
+  packets += o.packets;
+  instructions += o.instructions;
+  parallel_packets += o.parallel_packets;
+  branches += o.branches;
+  backward_branches += o.backward_branches;
+  cond_branches += o.cond_branches;
+  predicated += o.predicated;
+  loads += o.loads;
+  stores += o.stores;
+  smc_patches += o.smc_patches;
+  delay_slot_fills += o.delay_slot_fills;
+  return *this;
+}
+
+std::string Coverage::to_string() const {
+  const auto line = [](const char* key, std::uint64_t v) {
+    std::string s = "  ";
+    s += key;
+    s.append(s.size() < 20 ? 20 - s.size() : 1, ' ');
+    return s + std::to_string(v) + "\n";
+  };
+  std::string out;
+  out += line("programs", programs);
+  out += line("packets", packets);
+  out += line("instructions", instructions);
+  out += line("parallel_packets", parallel_packets);
+  out += line("branches", branches);
+  out += line("backward_branches", backward_branches);
+  out += line("cond_branches", cond_branches);
+  out += line("predicated", predicated);
+  out += line("loads", loads);
+  out += line("stores", stores);
+  out += line("smc_patches", smc_patches);
+  out += line("delay_slot_fills", delay_slot_fills);
+  return out;
+}
+
+ProgramGenerator::ProgramGenerator(const Model& model) {
+  auto a = std::make_unique<Analysis>();
+  build_analysis(*a, model);
+  analysis_ = std::move(a);
+}
+
+ProgramGenerator::~ProgramGenerator() = default;
+
+bool ProgramGenerator::supports_smc() const { return analysis_->smc_ok; }
+bool ProgramGenerator::supports_predication() const {
+  return !analysis_->decorations.empty();
+}
+bool ProgramGenerator::supports_branches() const {
+  return !analysis_->branch_tmpls.empty();
+}
+bool ProgramGenerator::supports_packets() const {
+  return analysis_->m->fetch.packet_max > 1;
+}
+std::size_t ProgramGenerator::instruction_templates() const {
+  return analysis_->templates.size();
+}
+
+}  // namespace lisasim::fuzz

@@ -1,0 +1,109 @@
+// Retargetable random program generator, driven by the model data base.
+//
+// The generator is given nothing but a compiled Model. It walks the decode
+// tree from the root operation's SYNTAX/CODING tables to enumerate the
+// renderable instruction templates, and classifies every coding field and
+// operand child by walking the BEHAVIOR/EXPRESSION trees of each template's
+// subtree: which fields index memories (kept inside a configured bound),
+// which index register files that are written (kept away from reserved
+// base registers), which feed address arithmetic (kept small), which
+// operations branch (targets rendered as labels), halt, access memory, or
+// patch program text. Because everything is derived from the machine
+// description, the same generator produces valid tinydsp, c54x and c62x
+// programs — and programs for any future or generated model — with a
+// weighted feature mix: branches (taken/not-taken/backward), predication
+// (decoration groups such as the c62x predicate field), `||` parallel
+// packets (bounded by FETCH PACKET and pre-checked against structural
+// hazards), delay-slot fills, bounded memory traffic, and mid-run SMC
+// patch sequences applied through ProgramGuard-visible stores.
+//
+// Programs are deterministic in (model, seed, options).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/model.hpp"
+
+namespace lisasim::fuzz {
+
+/// Weighted feature mix, in percent.
+struct FeatureWeights {
+  unsigned branch = 18;     // packets that are branches
+  unsigned backward = 30;   // branches that aim backward
+  unsigned predicate = 30;  // instructions with a non-default decoration
+  unsigned parallel = 35;   // chance to extend a packet with another slot
+  unsigned memory = 35;     // non-branch instructions drawn from memory ops
+  unsigned smc = 60;        // chance a program patches its own text mid-run
+  unsigned chaos = 3;       // chance a constrained operand escapes its bound
+};
+
+struct GenOptions {
+  FeatureWeights weights;
+  int min_packets = 10;
+  int max_packets = 40;
+  /// Data-memory traffic is confined to element indices [0, mem_bound).
+  std::uint64_t mem_bound = 48;
+  /// .word initializers emitted per non-fetch memory.
+  int data_words = 12;
+};
+
+/// Static feature counters, accumulated across generated programs and
+/// printed by `lisasim-fuzz --stats`.
+struct Coverage {
+  std::uint64_t programs = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t parallel_packets = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t backward_branches = 0;
+  std::uint64_t cond_branches = 0;
+  std::uint64_t predicated = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t smc_patches = 0;
+  std::uint64_t delay_slot_fills = 0;
+
+  Coverage& operator+=(const Coverage& other);
+  std::string to_string() const;
+};
+
+struct GeneratedProgram {
+  std::string source;    // assembly text (labels on every packet)
+  Coverage coverage;     // static counters for this one program
+  bool has_smc = false;  // program stores into its own text mid-run
+};
+
+class ProgramGenerator {
+ public:
+  /// Analyze `model` (kept by reference; must outlive the generator).
+  /// Throws SimError if the model has no renderable instructions.
+  explicit ProgramGenerator(const Model& model);
+  ~ProgramGenerator();
+  ProgramGenerator(const ProgramGenerator&) = delete;
+  ProgramGenerator& operator=(const ProgramGenerator&) = delete;
+
+  /// Generate one program. Deterministic in (seed, opts).
+  GeneratedProgram generate(std::uint64_t seed,
+                            const GenOptions& opts = {}) const;
+
+  /// Capability probes, derived from the machine description: whether the
+  /// model has text-store/-load recipes (SMC), decoration groups with a
+  /// neutral default (predication), PC-writing operations with a plain
+  /// target field (aimable branches), and multi-slot fetch packets.
+  bool supports_smc() const;
+  bool supports_predication() const;
+  bool supports_branches() const;
+  bool supports_packets() const;
+  std::size_t instruction_templates() const;
+
+  /// Opaque analysis result (defined in progen.cpp; public so the
+  /// file-local scanner/renderer helpers can name it).
+  struct Analysis;
+
+ private:
+  std::unique_ptr<const Analysis> analysis_;
+};
+
+}  // namespace lisasim::fuzz

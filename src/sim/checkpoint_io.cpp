@@ -1,0 +1,188 @@
+#include "sim/checkpoint_io.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "model/model.hpp"
+
+namespace lisasim {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char c = s[++i];
+      out += c == 'n' ? '\n' : c == 'r' ? '\r' : c;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Whitespace/newline token reader over the serialized text.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  /// Next whitespace-delimited token; throws at end of input.
+  std::string_view token() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+    if (pos_ >= text_.size())
+      throw SimError("checkpoint: truncated (unexpected end of input)");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ' && text_[pos_] != '\n' &&
+           text_[pos_] != '\r')
+      ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Remainder of the current line (for escaped free text); consumes the
+  /// trailing newline. Leading single space (the key/value separator) is
+  /// stripped.
+  std::string_view rest_of_line() {
+    if (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    const std::string_view line = text_.substr(start, pos_ - start);
+    if (pos_ < text_.size()) ++pos_;
+    return line;
+  }
+
+  void expect(std::string_view keyword) {
+    const std::string_view got = token();
+    if (got != keyword)
+      throw SimError("checkpoint: expected '" + std::string(keyword) +
+                     "', got '" + std::string(got) + "'");
+  }
+
+  std::int64_t integer() {
+    const std::string_view t = token();
+    char* end = nullptr;
+    const std::string buf(t);
+    const long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (end != buf.c_str() + buf.size())
+      throw SimError("checkpoint: bad integer '" + buf + "'");
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::uint64_t unsigned_integer() {
+    const std::string_view t = token();
+    char* end = nullptr;
+    const std::string buf(t);
+    const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+    if (end != buf.c_str() + buf.size() || buf.empty() || buf[0] == '-')
+      throw SimError("checkpoint: bad unsigned integer '" + buf + "'");
+    return static_cast<std::uint64_t>(v);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_checkpoint(const EngineCheckpoint& cp) {
+  std::string out;
+  out += "lisasim-checkpoint 1\n";
+  out += "total_cycles " + std::to_string(cp.total_cycles) + "\n";
+  out += "interrupts " + std::to_string(cp.interrupts.size()) + "\n";
+  for (const auto& [cycle, target] : cp.interrupts)
+    out += std::to_string(cycle) + " " + std::to_string(target) + "\n";
+  out += "state " + std::to_string(cp.state.size()) + "\n";
+  for (std::size_t i = 0; i < cp.state.size(); ++i) {
+    out += std::to_string(cp.state[i]);
+    out += (i + 1) % 16 == 0 || i + 1 == cp.state.size() ? '\n' : ' ';
+  }
+  out += "slots " + std::to_string(cp.slots.size()) + "\n";
+  for (const EngineCheckpoint::SlotImage& slot : cp.slots) {
+    out += "slot " + std::to_string(slot.pc) + " " +
+           std::to_string(slot.stall) + " " + std::to_string(slot.valid) +
+           " " + std::to_string(slot.executed) + " " +
+           std::to_string(slot.work.treewalk) + "\n";
+    out += "error ";
+    append_escaped(out, slot.work.error);
+    out += "\n";
+    out += "queues " + std::to_string(slot.work.sched_paths.size()) + "\n";
+    for (const auto& queue : slot.work.sched_paths) {
+      out += "queue " + std::to_string(queue.size()) + "\n";
+      for (const auto& path : queue) {
+        out += "path " + std::to_string(path.size());
+        for (std::int32_t step : path) out += " " + std::to_string(step);
+        out += "\n";
+      }
+    }
+  }
+  return out;
+}
+
+EngineCheckpoint parse_checkpoint(std::string_view text) {
+  Reader r(text);
+  r.expect("lisasim-checkpoint");
+  if (r.unsigned_integer() != 1)
+    throw SimError("checkpoint: unsupported format version");
+  EngineCheckpoint cp;
+  r.expect("total_cycles");
+  cp.total_cycles = r.unsigned_integer();
+  r.expect("interrupts");
+  const std::uint64_t n_irq = r.unsigned_integer();
+  for (std::uint64_t i = 0; i < n_irq; ++i) {
+    const std::uint64_t cycle = r.unsigned_integer();
+    const std::uint64_t target = r.unsigned_integer();
+    cp.interrupts.emplace_back(cycle, target);
+  }
+  r.expect("state");
+  const std::uint64_t n_state = r.unsigned_integer();
+  cp.state.reserve(n_state);
+  for (std::uint64_t i = 0; i < n_state; ++i) cp.state.push_back(r.integer());
+  r.expect("slots");
+  const std::uint64_t n_slots = r.unsigned_integer();
+  for (std::uint64_t i = 0; i < n_slots; ++i) {
+    EngineCheckpoint::SlotImage slot;
+    r.expect("slot");
+    slot.pc = r.unsigned_integer();
+    slot.stall = static_cast<int>(r.integer());
+    slot.valid = r.unsigned_integer() != 0;
+    slot.executed = r.unsigned_integer() != 0;
+    slot.work.treewalk = r.unsigned_integer() != 0;
+    r.expect("error");
+    slot.work.error = unescape(r.rest_of_line());
+    r.expect("queues");
+    const std::uint64_t n_queues = r.unsigned_integer();
+    slot.work.sched_paths.resize(n_queues);
+    for (std::uint64_t q = 0; q < n_queues; ++q) {
+      r.expect("queue");
+      const std::uint64_t n_paths = r.unsigned_integer();
+      slot.work.sched_paths[q].resize(n_paths);
+      for (std::uint64_t p = 0; p < n_paths; ++p) {
+        r.expect("path");
+        const std::uint64_t len = r.unsigned_integer();
+        auto& path = slot.work.sched_paths[q][p];
+        path.reserve(len);
+        for (std::uint64_t s = 0; s < len; ++s)
+          path.push_back(static_cast<std::int32_t>(r.integer()));
+      }
+    }
+    cp.slots.push_back(std::move(slot));
+  }
+  return cp;
+}
+
+}  // namespace lisasim

@@ -1,0 +1,27 @@
+// Text serialization of EngineCheckpoint, the piece that makes repro
+// bundles self-contained: a checkpoint written by the differential fuzzer
+// in one process can be parsed and restored into a freshly constructed
+// simulator in another process (the program image travels inside the
+// state vector, and in-flight tree-walk activation queues travel as
+// structural decode-tree paths — see sim/checkpoint.hpp).
+//
+// The format is line-oriented ASCII, versioned by the header line, with
+// every count explicit so a truncated file is always detected.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/checkpoint.hpp"
+
+namespace lisasim {
+
+/// Render `cp` as a self-contained text block (header "lisasim-checkpoint
+/// 1"). Deterministic: equal checkpoints serialize to equal text.
+std::string serialize_checkpoint(const EngineCheckpoint& cp);
+
+/// Parse text produced by serialize_checkpoint. Throws SimError (fatal) on
+/// any malformed or truncated input.
+EngineCheckpoint parse_checkpoint(std::string_view text);
+
+}  // namespace lisasim

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "support/rng.hpp"
+
 namespace lisasim::workloads::detail {
 
 class AsmBuilder {
@@ -39,26 +41,11 @@ class AsmBuilder {
   std::string out_;
 };
 
-/// Deterministic pseudo-random generator (xorshift), so workloads are
-/// reproducible without seeding machinery.
-class Prng {
- public:
-  explicit Prng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B9u) {}
-  std::uint64_t next() {
-    state_ ^= state_ << 13;
-    state_ ^= state_ >> 7;
-    state_ ^= state_ << 17;
-    return state_;
-  }
-  /// Uniform value in [lo, hi].
-  std::int64_t range(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(
-                    next() % static_cast<std::uint64_t>(hi - lo + 1));
-  }
-
- private:
-  std::uint64_t state_;
-};
+/// Deterministic pseudo-random generator, so workloads are reproducible
+/// without seeding machinery. The shared unbiased generator replaces a
+/// third hand-rolled xorshift copy (the two others lived in the fuzz
+/// tests).
+using Prng = ::lisasim::support::SplitMix64;
 
 // ---- C models of the target arithmetic (must mirror the c62x model) ------
 

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Integration test for the lisasim command-line driver. Invoked by ctest
-# with the path to the binary as $1; exercises every subcommand against
-# the built-in models and checks key output fragments.
+# with the path to the binary as $1 (and, optionally, the lisasim-fuzz
+# binary as $2); exercises every subcommand against the built-in models
+# and checks key output fragments.
 set -eu
 
 LISASIM="$1"
+LISASIM_FUZZ="${2:-}"
 TMP="${TMPDIR:-/tmp}/lisasim_cli_test.$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -287,21 +289,24 @@ for level in interp cached dynamic static trace; do
   expect_contains "$TMP/wd.out" "watchdog: cycle limit 500" \
       "watchdog message ($level)"
 done
-# The livelock watchdog trips on consecutive non-retiring cycles.
+# The livelock watchdog trips on consecutive non-retiring cycles — a
+# recoverable stop (exit 3, never the fatal exit 1) at every level.
 cat > "$TMP/stall.asm" <<'EOF'
         .entry start
 start:  NOP 15
         HALT
 EOF
-if "$LISASIM" run @tinydsp "$TMP/stall.asm" --max-stuck 5 \
-    > "$TMP/stuck.out" 2>&1; then
-  fail "--max-stuck should fail"
-else
-  code=$?
-fi
-[ "$code" = "3" ] || fail "--max-stuck should exit 3 (got $code)"
-expect_contains "$TMP/stuck.out" "consecutive cycles without a retiring" \
-    "stuck-limit message"
+for level in interp cached dynamic static trace; do
+  if "$LISASIM" run @tinydsp "$TMP/stall.asm" --level "$level" \
+      --max-stuck 5 > "$TMP/stuck.out" 2>&1; then
+    fail "--max-stuck should fail ($level)"
+  else
+    code=$?
+  fi
+  [ "$code" = "3" ] || fail "--max-stuck should exit 3 ($level, got $code)"
+  expect_contains "$TMP/stuck.out" "consecutive cycles without a retiring" \
+      "stuck-limit message ($level)"
+done
 # Fatal simulation errors keep exiting 1, distinct from recoverable stops.
 cat > "$TMP/oob.asm" <<'EOF'
         .entry start
@@ -344,6 +349,54 @@ expect_contains "$TMP/err3.out" \
 echo "BROKEN !!" > "$TMP/bad.asm"
 if "$LISASIM" asm @c62x "$TMP/bad.asm" > "$TMP/err2.out" 2>&1; then
   fail "bad assembly should fail"
+fi
+
+# ---- lisasim-fuzz ----------------------------------------------------------
+if [ -n "$LISASIM_FUZZ" ]; then
+  # A short seed sweep stays clean: exit 0, no repro bundles, and the
+  # coverage counters print under --stats.
+  "$LISASIM_FUZZ" @tinydsp --seeds 12 --stats \
+      --repro-dir "$TMP/repros" > "$TMP/fuzz.out" 2>&1 \
+      || fail "clean fuzz sweep should exit 0"
+  expect_contains "$TMP/fuzz.out" "0 divergences" "clean sweep reports zero"
+  expect_contains "$TMP/fuzz.out" "smc_patches" "--stats prints coverage"
+  [ ! -d "$TMP/repros" ] || [ -z "$(ls -A "$TMP/repros")" ] \
+      || fail "clean sweep must not write repro bundles"
+
+  # --soak honors its wall-clock budget (2s + slack for the last seed).
+  start=$(date +%s)
+  "$LISASIM_FUZZ" @tinydsp --soak 2 --repro-dir "$TMP/repros" \
+      > "$TMP/soak.out" 2>&1 || fail "clean soak should exit 0"
+  elapsed=$(( $(date +%s) - start ))
+  [ "$elapsed" -le 30 ] || fail "--soak 2 took ${elapsed}s"
+  expect_contains "$TMP/soak.out" "0 divergences" "soak reports zero"
+
+  # The injection hook forces the divergence path end to end: exit 1, a
+  # minimized repro, and a self-contained bundle on disk.
+  if "$LISASIM_FUZZ" @tinydsp --seeds 3..3 --inject-divergence 3 \
+      --repro-dir "$TMP/inj" > "$TMP/inj.out" 2>&1; then
+    fail "injected divergence should exit 1"
+  else
+    code=$?
+  fi
+  [ "$code" = "1" ] || fail "divergence should exit 1 (got $code)"
+  expect_contains "$TMP/inj.out" "DIVERGENCE seed 3" "divergence report"
+  expect_contains "$TMP/inj.out" "repro bundle:" "bundle path printed"
+  bundle=$(sed -n 's/^  repro bundle: //p' "$TMP/inj.out")
+  for f in program.asm minimized.asm checkpoint.txt meta.txt; do
+    [ -s "$bundle/$f" ] || fail "bundle file $f missing or empty"
+  done
+  expect_contains "$bundle/checkpoint.txt" "lisasim-checkpoint 1" \
+      "checkpoint header"
+  expect_contains "$bundle/meta.txt" "level trace" "meta records the level"
+
+  # Usage errors exit 2, matching the lisasim driver.
+  if "$LISASIM_FUZZ" > "$TMP/fuzzusage.out" 2>&1; then
+    fail "missing model should fail"
+  else
+    code=$?
+  fi
+  [ "$code" = "2" ] || fail "usage error should exit 2 (got $code)"
 fi
 
 echo "cli_test: all checks passed"

@@ -1,0 +1,312 @@
+// Tests for the retargetable fuzz subsystem (src/fuzz): the SYNTAX/CODING
+// driven program generator, the five-level differential fuzzer with its
+// repro bundles and greedy minimizer, and checkpoint serialization —
+// including restore of a serialized EngineCheckpoint into a freshly
+// constructed simulator, as a repro bundle replayed in a new process
+// would do.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/differ.hpp"
+#include "fuzz/progen.hpp"
+#include "sim/checkpoint_io.hpp"
+#include "sim_test_util.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+
+TestTarget& tiny() {
+  static TestTarget t(targets::tinydsp_model_source(), "tinydsp");
+  return t;
+}
+TestTarget& c54x() {
+  static TestTarget t(targets::c54x_model_source(), "c54x");
+  return t;
+}
+TestTarget& c62x() {
+  static TestTarget t(targets::c62x_model_source(), "c62x");
+  return t;
+}
+
+// ---- generator -------------------------------------------------------------
+
+TEST(FuzzGen, DeterministicInSeedAndOptions) {
+  for (TestTarget* t : {&tiny(), &c54x(), &c62x()}) {
+    fuzz::ProgramGenerator gen(*t->model);
+    fuzz::GenOptions opts;
+    for (std::uint64_t seed : {0ull, 7ull, 123456789ull}) {
+      const fuzz::GeneratedProgram a = gen.generate(seed, opts);
+      const fuzz::GeneratedProgram b = gen.generate(seed, opts);
+      EXPECT_EQ(a.source, b.source) << t->model->name << " seed " << seed;
+      EXPECT_EQ(a.has_smc, b.has_smc);
+    }
+    // Different seeds explore different programs.
+    EXPECT_NE(gen.generate(1, opts).source, gen.generate(2, opts).source);
+  }
+}
+
+TEST(FuzzGen, CapabilityProbesMatchTheMachineDescriptions) {
+  fuzz::ProgramGenerator t(*tiny().model);
+  EXPECT_TRUE(t.supports_smc());  // LDP/STP reach program memory
+  EXPECT_TRUE(t.supports_branches());
+  EXPECT_FALSE(t.supports_predication());
+  EXPECT_FALSE(t.supports_packets());
+  EXPECT_GE(t.instruction_templates(), 8u);
+
+  fuzz::ProgramGenerator c54(*c54x().model);
+  EXPECT_FALSE(c54.supports_smc());  // no store into pmem in the model
+  EXPECT_TRUE(c54.supports_branches());
+
+  fuzz::ProgramGenerator c62(*c62x().model);
+  EXPECT_TRUE(c62.supports_smc());
+  EXPECT_TRUE(c62.supports_predication());
+  EXPECT_TRUE(c62.supports_packets());
+  EXPECT_GE(c62.instruction_templates(), 20u);
+}
+
+TEST(FuzzGen, SeedSweepAssemblesWithFeatureCoverage) {
+  for (TestTarget* t : {&tiny(), &c54x(), &c62x()}) {
+    fuzz::ProgramGenerator gen(*t->model);
+    fuzz::Coverage total;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+      const fuzz::GeneratedProgram prog = gen.generate(seed);
+      SCOPED_TRACE(t->model->name + " seed " + std::to_string(seed));
+      EXPECT_NO_THROW(t->assemble(prog.source)) << prog.source;
+      total += prog.coverage;
+    }
+    EXPECT_EQ(total.programs, 64u);
+    EXPECT_GT(total.branches, 0u);
+    EXPECT_GT(total.backward_branches, 0u);
+    EXPECT_GT(total.loads, 0u);
+    EXPECT_GT(total.stores, 0u);
+    EXPECT_GT(total.delay_slot_fills, 0u);
+    if (gen.supports_smc()) {
+      EXPECT_GE(total.smc_patches, total.programs / 10)
+          << t->model->name << ": at least one SMC patch per 10 programs";
+    }
+    if (gen.supports_predication()) {
+      EXPECT_GT(total.predicated, 0u);
+    }
+    if (gen.supports_packets()) {
+      EXPECT_GT(total.parallel_packets, 0u);
+    }
+    const std::string stats = total.to_string();
+    EXPECT_NE(stats.find("smc_patches"), std::string::npos);
+  }
+}
+
+// ---- differential fuzzer ---------------------------------------------------
+
+TEST(FuzzDiff, SeedSweepFindsNoDivergence) {
+  for (TestTarget* t : {&tiny(), &c54x(), &c62x()}) {
+    fuzz::DifferentialFuzzer fuzzer(*t->model);
+    fuzz::FuzzOptions opts;
+    opts.repro_dir.clear();  // no bundles from a clean sweep
+    fuzz::FuzzStats stats;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      const auto d = fuzzer.run_seed(seed, opts, stats);
+      EXPECT_FALSE(d.has_value())
+          << t->model->name << " seed " << seed << ": " << d->level << "/"
+          << d->policy << ": " << d->description << "\n"
+          << d->minimized;
+    }
+    EXPECT_EQ(stats.divergences, 0u);
+    EXPECT_GT(stats.programs, 0u);
+  }
+}
+
+TEST(FuzzDiff, InjectedDivergenceIsCaughtMinimizedAndBundled) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "lisasim_fuzz_repros";
+  fs::remove_all(dir);
+
+  fuzz::DifferentialFuzzer fuzzer(*tiny().model);
+  fuzz::FuzzOptions opts;
+  opts.repro_dir = dir.string();
+  opts.inject = true;
+  opts.inject_seed = 5;
+
+  fuzz::FuzzStats stats;
+  EXPECT_FALSE(fuzzer.run_seed(4, opts, stats).has_value())
+      << "injection must only fire on its own seed";
+  const auto d = fuzzer.run_seed(5, opts, stats);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seed, 5u);
+  EXPECT_EQ(d->level, "trace");  // injection corrupts the trace level
+  EXPECT_LE(d->minimized_packets, 8);
+  EXPECT_LT(d->minimized.size(), d->source.size());
+
+  // The bundle is self-contained: source, minimized source, serialized
+  // oracle checkpoint at the last agreeing cycle, and metadata.
+  ASSERT_FALSE(d->bundle_dir.empty());
+  const fs::path bundle(d->bundle_dir);
+  for (const char* name :
+       {"program.asm", "minimized.asm", "checkpoint.txt", "meta.txt"})
+    EXPECT_TRUE(fs::exists(bundle / name)) << name;
+
+  std::ifstream ckpt(bundle / "checkpoint.txt");
+  std::ostringstream buffer;
+  buffer << ckpt.rdbuf();
+  const EngineCheckpoint cp = parse_checkpoint(buffer.str());
+  EXPECT_FALSE(cp.state.empty());
+  EXPECT_EQ(serialize_checkpoint(cp), buffer.str());
+
+  std::ifstream meta_in(bundle / "meta.txt");
+  std::ostringstream meta;
+  meta << meta_in.rdbuf();
+  EXPECT_NE(meta.str().find("seed 5"), std::string::npos);
+  EXPECT_NE(meta.str().find("level trace"), std::string::npos);
+}
+
+// ---- checkpoint serialization ----------------------------------------------
+
+TEST(CheckpointIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_checkpoint(""), SimError);
+  EXPECT_THROW(parse_checkpoint("lisasim-checkpoint 2\n"), SimError);
+  EXPECT_THROW(parse_checkpoint("lisasim-checkpoint 1\ntotal_cycles x\n"),
+               SimError);
+  // Truncation after a declared count is detected.
+  EXPECT_THROW(
+      parse_checkpoint("lisasim-checkpoint 1\ntotal_cycles 0\n"
+                       "interrupts 0\nstate 4\n1 2\n"),
+      SimError);
+}
+
+TEST(CheckpointIo, EscapesDeferredErrorText) {
+  EngineCheckpoint cp;
+  cp.total_cycles = 3;
+  cp.state = {1, -2, 0};
+  EngineCheckpoint::SlotImage slot;
+  slot.pc = 7;
+  slot.valid = true;
+  slot.work.treewalk = true;
+  slot.work.error = "line one\nline two\\with backslash";
+  slot.work.sched_paths = {{{0, 1, 2}, {3}}, {}};
+  cp.slots.push_back(slot);
+  cp.interrupts.emplace_back(10, 42);
+
+  const std::string text = serialize_checkpoint(cp);
+  const EngineCheckpoint back = parse_checkpoint(text);
+  EXPECT_EQ(back.total_cycles, cp.total_cycles);
+  EXPECT_EQ(back.state, cp.state);
+  EXPECT_EQ(back.interrupts, cp.interrupts);
+  ASSERT_EQ(back.slots.size(), 1u);
+  EXPECT_EQ(back.slots[0].pc, 7u);
+  EXPECT_EQ(back.slots[0].work.error, slot.work.error);
+  EXPECT_EQ(back.slots[0].work.sched_paths, slot.work.sched_paths);
+  EXPECT_EQ(serialize_checkpoint(back), text);
+}
+
+/// Serialized restore into a *freshly constructed* simulator: what a repro
+/// bundle replay does in a new process. The c62x case checkpoints with
+/// multi-stage packets in flight, so the tree-walk activation queues
+/// travel through the text format as structural decode-tree paths.
+TEST(CheckpointIo, FreshInterpRestoreResumesMidFlight) {
+  const std::string source = R"(        MVK 40, B0
+        MVK 0, A3
+loop:   ADDK -1, B0
+        ADD A3, B0, A3
+        LDW A7, 2, A5
+        ADD A5, A3, A3
+   [B0] B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+        .data dmem 0
+        .word 3, 1, 4, 1, 5, 9, 2, 6
+)";
+  const LoadedProgram p = c62x().assemble(source);
+
+  InterpSimulator reference(*c62x().model);
+  reference.load(p);
+  const RunResult full = reference.run(100000);
+  ASSERT_TRUE(full.halted);
+  const std::string want = reference.state().dump_nonzero();
+
+  for (std::uint64_t mid : {5ull, 23ull, 77ull}) {
+    InterpSimulator first(*c62x().model);
+    first.load(p);
+    first.run(mid);
+    const std::string text = serialize_checkpoint(first.save_checkpoint());
+
+    InterpSimulator fresh(*c62x().model);
+    fresh.load(p);
+    fresh.restore_checkpoint(parse_checkpoint(text));
+    const RunResult rest = fresh.run(100000);
+    EXPECT_TRUE(rest.halted) << "mid " << mid;
+    EXPECT_EQ(mid + rest.cycles, full.cycles) << "mid " << mid;
+    EXPECT_EQ(fresh.state().dump_nonzero(), want) << "mid " << mid;
+  }
+}
+
+/// Guarded restore: a self-patching tinydsp program checkpointed after
+/// the patch, restored into a fresh compiled simulator under the
+/// fallback policy. restore_checkpoint's bump_all() must invalidate the
+/// pre-restore translations so the patched word executes through the
+/// tree walk, matching the interpretive oracle bit for bit.
+TEST(CheckpointIo, FreshGuardedRestoreAfterSelfModification) {
+  const std::string source = R"(        .entry start
+start:  MVK 0, R0
+        MVK 3, R2
+        MVK 100, R6
+        MVK 1, R5
+        MVK 1, R9
+        MVK 5, R4
+loop:   BZ R4, phase
+patch:  ADD.L R6, R6, R2
+        SUB.L R4, R4, R5
+        B loop
+phase:  BZ R9, done
+        MVK 0, R9
+        LDP R7, R0, tmpl
+        STP R7, R0, patch
+        MVK 7, R4
+        B loop
+done:   ST R6, R0, 32
+        HALT
+tmpl:   SUB.L R6, R6, R2
+)";
+  const LoadedProgram p = tiny().assemble(source);
+
+  InterpSimulator oracle(*tiny().model);
+  oracle.load(p);
+  const RunResult full = oracle.run(100000);
+  ASSERT_TRUE(full.halted);
+  const std::string want = oracle.state().dump_nonzero();
+  ASSERT_NE(want.find("dmem[32] = 94"), std::string::npos) << want;
+
+  for (const GuardPolicy policy :
+       {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+    CompiledSimulator first(*tiny().model, SimLevel::kCompiledStatic);
+    first.set_guard_policy(policy);
+    first.load(p);
+    const std::uint64_t mid = 60;  // past the STP patch
+    first.run(mid);
+    const std::string text = serialize_checkpoint(first.save_checkpoint());
+
+    CompiledSimulator fresh(*tiny().model, SimLevel::kCompiledStatic);
+    fresh.set_guard_policy(policy);
+    fresh.load(p);
+    fresh.restore_checkpoint(parse_checkpoint(text));
+    const RunResult rest = fresh.run(100000);
+    EXPECT_TRUE(rest.halted);
+    EXPECT_EQ(mid + rest.cycles, full.cycles);
+    EXPECT_EQ(fresh.state().dump_nonzero(), want);
+  }
+}
+
+}  // namespace
+}  // namespace lisasim

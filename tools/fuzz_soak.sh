@@ -1,0 +1,46 @@
+#!/bin/sh
+# Long-running differential-fuzz soak under both sanitizer builds.
+#
+#   tools/fuzz_soak.sh [MINUTES] [BUILD_ROOT]
+#
+# Configures an ASan+UBSan build and a TSan build (under BUILD_ROOT,
+# default ./build-soak), builds lisasim-fuzz in each, and runs a
+# wall-clock soak (MINUTES per sanitizer, default 10, split across the
+# three built-in targets). Any divergence — i.e. any repro bundle
+# emitted, or a sanitizer report aborting the run — fails the script.
+# Companion to tools/bench_compare.py on the performance side.
+set -eu
+
+MINUTES="${1:-10}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${2:-$ROOT/build-soak}"
+SECONDS_PER_TARGET=$(( MINUTES * 60 / 3 ))
+[ "$SECONDS_PER_TARGET" -ge 1 ] || SECONDS_PER_TARGET=1
+STATUS=0
+
+for SAN in ASAN TSAN; do
+  BUILD="$BUILD_ROOT/$(echo "$SAN" | tr '[:upper:]' '[:lower:]')"
+  echo "=== configuring $SAN build in $BUILD ==="
+  cmake -B "$BUILD" -S "$ROOT" "-DLISASIM_$SAN=ON" > /dev/null
+  cmake --build "$BUILD" --target lisasim-fuzz -j "$(nproc)" > /dev/null
+  for TARGET in tinydsp c54x c62x; do
+    REPROS="$BUILD/fuzz-repros-$TARGET"
+    rm -rf "$REPROS"
+    echo "=== $SAN soak @$TARGET (${SECONDS_PER_TARGET}s) ==="
+    if ! "$BUILD/tools/lisasim-fuzz" "@$TARGET" \
+        --soak "$SECONDS_PER_TARGET" --stats --repro-dir "$REPROS"; then
+      echo "FAIL: $SAN soak on @$TARGET reported a divergence or crashed"
+      STATUS=1
+    fi
+    if [ -d "$REPROS" ] && [ -n "$(ls -A "$REPROS" 2>/dev/null)" ]; then
+      echo "FAIL: repro bundles under $REPROS:"
+      ls "$REPROS"
+      STATUS=1
+    fi
+  done
+done
+
+if [ "$STATUS" = "0" ]; then
+  echo "fuzz_soak: clean ($MINUTES minutes per sanitizer)"
+fi
+exit "$STATUS"

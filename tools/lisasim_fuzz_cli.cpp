@@ -1,0 +1,290 @@
+// lisasim-fuzz — retargetable differential fuzzer driver.
+//
+//   lisasim-fuzz <model> [options]
+//
+// <model> is a path to a machine description, or one of the built-in
+// models "@tinydsp" / "@c54x" / "@c62x". Each seed maps to a random
+// program generated from the model's SYNTAX/CODING tables; the program
+// runs through all five simulation levels under every applicable guard
+// policy and any disagreement with the interpretive oracle is reported,
+// minimized, and persisted as a repro bundle.
+//
+// options:
+//   --seeds A..B | --seeds N        seed range (default 0..63); N means 0..N-1
+//   --soak SECONDS                  keep consuming seeds (ascending from the
+//                                   range start) until the wall clock expires
+//   --packets MIN..MAX              packets per program (default 10..40)
+//   --mem-bound N                   data-memory traffic bound (default 48)
+//   --weights k=v[,k=v...]          feature weights in percent; keys: branch,
+//                                   backward, predicate, parallel, memory,
+//                                   smc, chaos
+//   --max-cycles N                  soft per-run cycle cap (default 30000)
+//   --watchdog N                    hard watchdog cycle limit (default off)
+//   --stuck N                       livelock watchdog (default 2048)
+//   --attempts N                    generation attempts per seed (default 16)
+//   --repro-dir DIR                 bundle directory (default fuzz-repros)
+//   --no-minimize                   skip the greedy program minimizer
+//   --inject-divergence SEED        test hook: corrupt the trace level's
+//                                   compared state for SEED, forcing the
+//                                   divergence path end to end
+//   --print SEED                    print SEED's generated program and exit
+//   --stats                         print accumulated coverage counters
+//
+// exit codes: 0 no divergence, 1 divergence found or fatal error, 2 usage
+// error (matching the lisasim driver's conventions).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/differ.hpp"
+#include "model/sema.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+using namespace lisasim;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <model> [options]\n"
+      "  <model>: @tinydsp | @c54x | @c62x | path to a .lisa file\n"
+      "  --seeds A..B | --seeds N   seed range (default 0..63)\n"
+      "  --soak SECONDS             run until the wall clock expires\n"
+      "  --packets MIN..MAX         packets per program\n"
+      "  --mem-bound N              data-memory traffic bound\n"
+      "  --weights k=v[,k=v...]     branch backward predicate parallel\n"
+      "                             memory smc chaos (percent)\n"
+      "  --max-cycles N | --watchdog N | --stuck N | --attempts N\n"
+      "  --repro-dir DIR | --no-minimize\n"
+      "  --inject-divergence SEED | --print SEED | --stats\n"
+      "exit codes: 0 clean, 1 divergence or fatal error, 2 usage error\n",
+      argv0);
+  return 2;
+}
+
+std::string model_source(const std::string& spec) {
+  if (spec == "@tinydsp") return std::string(targets::tinydsp_model_source());
+  if (spec == "@c54x") return std::string(targets::c54x_model_source());
+  if (spec == "@c62x") return std::string(targets::c62x_model_source());
+  std::ifstream in(spec);
+  if (!in) throw SimError("cannot open '" + spec + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string model_name(const std::string& spec) {
+  if (!spec.empty() && spec[0] == '@') return spec.substr(1);
+  return spec;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_range(const std::string& spec, std::uint64_t& lo,
+                 std::uint64_t& hi) {
+  const std::size_t dots = spec.find("..");
+  if (dots == std::string::npos) {
+    std::uint64_t n = 0;
+    if (!parse_u64(spec.c_str(), n) || n == 0) return false;
+    lo = 0;
+    hi = n - 1;
+    return true;
+  }
+  return parse_u64(spec.substr(0, dots).c_str(), lo) &&
+         parse_u64(spec.substr(dots + 2).c_str(), hi) && lo <= hi;
+}
+
+bool apply_weights(const std::string& spec, fuzz::FeatureWeights& w) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    std::uint64_t value = 0;
+    if (!parse_u64(item.substr(eq + 1).c_str(), value) || value > 100)
+      return false;
+    const unsigned v = static_cast<unsigned>(value);
+    if (key == "branch") w.branch = v;
+    else if (key == "backward") w.backward = v;
+    else if (key == "predicate") w.predicate = v;
+    else if (key == "parallel") w.parallel = v;
+    else if (key == "memory") w.memory = v;
+    else if (key == "smc") w.smc = v;
+    else if (key == "chaos") w.chaos = v;
+    else return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string spec = argv[1];
+  if (spec == "--help" || spec == "-h") {
+    usage(argv[0]);
+    return 0;
+  }
+
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 63;
+  std::uint64_t soak_seconds = 0;
+  bool print_stats = false;
+  bool do_print = false;
+  std::uint64_t print_seed = 0;
+  fuzz::FuzzOptions opts;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr || !parse_range(v, seed_lo, seed_hi))
+        return usage(argv[0]);
+    } else if (arg == "--soak") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, soak_seconds)) return usage(argv[0]);
+    } else if (arg == "--packets") {
+      const char* v = value();
+      std::uint64_t lo = 0, hi = 0;
+      if (v == nullptr || !parse_range(v, lo, hi) || lo == 0 || hi > 4096)
+        return usage(argv[0]);
+      opts.gen.min_packets = static_cast<int>(lo);
+      opts.gen.max_packets = static_cast<int>(hi);
+    } else if (arg == "--mem-bound") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n) || n == 0) return usage(argv[0]);
+      opts.gen.mem_bound = n;
+    } else if (arg == "--weights") {
+      const char* v = value();
+      if (v == nullptr || !apply_weights(v, opts.gen.weights))
+        return usage(argv[0]);
+    } else if (arg == "--max-cycles") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, opts.max_cycles))
+        return usage(argv[0]);
+    } else if (arg == "--watchdog") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, opts.watchdog_cycles))
+        return usage(argv[0]);
+    } else if (arg == "--stuck") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, opts.max_stuck_cycles))
+        return usage(argv[0]);
+    } else if (arg == "--attempts") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n) || n == 0 || n > 1024)
+        return usage(argv[0]);
+      opts.attempts_per_seed = static_cast<int>(n);
+    } else if (arg == "--repro-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opts.repro_dir = v;
+    } else if (arg == "--no-minimize") {
+      opts.minimize = false;
+    } else if (arg == "--inject-divergence") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, opts.inject_seed))
+        return usage(argv[0]);
+      opts.inject = true;
+    } else if (arg == "--print") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, print_seed)) return usage(argv[0]);
+      do_print = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    const std::unique_ptr<Model> model =
+        compile_model_source_or_throw(model_source(spec), model_name(spec));
+    fuzz::DifferentialFuzzer fuzzer(*model);
+
+    if (do_print) {
+      const fuzz::GeneratedProgram prog =
+          fuzzer.program_for_seed(print_seed, opts);
+      std::fputs(prog.source.c_str(), stdout);
+      return 0;
+    }
+
+    const fuzz::ProgramGenerator& gen = fuzzer.generator();
+    std::printf("%s: %zu instruction templates (smc=%d predication=%d "
+                "branches=%d packets=%d)\n",
+                model->name.c_str(), gen.instruction_templates(),
+                gen.supports_smc() ? 1 : 0,
+                gen.supports_predication() ? 1 : 0,
+                gen.supports_branches() ? 1 : 0,
+                gen.supports_packets() ? 1 : 0);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto expired = [&]() {
+      if (soak_seconds == 0) return false;
+      return std::chrono::steady_clock::now() - start >=
+             std::chrono::seconds(soak_seconds);
+    };
+
+    fuzz::FuzzStats stats;
+    int divergences = 0;
+    std::uint64_t seed = seed_lo;
+    for (;; ++seed) {
+      if (soak_seconds != 0) {
+        if (expired()) break;
+      } else if (seed > seed_hi) {
+        break;
+      }
+      const auto d = fuzzer.run_seed(seed, opts, stats);
+      if (!d) continue;
+      ++divergences;
+      std::printf("DIVERGENCE seed %llu: %s level, %s guard: %s\n",
+                  static_cast<unsigned long long>(d->seed),
+                  d->level.c_str(), d->policy.c_str(),
+                  d->description.c_str());
+      std::printf("  last agreeing cycle %llu, minimized to %d packets\n",
+                  static_cast<unsigned long long>(d->last_agree_cycle),
+                  d->minimized_packets);
+      if (!d->bundle_dir.empty())
+        std::printf("  repro bundle: %s\n", d->bundle_dir.c_str());
+    }
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("%llu seeds, %llu programs (%llu rejected attempts), "
+                "%d divergences in %.1fs\n",
+                static_cast<unsigned long long>(stats.seeds),
+                static_cast<unsigned long long>(stats.programs),
+                static_cast<unsigned long long>(stats.rejected), divergences,
+                elapsed);
+    if (print_stats) std::fputs(stats.coverage.to_string().c_str(), stdout);
+    return divergences == 0 ? 0 : 1;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
