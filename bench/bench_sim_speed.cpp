@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "sim/batched.hpp"
 #include "sim/cached_interp.hpp"
 
 using namespace lisasim;
@@ -55,6 +56,17 @@ struct GuardRow {
   // The spread swamps the signal: overhead_percent is clamped to zero
   // because the measurement cannot distinguish it from zero.
   bool noise_dominated = false;
+};
+
+struct BatchedRow {
+  std::string app;
+  unsigned lanes = 0;
+  std::uint64_t cycles = 0;           // per lane, until halt
+  double aggregate_cycles_per_second = 0;  // simulated cycles x lanes / s
+  double aggregate_mips = 0;               // retired slots x lanes / s / 1e6
+  // Wall nanoseconds to advance ONE lane by one simulated cycle at this
+  // width. Lockstep batching pays off when this falls below the N=1 row.
+  double per_lane_cycle_ns = 0;
 };
 
 template <typename Sim>
@@ -114,6 +126,33 @@ LevelRate rate_compiled(const Model& model, const LoadedProgram& program,
   if (level == SimLevel::kCompiledStatic || level == SimLevel::kTrace)
     rate.microops_per_cycle = sim.microops_per_cycle(program);
   return rate;
+}
+
+/// One batched measurement: N lockstep lanes of the same program over one
+/// pre-built table. All lanes run the identical stimulus, so every stage
+/// stays group-executable — the best case the SoA layout is built for.
+BatchedRow rate_batched(const Model& model, const LoadedProgram& program,
+                        std::shared_ptr<const SimTable> table,
+                        const std::string& app, unsigned lanes,
+                        std::uint64_t cycles) {
+  BatchedSimulator sim(model, lanes);
+  sim.load_precompiled(program, table);
+  std::uint64_t slots = 0;
+  const double seconds = bench::time_per_call([&] {
+    sim.reload(program);
+    sim.run();
+    slots = sim.lane_run(0).result.slots_retired;
+  });
+  BatchedRow row;
+  row.app = app;
+  row.lanes = lanes;
+  row.cycles = cycles;
+  row.aggregate_cycles_per_second =
+      static_cast<double>(cycles) * lanes / seconds;
+  row.aggregate_mips = static_cast<double>(slots) * lanes / seconds / 1e6;
+  row.per_lane_cycle_ns =
+      seconds * 1e9 / (static_cast<double>(cycles) * lanes);
+  return row;
 }
 
 void print_level(const char* app, const char* level, std::uint64_t cycles,
@@ -205,7 +244,8 @@ GuardRow print_guarded(const char* app, const char* level, Sim& sim,
 }
 
 void write_json(const char* path, const std::vector<SpeedRow>& speed,
-                const std::vector<GuardRow>& guard) {
+                const std::vector<GuardRow>& guard,
+                const std::vector<BatchedRow>& batched) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -240,6 +280,19 @@ void write_json(const char* path, const std::vector<SpeedRow>& speed,
                  r.ratio_spread_percent,
                  r.noise_dominated ? "true" : "false",
                  i + 1 < guard.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"batched\": [\n");
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    const BatchedRow& r = batched[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", \"lanes\": %u, \"cycles\": %llu, "
+                 "\"aggregate_cycles_per_second\": %.0f, "
+                 "\"aggregate_mips\": %.3f, "
+                 "\"per_lane_cycle_ns\": %.3f}%s\n",
+                 r.app.c_str(), r.lanes,
+                 static_cast<unsigned long long>(r.cycles),
+                 r.aggregate_cycles_per_second, r.aggregate_mips,
+                 r.per_lane_cycle_ns, i + 1 < batched.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -330,6 +383,35 @@ int main(int argc, char** argv) {
           print_guarded(w.name.c_str(), name, sim, program, cycles));
     }
   }
-  if (json_path != nullptr) write_json(json_path, speed_rows, guard_rows);
+  // Batched lockstep throughput: the same applications, one shared static
+  // table, N identical lanes. The figure of merit is the wall cost to
+  // advance one lane one cycle — amortizing dispatch and issue across the
+  // lane group should push it strictly below the N=1 row by N=16.
+  std::printf(
+      "\nbatched lockstep -- N lanes over one shared static table\n");
+  std::printf("%-8s %6s %10s %14s %10s %14s\n", "app", "lanes", "cycles",
+              "agg cycles/s", "agg MIPS", "ns/lane-cycle");
+  std::vector<BatchedRow> batched_rows;
+  for (const auto& w : suite) {
+    const LoadedProgram program = target.assemble(w);
+    const std::uint64_t cycles = bench::measure_cycles(model, program);
+    CompiledSimulator seq(model, SimLevel::kCompiledStatic);
+    SimulationCompiler compiler(model, seq.decoder());
+    seq.load_precompiled(program,
+                         compiler.compile(program, SimLevel::kCompiledStatic));
+    const std::shared_ptr<const SimTable> table = seq.table_ptr();
+    for (const unsigned lanes : {1u, 4u, 16u, 64u}) {
+      const BatchedRow row =
+          rate_batched(model, program, table, w.name, lanes, cycles);
+      std::printf("%-8s %6u %10llu %14s %10.2f %14.3f\n", row.app.c_str(),
+                  row.lanes, static_cast<unsigned long long>(row.cycles),
+                  bench::format_rate(row.aggregate_cycles_per_second).c_str(),
+                  row.aggregate_mips, row.per_lane_cycle_ns);
+      batched_rows.push_back(row);
+    }
+  }
+
+  if (json_path != nullptr)
+    write_json(json_path, speed_rows, guard_rows, batched_rows);
   return 0;
 }

@@ -34,6 +34,16 @@
 //   --checkpoint N                  save a checkpoint at cycle N, finish,
 //                                   restore and replay; verify both runs
 //                                   agree bit for bit
+//   --batch N                       run N lockstep lanes of the program over
+//                                   structure-of-arrays state (static level
+//                                   only; compiles once, replicates state).
+//                                   Lanes report individually; --watchdog
+//                                   retires expired lanes while the rest of
+//                                   the batch keeps running
+//   --poke LANE:RES[IDX]=VALUE      fan stimuli across a batch: write VALUE
+//                                   into lane LANE's resource RES at IDX
+//                                   after load, before the run (repeatable;
+//                                   needs --batch)
 //
 // The --trace/--profile observers need per-cycle events, so they disable
 // hot-trace dispatch while attached (results are identical either way).
@@ -47,6 +57,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "asm/assembler.hpp"
 #include "asm/disasm.hpp"
@@ -54,6 +65,7 @@
 #include "model/database.hpp"
 #include "model/sema.hpp"
 #include "model/validate.hpp"
+#include "sim/batched.hpp"
 #include "sim/cached_interp.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/compiled.hpp"
@@ -92,12 +104,19 @@ void print_usage(std::FILE* out) {
                "[--max-cycles N] [--dump] [--stats] [--threads N] [--cache] "
                "[--runs N] [--trace [N]] [--profile] [--trace-threshold N] "
                "[--guard off|recompile|fallback] [--watchdog N] "
-               "[--max-stuck N] [--checkpoint N]\n"
+               "[--max-stuck N] [--checkpoint N] [--batch N] "
+               "[--poke LANE:RES[IDX]=VALUE]\n"
                "       <model> is a .lisa path or @tinydsp / @c62x / @c54x\n"
                "       --level values: %s ('trace' adds hot-path\n"
                "         superblock dispatch on top of 'static'; "
                "--trace-threshold N\n"
                "         sets its hotness threshold, default 32)\n"
+               "       --batch N: N lockstep lanes over one compiled table "
+               "(static\n"
+               "         level only); per-lane results, worst lane outcome "
+               "sets the\n"
+               "         exit code; fan per-lane inputs with --poke "
+               "2:dmem[0]=14\n"
                "       exit codes: 0 ok, 1 fatal simulation error, 2 usage "
                "error,\n"
                "         3 recoverable guarded-execution stop: a --watchdog "
@@ -269,9 +288,19 @@ int main(int argc, char** argv) {
     std::uint64_t runs = 1;
     std::uint64_t trace_events = 0;
     std::uint32_t trace_threshold = 0;  // 0 = TraceConfig default
+    unsigned batch_lanes = 0;           // 0 = unbatched
+    struct Poke {
+      unsigned lane = 0;
+      std::string resource;
+      std::uint64_t index = 0;
+      std::int64_t value = 0;
+    };
+    std::vector<Poke> pokes;
+    bool level_given = false;
     for (int i = 4; i < argc; ++i) {
       if (const char* value = option_value(argc, argv, i, "--level")) {
         const std::string v = value;
+        level_given = true;
         if (v == "interp") level = SimLevel::kInterpretive;
         else if (v == "cached") level = SimLevel::kDecodeCached;
         else if (v == "dynamic") level = SimLevel::kCompiledDynamic;
@@ -296,6 +325,29 @@ int main(int argc, char** argv) {
       } else if (const char* value =
                      option_value(argc, argv, i, "--checkpoint")) {
         checkpoint_at = std::strtoull(value, nullptr, 0);
+      } else if (const char* value = option_value(argc, argv, i, "--batch")) {
+        batch_lanes = static_cast<unsigned>(std::strtoul(value, nullptr, 0));
+        if (batch_lanes == 0) {
+          std::fprintf(stderr, "error: --batch needs a lane count >= 1\n");
+          return 2;
+        }
+      } else if (const char* value = option_value(argc, argv, i, "--poke")) {
+        // LANE:RES[IDX]=VALUE, e.g. --poke 2:dmem[0]=14
+        Poke poke;
+        char resource[64] = {0};
+        unsigned long long poke_index = 0;
+        long long poke_value = 0;
+        if (std::sscanf(value, "%u:%63[^[][%llu]=%lld", &poke.lane,
+                        resource, &poke_index, &poke_value) != 4) {
+          std::fprintf(stderr,
+                       "error: --poke wants LANE:RES[IDX]=VALUE, got '%s'\n",
+                       value);
+          return 2;
+        }
+        poke.resource = resource;
+        poke.index = poke_index;
+        poke.value = poke_value;
+        pokes.push_back(poke);
       } else if (const char* value =
                      option_value(argc, argv, i, "--trace-threshold")) {
         trace_threshold =
@@ -334,6 +386,100 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    }
+
+    if (!pokes.empty() && batch_lanes == 0) {
+      std::fprintf(stderr, "error: --poke needs --batch\n");
+      return 2;
+    }
+
+    // Batched mode: one compiled table, N lockstep lanes, per-lane
+    // outcomes. The worst lane outcome picks the exit code so scripts see
+    // the same codes as an unbatched run.
+    if (batch_lanes > 0) {
+      if (level_given && level != SimLevel::kCompiledStatic) {
+        std::fprintf(stderr,
+                     "error: --batch runs at the static level only (got "
+                     "--level %s)\n",
+                     sim_level_name(level));
+        return 2;
+      }
+      if (trace_events > 0 || do_profile || checkpoint_at != 0 || use_cache) {
+        std::fprintf(stderr,
+                     "error: --batch is incompatible with --trace, "
+                     "--profile, --checkpoint and --cache\n");
+        return 2;
+      }
+      BatchedSimulator sim(*model, batch_lanes);
+      sim.set_threads(threads);
+      sim.set_guard_policy(guard);
+      for (const Poke& p : pokes) {
+        if (p.lane >= batch_lanes) {
+          std::fprintf(stderr, "error: --poke lane %u out of range (batch "
+                       "has %u lanes)\n", p.lane, batch_lanes);
+          return 2;
+        }
+        if (model->resource_by_name(p.resource) == nullptr) {
+          std::fprintf(stderr, "error: --poke names unknown resource '%s'\n",
+                       p.resource.c_str());
+          return 2;
+        }
+      }
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        if (r == 0) {
+          const SimCompileStats stats = sim.load(program);
+          if (show_stats)
+            std::printf(
+                "simulation compiler: %zu instructions, %zu table rows, "
+                "%zu micro-ops, %.3f ms, shared across %u lanes\n",
+                stats.instructions, stats.table_rows, stats.microops,
+                static_cast<double>(stats.compile_ns) / 1e6, sim.lanes());
+        } else {
+          sim.reload(program);
+        }
+        for (const Poke& p : pokes)
+          sim.lane_state(p.lane).write(
+              model->resource_by_name(p.resource)->id, p.index, p.value);
+        sim.run(limits);
+      }
+      bool any_fatal = false;
+      bool any_recoverable = false;
+      for (unsigned l = 0; l < sim.lanes(); ++l) {
+        const LaneRun& lane = sim.lane_run(l);
+        if (lane.errored) {
+          (lane.recoverable ? any_recoverable : any_fatal) = true;
+          std::fprintf(stderr, "lane %u error: %s\n", l, lane.error.c_str());
+        }
+        std::printf(
+            "lane %u: %llu cycles, %llu packets (%llu instructions) "
+            "retired, %s\n",
+            l, static_cast<unsigned long long>(lane.result.cycles),
+            static_cast<unsigned long long>(lane.result.packets_retired),
+            static_cast<unsigned long long>(lane.result.slots_retired),
+            lane.errored
+                ? (lane.recoverable ? "recoverable error" : "fatal error")
+                : (lane.result.halted ? "halted" : "cycle limit reached"));
+      }
+      if (show_stats && guard != GuardPolicy::kOff) {
+        for (unsigned l = 0; l < sim.lanes(); ++l) {
+          const GuardStats& gs = sim.lane_guard_stats(l);
+          std::printf("lane %u guards: %llu stale issue%s, %llu "
+                      "recompile%s, %llu fallback%s\n",
+                      l, static_cast<unsigned long long>(gs.stale_issues),
+                      gs.stale_issues == 1 ? "" : "s",
+                      static_cast<unsigned long long>(gs.recompiles),
+                      gs.recompiles == 1 ? "" : "s",
+                      static_cast<unsigned long long>(gs.fallbacks),
+                      gs.fallbacks == 1 ? "" : "s");
+        }
+      }
+      if (dump_state) {
+        for (unsigned l = 0; l < sim.lanes(); ++l) {
+          std::printf("lane %u state:\n", l);
+          std::fputs(sim.lane_state(l).dump_nonzero().c_str(), stdout);
+        }
+      }
+      return any_fatal ? 1 : any_recoverable ? 3 : 0;
     }
 
     // Observers annotate fetches with disassembly from the program text.

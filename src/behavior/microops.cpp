@@ -1,5 +1,6 @@
 #include "behavior/microops.hpp"
 
+#include <bit>
 #include <cassert>
 #include <span>
 #include <string>
@@ -724,6 +725,220 @@ std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
   }
   return dispatched;
 }
+
+namespace {
+
+// Strided view of the shared lane-SoA temp buffer: temp `i` of a lane lives
+// at base[i * stride + lane], so the same temp of every lane is contiguous
+// and the lane-innermost loops below are plain unit-stride vector code. The
+// operator[] shape lets the LISASIM_OP_* macros above be reused verbatim.
+struct LaneTempView {
+  std::int64_t* base;
+  std::size_t stride;
+  std::size_t lane;
+  std::int64_t& operator[](std::int64_t i) const {
+    return base[static_cast<std::size_t>(i) * stride + lane];
+  }
+};
+
+}  // namespace
+
+// Iterate the active lanes of `mask`, binding the names the LISASIM_OP_*
+// macros expect (`state`, `control`, `t`) to the lane's view. The void
+// casts keep kinds that touch only a subset of the bindings warning-free.
+#define LISASIM_LANES(body)                                               \
+  for (std::uint64_t rest_ = mask; rest_ != 0; rest_ &= rest_ - 1) {      \
+    const std::size_t lane = static_cast<std::size_t>(                    \
+        std::countr_zero(rest_));                                         \
+    ProcessorState& state = *states[lane];                                \
+    PipelineControl& control = *controls[lane];                           \
+    const LaneTempView t{temps, temp_stride, lane};                       \
+    (void)state;                                                          \
+    (void)control;                                                        \
+    (void)t;                                                              \
+    body;                                                                 \
+  }
+
+// Same, for kinds that can throw (element accesses, division): a faulting
+// lane is dropped from the group with its error recorded, its state frozen
+// exactly where the sequential executor's unwind would leave it; the other
+// lanes continue.
+#define LISASIM_LANES_THROW(body)                                         \
+  for (std::uint64_t rest_ = mask; rest_ != 0; rest_ &= rest_ - 1) {      \
+    const std::size_t lane = static_cast<std::size_t>(                    \
+        std::countr_zero(rest_));                                         \
+    ProcessorState& state = *states[lane];                                \
+    PipelineControl& control = *controls[lane];                           \
+    const LaneTempView t{temps, temp_stride, lane};                       \
+    (void)state;                                                          \
+    (void)control;                                                        \
+    (void)t;                                                              \
+    try {                                                                 \
+      body;                                                               \
+    } catch (const SimError& e) {                                         \
+      faults[lane].emplace(e);                                            \
+      const std::uint64_t bit_ = std::uint64_t{1} << lane;                \
+      mask &= ~bit_;                                                      \
+      faulted |= bit_;                                                    \
+    }                                                                     \
+  }
+
+std::uint64_t exec_microops_lanes(const MicroOp* ops, std::uint32_t count,
+                                  const std::int64_t* pool,
+                                  ProcessorState* const* states,
+                                  PipelineControl* const* controls,
+                                  std::uint64_t active, std::int64_t* temps,
+                                  std::uint32_t temp_stride,
+                                  std::optional<SimError>* faults) {
+  if (count == 0 || active == 0) return 0;
+  // Worklist of (ip, lane set) groups. All masks — the current group's and
+  // every stacked one — stay pairwise disjoint (a divergent branch moves
+  // bits from the current mask onto the stack), so with at least one lane
+  // per entry the stack never holds more than kMaxBatchLanes groups.
+  struct Group {
+    std::uint32_t ip;
+    std::uint64_t mask;
+  };
+  Group stack[kMaxBatchLanes + 1];
+  int top = 0;
+  stack[top++] = {0, active};
+  std::uint64_t faulted = 0;
+  while (top > 0) {
+    std::uint32_t ip = stack[top - 1].ip;
+    std::uint64_t mask = stack[top - 1].mask;
+    --top;
+    while (ip < count && mask != 0) {
+      const MicroOp& op = ops[ip];
+      switch (op.kind) {
+        case MKind::kConst: LISASIM_LANES(LISASIM_OP_CONST(op)); break;
+        case MKind::kConstPool:
+          LISASIM_LANES(LISASIM_OP_CONST_POOL(op));
+          break;
+        case MKind::kMov: LISASIM_LANES(LISASIM_OP_MOV(op)); break;
+        case MKind::kReadRes: LISASIM_LANES(LISASIM_OP_READ_RES(op)); break;
+        case MKind::kReadScal:
+          LISASIM_LANES(LISASIM_OP_READ_SCAL(op));
+          break;
+        case MKind::kReadElem:
+          LISASIM_LANES_THROW(LISASIM_OP_READ_ELEM(op));
+          break;
+        case MKind::kReadElemC:
+          LISASIM_LANES_THROW(LISASIM_OP_READ_ELEM_C(op));
+          break;
+        case MKind::kReadElemOff:
+          LISASIM_LANES_THROW(LISASIM_OP_READ_ELEM_OFF(op));
+          break;
+        case MKind::kWriteRes:
+          LISASIM_LANES(LISASIM_OP_WRITE_RES(op));
+          break;
+        case MKind::kWriteScal:
+          LISASIM_LANES(LISASIM_OP_WRITE_SCAL(op));
+          break;
+        case MKind::kWriteOut: LISASIM_LANES(LISASIM_OP_WRITE_OUT(op)); break;
+        case MKind::kWriteScalImm:
+          LISASIM_LANES(LISASIM_OP_WRITE_SCAL_IMM(op));
+          break;
+        case MKind::kMovScal: LISASIM_LANES(LISASIM_OP_MOV_SCAL(op)); break;
+        case MKind::kMovScalElem:
+          LISASIM_LANES_THROW(LISASIM_OP_MOV_SCAL_ELEM(op));
+          break;
+        case MKind::kMovElemScal:
+          LISASIM_LANES_THROW(LISASIM_OP_MOV_ELEM_SCAL(op));
+          break;
+        case MKind::kReadElemScal:
+          LISASIM_LANES_THROW(LISASIM_OP_READ_ELEM_SCAL(op));
+          break;
+        case MKind::kIntrImm: LISASIM_LANES(LISASIM_OP_INTR_IMM(op)); break;
+        case MKind::kWriteElem:
+          LISASIM_LANES_THROW(LISASIM_OP_WRITE_ELEM(op));
+          break;
+        case MKind::kWriteElemC:
+          LISASIM_LANES_THROW(LISASIM_OP_WRITE_ELEM_C(op));
+          break;
+        case MKind::kWriteElemOff:
+          LISASIM_LANES_THROW(LISASIM_OP_WRITE_ELEM_OFF(op));
+          break;
+        case MKind::kBin:
+          // Only a zero divisor throws; decide once per group so the hot
+          // arithmetic lane loops stay free of landing pads and vectorize.
+          if (op.bop() == BinOp::kDiv || op.bop() == BinOp::kRem) {
+            LISASIM_LANES_THROW(LISASIM_OP_BIN(op));
+          } else {
+            LISASIM_LANES(LISASIM_OP_BIN(op));
+          }
+          break;
+        case MKind::kBinImm: LISASIM_LANES(LISASIM_OP_BIN_IMM(op)); break;
+        case MKind::kBinImmR:
+          if (op.bop() == BinOp::kDiv || op.bop() == BinOp::kRem) {
+            LISASIM_LANES_THROW(LISASIM_OP_BIN_IMM_R(op));
+          } else {
+            LISASIM_LANES(LISASIM_OP_BIN_IMM_R(op));
+          }
+          break;
+        case MKind::kWriteBin:
+          if (op.bop() == BinOp::kDiv || op.bop() == BinOp::kRem) {
+            LISASIM_LANES_THROW(LISASIM_OP_WRITE_BIN(op));
+          } else {
+            LISASIM_LANES(LISASIM_OP_WRITE_BIN(op));
+          }
+          break;
+        case MKind::kUn: LISASIM_LANES(LISASIM_OP_UN(op)); break;
+        case MKind::kIntr: LISASIM_LANES(LISASIM_OP_INTR(op)); break;
+        case MKind::kBrZero:
+        case MKind::kBrBin:
+        case MKind::kBrBinImm:
+        case MKind::kBrScalZero: {
+          // Evaluate the predicate per lane, then mask-and-split: the taken
+          // subset is queued for the target, the fall-through subset keeps
+          // running. Wholesale agreement (all lanes taken) jumps directly.
+          std::uint64_t taken = 0;
+          switch (op.kind) {
+            case MKind::kBrZero:
+              LISASIM_LANES(if (t[op.a] == 0) taken |=
+                            std::uint64_t{1} << lane);
+              break;
+            case MKind::kBrBin:
+              LISASIM_LANES(if (LISASIM_BR_BIN_TAKEN(op)) taken |=
+                            std::uint64_t{1} << lane);
+              break;
+            case MKind::kBrBinImm:
+              LISASIM_LANES(if (LISASIM_BR_BIN_IMM_TAKEN(op)) taken |=
+                            std::uint64_t{1} << lane);
+              break;
+            default:
+              LISASIM_LANES(if (LISASIM_BR_SCAL_ZERO_TAKEN(op)) taken |=
+                            std::uint64_t{1} << lane);
+              break;
+          }
+          if (taken == mask) {
+            ip = static_cast<std::uint32_t>(op.imm);
+            continue;
+          }
+          if (taken != 0) {
+            stack[top] = {static_cast<std::uint32_t>(op.imm), taken};
+            ++top;
+            mask &= ~taken;
+          }
+          ++ip;
+          continue;
+        }
+        case MKind::kBr:
+          ip = static_cast<std::uint32_t>(op.imm);
+          continue;
+        case MKind::kFlush: LISASIM_LANES(control.flush = true); break;
+        case MKind::kStall:
+          LISASIM_LANES(control.stall_cycles += static_cast<int>(t[op.a]));
+          break;
+        case MKind::kHalt: LISASIM_LANES(control.halt = true); break;
+      }
+      ++ip;
+    }
+  }
+  return faulted;
+}
+
+#undef LISASIM_LANES
+#undef LISASIM_LANES_THROW
 
 #undef LISASIM_OP_CONST
 #undef LISASIM_OP_CONST_POOL

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -551,6 +552,31 @@ std::uint64_t exec_microops_counted(const MicroOp* ops, std::uint32_t count,
                                     ProcessorState& state,
                                     PipelineControl& control,
                                     std::int64_t* temps);
+
+/// Lane masks and batch widths are 64-bit sets, so a batch holds at most
+/// 64 lanes (the batched engine splits wider requests).
+inline constexpr unsigned kMaxBatchLanes = 64;
+
+/// Execute one micro-program across up to 64 lanes in lockstep. Lane `l`
+/// (for each set bit of `active`) runs against `states[l]` / `controls[l]`;
+/// all lanes share `ops`/`pool` (one compile, N lanes). `temps` is a shared
+/// structure-of-arrays scratch buffer: temp `i` of lane `l` lives at
+/// `temps[i * temp_stride + l]`, so non-branch ops loop over lanes in the
+/// innermost position over contiguous storage. On branch divergence the
+/// active set is split: the taken subset is queued and resumed at the
+/// target after the fall-through subset finishes (lanes share no state, so
+/// any group schedule is bit-identical per lane to sequential execution).
+/// A lane whose op throws a SimError is dropped from the active set with
+/// the error recorded in `faults[l]` (size >= kMaxBatchLanes), leaving its
+/// state exactly as the sequential executor's unwind would. Returns the
+/// mask of faulted lanes.
+std::uint64_t exec_microops_lanes(const MicroOp* ops, std::uint32_t count,
+                                  const std::int64_t* pool,
+                                  ProcessorState* const* states,
+                                  PipelineControl* const* controls,
+                                  std::uint64_t active, std::int64_t* temps,
+                                  std::uint32_t temp_stride,
+                                  std::optional<SimError>* faults);
 
 /// Convenience wrapper over exec_microops: `temps` is caller-provided
 /// scratch, resized here so repeated executions do not allocate.

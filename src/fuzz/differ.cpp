@@ -301,13 +301,21 @@ std::optional<Divergence> DifferentialFuzzer::run_seed(
   ++stats.seeds;
   const RunLimits limits = make_limits(opts);
 
+  // Coverage-guided scheduling steers this seed's feature mix toward
+  // whatever the campaign has under-hit so far. `stats.coverage` is only
+  // updated after acceptance below, so every attempt of one seed draws
+  // from the same weights.
+  GenOptions gen_opts = opts.gen;
+  if (opts.coverage_schedule)
+    gen_opts.weights = schedule_weights(opts.gen.weights, stats.coverage);
+
   GeneratedProgram prog;
   std::optional<LoadedProgram> loaded;
   Outcome oracle;
   bool accepted = false;
   for (int attempt = 0; attempt < std::max(1, opts.attempts_per_seed);
        ++attempt) {
-    prog = gen_.generate(derive_seed(seed, attempt), opts.gen);
+    prog = gen_.generate(derive_seed(seed, attempt), gen_opts);
     loaded = assemble_quiet(model_, decoder_, prog.source);
     if (!loaded) {
       ++stats.rejected;

@@ -49,6 +49,11 @@ struct FuzzOptions {
   /// Generation attempts per seed before the seed counts as rejected
   /// (a program that does not assemble or is fatal on the oracle).
   int attempts_per_seed = 16;
+  /// Coverage-guided seed scheduling: before each seed, reweight the
+  /// feature mix toward whatever the accumulated Coverage has under-hit
+  /// so far (see schedule_weights). Deterministic for a fixed seed range
+  /// consumed in order, so campaigns stay replayable.
+  bool coverage_schedule = false;
   bool minimize = true;
   /// Where repro bundles land; empty disables bundle writing.
   std::string repro_dir = "fuzz-repros";

@@ -1476,6 +1476,28 @@ Coverage& Coverage::operator+=(const Coverage& o) {
   return *this;
 }
 
+FeatureWeights schedule_weights(const FeatureWeights& base,
+                                const Coverage& seen) {
+  // Weight w targets an observed rate of w% of `total`; when the campaign
+  // so far sits below that, add the percentage-point deficit to the
+  // weight. The clamp keeps every other feature drawable.
+  const auto steer = [](unsigned w, std::uint64_t hits, std::uint64_t total) {
+    if (total == 0) return w;
+    const std::uint64_t observed_pct = hits * 100 / total;
+    if (observed_pct >= w) return w;
+    return std::min<unsigned>(95, w + static_cast<unsigned>(w - observed_pct));
+  };
+  FeatureWeights out = base;
+  out.branch = steer(base.branch, seen.branches, seen.packets);
+  out.backward = steer(base.backward, seen.backward_branches, seen.branches);
+  out.predicate = steer(base.predicate, seen.predicated, seen.instructions);
+  out.parallel = steer(base.parallel, seen.parallel_packets, seen.packets);
+  out.memory = steer(base.memory, seen.loads + seen.stores,
+                     seen.instructions);
+  out.smc = steer(base.smc, seen.smc_patches, seen.programs);
+  return out;  // chaos stays fixed: escapes are a hazard dial, not coverage
+}
+
 std::string Coverage::to_string() const {
   const auto line = [](const char* key, std::uint64_t v) {
     std::string s = "  ";

@@ -75,6 +75,16 @@ struct GeneratedProgram {
   bool has_smc = false;  // program stores into its own text mid-run
 };
 
+/// Coverage-guided seed scheduling: reweight `base` toward the features
+/// the cumulative Coverage has under-hit so far. For every feature whose
+/// observed rate (e.g. branches per packet, SMC patches per program) falls
+/// short of its weight, the weight is raised by the deficit, clamped to
+/// 95% so no feature ever drowns out the rest. Deterministic in (base,
+/// seen): a fuzzing campaign replays exactly from its seed range. With an
+/// empty Coverage, returns `base` unchanged.
+FeatureWeights schedule_weights(const FeatureWeights& base,
+                                const Coverage& seen);
+
 class ProgramGenerator {
  public:
   /// Analyze `model` (kept by reference; must outlive the generator).

@@ -10,19 +10,21 @@ ProcessorState::ProcessorState(const Model& model) : model_(&model) {
     total += r.size;
   }
   storage_.assign(total, 0);
+  data_ = storage_.data();
+  total_ = total;
   hooked_.assign(model.resources.size(), 0);
 }
 
 void ProcessorState::reset() {
-  storage_.assign(storage_.size(), 0);
+  for (std::size_t i = 0; i < total_; ++i) data_[i * stride_] = 0;
 }
 
 void ProcessorState::restore_storage(const std::vector<std::int64_t>& snapshot) {
-  if (snapshot.size() != storage_.size())
+  if (snapshot.size() != total_)
     throw SimError("state snapshot has " + std::to_string(snapshot.size()) +
-                   " elements, state has " + std::to_string(storage_.size()) +
+                   " elements, state has " + std::to_string(total_) +
                    " (checkpoint from a different model?)");
-  storage_ = snapshot;
+  for (std::size_t i = 0; i < total_; ++i) data_[i * stride_] = snapshot[i];
 }
 
 void ProcessorState::throw_out_of_bounds(ResourceId id,
@@ -41,7 +43,7 @@ std::string ProcessorState::dump_nonzero() const {
   for (const auto& r : model_->resources) {
     const Cell& cell = cells_[static_cast<std::size_t>(r.id)];
     for (std::uint64_t i = 0; i < cell.size; ++i) {
-      const std::int64_t v = storage_[cell.offset + i];
+      const std::int64_t v = data_[(cell.offset + i) * stride_];
       if (v == 0) continue;
       out += r.name;
       if (r.is_array()) out += "[" + std::to_string(i) + "]";

@@ -38,6 +38,27 @@ class ProcessorState {
  public:
   explicit ProcessorState(const Model& model);
 
+  // States are views over their element storage (data_/stride_), so copying
+  // would alias two states onto one buffer; moves keep the heap buffer (and
+  // any external binding) valid.
+  ProcessorState(const ProcessorState&) = delete;
+  ProcessorState& operator=(const ProcessorState&) = delete;
+  ProcessorState(ProcessorState&&) = default;
+  ProcessorState& operator=(ProcessorState&&) = default;
+
+  /// Rebind this state to external lane-interleaved storage: flat element
+  /// position `p` lives at `base[p * stride]`. The batched engine lays N
+  /// lanes out structure-of-arrays in one shared buffer (lane `l` of a
+  /// batch binds `buf + l` with stride N), so the same element of every
+  /// lane is contiguous and the lane-innermost micro-op loop vectorizes.
+  /// With stride 1 the layout is exactly the default owned one. `base`
+  /// must stay valid for the life of the binding and provide
+  /// `total_elements() * stride` elements.
+  void bind_lanes(std::int64_t* base, std::size_t stride) {
+    data_ = base;
+    stride_ = stride;
+  }
+
   /// Read element `index` of a resource (index 0 for scalars). Values are
   /// stored canonicalized, so reads are a plain load. The per-resource
   /// `hooked_` byte keeps unhooked resources (the vast majority even when
@@ -48,9 +69,9 @@ class ProcessorState {
     if (index >= cell.size) throw_out_of_bounds(id, index);
     if (hooked_[static_cast<std::size_t>(id)]) [[unlikely]] {
       if (MemoryHook* hook = find_hook(id, index))
-        return hook->on_read(index, storage_[cell.offset + index]);
+        return hook->on_read(index, data_[(cell.offset + index) * stride_]);
     }
-    return storage_[cell.offset + index];
+    return data_[(cell.offset + index) * stride_];
   }
 
   /// Write element `index` of a resource; the value is canonicalized to the
@@ -59,7 +80,7 @@ class ProcessorState {
     const Cell& cell = cells_[static_cast<std::size_t>(id)];
     if (index >= cell.size) throw_out_of_bounds(id, index);
     const std::int64_t canonical = cell.type.canonicalize(value);
-    storage_[cell.offset + index] = canonical;
+    data_[(cell.offset + index) * stride_] = canonical;
     if (hooked_[static_cast<std::size_t>(id)]) [[unlikely]] {
       if (MemoryHook* hook = find_hook(id, index))
         hook->on_write(index, canonical);
@@ -71,7 +92,7 @@ class ProcessorState {
   /// non-array resources, which map_hook() refuses to hook — so a scalar
   /// read is always the plain canonicalized load.
   std::int64_t read_scalar(ResourceId id) const {
-    return storage_[cells_[static_cast<std::size_t>(id)].offset];
+    return data_[cells_[static_cast<std::size_t>(id)].offset * stride_];
   }
 
   /// Write a scalar resource (canonicalizing) without the bounds/hook
@@ -80,7 +101,7 @@ class ProcessorState {
   std::int64_t write_scalar(ResourceId id, std::int64_t value) {
     const Cell& cell = cells_[static_cast<std::size_t>(id)];
     const std::int64_t canonical = cell.type.canonicalize(value);
-    storage_[cell.offset] = canonical;
+    data_[cell.offset * stride_] = canonical;
     return canonical;
   }
 
@@ -117,8 +138,17 @@ class ProcessorState {
   std::size_t hook_count() const { return hooks_.size(); }
 
   /// Raw snapshot of every resource element (checkpointing). The snapshot
-  /// is valid for any state built from the same model.
-  std::vector<std::int64_t> save_storage() const { return storage_; }
+  /// is valid for any state built from the same model, regardless of lane
+  /// binding: a strided lane view gathers into the same flat layout the
+  /// default state stores, so batched-lane checkpoints interchange with
+  /// sequential ones.
+  std::vector<std::int64_t> save_storage() const {
+    if (stride_ == 1)
+      return std::vector<std::int64_t>(data_, data_ + total_);
+    std::vector<std::int64_t> out(total_);
+    for (std::size_t i = 0; i < total_; ++i) out[i] = data_[i * stride_];
+    return out;
+  }
 
   /// Restore a snapshot taken with save_storage(). Bypasses hooks: a
   /// checkpoint restore is not an architectural write, so MMIO bridges and
@@ -147,16 +177,30 @@ class ProcessorState {
   }
 
   /// Read-only view of an array resource's elements (canonicalized values).
-  /// Used by the fetch unit to decode instruction words in place.
+  /// Used by the fetch unit to decode instruction words in place. A strided
+  /// lane view gathers into a per-state scratch buffer (cold paths only —
+  /// guarded recompiles and tree-walk fallbacks); the span is valid until
+  /// the next array_view call on this state.
   std::span<const std::int64_t> array_view(ResourceId id) const {
     const Cell& cell = cells_[static_cast<std::size_t>(id)];
-    return std::span<const std::int64_t>(storage_).subspan(cell.offset,
-                                                           cell.size);
+    if (stride_ == 1)
+      return std::span<const std::int64_t>(data_ + cell.offset, cell.size);
+    view_scratch_.resize(cell.size);
+    for (std::uint64_t i = 0; i < cell.size; ++i)
+      view_scratch_[i] = data_[(cell.offset + i) * stride_];
+    return std::span<const std::int64_t>(view_scratch_);
   }
 
   bool operator==(const ProcessorState& other) const {
-    return storage_ == other.storage_;
+    if (total_ != other.total_) return false;
+    for (std::size_t i = 0; i < total_; ++i)
+      if (data_[i * stride_] != other.data_[i * other.stride_]) return false;
+    return true;
   }
+
+  /// Flat element count across all resources (the length of a
+  /// save_storage() snapshot; the per-lane extent of a batched buffer).
+  std::size_t total_elements() const { return total_; }
 
   /// Human-readable dump of all non-zero resource elements (debugging and
   /// golden-state tests).
@@ -188,8 +232,14 @@ class ProcessorState {
                                         std::uint64_t index) const;
 
   const Model* model_;
-  std::vector<Cell> cells_;        // indexed by ResourceId
-  std::vector<std::int64_t> storage_;  // all elements, contiguous
+  std::vector<Cell> cells_;  // indexed by ResourceId
+  // Owned storage for the default (unbatched) layout; unused after
+  // bind_lanes() points data_ at a shared lane-interleaved buffer.
+  std::vector<std::int64_t> storage_;
+  std::int64_t* data_ = nullptr;  // element p at data_[p * stride_]
+  std::size_t stride_ = 1;
+  std::size_t total_ = 0;  // flat element count (all resources)
+  mutable std::vector<std::int64_t> view_scratch_;  // strided array_view
   std::vector<HookRegion> hooks_;
   std::vector<std::uint8_t> hooked_;  // by ResourceId: any region mapped
 };

@@ -1,0 +1,437 @@
+#include "sim/batched.hpp"
+
+#include <bit>
+
+namespace lisasim {
+
+namespace {
+
+inline std::uint64_t lane_bit(unsigned lane) {
+  return std::uint64_t{1} << lane;
+}
+
+}  // namespace
+
+BatchedSimulator::BatchedSimulator(const Model& model, unsigned lanes)
+    : model_(&model),
+      lanes_(lanes),
+      depth_(model.pipeline.depth()),
+      decoder_(model),
+      compiler_(model, decoder_) {
+  if (lanes == 0 || lanes > kMaxBatchLanes)
+    throw SimError("batch width must be between 1 and " +
+                   std::to_string(kMaxBatchLanes) + " lanes, got " +
+                   std::to_string(lanes));
+  states_.reserve(lanes);
+  for (unsigned l = 0; l < lanes; ++l) states_.emplace_back(model);
+  total_elements_ = states_[0].total_elements();
+  soa_.assign(total_elements_ * lanes, 0);
+  // Lane l's view: element p at soa_[p * lanes + l] — the same element of
+  // every lane is contiguous, which is what the lane-innermost micro-op
+  // loops vectorize over. With one lane this is exactly the flat layout.
+  for (unsigned l = 0; l < lanes; ++l)
+    states_[l].bind_lanes(soa_.data() + l, lanes);
+  guards_.resize(lanes);
+  backends_.reserve(lanes);
+  lanes_d_.resize(lanes);
+  state_ptrs_.resize(lanes);
+  control_ptrs_.resize(lanes);
+  faults_.resize(lanes);
+  for (unsigned l = 0; l < lanes; ++l) {
+    guards_[l] = std::make_unique<ProgramGuard>();
+    backends_.push_back(std::make_unique<CompiledBackend>(
+        model, states_[l], decoder_, SimLevel::kCompiledStatic));
+    Lane& lane = lanes_d_[l];
+    lane.slots.resize(static_cast<std::size_t>(depth_));
+    lane.work_pool.resize(static_cast<std::size_t>(depth_));
+    for (int i = 0; i < depth_; ++i)
+      lane.slots[static_cast<std::size_t>(i)].work =
+          &lane.work_pool[static_cast<std::size_t>(i)];
+    state_ptrs_[l] = &states_[l];
+    control_ptrs_[l] = &backends_[l]->control();
+  }
+}
+
+SimCompileStats BatchedSimulator::load(const LoadedProgram& program) {
+  SimCompileStats stats;
+  table_ = std::make_shared<const SimTable>(
+      compiler_.compile(program, SimLevel::kCompiledStatic, &stats,
+                        compile_options_));
+  attach_table_and_load(program);
+  return stats;
+}
+
+void BatchedSimulator::load_precompiled(const LoadedProgram& program,
+                                        std::shared_ptr<const SimTable> table) {
+  table_ = std::move(table);
+  attach_table_and_load(program);
+}
+
+void BatchedSimulator::reload(const LoadedProgram& program) {
+  if (!table_) throw SimError("batched reload before any load");
+  attach_table_and_load(program);
+}
+
+void BatchedSimulator::attach_table_and_load(const LoadedProgram& program) {
+  // One scratch strip per temp across all lanes: temp i of lane l at
+  // lane_temps_[i * lanes_ + l], matching the state SoA layout.
+  lane_temps_.assign(
+      static_cast<std::size_t>(table_->max_temps()) * lanes_, 0);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    backends_[l]->set_table(table_.get());
+    states_[l].reset();
+    Lane& lane = lanes_d_[l];
+    for (Slot& slot : lane.slots) slot.valid = false;
+    lane.run = LaneRun{};
+    lane.total_cycles = 0;
+    lane.stuck = 0;
+    backends_[l]->control().clear();
+    load_into_state(program, states_[l]);
+    if (guard_policy_ == GuardPolicy::kOff) {
+      guards_[l]->detach();
+      backends_[l]->set_guard(nullptr, GuardPolicy::kOff);
+    } else {
+      guards_[l]->attach(states_[l]);
+      // Loading wrote the text through the hook; re-baseline so the load
+      // itself does not look like self-modification.
+      guards_[l]->reset();
+      backends_[l]->set_guard(guards_[l].get(), guard_policy_);
+    }
+  }
+}
+
+bool BatchedSimulator::all_done() const {
+  for (const Lane& lane : lanes_d_)
+    if (!lane.run.done) return false;
+  return true;
+}
+
+void BatchedSimulator::fail_lane(unsigned lane, const SimError& error) {
+  LaneRun& run = lanes_d_[lane].run;
+  run.done = true;
+  run.errored = true;
+  run.recoverable = error.recoverable();
+  run.error = error.what();
+}
+
+void BatchedSimulator::retire_watchdog(unsigned lane, std::string message) {
+  // Replicates PipelineEngine::throw_limit's message and context byte for
+  // byte, so a batched watchdog stop compares equal to the sequential
+  // simulator's recoverable error in the differential.
+  const Lane& l = lanes_d_[lane];
+  message += " (pc " + std::to_string(states_[lane].pc()) + ", cycle " +
+             std::to_string(l.total_cycles) + ", level " +
+             std::string(sim_level_name(SimLevel::kCompiledStatic)) + ")";
+  fail_lane(lane, SimError(message, SimErrorKind::kRecoverable));
+}
+
+void BatchedSimulator::run(const RunLimits& limits) {
+  if (!table_) throw SimError("batched run before load");
+  // Fresh per-run counters for every live lane (the sequential engine
+  // returns a fresh RunResult per run() call); retired lanes keep theirs.
+  for (Lane& lane : lanes_d_) {
+    if (lane.run.done) continue;
+    lane.run.result = RunResult{};
+    lane.stuck = 0;
+  }
+  for (unsigned l = 0; l < lanes_; ++l) backends_[l]->control().clear();
+  while (true) {
+    std::uint64_t active = 0;
+    for (unsigned l = 0; l < lanes_; ++l) {
+      const Lane& lane = lanes_d_[l];
+      if (!lane.run.done && lane.run.result.cycles < limits.max_cycles)
+        active |= lane_bit(l);
+    }
+    if (active == 0) break;
+    step(active, limits);
+  }
+}
+
+// One batch step = one pipeline cycle of every lane in `active`, mirroring
+// PipelineEngine::run_impl stage for stage. Per lane the order of effects
+// is exactly the sequential engine's (execute stage s, apply control,
+// advance stage s, then stage s-1, ...); grouping only interleaves lanes,
+// which share no state.
+void BatchedSimulator::step(std::uint64_t active, const RunLimits& limits) {
+  // Guard stamps once per batch step: lanes whose guard saw writes take
+  // the per-lane guarded fetch path this cycle, the rest share find().
+  std::uint64_t dirty = 0;
+  if (guard_policy_ != GuardPolicy::kOff) {
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+      if (guards_[l]->attached() && guards_[l]->writes() != 0)
+        dirty |= lane_bit(l);
+    }
+  }
+
+  std::uint64_t halted = 0;  // lanes whose packet executed halt this cycle
+  std::uint64_t retired_before[kMaxBatchLanes];
+  for (std::uint64_t m = active; m != 0; m &= m - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+    retired_before[l] = lanes_d_[l].run.result.packets_retired;
+  }
+
+  for (int stage = depth_ - 1; stage >= 0; --stage) {
+    // ---- execute phase --------------------------------------------------
+    // Group lanes sitting on the same clean table row; everything else
+    // (guard patches, tree-walk fallbacks, deferred fetch errors) executes
+    // solo through the ordinary backend.
+    const SimTableEntry* group_entry[kMaxBatchLanes];
+    std::uint64_t group_mask[kMaxBatchLanes];
+    int n_groups = 0;
+    std::uint64_t solo = 0;
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+      Slot& slot = lanes_d_[l].slots[static_cast<std::size_t>(stage)];
+      if (!slot.valid || slot.executed) continue;
+      const CompiledBackend::Work& work = *slot.work;
+      if ((work.mask >> stage & 1u) == 0) {
+        // Stage has no work: the backend would return immediately, so the
+        // slot just counts as executed (no control can have been raised).
+        slot.executed = true;
+        continue;
+      }
+      if (work.entry != nullptr && !work.patch && !work.fallback &&
+          work.error_id < 0) {
+        int g = 0;
+        while (g < n_groups && group_entry[g] != work.entry) ++g;
+        if (g == n_groups) {
+          group_entry[g] = work.entry;
+          group_mask[g] = 0;
+          ++n_groups;
+        }
+        group_mask[g] |= lane_bit(l);
+      } else {
+        solo |= lane_bit(l);
+      }
+    }
+    for (int g = 0; g < n_groups; ++g) {
+      std::uint64_t executed_mask = group_mask[g];
+      if (std::popcount(group_mask[g]) >= 2) {
+        const MicroSpan span =
+            group_entry[g]->micro[static_cast<std::size_t>(stage)];
+        const MicroArena& arena = table_->arena();
+        const std::uint64_t faulted = exec_microops_lanes(
+            arena.data() + span.offset, span.len, arena.pool_data(),
+            state_ptrs_.data(), control_ptrs_.data(), group_mask[g],
+            lane_temps_.data(), lanes_, faults_.data());
+        for (std::uint64_t m = faulted; m != 0; m &= m - 1) {
+          const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+          fail_lane(l, *faults_[l]);
+          faults_[l].reset();
+        }
+        active &= ~faulted;
+        executed_mask &= ~faulted;
+      } else {
+        solo |= group_mask[g];
+        executed_mask = 0;
+      }
+      for (std::uint64_t m = executed_mask; m != 0; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        lanes_d_[l].slots[static_cast<std::size_t>(stage)].executed = true;
+      }
+    }
+    for (std::uint64_t m = solo; m != 0; m &= m - 1) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+      Slot& slot = lanes_d_[l].slots[static_cast<std::size_t>(stage)];
+      try {
+        backends_[l]->execute(*slot.work, stage);
+        slot.executed = true;
+      } catch (const SimError& e) {
+        // The lane freezes exactly where the sequential engine's unwind
+        // would leave it: mid-cycle, slot un-executed, no fetch.
+        fail_lane(l, e);
+        active &= ~lane_bit(l);
+      }
+    }
+    // ---- control + advancement, per lane --------------------------------
+    for (std::uint64_t m = active; m != 0; m &= m - 1) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+      Lane& lane = lanes_d_[l];
+      Slot& slot = lane.slots[static_cast<std::size_t>(stage)];
+      if (!slot.valid) continue;
+      PipelineControl& control = backends_[l]->control();
+      if (control.any()) [[unlikely]] {
+        if (control.stall_cycles > 0) slot.stall += control.stall_cycles;
+        if (control.flush) {
+          for (int k = 0; k < stage; ++k)
+            lane.slots[static_cast<std::size_t>(k)].valid = false;
+        }
+        if (control.halt) halted |= lane_bit(l);
+        control.clear();
+      }
+      if (halted & lane_bit(l)) continue;  // no advancement while halting
+      if (slot.stall > 0) {
+        --slot.stall;
+        continue;
+      }
+      if (stage == depth_ - 1) {
+        ++lane.run.result.packets_retired;
+        lane.run.result.slots_retired += backends_[l]->slot_count(*slot.work);
+        slot.valid = false;
+        continue;
+      }
+      Slot& next = lane.slots[static_cast<std::size_t>(stage + 1)];
+      if (!next.valid) {
+        CompiledBackend::Work* const free_work = next.work;
+        next.work = slot.work;
+        slot.work = free_work;
+        next.pc = slot.pc;
+        next.valid = true;
+        next.executed = false;
+        next.stall = 0;
+        slot.valid = false;
+      }
+      // Otherwise blocked by an older stalled packet: stay put.
+    }
+  }
+
+  for (std::uint64_t m = active; m != 0; m &= m - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+    Lane& lane = lanes_d_[l];
+    ++lane.run.result.cycles;
+    ++lane.total_cycles;
+    if (halted & lane_bit(l)) {
+      lane.run.result.halted = true;
+      lane.run.done = true;
+    }
+  }
+  active &= ~halted;
+
+  // ---- fetch ------------------------------------------------------------
+  // Lockstep lanes sit at the same pc, so one table find() usually serves
+  // the whole batch; the one-entry memo keeps that true across the loop.
+  std::uint64_t memo_pc = ~std::uint64_t{0};
+  const SimTableEntry* memo_entry = nullptr;
+  bool memo_valid = false;
+  for (std::uint64_t m = active; m != 0; m &= m - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+    Lane& lane = lanes_d_[l];
+    Slot& head = lane.slots[0];
+    if (head.valid) continue;
+    const std::uint64_t pc = states_[l].pc();
+    unsigned words = 0;
+    try {
+      if (dirty & lane_bit(l)) {
+        backends_[l]->issue(pc, *head.work, words);
+      } else {
+        if (!memo_valid || pc != memo_pc) {
+          memo_pc = pc;
+          memo_entry = table_->find(pc);
+          memo_valid = true;
+        }
+        backends_[l]->issue_resolved(memo_entry, *head.work, words);
+      }
+    } catch (const SimError& e) {
+      fail_lane(l, e);
+      active &= ~lane_bit(l);
+      continue;
+    }
+    head.valid = true;
+    head.executed = false;
+    head.stall = 0;
+    head.pc = pc;
+    states_[l].set_pc(pc + words);
+    ++lane.run.result.fetches;
+  }
+
+  // ---- per-lane watchdog limits -----------------------------------------
+  // Checked at the same clean cycle boundary as the sequential engine; an
+  // expiring lane retires from the batch with the engine's recoverable
+  // error instead of throwing, so the rest of the batch keeps running.
+  for (std::uint64_t m = active; m != 0; m &= m - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+    Lane& lane = lanes_d_[l];
+    if (lane.run.result.packets_retired == retired_before[l]) {
+      ++lane.stuck;
+    } else {
+      lane.stuck = 0;
+    }
+    if (limits.watchdog_cycles != 0 &&
+        lane.run.result.cycles >= limits.watchdog_cycles) {
+      retire_watchdog(l, "watchdog: cycle limit " +
+                             std::to_string(limits.watchdog_cycles) +
+                             " exceeded without the program halting");
+      continue;
+    }
+    if (limits.max_stuck_cycles != 0 &&
+        lane.stuck >= limits.max_stuck_cycles) {
+      retire_watchdog(l, "watchdog: " + std::to_string(lane.stuck) +
+                             " consecutive cycles without a retiring packet "
+                             "(livelocked or deadlocked pipeline)");
+    }
+  }
+}
+
+EngineCheckpoint BatchedSimulator::save_lane_checkpoint(unsigned lane) const {
+  if (lane >= lanes_)
+    throw SimError("lane " + std::to_string(lane) + " out of range");
+  const Lane& l = lanes_d_[lane];
+  EngineCheckpoint cp;
+  cp.state = states_[lane].save_storage();
+  cp.total_cycles = l.total_cycles;
+  cp.slots.resize(l.slots.size());
+  for (std::size_t i = 0; i < l.slots.size(); ++i) {
+    const Slot& slot = l.slots[i];
+    EngineCheckpoint::SlotImage& image = cp.slots[i];
+    image.pc = slot.pc;
+    image.stall = slot.stall;
+    image.valid = slot.valid;
+    image.executed = slot.executed;
+    if (slot.valid) backends_[lane]->save_work(*slot.work, image.work);
+  }
+  return cp;
+}
+
+void BatchedSimulator::restore_lane_checkpoint(unsigned lane,
+                                               const EngineCheckpoint& cp) {
+  if (lane >= lanes_)
+    throw SimError("lane " + std::to_string(lane) + " out of range");
+  Lane& l = lanes_d_[lane];
+  if (cp.slots.size() != l.slots.size())
+    throw SimError("checkpoint has " + std::to_string(cp.slots.size()) +
+                   " pipeline slots, engine has " +
+                   std::to_string(l.slots.size()) +
+                   " (checkpoint from a different model?)");
+  states_[lane].restore_storage(cp.state);
+  // Restore rewinds program memory without architectural writes; the
+  // guard's generations are monotonic, so conservatively re-stale every
+  // translation (same as the sequential simulator's restore).
+  if (guards_[lane]->attached()) guards_[lane]->bump_all();
+  l.total_cycles = cp.total_cycles;
+  for (std::size_t i = 0; i < l.slots.size(); ++i) {
+    Slot& slot = l.slots[i];
+    const EngineCheckpoint::SlotImage& image = cp.slots[i];
+    slot.pc = image.pc;
+    slot.stall = image.stall;
+    slot.valid = image.valid;
+    slot.executed = image.executed;
+    if (image.valid) {
+      backends_[lane]->restore_work(image.pc, image.work, *slot.work);
+    } else {
+      *slot.work = {};
+    }
+  }
+}
+
+BatchCheckpoint BatchedSimulator::save_checkpoint() const {
+  BatchCheckpoint cp;
+  cp.lanes.resize(lanes_);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    cp.lanes[l].engine = save_lane_checkpoint(l);
+    cp.lanes[l].run = lanes_d_[l].run;
+  }
+  return cp;
+}
+
+void BatchedSimulator::restore_checkpoint(const BatchCheckpoint& cp) {
+  if (cp.lanes.size() != lanes_)
+    throw SimError("batch checkpoint has " + std::to_string(cp.lanes.size()) +
+                   " lanes, batch has " + std::to_string(lanes_));
+  for (unsigned l = 0; l < lanes_; ++l) {
+    restore_lane_checkpoint(l, cp.lanes[l].engine);
+    lanes_d_[l].run = cp.lanes[l].run;
+  }
+}
+
+}  // namespace lisasim

@@ -1,0 +1,173 @@
+// Batched lockstep execution: N instances of one compiled program advance
+// cycle-by-cycle against lane-interleaved structure-of-arrays state.
+//
+// Parameter sweeps, regression farms and fuzzing all run the *same*
+// simulation table over different stimuli; a BatchedSimulator pays the
+// translation once and replicates only the cheap part — ProcessorState and
+// pipeline slots — N-wide. Element storage for all lanes lives in one
+// shared buffer laid out lane-innermost (element p of lane l at
+// soa[p * N + l]; see ProcessorState::bind_lanes), so when every lane of a
+// pipeline stage sits on the same table row the whole group executes its
+// micro-op span through exec_microops_lanes: one dispatch per micro-op for
+// the group, lanes looped in the innermost position over contiguous
+// storage, where the compiler auto-vectorizes the flat 16-byte encoding.
+//
+// Lanes are architecturally independent — they share the immutable table,
+// never state — so any grouping schedule is bit-identical, per lane, to N
+// sequential CompiledSimulator runs (the batched differential pins this).
+// Lanes whose pipelines diverge (different PCs, guard-patched packets,
+// deferred fetch errors) simply execute solo through the ordinary backend
+// until their rows coincide again; branch divergence *inside* one shared
+// micro-program is handled by exec_microops_lanes' mask-and-split.
+//
+// Guard stamps are checked once per batch step: a lane whose guard saw no
+// program-memory writes fetches through a shared table find(); dirty lanes
+// take the per-lane guarded issue path (recompile or tree-walk fallback,
+// identical to the sequential simulator). RunLimits apply per lane — a
+// watchdog expiry retires just that lane with a recoverable error while
+// the rest of the batch keeps running — and checkpoints save/restore
+// individual lanes in the standard EngineCheckpoint format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "behavior/microops.hpp"
+#include "decode/decoder.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/compiled.hpp"
+#include "sim/guard.hpp"
+#include "sim/result.hpp"
+#include "sim/simcompiler.hpp"
+#include "sim/simtable.hpp"
+
+namespace lisasim {
+
+class BatchedSimulator {
+ public:
+  /// A batch of `lanes` (1..kMaxBatchLanes) lockstep instances. N = 1 is
+  /// the degenerate batch: stride-1 lane views compile down to the exact
+  /// unbatched state layout, and every group is a singleton executing
+  /// through the ordinary backend dispatch.
+  BatchedSimulator(const Model& model, unsigned lanes);
+
+  /// Sharded-build worker count for load()-time compilation (1 =
+  /// sequential, 0 = hardware threads); table contents are identical at
+  /// any setting.
+  void set_threads(unsigned threads) { compile_options_.threads = threads; }
+
+  /// Self-modifying-code policy for every lane; takes effect at the next
+  /// (re)load. Each lane guards its own program image (SMC is per lane),
+  /// but all clean lanes share the one compiled table.
+  void set_guard_policy(GuardPolicy policy) { guard_policy_ = policy; }
+  GuardPolicy guard_policy() const { return guard_policy_; }
+
+  /// Compile `program` once (static level) and load it into every lane.
+  SimCompileStats load(const LoadedProgram& program);
+
+  /// Load every lane from a pre-built shared table (benches and table
+  /// sharing across batches).
+  void load_precompiled(const LoadedProgram& program,
+                        std::shared_ptr<const SimTable> table);
+
+  /// Reset all lanes and reload the program against the current table
+  /// without recompiling (benchmark loops).
+  void reload(const LoadedProgram& program);
+
+  /// Step every live lane until it halts, errors, or reaches the soft
+  /// max_cycles limit; watchdog limits retire individual lanes with a
+  /// recoverable error instead of throwing. Callable repeatedly: lanes
+  /// stopped at max_cycles resume, retired lanes stay retired. Per-lane
+  /// outcomes land in lane_run().
+  void run(const RunLimits& limits);
+  void run(std::uint64_t max_cycles = UINT64_MAX) {
+    RunLimits limits;
+    limits.max_cycles = max_cycles;
+    run(limits);
+  }
+
+  unsigned lanes() const { return lanes_; }
+  const Model& model() const { return *model_; }
+  std::shared_ptr<const SimTable> table_ptr() const { return table_; }
+
+  /// Lane `l`'s architectural state (a view into the shared SoA buffer).
+  /// Callers fan stimuli across the batch by writing per-lane inputs here
+  /// after load and before run.
+  ProcessorState& lane_state(unsigned lane) { return states_[lane]; }
+  const ProcessorState& lane_state(unsigned lane) const {
+    return states_[lane];
+  }
+
+  const LaneRun& lane_run(unsigned lane) const { return lanes_d_[lane].run; }
+  const GuardStats& lane_guard_stats(unsigned lane) const {
+    return backends_[lane]->guard_stats();
+  }
+
+  /// True once every lane has retired (halted or errored).
+  bool all_done() const;
+
+  /// Snapshot lane `l` at the current batch-step boundary. The result is
+  /// format-compatible with a sequential CompiledSimulator checkpoint of
+  /// the same model: the lane view gathers into flat storage.
+  EngineCheckpoint save_lane_checkpoint(unsigned lane) const;
+
+  /// Restore lane `l` (its guard, if armed, conservatively re-stales every
+  /// translation, exactly like the sequential simulator's restore). The
+  /// lane's retirement status is untouched — use the BatchCheckpoint forms
+  /// to round-trip a partially retired batch.
+  void restore_lane_checkpoint(unsigned lane, const EngineCheckpoint& cp);
+
+  BatchCheckpoint save_checkpoint() const;
+  void restore_checkpoint(const BatchCheckpoint& cp);
+
+ private:
+  // Mirror of PipelineEngine's slot: stable payload pointers into the
+  // lane's work pool, swapped on advancement.
+  struct Slot {
+    CompiledBackend::Work* work = nullptr;
+    std::uint64_t pc = 0;
+    bool valid = false;
+    bool executed = false;
+    int stall = 0;
+  };
+
+  struct Lane {
+    std::vector<Slot> slots;                         // one per stage
+    std::vector<CompiledBackend::Work> work_pool;    // slot payloads
+    LaneRun run;
+    std::uint64_t total_cycles = 0;  // absolute, for watchdog context
+    std::uint64_t stuck = 0;         // consecutive cycles without retirement
+  };
+
+  void attach_table_and_load(const LoadedProgram& program);
+  void step(std::uint64_t active, const RunLimits& limits);
+  void fail_lane(unsigned lane, const SimError& error);
+  void retire_watchdog(unsigned lane, std::string message);
+
+  const Model* model_;
+  unsigned lanes_;
+  int depth_;
+  Decoder decoder_;
+  SimulationCompiler compiler_;
+  std::vector<ProcessorState> states_;  // lane views into soa_
+  std::size_t total_elements_ = 0;      // per-lane flat element count
+  std::vector<std::int64_t> soa_;       // element p, lane l at [p*N + l]
+  std::vector<std::int64_t> lane_temps_;  // SoA micro-op scratch (stride N)
+  std::vector<std::unique_ptr<ProgramGuard>> guards_;
+  std::vector<std::unique_ptr<CompiledBackend>> backends_;
+  std::vector<Lane> lanes_d_;
+  // Lane-indexed pointer arrays handed to exec_microops_lanes.
+  std::vector<ProcessorState*> state_ptrs_;
+  std::vector<PipelineControl*> control_ptrs_;
+  std::vector<std::optional<SimError>> faults_;
+  std::shared_ptr<const SimTable> table_;
+  SimCompileOptions compile_options_;
+  GuardPolicy guard_policy_ = GuardPolicy::kOff;
+};
+
+}  // namespace lisasim

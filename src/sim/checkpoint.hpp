@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/result.hpp"
+
 namespace lisasim {
 
 /// Engine-level run limits. `max_cycles` is the classic soft cap: run()
@@ -74,6 +76,32 @@ struct EngineCheckpoint {
   std::vector<SlotImage> slots;     // one per pipeline stage
   std::vector<std::pair<std::uint64_t, std::uint64_t>> interrupts;
   std::uint64_t total_cycles = 0;
+};
+
+/// Outcome of one lane of a batched run. While `done` is false the lane is
+/// still stepping (or stopped at the soft max_cycles limit and will resume
+/// on the next run()). A lane retires from the batch by halting or by
+/// raising a SimError; errored lanes freeze exactly where the sequential
+/// engine's unwind would leave them, with the error text recorded here —
+/// `recoverable` distinguishes watchdog stops from fatal program errors.
+struct LaneRun {
+  RunResult result;
+  bool done = false;
+  bool errored = false;
+  bool recoverable = false;
+  std::string error;
+};
+
+/// A resumable snapshot of an entire batch: one EngineCheckpoint per lane
+/// (each interchangeable with a sequential simulator's checkpoint of that
+/// lane — the SoA lane view gathers into the flat storage layout) plus the
+/// lane's retirement status, so a partially retired batch round-trips.
+struct BatchCheckpoint {
+  struct Lane {
+    EngineCheckpoint engine;
+    LaneRun run;
+  };
+  std::vector<Lane> lanes;
 };
 
 }  // namespace lisasim

@@ -97,10 +97,10 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-}  // namespace
-
-std::string serialize_checkpoint(const EngineCheckpoint& cp) {
-  std::string out;
+/// Append one engine-checkpoint block to `out` (shared by the single and
+/// the batch serializers; the format is self-delimiting, every count
+/// explicit, so blocks concatenate).
+void append_checkpoint(std::string& out, const EngineCheckpoint& cp) {
   out += "lisasim-checkpoint 1\n";
   out += "total_cycles " + std::to_string(cp.total_cycles) + "\n";
   out += "interrupts " + std::to_string(cp.interrupts.size()) + "\n";
@@ -130,11 +130,11 @@ std::string serialize_checkpoint(const EngineCheckpoint& cp) {
       }
     }
   }
-  return out;
 }
 
-EngineCheckpoint parse_checkpoint(std::string_view text) {
-  Reader r(text);
+/// Parse one engine-checkpoint block from `r` (shared by the single and
+/// the batch parsers).
+EngineCheckpoint parse_checkpoint_block(Reader& r) {
   r.expect("lisasim-checkpoint");
   if (r.unsigned_integer() != 1)
     throw SimError("checkpoint: unsupported format version");
@@ -181,6 +181,73 @@ EngineCheckpoint parse_checkpoint(std::string_view text) {
       }
     }
     cp.slots.push_back(std::move(slot));
+  }
+  return cp;
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const EngineCheckpoint& cp) {
+  std::string out;
+  append_checkpoint(out, cp);
+  return out;
+}
+
+EngineCheckpoint parse_checkpoint(std::string_view text) {
+  Reader r(text);
+  return parse_checkpoint_block(r);
+}
+
+std::string serialize_batch_checkpoint(const BatchCheckpoint& cp) {
+  std::string out;
+  out += "lisasim-batch-checkpoint 1\n";
+  out += "lanes " + std::to_string(cp.lanes.size()) + "\n";
+  for (std::size_t l = 0; l < cp.lanes.size(); ++l) {
+    const BatchCheckpoint::Lane& lane = cp.lanes[l];
+    const RunResult& result = lane.run.result;
+    out += "lane " + std::to_string(l) + " " +
+           std::to_string(lane.run.done) + " " +
+           std::to_string(lane.run.errored) + " " +
+           std::to_string(lane.run.recoverable) + "\n";
+    out += "result " + std::to_string(result.cycles) + " " +
+           std::to_string(result.packets_retired) + " " +
+           std::to_string(result.slots_retired) + " " +
+           std::to_string(result.fetches) + " " +
+           std::to_string(result.halted) + "\n";
+    out += "error ";
+    append_escaped(out, lane.run.error);
+    out += "\n";
+    append_checkpoint(out, lane.engine);
+  }
+  return out;
+}
+
+BatchCheckpoint parse_batch_checkpoint(std::string_view text) {
+  Reader r(text);
+  r.expect("lisasim-batch-checkpoint");
+  if (r.unsigned_integer() != 1)
+    throw SimError("checkpoint: unsupported batch format version");
+  BatchCheckpoint cp;
+  r.expect("lanes");
+  const std::uint64_t n_lanes = r.unsigned_integer();
+  cp.lanes.resize(n_lanes);
+  for (std::uint64_t l = 0; l < n_lanes; ++l) {
+    BatchCheckpoint::Lane& lane = cp.lanes[l];
+    r.expect("lane");
+    if (r.unsigned_integer() != l)
+      throw SimError("checkpoint: batch lanes out of order");
+    lane.run.done = r.unsigned_integer() != 0;
+    lane.run.errored = r.unsigned_integer() != 0;
+    lane.run.recoverable = r.unsigned_integer() != 0;
+    r.expect("result");
+    lane.run.result.cycles = r.unsigned_integer();
+    lane.run.result.packets_retired = r.unsigned_integer();
+    lane.run.result.slots_retired = r.unsigned_integer();
+    lane.run.result.fetches = r.unsigned_integer();
+    lane.run.result.halted = r.unsigned_integer() != 0;
+    r.expect("error");
+    lane.run.error = unescape(r.rest_of_line());
+    lane.engine = parse_checkpoint_block(r);
   }
   return cp;
 }

@@ -24,4 +24,14 @@ std::string serialize_checkpoint(const EngineCheckpoint& cp);
 /// any malformed or truncated input.
 EngineCheckpoint parse_checkpoint(std::string_view text);
 
+/// Render a whole batch (header "lisasim-batch-checkpoint 1"): per lane,
+/// its retirement status and result, then its per-lane engine block in the
+/// standard "lisasim-checkpoint 1" format — so individual lanes can be
+/// extracted and restored into a sequential simulator.
+std::string serialize_batch_checkpoint(const BatchCheckpoint& cp);
+
+/// Parse text produced by serialize_batch_checkpoint. Throws SimError
+/// (fatal) on any malformed or truncated input.
+BatchCheckpoint parse_batch_checkpoint(std::string_view text);
+
 }  // namespace lisasim

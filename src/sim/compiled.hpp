@@ -106,9 +106,17 @@ class CompiledBackend {
       guarded_issue(pc, out, words);
       return;
     }
+    issue_resolved(table_->find(pc), out, words);
+  }
+
+  /// Clean-path issue from an already-resolved table row (`entry` must be
+  /// this table's find(pc) result, nullptr for out-of-table). The batched
+  /// engine checks guard stamps once per batch step and shares one find()
+  /// across lanes sitting at the same pc; issue() funnels through here so
+  /// the two paths cannot diverge.
+  void issue_resolved(const SimTableEntry* entry, Work& out, unsigned& words) {
     out.patch.reset();
     out.fallback.reset();
-    const SimTableEntry* entry = table_->find(pc);
     if (entry && entry->valid) {
       out.error_id = -1;
       out.entry = entry;

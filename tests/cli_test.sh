@@ -323,6 +323,95 @@ fi
 [ "$code" = "1" ] || fail "fatal error should exit 1 (got $code)"
 expect_contains "$TMP/oob.out" "out-of-bounds access" "fatal error message"
 
+# ---- batched lockstep lanes -------------------------------------------------
+# Exit codes must match the equivalent single-lane runs: 0 when every lane
+# halts, 3 when a watchdog retires a lane, 1 on a fatal lane error, 2 on
+# usage errors.
+"$LISASIM" run @tinydsp "$TMP/smc.asm" --batch 4 --guard recompile --dump \
+    > "$TMP/batch.out"
+[ "$(grep -c 'halted' "$TMP/batch.out")" = "4" ] || \
+    fail "--batch 4 should report 4 halted lanes"
+[ "$(grep -c 'dmem\[32\] = 94' "$TMP/batch.out")" = "4" ] || \
+    fail "every guarded batch lane must match the interpretive oracle"
+# Per-lane cycle counts equal the sequential guarded run's.
+a=$(grep ' cycles,' "$TMP/smc_recompile.out" |
+    sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+b=$(sed -n 's/^lane 0: \([0-9]*\) cycles.*/\1/p' "$TMP/batch.out")
+[ "$a" = "$b" ] || fail "batched lane cycles $b != sequential $a"
+# A spinning program: every lane hits the watchdog, exit 3 like unbatched.
+if "$LISASIM" run @tinydsp "$TMP/spin.asm" --batch 3 --watchdog 500 \
+    > "$TMP/batch_wd.out" 2>&1; then
+  fail "--batch --watchdog should fail"
+else
+  code=$?
+fi
+[ "$code" = "3" ] || fail "--batch watchdog should exit 3 (got $code)"
+expect_contains "$TMP/batch_wd.out" "watchdog: cycle limit 500" \
+    "batched watchdog message"
+[ "$(grep -c 'recoverable error' "$TMP/batch_wd.out")" = "3" ] || \
+    fail "all 3 spinning lanes should retire recoverably"
+# Fatal lane errors exit 1, distinct from recoverable stops.
+if "$LISASIM" run @tinydsp "$TMP/oob.asm" --batch 2 \
+    > "$TMP/batch_oob.out" 2>&1; then
+  fail "--batch with a fatal lane should fail"
+else
+  code=$?
+fi
+[ "$code" = "1" ] || fail "fatal batched lane should exit 1 (got $code)"
+expect_contains "$TMP/batch_oob.out" "out-of-bounds access" \
+    "batched fatal error message"
+# Usage errors: batch runs at the static level only, and needs >= 1 lane.
+if "$LISASIM" run @tinydsp "$TMP/spin.asm" --batch 2 --level interp \
+    > "$TMP/batch_err.out" 2>&1; then
+  fail "--batch --level interp should fail"
+else
+  code=$?
+fi
+[ "$code" = "2" ] || fail "--batch at interp should exit 2 (got $code)"
+expect_contains "$TMP/batch_err.out" "static level only" \
+    "--batch names the level restriction"
+if "$LISASIM" run @tinydsp "$TMP/spin.asm" --batch 0 \
+    > "$TMP/batch_err0.out" 2>&1; then
+  fail "--batch 0 should fail"
+else
+  code=$?
+fi
+[ "$code" = "2" ] || fail "--batch 0 should exit 2 (got $code)"
+# --poke fans per-lane stimuli: a loop whose trip count comes from dmem[0]
+# gives each poked lane its own cycle count and final sum (dmem[16]).
+cat > "$TMP/lanes.asm" <<'EOF'
+        .entry start
+start:  MVK 0, R0
+        LD R1, R0, 0
+        NOP 2
+        MVK 0, R2
+        MVK 1, R3
+loop:   BZ R1, done
+        ADD.L R2, R2, R1
+        SUB.L R1, R1, R3
+        B loop
+done:   ST R2, R3, 15
+        HALT
+        .data dmem 0
+        .word 0
+EOF
+"$LISASIM" run @tinydsp "$TMP/lanes.asm" --batch 3 --poke 1:dmem[0]=3 \
+    --poke "2:dmem[0]=5" --dump > "$TMP/batch_poke.out"
+expect_contains "$TMP/batch_poke.out" "dmem\[16\] = 6" \
+    "poked lane 1 sums 3+2+1"
+expect_contains "$TMP/batch_poke.out" "dmem\[16\] = 15" \
+    "poked lane 2 sums 5+4+3+2+1"
+[ "$(sed -n 's/^lane [0-9]*: \([0-9]*\) cycles.*/\1/p' "$TMP/batch_poke.out" |
+    sort -u | wc -l)" = "3" ] || \
+    fail "differently poked lanes should retire in different cycle counts"
+if "$LISASIM" run @tinydsp "$TMP/lanes.asm" --poke 0:dmem[0]=1 \
+    > "$TMP/poke_err.out" 2>&1; then
+  fail "--poke without --batch should fail"
+else
+  code=$?
+fi
+[ "$code" = "2" ] || fail "--poke without --batch should exit 2 (got $code)"
+
 # ---- checkpoint save/restore round trip ------------------------------------
 for level in interp cached dynamic static trace; do
   "$LISASIM" run @tinydsp "$TMP/smc.asm" --level "$level" --guard recompile \
@@ -362,6 +451,12 @@ if [ -n "$LISASIM_FUZZ" ]; then
   expect_contains "$TMP/fuzz.out" "smc_patches" "--stats prints coverage"
   [ ! -d "$TMP/repros" ] || [ -z "$(ls -A "$TMP/repros")" ] \
       || fail "clean sweep must not write repro bundles"
+
+  # Coverage-guided scheduling stays clean and deterministic too.
+  "$LISASIM_FUZZ" @tinydsp --seeds 8 --schedule --stats \
+      --repro-dir "$TMP/repros" > "$TMP/sched.out" 2>&1 \
+      || fail "--schedule sweep should exit 0"
+  expect_contains "$TMP/sched.out" "0 divergences" "--schedule sweep is clean"
 
   # --soak honors its wall-clock budget (2s + slack for the last seed).
   start=$(date +%s)

@@ -1,0 +1,11 @@
+; target: c54x
+; minimized repro shape: BANZ with AR1 already zero — the loop body must
+; run exactly once and the decrement must not wrap the auxiliary register.
+        LDI 0, A
+        LDAR AR1, 0
+loop:   ADD @0, A
+        BANZ loop, AR1
+        ST A, @1
+        HALT
+        .data dmem 0
+        .word 7

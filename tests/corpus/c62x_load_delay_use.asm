@@ -1,0 +1,13 @@
+; target: c62x
+; minimized repro shape: a load consumer scheduled exactly at the NOP 3
+; load-delay boundary, then a multiply whose result is stored back — the
+; tightest legal LDW/MPY/STW chain.
+        .entry start
+start:  MVK 5, A8
+        LDW A8, 0, A12
+        NOP 3
+        MPY A12, A12, A14
+        STW A14, A8, 2
+        HALT
+        .data dmem 0
+        .word 0, 0, 0, 0, 0, 9

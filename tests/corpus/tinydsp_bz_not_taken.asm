@@ -1,0 +1,7 @@
+; target: tinydsp
+; minimized 3-instruction repro shape: an untaken BZ whose target is its
+; own packet, immediately followed by HALT — pins branch-predicate
+; evaluation against the fall-off-the-end exit in every tier.
+        MVK 1, R1
+loop:   BZ R1, loop
+        HALT

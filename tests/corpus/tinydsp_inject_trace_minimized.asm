@@ -1,0 +1,29 @@
+; target: tinydsp
+; guard: recompile
+; found-by: lisasim-fuzz @tinydsp --inject-divergence 3 (trace level, recompile guard)
+; the injected trace-state corruption minimizes to a bare fall-through
+; HALT; kept as the smallest possible all-levels replay.
+L0:
+L1:
+L2:
+L3:
+L4:
+L5:
+L6:
+L7:
+L8:
+L9:
+L10:
+L11:
+L12:
+L13:
+L14:
+L15:
+L16:
+L17:
+L18:
+L19:
+L20:
+L21:
+L22: HALT
+L23:

@@ -1,0 +1,25 @@
+; target: tinydsp
+; guard: recompile
+; minimized from the smc workload: one ADD trip, patch the loop body with
+; the SUB template through program memory, one SUB trip. The smallest
+; program where the compiled tiers are unsound without write guards.
+        .entry start
+start:  MVK 0, R0
+        MVK 3, R2
+        MVK 100, R6
+        MVK 1, R5
+        MVK 1, R9
+        MVK 1, R4
+loop:   BZ R4, phase
+patch:  ADD.L R6, R6, R2
+        SUB.L R4, R4, R5
+        B loop
+phase:  BZ R9, done
+        MVK 0, R9
+        LDP R7, R0, tmpl
+        STP R7, R0, patch
+        MVK 1, R4
+        B loop
+done:   ST R6, R0, 32
+        HALT
+tmpl:   SUB.L R6, R6, R2

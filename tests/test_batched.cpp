@@ -1,0 +1,301 @@
+// BatchedSimulator lane mechanics: the degenerate N = 1 batch must be
+// indistinguishable from the sequential compiled-static simulator, lanes
+// whose stimuli drive every PC apart must split into singleton groups and
+// still match their sequential references bit-for-bit, a watchdog expiry
+// must retire exactly the runaway lane, and a partially retired batch must
+// round-trip through the BatchCheckpoint text format. The broad program
+// coverage (all targets, fuzz-generated stimuli, guard policies) lives in
+// test_differential.cpp; this file pins the lane bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "sim/batched.hpp"
+#include "sim/checkpoint_io.hpp"
+#include "sim_test_util.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::DiffProgram;
+using testing::TestTarget;
+using testing::differential_workloads;
+
+// Loop whose trip count is the lane stimulus dmem[0]; the series sum lands
+// in dmem[16], so both timing and final state depend on the stimulus.
+constexpr std::string_view kLaneLoop = R"(
+        MVK 0, R0
+        LD R1, R0, 0      ; trip count = dmem[0]
+        NOP 2
+        MVK 0, R2
+        MVK 1, R3
+loop:   BZ R1, done
+        ADD.L R2, R2, R1
+        SUB.L R1, R1, R3
+        B loop
+done:   ST R2, R3, 15     ; dmem[16] = sum
+        HALT
+        .data dmem 0
+        .word 0
+)";
+
+// Halts promptly when dmem[0] is zero; spins forever otherwise.
+constexpr std::string_view kMaybeSpin = R"(
+        MVK 0, R0
+        LD R1, R0, 0
+        NOP 2
+loop:   BZ R1, done
+        B loop
+done:   HALT
+        .data dmem 0
+        .word 0
+)";
+
+void set_dmem0(const Model& model, ProcessorState& state, std::int64_t v) {
+  const Resource* dmem = model.resource_by_name("dmem");
+  ASSERT_NE(dmem, nullptr);
+  state.write(dmem->id, 0, v);
+}
+
+struct SeqRun {
+  RunResult result;
+  std::string state_dump;
+  bool errored = false;
+  std::string error;
+};
+
+// One sequential compiled-static run with the same per-lane stimulus the
+// batch applies; a thrown SimError loses the RunResult exactly as it does
+// in the sequential API, so errored lanes compare error text + state.
+SeqRun sequential_reference(const Model& model, const LoadedProgram& program,
+                            std::int64_t stimulus, const RunLimits& limits) {
+  CompiledSimulator sim(model, SimLevel::kCompiledStatic);
+  sim.load(program);
+  set_dmem0(model, sim.state(), stimulus);
+  SeqRun out;
+  try {
+    out.result = sim.run(limits);
+  } catch (const SimError& e) {
+    out.errored = true;
+    out.error = e.what();
+  }
+  out.state_dump = sim.state().dump_nonzero();
+  return out;
+}
+
+class BatchedTest : public ::testing::Test {
+ protected:
+  TestTarget target_{targets::tinydsp_model_source(), "tinydsp"};
+};
+
+// N = 1 is the degenerate batch: stride-1 lane views and singleton groups
+// must reproduce the unbatched engine's RunResult and final state on every
+// differential workload.
+TEST_F(BatchedTest, SingleLaneMatchesUnbatchedEngine) {
+  for (const DiffProgram& dp : differential_workloads("tinydsp")) {
+    SCOPED_TRACE(dp.name);
+    const LoadedProgram program = target_.assemble(dp.asm_source);
+
+    CompiledSimulator seq(*target_.model, SimLevel::kCompiledStatic);
+    seq.load(program);
+    const RunResult r_seq = seq.run();
+
+    BatchedSimulator batch(*target_.model, 1);
+    batch.load(program);
+    batch.run();
+
+    const LaneRun& lane = batch.lane_run(0);
+    EXPECT_TRUE(lane.done);
+    EXPECT_FALSE(lane.errored);
+    EXPECT_EQ(lane.result, r_seq);
+    EXPECT_TRUE(batch.lane_state(0) == seq.state());
+    EXPECT_EQ(batch.lane_state(0).dump_nonzero(), seq.state().dump_nonzero());
+  }
+}
+
+// Distinct trip counts drive every lane's PC apart after the first BZ, so
+// the lockstep groups split all the way down to singletons — and each lane
+// must still match its own sequential reference, timing and state.
+TEST_F(BatchedTest, AllLanesDivergeAndMatchSequentialRuns) {
+  constexpr unsigned kLanes = 8;
+  const LoadedProgram program = target_.assemble(kLaneLoop);
+
+  BatchedSimulator batch(*target_.model, kLanes);
+  batch.load(program);
+  for (unsigned l = 0; l < kLanes; ++l)
+    set_dmem0(*target_.model, batch.lane_state(l), 3 * l + 1);
+  batch.run();
+
+  std::set<std::uint64_t> distinct_cycles;
+  for (unsigned l = 0; l < kLanes; ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    const SeqRun ref =
+        sequential_reference(*target_.model, program, 3 * l + 1, RunLimits{});
+    const LaneRun& lane = batch.lane_run(l);
+    EXPECT_TRUE(lane.done);
+    EXPECT_FALSE(lane.errored) << lane.error;
+    EXPECT_EQ(lane.result, ref.result);
+    EXPECT_EQ(batch.lane_state(l).dump_nonzero(), ref.state_dump);
+    distinct_cycles.insert(lane.result.cycles);
+  }
+  // Divergence really happened: every lane took a different number of
+  // cycles, so no two lanes shared a PC schedule.
+  EXPECT_EQ(distinct_cycles.size(), kLanes);
+}
+
+// A runaway lane trips its per-lane watchdog and retires with the same
+// recoverable error text the sequential engine throws; the rest of the
+// batch runs to completion untouched.
+TEST_F(BatchedTest, WatchdogRetiresOnlyTheExpiredLane) {
+  constexpr unsigned kLanes = 4;
+  constexpr unsigned kSpinner = 2;
+  const LoadedProgram program = target_.assemble(kMaybeSpin);
+
+  RunLimits limits;
+  limits.watchdog_cycles = 400;
+
+  BatchedSimulator batch(*target_.model, kLanes);
+  batch.load(program);
+  for (unsigned l = 0; l < kLanes; ++l)
+    set_dmem0(*target_.model, batch.lane_state(l), l == kSpinner ? 1 : 0);
+  batch.run(limits);
+  EXPECT_TRUE(batch.all_done());
+
+  for (unsigned l = 0; l < kLanes; ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    const SeqRun ref = sequential_reference(*target_.model, program,
+                                            l == kSpinner ? 1 : 0, limits);
+    const LaneRun& lane = batch.lane_run(l);
+    EXPECT_TRUE(lane.done);
+    if (l == kSpinner) {
+      ASSERT_TRUE(lane.errored);
+      EXPECT_TRUE(lane.recoverable);
+      EXPECT_NE(lane.error.find("watchdog: cycle limit"), std::string::npos)
+          << lane.error;
+      ASSERT_TRUE(ref.errored);
+      EXPECT_EQ(lane.error, ref.error);  // byte-for-byte, pc/cycle included
+    } else {
+      EXPECT_FALSE(lane.errored) << lane.error;
+      EXPECT_TRUE(lane.result.halted);
+      EXPECT_EQ(lane.result, ref.result);
+    }
+    EXPECT_EQ(batch.lane_state(l).dump_nonzero(), ref.state_dump);
+  }
+}
+
+// Stop a batch mid-flight with one lane already halted, round-trip the
+// whole thing through the text checkpoint format, and resume the restored
+// copy: every lane must finish exactly like the original.
+TEST_F(BatchedTest, CheckpointRoundTripsPartiallyRetiredBatch) {
+  constexpr unsigned kLanes = 4;
+  const std::int64_t kStimuli[kLanes] = {1, 300, 400, 500};
+  const LoadedProgram program = target_.assemble(kLaneLoop);
+
+  BatchedSimulator batch(*target_.model, kLanes);
+  batch.load(program);
+  for (unsigned l = 0; l < kLanes; ++l)
+    set_dmem0(*target_.model, batch.lane_state(l), kStimuli[l]);
+  batch.run(150);
+
+  // The fast lane has retired, the long-running ones are frozen mid-loop.
+  ASSERT_TRUE(batch.lane_run(0).done);
+  ASSERT_TRUE(batch.lane_run(0).result.halted);
+  for (unsigned l = 1; l < kLanes; ++l)
+    ASSERT_FALSE(batch.lane_run(l).done) << "lane " << l;
+
+  const BatchCheckpoint cp = batch.save_checkpoint();
+  const std::string text = serialize_batch_checkpoint(cp);
+  const BatchCheckpoint parsed = parse_batch_checkpoint(text);
+  // Deterministic format: re-serializing the parse reproduces the text.
+  EXPECT_EQ(serialize_batch_checkpoint(parsed), text);
+
+  BatchedSimulator restored(*target_.model, kLanes);
+  restored.load(program);
+  restored.restore_checkpoint(parsed);
+
+  // The retired lane's outcome travels with the checkpoint...
+  EXPECT_TRUE(restored.lane_run(0).done);
+  EXPECT_EQ(restored.lane_run(0).result, batch.lane_run(0).result);
+
+  // ...and resuming both batches to completion keeps them identical.
+  batch.run();
+  restored.run();
+  EXPECT_TRUE(batch.all_done());
+  EXPECT_TRUE(restored.all_done());
+  for (unsigned l = 0; l < kLanes; ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    EXPECT_EQ(restored.lane_run(l).result, batch.lane_run(l).result);
+    EXPECT_TRUE(restored.lane_state(l) == batch.lane_state(l));
+    EXPECT_EQ(restored.lane_state(l).dump_nonzero(),
+              batch.lane_state(l).dump_nonzero());
+  }
+}
+
+// A single lane's checkpoint is format-compatible with the sequential
+// simulator: lift a mid-flight lane out of the batch, restore it into a
+// CompiledSimulator, and both must finish with identical results.
+TEST_F(BatchedTest, LaneCheckpointInterchangesWithSequentialSimulator) {
+  constexpr unsigned kLanes = 3;
+  const LoadedProgram program = target_.assemble(kLaneLoop);
+
+  BatchedSimulator batch(*target_.model, kLanes);
+  batch.load(program);
+  for (unsigned l = 0; l < kLanes; ++l)
+    set_dmem0(*target_.model, batch.lane_state(l), 100 + 17 * l);
+  batch.run(80);
+  ASSERT_FALSE(batch.lane_run(1).done);
+
+  const EngineCheckpoint lane_cp = batch.save_lane_checkpoint(1);
+  // Through the standard single-engine text format, no batch wrapper.
+  const EngineCheckpoint parsed =
+      parse_checkpoint(serialize_checkpoint(lane_cp));
+
+  CompiledSimulator seq(*target_.model, SimLevel::kCompiledStatic);
+  seq.load(program);
+  seq.restore_checkpoint(parsed);
+  const RunResult r_seq = seq.run();
+
+  batch.run();
+  EXPECT_EQ(batch.lane_run(1).result.halted, r_seq.halted);
+  EXPECT_EQ(batch.lane_run(1).result.cycles, r_seq.cycles);
+  EXPECT_TRUE(batch.lane_state(1) == seq.state());
+  EXPECT_EQ(batch.lane_state(1).dump_nonzero(), seq.state().dump_nonzero());
+}
+
+// Restoring a sequential checkpoint *into* a lane also works — the lane
+// view scatters the flat snapshot across the SoA stride.
+TEST_F(BatchedTest, SequentialCheckpointRestoresIntoLane) {
+  const LoadedProgram program = target_.assemble(kLaneLoop);
+
+  CompiledSimulator seq(*target_.model, SimLevel::kCompiledStatic);
+  seq.load(program);
+  set_dmem0(*target_.model, seq.state(), 120);
+  RunLimits limits;
+  limits.max_cycles = 90;
+  const RunResult r_partial = seq.run(limits);
+  ASSERT_FALSE(r_partial.halted);
+  const EngineCheckpoint cp = seq.save_checkpoint();
+
+  BatchedSimulator batch(*target_.model, 4);
+  batch.load(program);
+  for (unsigned l = 0; l < 4; ++l)
+    set_dmem0(*target_.model, batch.lane_state(l), 2);  // short fillers
+  batch.restore_lane_checkpoint(3, cp);
+
+  batch.run();
+  const RunResult r_seq = seq.run();
+  EXPECT_EQ(batch.lane_run(3).result.cycles, r_seq.cycles);
+  EXPECT_EQ(batch.lane_run(3).result.halted, r_seq.halted);
+  EXPECT_TRUE(batch.lane_state(3) == seq.state());
+}
+
+TEST_F(BatchedTest, RejectsZeroAndOversizedLaneCounts) {
+  EXPECT_THROW(BatchedSimulator(*target_.model, 0), SimError);
+  EXPECT_THROW(BatchedSimulator(*target_.model, kMaxBatchLanes + 1), SimError);
+}
+
+}  // namespace
+}  // namespace lisasim

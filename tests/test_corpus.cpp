@@ -1,0 +1,117 @@
+// Corpus replay: every minimized historical repro program under
+// tests/corpus/ runs through all five simulation levels and must agree on
+// timing and final state. The corpus grows whenever the differential
+// fuzzer (or the batched lockstep differential) minimizes a divergence:
+// the shrunk program is checked in here so the bug class stays covered by
+// tier-1 CI forever, independent of the seed schedule that found it.
+//
+// File format: plain assembly with comment headers —
+//   ; target: tinydsp | c54x | c62x     (required: built-in model)
+//   ; guard: recompile | fallback       (optional: arm the write guards)
+// followed by free-form provenance comments and the program itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim_test_util.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+
+namespace lisasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(LISASIM_CORPUS_DIR))
+    if (entry.path().extension() == ".asm")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Value of a `; key: value` comment header anywhere in the file.
+std::string header_value(const std::string& text, const std::string& key) {
+  const std::string marker = "; " + key + ":";
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t at = line.find(marker);
+    if (at == std::string::npos) continue;
+    std::string value = line.substr(at + marker.size());
+    const std::size_t begin = value.find_first_not_of(" \t");
+    if (begin == std::string::npos) return "";
+    const std::size_t end = value.find_last_not_of(" \t\r");
+    return value.substr(begin, end - begin + 1);
+  }
+  return "";
+}
+
+std::string_view model_source_for(const std::string& target) {
+  if (target == "tinydsp") return targets::tinydsp_model_source();
+  if (target == "c54x") return targets::c54x_model_source();
+  if (target == "c62x") return targets::c62x_model_source();
+  return {};
+}
+
+class CorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST(Corpus, DirectoryIsNotEmpty) {
+  EXPECT_FALSE(corpus_files().empty())
+      << "no .asm files under " << LISASIM_CORPUS_DIR;
+}
+
+TEST_P(CorpusTest, AllLevelsAgree) {
+  const std::string path = GetParam();
+  SCOPED_TRACE(path);
+  const std::string text = read_file(path);
+
+  const std::string target_name = header_value(text, "target");
+  const std::string_view source = model_source_for(target_name);
+  ASSERT_FALSE(source.empty())
+      << "missing or unknown '; target:' header: '" << target_name << "'";
+
+  GuardPolicy guard = GuardPolicy::kOff;
+  const std::string guard_name = header_value(text, "guard");
+  if (guard_name == "recompile") guard = GuardPolicy::kRecompile;
+  else if (guard_name == "fallback") guard = GuardPolicy::kFallback;
+  else ASSERT_TRUE(guard_name.empty()) << "bad '; guard:' header";
+
+  testing::TestTarget target(source, target_name);
+  const LoadedProgram program = target.assemble(text);
+  // Repro programs are minimized, so they are tiny — but they are not
+  // required to halt (divergences often hid in runaway loops); the cap
+  // bounds the replay and the cross-level assertions carry the weight.
+  const auto run =
+      testing::run_all_levels(*target.model, program, 100'000, guard);
+  EXPECT_GT(run.result.cycles, 0u);
+}
+
+std::string test_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = fs::path(info.param).stem().string();
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Replay, CorpusTest,
+                         ::testing::ValuesIn(corpus_files()), test_name);
+
+}  // namespace
+}  // namespace lisasim

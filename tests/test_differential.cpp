@@ -7,6 +7,8 @@
 // and cache-served tables replay the exact same run.
 #include <gtest/gtest.h>
 
+#include "fuzz/progen.hpp"
+#include "sim/batched.hpp"
 #include "sim_test_util.hpp"
 #include "targets/c54x.hpp"
 #include "targets/c62x.hpp"
@@ -116,6 +118,117 @@ TEST_P(DifferentialTest, ParallelAndCachedTablesReplayIdentically) {
       EXPECT_EQ(sim.run(2'000'000), want);
       EXPECT_TRUE(reference.state() == sim.state());
       EXPECT_EQ(reference.table().signature(), sim.table().signature());
+    }
+  }
+}
+
+/// Deterministic per-lane stimulus: lane-dependent values in the first few
+/// cells of the target's first non-fetch memory. Applied identically to a
+/// batch lane and to its sequential reference after load, before run.
+void perturb_lane(const Model& model, ProcessorState& state, unsigned lane) {
+  for (const Resource& r : model.resources) {
+    if (r.kind != ast::ResourceKind::kMemory || r.id == model.fetch_memory)
+      continue;
+    const std::uint64_t cells = std::min<std::uint64_t>(r.size, 4);
+    for (std::uint64_t i = 0; i < cells; ++i)
+      state.write(r.id, i,
+                  static_cast<std::int64_t>(lane) * 5 +
+                      static_cast<std::int64_t>(i) + 1);
+    return;
+  }
+}
+
+/// One sequential compiled-static run of lane `lane`'s stimulus. A thrown
+/// SimError loses the RunResult (exactly as in the sequential API), so
+/// errored lanes are compared by error text + final state.
+struct LaneReference {
+  RunResult result;
+  bool errored = false;
+  std::string error;
+  std::string state_dump;
+};
+
+LaneReference lane_reference(CompiledSimulator& sim, const LoadedProgram& p,
+                             unsigned lane, const RunLimits& limits) {
+  sim.reload(p);
+  perturb_lane(sim.model(), sim.state(), lane);
+  LaneReference ref;
+  try {
+    ref.result = sim.run(limits);
+  } catch (const SimError& e) {
+    ref.errored = true;
+    ref.error = e.what();
+  }
+  ref.state_dump = sim.state().dump_nonzero();
+  return ref;
+}
+
+TEST_P(DifferentialTest, BatchedLanesMatchSequentialRuns) {
+  // The batched lockstep engine's accuracy anchor: an N-lane batch must be
+  // bit-identical, per lane, to N sequential compiled-static runs of the
+  // same stimuli — hand-written workloads plus fuzz-generated programs
+  // (SMC included), under both guard policies, at N = 4 and N = 16. The
+  // watchdog keeps runaway generated programs finite; a watchdog expiry
+  // must then reproduce the sequential error byte for byte.
+  const TargetCase& tc = target_case();
+  TestTarget target(tc.source(), tc.name);
+
+  std::vector<DiffProgram> programs = programs_for(tc.name);
+  const fuzz::ProgramGenerator generator(*target.model);
+  fuzz::GenOptions gen_opts;
+  gen_opts.max_packets = 24;
+  for (std::uint64_t seed : {11u, 12u}) {
+    const fuzz::GeneratedProgram g = generator.generate(seed, gen_opts);
+    programs.push_back(
+        {"fuzz_seed" + std::to_string(seed) + (g.has_smc ? "_smc" : ""),
+         g.source});
+  }
+
+  RunLimits limits;
+  limits.watchdog_cycles = 50'000;
+
+  for (const DiffProgram& program : programs) {
+    const LoadedProgram p = target.assemble(program.asm_source);
+    for (const GuardPolicy policy :
+         {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+      SCOPED_TRACE(std::string(tc.name) + " / " + program.name + " / " +
+                   guard_policy_name(policy));
+
+      // Compile once; the 16 sequential references and both batches all
+      // share the one table, like production sweeps would.
+      CompiledSimulator seq(*target.model, SimLevel::kCompiledStatic);
+      seq.set_guard_policy(policy);
+      seq.load(p);
+      const std::shared_ptr<const SimTable> table = seq.table_ptr();
+
+      std::vector<LaneReference> refs;
+      for (unsigned lane = 0; lane < 16; ++lane)
+        refs.push_back(lane_reference(seq, p, lane, limits));
+
+      for (const unsigned lanes : {4u, 16u}) {
+        BatchedSimulator batch(*target.model, lanes);
+        batch.set_guard_policy(policy);
+        batch.load_precompiled(p, table);
+        for (unsigned l = 0; l < lanes; ++l)
+          perturb_lane(*target.model, batch.lane_state(l), l);
+        batch.run(limits);
+        ASSERT_TRUE(batch.all_done());
+
+        for (unsigned l = 0; l < lanes; ++l) {
+          SCOPED_TRACE("N=" + std::to_string(lanes) + " lane " +
+                       std::to_string(l));
+          const LaneReference& ref = refs[l];
+          const LaneRun& lane = batch.lane_run(l);
+          EXPECT_EQ(lane.errored, ref.errored) << lane.error << ref.error;
+          if (ref.errored)
+            EXPECT_EQ(lane.error, ref.error);
+          else
+            EXPECT_EQ(lane.result, ref.result);
+          // Dump equality is full architectural-state equality: the same
+          // model, so equal non-zero renderings mean equal element values.
+          EXPECT_EQ(batch.lane_state(l).dump_nonzero(), ref.state_dump);
+        }
+      }
     }
   }
 }

@@ -104,6 +104,83 @@ TEST(FuzzGen, SeedSweepAssemblesWithFeatureCoverage) {
   }
 }
 
+// ---- coverage-guided scheduling --------------------------------------------
+
+TEST(FuzzSchedule, EmptyCoverageLeavesWeightsUntouched) {
+  const fuzz::FeatureWeights base;
+  const fuzz::FeatureWeights out = fuzz::schedule_weights(base, {});
+  EXPECT_EQ(out.branch, base.branch);
+  EXPECT_EQ(out.backward, base.backward);
+  EXPECT_EQ(out.predicate, base.predicate);
+  EXPECT_EQ(out.parallel, base.parallel);
+  EXPECT_EQ(out.memory, base.memory);
+  EXPECT_EQ(out.smc, base.smc);
+  EXPECT_EQ(out.chaos, base.chaos);
+}
+
+TEST(FuzzSchedule, UnderHitFeaturesGainTheirDeficit) {
+  fuzz::FeatureWeights base;
+  fuzz::Coverage seen;
+  seen.programs = 10;
+  seen.packets = 100;
+  seen.instructions = 200;
+  // No branches at all: branch (18%) observed at 0% -> doubled to 36.
+  seen.branches = 0;
+  // Memory at exactly its target rate (35% of instructions): unchanged.
+  seen.loads = 40;
+  seen.stores = 30;
+  // SMC over target (60% of programs): unchanged.
+  seen.smc_patches = 8;
+  const fuzz::FeatureWeights out = fuzz::schedule_weights(base, seen);
+  EXPECT_EQ(out.branch, base.branch * 2);
+  EXPECT_EQ(out.memory, base.memory);
+  EXPECT_EQ(out.smc, base.smc);
+  EXPECT_EQ(out.chaos, base.chaos);  // chaos is never steered
+}
+
+TEST(FuzzSchedule, BoostIsClampedBelowCertainty) {
+  fuzz::FeatureWeights base;
+  base.smc = 90;  // deficit of 90 would push past 100
+  fuzz::Coverage seen;
+  seen.programs = 50;
+  seen.smc_patches = 0;
+  const fuzz::FeatureWeights out = fuzz::schedule_weights(base, seen);
+  EXPECT_EQ(out.smc, 95u);
+}
+
+TEST(FuzzSchedule, DeterministicInInputs) {
+  fuzz::Coverage seen;
+  seen.programs = 7;
+  seen.packets = 91;
+  seen.instructions = 140;
+  seen.branches = 3;
+  seen.backward_branches = 1;
+  const fuzz::FeatureWeights a = fuzz::schedule_weights({}, seen);
+  const fuzz::FeatureWeights b = fuzz::schedule_weights({}, seen);
+  EXPECT_EQ(a.branch, b.branch);
+  EXPECT_EQ(a.backward, b.backward);
+  EXPECT_EQ(a.predicate, b.predicate);
+  EXPECT_EQ(a.parallel, b.parallel);
+  EXPECT_EQ(a.memory, b.memory);
+  EXPECT_EQ(a.smc, b.smc);
+}
+
+TEST(FuzzSchedule, ScheduledCampaignStaysDivergenceFree) {
+  TestTarget& t = tiny();
+  fuzz::DifferentialFuzzer fuzzer(*t.model);
+  fuzz::FuzzOptions opts;
+  opts.repro_dir.clear();
+  opts.coverage_schedule = true;
+  fuzz::FuzzStats stats;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto d = fuzzer.run_seed(seed, opts, stats);
+    EXPECT_FALSE(d.has_value())
+        << "seed " << seed << ": " << d->level << "/" << d->policy << ": "
+        << d->description;
+  }
+  EXPECT_GT(stats.programs, 0u);
+}
+
 // ---- differential fuzzer ---------------------------------------------------
 
 TEST(FuzzDiff, SeedSweepFindsNoDivergence) {

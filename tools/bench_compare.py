@@ -9,7 +9,10 @@ Rows are matched on (app, level) and compared on cycles_per_second. A row
 that regresses by more than the threshold (default 15%, override with
 --threshold PCT) is flagged and the script exits nonzero, so the check can
 gate a refresh of the checked-in numbers. Guard-overhead rows marked
-noise_dominated in either file are reported but never flagged.
+noise_dominated in either file are reported but never flagged. Batched
+lockstep rows are matched on (app, lanes) and gated on aggregate_mips under
+the same threshold; a baseline written before the batched section existed
+is reported as skipped, not failed.
 """
 
 import argparse
@@ -89,6 +92,40 @@ def main():
                 f"{b['overhead_percent']:+6.2f}% -> {f['overhead_percent']:+6.2f}%"
                 f"{'  (noise)' if noisy else ''}"
             )
+
+    # Batched lockstep rows: gated on aggregate MIPS, matched on (app, lanes).
+    base_batched = {(r["app"], r["lanes"]): r for r in base_data.get("batched", [])}
+    fresh_batched = {(r["app"], r["lanes"]): r for r in fresh_data.get("batched", [])}
+    if not base_batched:
+        print(
+            "\nbatched lockstep: baseline has no batched rows "
+            "(predates the batched bench section); skipping the comparison. "
+            "Refresh BENCH_sim.json to start gating them."
+        )
+    elif not fresh_batched:
+        print(
+            "\nbatched lockstep: fresh run has no batched rows; skipping "
+            "the comparison (rerun bench_sim_speed from this tree)."
+        )
+    else:
+        print("\nbatched lockstep (aggregate MIPS):")
+        print(f"{'app':8s} {'lanes':>5s} {'baseline':>10s} {'fresh':>10s} {'delta':>8s}")
+        for key in sorted(base_batched):
+            b = base_batched[key]["aggregate_mips"]
+            if key not in fresh_batched:
+                print(f"{key[0]:8s} {key[1]:5d} {b:10.2f} {'missing':>10s}")
+                regressions.append((key, "batched row missing from fresh run"))
+                continue
+            f = fresh_batched[key]["aggregate_mips"]
+            delta = (f - b) / b * 100.0
+            flag = ""
+            if delta < -args.threshold:
+                flag = f"  << regression > {args.threshold:.0f}%"
+                regressions.append((key, f"{delta:+.1f}%"))
+            print(f"{key[0]:8s} {key[1]:5d} {b:10.2f} {f:10.2f} {delta:+7.1f}%{flag}")
+        for key in sorted(set(fresh_batched) - set(base_batched)):
+            print(f"{key[0]:8s} {key[1]:5d} {'new row':>10s} "
+                  f"{fresh_batched[key]['aggregate_mips']:10.2f}")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0f}%:",

@@ -22,6 +22,9 @@
 //   --watchdog N                    hard watchdog cycle limit (default off)
 //   --stuck N                       livelock watchdog (default 2048)
 //   --attempts N                    generation attempts per seed (default 16)
+//   --schedule                      coverage-guided seed scheduling: reweight
+//                                   each seed's feature mix toward whatever
+//                                   the campaign has under-hit so far
 //   --repro-dir DIR                 bundle directory (default fuzz-repros)
 //   --no-minimize                   skip the greedy program minimizer
 //   --inject-divergence SEED        test hook: corrupt the trace level's
@@ -62,7 +65,7 @@ int usage(const char* argv0) {
       "  --weights k=v[,k=v...]     branch backward predicate parallel\n"
       "                             memory smc chaos (percent)\n"
       "  --max-cycles N | --watchdog N | --stuck N | --attempts N\n"
-      "  --repro-dir DIR | --no-minimize\n"
+      "  --repro-dir DIR | --no-minimize | --schedule\n"
       "  --inject-divergence SEED | --print SEED | --stats\n"
       "exit codes: 0 clean, 1 divergence or fatal error, 2 usage error\n",
       argv0);
@@ -198,6 +201,8 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       opts.repro_dir = v;
+    } else if (arg == "--schedule") {
+      opts.coverage_schedule = true;
     } else if (arg == "--no-minimize") {
       opts.minimize = false;
     } else if (arg == "--inject-divergence") {
