@@ -13,7 +13,8 @@
 // dispatched micro-ops per simulated cycle, so a change to the execution
 // core is measured per level, not asserted.
 //
-// `--json <path>` additionally writes the two tables as a machine-readable
+// `--json <path>` additionally writes every table (levels, guard overhead,
+// no-fault supervisor overhead, batched lockstep) as a machine-readable
 // snapshot (BENCH_sim.json is the checked-in reference).
 #include <algorithm>
 #include <cmath>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "resilience/supervisor.hpp"
 #include "sim/batched.hpp"
 #include "sim/cached_interp.hpp"
 
@@ -55,6 +57,15 @@ struct GuardRow {
   double ratio_spread_percent = 0;
   // The spread swamps the signal: overhead_percent is clamped to zero
   // because the measurement cannot distinguish it from zero.
+  bool noise_dominated = false;
+};
+
+struct SupervisorRow {
+  std::string app;
+  double raw_cycles_per_second = 0;
+  double supervised_cycles_per_second = 0;
+  double overhead_percent = 0;
+  double ratio_spread_percent = 0;
   bool noise_dominated = false;
 };
 
@@ -243,8 +254,83 @@ GuardRow print_guarded(const char* app, const char* level, Sim& sim,
   return row;
 }
 
+/// No-fault supervisor overhead at the static level: one checkpoint at
+/// cycle 0 plus one engine re-entry per quantum, gated at <= 2% by
+/// bench_compare.py. Same paired-ratio methodology as print_guarded —
+/// the effect is small, so the raw run and the supervised run alternate
+/// within each pair and the median per-pair ratio is reported. Both
+/// sides load through a shared table cache, so each supervised iteration
+/// pays a cache hit, not a recompile, and the timed region is run() only.
+SupervisorRow print_supervised(const char* app, const Model& model,
+                               const LoadedProgram& program,
+                               std::uint64_t cycles) {
+  using clock = std::chrono::steady_clock;
+  SimTableCache cache;
+  SupervisorConfig config;
+  config.level = SimLevel::kCompiledStatic;
+  config.cache = &cache;
+  CompiledSimulator raw(model, SimLevel::kCompiledStatic);
+  raw.set_table_cache(&cache);
+  raw.load(program);
+  const auto run_raw = [&] {
+    const auto start = clock::now();
+    raw.reload(program);
+    raw.run();
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  const auto run_supervised = [&] {
+    RunSupervisor supervisor(model, program, config);  // cache hit
+    const auto start = clock::now();
+    supervisor.run();
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  run_raw();  // warm-up (page-in, cache population)
+  run_supervised();
+  const int kPairs = 150;
+  std::vector<double> ratios;
+  std::vector<double> raws;
+  ratios.reserve(kPairs);
+  raws.reserve(kPairs);
+  for (int i = 0; i < kPairs; ++i) {
+    double t_raw, t_sup;
+    if (i % 2 == 0) {
+      t_raw = run_raw();
+      t_sup = run_supervised();
+    } else {
+      t_sup = run_supervised();
+      t_raw = run_raw();
+    }
+    raws.push_back(t_raw);
+    ratios.push_back(t_sup / t_raw);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  std::sort(raws.begin(), raws.end());
+  const double median_ratio = ratios[ratios.size() / 2];
+  const double spread =
+      (ratios[(3 * ratios.size()) / 4] - ratios[ratios.size() / 4]) / 2.0 *
+      100.0;
+  double overhead = (median_ratio - 1.0) * 100.0;
+  const bool noisy = std::fabs(overhead) <= spread;
+  if (noisy && overhead < 0) overhead = 0;
+  const double raw_rate = static_cast<double>(cycles) / raws[raws.size() / 2];
+  const double sup_rate = raw_rate / (1.0 + overhead / 100.0);
+  std::printf("%-8s %12s %12s %+9.2f%%%s\n", app,
+              bench::format_rate(raw_rate).c_str(),
+              bench::format_rate(sup_rate).c_str(), overhead,
+              noisy ? "  (noise)" : "");
+  SupervisorRow row;
+  row.app = app;
+  row.raw_cycles_per_second = raw_rate;
+  row.supervised_cycles_per_second = sup_rate;
+  row.overhead_percent = overhead;
+  row.ratio_spread_percent = spread;
+  row.noise_dominated = noisy;
+  return row;
+}
+
 void write_json(const char* path, const std::vector<SpeedRow>& speed,
                 const std::vector<GuardRow>& guard,
+                const std::vector<SupervisorRow>& supervisor,
                 const std::vector<BatchedRow>& batched) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -280,6 +366,21 @@ void write_json(const char* path, const std::vector<SpeedRow>& speed,
                  r.ratio_spread_percent,
                  r.noise_dominated ? "true" : "false",
                  i + 1 < guard.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"supervisor\": [\n");
+  for (std::size_t i = 0; i < supervisor.size(); ++i) {
+    const SupervisorRow& r = supervisor[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", "
+                 "\"raw_cycles_per_second\": %.0f, "
+                 "\"supervised_cycles_per_second\": %.0f, "
+                 "\"overhead_percent\": %.2f, "
+                 "\"ratio_spread_percent\": %.2f, "
+                 "\"noise_dominated\": %s}%s\n",
+                 r.app.c_str(), r.raw_cycles_per_second,
+                 r.supervised_cycles_per_second, r.overhead_percent,
+                 r.ratio_spread_percent, r.noise_dominated ? "true" : "false",
+                 i + 1 < supervisor.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"batched\": [\n");
   for (std::size_t i = 0; i < batched.size(); ++i) {
@@ -383,6 +484,23 @@ int main(int argc, char** argv) {
           print_guarded(w.name.c_str(), name, sim, program, cycles));
     }
   }
+  // No-fault supervisor overhead: the resilient RunSupervisor wrapping the
+  // static level on the same clean programs. The recovery machinery only
+  // costs an initial checkpoint and a quantum re-entry when nothing
+  // faults; bench_compare.py gates the overhead at <= 2%.
+  std::printf(
+      "\nsupervisor overhead -- RunSupervisor at the static level, no "
+      "faults\n");
+  std::printf("%-8s %12s %12s %10s\n", "app", "raw", "supervised",
+              "overhead");
+  std::vector<SupervisorRow> supervisor_rows;
+  for (const auto& w : suite) {
+    const LoadedProgram program = target.assemble(w);
+    const std::uint64_t cycles = bench::measure_cycles(model, program);
+    supervisor_rows.push_back(
+        print_supervised(w.name.c_str(), model, program, cycles));
+  }
+
   // Batched lockstep throughput: the same applications, one shared static
   // table, N identical lanes. The figure of merit is the wall cost to
   // advance one lane one cycle — amortizing dispatch and issue across the
@@ -412,6 +530,7 @@ int main(int argc, char** argv) {
   }
 
   if (json_path != nullptr)
-    write_json(json_path, speed_rows, guard_rows, batched_rows);
+    write_json(json_path, speed_rows, guard_rows, supervisor_rows,
+               batched_rows);
   return 0;
 }

@@ -44,6 +44,17 @@
 //                                   into lane LANE's resource RES at IDX
 //                                   after load, before the run (repeatable;
 //                                   needs --batch)
+//   --resilience                    run under the resilient supervisor:
+//                                   recoverable errors checkpoint, retry
+//                                   with bounded backoff and degrade down
+//                                   the level ladder instead of killing
+//                                   the run; --stats prints the recovery
+//                                   log
+//   --inject-fault KIND@CYCLE[xN]   schedule a deterministic fault (kinds:
+//                                   memory, guard-storm, cache-evict,
+//                                   cache-corrupt, compile, watchdog,
+//                                   stuck; repeatable, commas allowed;
+//                                   implies --resilience)
 //
 // The --trace/--profile observers need per-cycle events, so they disable
 // hot-trace dispatch while attached (results are identical either way).
@@ -65,6 +76,7 @@
 #include "model/database.hpp"
 #include "model/sema.hpp"
 #include "model/validate.hpp"
+#include "resilience/supervisor.hpp"
 #include "sim/batched.hpp"
 #include "sim/cached_interp.hpp"
 #include "sim/checkpoint.hpp"
@@ -105,7 +117,8 @@ void print_usage(std::FILE* out) {
                "[--runs N] [--trace [N]] [--profile] [--trace-threshold N] "
                "[--guard off|recompile|fallback] [--watchdog N] "
                "[--max-stuck N] [--checkpoint N] [--batch N] "
-               "[--poke LANE:RES[IDX]=VALUE]\n"
+               "[--poke LANE:RES[IDX]=VALUE] [--resilience] "
+               "[--inject-fault KIND@CYCLE[xN]]\n"
                "       <model> is a .lisa path or @tinydsp / @c62x / @c54x\n"
                "       --level values: %s ('trace' adds hot-path\n"
                "         superblock dispatch on top of 'static'; "
@@ -117,6 +130,14 @@ void print_usage(std::FILE* out) {
                "sets the\n"
                "         exit code; fan per-lane inputs with --poke "
                "2:dmem[0]=14\n"
+               "       --resilience: supervised run — recoverable faults "
+               "checkpoint,\n"
+               "         retry with bounded backoff, then degrade "
+               "trace->static->\n"
+               "         dynamic->cached->interp; --inject-fault "
+               "memory@100x2,compile@0\n"
+               "         schedules deterministic faults (implies "
+               "--resilience)\n"
                "       exit codes: 0 ok, 1 fatal simulation error, 2 usage "
                "error,\n"
                "         3 recoverable guarded-execution stop: a --watchdog "
@@ -296,6 +317,8 @@ int main(int argc, char** argv) {
       std::int64_t value = 0;
     };
     std::vector<Poke> pokes;
+    bool resilience = false;
+    FaultPlan fault_plan;
     bool level_given = false;
     for (int i = 4; i < argc; ++i) {
       if (const char* value = option_value(argc, argv, i, "--level")) {
@@ -349,6 +372,18 @@ int main(int argc, char** argv) {
         poke.value = poke_value;
         pokes.push_back(poke);
       } else if (const char* value =
+                     option_value(argc, argv, i, "--inject-fault")) {
+        try {
+          const FaultPlan plan = FaultPlan::parse(value);
+          for (const FaultPoint& point : plan.points) fault_plan.add(point);
+        } catch (const SimError& e) {
+          std::fprintf(stderr, "error: %s\n", e.what());
+          return 2;
+        }
+        resilience = true;
+      } else if (!std::strcmp(argv[i], "--resilience")) {
+        resilience = true;
+      } else if (const char* value =
                      option_value(argc, argv, i, "--trace-threshold")) {
         trace_threshold =
             static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
@@ -391,6 +426,49 @@ int main(int argc, char** argv) {
     if (!pokes.empty() && batch_lanes == 0) {
       std::fprintf(stderr, "error: --poke needs --batch\n");
       return 2;
+    }
+
+    // Supervised mode: the run is sliced into checkpointed quanta and
+    // recoverable errors (organic or injected with --inject-fault) retry
+    // with backoff, then degrade down the level ladder instead of killing
+    // the run. Caller limits still apply to the whole run; fatal errors
+    // and exhausted recovery budgets exit through the normal error paths.
+    if (resilience) {
+      if (batch_lanes > 0 || trace_events > 0 || do_profile ||
+          checkpoint_at != 0) {
+        std::fprintf(stderr,
+                     "error: --resilience is incompatible with --batch, "
+                     "--trace, --profile and --checkpoint\n");
+        return 2;
+      }
+      SimTableCache table_cache;
+      SupervisorConfig config;
+      config.level = level;
+      config.guard_policy = guard;
+      config.threads = threads;
+      config.faults = fault_plan;
+      if (use_cache) config.cache = &table_cache;
+      SupervisedRun supervised;
+      std::string state_dump;
+      for (std::uint64_t r = 0; r < runs; ++r) {
+        RunSupervisor supervisor(*model, program, config);
+        supervised = supervisor.run(limits);
+        state_dump = supervisor.state().dump_nonzero();
+      }
+      std::printf("%s (supervised from %s): %llu cycles, %llu packets "
+                  "(%llu instructions) retired, %s\n",
+                  sim_level_name(supervised.final_level),
+                  sim_level_name(level),
+                  static_cast<unsigned long long>(supervised.result.cycles),
+                  static_cast<unsigned long long>(
+                      supervised.result.packets_retired),
+                  static_cast<unsigned long long>(
+                      supervised.result.slots_retired),
+                  supervised.result.halted ? "halted"
+                                           : "cycle limit reached");
+      if (show_stats) std::fputs(supervised.log.summary().c_str(), stdout);
+      if (dump_state) std::fputs(state_dump.c_str(), stdout);
+      return 0;
     }
 
     // Batched mode: one compiled table, N lockstep lanes, per-lane

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "asm/assembler.hpp"
+#include "resilience/supervisor.hpp"
 #include "sim/cached_interp.hpp"
 #include "sim/checkpoint_io.hpp"
 #include "sim/compiled.hpp"
@@ -183,6 +184,32 @@ std::uint64_t find_last_agree_cycle(const Model& model,
   return lo;
 }
 
+/// Run `program` under a RunSupervisor at the compiled-static tier with
+/// `plan` injected, producing an Outcome comparable to the oracle's. A
+/// supervised run that throws where the oracle completed surfaces as an
+/// outcome-kind mismatch in compare_outcomes.
+Outcome run_supervised(const Model& model, const LoadedProgram& program,
+                       const FaultPlan& plan, GuardPolicy policy,
+                       const RunLimits& limits) {
+  Outcome o;
+  try {
+    SupervisorConfig config;
+    config.level = SimLevel::kCompiledStatic;
+    config.guard_policy = policy;
+    config.faults = plan;
+    RunSupervisor sup(model, program, config);
+    const SupervisedRun run = sup.run(limits);
+    o.result = run.result;
+    o.kind = run.result.halted ? OutcomeKind::kHalted : OutcomeKind::kLimit;
+    o.state = sup.state().dump_nonzero();
+  } catch (const SimError& e) {
+    o.kind = e.recoverable() ? OutcomeKind::kRecoverable
+                             : OutcomeKind::kFatal;
+    o.error = e.what();
+  }
+  return o;
+}
+
 std::string checkpoint_at(const Model& model, const LoadedProgram& program,
                           std::uint64_t cycle) {
   InterpSimulator sim(model);
@@ -262,6 +289,71 @@ int count_packets(const std::vector<SourceUnit>& units,
     if (first.find_first_not_of(" \t", colon + 1) != std::string::npos) ++n;
   }
   return n;
+}
+
+/// Shared divergence finishing for the level and resilience sweeps:
+/// greedily minimize `d.source` against `reproduces` (when enabled) and
+/// persist the repro bundle. `extra_meta` lines land in meta.txt — the
+/// resilience sweep records its fault plan there so the bundle replays
+/// the exact schedule.
+template <typename Repro>
+void finish_divergence(const Model& model, const LoadedProgram& loaded,
+                       const FuzzOptions& opts, const Repro& reproduces,
+                       const std::string& extra_meta, Divergence& d) {
+  std::vector<SourceUnit> units = split_units(d.source);
+  std::vector<bool> keep(units.size(), true);
+  if (opts.minimize) {
+    int budget = 300;
+    bool shrunk = true;
+    while (shrunk && budget > 0) {
+      shrunk = false;
+      for (std::size_t i = 0; i < units.size() && budget > 0; ++i) {
+        if (!keep[i]) continue;
+        keep[i] = false;
+        --budget;
+        if (reproduces(join_units(units, keep)))
+          shrunk = true;
+        else
+          keep[i] = true;
+      }
+    }
+    d.minimized = join_units(units, keep);
+  }
+  d.minimized_packets = count_packets(units, keep);
+
+  if (!opts.repro_dir.empty()) {
+    try {
+      namespace fs = std::filesystem;
+      const fs::path dir =
+          fs::path(opts.repro_dir) /
+          ("seed" + std::to_string(d.seed) + "_" + d.level + "_" + d.policy);
+      fs::create_directories(dir);
+      const auto write = [&](const char* name, const std::string& body) {
+        std::ofstream out(dir / name, std::ios::binary);
+        out << body;
+      };
+      write("program.asm", d.source);
+      write("minimized.asm", d.minimized);
+      write("checkpoint.txt", checkpoint_at(model, loaded,
+                                            d.last_agree_cycle));
+      std::string meta;
+      meta += "target " + model.name + "\n";
+      meta += "seed " + std::to_string(d.seed) + "\n";
+      meta += "level " + d.level + "\n";
+      meta += "policy " + d.policy + "\n";
+      meta += "last_agree_cycle " + std::to_string(d.last_agree_cycle) +
+              "\n";
+      meta += "max_cycles " + std::to_string(opts.max_cycles) + "\n";
+      meta += "minimized_packets " + std::to_string(d.minimized_packets) +
+              "\n";
+      meta += extra_meta;
+      meta += "description " + d.description + "\n";
+      write("meta.txt", meta);
+      d.bundle_dir = dir.string();
+    } catch (const std::exception&) {
+      d.bundle_dir.clear();
+    }
+  }
 }
 
 }  // namespace
@@ -378,60 +470,51 @@ std::optional<Divergence> DifferentialFuzzer::run_seed(
         return compare_outcomes(o, v).has_value();
       };
 
-      std::vector<SourceUnit> units = split_units(prog.source);
-      std::vector<bool> keep(units.size(), true);
-      if (opts.minimize) {
-        int budget = 300;
-        bool shrunk = true;
-        while (shrunk && budget > 0) {
-          shrunk = false;
-          for (std::size_t i = 0; i < units.size() && budget > 0; ++i) {
-            if (!keep[i]) continue;
-            keep[i] = false;
-            --budget;
-            if (reproduces(join_units(units, keep)))
-              shrunk = true;
-            else
-              keep[i] = true;
-          }
-        }
-        d.minimized = join_units(units, keep);
-      }
-      d.minimized_packets = count_packets(units, keep);
+      finish_divergence(model_, *loaded, opts, reproduces, "", d);
+      return d;
+    }
+  }
 
-      if (!opts.repro_dir.empty()) {
-        try {
-          namespace fs = std::filesystem;
-          const fs::path dir =
-              fs::path(opts.repro_dir) /
-              ("seed" + std::to_string(seed) + "_" + d.level + "_" +
-               d.policy);
-          fs::create_directories(dir);
-          const auto write = [&](const char* name, const std::string& body) {
-            std::ofstream out(dir / name, std::ios::binary);
-            out << body;
-          };
-          write("program.asm", d.source);
-          write("minimized.asm", d.minimized);
-          write("checkpoint.txt",
-                checkpoint_at(model_, *loaded, d.last_agree_cycle));
-          std::string meta;
-          meta += "target " + model_.name + "\n";
-          meta += "seed " + std::to_string(seed) + "\n";
-          meta += "level " + d.level + "\n";
-          meta += "policy " + d.policy + "\n";
-          meta += "last_agree_cycle " +
-                  std::to_string(d.last_agree_cycle) + "\n";
-          meta += "max_cycles " + std::to_string(opts.max_cycles) + "\n";
-          meta += "minimized_packets " +
-                  std::to_string(d.minimized_packets) + "\n";
-          meta += "description " + d.description + "\n";
-          write("meta.txt", meta);
-          d.bundle_dir = dir.string();
-        } catch (const std::exception&) {
-          d.bundle_dir.clear();
-        }
-      }
+  // Sixth sweep: supervised execution under seed-derived fault injection
+  // must stay bit-identical to the unfaulted oracle. Gated on oracle
+  // completion — a watchdog or fatal oracle outcome has no well-defined
+  // unfaulted reference to hold the supervisor to.
+  if (opts.resilience && (oracle.kind == OutcomeKind::kHalted ||
+                          oracle.kind == OutcomeKind::kLimit)) {
+    const GuardPolicy policy =
+        prog.has_smc ? GuardPolicy::kRecompile : GuardPolicy::kOff;
+    const std::uint64_t horizon =
+        std::max<std::uint64_t>(2, oracle.result.cycles);
+    const FaultPlan plan = FaultPlan::random(derive_seed(seed, 101), horizon,
+                                             opts.resilience_faults);
+    const Outcome other =
+        run_supervised(model_, *loaded, plan, policy, limits);
+    if (const auto diff = compare_outcomes(oracle, other)) {
+      ++stats.divergences;
+      Divergence d;
+      d.seed = seed;
+      d.level = "resilience";
+      d.policy = guard_policy_name(policy);
+      d.description = *diff + " [plan " + plan.describe() + "]";
+      d.source = prog.source;
+      d.minimized = prog.source;
+
+      // Candidate must assemble, complete on the oracle, and still lose
+      // bit-equality under the same fault plan (points past a shorter
+      // candidate's horizon simply never fire).
+      const auto reproduces = [&](const std::string& candidate) {
+        const auto cand = assemble_quiet(model_, decoder_, candidate);
+        if (!cand) return false;
+        const Outcome o = run_level(model_, 0, GuardPolicy::kOff, *cand,
+                                    limits);
+        if (o.kind != OutcomeKind::kHalted && o.kind != OutcomeKind::kLimit)
+          return false;
+        const Outcome v = run_supervised(model_, *cand, plan, policy,
+                                         limits);
+        return compare_outcomes(o, v).has_value();
+      };
+      finish_divergence(model_, *loaded, opts, reproduces,
+                        "fault_plan " + plan.describe() + "\n", d);
       return d;
     }
   }

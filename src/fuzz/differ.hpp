@@ -61,11 +61,21 @@ struct FuzzOptions {
   /// forcing a divergence through the bundle + minimizer machinery.
   bool inject = false;
   std::uint64_t inject_seed = 0;
+  /// Sixth sweep mode: when the five levels agree and the oracle halted
+  /// (or hit the soft cap), re-run the program under a RunSupervisor with
+  /// a seed-derived FaultPlan and require the supervised run to stay
+  /// bit-identical to the unfaulted oracle. A mismatch — or a supervised
+  /// run that dies where the oracle completed — is a divergence at level
+  /// "resilience".
+  bool resilience = false;
+  /// Faults per resilience run, drawn from the seed over the oracle's
+  /// cycle horizon.
+  unsigned resilience_faults = 3;
 };
 
 struct Divergence {
   std::uint64_t seed = 0;
-  std::string level;        // "cached", "dynamic", "static", "trace"
+  std::string level;  // "cached", "dynamic", "static", "trace", "resilience"
   std::string policy;       // guard_policy_name()
   std::string description;  // what disagreed, with both sides
   std::string source;       // full assembly source

@@ -1,0 +1,178 @@
+#include "resilience/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace lisasim {
+
+namespace {
+
+constexpr const char* kKindNames[kFaultKindCount] = {
+    "memory",  "guard-storm", "cache-evict", "cache-corrupt",
+    "compile", "watchdog",    "stuck",
+};
+
+/// splitmix64: the usual seed scrambler — small, full-period, and
+/// reproducible everywhere (used for the seed-driven random plans).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what,
+                        std::string_view spec) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    throw SimError("fault spec '" + std::string(spec) + "': bad " +
+                   std::string(what) + " '" + std::string(text) + "'");
+  return value;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  const auto index = static_cast<unsigned>(kind);
+  return index < kFaultKindCount ? kKindNames[index] : "?";
+}
+
+bool parse_fault_kind(std::string_view text, FaultKind& out) {
+  for (unsigned i = 0; i < kFaultKindCount; ++i) {
+    if (text == kKindNames[i]) {
+      out = static_cast<FaultKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPoint FaultPlan::parse_point(std::string_view spec) {
+  const std::size_t at = spec.find('@');
+  if (at == std::string_view::npos)
+    throw SimError("fault spec '" + std::string(spec) +
+                   "': expected KIND@CYCLE or KIND@CYCLExN");
+  FaultPoint point;
+  if (!parse_fault_kind(spec.substr(0, at), point.kind)) {
+    std::string known;
+    for (unsigned i = 0; i < kFaultKindCount; ++i) {
+      if (i != 0) known += ", ";
+      known += kKindNames[i];
+    }
+    throw SimError("fault spec '" + std::string(spec) + "': unknown kind '" +
+                   std::string(spec.substr(0, at)) + "' (known: " + known +
+                   ")");
+  }
+  std::string_view rest = spec.substr(at + 1);
+  const std::size_t x = rest.find('x');
+  if (x != std::string_view::npos) {
+    const std::uint64_t repeat =
+        parse_u64(rest.substr(x + 1), "repeat count", spec);
+    if (repeat == 0 || repeat > 1u << 16)
+      throw SimError("fault spec '" + std::string(spec) +
+                     "': repeat count must be in [1, 65536]");
+    point.repeat = static_cast<unsigned>(repeat);
+    rest = rest.substr(0, x);
+  }
+  point.cycle = parse_u64(rest, "cycle", spec);
+  return point;
+}
+
+FaultPlan FaultPlan::parse(std::string_view specs) {
+  FaultPlan plan;
+  while (!specs.empty()) {
+    const std::size_t comma = specs.find(',');
+    const std::string_view spec = specs.substr(0, comma);
+    if (!spec.empty()) plan.add(parse_point(spec));
+    if (comma == std::string_view::npos) break;
+    specs = specs.substr(comma + 1);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t horizon,
+                            unsigned count) {
+  FaultPlan plan;
+  if (horizon < 2) horizon = 2;
+  std::uint64_t state = seed ^ 0x5eedfau;
+  for (unsigned i = 0; i < count; ++i) {
+    FaultPoint point;
+    point.kind =
+        static_cast<FaultKind>(splitmix64(state) % kFaultKindCount);
+    point.cycle = 1 + splitmix64(state) % (horizon - 1);
+    point.repeat = 1 + static_cast<unsigned>(splitmix64(state) % 3);
+    plan.add(point);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultPoint& point : points) {
+    if (!out.empty()) out += ",";
+    out += fault_kind_name(point.kind);
+    out += "@" + std::to_string(point.cycle);
+    if (point.repeat != 1) out += "x" + std::to_string(point.repeat);
+  }
+  return out;
+}
+
+void FaultMemoryHook::maybe_throw(std::uint64_t index) {
+  if (!armed_) return;
+  armed_ = false;  // one-shot: the retried access is clean
+  ++fired_;
+  SimErrorContext context;
+  context.resource = resource_;
+  throw SimError("injected memory fault: " + resource_ + "[" +
+                     std::to_string(index) + "]",
+                 SimErrorKind::kRecoverable, std::move(context));
+}
+
+ResourceId pick_fault_resource(const Model& model) {
+  for (std::size_t i = 0; i < model.resources.size(); ++i) {
+    const auto id = static_cast<ResourceId>(i);
+    if (id == model.fetch_memory) continue;
+    if (model.resources[i].is_array()) return id;
+  }
+  return model.fetch_memory;  // may be -1 (no array resource at all)
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  points_.reserve(plan.points.size());
+  for (const FaultPoint& point : plan.points)
+    points_.push_back({point, point.repeat});
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.point.cycle < b.point.cycle;
+                   });
+}
+
+std::vector<FaultPoint> FaultInjector::take_due(std::uint64_t pos) {
+  std::vector<FaultPoint> due;
+  for (Pending& pending : points_) {
+    if (pending.point.cycle != pos || pending.remaining == 0) continue;
+    --pending.remaining;
+    ++fired_;
+    due.push_back(pending.point);
+  }
+  return due;
+}
+
+std::uint64_t FaultInjector::next_stop(std::uint64_t pos) const {
+  std::uint64_t stop = UINT64_MAX;
+  for (const Pending& pending : points_) {
+    if (pending.remaining == 0 || pending.point.cycle <= pos) continue;
+    stop = std::min(stop, pending.point.cycle);
+  }
+  return stop;
+}
+
+unsigned FaultInjector::pending() const {
+  unsigned count = 0;
+  for (const Pending& pending : points_) count += pending.remaining;
+  return count;
+}
+
+}  // namespace lisasim

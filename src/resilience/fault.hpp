@@ -1,0 +1,161 @@
+// Deterministic fault injection for resilience testing (the supervisor's
+// chaos half). A FaultPlan is a seed-driven (or hand-written) schedule of
+// FaultPoints; the FaultInjector walks the plan as the supervised run
+// advances, firing each point when the run reaches its cycle. Faults are
+// injected at seams the simulator already has — nothing here reaches into
+// engine internals:
+//
+//   memory        a one-shot MemoryHook over an architectural array
+//                 resource throws a recoverable SimError on the next
+//                 access (transient bus fault / ECC stand-in)
+//   guard-storm   every guard generation is bumped at once, forcing the
+//                 guarded issue path to re-translate (or tree-walk) each
+//                 in-flight packet — a staleness storm with no actual
+//                 memory change, so semantics are preserved
+//   cache-evict   the shared SimTableCache is emptied (eviction under
+//                 pressure) and the program reloaded through the miss path
+//   cache-corrupt stored table fingerprints are flipped; the next lookup
+//                 must detect the corruption and recompile
+//   compile       the simulation compiler fails its next N invocations
+//                 with a recoverable SimError (compile-shard failure)
+//   watchdog      the next supervision quantum runs under a tiny
+//                 watchdog_cycles limit, expiring almost immediately
+//   stuck         the next supervision quantum runs with max_stuck_cycles
+//                 = 1, turning the first non-retiring cycle into a stop
+//
+// A point's `repeat` is the number of times it re-fires when the
+// supervisor rewinds over its cycle during recovery — the knob that turns
+// a transient fault into a persistent one and drives the retry budget into
+// the degradation ladder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/model.hpp"
+#include "model/state.hpp"
+
+namespace lisasim {
+
+enum class FaultKind : std::uint8_t {
+  kMemory,
+  kGuardStorm,
+  kCacheEvict,
+  kCacheCorrupt,
+  kCompile,
+  kWatchdog,
+  kStuck,
+};
+
+inline constexpr unsigned kFaultKindCount = 7;
+
+const char* fault_kind_name(FaultKind kind);
+/// Parse a kind name as printed by fault_kind_name ("memory",
+/// "guard-storm", ...). Returns false on an unknown name.
+bool parse_fault_kind(std::string_view text, FaultKind& out);
+
+/// One scheduled fault: `kind` fires when the supervised run reaches
+/// absolute cycle `cycle`, and re-fires (up to `repeat` times total) each
+/// time recovery rewinds the run back to that cycle.
+struct FaultPoint {
+  FaultKind kind = FaultKind::kMemory;
+  std::uint64_t cycle = 0;
+  unsigned repeat = 1;
+
+  friend bool operator==(const FaultPoint&, const FaultPoint&) = default;
+};
+
+/// An ordered fault schedule. Plans are value types: the CLI parses them
+/// from --inject-fault specs, the fuzz differ derives them from the seed.
+struct FaultPlan {
+  std::vector<FaultPoint> points;
+
+  bool empty() const { return points.empty(); }
+  void add(FaultPoint point) { points.push_back(point); }
+
+  /// Parse one "KIND@CYCLE" or "KIND@CYCLExN" spec (e.g. "memory@1000",
+  /// "watchdog@500x3"). Throws SimError (fatal — these come from the
+  /// command line, not the guest) on malformed input.
+  static FaultPoint parse_point(std::string_view spec);
+
+  /// Parse a comma-separated list of point specs.
+  static FaultPlan parse(std::string_view specs);
+
+  /// A reproducible random plan: `count` points with cycles in
+  /// [1, horizon), kinds and repeats drawn from a splitmix64 stream of
+  /// `seed`. Equal arguments always yield the equal plan.
+  static FaultPlan random(std::uint64_t seed, std::uint64_t horizon,
+                          unsigned count);
+
+  /// Render as a parse()-compatible spec list (logs and repro bundles).
+  std::string describe() const;
+};
+
+/// The one-shot throwing hook behind FaultKind::kMemory. Mapped (by the
+/// supervisor) over a whole array resource; pass-through until armed, then
+/// the next read or write throws a recoverable SimError naming the
+/// resource and disarms. Restoring a checkpoint and re-running therefore
+/// sees a clean access unless the injector re-arms.
+class FaultMemoryHook final : public MemoryHook {
+ public:
+  void arm(std::string resource_name) {
+    armed_ = true;
+    resource_ = std::move(resource_name);
+  }
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+  std::uint64_t fired() const { return fired_; }
+
+  std::int64_t on_read(std::uint64_t index, std::int64_t stored) override {
+    maybe_throw(index);
+    return stored;
+  }
+  void on_write(std::uint64_t index, std::int64_t /*value*/) override {
+    maybe_throw(index);
+  }
+
+ private:
+  void maybe_throw(std::uint64_t index);
+
+  bool armed_ = false;
+  std::uint64_t fired_ = 0;
+  std::string resource_;
+};
+
+/// The array resource a memory fault targets: the first array resource
+/// that is not the fetch memory (so the fault is never masked by a
+/// ProgramGuard mapped over the same words), falling back to the fetch
+/// memory, or -1 when the model has no array resource at all.
+ResourceId pick_fault_resource(const Model& model);
+
+/// Walks a FaultPlan against the advancing run position. The supervisor
+/// stops each quantum at the next pending fault cycle, fires everything
+/// due, and lets recovery rewinds re-fire points that still have repeat
+/// budget.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Points scheduled exactly at `pos` with fire budget left. Each point
+  /// returned has one firing consumed.
+  std::vector<FaultPoint> take_due(std::uint64_t pos);
+
+  /// The earliest cycle > `pos` with a pending point (UINT64_MAX = none):
+  /// the supervisor's next mandatory quantum boundary.
+  std::uint64_t next_stop(std::uint64_t pos) const;
+
+  unsigned pending() const;
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Pending {
+    FaultPoint point;
+    unsigned remaining = 0;
+  };
+  std::vector<Pending> points_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace lisasim

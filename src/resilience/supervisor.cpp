@@ -1,0 +1,569 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "sim/batched.hpp"
+#include "sim/cached_interp.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+
+namespace lisasim {
+
+namespace {
+
+/// Injected watchdog expiry: small enough to fire almost immediately,
+/// large enough that the throw still lands on a clean cycle boundary of a
+/// non-degenerate quantum.
+constexpr std::uint64_t kInjectedWatchdogCycles = 4;
+
+/// Type-erasing holder: every concrete simulator level behind the AnySim
+/// seam. Optional capabilities are probed with `requires` so the holder
+/// compiles against levels that lack the seam (interp has no guard, the
+/// decode-cached level no simulation compiler).
+template <typename SimT>
+class HolderSim final : public AnySim {
+ public:
+  template <typename... Args>
+  explicit HolderSim(SimLevel level, Args&&... args)
+      : sim_(std::forward<Args>(args)...), level_(level) {}
+
+  void load(const LoadedProgram& program) override { sim_.load(program); }
+  RunResult run(const RunLimits& limits) override { return sim_.run(limits); }
+  EngineCheckpoint save_checkpoint() const override {
+    return sim_.save_checkpoint();
+  }
+  void restore_checkpoint(const EngineCheckpoint& cp) override {
+    sim_.restore_checkpoint(cp);
+  }
+  ProcessorState& state() override { return sim_.state(); }
+  SimLevel level() const override { return level_; }
+  void force_guard_stale() override {
+    if constexpr (requires(SimT& s) { s.force_guard_stale(); })
+      sim_.force_guard_stale();
+  }
+
+  SimT& sim() { return sim_; }
+
+ private:
+  SimT sim_;
+  SimLevel level_;
+};
+
+}  // namespace
+
+const char* recovery_event_kind_name(RecoveryEvent::Kind kind) {
+  switch (kind) {
+    case RecoveryEvent::Kind::kFault: return "fault";
+    case RecoveryEvent::Kind::kRetry: return "retry";
+    case RecoveryEvent::Kind::kDegrade: return "degrade";
+    case RecoveryEvent::Kind::kGiveUp: return "give-up";
+  }
+  return "?";
+}
+
+std::string RecoveryLog::summary() const {
+  std::string out = "recovery log: " + std::to_string(faults_injected()) +
+                    " fault(s) injected, " + std::to_string(retries()) +
+                    " retrie(s), " + std::to_string(degradations()) +
+                    " degradation(s)\n";
+  for (const RecoveryEvent& event : events) {
+    out += "  cycle " + std::to_string(event.cycle) + ": " +
+           recovery_event_kind_name(event.kind);
+    if (event.kind == RecoveryEvent::Kind::kFault) {
+      out += " " + std::string(fault_kind_name(event.fault));
+    } else if (event.kind == RecoveryEvent::Kind::kDegrade) {
+      out += " " + std::string(sim_level_name(event.from)) + " -> " +
+             std::string(sim_level_name(event.to));
+    } else if (event.kind == RecoveryEvent::Kind::kRetry) {
+      out += " attempt " + std::to_string(event.attempt) + " (backoff " +
+             std::to_string(event.backoff_cycles) + " cycles)";
+    }
+    if (!event.error.empty()) out += ": " + event.error;
+    out += "\n";
+  }
+  return out;
+}
+
+bool sim_level_below(SimLevel level, SimLevel& out) {
+  switch (level) {
+    case SimLevel::kTrace: out = SimLevel::kCompiledStatic; return true;
+    case SimLevel::kCompiledStatic:
+      out = SimLevel::kCompiledDynamic;
+      return true;
+    case SimLevel::kCompiledDynamic:
+      out = SimLevel::kDecodeCached;
+      return true;
+    case SimLevel::kDecodeCached: out = SimLevel::kInterpretive; return true;
+    case SimLevel::kInterpretive: return false;
+  }
+  return false;
+}
+
+std::unique_ptr<AnySim> make_supervised_sim(
+    const Model& model, SimLevel level, const SupervisorConfig& config,
+    const std::shared_ptr<std::atomic<int>>& compile_fault_budget) {
+  switch (level) {
+    case SimLevel::kInterpretive:
+      return std::make_unique<HolderSim<InterpSimulator>>(level, model);
+    case SimLevel::kDecodeCached: {
+      auto holder =
+          std::make_unique<HolderSim<CachedInterpSimulator>>(level, model);
+      holder->sim().set_guard_policy(config.guard_policy);
+      return holder;
+    }
+    case SimLevel::kCompiledDynamic:
+    case SimLevel::kCompiledStatic:
+    case SimLevel::kTrace: {
+      auto holder =
+          std::make_unique<HolderSim<CompiledSimulator>>(level, model, level);
+      holder->sim().set_guard_policy(config.guard_policy);
+      holder->sim().set_threads(config.threads);
+      if (config.cache) holder->sim().set_table_cache(config.cache);
+      holder->sim().set_compile_fault_budget(compile_fault_budget);
+      return holder;
+    }
+  }
+  throw SimError("make_supervised_sim: unknown simulation level");
+}
+
+RunSupervisor::RunSupervisor(const Model& model, const LoadedProgram& program,
+                             SupervisorConfig config)
+    : model_(&model),
+      program_(&program),
+      config_(std::move(config)),
+      level_(config_.level),
+      injector_(config_.faults),
+      compile_fault_budget_(std::make_shared<std::atomic<int>>(0)) {
+  sim_ = make_supervised_sim(*model_, level_, config_, compile_fault_budget_);
+  sim_->load(*program_);
+}
+
+RunSupervisor::~RunSupervisor() = default;
+
+ProcessorState& RunSupervisor::state() { return sim_->state(); }
+
+void RunSupervisor::record(RecoveryEvent event) {
+  if (config_.observer) config_.observer->on_recovery(event);
+  log_.events.push_back(std::move(event));
+}
+
+RunSupervisor::Saved RunSupervisor::snapshot(const RunResult& acc,
+                                             std::uint64_t pos) const {
+  return Saved{sim_->save_checkpoint(), acc, pos};
+}
+
+void RunSupervisor::map_fault_hook() {
+  if (hook_mapped_) return;
+  const ResourceId resource = pick_fault_resource(*model_);
+  if (resource < 0) return;  // model has no array resource to fault
+  const Resource& info =
+      model_->resources[static_cast<std::size_t>(resource)];
+  sim_->state().map_hook(resource, 0, info.size, &memory_fault_);
+  hook_mapped_ = true;
+}
+
+bool RunSupervisor::fire_due_faults(std::uint64_t pos, RunLimits& quantum,
+                                    bool& injected_limits) {
+  bool need_reload = false;
+  for (const FaultPoint& point : injector_.take_due(pos)) {
+    RecoveryEvent event;
+    event.kind = RecoveryEvent::Kind::kFault;
+    event.cycle = pos;
+    event.from = event.to = level_;
+    event.fault = point.kind;
+    event.has_fault = true;
+    record(std::move(event));
+    switch (point.kind) {
+      case FaultKind::kMemory: {
+        const ResourceId resource = pick_fault_resource(*model_);
+        if (resource < 0) break;
+        map_fault_hook();
+        memory_fault_.arm(
+            model_->resources[static_cast<std::size_t>(resource)].name);
+        break;
+      }
+      case FaultKind::kGuardStorm:
+        sim_->force_guard_stale();
+        break;
+      case FaultKind::kCacheEvict:
+        if (config_.cache) {
+          config_.cache->clear();
+          need_reload = true;
+        }
+        break;
+      case FaultKind::kCacheCorrupt:
+        if (config_.cache) {
+          config_.cache->debug_corrupt();
+          need_reload = true;
+        }
+        break;
+      case FaultKind::kCompile:
+        // Empty the cache so the reload actually reaches the compiler,
+        // then bank one failure. Levels without a simulation compiler
+        // (decode-cached, interp) reload untouched — which is exactly the
+        // ladder's point.
+        if (config_.cache) config_.cache->clear();
+        compile_fault_budget_->fetch_add(1);
+        need_reload = true;
+        break;
+      case FaultKind::kWatchdog:
+        quantum.watchdog_cycles = kInjectedWatchdogCycles;
+        injected_limits = true;
+        break;
+      case FaultKind::kStuck:
+        quantum.max_stuck_cycles = 1;
+        injected_limits = true;
+        break;
+    }
+  }
+  return need_reload;
+}
+
+RunResult RunSupervisor::degrade_and_replay(std::uint64_t target_cycles,
+                                            const std::string& why) {
+  SimLevel next;
+  std::string reason = why;
+  while (sim_level_below(level_, next)) {
+    RecoveryEvent event;
+    event.kind = RecoveryEvent::Kind::kDegrade;
+    event.cycle = target_cycles;
+    event.from = level_;
+    event.to = next;
+    event.error = reason;
+    record(std::move(event));
+    level_ = next;
+    sim_ = make_supervised_sim(*model_, level_, config_,
+                               compile_fault_budget_);
+    hook_mapped_ = false;
+    try {
+      sim_->load(*program_);
+      if (target_cycles == 0) return RunResult{};
+      // Replay, don't restore: a checkpoint taken at a higher level cannot
+      // carry a tree-walk packet's pending activation queues into a lower
+      // one, but all levels are bit-identical by construction, so
+      // re-running the prefix reproduces the checkpointed state exactly.
+      RunLimits replay;
+      replay.max_cycles = target_cycles;
+      return sim_->run(replay);
+    } catch (const SimError& error) {
+      if (!error.recoverable()) throw;
+      if (++total_recoveries_ > config_.max_total_recoveries) {
+        RecoveryEvent give_up;
+        give_up.kind = RecoveryEvent::Kind::kGiveUp;
+        give_up.cycle = target_cycles;
+        give_up.from = give_up.to = level_;
+        give_up.error = error.what();
+        record(std::move(give_up));
+        throw;
+      }
+      reason = error.what();  // keep descending
+    }
+  }
+  // Unreachable in practice: the interpretive floor neither compiles nor
+  // consults the injected seams during a replay.
+  throw SimError("supervisor: replay failed at the interpretive floor: " +
+                 reason);
+}
+
+SupervisedRun RunSupervisor::run(const RunLimits& caller) {
+  RunResult acc;
+  std::uint64_t pos = 0;
+  unsigned attempt = 0;
+  std::uint64_t probation = 0;
+  Saved cp = snapshot(acc, pos);
+  bool need_reload = false;
+
+  while (!acc.halted && pos < caller.max_cycles) {
+    bool injected_limits = false;
+    try {
+      if (need_reload) {
+        // A cache fault dropped (or corrupted) the shared translations:
+        // reload through the cache, then rewind to the checkpointed
+        // boundary. A failed load leaves the simulator untouched (the
+        // compiler throws before any state reset), so the catch below
+        // retries without a restore.
+        sim_->load(*program_);
+        sim_->restore_checkpoint(cp.engine);
+        need_reload = false;
+        continue;
+      }
+
+      RunLimits quantum;
+      if (injector_.pending() != 0 || config_.checkpoint_interval != 0) {
+        const bool at_interval =
+            config_.checkpoint_interval != 0 &&
+            pos % config_.checkpoint_interval == 0;
+        // Checkpoint the known-good boundary before anything fires at it.
+        const bool at_fault =
+            pos != 0 && injector_.next_stop(pos - 1) == pos;
+        if ((at_interval && pos != cp.pos) || at_fault || pos == 0)
+          cp = snapshot(acc, pos);
+        need_reload = fire_due_faults(pos, quantum, injected_limits);
+        if (need_reload) continue;
+      }
+
+      std::uint64_t stop =
+          pos + (probation != 0 ? probation : config_.quantum_cycles);
+      stop = std::min(stop, injector_.next_stop(pos));
+      if (config_.checkpoint_interval != 0)
+        stop = std::min(
+            stop, (pos / config_.checkpoint_interval + 1) *
+                      config_.checkpoint_interval);
+      stop = std::min(stop, caller.max_cycles);
+      quantum.max_cycles = stop - pos;
+      // Caller limits are absolute over the supervised run; the engine's
+      // are per call, so rebase them to the current position. An injected
+      // limit (set above) overrides for this one quantum.
+      if (caller.watchdog_cycles != 0 && quantum.watchdog_cycles == 0)
+        quantum.watchdog_cycles =
+            caller.watchdog_cycles > pos ? caller.watchdog_cycles - pos : 1;
+      if (caller.max_stuck_cycles != 0 && quantum.max_stuck_cycles == 0)
+        quantum.max_stuck_cycles = caller.max_stuck_cycles;
+
+      const RunResult slice = sim_->run(quantum);
+      acc.cycles += slice.cycles;
+      acc.fetches += slice.fetches;
+      acc.packets_retired += slice.packets_retired;
+      acc.slots_retired += slice.slots_retired;
+      acc.halted = slice.halted;
+      pos += slice.cycles;
+      attempt = 0;
+      probation = 0;
+    } catch (const SimError& error) {
+      if (!error.recoverable()) throw;
+      // A watchdog-shaped stop the supervisor did not arm is the caller's
+      // own limit expiring: that is an *outcome* of the run, not a fault
+      // to recover from.
+      if (!injected_limits &&
+          std::string_view(error.what()).starts_with("watchdog:"))
+        throw;
+      if (++total_recoveries_ > config_.max_total_recoveries) {
+        RecoveryEvent give_up;
+        give_up.kind = RecoveryEvent::Kind::kGiveUp;
+        give_up.cycle = cp.pos;
+        give_up.from = give_up.to = level_;
+        give_up.error = error.what();
+        record(std::move(give_up));
+        throw;
+      }
+      const unsigned shift = std::min(attempt, 16u);
+      const std::uint64_t backoff =
+          std::min(config_.backoff_base_cycles << shift,
+                   config_.backoff_cap_cycles);
+      SimLevel below;
+      const bool can_degrade = sim_level_below(level_, below);
+      if (attempt < config_.max_retries_per_level || !can_degrade) {
+        RecoveryEvent retry;
+        retry.kind = RecoveryEvent::Kind::kRetry;
+        retry.cycle = cp.pos;
+        retry.from = retry.to = level_;
+        retry.attempt = ++attempt;
+        retry.backoff_cycles = backoff;
+        retry.error = error.what();
+        record(std::move(retry));
+        probation = backoff;
+        if (!need_reload) {
+          sim_->restore_checkpoint(cp.engine);
+          acc = cp.acc;
+          pos = cp.pos;
+        }
+      } else {
+        acc = degrade_and_replay(cp.pos, error.what());
+        pos = cp.pos;
+        attempt = 0;
+        probation = backoff;
+        need_reload = false;
+        cp = snapshot(acc, pos);
+      }
+    }
+  }
+  return SupervisedRun{acc, level_, log_};
+}
+
+// ---------------------------------------------------------------------------
+// Batch supervision
+
+class BatchSupervisor::Impl {
+ public:
+  Impl(const Model& model, const LoadedProgram& program, unsigned lanes,
+       SupervisorConfig config, unsigned fault_lane)
+      : model_(&model),
+        program_(&program),
+        config_(std::move(config)),
+        fault_lane_(fault_lane),
+        batch_(model, lanes) {
+    batch_.set_threads(config_.threads);
+    batch_.set_guard_policy(config_.guard_policy);
+    batch_.load(program);
+  }
+
+  ProcessorState& lane_state(unsigned lane) { return batch_.lane_state(lane); }
+
+  void run(const RunLimits& caller, std::vector<SupervisedLane>& out) {
+    const unsigned lanes = batch_.lanes();
+    out.assign(lanes, SupervisedLane{});
+    // Cycle-0 checkpoints, taken after the caller fanned stimuli across
+    // the lanes: with an empty pipeline they are fully level-portable, so
+    // a faulted lane can be replayed on any sequential level.
+    std::vector<EngineCheckpoint> initial(lanes);
+    for (unsigned lane = 0; lane < lanes; ++lane)
+      initial[lane] = batch_.save_lane_checkpoint(lane);
+
+    // Phase 1: run every lane up to the earliest fault cycle, then fire.
+    // Lane-targeted kinds arm on fault_lane_ only; the limit kinds apply
+    // batch-wide (every casualty is then recovered individually). Kinds
+    // with no per-lane seam (guard/cache/compile) are logged as no-ops.
+    // BatchedSimulator limits are per run() call (lane results reset each
+    // call), so phase-2 limits are rebased past the phase-1 prefix and the
+    // prefix results are summed back into the per-lane outcome below.
+    std::uint64_t arm_at = UINT64_MAX;
+    for (const FaultPoint& point : config_.faults.points)
+      arm_at = std::min(arm_at, point.cycle);
+    const bool two_phase =
+        arm_at != UINT64_MAX && arm_at > 0 && arm_at < caller.max_cycles;
+    std::vector<LaneRun> prefix(lanes);
+    RunLimits phase2 = caller;
+    bool injected_limits = false;
+    if (arm_at != UINT64_MAX) {
+      if (two_phase) {
+        RunLimits phase1 = caller;
+        phase1.max_cycles = arm_at;
+        batch_.run(phase1);
+        for (unsigned lane = 0; lane < lanes; ++lane)
+          prefix[lane] = batch_.lane_run(lane);
+        if (caller.max_cycles != UINT64_MAX)
+          phase2.max_cycles = caller.max_cycles - arm_at;
+        if (caller.watchdog_cycles != 0)
+          phase2.watchdog_cycles = caller.watchdog_cycles > arm_at
+                                       ? caller.watchdog_cycles - arm_at
+                                       : 1;
+      }
+      for (const FaultPoint& point : config_.faults.points) {
+        RecoveryEvent event;
+        event.kind = RecoveryEvent::Kind::kFault;
+        event.cycle = point.cycle;
+        event.from = event.to = SimLevel::kCompiledStatic;
+        event.fault = point.kind;
+        event.has_fault = true;
+        out[fault_lane_].log.events.push_back(std::move(event));
+        switch (point.kind) {
+          case FaultKind::kMemory: {
+            const ResourceId resource = pick_fault_resource(*model_);
+            if (resource < 0) break;
+            ProcessorState& state = batch_.lane_state(fault_lane_);
+            if (!hook_mapped_) {
+              const Resource& info =
+                  model_->resources[static_cast<std::size_t>(resource)];
+              state.map_hook(resource, 0, info.size, &memory_fault_);
+              hook_mapped_ = true;
+            }
+            memory_fault_.arm(
+                model_->resources[static_cast<std::size_t>(resource)].name);
+            break;
+          }
+          case FaultKind::kWatchdog:
+            if (caller.watchdog_cycles == 0) {
+              phase2.watchdog_cycles = kInjectedWatchdogCycles;
+              injected_limits = true;
+            }
+            break;
+          case FaultKind::kStuck:
+            if (caller.max_stuck_cycles == 0) {
+              phase2.max_stuck_cycles = 1;
+              injected_limits = true;
+            }
+            break;
+          default:
+            break;  // no per-lane seam; logged above
+        }
+      }
+    }
+    batch_.run(phase2);
+
+    // Aftermath: recover every *injected* casualty by replaying its lane
+    // from the cycle-0 checkpoint on a fresh sequential simulator at the
+    // degraded level, then write the final state back into the SoA lane.
+    // Organic outcomes — halts, fatal program errors, the caller's own
+    // watchdog expiring — pass through unmodified.
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      SupervisedLane& sup = out[lane];
+      sup.run = batch_.lane_run(lane);
+      sup.final_level = SimLevel::kCompiledStatic;
+      if (two_phase && !prefix[lane].done) {
+        sup.run.result.cycles += prefix[lane].result.cycles;
+        sup.run.result.fetches += prefix[lane].result.fetches;
+        sup.run.result.packets_retired += prefix[lane].result.packets_retired;
+        sup.run.result.slots_retired += prefix[lane].result.slots_retired;
+      } else if (two_phase && prefix[lane].done) {
+        sup.run = prefix[lane];  // retired before the faults armed
+      }
+      if (!sup.run.errored || !sup.run.recoverable) continue;
+      const std::string_view error(sup.run.error);
+      const bool injected_memory =
+          error.starts_with("injected memory fault");
+      const bool injected_limit =
+          injected_limits && error.starts_with("watchdog:");
+      if (injected_memory || injected_limit)
+        recover_lane(lane, initial[lane], caller, sup);
+    }
+  }
+
+ private:
+  void recover_lane(unsigned lane, const EngineCheckpoint& initial,
+                    const RunLimits& caller, SupervisedLane& sup) {
+    SimLevel target = config_.level;
+    if (target == SimLevel::kCompiledStatic || target == SimLevel::kTrace)
+      target = SimLevel::kInterpretive;  // degrade off the batch's level
+    RecoveryEvent event;
+    event.kind = RecoveryEvent::Kind::kDegrade;
+    event.cycle = 0;
+    event.from = SimLevel::kCompiledStatic;
+    event.to = target;
+    event.error = sup.run.error;
+    sup.log.events.push_back(std::move(event));
+
+    auto sim = make_supervised_sim(*model_, target, config_, nullptr);
+    sim->load(*program_);
+    sim->restore_checkpoint(initial);
+    sup.run = LaneRun{};
+    try {
+      sup.run.result = sim->run(caller);
+      sup.run.done = sup.run.result.halted;
+    } catch (const SimError& error) {
+      sup.run.done = true;
+      sup.run.errored = true;
+      sup.run.recoverable = error.recoverable();
+      sup.run.error = error.what();
+    }
+    batch_.lane_state(lane).restore_storage(sim->state().save_storage());
+    sup.final_level = target;
+    sup.recovered = true;
+  }
+
+  const Model* model_;
+  const LoadedProgram* program_;
+  SupervisorConfig config_;
+  unsigned fault_lane_;
+  BatchedSimulator batch_;
+  FaultMemoryHook memory_fault_;
+  bool hook_mapped_ = false;
+};
+
+BatchSupervisor::BatchSupervisor(const Model& model,
+                                 const LoadedProgram& program, unsigned lanes,
+                                 SupervisorConfig config, unsigned fault_lane)
+    : impl_(std::make_unique<Impl>(model, program, lanes, std::move(config),
+                                   fault_lane)) {}
+
+BatchSupervisor::~BatchSupervisor() = default;
+
+ProcessorState& BatchSupervisor::lane_state(unsigned lane) {
+  return impl_->lane_state(lane);
+}
+
+void BatchSupervisor::run(const RunLimits& limits) {
+  impl_->run(limits, lanes_);
+}
+
+}  // namespace lisasim

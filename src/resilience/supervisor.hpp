@@ -1,0 +1,260 @@
+// The resilient execution supervisor: wraps any simulation level behind a
+// recovery policy so a recoverable SimError no longer kills the run.
+//
+// The supervisor slices the run into quanta (bounded run() calls) and
+// keeps a checkpoint of the last known-good cycle boundary. When a
+// quantum raises a recoverable SimError — an injected fault, a staleness
+// storm, a compile-shard failure — it restores the checkpoint and retries
+// under a bounded-exponential probation budget; when the per-level retry
+// budget exhausts it *degrades*: the next level down the ladder
+//
+//   trace → compiled-static → compiled-dynamic → decode-cached → interp
+//
+// is built fresh and the run is *replayed* from cycle 0 up to the
+// checkpointed cycle. Replay — not cross-level checkpoint restore — is
+// what keeps degradation sound: an in-flight tree-walk packet's activation
+// queues cannot be reconstructed from a compiled-level checkpoint, but
+// every level is bit-identical to the interpretive oracle by construction,
+// so re-running the prefix lands on the exact same state. The interpretive
+// level is the ladder's floor and retries until the total recovery budget
+// runs out.
+//
+// Every transition is recorded in a RecoveryLog (exposed via --stats and
+// the SimObserver::on_recovery callback), so an unattended fleet can see
+// *that* and *why* a session fell off the fast path. A run with no faults
+// and no recoveries costs one initial checkpoint and one engine re-entry
+// per quantum — the ≤2% overhead budget bench_compare now gates.
+//
+// Caller-supplied RunLimits are interpreted over the *whole* supervised
+// run (watchdog_cycles is an absolute cycle budget); a caller watchdog
+// expiring is an outcome, not a fault, and is rethrown unrecovered. The
+// one semantic caveat of quantization: max_stuck_cycles streaks reset at
+// quantum boundaries, so a stuck stop may fire up to one quantum later
+// than under a single unsupervised run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "resilience/fault.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/guard.hpp"
+#include "sim/observer.hpp"
+#include "sim/result.hpp"
+#include "sim/table_cache.hpp"
+
+namespace lisasim {
+
+/// One supervisor transition. `kFault` records an injection firing;
+/// `kRetry` a restore-and-retry of the current level; `kDegrade` a level
+/// drop (from → to) with replay; `kGiveUp` the recovery budget running
+/// out just before the error is rethrown.
+struct RecoveryEvent {
+  enum class Kind : std::uint8_t { kFault, kRetry, kDegrade, kGiveUp };
+
+  Kind kind = Kind::kFault;
+  std::uint64_t cycle = 0;  // absolute cycle of the transition
+  SimLevel from = SimLevel::kInterpretive;
+  SimLevel to = SimLevel::kInterpretive;  // != from only for kDegrade
+  FaultKind fault = FaultKind::kMemory;   // valid iff has_fault
+  bool has_fault = false;
+  unsigned attempt = 0;              // retry ordinal at this level
+  std::uint64_t backoff_cycles = 0;  // probation quantum granted (kRetry)
+  std::string error;                 // SimError text (kRetry/kDegrade/kGiveUp)
+};
+
+const char* recovery_event_kind_name(RecoveryEvent::Kind kind);
+
+/// The supervisor's transition history plus roll-up counters, rendered by
+/// summary() for --stats output.
+struct RecoveryLog {
+  std::vector<RecoveryEvent> events;
+
+  unsigned faults_injected() const { return count(RecoveryEvent::Kind::kFault); }
+  unsigned retries() const { return count(RecoveryEvent::Kind::kRetry); }
+  unsigned degradations() const {
+    return count(RecoveryEvent::Kind::kDegrade);
+  }
+
+  std::string summary() const;
+
+ private:
+  unsigned count(RecoveryEvent::Kind kind) const {
+    unsigned n = 0;
+    for (const RecoveryEvent& event : events)
+      if (event.kind == kind) ++n;
+    return n;
+  }
+};
+
+struct SupervisorConfig {
+  /// Level the run starts at (the top of this run's ladder).
+  SimLevel level = SimLevel::kCompiledStatic;
+  /// Self-modifying-code policy for the guarded levels.
+  GuardPolicy guard_policy = GuardPolicy::kOff;
+  /// Optional shared table cache (also the cache-evict/-corrupt target).
+  SimTableCache* cache = nullptr;
+  /// Sharded-build worker count for load()-time compilation.
+  unsigned threads = 1;
+  /// Injected fault schedule (empty = plain supervised run).
+  FaultPlan faults;
+  /// Restore-and-retry attempts at a level before degrading below it.
+  unsigned max_retries_per_level = 1;
+  /// Hard ceiling on recoveries (retries + degradations) across the whole
+  /// run; exceeding it rethrows the last error (kGiveUp).
+  unsigned max_total_recoveries = 64;
+  /// Probation quantum after attempt k is min(base << k, cap) cycles: a
+  /// recurring fault can lose at most that much replayed work, and clean
+  /// probations ramp back to full-size quanta (the bounded exponential
+  /// backoff of the recovery policy, measured on the simulated clock).
+  std::uint64_t backoff_base_cycles = 64;
+  std::uint64_t backoff_cap_cycles = 4096;
+  /// Supervision slice: the soft cap of one run() call.
+  std::uint64_t quantum_cycles = std::uint64_t{1} << 16;
+  /// Extra periodic checkpoints every N cycles (0 = checkpoint only at
+  /// cycle 0 and at fault boundaries — the no-fault fast configuration).
+  std::uint64_t checkpoint_interval = 0;
+  /// Receives on_recovery for every logged event (may be nullptr). The
+  /// observer is *not* attached to the engine (that would disable the
+  /// trace tier and slow the cycle loop); it only sees recovery events.
+  SimObserver* observer = nullptr;
+};
+
+/// Outcome of a supervised run: the accumulated RunResult (equal to what
+/// one unfaulted run() would have returned), the level the run finished
+/// at, and the transition log.
+struct SupervisedRun {
+  RunResult result;
+  SimLevel final_level = SimLevel::kInterpretive;
+  RecoveryLog log;
+};
+
+/// Type-erased simulator handle: the supervisor drives every level —
+/// interp, decode-cached, compiled dynamic/static, trace — through this
+/// one seam. Optional capabilities (guard staleness, compile-fault arming)
+/// default to no-ops on levels that lack the seam.
+class AnySim {
+ public:
+  virtual ~AnySim() = default;
+  virtual void load(const LoadedProgram& program) = 0;
+  virtual RunResult run(const RunLimits& limits) = 0;
+  virtual EngineCheckpoint save_checkpoint() const = 0;
+  virtual void restore_checkpoint(const EngineCheckpoint& cp) = 0;
+  virtual ProcessorState& state() = 0;
+  virtual SimLevel level() const = 0;
+  virtual void force_guard_stale() {}
+};
+
+/// Build a simulator for `level` configured per `config` (guard policy,
+/// cache, threads, compile-fault budget for the levels that compile).
+std::unique_ptr<AnySim> make_supervised_sim(
+    const Model& model, SimLevel level, const SupervisorConfig& config,
+    const std::shared_ptr<std::atomic<int>>& compile_fault_budget);
+
+/// The ladder step below `level`; false at the interpretive floor.
+bool sim_level_below(SimLevel level, SimLevel& out);
+
+class RunSupervisor {
+ public:
+  /// Builds and loads the starting-level simulator. A compile fault
+  /// scheduled at cycle 0 fires before the first quantum, not here.
+  RunSupervisor(const Model& model, const LoadedProgram& program,
+                SupervisorConfig config);
+  ~RunSupervisor();
+
+  /// Supervise one run to halt (or to the caller's limits). Recoverable
+  /// faults are absorbed per the recovery policy; fatal errors, caller
+  /// watchdog expiries and exhausted recovery budgets propagate.
+  SupervisedRun run(const RunLimits& limits = {});
+
+  /// Architectural state of the current simulator (bit-compare seam).
+  ProcessorState& state();
+  SimLevel level() const { return level_; }
+  const RecoveryLog& log() const { return log_; }
+
+ private:
+  struct Saved {
+    EngineCheckpoint engine;
+    RunResult acc;
+    std::uint64_t pos = 0;
+  };
+
+  void record(RecoveryEvent event);
+  Saved snapshot(const RunResult& acc, std::uint64_t pos) const;
+  void map_fault_hook();
+  /// Fire every fault due at `pos`. Returns true when the program must be
+  /// reloaded through the cache before the next quantum (cache faults).
+  bool fire_due_faults(std::uint64_t pos, RunLimits& quantum,
+                       bool& injected_limits);
+  /// Drop to the next level down and replay to `target_cycles`; loops
+  /// further down if the rebuild itself keeps faulting. Returns the replay
+  /// result (== the accumulated result at target_cycles).
+  RunResult degrade_and_replay(std::uint64_t target_cycles,
+                               const std::string& why);
+
+  const Model* model_;
+  const LoadedProgram* program_;
+  SupervisorConfig config_;
+  SimLevel level_;
+  FaultInjector injector_;
+  std::shared_ptr<std::atomic<int>> compile_fault_budget_;
+  FaultMemoryHook memory_fault_;
+  bool hook_mapped_ = false;  // per sim instance; reset on rebuild
+  std::unique_ptr<AnySim> sim_;
+  RecoveryLog log_;
+  unsigned total_recoveries_ = 0;
+};
+
+/// Per-lane outcome of a supervised batch: the lane's run (recovered
+/// in-place when a fault hit it), the level its final state was produced
+/// at, and that lane's recovery log.
+struct SupervisedLane {
+  LaneRun run;
+  SimLevel final_level = SimLevel::kCompiledStatic;
+  RecoveryLog log;
+  bool recovered = false;  // a fault hit this lane and recovery replayed it
+};
+
+/// Batch-wide supervision: drives a BatchedSimulator and recovers faulting
+/// lanes individually — the batch keeps running while a hit lane is
+/// replayed on a fresh sequential simulator at a degraded level and its
+/// final state written back into the lane. Organic retirements (halt,
+/// caller watchdog, fatal program errors) pass through untouched.
+class BatchSupervisor {
+ public:
+  /// `config.level` is the degraded level faulting lanes are replayed at
+  /// — the batch itself always runs compiled-static, so a config.level of
+  /// compiled-static (or trace) degrades to the interpretive floor.
+  /// `config.faults` is injected into lane `fault_lane` (the limit kinds
+  /// watchdog/stuck apply batch-wide and only when the caller set no limit
+  /// of that kind; guard/cache/compile kinds have no per-lane seam and are
+  /// logged as no-ops).
+  BatchSupervisor(const Model& model, const LoadedProgram& program,
+                  unsigned lanes, SupervisorConfig config,
+                  unsigned fault_lane = 0);
+  ~BatchSupervisor();
+
+  /// Lane state access for pre-run stimulus fan-out (forwarded to the
+  /// underlying batch).
+  ProcessorState& lane_state(unsigned lane);
+
+  /// Run every lane to retirement (or the caller's limits), recovering
+  /// injected-fault casualties. Call once per load.
+  void run(const RunLimits& limits = {});
+
+  const SupervisedLane& lane(unsigned lane) const { return lanes_[lane]; }
+  unsigned lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<SupervisedLane> lanes_;
+};
+
+}  // namespace lisasim

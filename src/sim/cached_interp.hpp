@@ -229,6 +229,12 @@ class CachedInterpSimulator {
     return guard_.attached() ? guard_.writes() : 0;
   }
 
+  /// Fault-injection seam (src/resilience): force a staleness storm, as in
+  /// CompiledSimulator::force_guard_stale. No-op while the guard is off.
+  void force_guard_stale() {
+    if (guard_.attached()) guard_.bump_all();
+  }
+
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
     return engine_.run(max_cycles);
   }

@@ -1,6 +1,9 @@
 #include "sim/checkpoint_io.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "model/model.hpp"
@@ -8,6 +11,38 @@
 namespace lisasim {
 
 namespace {
+
+// Checkpoint text is untrusted input (files restored with --restore, repro
+// bundles, fuzz artifacts): every counted section is capped so a corrupted
+// or hostile count cannot drive an allocation before parsing proves the
+// tokens actually exist. The caps sit far above anything the serializer
+// emits (pipeline depth, kMaxBatchLanes, scheduler path depth).
+constexpr std::uint64_t kMaxInterrupts = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxSlots = 256;
+constexpr std::uint64_t kMaxQueues = 256;
+constexpr std::uint64_t kMaxPaths = std::uint64_t{1} << 16;
+constexpr std::uint64_t kMaxPathLen = std::uint64_t{1} << 12;
+constexpr std::uint64_t kMaxLanes = 64;
+constexpr std::uint64_t kMaxStall = std::uint64_t{1} << 20;
+// reserve() bound for the (model-sized, so uncapped) state section: the
+// vector grows normally past this, and a lying count simply hits
+// "truncated" when the tokens run out.
+constexpr std::uint64_t kStateReserveCap = std::uint64_t{1} << 16;
+
+/// Corrupt checkpoint input is a *recoverable* condition: the caller's
+/// simulator is untouched (parsing happens before any restore), so it may
+/// discard the file and keep running. Nothing here may throw the fatal
+/// kind.
+[[noreturn]] void fail(const std::string& message) {
+  throw SimError("checkpoint: " + message, SimErrorKind::kRecoverable);
+}
+
+void check_count(std::uint64_t count, std::uint64_t cap,
+                 const char* what) {
+  if (count > cap)
+    fail("implausible " + std::string(what) + " count " +
+         std::to_string(count) + " (cap " + std::to_string(cap) + ")");
+}
 
 void append_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
@@ -39,18 +74,30 @@ class Reader {
  public:
   explicit Reader(std::string_view text) : text_(text) {}
 
-  /// Next whitespace-delimited token; throws at end of input.
+  /// Next whitespace-delimited token; throws (recoverably) at end of
+  /// input — a truncated file always fails loudly, never half-parses.
   std::string_view token() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\r'))
       ++pos_;
-    if (pos_ >= text_.size())
-      throw SimError("checkpoint: truncated (unexpected end of input)");
+    if (pos_ >= text_.size()) fail("truncated (unexpected end of input)");
     const std::size_t start = pos_;
     while (pos_ < text_.size() && text_[pos_] != ' ' && text_[pos_] != '\n' &&
            text_[pos_] != '\r')
       ++pos_;
     return text_.substr(start, pos_ - start);
+  }
+
+  /// A complete parse must consume the whole input: anything left over —
+  /// a duplicated section, a concatenated second checkpoint — is rejected
+  /// rather than silently ignored.
+  void expect_end() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+    if (pos_ < text_.size())
+      fail("trailing garbage after checkpoint ('" +
+           std::string(text_.substr(pos_, 16)) + "...')");
   }
 
   /// Remainder of the current line (for escaped free text); consumes the
@@ -68,28 +115,26 @@ class Reader {
   void expect(std::string_view keyword) {
     const std::string_view got = token();
     if (got != keyword)
-      throw SimError("checkpoint: expected '" + std::string(keyword) +
-                     "', got '" + std::string(got) + "'");
+      fail("expected '" + std::string(keyword) + "', got '" +
+           std::string(got) + "'");
   }
 
   std::int64_t integer() {
     const std::string_view t = token();
-    char* end = nullptr;
-    const std::string buf(t);
-    const long long v = std::strtoll(buf.c_str(), &end, 10);
-    if (end != buf.c_str() + buf.size())
-      throw SimError("checkpoint: bad integer '" + buf + "'");
-    return static_cast<std::int64_t>(v);
+    std::int64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc() || ptr != t.data() + t.size())
+      fail("bad integer '" + std::string(t) + "'");
+    return v;
   }
 
   std::uint64_t unsigned_integer() {
     const std::string_view t = token();
-    char* end = nullptr;
-    const std::string buf(t);
-    const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
-    if (end != buf.c_str() + buf.size() || buf.empty() || buf[0] == '-')
-      throw SimError("checkpoint: bad unsigned integer '" + buf + "'");
-    return static_cast<std::uint64_t>(v);
+    std::uint64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc() || ptr != t.data() + t.size())
+      fail("bad unsigned integer '" + std::string(t) + "'");
+    return v;
   }
 
  private:
@@ -136,13 +181,13 @@ void append_checkpoint(std::string& out, const EngineCheckpoint& cp) {
 /// the batch parsers).
 EngineCheckpoint parse_checkpoint_block(Reader& r) {
   r.expect("lisasim-checkpoint");
-  if (r.unsigned_integer() != 1)
-    throw SimError("checkpoint: unsupported format version");
+  if (r.unsigned_integer() != 1) fail("unsupported format version");
   EngineCheckpoint cp;
   r.expect("total_cycles");
   cp.total_cycles = r.unsigned_integer();
   r.expect("interrupts");
   const std::uint64_t n_irq = r.unsigned_integer();
+  check_count(n_irq, kMaxInterrupts, "interrupt");
   for (std::uint64_t i = 0; i < n_irq; ++i) {
     const std::uint64_t cycle = r.unsigned_integer();
     const std::uint64_t target = r.unsigned_integer();
@@ -150,15 +195,23 @@ EngineCheckpoint parse_checkpoint_block(Reader& r) {
   }
   r.expect("state");
   const std::uint64_t n_state = r.unsigned_integer();
-  cp.state.reserve(n_state);
+  // The state section is model-sized, so it carries no universal cap; the
+  // reserve is bounded instead, and a lying count runs out of tokens long
+  // before it runs out of memory.
+  cp.state.reserve(
+      static_cast<std::size_t>(std::min(n_state, kStateReserveCap)));
   for (std::uint64_t i = 0; i < n_state; ++i) cp.state.push_back(r.integer());
   r.expect("slots");
   const std::uint64_t n_slots = r.unsigned_integer();
+  check_count(n_slots, kMaxSlots, "pipeline slot");
   for (std::uint64_t i = 0; i < n_slots; ++i) {
     EngineCheckpoint::SlotImage slot;
     r.expect("slot");
     slot.pc = r.unsigned_integer();
-    slot.stall = static_cast<int>(r.integer());
+    const std::int64_t stall = r.integer();
+    if (stall < 0 || stall > static_cast<std::int64_t>(kMaxStall))
+      fail("slot stall " + std::to_string(stall) + " out of range");
+    slot.stall = static_cast<int>(stall);
     slot.valid = r.unsigned_integer() != 0;
     slot.executed = r.unsigned_integer() != 0;
     slot.work.treewalk = r.unsigned_integer() != 0;
@@ -166,18 +219,26 @@ EngineCheckpoint parse_checkpoint_block(Reader& r) {
     slot.work.error = unescape(r.rest_of_line());
     r.expect("queues");
     const std::uint64_t n_queues = r.unsigned_integer();
+    check_count(n_queues, kMaxQueues, "scheduler queue");
     slot.work.sched_paths.resize(n_queues);
     for (std::uint64_t q = 0; q < n_queues; ++q) {
       r.expect("queue");
       const std::uint64_t n_paths = r.unsigned_integer();
+      check_count(n_paths, kMaxPaths, "scheduler path");
       slot.work.sched_paths[q].resize(n_paths);
       for (std::uint64_t p = 0; p < n_paths; ++p) {
         r.expect("path");
         const std::uint64_t len = r.unsigned_integer();
+        check_count(len, kMaxPathLen, "path step");
         auto& path = slot.work.sched_paths[q][p];
         path.reserve(len);
-        for (std::uint64_t s = 0; s < len; ++s)
-          path.push_back(static_cast<std::int32_t>(r.integer()));
+        for (std::uint64_t s = 0; s < len; ++s) {
+          const std::int64_t step = r.integer();
+          if (step < std::numeric_limits<std::int32_t>::min() ||
+              step > std::numeric_limits<std::int32_t>::max())
+            fail("path step " + std::to_string(step) + " out of range");
+          path.push_back(static_cast<std::int32_t>(step));
+        }
       }
     }
     cp.slots.push_back(std::move(slot));
@@ -195,7 +256,9 @@ std::string serialize_checkpoint(const EngineCheckpoint& cp) {
 
 EngineCheckpoint parse_checkpoint(std::string_view text) {
   Reader r(text);
-  return parse_checkpoint_block(r);
+  EngineCheckpoint cp = parse_checkpoint_block(r);
+  r.expect_end();
+  return cp;
 }
 
 std::string serialize_batch_checkpoint(const BatchCheckpoint& cp) {
@@ -225,17 +288,16 @@ std::string serialize_batch_checkpoint(const BatchCheckpoint& cp) {
 BatchCheckpoint parse_batch_checkpoint(std::string_view text) {
   Reader r(text);
   r.expect("lisasim-batch-checkpoint");
-  if (r.unsigned_integer() != 1)
-    throw SimError("checkpoint: unsupported batch format version");
+  if (r.unsigned_integer() != 1) fail("unsupported batch format version");
   BatchCheckpoint cp;
   r.expect("lanes");
   const std::uint64_t n_lanes = r.unsigned_integer();
+  check_count(n_lanes, kMaxLanes, "lane");
   cp.lanes.resize(n_lanes);
   for (std::uint64_t l = 0; l < n_lanes; ++l) {
     BatchCheckpoint::Lane& lane = cp.lanes[l];
     r.expect("lane");
-    if (r.unsigned_integer() != l)
-      throw SimError("checkpoint: batch lanes out of order");
+    if (r.unsigned_integer() != l) fail("batch lanes out of order");
     lane.run.done = r.unsigned_integer() != 0;
     lane.run.errored = r.unsigned_integer() != 0;
     lane.run.recoverable = r.unsigned_integer() != 0;
@@ -249,6 +311,7 @@ BatchCheckpoint parse_batch_checkpoint(std::string_view text) {
     lane.run.error = unescape(r.rest_of_line());
     lane.engine = parse_checkpoint_block(r);
   }
+  r.expect_end();
   return cp;
 }
 

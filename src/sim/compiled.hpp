@@ -253,6 +253,21 @@ class CompiledSimulator {
     return guard_.attached() ? guard_.writes() : 0;
   }
 
+  /// Fault-injection seam (src/resilience): conservatively mark every
+  /// guarded word written, as restore_checkpoint does — the next issue of
+  /// each in-flight or fetched packet takes the guarded path and
+  /// re-translates (or tree-walks) against unchanged memory. A staleness
+  /// storm with no semantic effect; no-op while the guard is off.
+  void force_guard_stale() {
+    if (guard_.attached()) guard_.bump_all();
+  }
+
+  /// Fault-injection seam: arm the compiler's shared failure budget for
+  /// subsequent load()s (nullptr disarms).
+  void set_compile_fault_budget(std::shared_ptr<std::atomic<int>> budget) {
+    compile_options_.fault_budget = std::move(budget);
+  }
+
   /// Run the simulation compiler on `program` (or fetch the table from the
   /// attached cache), then load it. Returns the compile statistics (the
   /// bench for paper Fig. 6 times this call); also forwarded to the

@@ -16,6 +16,7 @@
 namespace lisasim {
 
 struct SimCompileStats;
+struct RecoveryEvent;  // resilience/supervisor.hpp
 
 class SimObserver {
  public:
@@ -33,6 +34,12 @@ class SimObserver {
   /// carries compile time, worker count and cache-hit flag. Default no-op:
   /// only levels with a simulation compiler raise it.
   virtual void on_compile(const SimCompileStats&) {}
+  /// A RunSupervisor logged a recovery transition (fault fired, retry,
+  /// level degradation, give-up). Raised supervisor-level, not
+  /// engine-level: a supervised observer sees these without paying the
+  /// per-cycle event cost (or standing the trace tier down). Default
+  /// no-op.
+  virtual void on_recovery(const RecoveryEvent&) {}
 };
 
 /// Streams a human-readable event trace. Pass a disassembly callback to

@@ -60,6 +60,17 @@ SimTable SimulationCompiler::compile(const LoadedProgram& program,
   if (level == SimLevel::kInterpretive || level == SimLevel::kDecodeCached)
     throw SimError("only the compiled levels have a simulation table");
 
+  // Injected compile-shard failure: fail before any translation work so a
+  // caller retrying the load sees either the full error or the full table.
+  if (options.fault_budget && options.fault_budget->load() > 0) {
+    options.fault_budget->fetch_sub(1);
+    SimErrorContext context;
+    context.resource = "simulation-compiler";
+    throw SimError("injected compile-shard failure (budget remaining " +
+                       std::to_string(options.fault_budget->load()) + ")",
+                   SimErrorKind::kRecoverable, std::move(context));
+  }
+
   const auto start = std::chrono::steady_clock::now();
   const unsigned threads =
       options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;

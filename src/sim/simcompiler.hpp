@@ -18,6 +18,7 @@
 // bit-identical to the sequential build at any thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -58,6 +59,11 @@ struct SimCompileOptions {
   /// Worker threads for the sharded build. 1 = sequential (default),
   /// 0 = one per hardware thread.
   unsigned threads = 1;
+  /// Fault-injection seam (src/resilience): while the shared budget is
+  /// positive, compile() decrements it and throws a *recoverable* SimError
+  /// before translating anything — a deterministic stand-in for a failed
+  /// compile shard (OOM, worker loss). Null (the default) is free.
+  std::shared_ptr<std::atomic<int>> fault_budget;
 };
 
 class SimulationCompiler {

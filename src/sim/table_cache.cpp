@@ -1,5 +1,6 @@
 #include "sim/table_cache.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "model/database.hpp"
@@ -64,6 +65,37 @@ std::uint64_t SimTableCache::hash_model(const Model& model) {
   return h;
 }
 
+std::uint64_t SimTableCache::fingerprint_table(const SimTable& table) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, table.base());
+  fnv_u64(h, table.size());
+  const MicroArena& arena = table.arena();
+  fnv_u64(h, arena.size());
+  fnv_u64(h, arena.pool_size());
+  fnv_u64(h, static_cast<std::uint64_t>(arena.max_temps()));
+  for (std::uint64_t pc = table.base(); pc < table.base() + table.size();
+       ++pc) {
+    const SimTableEntry& entry = *table.find(pc);
+    fnv_u64(h, entry.words);
+    fnv_u64(h, entry.slot_count);
+    fnv_u64(h, entry.work_mask);
+    fnv_u64(h, entry.valid ? 1 : 0);
+    for (const MicroSpan& span : entry.micro) {
+      fnv_u64(h, span.offset);
+      fnv_u64(h, span.len);
+    }
+  }
+  // A bounded sample of the packed micro-op bytes themselves: a bit flip
+  // in an op near either end is caught without an O(arena) walk per hit.
+  const std::size_t sample =
+      std::min<std::size_t>(arena.size(), 64);
+  fnv_bytes(h, arena.data(), sample * sizeof(MicroOp));
+  if (arena.size() > sample)
+    fnv_bytes(h, arena.data() + (arena.size() - sample),
+              sample * sizeof(MicroOp));
+  return h;
+}
+
 std::uint64_t SimTableCache::model_hash_for(const Model& model) {
   // Called with mutex_ held. The dump walks the whole model, so memoize
   // per instance; cached models must not mutate (they never do after
@@ -99,6 +131,17 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
     std::lock_guard<std::mutex> lock(mutex_);
     key.model_hash = model_hash_for(model);
     auto it = map_.find(key);
+    if (it != map_.end() &&
+        fingerprint_table(*it->second->table) != it->second->fingerprint) {
+      // The stored table no longer matches the fingerprint taken at insert
+      // (bit rot, or an injected cache-corrupt fault): never serve it.
+      // Dropping the entry falls through to the miss path, which
+      // recompiles and re-inserts a clean copy.
+      ++stats_.corruptions;
+      lru_.erase(it->second);
+      map_.erase(it);
+      it = map_.end();
+    }
     if (it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++stats_.hits;
@@ -131,7 +174,8 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
     if (it == map_.end()) {
-      lru_.push_front(Entry{key, table, compile_stats});
+      lru_.push_front(
+          Entry{key, table, compile_stats, fingerprint_table(*table)});
       map_.emplace(key, lru_.begin());
       while (map_.size() > capacity_) {
         map_.erase(lru_.back().key);
@@ -208,6 +252,11 @@ SimTableCache::Stats SimTableCache::stats() const {
   Stats s = stats_;
   s.entries = map_.size();
   return s;
+}
+
+void SimTableCache::debug_corrupt() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : lru_) entry.fingerprint = ~entry.fingerprint;
 }
 
 void SimTableCache::clear() {

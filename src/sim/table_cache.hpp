@@ -54,6 +54,7 @@ class SimTableCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t invalidations = 0;  // tables dropped via invalidate()
+    std::uint64_t corruptions = 0;    // entries failing fingerprint re-check
     std::size_t entries = 0;
   };
 
@@ -98,12 +99,23 @@ class SimTableCache {
   static std::uint64_t hash_program(const LoadedProgram& program);
   /// FNV-1a hash of the canonical model dump (exposed for tests).
   static std::uint64_t hash_model(const Model& model);
+  /// Structural fingerprint of a table: O(rows) FNV over the row scalars
+  /// and a bounded arena sample — cheap enough to re-verify on every hit,
+  /// strong enough that a flipped row/arena field cannot be served.
+  /// (signature() would also work, but it renders the whole table.)
+  static std::uint64_t fingerprint_table(const SimTable& table);
+
+  /// Fault injection only (resilience tests): flip every stored entry's
+  /// fingerprint so the next hit on it is detected as corrupted, dropped,
+  /// counted in Stats::corruptions and transparently recompiled.
+  void debug_corrupt();
 
  private:
   struct Entry {
     TableCacheKey key;
     std::shared_ptr<const SimTable> table;
     SimCompileStats compile_stats;  // counters from the miss-time build
+    std::uint64_t fingerprint = 0;  // fingerprint_table() at insert time
   };
   struct KeyHash {
     std::size_t operator()(const TableCacheKey& key) const;

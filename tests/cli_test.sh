@@ -422,6 +422,76 @@ for level in interp cached dynamic static trace; do
       "checkpoint run reaches the same result ($level)"
 done
 
+# ---- resilient supervisor ---------------------------------------------------
+# Injected faults must be absorbed: the supervised run retries, degrades
+# when the fault persists, and still matches the unfaulted interpretive
+# oracle cycle for cycle and bit for bit. --stats prints the recovery log.
+cat > "$TMP/res.asm" <<'EOF'
+        MVK 40, R1
+        MVK 0, R2
+        MVK 1, R3
+loop:   BZ R1, done
+        ADD.L R2, R2, R1
+        SUB.L R1, R1, R3
+        B loop
+done:   ST R2, R3, 15
+        HALT
+        .data dmem 0
+        .word 0
+EOF
+"$LISASIM" run @tinydsp "$TMP/res.asm" --level interp --dump \
+    > "$TMP/res_ref.out"
+expect_contains "$TMP/res_ref.out" "dmem\[16\] = 820" "oracle sums 1..40"
+"$LISASIM" run @tinydsp "$TMP/res.asm" --resilience \
+    --inject-fault memory@50x2,compile@0 --stats --dump > "$TMP/res.out"
+expect_contains "$TMP/res.out" "supervised from compiled-static" \
+    "--resilience reports the supervised run"
+expect_contains "$TMP/res.out" "halted" "supervised run still halts"
+expect_contains "$TMP/res.out" "recovery log: 3 fault(s) injected" \
+    "--stats prints the recovery log"
+expect_contains "$TMP/res.out" "degrade compiled-static -> compiled-dynamic" \
+    "persistent fault degrades one level"
+expect_contains "$TMP/res.out" "dmem\[16\] = 820" \
+    "supervised run matches the oracle's sum"
+a=$(grep ' cycles,' "$TMP/res_ref.out" |
+    sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+b=$(grep ' cycles,' "$TMP/res.out" | sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+[ "$a" = "$b" ] || fail "supervised cycles $b != interp $a"
+# A no-fault supervised run is a plain run plus an empty log.
+"$LISASIM" run @tinydsp "$TMP/res.asm" --resilience --stats \
+    > "$TMP/res_clean.out"
+expect_contains "$TMP/res_clean.out" \
+    "recovery log: 0 fault(s) injected, 0 retrie(s), 0 degradation(s)" \
+    "no-fault supervision logs nothing"
+b=$(grep ' cycles,' "$TMP/res_clean.out" |
+    sed 's/[^0-9]*\([0-9]*\) cycles.*/\1/')
+[ "$a" = "$b" ] || fail "no-fault supervised cycles $b != interp $a"
+# Exhausting the recovery budget rethrows the fault recoverably (exit 3).
+if "$LISASIM" run @tinydsp "$TMP/res.asm" --resilience \
+    --inject-fault memory@50x200 > "$TMP/res_giveup.out" 2>&1; then
+  fail "exhausted recovery budget should fail"
+else
+  code=$?
+fi
+[ "$code" = "3" ] || fail "recovery give-up should exit 3 (got $code)"
+expect_contains "$TMP/res_giveup.out" "injected memory fault" \
+    "give-up names the unrecovered fault"
+# Malformed --inject-fault specs and incompatible modes are usage errors.
+if "$LISASIM" run @tinydsp "$TMP/res.asm" --inject-fault bogus@10 \
+    > "$TMP/res_err.out" 2>&1; then
+  fail "unknown fault kind should fail"
+else
+  code=$?
+fi
+[ "$code" = "2" ] || fail "unknown fault kind should exit 2 (got $code)"
+if "$LISASIM" run @tinydsp "$TMP/res.asm" --resilience --batch 2 \
+    > "$TMP/res_err2.out" 2>&1; then
+  fail "--resilience with --batch should fail"
+else
+  code=$?
+fi
+[ "$code" = "2" ] || fail "--resilience --batch should exit 2 (got $code)"
+
 # ---- error handling ---------------------------------------------------------
 if "$LISASIM" run @c62x /nonexistent.asm > "$TMP/err.out" 2>&1; then
   fail "missing file should fail"
@@ -457,6 +527,15 @@ if [ -n "$LISASIM_FUZZ" ]; then
       --repro-dir "$TMP/repros" > "$TMP/sched.out" 2>&1 \
       || fail "--schedule sweep should exit 0"
   expect_contains "$TMP/sched.out" "0 divergences" "--schedule sweep is clean"
+
+  # The resilience sweep: every agreeing seed re-runs under the
+  # supervisor with a seed-derived fault schedule and must stay
+  # bit-identical to the unfaulted oracle.
+  "$LISASIM_FUZZ" @tinydsp --seeds 8 --resilience \
+      --repro-dir "$TMP/repros" > "$TMP/res_fuzz.out" 2>&1 \
+      || fail "--resilience sweep should exit 0"
+  expect_contains "$TMP/res_fuzz.out" "0 divergences" \
+      "--resilience sweep is clean"
 
   # --soak honors its wall-clock budget (2s + slack for the last seed).
   start=$(date +%s)

@@ -1,0 +1,19 @@
+; target: c54x
+; guard: recompile
+; provenance: root cause of the PR-7 "no SMC workload for c54x" skip in
+; test_differential. The c54x machine description has no store recipe
+; that reaches program memory, so self-modifying code is inexpressible
+; on this target (fuzz::ProgramGenerator::supports_smc() == false); the
+; differential SMC test now gates on that capability probe instead of
+; the target name. This entry pins the nearest expressible shape: a
+; data-memory store inside the hot loop body with write guards armed.
+; It must never trip a recompile, and all five levels must agree on
+; timing and final state.
+        LDI 0, A
+        LDAR AR1, 3
+loop:   ADD @0, A
+        ST A, @1          ; store in the loop body, guards armed
+        BANZ loop, AR1
+        HALT
+        .data dmem 0
+        .word 5

@@ -12,7 +12,11 @@ gate a refresh of the checked-in numbers. Guard-overhead rows marked
 noise_dominated in either file are reported but never flagged. Batched
 lockstep rows are matched on (app, lanes) and gated on aggregate_mips under
 the same threshold; a baseline written before the batched section existed
-is reported as skipped, not failed.
+is reported as skipped, not failed. Supervisor rows (the resilient
+RunSupervisor wrapping the static level with no faults firing) are gated
+on the fresh run's absolute overhead_percent staying at or below
+--supervisor-threshold (default 2%); noise_dominated rows are reported but
+not flagged, and a fresh run without the section is reported as skipped.
 """
 
 import argparse
@@ -44,6 +48,12 @@ def main():
         type=float,
         default=15.0,
         help="regression threshold in percent (default 15)",
+    )
+    parser.add_argument(
+        "--supervisor-threshold",
+        type=float,
+        default=2.0,
+        help="no-fault supervisor overhead ceiling in percent (default 2)",
     )
     args = parser.parse_args()
 
@@ -91,6 +101,37 @@ def main():
                 f"{key[0]:8s} {key[1]:8s} "
                 f"{b['overhead_percent']:+6.2f}% -> {f['overhead_percent']:+6.2f}%"
                 f"{'  (noise)' if noisy else ''}"
+            )
+
+    # Supervisor overhead: gated on the FRESH run's absolute overhead — the
+    # acceptance bar is "a no-fault supervised run costs <= 2%", not a
+    # delta against the baseline. Noise-dominated rows (the drift band is
+    # wider than the measured effect) are reported but not flagged.
+    base_sup = {r["app"]: r for r in base_data.get("supervisor", [])}
+    fresh_sup = {r["app"]: r for r in fresh_data.get("supervisor", [])}
+    if not fresh_sup:
+        print(
+            "\nsupervisor overhead: fresh run has no supervisor rows; "
+            "skipping the gate (rerun bench_sim_speed from this tree)."
+        )
+    else:
+        print(f"\nsupervisor overhead (gate: <= {args.supervisor_threshold:.1f}%):")
+        for app in sorted(fresh_sup):
+            f = fresh_sup[app]
+            b = base_sup.get(app)
+            baseline_text = (
+                f"{b['overhead_percent']:+6.2f}%" if b else "   new"
+            )
+            noisy = f.get("noise_dominated")
+            flag = ""
+            if not noisy and f["overhead_percent"] > args.supervisor_threshold:
+                flag = f"  << exceeds {args.supervisor_threshold:.1f}% ceiling"
+                regressions.append(
+                    ((app, "supervisor"), f"+{f['overhead_percent']:.2f}%")
+                )
+            print(
+                f"{app:8s} {baseline_text} -> {f['overhead_percent']:+6.2f}%"
+                f"{'  (noise)' if noisy else ''}{flag}"
             )
 
     # Batched lockstep rows: gated on aggregate MIPS, matched on (app, lanes).

@@ -4,11 +4,14 @@
 #   tools/fuzz_soak.sh [MINUTES] [BUILD_ROOT]
 #
 # Configures an ASan+UBSan build and a TSan build (under BUILD_ROOT,
-# default ./build-soak), builds lisasim-fuzz in each, and runs a
-# wall-clock soak (MINUTES per sanitizer, default 10, split across the
-# three built-in targets). Any divergence — i.e. any repro bundle
-# emitted, or a sanitizer report aborting the run — fails the script.
-# Companion to tools/bench_compare.py on the performance side.
+# default ./build-soak), builds each, runs the `robustness` and
+# `resilience` ctest labels (guarded execution, checkpoint hardening,
+# fault-injection supervisor), then runs a wall-clock fuzz soak with the
+# resilience sweep enabled (MINUTES per sanitizer, default 10, split
+# across the three built-in targets). Any divergence — i.e. any repro
+# bundle emitted, a failing labeled test, or a sanitizer report aborting
+# the run — fails the script. Companion to tools/bench_compare.py on the
+# performance side.
 set -eu
 
 MINUTES="${1:-10}"
@@ -22,12 +25,21 @@ for SAN in ASAN TSAN; do
   BUILD="$BUILD_ROOT/$(echo "$SAN" | tr '[:upper:]' '[:lower:]')"
   echo "=== configuring $SAN build in $BUILD ==="
   cmake -B "$BUILD" -S "$ROOT" "-DLISASIM_$SAN=ON" > /dev/null
-  cmake --build "$BUILD" --target lisasim-fuzz -j "$(nproc)" > /dev/null
+  cmake --build "$BUILD" -j "$(nproc)" > /dev/null
+  for LABEL in robustness resilience; do
+    echo "=== $SAN ctest -L $LABEL ==="
+    if ! ctest --test-dir "$BUILD" -L "$LABEL" --output-on-failure \
+        -j "$(nproc)" > "$BUILD/ctest-$LABEL.log" 2>&1; then
+      echo "FAIL: $SAN ctest -L $LABEL (see $BUILD/ctest-$LABEL.log)"
+      tail -40 "$BUILD/ctest-$LABEL.log"
+      STATUS=1
+    fi
+  done
   for TARGET in tinydsp c54x c62x; do
     REPROS="$BUILD/fuzz-repros-$TARGET"
     rm -rf "$REPROS"
     echo "=== $SAN soak @$TARGET (${SECONDS_PER_TARGET}s) ==="
-    if ! "$BUILD/tools/lisasim-fuzz" "@$TARGET" \
+    if ! "$BUILD/tools/lisasim-fuzz" "@$TARGET" --resilience \
         --soak "$SECONDS_PER_TARGET" --stats --repro-dir "$REPROS"; then
       echo "FAIL: $SAN soak on @$TARGET reported a divergence or crashed"
       STATUS=1

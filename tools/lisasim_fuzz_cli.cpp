@@ -30,6 +30,13 @@
 //   --inject-divergence SEED        test hook: corrupt the trace level's
 //                                   compared state for SEED, forcing the
 //                                   divergence path end to end
+//   --resilience                    sixth sweep mode: re-run each agreeing
+//                                   seed under a RunSupervisor with a
+//                                   seed-derived fault schedule; the
+//                                   supervised run must stay bit-identical
+//                                   to the unfaulted interpretive oracle
+//   --resilience-faults N           injected faults per supervised run
+//                                   (default 3)
 //   --print SEED                    print SEED's generated program and exit
 //   --stats                         print accumulated coverage counters
 //
@@ -66,6 +73,7 @@ int usage(const char* argv0) {
       "                             memory smc chaos (percent)\n"
       "  --max-cycles N | --watchdog N | --stuck N | --attempts N\n"
       "  --repro-dir DIR | --no-minimize | --schedule\n"
+      "  --resilience | --resilience-faults N\n"
       "  --inject-divergence SEED | --print SEED | --stats\n"
       "exit codes: 0 clean, 1 divergence or fatal error, 2 usage error\n",
       argv0);
@@ -205,6 +213,13 @@ int main(int argc, char** argv) {
       opts.coverage_schedule = true;
     } else if (arg == "--no-minimize") {
       opts.minimize = false;
+    } else if (arg == "--resilience") {
+      opts.resilience = true;
+    } else if (arg == "--resilience-faults") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n) || n == 0 || n > 64)
+        return usage(argv[0]);
+      opts.resilience_faults = static_cast<unsigned>(n);
     } else if (arg == "--inject-divergence") {
       const char* v = value();
       if (v == nullptr || !parse_u64(v, opts.inject_seed))
