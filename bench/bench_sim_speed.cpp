@@ -7,19 +7,25 @@
 // decode, operand extraction, tree walk) that sim62x-class simulators do;
 // absolute rates differ on modern hosts, the speedup shape is the claim.
 //
-// Beyond the paper's two points this reports all five simulation levels
-// (the hot-trace superblock tier included), each with cycles/s, MIPS
-// (retired instruction slots per second) and — for the micro-op levels —
-// dispatched micro-ops per simulated cycle, so a change to the execution
-// core is measured per level, not asserted.
+// Beyond the paper's two points this reports all six simulation levels
+// (the hot-trace superblock tier and the native AOT tier included), each
+// with cycles/s, MIPS (retired instruction slots per second) and — for the
+// micro-op levels — dispatched micro-ops per simulated cycle, so a change
+// to the execution core is measured per level, not asserted. The native
+// tier gets its own amortization table: the out-of-process compile cost,
+// the warm reload cost through the disk artifact cache, and the number of
+// runs after which the compile pays for itself against the trace tier.
 //
 // `--json <path>` additionally writes every table (levels, guard overhead,
 // no-fault supervisor overhead, batched lockstep) as a machine-readable
 // snapshot (BENCH_sim.json is the checked-in reference).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -67,6 +73,17 @@ struct SupervisorRow {
   double overhead_percent = 0;
   double ratio_spread_percent = 0;
   bool noise_dominated = false;
+};
+
+struct NativeRow {
+  std::string app;
+  double mips = 0;
+  double speedup_vs_trace = 0;     // native cycles/s over trace cycles/s
+  double compile_seconds_cold = 0; // blocking AOT round, empty artifact dir
+  double load_seconds_warm = 0;    // same round served from the artifact dir
+  // Runs after which the cold compile has paid for itself against staying
+  // at the trace tier; 0 when native is not faster.
+  double break_even_runs = 0;
 };
 
 struct BatchedRow {
@@ -137,6 +154,108 @@ LevelRate rate_compiled(const Model& model, const LoadedProgram& program,
   if (level == SimLevel::kCompiledStatic || level == SimLevel::kTrace)
     rate.microops_per_cycle = sim.microops_per_cycle(program);
   return rate;
+}
+
+LevelRate rate_native(const Model& model, const LoadedProgram& program,
+                      std::uint64_t cycles) {
+  CompiledSimulator sim(model, SimLevel::kNative);
+  NativeConfig config;
+  config.blocking = true;
+  sim.set_native_config(config);
+  SimulationCompiler compiler(model, sim.decoder());
+  sim.load_precompiled(program,
+                       compiler.compile(program, SimLevel::kCompiledStatic));
+  // Run until the region set is quiescent before timing: the trace set
+  // grows across the first few runs (chained successors form at
+  // boundaries only reachable once their predecessors exist, and heat
+  // accumulates across reloads, so a once-per-run block crosses the
+  // default hotness threshold only around run ~32), and each formation
+  // launches a blocking compile round that must not land inside the
+  // timed region. One quiet run is not convergence — demand a full
+  // threshold-width window of them. The measurement is steady-state
+  // region dispatch; the compile cost is the amortization table below.
+  for (int i = 0, quiet = 0; i < 2000 && quiet < 40; ++i) {
+    const std::uint64_t rounds_before = sim.native_stats()->rounds;
+    sim.reload(program);
+    sim.run();
+    sim.wait_native_ready();
+    quiet = sim.native_stats()->rounds == rounds_before ? quiet + 1 : 0;
+  }
+  LevelRate rate = time_level(sim, program, cycles);
+  rate.microops_per_cycle = sim.microops_per_cycle(program);
+  return rate;
+}
+
+/// Cold vs warm native AOT cost through a disk artifact cache: the cold
+/// load pays the out-of-process compile, the warm load dlopens the cached
+/// .so. Both sides include the same table attach and region binding work.
+NativeRow rate_native_amortization(const Model& model,
+                                  const LoadedProgram& program,
+                                  const std::string& app,
+                                  std::uint64_t cycles, double trace_cps,
+                                  double native_cps, double native_mips,
+                                  const std::filesystem::path& artifact_dir) {
+  using clock = std::chrono::steady_clock;
+  NativeRow row;
+  row.app = app;
+  row.mips = native_mips;
+  row.speedup_vs_trace = trace_cps > 0 ? native_cps / trace_cps : 0;
+
+  SimTableCache cache;
+  cache.set_artifact_dir(artifact_dir.string());
+  CompiledSimulator seq(model, SimLevel::kCompiledStatic);
+  SimulationCompiler compiler(model, seq.decoder());
+  const auto table = std::make_shared<const SimTable>(
+      compiler.compile(program, SimLevel::kCompiledStatic));
+
+  NativeConfig config;
+  config.blocking = true;
+  const auto drive_to_quiescence = [&](CompiledSimulator& sim) {
+    // The trace set grows across the first ~hot_threshold runs (heat
+    // accumulates across reloads); keep running until a full threshold
+    // window of runs launches no new compile round, so every region —
+    // static spans and all trace bodies, stragglers included — is
+    // compiled and published.
+    for (int i = 0, quiet = 0; i < 2000 && quiet < 40; ++i) {
+      const std::uint64_t rounds_before = sim.native_stats()->rounds;
+      sim.reload(program);
+      sim.run();
+      sim.wait_native_ready();
+      quiet = sim.native_stats()->rounds == rounds_before ? quiet + 1 : 0;
+    }
+  };
+  {
+    CompiledSimulator sim(model, SimLevel::kNative);
+    sim.set_native_config(config);
+    sim.set_table_cache(&cache);
+    sim.load_precompiled(program, table);  // blocking AOT compile round
+    drive_to_quiescence(sim);
+    // Total out-of-process compiler wall time across every round, from
+    // the runtime's own counter.
+    row.compile_seconds_cold =
+        static_cast<double>(sim.native_stats()->compile_ns) / 1e9;
+  }
+  {
+    CompiledSimulator sim(model, SimLevel::kNative);
+    sim.set_native_config(config);
+    sim.set_table_cache(&cache);
+    const auto start = clock::now();
+    sim.load_precompiled(program, table);  // artifact hit: dlopen only
+    row.load_seconds_warm =
+        std::chrono::duration<double>(clock::now() - start).count();
+    drive_to_quiescence(sim);
+    if (sim.native_stats()->compiles > 0)
+      std::fprintf(stderr,
+                   "warning: %s warm path recompiled %llu round(s)\n",
+                   app.c_str(),
+                   static_cast<unsigned long long>(
+                       sim.native_stats()->compiles));
+  }
+  const double t_trace = static_cast<double>(cycles) / trace_cps;
+  const double t_native = static_cast<double>(cycles) / native_cps;
+  if (t_trace > t_native)
+    row.break_even_runs = row.compile_seconds_cold / (t_trace - t_native);
+  return row;
 }
 
 /// One batched measurement: N lockstep lanes of the same program over one
@@ -331,7 +450,8 @@ SupervisorRow print_supervised(const char* app, const Model& model,
 void write_json(const char* path, const std::vector<SpeedRow>& speed,
                 const std::vector<GuardRow>& guard,
                 const std::vector<SupervisorRow>& supervisor,
-                const std::vector<BatchedRow>& batched) {
+                const std::vector<BatchedRow>& batched,
+                const std::vector<NativeRow>& native) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path);
@@ -382,6 +502,19 @@ void write_json(const char* path, const std::vector<SpeedRow>& speed,
                  r.ratio_spread_percent, r.noise_dominated ? "true" : "false",
                  i + 1 < supervisor.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"native\": [\n");
+  for (std::size_t i = 0; i < native.size(); ++i) {
+    const NativeRow& r = native[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", \"mips\": %.3f, "
+                 "\"speedup_vs_trace\": %.2f, "
+                 "\"compile_seconds_cold\": %.3f, "
+                 "\"load_seconds_warm\": %.4f, "
+                 "\"break_even_runs\": %.1f}%s\n",
+                 r.app.c_str(), r.mips, r.speedup_vs_trace,
+                 r.compile_seconds_cold, r.load_seconds_warm,
+                 r.break_even_runs, i + 1 < native.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n  \"batched\": [\n");
   for (std::size_t i = 0; i < batched.size(); ++i) {
     const BatchedRow& r = batched[i];
@@ -418,6 +551,15 @@ int main(int argc, char** argv) {
   std::vector<workloads::Workload> suite = workloads::paper_suite();
   std::vector<SpeedRow> speed_rows;
   std::vector<GuardRow> guard_rows;
+  std::vector<NativeRow> native_rows;
+  const bool have_native = NativeRuntime::toolchain_available();
+  struct AppRates {
+    std::uint64_t cycles = 0;
+    double trace_cps = 0;
+    double native_cps = 0;
+    double native_mips = 0;
+  };
+  std::map<std::string, AppRates> app_rates;
 
   std::printf(
       "E2 / Fig.7 -- simulation speed by level (c62x)\n");
@@ -434,20 +576,60 @@ int main(int argc, char** argv) {
                                          SimLevel::kCompiledStatic, cycles);
     const LevelRate trace =
         rate_compiled(*target.model, program, SimLevel::kTrace, cycles);
+    const LevelRate native =
+        have_native ? rate_native(*target.model, program, cycles)
+                    : LevelRate{};
     const struct { const char* name; const LevelRate& rate; } rows[] = {
         {"interp", interp}, {"cached", cached},   {"dynamic", dynamic},
-        {"static", stat},   {"trace", trace},
+        {"static", stat},   {"trace", trace},     {"native", native},
     };
     for (const auto& row : rows) {
+      if (row.rate.cycles_per_second == 0) continue;  // native w/o toolchain
       print_level(w.name.c_str(), row.name, cycles, row.rate, interp);
       speed_rows.push_back(
           {w.name, row.name, cycles, row.rate,
            row.rate.cycles_per_second / interp.cycles_per_second});
     }
+    app_rates[w.name] = {cycles, trace.cycles_per_second,
+                         native.cycles_per_second, native.mips};
   }
   std::printf(
       "\npaper: interpretive 2k..9k c/s, compiled 288k..403k c/s, "
       "speedups 47x..170x\n");
+
+  // Native AOT amortization: what the out-of-process compile costs, what
+  // the disk artifact cache gives back on a warm reload, and how many
+  // runs it takes for the compile to beat staying at the trace tier.
+  if (have_native) {
+    std::printf(
+        "\nnative AOT -- compile cost vs artifact cache (%s)\n",
+        NativeRuntime::toolchain().c_str());
+    std::printf("%-8s %9s %9s %13s %12s %11s\n", "app", "MIPS", "vs trace",
+                "cold compile", "warm load", "break-even");
+    const std::filesystem::path artifact_dir =
+        std::filesystem::temp_directory_path() / "lisasim-bench-artifacts";
+    std::filesystem::remove_all(artifact_dir);
+    for (const auto& w : suite) {
+      const LoadedProgram program = target.assemble(w);
+      const AppRates& rates = app_rates[w.name];
+      const NativeRow row = rate_native_amortization(
+          *target.model, program, w.name, rates.cycles, rates.trace_cps,
+          rates.native_cps, rates.native_mips, artifact_dir);
+      char break_even[24] = "-";
+      if (row.break_even_runs > 0)
+        std::snprintf(break_even, sizeof break_even, "%.1f runs",
+                      row.break_even_runs);
+      std::printf("%-8s %9.2f %8.2fx %11.0f ms %9.1f ms %11s\n",
+                  row.app.c_str(), row.mips, row.speedup_vs_trace,
+                  row.compile_seconds_cold * 1e3, row.load_seconds_warm * 1e3,
+                  break_even);
+      native_rows.push_back(row);
+    }
+    std::filesystem::remove_all(artifact_dir);
+  } else {
+    std::printf(
+        "\nnative AOT: no out-of-process C++ toolchain, section skipped\n");
+  }
 
   // Guard overhead: the same clean (never self-modifying) programs with
   // write guards armed. The guard hook fires only on program-memory
@@ -531,6 +713,6 @@ int main(int argc, char** argv) {
 
   if (json_path != nullptr)
     write_json(json_path, speed_rows, guard_rows, supervisor_rows,
-               batched_rows);
+               batched_rows, native_rows);
   return 0;
 }

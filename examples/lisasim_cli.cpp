@@ -107,13 +107,16 @@ std::string model_source(const std::string& spec) {
   return read_file(spec);
 }
 
-constexpr const char kLevelNames[] = "interp, cached, dynamic, static, trace";
+constexpr const char kLevelNames[] =
+    "interp, cached, dynamic, static, trace, native";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: lisasim <check|dump|asm|disasm|codegen|run> <model> "
-               "[prog.asm] [--level interp|cached|dynamic|static|trace] "
+               "[prog.asm] [--level interp|cached|dynamic|static|trace|"
+               "native] "
                "[--max-cycles N] [--dump] [--stats] [--threads N] [--cache] "
+               "[--cache-dir DIR] "
                "[--runs N] [--trace [N]] [--profile] [--trace-threshold N] "
                "[--guard off|recompile|fallback] [--watchdog N] "
                "[--max-stuck N] [--checkpoint N] [--batch N] "
@@ -123,7 +126,15 @@ void print_usage(std::FILE* out) {
                "       --level values: %s ('trace' adds hot-path\n"
                "         superblock dispatch on top of 'static'; "
                "--trace-threshold N\n"
-               "         sets its hotness threshold, default 32)\n"
+               "         sets its hotness threshold, default 32; 'native' "
+               "adds AOT-\n"
+               "         compiled (dlopen) regions on top of 'trace', "
+               "falling back\n"
+               "         to 'trace' when no C++ toolchain is reachable)\n"
+               "       --cache-dir DIR: disk-backed native artifact cache "
+               "(implies\n"
+               "         --cache); compiled .so regions are reused across "
+               "processes\n"
                "       --batch N: N lockstep lanes over one compiled table "
                "(static\n"
                "         level only); per-lane results, worst lane outcome "
@@ -305,6 +316,7 @@ int main(int argc, char** argv) {
     bool show_stats = false;
     bool do_profile = false;
     bool use_cache = false;
+    std::string cache_dir;  // "" = no disk-backed native artifacts
     unsigned threads = 1;
     std::uint64_t runs = 1;
     std::uint64_t trace_events = 0;
@@ -329,6 +341,7 @@ int main(int argc, char** argv) {
         else if (v == "dynamic") level = SimLevel::kCompiledDynamic;
         else if (v == "static") level = SimLevel::kCompiledStatic;
         else if (v == "trace") level = SimLevel::kTrace;
+        else if (v == "native") level = SimLevel::kNative;
         else {
           std::fprintf(stderr,
                        "error: unknown simulation level '%s' (valid levels: "
@@ -408,6 +421,10 @@ int main(int argc, char** argv) {
         threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
       } else if (!std::strcmp(argv[i], "--cache")) {
         use_cache = true;
+      } else if (const char* value =
+                     option_value(argc, argv, i, "--cache-dir")) {
+        cache_dir = value;
+        use_cache = true;
       } else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
         runs = std::strtoull(argv[++i], nullptr, 0);
         if (runs == 0) runs = 1;
@@ -442,6 +459,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       SimTableCache table_cache;
+      if (!cache_dir.empty()) table_cache.set_artifact_dir(cache_dir);
       SupervisorConfig config;
       config.level = level;
       config.guard_policy = guard;
@@ -603,6 +621,7 @@ int main(int argc, char** argv) {
       state_dump = sim.state().dump_nonzero();
     } else {
       SimTableCache table_cache;
+      if (!cache_dir.empty()) table_cache.set_artifact_dir(cache_dir);
       CompiledSimulator sim(*model, level);
       sim.set_observer(observer);
       sim.set_threads(threads);
@@ -612,6 +631,13 @@ int main(int argc, char** argv) {
         TraceConfig config;
         config.hot_threshold = trace_threshold;
         sim.set_trace_config(config);
+      }
+      if (level == SimLevel::kNative) {
+        // The CLI runs once and exits: wait for the region compile so the
+        // run (and --stats) actually exercises the native tier.
+        NativeConfig native_config;
+        native_config.blocking = true;
+        sim.set_native_config(native_config);
       }
       for (std::uint64_t r = 0; r < runs; ++r) {
         const SimCompileStats stats = sim.load(program);
@@ -650,6 +676,28 @@ int main(int argc, char** argv) {
                                      static_cast<double>(result.cycles));
       }
       if (show_stats && guard != GuardPolicy::kOff) print_guard_stats(sim);
+      if (show_stats && sim.level() == SimLevel::kNative) {
+        const NativeStats* ns = sim.native_stats();
+        if (ns == nullptr) {
+          std::printf("native: no C++ toolchain, ran at trace level\n");
+        } else {
+          std::printf(
+              "native: %llu region%s installed (%llu compile%s, %.3f ms), "
+              "%llu trace + %llu span dispatches, %llu stand-down%s\n",
+              static_cast<unsigned long long>(ns->regions),
+              ns->regions == 1 ? "" : "s",
+              static_cast<unsigned long long>(ns->compiles),
+              ns->compiles == 1 ? "" : "s",
+              static_cast<double>(ns->compile_ns) / 1e6,
+              static_cast<unsigned long long>(ns->trace_dispatches),
+              static_cast<unsigned long long>(ns->span_dispatches),
+              static_cast<unsigned long long>(ns->stand_downs),
+              ns->stand_downs == 1 ? "" : "s");
+          if (!sim.native_last_error().empty())
+            std::printf("native: last compile error: %s\n",
+                        sim.native_last_error().c_str());
+        }
+      }
       if (show_stats && use_cache) {
         const SimTableCache::Stats cs = table_cache.stats();
         std::printf("table cache: %llu hit%s, %llu miss%s, %llu "
@@ -660,6 +708,16 @@ int main(int argc, char** argv) {
                     cs.misses == 1 ? "" : "es",
                     static_cast<unsigned long long>(cs.invalidations),
                     cs.invalidations == 1 ? "" : "s", cs.entries);
+        if (!cache_dir.empty())
+          std::printf("artifacts: %llu hit%s, %llu miss%s, %llu "
+                      "eviction%s (%s)\n",
+                      static_cast<unsigned long long>(cs.artifact_hits),
+                      cs.artifact_hits == 1 ? "" : "s",
+                      static_cast<unsigned long long>(cs.artifact_misses),
+                      cs.artifact_misses == 1 ? "" : "es",
+                      static_cast<unsigned long long>(cs.artifact_evictions),
+                      cs.artifact_evictions == 1 ? "" : "s",
+                      cache_dir.c_str());
       }
       state_dump = sim.state().dump_nonzero();
     }

@@ -1,0 +1,128 @@
+// The C ABI between lisasim and its dlopen'd native AOT region libraries.
+//
+// A native artifact is a shared object compiled from generated C++ (see
+// codegen/nativegen.cpp): one straight-line function per lowered micro-op
+// region (a static simulation-table span or a hot-trace superblock body),
+// plus one exported entry-table symbol describing them. The host never
+// throws across the boundary and the library never calls back into the
+// host: regions operate on the flat processor-state array alone and report
+// faults (zero divisors, out-of-bounds element indices) by returning a
+// fault index the host re-raises through its normal SimError paths.
+//
+// `kNativeAbiText` below is embedded verbatim into every generated source
+// file; the host-side mirror structs must stay layout-identical (pinned by
+// static_asserts here and a golden test in tests/test_native.cpp). Any
+// change to the layout must bump kNativeAbiVersion — version-mismatched
+// artifacts are discarded and recompiled, never reinterpreted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lisasim {
+
+inline constexpr std::uint32_t kNativeAbiVersion = 1;
+
+/// Name of the single exported symbol of a native artifact.
+inline constexpr const char kNativeEntrySymbol[] = "lisa_native_entry";
+
+// ---- host-side mirrors of the generated structs ---------------------------
+
+struct NativeCtx {
+  std::int64_t* state = nullptr;  // flat element storage, stride 1
+  std::int64_t fault_arg = 0;     // out: faulting element index
+  std::int32_t stall = 0;         // out: accumulated stall cycles
+  std::uint8_t flush = 0;         // out
+  std::uint8_t halt = 0;          // out
+  std::uint8_t reserved0 = 0;
+  std::uint8_t reserved1 = 0;
+};
+
+/// Returns 0 on success or 1 + fault-table index.
+using NativeRegionFn = std::int32_t (*)(NativeCtx*);
+
+struct NativeFault {
+  std::int32_t kind = 0;  // 0 div0, 1 rem0, 2 oob read, 3 oob write
+  std::int32_t res = -1;  // faulting resource id for the oob kinds
+};
+
+struct NativeRegion {
+  std::uint64_t key = 0;        // micro-arena offset of the lowered span
+  std::uint32_t kind = 0;       // 0 static table span, 1 trace body
+  std::uint32_t len = 0;        // micro-op count of the lowered span
+  std::uint32_t num_temps = 0;
+  std::uint32_t fault_count = 0;
+  NativeRegionFn fn = nullptr;
+  const NativeFault* faults = nullptr;
+};
+
+struct NativeEntry {
+  std::uint32_t abi_version = 0;
+  std::uint32_t region_count = 0;
+  std::uint64_t model_hash = 0;
+  std::uint64_t program_hash = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t state_elements = 0;
+  const NativeRegion* regions = nullptr;
+};
+
+/// Signature of the exported entry symbol.
+using NativeEntryFn = const NativeEntry* (*)();
+
+// The generated side (below) uses the same field order and only
+// fixed-width C types, so mirror layout is a plain offset check.
+static_assert(sizeof(NativeCtx) == 24);
+static_assert(offsetof(NativeCtx, fault_arg) == 8);
+static_assert(offsetof(NativeCtx, stall) == 16);
+static_assert(offsetof(NativeCtx, flush) == 20);
+static_assert(offsetof(NativeCtx, halt) == 21);
+static_assert(sizeof(NativeFault) == 8);
+static_assert(sizeof(NativeRegion) == 40);
+static_assert(offsetof(NativeRegion, fn) == 24);
+static_assert(offsetof(NativeRegion, faults) == 32);
+static_assert(sizeof(NativeEntry) == 48);
+static_assert(offsetof(NativeEntry, regions) == 40);
+
+// ---- the declaration text embedded into generated sources -----------------
+
+inline constexpr const char kNativeAbiText[] =
+    R"(/* lisasim native AOT region ABI, version 1 */
+typedef struct LisaNativeCtx {
+  int64_t* state;
+  int64_t fault_arg;
+  int32_t stall;
+  uint8_t flush;
+  uint8_t halt;
+  uint8_t reserved0;
+  uint8_t reserved1;
+} LisaNativeCtx;
+
+typedef int32_t (*LisaNativeRegionFn)(LisaNativeCtx*);
+
+typedef struct LisaNativeFault {
+  int32_t kind; /* 0 div0, 1 rem0, 2 oob read, 3 oob write */
+  int32_t res;  /* faulting resource id for the oob kinds */
+} LisaNativeFault;
+
+typedef struct LisaNativeRegion {
+  uint64_t key;  /* micro-arena offset of the lowered span */
+  uint32_t kind; /* 0 static table span, 1 trace body */
+  uint32_t len;  /* micro-op count of the lowered span */
+  uint32_t num_temps;
+  uint32_t fault_count;
+  LisaNativeRegionFn fn;
+  const LisaNativeFault* faults;
+} LisaNativeRegion;
+
+typedef struct LisaNativeEntry {
+  uint32_t abi_version;
+  uint32_t region_count;
+  uint64_t model_hash;
+  uint64_t program_hash;
+  uint64_t content_hash;
+  uint64_t state_elements;
+  const LisaNativeRegion* regions;
+} LisaNativeEntry;
+)";
+
+}  // namespace lisasim

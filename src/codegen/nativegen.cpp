@@ -1,0 +1,494 @@
+#include "codegen/nativegen.hpp"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "codegen/cppgen.hpp"
+#include "codegen/native_abi.hpp"
+
+namespace lisasim {
+namespace {
+
+// Same FNV-1a as sim/table_cache.cpp; kept local so codegen does not
+// depend on the sim layer (the dependency runs the other way).
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// A decimal int64 literal that is valid C++ even for INT64_MIN (whose
+/// positive magnitude does not fit the pre-negation literal).
+std::string lit64(std::int64_t v) {
+  if (v == INT64_MIN) return "(-INT64_C(9223372036854775807) - 1)";
+  return "INT64_C(" + std::to_string(v) + ")";
+}
+
+std::string lit_u64(std::uint64_t v) {
+  return "UINT64_C(" + std::to_string(v) + ")";
+}
+
+struct FaultRec {
+  int kind = 0;  // 0 div0, 1 rem0, 2 oob read, 3 oob write
+  std::int32_t res = -1;
+};
+
+/// Per-model layout facts the emitter bakes into generated code. Offsets
+/// are recomputed from resource declaration order — the same running sum
+/// ProcessorState uses — and cross-checked at .so load via the entry
+/// table's state_elements.
+class RegionEmitter {
+ public:
+  explicit RegionEmitter(const Model& model) : model_(&model) {
+    offsets_.reserve(model.resources.size());
+    std::size_t running = 0;
+    for (const auto& r : model.resources) {
+      offsets_.push_back(running);
+      running += static_cast<std::size_t>(r.size);
+    }
+    total_elements_ = running;
+  }
+
+  std::size_t total_elements() const { return total_elements_; }
+
+  void emit_region(std::ostringstream& out, const NativeRegionSpec& spec,
+                   std::size_t index, std::vector<FaultRec>& faults);
+
+ private:
+  const Resource& res(std::int32_t id) const {
+    return model_->resources[static_cast<std::size_t>(id)];
+  }
+  std::string off(std::int32_t id) const {
+    return std::to_string(offsets_[static_cast<std::size_t>(id)]);
+  }
+  std::string cell(std::int32_t id) const { return "S[" + off(id) + "]"; }
+  std::string cell_at(std::int32_t id, const std::string& index) const {
+    return "S[" + off(id) + " + " + index + "]";
+  }
+  /// Canonicalize `expr` to the element type of resource `id` — the exact
+  /// ValueType::canonicalize used by ProcessorState::write/write_scalar
+  /// (cppgen's canon_expr emits the same calls).
+  std::string canon(std::int32_t id, const std::string& expr) const {
+    const ValueType& t = res(id).type;
+    return (t.is_signed ? "xsext(" : "xzext(") + expr + ", " +
+           std::to_string(t.width) + ")";
+  }
+
+  const Model* model_;
+  std::vector<std::size_t> offsets_;
+  std::size_t total_elements_ = 0;
+};
+
+std::string temp(std::int32_t i) { return "t" + std::to_string(i); }
+
+/// The value expression of a non-faulting binary op (everything except
+/// kDiv/kRem, which need guard statements). Mirrors fold_binary exactly:
+/// wrapping add/sub/mul, masked shifts, 0/1 comparisons, non-short-circuit
+/// logicals over already-evaluated operands.
+std::string bin_expr(BinOp bop, const std::string& a, const std::string& b) {
+  switch (bop) {
+    case BinOp::kAdd: return "wadd(" + a + ", " + b + ")";
+    case BinOp::kSub: return "wsub(" + a + ", " + b + ")";
+    case BinOp::kMul: return "wmul(" + a + ", " + b + ")";
+    case BinOp::kAnd: return "(" + a + " & " + b + ")";
+    case BinOp::kOr: return "(" + a + " | " + b + ")";
+    case BinOp::kXor: return "(" + a + " ^ " + b + ")";
+    case BinOp::kShl: return "wshl(" + a + ", " + b + ")";
+    case BinOp::kShr: return "wshr(" + a + ", " + b + ")";
+    case BinOp::kEq: return "((" + a + " == " + b + ") ? 1 : 0)";
+    case BinOp::kNe: return "((" + a + " != " + b + ") ? 1 : 0)";
+    case BinOp::kLt: return "((" + a + " < " + b + ") ? 1 : 0)";
+    case BinOp::kLe: return "((" + a + " <= " + b + ") ? 1 : 0)";
+    case BinOp::kGt: return "((" + a + " > " + b + ") ? 1 : 0)";
+    case BinOp::kGe: return "((" + a + " >= " + b + ") ? 1 : 0)";
+    case BinOp::kLogicalAnd:
+      return "(((" + a + " != 0) && (" + b + " != 0)) ? 1 : 0)";
+    case BinOp::kLogicalOr:
+      return "(((" + a + " != 0) || (" + b + " != 0)) ? 1 : 0)";
+    case BinOp::kDiv:
+    case BinOp::kRem:
+      break;  // handled by the guarded statement forms
+  }
+  throw SimError("nativegen: bin_expr on faulting operator");
+}
+
+/// The intrinsic-call expression mirroring fold_intrinsic; control
+/// intrinsics fold to nullopt and exec_microops substitutes 0.
+std::string intr_expr(Intrinsic intr, const std::string& a,
+                      const std::string& b) {
+  switch (intr) {
+    case Intrinsic::kSext: return "xsext(" + a + ", " + b + ")";
+    case Intrinsic::kZext: return "xzext(" + a + ", " + b + ")";
+    case Intrinsic::kSat: return "xsat(" + a + ", " + b + ")";
+    case Intrinsic::kAbs: return "xabs(" + a + ")";
+    case Intrinsic::kMin: return "xmin(" + a + ", " + b + ")";
+    case Intrinsic::kMax: return "xmax(" + a + ", " + b + ")";
+    case Intrinsic::kNone:
+    case Intrinsic::kFlush:
+    case Intrinsic::kStall:
+    case Intrinsic::kHalt:
+      return "INT64_C(0)";
+  }
+  return "INT64_C(0)";
+}
+
+void RegionEmitter::emit_region(std::ostringstream& out,
+                                const NativeRegionSpec& spec,
+                                std::size_t index,
+                                std::vector<FaultRec>& faults) {
+  const std::uint32_t len = static_cast<std::uint32_t>(spec.ops.size());
+
+  // Branch targets become labels; target == len is the fall-off-the-end
+  // exit (validate_microops guarantees targets lie in [0, len]).
+  std::set<std::int32_t> targets;
+  for (const MicroOp& op : spec.ops)
+    if (mo_is_branch(op.kind)) targets.insert(op.imm);
+
+  // A fault return transfers control to the host with 1 + fault index;
+  // the fault table tells the host which SimError to re-raise.
+  auto fault_ret = [&faults](int kind, std::int32_t res) {
+    faults.push_back({kind, res});
+    return "return " + std::to_string(faults.size()) + ";";
+  };
+  auto label = [len, &targets](std::int32_t j) {
+    return j == static_cast<std::int32_t>(len) ? std::string("Lend")
+                                               : "L" + std::to_string(j);
+  };
+
+  out << "static int32_t lisa_region_" << index << "(LisaNativeCtx* ctx) {\n"
+      << "  i64* const S = ctx->state;\n  (void)S;\n";
+  for (std::int32_t t = 0; t < spec.num_temps; ++t)
+    out << "  i64 " << temp(t) << " = 0; (void)" << temp(t) << ";\n";
+
+  // Guarded dynamic element access: bounds-check against the resource
+  // size (baked), store the index for the host's error message, fault.
+  auto elem_guard = [&](const std::string& idx_expr, std::int32_t rid,
+                        int fault_kind, const std::string& body) {
+    out << "  { const u64 i_ = " << idx_expr << ";\n"
+        << "    if (i_ >= " << lit_u64(res(rid).size) << ") { "
+        << "ctx->fault_arg = (i64)i_; " << fault_ret(fault_kind, rid)
+        << " }\n"
+        << "    " << body << " }\n";
+  };
+  // Constant element index: checked at generation time. An out-of-range
+  // constant lowers to an unconditional fault (matching the micro-op
+  // core, which throws every time it executes the op).
+  auto const_elem = [&](std::int64_t idx, std::int32_t rid, int fault_kind,
+                        const std::string& body) {
+    if (static_cast<std::uint64_t>(idx) >= res(rid).size) {
+      out << "  ctx->fault_arg = " << lit64(idx) << "; "
+          << fault_ret(fault_kind, rid) << "\n";
+    } else {
+      out << "  " << body << "\n";
+    }
+  };
+
+  for (std::uint32_t j = 0; j < len; ++j) {
+    if (targets.count(static_cast<std::int32_t>(j)))
+      out << "L" << j << ":;\n";
+    const MicroOp& op = spec.ops[j];
+    const std::string ta = temp(op.a);
+    const std::string tb = temp(op.b);
+    const std::string tc = temp(op.c);
+    switch (op.kind) {
+      case MKind::kConst:
+        out << "  " << ta << " = " << lit64(op.imm) << ";\n";
+        break;
+      case MKind::kConstPool:
+        out << "  " << ta << " = "
+            << lit64(spec.pool[static_cast<std::size_t>(op.imm)]) << ";\n";
+        break;
+      case MKind::kMov:
+        out << "  " << ta << " = " << tb << ";\n";
+        break;
+      case MKind::kReadRes:  // hook-aware in the core; the runtime stands
+      case MKind::kReadScal: // down when a non-guard hook is mapped, and
+                             // the guard's on_read is the identity.
+        out << "  " << ta << " = " << cell(op.res) << ";\n";
+        break;
+      case MKind::kReadElem:
+        elem_guard("(u64)" + tb, op.res, 2,
+                   ta + " = " + cell_at(op.res, "i_") + ";");
+        break;
+      case MKind::kReadElemC:
+        const_elem(op.imm, op.res, 2,
+                   ta + " = " +
+                       cell_at(op.res, std::to_string(op.imm)) + ";");
+        break;
+      case MKind::kReadElemOff:
+        elem_guard("(u64)" + tb + " + (u64)" + lit64(op.imm), op.res, 2,
+                   ta + " = " + cell_at(op.res, "i_") + ";");
+        break;
+      case MKind::kReadElemScal:
+        elem_guard("(u64)" + cell(op.b), op.res, 2,
+                   ta + " = " + cell_at(op.res, "i_") + ";");
+        break;
+      case MKind::kWriteRes:
+        out << "  " << cell(op.res) << " = " << canon(op.res, ta) << ";\n";
+        break;
+      case MKind::kWriteScal:
+        out << "  " << cell(op.res) << " = " << canon(op.res, tb) << ";\n";
+        break;
+      case MKind::kWriteOut:
+        // write_scalar returns the stored canonical value; forward it.
+        out << "  " << ta << " = " << canon(op.res, tb) << "; "
+            << cell(op.res) << " = " << ta << ";\n";
+        break;
+      case MKind::kWriteScalImm:
+        out << "  " << cell(op.res) << " = "
+            << lit64(res(op.res).type.canonicalize(op.imm)) << ";\n";
+        break;
+      case MKind::kMovScal:
+        out << "  " << cell(op.res) << " = " << canon(op.res, cell(op.b))
+            << ";\n";
+        break;
+      case MKind::kWriteElem:
+        elem_guard("(u64)" + tb, op.res, 3,
+                   cell_at(op.res, "i_") + " = " + canon(op.res, ta) + ";");
+        break;
+      case MKind::kWriteElemC:
+        const_elem(op.imm, op.res, 3,
+                   cell_at(op.res, std::to_string(op.imm)) + " = " +
+                       canon(op.res, ta) + ";");
+        break;
+      case MKind::kWriteElemOff:
+        elem_guard("(u64)" + tb + " + (u64)" + lit64(op.imm), op.res, 3,
+                   cell_at(op.res, "i_") + " = " + canon(op.res, ta) + ";");
+        break;
+      case MKind::kMovScalElem:
+        const_elem(op.imm, op.b, 2,
+                   cell(op.res) + " = " +
+                       canon(op.res,
+                             cell_at(op.b, std::to_string(op.imm))) + ";");
+        break;
+      case MKind::kMovElemScal:
+        const_elem(op.imm, op.res, 3,
+                   cell_at(op.res, std::to_string(op.imm)) + " = " +
+                       canon(op.res, cell(op.b)) + ";");
+        break;
+      case MKind::kBin:
+        if (op.bop() == BinOp::kDiv) {
+          out << "  { const i64 d_ = " << tc << ";\n    if (d_ == 0) "
+              << fault_ret(0, -1) << "\n    " << ta
+              << " = (d_ == -1) ? wneg(" << tb << ") : " << tb
+              << " / d_; }\n";
+        } else if (op.bop() == BinOp::kRem) {
+          out << "  { const i64 d_ = " << tc << ";\n    if (d_ == 0) "
+              << fault_ret(1, -1) << "\n    " << ta
+              << " = (d_ == -1) ? (i64)0 : " << tb << " % d_; }\n";
+        } else {
+          out << "  " << ta << " = " << bin_expr(op.bop(), tb, tc) << ";\n";
+        }
+        break;
+      case MKind::kBinImm: {
+        // Fusion guarantees a nonzero constant divisor; specialize the
+        // INT64_MIN / -1 wrap at generation time.
+        const std::string imm = lit64(op.imm);
+        if (op.bop() == BinOp::kDiv) {
+          out << "  " << ta << " = "
+              << (op.imm == -1 ? "wneg(" + tb + ")" : tb + " / " + imm)
+              << ";\n";
+        } else if (op.bop() == BinOp::kRem) {
+          out << "  " << ta << " = "
+              << (op.imm == -1 ? "INT64_C(0)" : tb + " % " + imm) << ";\n";
+        } else {
+          out << "  " << ta << " = " << bin_expr(op.bop(), tb, imm)
+              << ";\n";
+        }
+        break;
+      }
+      case MKind::kBinImmR: {
+        const std::string imm = lit64(op.imm);
+        if (op.bop() == BinOp::kDiv) {
+          out << "  { const i64 d_ = " << tb << ";\n    if (d_ == 0) "
+              << fault_ret(0, -1) << "\n    " << ta
+              << " = (d_ == -1) ? wneg(" << imm << ") : " << imm
+              << " / d_; }\n";
+        } else if (op.bop() == BinOp::kRem) {
+          out << "  { const i64 d_ = " << tb << ";\n    if (d_ == 0) "
+              << fault_ret(1, -1) << "\n    " << ta
+              << " = (d_ == -1) ? (i64)0 : " << imm << " % d_; }\n";
+        } else {
+          out << "  " << ta << " = " << bin_expr(op.bop(), imm, tb)
+              << ";\n";
+        }
+        break;
+      }
+      case MKind::kWriteBin:
+        if (op.bop() == BinOp::kDiv) {
+          out << "  { const i64 d_ = " << tc << ";\n    if (d_ == 0) "
+              << fault_ret(0, -1) << "\n    const i64 v_ = (d_ == -1) ? "
+              << "wneg(" << tb << ") : " << tb << " / d_;\n    "
+              << cell(op.res) << " = " << canon(op.res, "v_") << "; }\n";
+        } else if (op.bop() == BinOp::kRem) {
+          out << "  { const i64 d_ = " << tc << ";\n    if (d_ == 0) "
+              << fault_ret(1, -1) << "\n    const i64 v_ = (d_ == -1) ? "
+              << "(i64)0 : " << tb << " % d_;\n    " << cell(op.res)
+              << " = " << canon(op.res, "v_") << "; }\n";
+        } else {
+          out << "  " << cell(op.res) << " = "
+              << canon(op.res, bin_expr(op.bop(), tb, tc)) << ";\n";
+        }
+        break;
+      case MKind::kUn:
+        switch (op.uop()) {
+          case UnOp::kNeg:
+            out << "  " << ta << " = wneg(" << tb << ");\n";
+            break;
+          case UnOp::kLogicalNot:
+            out << "  " << ta << " = (" << tb << " == 0) ? 1 : 0;\n";
+            break;
+          case UnOp::kBitNot:
+            out << "  " << ta << " = ~" << tb << ";\n";
+            break;
+        }
+        break;
+      case MKind::kIntr:
+        out << "  " << ta << " = " << intr_expr(op.intr(), tb, tc)
+            << ";\n";
+        break;
+      case MKind::kIntrImm:
+        out << "  " << ta << " = "
+            << intr_expr(op.intr(), tb, lit64(op.imm)) << ";\n";
+        break;
+      case MKind::kBrZero:
+        out << "  if (" << ta << " == 0) goto " << label(op.imm) << ";\n";
+        break;
+      case MKind::kBr:
+        out << "  goto " << label(op.imm) << ";\n";
+        break;
+      case MKind::kBrScalZero:
+        out << "  if (" << cell(op.b) << " == 0) goto " << label(op.imm)
+            << ";\n";
+        break;
+      case MKind::kBrBin:
+        // fold_binary(...).value_or(1) == 0; validation excludes div/rem,
+        // so the fold never misses and the comparison is exact.
+        out << "  if (" << bin_expr(op.bop(), tb, tc) << " == 0) goto "
+            << label(op.imm) << ";\n";
+        break;
+      case MKind::kBrBinImm:
+        // `c` is a 16-bit immediate here, not a temp.
+        out << "  if ("
+            << bin_expr(op.bop(), tb,
+                        lit64(static_cast<std::int64_t>(op.c)))
+            << " == 0) goto " << label(op.imm) << ";\n";
+        break;
+      case MKind::kFlush:
+        out << "  ctx->flush = 1;\n";
+        break;
+      case MKind::kStall:
+        // control.stall_cycles += (int)t[a], with defined wrapping.
+        out << "  ctx->stall = (int32_t)((u64)ctx->stall + (u64)" << ta
+            << ");\n";
+        break;
+      case MKind::kHalt:
+        out << "  ctx->halt = 1;\n";
+        break;
+    }
+  }
+  if (targets.count(static_cast<std::int32_t>(len))) out << "Lend:;\n";
+  out << "  return 0;\n}\n\n";
+}
+
+}  // namespace
+
+std::uint64_t native_content_hash(const NativeGenInput& input) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_u64(h, kNativeAbiVersion);
+  h = fnv_u64(h, input.model_hash);
+  h = fnv_u64(h, input.program_hash);
+  h = fnv_u64(h, input.regions.size());
+  for (const NativeRegionSpec& r : input.regions) {
+    h = fnv_u64(h, r.key);
+    h = fnv_u64(h, r.kind);
+    h = fnv_u64(h, static_cast<std::uint64_t>(r.num_temps));
+    h = fnv_u64(h, r.ops.size());
+    for (const MicroOp& op : r.ops) {
+      h = fnv_u64(h, (static_cast<std::uint64_t>(op.kind) << 8) |
+                         static_cast<std::uint64_t>(op.sub));
+      h = fnv_u64(h, static_cast<std::uint64_t>(
+                         static_cast<std::uint16_t>(op.a)) |
+                         (static_cast<std::uint64_t>(
+                              static_cast<std::uint16_t>(op.b)) << 16) |
+                         (static_cast<std::uint64_t>(
+                              static_cast<std::uint16_t>(op.c)) << 32) |
+                         (static_cast<std::uint64_t>(
+                              static_cast<std::uint16_t>(op.res)) << 48));
+      h = fnv_u64(h, static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(op.imm)));
+      if (op.kind == MKind::kConstPool)
+        h = fnv_u64(h, static_cast<std::uint64_t>(
+                           r.pool[static_cast<std::size_t>(op.imm)]));
+    }
+  }
+  return h;
+}
+
+std::string generate_native_source(const NativeGenInput& input) {
+  CppGenOptions prelude_options;
+  prelude_options.emit_main = false;
+
+  std::ostringstream out;
+  // The cppgen prelude supplies the wrapping-arithmetic helpers (and the
+  // standalone State/table code, unused here but kept per the embedding
+  // contract: one emitter, no duplicated helper definitions).
+  out << generate_cpp_simulator(*input.model, *input.program,
+                                prelude_options);
+
+  out << "\n// ---- native AOT region entry table "
+      << "(see codegen/native_abi.hpp) ----\n\n"
+      << "#include <stdint.h>\n\n"
+      << kNativeAbiText << "\n";
+
+  RegionEmitter emitter(*input.model);
+  std::vector<std::vector<FaultRec>> fault_tables;
+  fault_tables.reserve(input.regions.size());
+  for (std::size_t i = 0; i < input.regions.size(); ++i) {
+    std::vector<FaultRec> faults;
+    emitter.emit_region(out, input.regions[i], i, faults);
+    if (!faults.empty()) {
+      out << "static const LisaNativeFault lisa_faults_" << i << "[] = {\n";
+      for (const FaultRec& f : faults)
+        out << "  {" << f.kind << ", " << f.res << "},\n";
+      out << "};\n\n";
+    }
+    fault_tables.push_back(std::move(faults));
+  }
+
+  const std::uint64_t content = native_content_hash(input);
+  if (!input.regions.empty()) {
+    out << "static const LisaNativeRegion lisa_regions[] = {\n";
+    for (std::size_t i = 0; i < input.regions.size(); ++i) {
+      const NativeRegionSpec& r = input.regions[i];
+      out << "  {" << lit_u64(r.key) << ", " << r.kind << "u, "
+          << r.ops.size() << "u, " << r.num_temps << "u, "
+          << fault_tables[i].size() << "u, &lisa_region_" << i << ", "
+          << (fault_tables[i].empty()
+                  ? std::string("nullptr")
+                  : "lisa_faults_" + std::to_string(i))
+          << "},\n";
+    }
+    out << "};\n\n";
+  }
+  out << "static const LisaNativeEntry lisa_entry = {\n"
+      << "  " << kNativeAbiVersion << "u, "
+      << input.regions.size() << "u,\n"
+      << "  " << lit_u64(input.model_hash) << ",\n"
+      << "  " << lit_u64(input.program_hash) << ",\n"
+      << "  " << lit_u64(content) << ",\n"
+      << "  " << lit_u64(emitter.total_elements()) << ",\n"
+      << "  " << (input.regions.empty() ? "nullptr" : "lisa_regions")
+      << ",\n};\n\n"
+      << "extern \"C\" const LisaNativeEntry* lisa_native_entry(void) "
+      << "{ return &lisa_entry; }\n";
+  return out.str();
+}
+
+}  // namespace lisasim

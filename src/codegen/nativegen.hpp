@@ -1,0 +1,55 @@
+// Native AOT region generation: lowers micro-op regions (static
+// simulation-table spans and hot-trace superblock bodies) to straight-line
+// C++ functions behind the C ABI of codegen/native_abi.hpp. The emitted
+// source embeds the cppgen simulator prelude (CppGenOptions::emit_main =
+// false) for the wrapping-arithmetic helpers, bakes resource offsets,
+// canonicalization widths and pool constants into the code, and reports
+// faults (zero divisors, out-of-bounds element indices) through fault-table
+// returns instead of exceptions — the host re-raises them through its
+// normal SimError paths, so error behavior is bit-identical to the
+// micro-op core (tests/test_native.cpp verifies this differentially).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "behavior/microops.hpp"
+#include "model/model.hpp"
+
+namespace lisasim {
+
+/// One micro-op region to lower. Regions are snapshots: the runtime copies
+/// ops and pool out of the live arenas before handing them to the compile
+/// worker, because arenas may grow (and reallocate) while the engine keeps
+/// running.
+struct NativeRegionSpec {
+  std::uint64_t key = 0;      // micro-arena offset: the dispatch key
+  std::uint32_t kind = 0;     // 0 = static table span, 1 = trace body
+  std::int32_t num_temps = 0;
+  std::vector<MicroOp> ops;
+  std::vector<std::int64_t> pool;  // owning arena's constant pool
+};
+
+struct NativeGenInput {
+  const Model* model = nullptr;
+  const LoadedProgram* program = nullptr;
+  std::uint64_t model_hash = 0;
+  std::uint64_t program_hash = 0;
+  std::vector<NativeRegionSpec> regions;
+};
+
+/// Deterministic hash of everything that shapes the generated source:
+/// ABI version, model/program hashes, and every region's ops (with pool
+/// constants resolved to values). This keys the on-disk `.so` artifact —
+/// equal hash means the cached artifact is byte-compatible with what a
+/// fresh compile would produce for these regions.
+std::uint64_t native_content_hash(const NativeGenInput& input);
+
+/// Generate the complete C++ source of a native artifact. Throws SimError
+/// when the embedded cppgen prelude cannot be generated for this program
+/// (the caller falls back to the trace tier).
+std::string generate_native_source(const NativeGenInput& input);
+
+}  // namespace lisasim

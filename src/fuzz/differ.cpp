@@ -19,10 +19,16 @@ namespace lisasim::fuzz {
 namespace {
 
 /// Level indices mirror tests/sim_test_util.hpp's run_all_levels order.
-constexpr int kLevelCount = 5;
-constexpr const char* kLevelNames[kLevelCount] = {"interp", "cached",
+constexpr int kLevelCount = 6;
+constexpr const char* kLevelNames[kLevelCount] = {"interp",  "cached",
                                                  "dynamic", "static",
-                                                 "trace"};
+                                                 "trace",   "native"};
+
+/// The native level needs an out-of-process C++ compiler; without one the
+/// tier is identical to trace, so sweeping it would only repeat level 4.
+bool level_available(int level) {
+  return level != 5 || NativeRuntime::toolchain_available();
+}
 
 /// Per-attempt sub-seed derivation (splitmix increment keeps attempts of
 /// one seed far apart from the next seed's attempts).
@@ -70,6 +76,23 @@ Outcome run_level(const Model& model, int level, GuardPolicy policy,
         eager.hot_threshold = 1;
         eager.min_trace_cycles = 1;
         sim.set_trace_config(eager);
+        sim.set_guard_policy(policy);
+        sim.load(program);
+        return finish_run(sim, limits);
+      }
+      case 5: {
+        CompiledSimulator sim(model, SimLevel::kNative);
+        TraceConfig eager;
+        eager.hot_threshold = 1;
+        eager.min_trace_cycles = 1;
+        sim.set_trace_config(eager);
+        // Deterministic dispatch: every run of a seed sees the same
+        // (fully compiled) region set. -O0 — fuzz programs run for
+        // microseconds, the compile dominates.
+        NativeConfig native;
+        native.blocking = true;
+        native.opt_level = 0;
+        sim.set_native_config(native);
         sim.set_guard_policy(policy);
         sim.load(program);
         return finish_run(sim, limits);
@@ -439,6 +462,7 @@ std::optional<Divergence> DifferentialFuzzer::run_seed(
   const bool corrupt_trace = opts.inject && opts.inject_seed == seed;
   for (const GuardPolicy policy : policies) {
     for (int level = 1; level < kLevelCount; ++level) {
+      if (!level_available(level)) continue;
       Outcome other = run_level(model_, level, policy, *loaded, limits);
       if (corrupt_trace && level == 4)
         other.state += "\n<injected divergence>";

@@ -202,6 +202,22 @@ class ProcessorState {
   /// save_storage() snapshot; the per-lane extent of a batched buffer).
   std::size_t total_elements() const { return total_; }
 
+  /// Flat element offset of a resource (element `i` of `id` lives at
+  /// raw_data()[(offset_of(id) + i) * stride()]). The native AOT tier bakes
+  /// these offsets into generated code and validates them at .so load.
+  std::size_t offset_of(ResourceId id) const {
+    return cells_[static_cast<std::size_t>(id)].offset;
+  }
+
+  /// Direct access to the flat element storage. Only sound for callers that
+  /// re-implement canonicalization and bounds checks exactly (the native
+  /// tier); everyone else goes through read()/write().
+  std::int64_t* raw_data() { return data_; }
+
+  /// Lane stride of the element storage (1 unless bind_lanes() rebound the
+  /// state); the native tier stands down for strided layouts.
+  std::size_t stride() const { return stride_; }
+
   /// Human-readable dump of all non-zero resource elements (debugging and
   /// golden-state tests).
   std::string dump_nonzero() const;

@@ -87,6 +87,7 @@ std::string RecoveryLog::summary() const {
 
 bool sim_level_below(SimLevel level, SimLevel& out) {
   switch (level) {
+    case SimLevel::kNative: out = SimLevel::kTrace; return true;
     case SimLevel::kTrace: out = SimLevel::kCompiledStatic; return true;
     case SimLevel::kCompiledStatic:
       out = SimLevel::kCompiledDynamic;
@@ -114,7 +115,8 @@ std::unique_ptr<AnySim> make_supervised_sim(
     }
     case SimLevel::kCompiledDynamic:
     case SimLevel::kCompiledStatic:
-    case SimLevel::kTrace: {
+    case SimLevel::kTrace:
+    case SimLevel::kNative: {
       auto holder =
           std::make_unique<HolderSim<CompiledSimulator>>(level, model, level);
       holder->sim().set_guard_policy(config.guard_policy);

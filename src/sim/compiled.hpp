@@ -28,6 +28,7 @@
 #include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
 #include "sim/guard.hpp"
+#include "sim/native.hpp"
 #include "sim/result.hpp"
 #include "sim/simcompiler.hpp"
 #include "sim/simtable.hpp"
@@ -99,6 +100,10 @@ class CompiledBackend {
 
   PipelineControl& control() { return control_; }
 
+  /// Attach the native AOT runtime (kNative; nullptr detaches). Clean-path
+  /// static spans dispatch through it when a compiled region is installed.
+  void set_native(NativeRuntime* native) { native_ = native; }
+
   void issue(std::uint64_t pc, Work& out, unsigned& words) {
     // The guarded path only exists once program memory was actually
     // written: a clean program pays exactly this one branch per fetch.
@@ -141,6 +146,13 @@ class CompiledBackend {
     const SimTableEntry& entry = *work.entry;
     if (level_ == SimLevel::kCompiledStatic) {
       const MicroSpan span = entry.micro[static_cast<std::size_t>(stage)];
+      // Native AOT seam: only the clean path (no guard re-translation, no
+      // instrumented counting) may take a compiled region, and only for
+      // spans the runtime verified and installed; anything else falls
+      // through to the micro-op core below.
+      if (native_ != nullptr && !work.patch && !count_microops_ &&
+          native_->run_static_span(span.offset, span.len, control_))
+        return;
       const MicroArena& arena =
           work.patch ? work.patch->arena : table_->arena();
       const MicroOp* ops = arena.data() + span.offset;
@@ -211,6 +223,7 @@ class CompiledBackend {
   std::unordered_map<std::uint64_t, std::shared_ptr<const PatchedPacket>>
       patches_;  // by pc: latest re-translation of self-modified packets
   GuardStats guard_stats_;
+  NativeRuntime* native_ = nullptr;  // kNative only
 };
 
 class CompiledSimulator {
@@ -227,9 +240,16 @@ class CompiledSimulator {
         backend_(model, state_, decoder_, table_level(level)),
         engine_(model, state_, backend_) {
     engine_.set_level(level);
-    if (level == SimLevel::kTrace) {
+    if (level == SimLevel::kTrace || level == SimLevel::kNative) {
       traces_ = std::make_unique<TraceRuntime>(model, state_);
       engine_.set_trace_runtime(traces_.get());
+      // The native tier is the trace tier plus AOT region dispatch; with
+      // no out-of-process toolchain it degrades to exactly the trace tier.
+      if (level == SimLevel::kNative && NativeRuntime::toolchain_available()) {
+        native_ = std::make_unique<NativeRuntime>(model, state_);
+        traces_->set_native(native_.get());
+        backend_.set_native(native_.get());
+      }
     }
   }
 
@@ -300,6 +320,10 @@ class CompiledSimulator {
           traces_->adopt(snapshot);
     }
     reset_and_load(program);
+    if (native_)
+      native_->prepare(table_.get(), program, program_hash_, traces_.get(),
+                       cache_,
+                       guard_policy_ == GuardPolicy::kOff ? nullptr : &guard_);
     if (observer_) observer_->on_compile(stats);
     return stats;
   }
@@ -319,6 +343,10 @@ class CompiledSimulator {
     backend_.set_table(table_.get());
     if (traces_) traces_->set_program(table_.get());
     reset_and_load(program);
+    if (native_)
+      native_->prepare(table_.get(), program, program_hash_, traces_.get(),
+                       cache_,
+                       guard_policy_ == GuardPolicy::kOff ? nullptr : &guard_);
   }
 
   /// Reset state and pipeline and reload the program without recompiling —
@@ -326,9 +354,13 @@ class CompiledSimulator {
   void reload(const LoadedProgram& program) { reset_and_load(program); }
 
   RunResult run(std::uint64_t max_cycles = UINT64_MAX) {
+    if (native_) native_->poll();
     return engine_.run(max_cycles);
   }
-  RunResult run(const RunLimits& limits) { return engine_.run(limits); }
+  RunResult run(const RunLimits& limits) {
+    if (native_) native_->poll();
+    return engine_.run(limits);
+  }
 
   EngineCheckpoint save_checkpoint() const {
     return engine_.save_checkpoint();
@@ -348,7 +380,8 @@ class CompiledSimulator {
   /// table. Static level only (0 elsewhere). Not meant for timed regions.
   double microops_per_cycle(const LoadedProgram& program,
                             std::uint64_t max_cycles = UINT64_MAX) {
-    if (level_ != SimLevel::kCompiledStatic && level_ != SimLevel::kTrace)
+    if (level_ != SimLevel::kCompiledStatic && level_ != SimLevel::kTrace &&
+        level_ != SimLevel::kNative)
       return 0;
     backend_.set_count_microops(true);
     if (traces_) traces_->set_count_microops(true);
@@ -386,12 +419,35 @@ class CompiledSimulator {
     return traces_ ? &traces_->stats() : nullptr;
   }
 
+  /// Native-tier tuning (blocking compiles, -O level); no-op below kNative
+  /// or when the toolchain is unavailable. Takes effect at the next round.
+  void set_native_config(const NativeConfig& config) {
+    if (native_) native_->configure(config);
+  }
+  /// Native-tier counters; nullptr below kNative / without a toolchain.
+  const NativeStats* native_stats() const {
+    return native_ ? &native_->stats() : nullptr;
+  }
+  /// True once at least one compiled region is installed and serving.
+  bool native_active() const { return native_ && native_->active(); }
+  /// Drain in-flight native compile rounds (tests/benches); no-op below
+  /// kNative.
+  void wait_native_ready() {
+    if (native_) native_->wait_ready();
+  }
+  /// Diagnostic from the most recent failed native compile round.
+  std::string native_last_error() const {
+    return native_ ? native_->last_error() : std::string();
+  }
+
  private:
   /// The table level a simulation level runs from: the trace tier splices
   /// static-level micro spans, so it compiles (and cache-keys) its tables
   /// at kCompiledStatic and shares them with that level.
   static constexpr SimLevel table_level(SimLevel level) {
-    return level == SimLevel::kTrace ? SimLevel::kCompiledStatic : level;
+    return level == SimLevel::kTrace || level == SimLevel::kNative
+               ? SimLevel::kCompiledStatic
+               : level;
   }
 
   /// Publish the current trace set to the attached cache, keyed alongside
@@ -424,6 +480,9 @@ class CompiledSimulator {
     if (traces_)
       traces_->set_guard(guard_policy_ == GuardPolicy::kOff ? nullptr
                                                             : &guard_);
+    if (native_)
+      native_->set_guard(guard_policy_ == GuardPolicy::kOff ? nullptr
+                                                            : &guard_);
   }
 
   const Model* model_;
@@ -433,7 +492,8 @@ class CompiledSimulator {
   SimulationCompiler compiler_;
   CompiledBackend backend_;
   PipelineEngine<CompiledBackend> engine_;
-  std::unique_ptr<TraceRuntime> traces_;  // kTrace only
+  std::unique_ptr<TraceRuntime> traces_;    // kTrace / kNative
+  std::unique_ptr<NativeRuntime> native_;   // kNative with a toolchain only
   std::shared_ptr<const SimTable> table_;
   SimCompileOptions compile_options_;
   SimTableCache* cache_ = nullptr;

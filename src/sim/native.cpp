@@ -1,0 +1,457 @@
+#include "sim/native.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "codegen/nativegen.hpp"
+#include "sim/guard.hpp"
+#include "sim/table_cache.hpp"
+#include "sim/trace.hpp"
+
+namespace lisasim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// CMake bakes the configure-time compiler in; an empty string means the
+// build found no usable toolchain and the tier degrades to trace level.
+#ifndef LISASIM_NATIVE_CXX
+#define LISASIM_NATIVE_CXX ""
+#endif
+// Sanitizer builds forward their -fsanitize flags so the artifact links
+// against the same runtime as the host process.
+#ifndef LISASIM_NATIVE_EXTRA_FLAGS
+#define LISASIM_NATIVE_EXTRA_FLAGS ""
+#endif
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string sanitize_target(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                          c == '_'
+                      ? c
+                      : '_');
+  return out.empty() ? std::string("model") : out;
+}
+
+std::string read_head(const fs::path& path, std::size_t limit = 2048) {
+  std::ifstream f(path);
+  std::string s(limit, '\0');
+  f.read(s.data(), static_cast<std::streamsize>(s.size()));
+  s.resize(static_cast<std::size_t>(f.gcount()));
+  return s;
+}
+
+}  // namespace
+
+struct NativeRuntime::Module {
+  void* handle = nullptr;
+  const NativeEntry* entry = nullptr;
+  std::string path;
+  ~Module() {
+    if (handle != nullptr) ::dlclose(handle);
+  }
+};
+
+struct NativeRuntime::Job {
+  std::uint64_t epoch = 0;
+  NativeConfig cfg;
+  const Model* model = nullptr;
+  std::shared_ptr<const LoadedProgram> program;
+  std::uint64_t model_hash = 0;
+  std::uint64_t program_hash = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t expected_elements = 0;
+  std::string target;  // sanitized model name (artifact filenames)
+  SimTableCache* cache = nullptr;
+  std::vector<NativeRegionSpec> regions;
+};
+
+struct NativeRuntime::Pending {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<Module> module;  // nullptr = round failed
+  std::string error;
+  std::uint64_t compiles = 0;
+  std::uint64_t compile_ns = 0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
+};
+
+NativeRuntime::NativeRuntime(const Model& model, ProcessorState& state)
+    : model_(&model), state_(&state) {}
+
+NativeRuntime::~NativeRuntime() {
+  if (pool_) pool_->wait_idle();
+}
+
+std::string NativeRuntime::toolchain() {
+  static const std::string cached = [] {
+    std::string cmd = LISASIM_NATIVE_CXX;
+    if (const char* env = std::getenv("LISASIM_NATIVE_CXX"))
+      cmd = env;  // empty value = force-unavailable (tests)
+    if (cmd.empty()) return std::string();
+    if (cmd.find('/') != std::string::npos)
+      return ::access(cmd.c_str(), X_OK) == 0 ? cmd : std::string();
+    const std::string probe = "command -v '" + cmd + "' >/dev/null 2>&1";
+    return std::system(probe.c_str()) == 0 ? cmd : std::string();
+  }();
+  return cached;
+}
+
+bool NativeRuntime::toolchain_available() { return !toolchain().empty(); }
+
+void NativeRuntime::rethrow_fault(const Binding& binding, std::int32_t rc,
+                                  std::int64_t fault_arg) const {
+  const std::uint32_t idx = static_cast<std::uint32_t>(rc - 1);
+  if (idx >= binding.fault_count)
+    throw SimError("native region returned an unknown fault index");
+  const NativeFault& fault = binding.faults[idx];
+  switch (fault.kind) {
+    case 0: throw SimError("division by zero");
+    case 1: throw SimError("remainder by zero");
+    case 2:
+    case 3:
+      // Reproduce the exact out-of-bounds SimError: the faulting index is
+      // out of range by construction, so this read throws before any hook
+      // could observe it.
+      state_->read(static_cast<ResourceId>(fault.res),
+                   static_cast<std::uint64_t>(fault_arg));
+      throw SimError("native out-of-bounds fault did not reproduce");
+    default:
+      throw SimError("native region fault kind unknown");
+  }
+}
+
+void NativeRuntime::prepare(const SimTable* table,
+                            const LoadedProgram& program,
+                            std::uint64_t program_hash, TraceRuntime* traces,
+                            SimTableCache* cache, const ProgramGuard* guard) {
+  ++epoch_;  // in-flight rounds for the previous program die at adoption
+  table_ = table;
+  traces_ = traces;
+  cache_ = cache;
+  guard_ = guard;
+  program_ = std::make_shared<const LoadedProgram>(program);
+  // Recompute rather than trust the caller: load_precompiled() passes 0,
+  // and the artifact key must stay stable across both load paths.
+  (void)program_hash;
+  program_hash_ = SimTableCache::hash_program(program);
+  model_hash_ = SimTableCache::hash_model(*model_);
+  bindings_.clear();
+  static_index_.clear();
+  trace_index_.clear();
+  modules_.clear();
+  stats_.regions = 0;
+  failures_ = 0;
+  last_attempt_hash_ = 0;
+  last_error_.clear();
+  enabled_ = toolchain_available();
+  if (!enabled_) return;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(1);
+  launch_round();
+}
+
+void NativeRuntime::note_trace_formed() {
+  if (enabled_) launch_round();
+}
+
+void NativeRuntime::launch_round() {
+  if (!enabled_ || in_flight_.load(std::memory_order_acquire)) return;
+  auto job = std::make_shared<Job>();
+  job->regions = collect_specs();
+  if (job->regions.empty()) return;
+
+  NativeGenInput probe;
+  probe.model = model_;
+  probe.program = program_.get();
+  probe.model_hash = model_hash_;
+  probe.program_hash = program_hash_;
+  probe.regions = std::move(job->regions);
+  const std::uint64_t content = native_content_hash(probe);
+  job->regions = std::move(probe.regions);
+  if (content == last_attempt_hash_) return;  // nothing new to compile
+  last_attempt_hash_ = content;
+
+  job->epoch = epoch_;
+  job->cfg = cfg_;
+  job->model = model_;
+  job->program = program_;
+  job->model_hash = model_hash_;
+  job->program_hash = program_hash_;
+  job->content_hash = content;
+  job->expected_elements = state_->total_elements();
+  job->target = sanitize_target(model_->name);
+  job->cache = cache_;
+
+  in_flight_.store(true, std::memory_order_release);
+  ++stats_.rounds;
+  pool_->submit([this, job] {
+    auto result = std::make_unique<Pending>();
+    result->epoch = job->epoch;
+    run_compile_job(*job, *result);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_ = std::move(result);
+    }
+    pending_ready_.store(true, std::memory_order_release);
+  });
+  if (cfg_.blocking) wait_ready();
+}
+
+void NativeRuntime::wait_ready() {
+  if (!pool_) return;
+  // Adoption can launch a catch-up round (traces formed while compiling);
+  // drain until quiescent. The content hash converges, so this terminates.
+  for (int i = 0; i < 64; ++i) {
+    pool_->wait_idle();
+    if (pending_ready_.load(std::memory_order_acquire)) {
+      adopt_pending();
+      continue;
+    }
+    if (!in_flight_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void NativeRuntime::adopt_pending() {
+  std::unique_ptr<Pending> done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done = std::move(pending_);
+    pending_ready_.store(false, std::memory_order_relaxed);
+  }
+  in_flight_.store(false, std::memory_order_release);
+  if (!done) return;
+  stats_.compiles += done->compiles;
+  stats_.compile_ns += done->compile_ns;
+  stats_.artifact_hits += done->artifact_hits;
+  stats_.artifact_misses += done->artifact_misses;
+  if (done->epoch != epoch_) return;  // round for a previous program
+  if (!done->module) {
+    ++stats_.compile_failures;
+    last_error_ = done->error;
+    if (++failures_ >= cfg_.max_failures) enabled_ = false;
+    return;
+  }
+  failures_ = 0;
+  install(std::move(done->module));
+  // Traces may have formed while the round compiled; catch up (a no-op
+  // when the content hash is unchanged).
+  launch_round();
+}
+
+void NativeRuntime::install(std::shared_ptr<Module> module) {
+  bindings_.clear();
+  static_index_.assign(table_ != nullptr ? table_->arena().size() + 1 : 1,
+                       -1);
+  trace_index_.assign(
+      traces_ != nullptr ? traces_->trace_arena().size() + 1 : 1, -1);
+  const NativeEntry* entry = module->entry;
+  for (std::uint32_t i = 0; i < entry->region_count; ++i) {
+    const NativeRegion& region = entry->regions[i];
+    std::vector<std::int32_t>& index =
+        region.kind == 0 ? static_index_ : trace_index_;
+    if (region.key >= index.size()) continue;
+    bindings_.push_back(
+        {region.fn, region.faults, region.fault_count, region.len});
+    index[static_cast<std::size_t>(region.key)] =
+        static_cast<std::int32_t>(bindings_.size()) - 1;
+  }
+  stats_.regions = bindings_.size();
+  modules_.push_back(std::move(module));
+}
+
+std::vector<NativeRegionSpec> NativeRuntime::collect_specs() const {
+  std::vector<NativeRegionSpec> specs;
+  if (table_ == nullptr) return specs;
+  const MicroArena& arena = table_->arena();
+  std::unordered_set<std::uint32_t> seen;
+  for (std::size_t row = 0; row < table_->size(); ++row) {
+    const SimTableEntry* entry = table_->find(table_->base() + row);
+    if (entry == nullptr || !entry->valid) continue;
+    for (const MicroSpan& span : entry->micro) {
+      if (span.len == 0 || !seen.insert(span.offset).second) continue;
+      const MicroOp* ops = arena.data() + span.offset;
+      // A native span bypasses the guard's on_write hook, so spans that
+      // write fetch memory are never compiled — they stay on the micro-op
+      // core where the stamp bump happens.
+      bool writes_text = false;
+      for (std::uint32_t i = 0; i < span.len && !writes_text; ++i)
+        writes_text = mo_writes_res(ops[i].kind) &&
+                      static_cast<ResourceId>(ops[i].res) ==
+                          model_->fetch_memory;
+      if (writes_text) continue;
+      NativeRegionSpec spec;
+      spec.key = span.offset;
+      spec.kind = 0;
+      spec.num_temps = span.num_temps;
+      spec.ops.assign(ops, ops + span.len);
+      spec.pool.assign(arena.pool_data(),
+                       arena.pool_data() + arena.pool_size());
+      specs.push_back(std::move(spec));
+    }
+  }
+  if (traces_ != nullptr) {
+    const MicroArena& tarena = traces_->trace_arena();
+    for (const Trace& trace : traces_->live_traces()) {
+      if (trace.dead || trace.body.len == 0) continue;
+      NativeRegionSpec spec;
+      spec.key = trace.body.offset;
+      spec.kind = 1;
+      spec.num_temps = trace.body.num_temps;
+      spec.ops.assign(tarena.data() + trace.body.offset,
+                      tarena.data() + trace.body.offset + trace.body.len);
+      spec.pool.assign(tarena.pool_data(),
+                       tarena.pool_data() + tarena.pool_size());
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::shared_ptr<NativeRuntime::Module> NativeRuntime::open_and_verify(
+    const std::string& path, const Job& job) {
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) return nullptr;
+  auto module = std::make_shared<Module>();
+  module->handle = handle;
+  module->path = path;
+  auto entry_fn = reinterpret_cast<NativeEntryFn>(
+      ::dlsym(handle, kNativeEntrySymbol));
+  if (entry_fn == nullptr) return nullptr;  // ~Module dlcloses
+  const NativeEntry* entry = entry_fn();
+  if (entry == nullptr || entry->abi_version != kNativeAbiVersion ||
+      entry->model_hash != job.model_hash ||
+      entry->program_hash != job.program_hash ||
+      entry->content_hash != job.content_hash ||
+      entry->state_elements != job.expected_elements ||
+      (entry->region_count != 0 && entry->regions == nullptr))
+    return nullptr;
+  for (std::uint32_t i = 0; i < entry->region_count; ++i) {
+    const NativeRegion& region = entry->regions[i];
+    if (region.fn == nullptr || region.kind > 1 ||
+        (region.fault_count != 0 && region.faults == nullptr))
+      return nullptr;
+  }
+  module->entry = entry;
+  return module;
+}
+
+void NativeRuntime::run_compile_job(Job& job, Pending& out) {
+  const std::string artifact_dir =
+      job.cache != nullptr ? job.cache->artifact_dir() : std::string();
+
+  // Warm path: a previous process (or load) already compiled exactly this
+  // region set — dlopen the published artifact.
+  if (!artifact_dir.empty()) {
+    const std::string hit = job.cache->find_artifact(
+        job.target, job.model_hash, job.program_hash, job.content_hash);
+    if (!hit.empty()) {
+      ++out.artifact_hits;
+      if (auto module = open_and_verify(hit, job)) {
+        out.module = std::move(module);
+        return;
+      }
+      std::error_code ec;  // corrupt/stale artifact: drop and recompile
+      fs::remove(hit, ec);
+    } else {
+      ++out.artifact_misses;
+    }
+  }
+
+  std::string source;
+  try {
+    NativeGenInput input;
+    input.model = job.model;
+    input.program = job.program.get();
+    input.model_hash = job.model_hash;
+    input.program_hash = job.program_hash;
+    input.regions = std::move(job.regions);
+    source = generate_native_source(input);
+  } catch (const std::exception& e) {
+    out.error = std::string("native codegen failed: ") + e.what();
+    return;
+  }
+
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tag =
+      job.target + "-m" + hex16(job.model_hash) + "-p" +
+      hex16(job.program_hash) + "-c" + hex16(job.content_hash) + "-" +
+      std::to_string(::getpid()) + "-" +
+      std::to_string(counter.fetch_add(1));
+  std::error_code ec;
+  fs::path dir = artifact_dir.empty() ? fs::temp_directory_path(ec)
+                                      : fs::path(artifact_dir);
+  if (ec) dir = ".";
+  const fs::path src = dir / (".lisasim-" + tag + ".cpp");
+  const fs::path so = dir / (".lisasim-" + tag + ".so");
+  const fs::path log = dir / (".lisasim-" + tag + ".log");
+  {
+    std::ofstream f(src);
+    f << source;
+    if (!f) {
+      out.error = "cannot write " + src.string();
+      return;
+    }
+  }
+
+  std::string extra = LISASIM_NATIVE_EXTRA_FLAGS;
+  std::string cmd = "'" + toolchain() + "' -std=c++17 -O" +
+                    std::to_string(job.cfg.opt_level) + " -fPIC -shared";
+  if (!extra.empty()) cmd += " " + extra;
+  cmd += " -o '" + so.string() + "' '" + src.string() + "' 2>'" +
+         log.string() + "'";
+  const auto t0 = std::chrono::steady_clock::now();
+  const int rc = std::system(cmd.c_str());
+  out.compile_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ++out.compiles;
+  if (rc != 0) {
+    out.error = "native compile failed (" + cmd + "): " + read_head(log);
+    fs::remove(src, ec);
+    fs::remove(so, ec);
+    fs::remove(log, ec);
+    return;
+  }
+  fs::remove(src, ec);
+  fs::remove(log, ec);
+
+  std::string final_path = so.string();
+  bool transient = true;  // unpublished artifacts die after dlopen
+  if (!artifact_dir.empty()) {
+    const std::string published = job.cache->publish_artifact(
+        job.target, job.model_hash, job.program_hash, job.content_hash,
+        so.string());
+    if (!published.empty()) {
+      final_path = published;
+      transient = false;
+    }
+  }
+  auto module = open_and_verify(final_path, job);
+  if (transient) fs::remove(final_path, ec);  // dlopen keeps the mapping
+  if (!module) {
+    out.error = "native artifact failed post-compile verification";
+    return;
+  }
+  out.module = std::move(module);
+}
+
+}  // namespace lisasim

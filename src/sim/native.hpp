@@ -1,0 +1,241 @@
+// The native AOT tier (SimLevel::kNative): dlopen'd per-program compiled
+// regions on top of the trace tier. NativeRuntime snapshots the eligible
+// micro-op regions (static table spans and live trace bodies), generates
+// straight-line C++ for them (codegen/nativegen.cpp), compiles the source
+// out-of-process on a one-thread pool — the engine keeps simulating on the
+// micro-op core meanwhile — dlopens the artifact, verifies its entry table,
+// and installs per-region function pointers the dispatch seams consult:
+//
+//   * TraceRuntime::try_run swaps the body exec_microops for a native call
+//     after all its usual entry checks (hotness, stamp staleness, budget)
+//     pass — so one ProgramGuard stamp check and one watchdog/interrupt
+//     budget check cover a whole native region, exactly like a trace;
+//   * CompiledBackend::execute swaps a static span's exec_microops for a
+//     native call only on the clean path (no guard patch, no counting).
+//
+// Every dispatch first re-checks the cheap stand-down conditions (strided
+// lane binding, non-guard memory hooks); any refusal falls back to the
+// micro-op core mid-run with no state divergence, which is what keeps SMC,
+// checkpoints, RunLimits and the RunSupervisor ladder working unchanged.
+// Artifacts are keyed by (target, model hash, program hash, content hash)
+// in SimTableCache's disk-backed artifact directory, so compiles amortize
+// across sessions and fresh processes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "behavior/eval.hpp"
+#include "codegen/native_abi.hpp"
+#include "model/model.hpp"
+#include "model/state.hpp"
+#include "sim/simtable.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lisasim {
+
+class ProgramGuard;
+class SimTableCache;
+class TraceRuntime;
+struct NativeRegionSpec;  // codegen/nativegen.hpp
+
+struct NativeConfig {
+  /// Wait for every compile round before returning from prepare()/
+  /// note_trace_formed() — deterministic dispatch for tests and fuzzing.
+  /// The default is asynchronous: the engine simulates on the micro-op
+  /// core until the artifact is ready.
+  bool blocking = false;
+  /// -O level handed to the out-of-process compile (fuzzing drops to 0:
+  /// compile latency dominates over region speed there).
+  int opt_level = 2;
+  /// Consecutive failed compile rounds before the tier disables itself
+  /// for the current program (permanent fallback to trace level).
+  int max_failures = 3;
+};
+
+struct NativeStats {
+  std::uint64_t rounds = 0;            // compile rounds launched
+  std::uint64_t regions = 0;           // regions currently installed
+  std::uint64_t compiles = 0;          // out-of-process compiler runs
+  std::uint64_t compile_failures = 0;
+  std::uint64_t compile_ns = 0;        // wall time inside the compiler
+  std::uint64_t artifact_hits = 0;     // .so served from the artifact dir
+  std::uint64_t artifact_misses = 0;
+  std::uint64_t trace_dispatches = 0;  // trace bodies run natively
+  std::uint64_t span_dispatches = 0;   // static spans run natively
+  std::uint64_t stand_downs = 0;       // dispatch refused (hooks/stride)
+};
+
+class NativeRuntime {
+ public:
+  NativeRuntime(const Model& model, ProcessorState& state);
+  ~NativeRuntime();
+
+  NativeRuntime(const NativeRuntime&) = delete;
+  NativeRuntime& operator=(const NativeRuntime&) = delete;
+
+  /// Is an out-of-process C++ compiler reachable? Checked once per
+  /// process: the configure-time compiler baked in by CMake
+  /// (LISASIM_NATIVE_CXX), overridable with the LISASIM_NATIVE_CXX
+  /// environment variable (empty value = force-unavailable, the tests'
+  /// no-toolchain path).
+  static bool toolchain_available();
+  /// The compiler command toolchain_available() resolved ("" if none).
+  static std::string toolchain();
+
+  void configure(const NativeConfig& config) { cfg_ = config; }
+
+  /// (Re)target the runtime at a freshly loaded program: drops installed
+  /// regions, discards in-flight rounds, snapshots the program, and kicks
+  /// the first compile round (static table spans; trace bodies join via
+  /// note_trace_formed()). `guard` is the attached program guard or
+  /// nullptr; `cache` (optional) supplies the disk artifact directory.
+  void prepare(const SimTable* table, const LoadedProgram& program,
+               std::uint64_t program_hash, TraceRuntime* traces,
+               SimTableCache* cache, const ProgramGuard* guard);
+
+  /// Follow the simulator's guard arming across reloads.
+  void set_guard(const ProgramGuard* guard) { guard_ = guard; }
+
+  /// TraceRuntime hook: a new trace was formed — schedule a round that
+  /// includes its body.
+  void note_trace_formed();
+
+  /// Engine-thread adoption point for finished compile rounds; one atomic
+  /// load on the fast path. Called at run() start and from try_run.
+  void poll() {
+    if (pending_ready_.load(std::memory_order_acquire)) adopt_pending();
+  }
+
+  /// Block until no round is in flight, then adopt (tests and benches).
+  void wait_ready();
+
+  /// Run the trace body at `offset` (trace-set arena) natively. Returns
+  /// false — no side effects — when no verified region is installed for it
+  /// or a stand-down condition holds; the caller falls back to
+  /// exec_microops. Trace bodies contain no control ops by construction.
+  bool run_trace_body(std::uint32_t offset, std::uint32_t len) {
+    const Binding* binding = lookup(trace_index_, offset, len);
+    if (binding == nullptr) return false;
+    NativeCtx ctx;
+    ctx.state = state_->raw_data();
+    const std::int32_t rc = binding->fn(&ctx);
+    ++stats_.trace_dispatches;
+    if (rc != 0) [[unlikely]]
+      rethrow_fault(*binding, rc, ctx.fault_arg);
+    return true;
+  }
+
+  /// Run the static table span at `offset` (table arena) natively,
+  /// transferring control effects (stall/flush/halt) into `control` the
+  /// way exec_microops would. Same fallback contract as run_trace_body.
+  bool run_static_span(std::uint32_t offset, std::uint32_t len,
+                       PipelineControl& control) {
+    const Binding* binding = lookup(static_index_, offset, len);
+    if (binding == nullptr) return false;
+    NativeCtx ctx;
+    ctx.state = state_->raw_data();
+    const std::int32_t rc = binding->fn(&ctx);
+    ++stats_.span_dispatches;
+    if (ctx.stall != 0) control.stall_cycles += ctx.stall;
+    if (ctx.flush) control.flush = true;
+    if (ctx.halt) control.halt = true;
+    if (rc != 0) [[unlikely]]
+      rethrow_fault(*binding, rc, ctx.fault_arg);
+    return true;
+  }
+
+  const NativeStats& stats() const { return stats_; }
+  /// Diagnostic from the most recent failed compile round ("" if none).
+  const std::string& last_error() const { return last_error_; }
+  /// Installed and serving regions (at least one round adopted)?
+  bool active() const { return !bindings_.empty(); }
+
+ private:
+  struct Binding {
+    NativeRegionFn fn = nullptr;
+    const NativeFault* faults = nullptr;
+    std::uint32_t fault_count = 0;
+    std::uint32_t len = 0;
+  };
+  struct Module;   // dlopen handle + verified entry (native.cpp)
+  struct Job;      // worker-thread input snapshot (native.cpp)
+  struct Pending;  // finished round awaiting adoption (native.cpp)
+
+  /// Region lookup with the per-dispatch stand-down checks: stride-1
+  /// layout and no memory hooks beyond the guard's own (whose on_read is
+  /// the identity, so raw reads stay sound; regions that write fetch
+  /// memory are never compiled).
+  const Binding* lookup(const std::vector<std::int32_t>& index,
+                        std::uint32_t offset, std::uint32_t len) {
+    if (index.empty() || offset >= index.size()) return nullptr;
+    const std::int32_t b = index[offset];
+    if (b < 0) return nullptr;
+    const Binding& binding = bindings_[static_cast<std::size_t>(b)];
+    if (binding.len != len) return nullptr;
+    if (state_->stride() != 1 ||
+        state_->hook_count() > (guard_ != nullptr ? 1u : 0u)) {
+      ++stats_.stand_downs;
+      return nullptr;
+    }
+    return &binding;
+  }
+
+  [[noreturn]] void rethrow_fault(const Binding& binding, std::int32_t rc,
+                                  std::int64_t fault_arg) const;
+
+  void launch_round();
+  void adopt_pending();
+  void install(std::shared_ptr<Module> module);
+  std::vector<NativeRegionSpec> collect_specs() const;
+  // Worker-thread side: pure functions of the job snapshot (no runtime
+  // state is touched off the engine thread).
+  static void run_compile_job(Job& job, Pending& out);
+  static std::shared_ptr<Module> open_and_verify(const std::string& path,
+                                                 const Job& job);
+
+  const Model* model_;
+  ProcessorState* state_;
+  NativeConfig cfg_;
+
+  const SimTable* table_ = nullptr;
+  TraceRuntime* traces_ = nullptr;
+  SimTableCache* cache_ = nullptr;
+  const ProgramGuard* guard_ = nullptr;
+  std::shared_ptr<const LoadedProgram> program_;  // worker-owned copy
+  std::uint64_t program_hash_ = 0;
+  std::uint64_t model_hash_ = 0;
+  bool enabled_ = false;
+  int failures_ = 0;
+  std::uint64_t last_attempt_hash_ = 0;  // content hash of the last round
+
+  // Installed dispatch tables: index[arena offset] -> bindings_ slot.
+  std::vector<Binding> bindings_;
+  std::vector<std::int32_t> static_index_;
+  std::vector<std::int32_t> trace_index_;
+  // dlopen'd modules backing the installed fn pointers; freed on the next
+  // prepare() (never mid-run).
+  std::vector<std::shared_ptr<Module>> modules_;
+
+  // Worker handoff. epoch_ stamps jobs; prepare() bumps it so rounds
+  // compiled for a previous program are discarded at adoption.
+  std::uint64_t epoch_ = 0;
+  std::mutex mutex_;
+  std::unique_ptr<Pending> pending_;
+  std::atomic<bool> pending_ready_{false};
+  std::atomic<bool> in_flight_{false};
+
+  NativeStats stats_;
+  std::string last_error_;
+
+  // Last member: its destructor joins the worker before anything above
+  // (modules especially) is torn down.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace lisasim

@@ -19,6 +19,7 @@ enum class SimLevel : std::uint8_t {
   kCompiledDynamic,
   kCompiledStatic,
   kTrace,  // static tables + hot-trace superblock dispatch
+  kNative,  // trace tier + dlopen'd AOT-compiled straight-line regions
 };
 
 inline const char* sim_level_name(SimLevel level) {
@@ -28,6 +29,7 @@ inline const char* sim_level_name(SimLevel level) {
     case SimLevel::kCompiledDynamic: return "compiled-dynamic";
     case SimLevel::kCompiledStatic: return "compiled-static";
     case SimLevel::kTrace: return "compiled-trace";
+    case SimLevel::kNative: return "compiled-native";
   }
   return "?";
 }

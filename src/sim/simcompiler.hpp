@@ -53,6 +53,11 @@ struct SimCompileStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  // Disk-backed native artifact counters of the consulted cache (zero
+  // without a cache or while --cache-dir is unset).
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
+  std::uint64_t artifact_evictions = 0;
 };
 
 struct SimCompileOptions {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <vector>
 
 #include "model/database.hpp"
 
@@ -27,6 +31,26 @@ inline void fnv_u64(std::uint64_t& h, std::uint64_t v) {
 inline void fnv_str(std::uint64_t& h, const std::string& s) {
   fnv_u64(h, s.size());
   fnv_bytes(h, s.data(), s.size());
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Canonical artifact filename for a key (the filename is the index).
+std::string artifact_name(const std::string& target, std::uint64_t model_hash,
+                          std::uint64_t program_hash,
+                          std::uint64_t content_hash) {
+  return "native-" + target + "-m" + hex16(model_hash) + "-p" +
+         hex16(program_hash) + "-c" + hex16(content_hash) + ".so";
+}
+
+bool is_artifact_name(const std::string& name) {
+  return name.rfind("native-", 0) == 0 && name.size() > 3 &&
+         name.compare(name.size() - 3, 3, ".so") == 0;
 }
 
 }  // namespace
@@ -154,6 +178,9 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
         stats->cache_hits = stats_.hits;
         stats->cache_misses = stats_.misses;
         stats->cache_evictions = stats_.evictions;
+        stats->artifact_hits = stats_.artifact_hits;
+        stats->artifact_misses = stats_.artifact_misses;
+        stats->artifact_evictions = stats_.artifact_evictions;
         stats->compile_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - start)
@@ -191,6 +218,9 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
     compile_stats.cache_hits = stats_.hits;
     compile_stats.cache_misses = stats_.misses;
     compile_stats.cache_evictions = stats_.evictions;
+    compile_stats.artifact_hits = stats_.artifact_hits;
+    compile_stats.artifact_misses = stats_.artifact_misses;
+    compile_stats.artifact_evictions = stats_.artifact_evictions;
   }
   if (stats) *stats = compile_stats;
   return table;
@@ -221,9 +251,128 @@ std::shared_ptr<const TraceSet> SimTableCache::load_traces(
   return it == traces_.end() ? nullptr : it->second;
 }
 
+void SimTableCache::set_artifact_dir(const std::string& dir,
+                                     std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  artifact_dir_ = dir;
+  artifact_max_bytes_ = max_bytes == 0 ? 1 : max_bytes;
+  if (artifact_dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(artifact_dir_, ec);
+  if (ec) {
+    artifact_dir_.clear();  // unusable directory: run without disk artifacts
+    return;
+  }
+  enforce_artifact_cap_locked();
+}
+
+std::string SimTableCache::artifact_dir() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return artifact_dir_;
+}
+
+std::string SimTableCache::find_artifact(const std::string& target,
+                                         std::uint64_t model_hash,
+                                         std::uint64_t program_hash,
+                                         std::uint64_t content_hash) {
+  namespace fs = std::filesystem;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (artifact_dir_.empty()) return {};
+  const fs::path path =
+      fs::path(artifact_dir_) /
+      artifact_name(target, model_hash, program_hash, content_hash);
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) {
+    ++stats_.artifact_misses;
+    return {};
+  }
+  // Touch so the byte cap's LRU-by-mtime keeps warm programs longest.
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  ++stats_.artifact_hits;
+  return path.string();
+}
+
+std::string SimTableCache::publish_artifact(const std::string& target,
+                                            std::uint64_t model_hash,
+                                            std::uint64_t program_hash,
+                                            std::uint64_t content_hash,
+                                            const std::string& tmp_so_path) {
+  namespace fs = std::filesystem;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (artifact_dir_.empty()) return {};
+  const std::string name =
+      artifact_name(target, model_hash, program_hash, content_hash);
+  const fs::path path = fs::path(artifact_dir_) / name;
+  std::error_code ec;
+  // rename is atomic within the filesystem (the compile wrote its tmp file
+  // into this directory); racing publishers of the same key both win.
+  fs::rename(tmp_so_path, path, ec);
+  if (ec) {
+    ec.clear();
+    fs::copy_file(tmp_so_path, path, fs::copy_options::overwrite_existing,
+                  ec);
+    if (ec) return {};
+    fs::remove(tmp_so_path, ec);
+  }
+  enforce_artifact_cap_locked(name);
+  return path.string();
+}
+
+void SimTableCache::enforce_artifact_cap_locked(const std::string& keep) {
+  namespace fs = std::filesystem;
+  struct File {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uintmax_t size = 0;
+  };
+  std::error_code ec;
+  std::vector<File> files;
+  std::uintmax_t total = 0;
+  for (const auto& entry : fs::directory_iterator(artifact_dir_, ec)) {
+    if (!is_artifact_name(entry.path().filename().string())) continue;
+    std::error_code fec;
+    const std::uintmax_t size = entry.file_size(fec);
+    if (fec) continue;
+    const fs::file_time_type mtime = fs::last_write_time(entry.path(), fec);
+    if (fec) continue;
+    total += size;
+    files.push_back({entry.path(), mtime, size});
+  }
+  if (total <= artifact_max_bytes_) return;
+  std::sort(files.begin(), files.end(),
+            [](const File& a, const File& b) { return a.mtime < b.mtime; });
+  for (const File& file : files) {
+    if (total <= artifact_max_bytes_) break;
+    if (!keep.empty() && file.path.filename().string() == keep) continue;
+    std::error_code rec;
+    if (fs::remove(file.path, rec)) {
+      total -= file.size;
+      ++stats_.artifact_evictions;
+    }
+  }
+}
+
+std::size_t SimTableCache::remove_artifacts_locked(const std::string& token) {
+  namespace fs = std::filesystem;
+  if (artifact_dir_.empty()) return 0;
+  std::error_code ec;
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(artifact_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!is_artifact_name(name)) continue;
+    if (!token.empty() && name.find(token) == std::string::npos) continue;
+    std::error_code rec;
+    if (fs::remove(entry.path(), rec)) ++removed;
+  }
+  return removed;
+}
+
 std::size_t SimTableCache::invalidate(std::uint64_t program_hash) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t dropped = 0;
+  // On-disk native artifacts of the program go with its tables: they were
+  // compiled from the same (now stale) translation.
+  dropped += remove_artifacts_locked("-p" + hex16(program_hash));
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.program_hash == program_hash) {
       map_.erase(it->key);
@@ -265,6 +414,7 @@ void SimTableCache::clear() {
   lru_.clear();
   traces_.clear();
   model_hashes_.clear();
+  remove_artifacts_locked({});  // every native-*.so; the directory stays
   stats_ = Stats{};
 }
 

@@ -56,6 +56,10 @@ class SimTableCache {
     std::uint64_t invalidations = 0;  // tables dropped via invalidate()
     std::uint64_t corruptions = 0;    // entries failing fingerprint re-check
     std::size_t entries = 0;
+    // Disk-backed native artifact directory (zeros while unset).
+    std::uint64_t artifact_hits = 0;       // .so served from disk
+    std::uint64_t artifact_misses = 0;     // lookup found no artifact
+    std::uint64_t artifact_evictions = 0;  // .so dropped by the byte cap
   };
 
   /// Return the cached table for (model, program, level), or run
@@ -110,6 +114,40 @@ class SimTableCache {
   /// counted in Stats::corruptions and transparently recompiled.
   void debug_corrupt();
 
+  // -- Disk-backed native artifact cache (the kNative tier's .so files) --
+  //
+  // Artifacts are keyed by (target, model hash, program hash, content
+  // hash) in the filename itself — `native-<target>-m<16hex>-p<16hex>-
+  // c<16hex>.so` — so a directory scan is the whole index and a fresh
+  // process warm-starts without any sidecar metadata. The directory is
+  // byte-capped, LRU-by-mtime (a hit touches the file); invalidate() and
+  // clear() delete the matching files alongside the in-memory tables.
+
+  /// Enable (dir != "", created if missing) or disable (dir == "") the
+  /// artifact directory, with an LRU byte cap (default 256 MiB). Enabling
+  /// enforces the cap immediately over whatever the directory holds.
+  void set_artifact_dir(const std::string& dir,
+                        std::uint64_t max_bytes = 256ull << 20);
+  /// The configured artifact directory ("" while disabled).
+  std::string artifact_dir() const;
+
+  /// Path of the artifact for the key, or "" (counted as hit/miss). A hit
+  /// refreshes the file's mtime so the byte cap evicts cold programs first.
+  std::string find_artifact(const std::string& target,
+                            std::uint64_t model_hash,
+                            std::uint64_t program_hash,
+                            std::uint64_t content_hash);
+
+  /// Move `tmp_so_path` (same filesystem) into the artifact directory
+  /// under the key's canonical name, enforce the byte cap (never evicting
+  /// the file just published), and return its final path ("" on failure or
+  /// while disabled — the caller keeps its transient artifact).
+  std::string publish_artifact(const std::string& target,
+                               std::uint64_t model_hash,
+                               std::uint64_t program_hash,
+                               std::uint64_t content_hash,
+                               const std::string& tmp_so_path);
+
  private:
   struct Entry {
     TableCacheKey key;
@@ -122,6 +160,12 @@ class SimTableCache {
   };
 
   std::uint64_t model_hash_for(const Model& model);
+  /// Delete oldest-mtime artifacts until the directory fits the byte cap
+  /// (mutex_ held). `keep` (a filename) is never evicted.
+  void enforce_artifact_cap_locked(const std::string& keep = {});
+  /// Delete artifacts whose filename matches `token` (mutex_ held);
+  /// returns the number removed. Empty token matches every artifact.
+  std::size_t remove_artifacts_locked(const std::string& token);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
@@ -131,6 +175,8 @@ class SimTableCache {
       traces_;  // trace-tier snapshots, key.level = kTrace
   std::unordered_map<const Model*, std::uint64_t> model_hashes_;
   Stats stats_;
+  std::string artifact_dir_;  // "" = disk artifacts disabled
+  std::uint64_t artifact_max_bytes_ = 256ull << 20;
 };
 
 }  // namespace lisasim

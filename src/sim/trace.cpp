@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "behavior/peephole.hpp"
+#include "sim/native.hpp"
 
 namespace lisasim {
 
@@ -188,6 +189,8 @@ std::int32_t TraceRuntime::find_or_build(const std::uint64_t* key) {
     ++stats_.rejected;
   } else {
     ++stats_.formed;
+    // The new body joins the next native compile round.
+    if (native_ != nullptr) native_->note_trace_formed();
   }
   return idx;
 }
@@ -386,6 +389,9 @@ void TraceRuntime::invalidate(std::int32_t idx) {
 bool TraceRuntime::try_run(const std::uint64_t* slot_pcs, int depth,
                            TraceBudget& budget, TraceExit& out) {
   if (table_ == nullptr || depth != depth_) return false;
+  // Adopt any finished native compile round at this clean boundary (one
+  // atomic load when nothing is pending).
+  if (native_ != nullptr) native_->poll();
   // Hotness pre-filter: one array read on the freshly fetched head pc.
   const std::uint64_t head = slot_pcs[0] - base_;
   if (head >= heat_.size() || heat_[head] < cfg_.hot_threshold) return false;
@@ -402,12 +408,18 @@ bool TraceRuntime::try_run(const std::uint64_t* slot_pcs, int depth,
   if (!fits_budget(*trace, budget)) return false;
 
   for (;;) {
+    // Native AOT dispatch: every entry check above (staleness, budget,
+    // entry pc) already passed, so a compiled region is a drop-in for the
+    // micro-op execution of the same body; a stand-down (hooks, strides,
+    // region not yet compiled) falls through with no side effects.
     const MicroOp* ops = set_.arena.data() + trace->body.offset;
     if (count_microops_) {
       microops_executed_ +=
           exec_microops_counted(ops, trace->body.len, set_.arena.pool_data(),
                                 *state_, control_, temps_.data());
-    } else {
+    } else if (native_ == nullptr ||
+               !native_->run_trace_body(trace->body.offset,
+                                        trace->body.len)) {
       exec_microops(ops, trace->body.len, set_.arena.pool_data(), *state_,
                     control_, temps_.data());
     }

@@ -56,6 +56,8 @@
 
 namespace lisasim {
 
+class NativeRuntime;  // sim/native.hpp: AOT-compiled region dispatch
+
 struct TraceConfig {
   /// Fetches of a pc before trace formation is attempted at a boundary
   /// headed by that pc.
@@ -225,6 +227,17 @@ class TraceRuntime {
 
   const TraceStats& stats() const { return stats_; }
 
+  /// Arm the native AOT tier (nullptr disarms): try_run dispatches trace
+  /// bodies through it when a compiled region is installed — after all the
+  /// usual entry checks (staleness, budget) already passed — and notifies
+  /// it when a new trace forms so the body joins the next compile round.
+  void set_native(NativeRuntime* native) { native_ = native; }
+
+  /// Native-tier access to the live trace set: bodies are snapshot-copied
+  /// out of the arena before the compile worker sees them.
+  const MicroArena& trace_arena() const { return set_.arena; }
+  const std::vector<Trace>& live_traces() const { return set_.traces; }
+
  private:
   /// Per-span static analysis: can this micro-program be replayed without
   /// running it — and what does it do to the pipeline if so?
@@ -270,6 +283,7 @@ class TraceRuntime {
   int depth_;
   const SimTable* table_ = nullptr;
   const ProgramGuard* guard_ = nullptr;
+  NativeRuntime* native_ = nullptr;  // kNative only
   TraceConfig cfg_;
   TraceSet set_;
   std::vector<std::uint32_t> heat_;  // per table row, saturates at threshold

@@ -1,0 +1,463 @@
+// The native AOT tier (SimLevel::kNative): dlopen'd per-program compiled
+// region dispatch on top of the trace tier, with a disk-backed artifact
+// cache. The paper's accuracy claim extends to this sixth level — every
+// test here holds the native tier to bit-identical agreement with the
+// interpretive oracle — plus the tier-specific seams: the emitted C ABI
+// (pinned as a golden string), warm-artifact reload across simulator
+// instances, checkpoint round trips, SMC under both guard policies, and
+// supervisor degradation out of a faulted native run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "codegen/cppgen.hpp"
+#include "codegen/native_abi.hpp"
+#include "codegen/nativegen.hpp"
+#include "resilience/supervisor.hpp"
+#include "sim_test_util.hpp"
+#include "sim/native.hpp"
+#include "targets/c62x.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+namespace fs = std::filesystem;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Fresh empty directory under the test temp root.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A native-level simulator configured for deterministic tests: eager
+/// trace formation and a blocking -O0 compile round, so every run sees
+/// the fully compiled region set.
+void configure_native(CompiledSimulator& sim, GuardPolicy policy) {
+  TraceConfig eager;
+  eager.hot_threshold = 1;
+  eager.min_trace_cycles = 1;
+  sim.set_trace_config(eager);
+  NativeConfig native;
+  native.blocking = true;
+  native.opt_level = 0;
+  sim.set_native_config(native);
+  sim.set_guard_policy(policy);
+}
+
+struct Reference {
+  RunResult result;
+  std::string dump;
+};
+
+Reference interp_reference(const Model& model, const LoadedProgram& p,
+                           std::uint64_t max_cycles = 2'000'000) {
+  InterpSimulator interp(model);
+  interp.load(p);
+  Reference ref;
+  ref.result = interp.run(max_cycles);
+  ref.dump = interp.state().dump_nonzero();
+  return ref;
+}
+
+// ---------------------------------------------------------------- ABI pin
+
+// The embedded declaration text IS the compiled artifact ABI: any edit
+// must bump kNativeAbiVersion and update this golden copy consciously.
+TEST(NativeAbi, EmbeddedTextIsPinned) {
+  constexpr const char kGolden[] =
+      R"(/* lisasim native AOT region ABI, version 1 */
+typedef struct LisaNativeCtx {
+  int64_t* state;
+  int64_t fault_arg;
+  int32_t stall;
+  uint8_t flush;
+  uint8_t halt;
+  uint8_t reserved0;
+  uint8_t reserved1;
+} LisaNativeCtx;
+
+typedef int32_t (*LisaNativeRegionFn)(LisaNativeCtx*);
+
+typedef struct LisaNativeFault {
+  int32_t kind; /* 0 div0, 1 rem0, 2 oob read, 3 oob write */
+  int32_t res;  /* faulting resource id for the oob kinds */
+} LisaNativeFault;
+
+typedef struct LisaNativeRegion {
+  uint64_t key;  /* micro-arena offset of the lowered span */
+  uint32_t kind; /* 0 static table span, 1 trace body */
+  uint32_t len;  /* micro-op count of the lowered span */
+  uint32_t num_temps;
+  uint32_t fault_count;
+  LisaNativeRegionFn fn;
+  const LisaNativeFault* faults;
+} LisaNativeRegion;
+
+typedef struct LisaNativeEntry {
+  uint32_t abi_version;
+  uint32_t region_count;
+  uint64_t model_hash;
+  uint64_t program_hash;
+  uint64_t content_hash;
+  uint64_t state_elements;
+  const LisaNativeRegion* regions;
+} LisaNativeEntry;
+)";
+  EXPECT_EQ(std::string(kNativeAbiText), std::string(kGolden));
+  EXPECT_EQ(kNativeAbiVersion, 1u);
+  EXPECT_STREQ(kNativeEntrySymbol, "lisa_native_entry");
+}
+
+// ------------------------------------------------------- source generation
+
+// cppgen's embedding path: emit_main = false produces a self-contained
+// helper prelude with no main() and no I/O driver — exactly what the
+// native generator splices its regions onto.
+TEST(NativeGen, CppgenEmbeddingPathEmitsNoMain) {
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(R"(
+        MVK 5, A1
+        ADD A1, A1, A2
+        HALT
+  )");
+  CppGenOptions options;
+  options.emit_main = false;
+  const std::string embedded =
+      generate_cpp_simulator(*target.model, p, options);
+  EXPECT_EQ(embedded.find("int main("), std::string::npos);
+  // The standalone path still has its driver.
+  const std::string standalone = generate_cpp_simulator(*target.model, p);
+  EXPECT_NE(standalone.find("int main("), std::string::npos);
+}
+
+TEST(NativeGen, GeneratedSourceEmbedsAbiAndEntry) {
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const LoadedProgram p = target.assemble(R"(
+        MVK 5, A1
+        HALT
+  )");
+  NativeGenInput input;
+  input.model = target.model.get();
+  input.program = &p;
+  input.model_hash = 1;
+  input.program_hash = 2;
+  NativeRegionSpec spec;
+  spec.key = 0;
+  spec.kind = 0;
+  spec.num_temps = 1;
+  MicroOp op{};
+  op.kind = MKind::kConst;
+  op.a = 0;
+  op.imm = 42;
+  spec.ops.push_back(op);
+  input.regions.push_back(spec);
+
+  const std::string source = generate_native_source(input);
+  EXPECT_NE(source.find(kNativeAbiText), std::string::npos)
+      << "ABI text must be embedded verbatim";
+  EXPECT_NE(source.find("lisa_native_entry"), std::string::npos);
+  EXPECT_EQ(source.find("int main("), std::string::npos);
+
+  // The content hash keys the on-disk artifact: stable for equal inputs,
+  // different once any op changes.
+  const std::uint64_t h = native_content_hash(input);
+  EXPECT_EQ(h, native_content_hash(input));
+  input.regions[0].ops[0].imm = 43;
+  EXPECT_NE(h, native_content_hash(input));
+}
+
+// ------------------------------------------------------ differential suite
+
+// The paper's application suite, bit-identical across all six levels.
+TEST(Native, PaperSuiteBitIdenticalAcrossAllSixLevels) {
+  if (!NativeRuntime::toolchain_available())
+    GTEST_SKIP() << "no out-of-process C++ toolchain";
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload suite[] = {
+      workloads::make_fir(8, 16),
+      workloads::make_adpcm(32),
+      workloads::make_gsm(32),
+  };
+  for (const workloads::Workload& w : suite) {
+    SCOPED_TRACE(w.name);
+    const LoadedProgram p = target.assemble(w.asm_source);
+    // The five pre-existing levels agree with the oracle...
+    const testing::CrossLevelRun all =
+        testing::run_all_levels(*target.model, p);
+
+    // ...and the native tier must agree with all of them.
+    CompiledSimulator sim(*target.model, SimLevel::kNative);
+    configure_native(sim, GuardPolicy::kOff);
+    sim.load(p);
+    const RunResult r = sim.run(2'000'000);
+    EXPECT_EQ(r, all.result);
+    EXPECT_EQ(sim.state().dump_nonzero(), all.state_dump);
+
+    // Prove regions actually dispatched (a silent fallback to the
+    // micro-op core would make this test vacuous).
+    const NativeStats* ns = sim.native_stats();
+    ASSERT_NE(ns, nullptr);
+    EXPECT_TRUE(sim.native_active()) << sim.native_last_error();
+    EXPECT_GT(ns->trace_dispatches + ns->span_dispatches, 0u)
+        << sim.native_last_error();
+
+    // And the C reference model's expected memory contents hold.
+    const Resource* dmem = target.model->resource_by_name("dmem");
+    ASSERT_NE(dmem, nullptr);
+    for (const auto& [address, value] : w.expected_dmem)
+      EXPECT_EQ(sim.state().read(dmem->id, address), value)
+          << w.name << " dmem[" << address << "]";
+  }
+}
+
+// Self-modifying code under both guard policies: the one ProgramGuard
+// stamp check per region dispatch must catch the patch exactly like the
+// per-packet levels do.
+TEST(Native, SmcAgreesUnderBothGuardPolicies) {
+  if (!NativeRuntime::toolchain_available())
+    GTEST_SKIP() << "no out-of-process C++ toolchain";
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_smc_c62x();
+  const LoadedProgram p = target.assemble(w.asm_source);
+  const Reference ref = interp_reference(*target.model, p);
+
+  for (const GuardPolicy policy :
+       {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+    SCOPED_TRACE(guard_policy_name(policy));
+    CompiledSimulator sim(*target.model, SimLevel::kNative);
+    configure_native(sim, policy);
+    sim.load(p);
+    const RunResult r = sim.run(2'000'000);
+    EXPECT_EQ(r, ref.result);
+    EXPECT_EQ(sim.state().dump_nonzero(), ref.dump);
+    EXPECT_GT(sim.guarded_writes(), 0u) << "program must self-modify";
+  }
+}
+
+// Runtime faults must surface bit-identically: an out-of-bounds dmem read
+// deep inside a native region raises the same SimError as the interpretive
+// oracle. The loop stays under the default trace threshold so the fault
+// fires inside a natively compiled static span, not a trace body.
+TEST(Native, FaultsSurfaceIdenticallyToInterp) {
+  if (!NativeRuntime::toolchain_available())
+    GTEST_SKIP() << "no out-of-process C++ toolchain";
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  // A5 walks 16380..16384 across dmem[16384]: iteration five reads one
+  // past the end.
+  const LoadedProgram p = target.assemble(R"(
+        MVK 8, A1
+        MVK 16380, A5
+loop:   LDW A5, 0, A2
+        ADDK 1, A5
+        ADDK -1, A1
+        [A1] B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+  )");
+  InterpSimulator interp(*target.model);
+  interp.load(p);
+  std::string oracle_error;
+  try {
+    interp.run(2'000'000);
+  } catch (const SimError& e) {
+    oracle_error = e.what();
+  }
+  ASSERT_FALSE(oracle_error.empty()) << "program must fault on the oracle";
+
+  CompiledSimulator sim(*target.model, SimLevel::kNative);
+  NativeConfig native;
+  native.blocking = true;
+  native.opt_level = 0;
+  sim.set_native_config(native);
+  sim.load(p);
+  std::string native_error;
+  try {
+    sim.run(2'000'000);
+  } catch (const SimError& e) {
+    native_error = e.what();
+  }
+  EXPECT_EQ(native_error, oracle_error);
+  const NativeStats* ns = sim.native_stats();
+  ASSERT_NE(ns, nullptr);
+  EXPECT_GT(ns->span_dispatches, 0u)
+      << "the fault must fire on the native path: " << sim.native_last_error();
+}
+
+// ------------------------------------------------------------- checkpoints
+
+TEST(Native, CheckpointRoundTripIntoFreshSimulator) {
+  if (!NativeRuntime::toolchain_available())
+    GTEST_SKIP() << "no out-of-process C++ toolchain";
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_fir(8, 16);
+  const LoadedProgram p = target.assemble(w.asm_source);
+
+  CompiledSimulator sim(*target.model, SimLevel::kNative);
+  configure_native(sim, GuardPolicy::kRecompile);
+  sim.load(p);
+  ASSERT_FALSE(sim.run(60).halted);
+  const EngineCheckpoint cp = sim.save_checkpoint();
+  const RunResult tail = sim.run(2'000'000);
+  ASSERT_TRUE(tail.halted);
+  const std::string final_state = sim.state().dump_nonzero();
+
+  // Replay in place: restore stales the guard; regions keep dispatching
+  // only where still sound.
+  sim.restore_checkpoint(cp);
+  EXPECT_EQ(sim.run(2'000'000), tail);
+  EXPECT_EQ(sim.state().dump_nonzero(), final_state);
+
+  // And into a fresh simulator instance (its own native runtime and
+  // compile round), as a stand-in for a fresh process.
+  CompiledSimulator fresh(*target.model, SimLevel::kNative);
+  configure_native(fresh, GuardPolicy::kRecompile);
+  fresh.load(p);
+  fresh.restore_checkpoint(cp);
+  EXPECT_EQ(fresh.run(2'000'000), tail);
+  EXPECT_TRUE(fresh.state() == sim.state());
+}
+
+// ---------------------------------------------------------- artifact cache
+
+TEST(Native, WarmArtifactReloadSkipsTheCompiler) {
+  if (!NativeRuntime::toolchain_available())
+    GTEST_SKIP() << "no out-of-process C++ toolchain";
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_fir(8, 16);
+  const LoadedProgram p = target.assemble(w.asm_source);
+  const fs::path dir = fresh_dir("lisasim-native-warm");
+
+  SimTableCache cache;
+  cache.set_artifact_dir(dir.string());
+
+  RunResult cold_result;
+  std::string cold_dump;
+  {
+    CompiledSimulator sim(*target.model, SimLevel::kNative);
+    configure_native(sim, GuardPolicy::kOff);
+    sim.set_table_cache(&cache);
+    sim.load(p);
+    cold_result = sim.run(2'000'000);
+    cold_dump = sim.state().dump_nonzero();
+    const NativeStats* ns = sim.native_stats();
+    ASSERT_NE(ns, nullptr);
+    EXPECT_GT(ns->compiles, 0u) << "cold run must compile";
+    EXPECT_EQ(ns->artifact_hits, 0u);
+    EXPECT_GT(ns->artifact_misses, 0u);
+  }
+  {
+    // A second simulator over the same cache: every artifact is served
+    // from disk, the compiler never runs.
+    CompiledSimulator sim(*target.model, SimLevel::kNative);
+    configure_native(sim, GuardPolicy::kOff);
+    sim.set_table_cache(&cache);
+    sim.load(p);
+    EXPECT_EQ(sim.run(2'000'000), cold_result);
+    EXPECT_EQ(sim.state().dump_nonzero(), cold_dump);
+    const NativeStats* ns = sim.native_stats();
+    ASSERT_NE(ns, nullptr);
+    EXPECT_EQ(ns->compiles, 0u) << "warm run must not compile";
+    EXPECT_GT(ns->artifact_hits, 0u);
+    EXPECT_TRUE(sim.native_active());
+  }
+  EXPECT_GT(cache.stats().artifact_hits, 0u);
+}
+
+TEST(Native, ArtifactByteCapEvictsOldestFirst) {
+  const fs::path dir = fresh_dir("lisasim-native-evict");
+  // Three fake 600-byte artifacts with strictly increasing mtimes.
+  const std::string names[] = {
+      "native-t-m" + hex16(1) + "-p" + hex16(10) + "-c" + hex16(100) + ".so",
+      "native-t-m" + hex16(1) + "-p" + hex16(11) + "-c" + hex16(101) + ".so",
+      "native-t-m" + hex16(1) + "-p" + hex16(12) + "-c" + hex16(102) + ".so",
+  };
+  auto stamp = fs::file_time_type::clock::now() - std::chrono::hours(3);
+  for (const std::string& name : names) {
+    std::ofstream(dir / name) << std::string(600, 'x');
+    fs::last_write_time(dir / name, stamp);
+    stamp += std::chrono::hours(1);
+  }
+
+  // A 1 KiB cap fits one artifact: enabling the directory evicts the two
+  // oldest immediately.
+  SimTableCache cache;
+  cache.set_artifact_dir(dir.string(), 1024);
+  EXPECT_EQ(cache.stats().artifact_evictions, 2u);
+  EXPECT_FALSE(fs::exists(dir / names[0]));
+  EXPECT_FALSE(fs::exists(dir / names[1]));
+  EXPECT_TRUE(fs::exists(dir / names[2]));
+}
+
+TEST(Native, InvalidateAndClearDropMatchingArtifacts) {
+  const fs::path dir = fresh_dir("lisasim-native-drop");
+  const std::uint64_t stale_hash = 0xabcdef12u;
+  const std::string stale = "native-t-m" + hex16(1) + "-p" +
+                            hex16(stale_hash) + "-c" + hex16(7) + ".so";
+  const std::string live =
+      "native-t-m" + hex16(1) + "-p" + hex16(99) + "-c" + hex16(8) + ".so";
+  SimTableCache cache;
+  cache.set_artifact_dir(dir.string());
+  std::ofstream(dir / stale) << "stale";
+  std::ofstream(dir / live) << "live";
+
+  // invalidate(program_hash) deletes only that program's artifacts...
+  cache.invalidate(stale_hash);
+  EXPECT_FALSE(fs::exists(dir / stale));
+  EXPECT_TRUE(fs::exists(dir / live));
+
+  // ...clear() deletes every artifact but keeps the directory usable.
+  cache.clear();
+  EXPECT_FALSE(fs::exists(dir / live));
+  EXPECT_TRUE(fs::exists(dir));
+  EXPECT_EQ(cache.artifact_dir(), dir.string());
+}
+
+// --------------------------------------------------------------- supervisor
+
+// A persistently faulting native run must degrade down the ladder
+// (native -> trace first) and still finish bit-identical to the oracle.
+TEST(Native, SupervisorDegradesFaultedNativeRunToTrace) {
+  if (!NativeRuntime::toolchain_available())
+    GTEST_SKIP() << "no out-of-process C++ toolchain";
+  TestTarget target(targets::c62x_model_source(), "c62x");
+  const workloads::Workload w = workloads::make_fir(8, 16);
+  const LoadedProgram p = target.assemble(w.asm_source);
+  const Reference ref = interp_reference(*target.model, p);
+  ASSERT_GT(ref.result.cycles, 8u);
+
+  SimTableCache cache(8);
+  SupervisorConfig config;
+  config.level = SimLevel::kNative;
+  config.cache = &cache;
+  config.max_retries_per_level = 1;
+  config.faults.add({FaultKind::kMemory, ref.result.cycles / 2, 2});
+  RunSupervisor supervisor(*target.model, p, config);
+  const SupervisedRun run = supervisor.run();
+
+  EXPECT_EQ(run.result, ref.result);
+  EXPECT_EQ(supervisor.state().dump_nonzero(), ref.dump);
+  EXPECT_EQ(run.final_level, SimLevel::kTrace) << run.log.summary();
+  EXPECT_GE(run.log.degradations(), 1u) << run.log.summary();
+}
+
+}  // namespace
+}  // namespace lisasim

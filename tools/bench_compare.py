@@ -17,6 +17,10 @@ RunSupervisor wrapping the static level with no faults firing) are gated
 on the fresh run's absolute overhead_percent staying at or below
 --supervisor-threshold (default 2%); noise_dominated rows are reported but
 not flagged, and a fresh run without the section is reported as skipped.
+Native AOT rows are gated on the fresh run's absolute speedup_vs_trace
+staying at or above --native-min-speedup (default 2x); a fresh run without
+the section (no out-of-process toolchain in that environment) is reported
+as skipped, not failed.
 """
 
 import argparse
@@ -54,6 +58,12 @@ def main():
         type=float,
         default=2.0,
         help="no-fault supervisor overhead ceiling in percent (default 2)",
+    )
+    parser.add_argument(
+        "--native-min-speedup",
+        type=float,
+        default=2.0,
+        help="native AOT floor as a multiple of the trace tier (default 2)",
     )
     args = parser.parse_args()
 
@@ -132,6 +142,37 @@ def main():
             print(
                 f"{app:8s} {baseline_text} -> {f['overhead_percent']:+6.2f}%"
                 f"{'  (noise)' if noisy else ''}{flag}"
+            )
+
+    # Native AOT rows: gated on the FRESH run's absolute speedup over the
+    # trace tier — the acceptance bar is "a natively compiled region set
+    # runs at least Nx the trace tier", not a delta against the baseline.
+    # The compile-cost columns are informational (they measure the host
+    # compiler, not the simulator).
+    base_native = {r["app"]: r for r in base_data.get("native", [])}
+    fresh_native = {r["app"]: r for r in fresh_data.get("native", [])}
+    if not fresh_native:
+        print(
+            "\nnative AOT: fresh run has no native rows (no out-of-process "
+            "toolchain?); skipping the gate."
+        )
+    else:
+        print(f"\nnative AOT (gate: >= {args.native_min_speedup:.1f}x trace):")
+        for app in sorted(fresh_native):
+            f = fresh_native[app]
+            b = base_native.get(app)
+            baseline_text = f"{b['speedup_vs_trace']:5.2f}x" if b else "   new"
+            flag = ""
+            if f["speedup_vs_trace"] < args.native_min_speedup:
+                flag = f"  << below {args.native_min_speedup:.1f}x floor"
+                regressions.append(
+                    ((app, "native"), f"{f['speedup_vs_trace']:.2f}x vs trace")
+                )
+            print(
+                f"{app:8s} {baseline_text} -> {f['speedup_vs_trace']:5.2f}x"
+                f"  (cold compile {f['compile_seconds_cold']:.2f}s, "
+                f"warm load {f['load_seconds_warm'] * 1e3:.1f}ms, "
+                f"break-even {f['break_even_runs']:.1f} runs){flag}"
             )
 
     # Batched lockstep rows: gated on aggregate MIPS, matched on (app, lanes).

@@ -4,9 +4,11 @@
 #   tools/fuzz_soak.sh [MINUTES] [BUILD_ROOT]
 #
 # Configures an ASan+UBSan build and a TSan build (under BUILD_ROOT,
-# default ./build-soak), builds each, runs the `robustness` and
-# `resilience` ctest labels (guarded execution, checkpoint hardening,
-# fault-injection supervisor), then runs a wall-clock fuzz soak with the
+# default ./build-soak), builds each, runs the `robustness`, `resilience`
+# and `native` ctest labels (guarded execution, checkpoint hardening,
+# fault-injection supervisor, native AOT region dispatch — the native
+# artifacts are compiled with the same sanitizer flags, so the dlopen'd
+# regions run instrumented too), then runs a wall-clock fuzz soak with the
 # resilience sweep enabled (MINUTES per sanitizer, default 10, split
 # across the three built-in targets). Any divergence — i.e. any repro
 # bundle emitted, a failing labeled test, or a sanitizer report aborting
@@ -26,7 +28,7 @@ for SAN in ASAN TSAN; do
   echo "=== configuring $SAN build in $BUILD ==="
   cmake -B "$BUILD" -S "$ROOT" "-DLISASIM_$SAN=ON" > /dev/null
   cmake --build "$BUILD" -j "$(nproc)" > /dev/null
-  for LABEL in robustness resilience; do
+  for LABEL in robustness resilience native; do
     echo "=== $SAN ctest -L $LABEL ==="
     if ! ctest --test-dir "$BUILD" -L "$LABEL" --output-on-failure \
         -j "$(nproc)" > "$BUILD/ctest-$LABEL.log" 2>&1; then
