@@ -1,0 +1,366 @@
+// E8 — simulation-as-a-service throughput: the SessionManager run-quantum
+// scheduler (src/serve) driving many concurrent sessions of one program.
+//
+// The serve contract this bench demonstrates with numbers:
+//   * 64 concurrent compiled-static sessions of one (model, program) cost
+//     exactly ONE simulation-compiler run — the shared SimTableCache's
+//     single-flight election coalesces the other 63 (table_compiles and
+//     table_coalesced columns).
+//   * Aggregate throughput (sessions/s, MIPS over retired slots) scales
+//     with the worker-thread count.
+//   * Scheduler step latency — the wall time of one run-quantum — is
+//     reported as p50/p99 so fairness regressions (a quantum suddenly
+//     running long) are visible, not just averaged away.
+//   * With ServeConfig::max_resident binding, sessions round-trip through
+//     checkpoint eviction/rehydration and finish bit-identically, at a
+//     measurable (reported) throughput cost.
+//   * kNative sessions share one dlopen'd module: the process-wide module
+//     registry builds once and serves the rest (native_builds /
+//     native_shares columns), mirroring the table-cache story one tier up.
+//
+// Every session's final RunResult is verified bit-identical to one
+// standalone CompiledSimulator run of the same program before any number
+// is reported; the bench exits nonzero on a mismatch, so a scheduling bug
+// cannot hide behind a pretty table.
+//
+// `--json <path>` writes the tables as a machine-readable snapshot
+// (BENCH_serve.json is the checked-in reference; tools/bench_compare.py
+// gates the "serve" section).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/session_manager.hpp"
+#include "sim/native.hpp"
+
+using namespace lisasim;
+
+namespace {
+
+struct ServeRow {
+  std::string app;
+  std::string level;
+  unsigned threads = 0;
+  unsigned sessions = 0;
+  std::size_t max_resident = 0;  // 0 = unbounded (no eviction)
+  double wall_seconds = 0;
+  double sessions_per_sec = 0;
+  double aggregate_mips = 0;  // retired slots / wall second / 1e6
+  std::uint64_t p50_step_ns = 0;
+  std::uint64_t p99_step_ns = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t table_compiles = 0;   // cache misses (expect 1)
+  std::uint64_t table_coalesced = 0;  // sessions that waited on that one
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+};
+
+struct NativeServeRow {
+  std::string app;
+  unsigned threads = 0;
+  unsigned sessions = 0;
+  double wall_seconds = 0;
+  double aggregate_mips = 0;
+  std::uint64_t native_builds = 0;  // toolchain/dlopen rounds (expect 1)
+  std::uint64_t native_shares = 0;  // sessions served by the open module
+};
+
+/// The reference result one standalone run produces; every serve session
+/// must match it exactly.
+RunResult standalone_result(const Model& model, const LoadedProgram& program,
+                            SimLevel level) {
+  CompiledSimulator sim(model, level);
+  sim.load(program);
+  return sim.run();
+}
+
+bool results_equal(const RunResult& a, const RunResult& b) {
+  return a.cycles == b.cycles && a.packets_retired == b.packets_retired &&
+         a.slots_retired == b.slots_retired && a.fetches == b.fetches &&
+         a.halted == b.halted;
+}
+
+/// Run `sessions` copies of `program` through a fresh SessionManager and
+/// verify every report against `expect`. Exits the process on a contract
+/// violation (wrong outcome or non-identical result).
+ServeRow run_serve_config(const Model& model,
+                          const std::shared_ptr<const LoadedProgram>& program,
+                          const RunResult& expect, const std::string& app,
+                          SimLevel level, const char* level_name,
+                          unsigned threads, unsigned sessions,
+                          std::size_t max_resident,
+                          const std::string& evict_dir) {
+  ServeConfig cfg;
+  cfg.threads = threads;
+  cfg.quantum_cycles = 4096;
+  cfg.max_resident = max_resident;
+  cfg.evict_dir = evict_dir;
+  SessionManager manager(cfg);
+  for (unsigned i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    spec.model = &model;
+    spec.program = program;
+    spec.level = level;
+    manager.add_session(std::move(spec));
+  }
+  manager.run_all();
+
+  for (const SessionReport& report : manager.reports()) {
+    if (report.outcome != SessionOutcome::kHalted ||
+        !results_equal(report.result, expect)) {
+      std::fprintf(stderr,
+                   "FAIL: %s diverged from standalone (outcome=%s "
+                   "cycles=%llu vs %llu)\n",
+                   report.name.c_str(), session_outcome_name(report.outcome),
+                   static_cast<unsigned long long>(report.result.cycles),
+                   static_cast<unsigned long long>(expect.cycles));
+      std::exit(1);
+    }
+  }
+
+  const ServeMetrics m = manager.metrics();
+  const SimTableCache::Stats cache = manager.cache().stats();
+  const double wall_s = static_cast<double>(m.wall_ns) / 1e9;
+  ServeRow row;
+  row.app = app;
+  row.level = level_name;
+  row.threads = threads;
+  row.sessions = sessions;
+  row.max_resident = max_resident;
+  row.wall_seconds = wall_s;
+  row.sessions_per_sec = wall_s > 0 ? m.finished / wall_s : 0;
+  row.aggregate_mips = wall_s > 0 ? m.total_slots / wall_s / 1e6 : 0;
+  row.p50_step_ns = m.p50_step_ns;
+  row.p99_step_ns = m.p99_step_ns;
+  row.quanta = m.quanta;
+  row.table_compiles = cache.misses;
+  row.table_coalesced = cache.coalesced;
+  row.evictions = m.evictions;
+  row.rehydrations = m.rehydrations;
+  return row;
+}
+
+NativeServeRow run_native_config(
+    const Model& model, const std::shared_ptr<const LoadedProgram>& program,
+    const RunResult& expect, const std::string& app, unsigned threads,
+    unsigned sessions) {
+  const NativeRegistryStats before = NativeRuntime::registry_stats();
+  ServeConfig cfg;
+  cfg.threads = threads;
+  cfg.quantum_cycles = 4096;
+  cfg.native_blocking = true;  // deterministic installs for the bench
+  SessionManager manager(cfg);
+  for (unsigned i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    spec.model = &model;
+    spec.program = program;
+    spec.level = SimLevel::kNative;
+    manager.add_session(std::move(spec));
+  }
+  manager.run_all();
+
+  for (const SessionReport& report : manager.reports()) {
+    if (report.outcome != SessionOutcome::kHalted ||
+        !results_equal(report.result, expect)) {
+      std::fprintf(stderr, "FAIL: native session %s diverged from standalone\n",
+                   report.name.c_str());
+      std::exit(1);
+    }
+  }
+
+  const ServeMetrics m = manager.metrics();
+  const NativeRegistryStats after = NativeRuntime::registry_stats();
+  const double wall_s = static_cast<double>(m.wall_ns) / 1e9;
+  NativeServeRow row;
+  row.app = app;
+  row.threads = threads;
+  row.sessions = sessions;
+  row.wall_seconds = wall_s;
+  row.aggregate_mips = wall_s > 0 ? m.total_slots / wall_s / 1e6 : 0;
+  row.native_builds = after.builds - before.builds;
+  row.native_shares = after.shares - before.shares;
+  return row;
+}
+
+void write_json(const char* path, const std::vector<ServeRow>& serve,
+                const std::vector<NativeServeRow>& native) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"target\": \"c62x\",\n");
+  std::fprintf(f, "  \"serve\": [\n");
+  for (std::size_t i = 0; i < serve.size(); ++i) {
+    const ServeRow& r = serve[i];
+    std::fprintf(
+        f,
+        "    {\"app\": \"%s\", \"level\": \"%s\", \"threads\": %u, "
+        "\"sessions\": %u, \"max_resident\": %zu, "
+        "\"wall_seconds\": %.4f, \"sessions_per_sec\": %.1f, "
+        "\"aggregate_mips\": %.3f, \"p50_step_ns\": %llu, "
+        "\"p99_step_ns\": %llu, \"quanta\": %llu, "
+        "\"table_compiles\": %llu, \"table_coalesced\": %llu, "
+        "\"evictions\": %llu, \"rehydrations\": %llu}%s\n",
+        r.app.c_str(), r.level.c_str(), r.threads, r.sessions, r.max_resident,
+        r.wall_seconds, r.sessions_per_sec, r.aggregate_mips,
+        static_cast<unsigned long long>(r.p50_step_ns),
+        static_cast<unsigned long long>(r.p99_step_ns),
+        static_cast<unsigned long long>(r.quanta),
+        static_cast<unsigned long long>(r.table_compiles),
+        static_cast<unsigned long long>(r.table_coalesced),
+        static_cast<unsigned long long>(r.evictions),
+        static_cast<unsigned long long>(r.rehydrations),
+        i + 1 < serve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"serve_native\": [\n");
+  for (std::size_t i = 0; i < native.size(); ++i) {
+    const NativeServeRow& r = native[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", \"threads\": %u, \"sessions\": %u, "
+                 "\"wall_seconds\": %.4f, \"aggregate_mips\": %.3f, "
+                 "\"native_builds\": %llu, \"native_shares\": %llu}%s\n",
+                 r.app.c_str(), r.threads, r.sessions, r.wall_seconds,
+                 r.aggregate_mips,
+                 static_cast<unsigned long long>(r.native_builds),
+                 static_cast<unsigned long long>(r.native_shares),
+                 i + 1 < native.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::BenchTarget target;
+  // One program, many sessions — the service's dominant pattern. repeat=32
+  // stretches the FIR run to ~600k cycles so each session spans well over
+  // a hundred 4096-cycle quanta and the percentiles have a population.
+  const workloads::Workload fir = workloads::make_fir(16, 64, 32);
+  const auto program =
+      std::make_shared<const LoadedProgram>(target.assemble(fir));
+  const RunResult expect =
+      standalone_result(*target.model, *program, SimLevel::kCompiledStatic);
+  std::printf("program %s: %llu cycles/session, 64 sessions per config\n",
+              fir.name.c_str(), static_cast<unsigned long long>(expect.cycles));
+
+  // Scale the worker sweep to the host, but always include a 2-worker
+  // config: even on one core it exercises the contended scheduler paths
+  // (claims, shared-cache election), and on bigger hosts the extra rows
+  // show the throughput scaling.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts = {1u, 2u};
+  for (unsigned t : {4u, 8u})
+    if (t <= hw) thread_counts.push_back(t);
+
+  // -- Shared-table scaling: 64 sessions, one compile, more workers. --
+  std::vector<ServeRow> serve_rows;
+  std::printf("\n%-6s %-7s %8s %9s %12s %12s %10s %10s %9s\n", "app",
+              "threads", "sessions", "compiles", "sess/s", "agg MIPS",
+              "p50 step", "p99 step", "quanta");
+  for (unsigned t : thread_counts) {
+    ServeRow row = run_serve_config(*target.model, program, expect, "fir",
+                                    SimLevel::kCompiledStatic, "static", t, 64,
+                                    /*max_resident=*/0, "");
+    std::printf("%-6s %-7u %8u %9llu %12.1f %12.3f %8.1fus %8.1fus %9llu\n",
+                row.app.c_str(), row.threads, row.sessions,
+                static_cast<unsigned long long>(row.table_compiles),
+                row.sessions_per_sec, row.aggregate_mips,
+                row.p50_step_ns / 1e3, row.p99_step_ns / 1e3,
+                static_cast<unsigned long long>(row.quanta));
+    serve_rows.push_back(std::move(row));
+  }
+
+  // -- Eviction churn: the same fleet squeezed through 12 resident slots,
+  //    every session checkpoint-evicted and rehydrated along the way. --
+  const std::filesystem::path evict_dir =
+      std::filesystem::temp_directory_path() /
+      ("lisasim-bench-serve-" + std::to_string(::getpid()));
+  {
+    const unsigned t = std::min(4u, hw);
+    ServeRow row = run_serve_config(*target.model, program, expect, "fir",
+                                    SimLevel::kCompiledStatic, "static", t, 64,
+                                    /*max_resident=*/12, evict_dir.string());
+    std::printf("%-6s %-7u %8u %9llu %12.1f %12.3f %8.1fus %8.1fus %9llu"
+                "  (max_resident=12: %llu evictions, %llu rehydrations)\n",
+                row.app.c_str(), row.threads, row.sessions,
+                static_cast<unsigned long long>(row.table_compiles),
+                row.sessions_per_sec, row.aggregate_mips,
+                row.p50_step_ns / 1e3, row.p99_step_ns / 1e3,
+                static_cast<unsigned long long>(row.quanta),
+                static_cast<unsigned long long>(row.evictions),
+                static_cast<unsigned long long>(row.rehydrations));
+    serve_rows.push_back(std::move(row));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(evict_dir, ec);
+
+  for (const ServeRow& row : serve_rows) {
+    if (row.table_compiles != 1) {
+      std::fprintf(stderr,
+                   "FAIL: %u sessions at threads=%u compiled the table %llu "
+                   "times (want exactly 1)\n",
+                   row.sessions, row.threads,
+                   static_cast<unsigned long long>(row.table_compiles));
+      return 1;
+    }
+  }
+  std::printf("verify: every session bit-identical to standalone, one table "
+              "compile per config\n");
+
+  // -- Native tier: one dlopen'd module shared across the fleet. The
+  //    native fleet runs the un-repeated FIR: every new hot trace launches
+  //    an out-of-process compile round, so the bench keeps the region set
+  //    small and lets the content-hash registry turn 8 sessions' rounds
+  //    into a handful of builds plus shares. --
+  std::vector<NativeServeRow> native_rows;
+  if (NativeRuntime::toolchain_available()) {
+    const workloads::Workload fir_small = workloads::make_fir(16, 64);
+    const auto native_program =
+        std::make_shared<const LoadedProgram>(target.assemble(fir_small));
+    const RunResult native_expect = standalone_result(
+        *target.model, *native_program, SimLevel::kCompiledStatic);
+    const NativeServeRow row =
+        run_native_config(*target.model, native_program, native_expect, "fir",
+                          std::min(4u, hw), 8);
+    std::printf("\nnative: %u sessions, %llu module build(s), %llu share(s), "
+                "%.3f aggregate MIPS\n",
+                row.sessions, static_cast<unsigned long long>(row.native_builds),
+                static_cast<unsigned long long>(row.native_shares),
+                row.aggregate_mips);
+    if (row.native_builds < 1 || row.native_shares == 0) {
+      std::fprintf(stderr,
+                   "FAIL: native fleet did not share the module "
+                   "(builds=%llu shares=%llu)\n",
+                   static_cast<unsigned long long>(row.native_builds),
+                   static_cast<unsigned long long>(row.native_shares));
+      return 1;
+    }
+    native_rows.push_back(row);
+  } else {
+    std::printf("\nnative: no out-of-process toolchain; section skipped\n");
+  }
+
+  if (json_path != nullptr) write_json(json_path, serve_rows, native_rows);
+  return 0;
+}

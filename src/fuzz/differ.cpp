@@ -1,5 +1,8 @@
 #include "fuzz/differ.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -9,6 +12,7 @@
 
 #include "asm/assembler.hpp"
 #include "resilience/supervisor.hpp"
+#include "serve/session_manager.hpp"
 #include "sim/cached_interp.hpp"
 #include "sim/checkpoint_io.hpp"
 #include "sim/compiled.hpp"
@@ -231,6 +235,97 @@ Outcome run_supervised(const Model& model, const LoadedProgram& program,
     o.error = e.what();
   }
   return o;
+}
+
+/// One serve-sweep divergence: which session disagreed and how.
+struct ServeDiff {
+  std::string policy;       // guard_policy_name() of the offending session
+  std::string description;  // session identity + compare_outcomes text
+};
+
+/// Run `sessions` concurrent copies of `program` through a SessionManager
+/// — levels cycling over the table-backed tiers, deliberately small run
+/// quanta so every session crosses many scheduler slices, and (for three
+/// or more sessions) a resident cap that forces LRU eviction/rehydration
+/// through the on-disk session-checkpoint format — then hold every
+/// session's report to the oracle outcome, bit for bit. Gating the sweep
+/// on a completed oracle (halted / cycle-limit) is what makes that exact:
+/// a completed oracle means no stuck-streak fired, and serve's quantum
+/// slicing can only make stuck stops rarer, never change a completed
+/// run's result (the watchdog is rebased to absolute cycles).
+std::optional<ServeDiff> run_serve_sweep(const Model& model,
+                                         const LoadedProgram& program,
+                                         bool has_smc, unsigned sessions,
+                                         std::uint64_t quantum,
+                                         const RunLimits& limits,
+                                         const Outcome& oracle) {
+  namespace fs = std::filesystem;
+  static constexpr SimLevel kSweepLevels[] = {
+      SimLevel::kDecodeCached, SimLevel::kCompiledDynamic,
+      SimLevel::kCompiledStatic, SimLevel::kTrace};
+  ServeConfig cfg;
+  cfg.threads = std::min(4u, sessions);
+  cfg.quantum_cycles = quantum;
+  fs::path evict_dir;
+  if (sessions >= 3) {
+    evict_dir = fs::temp_directory_path() /
+                ("lisasim-serve-fuzz-" + std::to_string(::getpid()));
+    cfg.max_resident = sessions - 1;
+    cfg.evict_dir = evict_dir.string();
+  }
+  std::optional<ServeDiff> found;
+  try {
+    SessionManager manager(cfg);
+    const auto shared = std::make_shared<const LoadedProgram>(program);
+    for (unsigned i = 0; i < sessions; ++i) {
+      SessionSpec spec;
+      spec.name = "s" + std::to_string(i);
+      spec.model = &model;
+      spec.program = shared;
+      spec.level = kSweepLevels[i % std::size(kSweepLevels)];
+      // SMC programs must run guarded (kOff legitimately diverges);
+      // alternate the two guarded policies across sessions.
+      spec.guard = has_smc ? (i % 2 == 0 ? GuardPolicy::kRecompile
+                                         : GuardPolicy::kFallback)
+                           : GuardPolicy::kOff;
+      spec.limits = limits;
+      manager.add_session(spec);
+    }
+    manager.run_all();
+    for (const SessionReport& report : manager.reports()) {
+      Outcome o;
+      if (report.outcome == SessionOutcome::kError) {
+        o.kind = report.recoverable ? OutcomeKind::kRecoverable
+                                    : OutcomeKind::kFatal;
+        o.error = report.error;
+        o.state = report.state_dump;
+      } else {
+        o.kind = report.outcome == SessionOutcome::kHalted
+                     ? OutcomeKind::kHalted
+                     : OutcomeKind::kLimit;
+        o.result = report.result;
+        o.state = report.state_dump;
+      }
+      if (const auto diff = compare_outcomes(oracle, o)) {
+        found = ServeDiff{
+            guard_policy_name(report.guard),
+            "session " + report.name + " (level " +
+                sim_level_name(report.level) + ", guard " +
+                guard_policy_name(report.guard) + ", " +
+                std::to_string(report.quanta) + " quanta, " +
+                std::to_string(report.rehydrations) + " rehydrations): " +
+                *diff};
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    found = ServeDiff{"off", std::string("serve sweep threw: ") + e.what()};
+  }
+  if (!evict_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(evict_dir, ec);
+  }
+  return found;
 }
 
 std::string checkpoint_at(const Model& model, const LoadedProgram& program,
@@ -539,6 +634,46 @@ std::optional<Divergence> DifferentialFuzzer::run_seed(
       };
       finish_divergence(model_, *loaded, opts, reproduces,
                         "fault_plan " + plan.describe() + "\n", d);
+      return d;
+    }
+  }
+
+  // Seventh sweep: N concurrent serve sessions of the program, quantum-
+  // scheduled over shared tables with eviction churn, must each finish
+  // bit-identical to the oracle. Same completion gate as the resilience
+  // sweep (see run_serve_sweep for why that makes equality exact).
+  if (opts.serve_sessions > 0 && (oracle.kind == OutcomeKind::kHalted ||
+                                  oracle.kind == OutcomeKind::kLimit)) {
+    // A small, odd quantum maximizes scheduler crossings without aligning
+    // with generated loop periods.
+    constexpr std::uint64_t kServeQuantum = 257;
+    if (const auto serve_diff =
+            run_serve_sweep(model_, *loaded, prog.has_smc,
+                            opts.serve_sessions, kServeQuantum, limits,
+                            oracle)) {
+      ++stats.divergences;
+      Divergence d;
+      d.seed = seed;
+      d.level = "serve";
+      d.policy = serve_diff->policy;
+      d.description = serve_diff->description;
+      d.source = prog.source;
+      d.minimized = prog.source;
+
+      const auto reproduces = [&](const std::string& candidate) {
+        const auto cand = assemble_quiet(model_, decoder_, candidate);
+        if (!cand) return false;
+        const Outcome o = run_level(model_, 0, GuardPolicy::kOff, *cand,
+                                    limits);
+        if (o.kind != OutcomeKind::kHalted && o.kind != OutcomeKind::kLimit)
+          return false;
+        return run_serve_sweep(model_, *cand, prog.has_smc,
+                               opts.serve_sessions, kServeQuantum, limits, o)
+            .has_value();
+      };
+      finish_divergence(
+          model_, *loaded, opts, reproduces,
+          "serve_sessions " + std::to_string(opts.serve_sessions) + "\n", d);
       return d;
     }
   }

@@ -71,6 +71,13 @@ struct FuzzOptions {
   /// Faults per resilience run, drawn from the seed over the oracle's
   /// cycle horizon.
   unsigned resilience_faults = 3;
+  /// Seventh sweep mode: when the levels agree and the oracle completed,
+  /// run this many concurrent sessions of the program through a
+  /// SessionManager (levels cycling over the table-backed tiers, small
+  /// run quanta, LRU eviction/rehydration engaged) and require every
+  /// session's report to stay bit-identical to the oracle. A mismatch is
+  /// a divergence at level "serve". 0 = sweep off.
+  unsigned serve_sessions = 0;
 };
 
 struct Divergence {

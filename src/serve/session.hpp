@@ -1,0 +1,137 @@
+// Simulation-as-a-service session types: the specs, reports and metrics
+// exchanged with the SessionManager (serve/session_manager.hpp). A session
+// is one program run at one simulation level under one guard policy; the
+// manager multiplexes many of them over a worker pool in run-quantum
+// slices, sharing the immutable compiled artifacts (SimTable objects,
+// native modules) across every session of the same (model, program).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "asm/program.hpp"
+#include "model/model.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/guard.hpp"
+#include "sim/result.hpp"
+
+namespace lisasim {
+
+/// One simulation job handed to SessionManager::add_session. The program
+/// is shared (not copied) because N sessions of one program is the
+/// service's dominant pattern; the model must outlive the manager.
+struct SessionSpec {
+  std::string name;  // report label; "" = auto "session-<id>"
+  const Model* model = nullptr;
+  std::shared_ptr<const LoadedProgram> program;
+  SimLevel level = SimLevel::kCompiledStatic;
+  GuardPolicy guard = GuardPolicy::kOff;
+  /// Whole-session limits. max_cycles is the total budget across all
+  /// quanta (soft stop); watchdog_cycles is an absolute cycle ceiling
+  /// (recoverable error), rebased into each quantum so it fires at the
+  /// same absolute cycle as a standalone run. max_stuck_cycles passes
+  /// through per-quantum: streaks reset at quantum boundaries, so a stuck
+  /// stop may fire up to one quantum later than standalone (the same
+  /// documented caveat as the resilience supervisor).
+  RunLimits limits;
+};
+
+/// Where a session ended up. kPending also covers "still running" while
+/// run_all is in flight; after run_all returns it means the whole-session
+/// max_cycles budget was spent without halting (the kLimit outcome) —
+/// kLimit is reported explicitly so callers never have to infer it.
+enum class SessionOutcome : std::uint8_t {
+  kPending,  // not yet scheduled / still in flight
+  kHalted,   // program executed halt()
+  kLimit,    // whole-session max_cycles budget exhausted
+  kError,    // SimError (recoverable: watchdog/stuck stop; or fatal)
+};
+
+inline const char* session_outcome_name(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::kPending: return "pending";
+    case SessionOutcome::kHalted: return "halted";
+    case SessionOutcome::kLimit: return "limit";
+    case SessionOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+/// Per-session result snapshot. `result` accumulates across quanta and —
+/// for halted/limit outcomes — is bit-identical to the RunResult one
+/// standalone run() with the same RunLimits would have returned (the
+/// serve contract test_serve.cpp pins).
+struct SessionReport {
+  std::string name;
+  SimLevel level = SimLevel::kCompiledStatic;
+  GuardPolicy guard = GuardPolicy::kOff;
+  SessionOutcome outcome = SessionOutcome::kPending;
+  RunResult result;
+  bool recoverable = false;   // outcome == kError: was the SimError recoverable?
+  std::string error;          // outcome == kError: the SimError text
+  std::string state_dump;     // dump_nonzero() at retirement ("" if fatal)
+  std::uint64_t quanta = 0;   // scheduler slices this session consumed
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+};
+
+/// Scheduler configuration.
+struct ServeConfig {
+  /// Worker threads driving quanta (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Cycles granted per scheduler slice. Smaller = fairer + more overhead.
+  std::uint64_t quantum_cycles = std::uint64_t{1} << 14;
+  /// Max sessions with live simulator state at once; 0 = unbounded. When
+  /// the cap binds, the least-recently-run idle session is checkpointed to
+  /// `evict_dir` and torn down, then rehydrated on its next quantum. The
+  /// cap is soft: with every idle resident claimed by concurrent evictors
+  /// a quantum proceeds over-cap rather than deadlock.
+  std::size_t max_resident = 0;
+  /// Directory evicted session checkpoints land in (created on demand).
+  /// Required when max_resident > 0.
+  std::string evict_dir;
+  /// Shared table cache. nullptr = the manager owns a private cache of
+  /// `cache_capacity` tables. Either way every session compiles through
+  /// it, so K sessions of one (model, program, level) cost one compile.
+  class SimTableCache* cache = nullptr;
+  std::size_t cache_capacity = 64;
+  /// Run kNative sessions with blocking compiles (deterministic dispatch
+  /// for tests/benches; the service default is the async engine).
+  bool native_blocking = false;
+};
+
+/// Aggregate scheduler counters. Latency percentiles are over individual
+/// quantum step times (sim->run() wall time), the serve bench's p50/p99.
+struct ServeMetrics {
+  std::uint64_t sessions = 0;
+  std::uint64_t finished = 0;  // halted or limit
+  std::uint64_t errors = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  /// Eviction attempts that failed (serialize/write error) and ran
+  /// over-cap instead. Nonzero means the resident cap is not being
+  /// honored — check evict_dir health.
+  std::uint64_t evict_failures = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_slots = 0;
+  std::uint64_t wall_ns = 0;  // cumulative run_all() wall time
+  std::uint64_t p50_step_ns = 0;
+  std::uint64_t p99_step_ns = 0;
+};
+
+/// Portable snapshot of a mid-flight session: identity + accumulated
+/// counters wrapped around the engine checkpoint. Written on eviction and
+/// by checkpoint_session; serve/session_io.hpp defines the text format.
+struct SessionCheckpoint {
+  std::string name;
+  std::string target;  // model name, cross-checked on restore
+  SimLevel level = SimLevel::kCompiledStatic;
+  GuardPolicy guard = GuardPolicy::kOff;
+  RunResult acc;            // counters accumulated before the snapshot
+  std::uint64_t quanta = 0;
+  EngineCheckpoint engine;
+};
+
+}  // namespace lisasim

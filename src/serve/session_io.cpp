@@ -1,0 +1,198 @@
+#include "serve/session_io.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "model/model.hpp"
+#include "sim/checkpoint_io.hpp"
+
+namespace lisasim {
+
+namespace {
+
+constexpr std::string_view kHeader = "lisasim-serve-session 1";
+
+/// Session-checkpoint input is untrusted (eviction files, cross-process
+/// hand-offs): malformed text is a *recoverable* condition — parsing
+/// happens before any session state is touched, so the caller may discard
+/// the file and keep serving.
+[[noreturn]] void fail(const std::string& message) {
+  throw SimError("serve-session: " + message, SimErrorKind::kRecoverable);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char c = s[++i];
+      out += c == 'n' ? '\n' : c == 'r' ? '\r' : c;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Line reader over the header section. Each header line is
+/// "<keyword> <rest>"; the engine block that follows is length-prefixed,
+/// so the reader never has to guess where untrusted text ends.
+class Lines {
+ public:
+  explicit Lines(std::string_view text) : text_(text) {}
+
+  std::string_view next_line() {
+    if (pos_ >= text_.size()) fail("truncated input");
+    const std::size_t nl = text_.find('\n', pos_);
+    const std::size_t end = nl == std::string_view::npos ? text_.size() : nl;
+    std::string_view line = text_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+    return line;
+  }
+
+  /// Rest of line after "<keyword> "; the keyword mismatch message names
+  /// what was expected so truncated files diagnose themselves.
+  std::string_view field(std::string_view keyword) {
+    std::string_view line = next_line();
+    if (line.size() < keyword.size() ||
+        line.substr(0, keyword.size()) != keyword ||
+        (line.size() > keyword.size() && line[keyword.size()] != ' '))
+      fail("expected '" + std::string(keyword) + "' line, got '" +
+           std::string(line.substr(0, 32)) + "'");
+    return line.size() > keyword.size() ? line.substr(keyword.size() + 1)
+                                        : std::string_view{};
+  }
+
+  std::string_view rest() const { return text_.substr(pos_); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t parse_u64(std::string_view token, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    fail("bad " + std::string(what) + " value '" + std::string(token) + "'");
+  return value;
+}
+
+std::string_view next_token(std::string_view& rest, const char* what) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.empty()) fail("missing " + std::string(what));
+  std::size_t end = rest.find(' ');
+  if (end == std::string_view::npos) end = rest.size();
+  std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
+
+bool parse_sim_level_token(std::string_view token, SimLevel& out) {
+  if (token == "interp") out = SimLevel::kInterpretive;
+  else if (token == "cached") out = SimLevel::kDecodeCached;
+  else if (token == "dynamic") out = SimLevel::kCompiledDynamic;
+  else if (token == "static") out = SimLevel::kCompiledStatic;
+  else if (token == "trace") out = SimLevel::kTrace;
+  else if (token == "native") out = SimLevel::kNative;
+  else return false;
+  return true;
+}
+
+const char* sim_level_token(SimLevel level) {
+  switch (level) {
+    case SimLevel::kInterpretive: return "interp";
+    case SimLevel::kDecodeCached: return "cached";
+    case SimLevel::kCompiledDynamic: return "dynamic";
+    case SimLevel::kCompiledStatic: return "static";
+    case SimLevel::kTrace: return "trace";
+    case SimLevel::kNative: return "native";
+  }
+  return "?";
+}
+
+bool parse_guard_policy_token(std::string_view token, GuardPolicy& out) {
+  if (token == "off") out = GuardPolicy::kOff;
+  else if (token == "recompile") out = GuardPolicy::kRecompile;
+  else if (token == "fallback") out = GuardPolicy::kFallback;
+  else return false;
+  return true;
+}
+
+const char* guard_policy_token(GuardPolicy policy) {
+  switch (policy) {
+    case GuardPolicy::kOff: return "off";
+    case GuardPolicy::kRecompile: return "recompile";
+    case GuardPolicy::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+std::string serialize_session_checkpoint(const SessionCheckpoint& cp) {
+  const std::string engine = serialize_checkpoint(cp.engine);
+  std::string out;
+  out.reserve(engine.size() + 256);
+  out += kHeader;
+  out += "\nname ";
+  append_escaped(out, cp.name);
+  out += "\ntarget ";
+  append_escaped(out, cp.target);
+  out += "\nlevel ";
+  out += sim_level_token(cp.level);
+  out += "\nguard ";
+  out += guard_policy_token(cp.guard);
+  out += "\nresult " + std::to_string(cp.acc.cycles) + ' ' +
+         std::to_string(cp.acc.packets_retired) + ' ' +
+         std::to_string(cp.acc.slots_retired) + ' ' +
+         std::to_string(cp.acc.fetches) + ' ' +
+         (cp.acc.halted ? "1" : "0");
+  out += "\nquanta " + std::to_string(cp.quanta);
+  // Length-prefixed engine block: exact truncation detection, and the
+  // parser hands parse_checkpoint a precisely bounded slice.
+  out += "\nengine " + std::to_string(engine.size()) + '\n';
+  out += engine;
+  return out;
+}
+
+SessionCheckpoint parse_session_checkpoint(std::string_view text) {
+  Lines lines(text);
+  if (lines.next_line() != kHeader) fail("bad header (want '" +
+                                         std::string(kHeader) + "')");
+  SessionCheckpoint cp;
+  cp.name = unescape(lines.field("name"));
+  cp.target = unescape(lines.field("target"));
+  if (!parse_sim_level_token(lines.field("level"), cp.level))
+    fail("unknown level");
+  if (!parse_guard_policy_token(lines.field("guard"), cp.guard))
+    fail("unknown guard policy");
+  std::string_view result = lines.field("result");
+  cp.acc.cycles = parse_u64(next_token(result, "cycles"), "cycles");
+  cp.acc.packets_retired = parse_u64(next_token(result, "packets"), "packets");
+  cp.acc.slots_retired = parse_u64(next_token(result, "slots"), "slots");
+  cp.acc.fetches = parse_u64(next_token(result, "fetches"), "fetches");
+  cp.acc.halted = parse_u64(next_token(result, "halted"), "halted") != 0;
+  cp.quanta = parse_u64(lines.field("quanta"), "quanta");
+  const std::uint64_t engine_bytes =
+      parse_u64(lines.field("engine"), "engine byte count");
+  std::string_view engine = lines.rest();
+  if (engine.size() < engine_bytes) fail("truncated engine block");
+  cp.engine = parse_checkpoint(engine.substr(0, engine_bytes));
+  return cp;
+}
+
+}  // namespace lisasim

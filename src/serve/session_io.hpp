@@ -1,0 +1,33 @@
+// Text serialization of SessionCheckpoint — the serve layer's eviction/
+// rehydration and cross-process hand-off format. A session checkpoint is
+// a small line-oriented header (identity + accumulated counters) wrapping
+// the standard "lisasim-checkpoint 1" engine block, so a session evicted
+// mid-flight in one process can be restored into a freshly constructed
+// manager — or a fresh process — and finish bit-identically.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/session.hpp"
+
+namespace lisasim {
+
+/// Render `cp` as a self-contained text block (header
+/// "lisasim-serve-session 1"). Deterministic: equal checkpoints serialize
+/// to equal text.
+std::string serialize_session_checkpoint(const SessionCheckpoint& cp);
+
+/// Parse text produced by serialize_session_checkpoint. Throws SimError
+/// (fatal) on any malformed or truncated input.
+SessionCheckpoint parse_session_checkpoint(std::string_view text);
+
+/// CLI-style spelling helpers shared by the serve CLI, job files and the
+/// checkpoint format: "interp|cached|dynamic|static|trace|native" and
+/// "off|recompile|fallback". Return false on an unknown spelling.
+bool parse_sim_level_token(std::string_view token, SimLevel& out);
+bool parse_guard_policy_token(std::string_view token, GuardPolicy& out);
+const char* sim_level_token(SimLevel level);
+const char* guard_policy_token(GuardPolicy policy);
+
+}  // namespace lisasim

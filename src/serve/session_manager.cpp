@@ -1,0 +1,620 @@
+#include "serve/session_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <utility>
+
+#include "resilience/supervisor.hpp"
+#include "serve/session_io.hpp"
+#include "sim/cached_interp.hpp"
+#include "sim/compiled.hpp"
+#include "sim/interp.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lisasim {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+/// Type-erasing holder, serve edition. The supervisor's HolderSim is
+/// private to resilience/supervisor.cpp on purpose (its construction is
+/// entangled with fault budgets); the serve holder is the plain subset.
+template <typename SimT>
+class ServeSim final : public AnySim {
+ public:
+  template <typename... Args>
+  explicit ServeSim(SimLevel level, Args&&... args)
+      : sim_(std::forward<Args>(args)...), level_(level) {}
+
+  void load(const LoadedProgram& program) override { sim_.load(program); }
+  RunResult run(const RunLimits& limits) override { return sim_.run(limits); }
+  EngineCheckpoint save_checkpoint() const override {
+    return sim_.save_checkpoint();
+  }
+  void restore_checkpoint(const EngineCheckpoint& cp) override {
+    sim_.restore_checkpoint(cp);
+  }
+  ProcessorState& state() override { return sim_.state(); }
+  SimLevel level() const override { return level_; }
+
+  SimT& sim() { return sim_; }
+
+ private:
+  SimT sim_;
+  SimLevel level_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw SimError("serve-session: cannot open '" + path + "'",
+                   SimErrorKind::kRecoverable);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad())
+    throw SimError("serve-session: read error on '" + path + "'",
+                   SimErrorKind::kRecoverable);
+  return text;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out)
+    throw SimError("serve-session: cannot write '" + path + "'");
+}
+
+void accumulate(RunResult& acc, const RunResult& delta) {
+  acc.cycles += delta.cycles;
+  acc.packets_retired += delta.packets_retired;
+  acc.slots_retired += delta.slots_retired;
+  acc.fetches += delta.fetches;
+  acc.halted = delta.halted;
+}
+
+std::uint64_t elapsed_ns(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           since)
+          .count());
+}
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t> sorted, unsigned pct) {
+  if (sorted.empty()) return 0;
+  std::size_t index = sorted.size() * pct / 100;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+}  // namespace
+
+std::unique_ptr<AnySim> make_session_sim(const Model& model, SimLevel level,
+                                         GuardPolicy guard,
+                                         SimTableCache* cache,
+                                         bool native_blocking) {
+  switch (level) {
+    case SimLevel::kInterpretive:
+      return std::make_unique<ServeSim<InterpSimulator>>(level, model);
+    case SimLevel::kDecodeCached: {
+      auto holder =
+          std::make_unique<ServeSim<CachedInterpSimulator>>(level, model);
+      holder->sim().set_guard_policy(guard);
+      return holder;
+    }
+    case SimLevel::kCompiledDynamic:
+    case SimLevel::kCompiledStatic:
+    case SimLevel::kTrace:
+    case SimLevel::kNative: {
+      auto holder =
+          std::make_unique<ServeSim<CompiledSimulator>>(level, model, level);
+      holder->sim().set_guard_policy(guard);
+      holder->sim().set_threads(1);  // sharding is the scheduler's job
+      if (cache != nullptr) holder->sim().set_table_cache(cache);
+      if (level == SimLevel::kNative && native_blocking) {
+        NativeConfig config;
+        config.blocking = true;
+        holder->sim().set_native_config(config);
+      }
+      return holder;
+    }
+  }
+  throw SimError("make_session_sim: unknown simulation level");
+}
+
+/// All mutable per-session fields. Ownership discipline: report-visible
+/// fields (acc, outcome, counters, claim, the sim *pointer*) are written
+/// only under the manager mutex; the simulator object itself is touched
+/// only by the worker holding the session's claim, outside the lock —
+/// claim transitions under the mutex provide the happens-before edge.
+struct SessionManager::Session {
+  enum class Claim : std::uint8_t { kIdle, kRunning, kEvicting };
+
+  std::size_t id = 0;
+  SessionSpec spec;
+
+  Claim claim = Claim::kIdle;
+  std::unique_ptr<AnySim> sim;  // resident iff non-null
+  /// Deferred restore sources, consumed by ensure_resident: a parsed
+  /// checkpoint (add_session_from_checkpoint) or a file to re-read (the
+  /// eviction path re-reads its own file so every rehydration exercises
+  /// the on-disk round trip — the cross-process format never rots).
+  std::unique_ptr<SessionCheckpoint> pending_restore;
+  std::string restore_path;
+
+  RunResult acc;
+  SessionOutcome outcome = SessionOutcome::kPending;
+  bool recoverable = false;
+  std::string error;
+  std::string state_dump;
+  std::uint64_t quanta = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  std::uint64_t last_used = 0;  // manager tick of the latest claim
+};
+
+SessionManager::SessionManager(ServeConfig config) : cfg_(std::move(config)) {
+  if (cfg_.quantum_cycles == 0) cfg_.quantum_cycles = 1;
+  if (cfg_.max_resident > 0 && cfg_.evict_dir.empty())
+    throw SimError("SessionManager: max_resident requires an evict_dir");
+  if (cfg_.cache != nullptr) {
+    cache_ = cfg_.cache;
+  } else {
+    owned_cache_ = std::make_unique<SimTableCache>(cfg_.cache_capacity);
+    cache_ = owned_cache_.get();
+  }
+}
+
+SessionManager::~SessionManager() = default;
+
+SessionManager::Session& SessionManager::session_at(std::size_t id) {
+  if (id >= sessions_.size())
+    throw SimError("SessionManager: no session " + std::to_string(id));
+  return *sessions_[id];
+}
+
+const SessionManager::Session& SessionManager::session_at(
+    std::size_t id) const {
+  if (id >= sessions_.size())
+    throw SimError("SessionManager: no session " + std::to_string(id));
+  return *sessions_[id];
+}
+
+std::size_t SessionManager::add_session(SessionSpec spec) {
+  if (spec.model == nullptr || spec.program == nullptr)
+    throw SimError("SessionManager: session needs a model and a program");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto session = std::make_unique<Session>();
+  session->id = sessions_.size();
+  if (spec.name.empty())
+    spec.name = "session-" + std::to_string(session->id);
+  session->spec = std::move(spec);
+  sessions_.push_back(std::move(session));
+  ++totals_.sessions;
+  return sessions_.back()->id;
+}
+
+std::size_t SessionManager::add_session_from_checkpoint(
+    SessionSpec spec, const std::string& checkpoint_path) {
+  auto cp = std::make_unique<SessionCheckpoint>(
+      parse_session_checkpoint(read_file(checkpoint_path)));
+  if (spec.model == nullptr || spec.program == nullptr)
+    throw SimError("SessionManager: session needs a model and a program");
+  if (cp->target != spec.model->name)
+    throw SimError("SessionManager: checkpoint target '" + cp->target +
+                   "' does not match model '" + spec.model->name + "'");
+  if (cp->level != spec.level)
+    throw SimError(std::string("SessionManager: checkpoint level ") +
+                   sim_level_token(cp->level) + " does not match spec level " +
+                   sim_level_token(spec.level));
+  if (cp->guard != spec.guard)
+    throw SimError(std::string("SessionManager: checkpoint guard ") +
+                   guard_policy_token(cp->guard) +
+                   " does not match spec guard " +
+                   guard_policy_token(spec.guard));
+  if (spec.name.empty()) spec.name = cp->name;
+  const std::size_t id = add_session(std::move(spec));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Session& s = *sessions_[id];
+  s.acc = cp->acc;
+  s.quanta = cp->quanta;
+  s.pending_restore = std::move(cp);
+  return id;
+}
+
+void SessionManager::ensure_resident(Session& s) {
+  if (s.sim) return;
+  std::unique_ptr<AnySim> sim = make_session_sim(
+      *s.spec.model, s.spec.level, s.spec.guard, cache_, cfg_.native_blocking);
+  sim->load(*s.spec.program);
+  std::unique_ptr<SessionCheckpoint> cp;
+  bool rehydrated = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cp = std::move(s.pending_restore);
+    if (!cp && !s.restore_path.empty()) {
+      const std::string path = s.restore_path;
+      lock.unlock();
+      cp = std::make_unique<SessionCheckpoint>(
+          parse_session_checkpoint(read_file(path)));
+      rehydrated = true;
+    }
+  }
+  if (cp) sim->restore_checkpoint(cp->engine);
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.sim = std::move(sim);
+  s.restore_path.clear();
+  ++resident_;
+  if (rehydrated) {
+    ++s.rehydrations;
+    ++totals_.rehydrations;
+  }
+}
+
+void SessionManager::evict_locked(std::unique_lock<std::mutex>& lock,
+                                  Session& victim) {
+  victim.claim = Session::Claim::kEvicting;
+  lock.unlock();
+  try {
+    SessionCheckpoint cp;
+    cp.name = victim.spec.name;
+    cp.target = victim.spec.model->name;
+    cp.level = victim.spec.level;
+    cp.guard = victim.spec.guard;
+    cp.acc = victim.acc;  // stable: only the claim holder writes it
+    cp.quanta = victim.quanta;
+    cp.engine = victim.sim->save_checkpoint();
+    fs::create_directories(cfg_.evict_dir);
+    const std::string path =
+        (fs::path(cfg_.evict_dir) /
+         ("session-" + std::to_string(victim.id) + ".ckpt"))
+            .string();
+    write_file(path, serialize_session_checkpoint(cp));
+    std::unique_ptr<AnySim> dead;
+    lock.lock();
+    dead = std::move(victim.sim);
+    victim.restore_path = path;
+    --resident_;
+    ++victim.evictions;
+    ++totals_.evictions;
+    victim.claim = Session::Claim::kIdle;
+    lock.unlock();
+    dead.reset();  // simulator teardown (worker joins) outside the lock
+    lock.lock();
+  } catch (...) {
+    // Serialize/write failed: the victim stays resident and healthy — it
+    // must not be left claimed.
+    if (!lock.owns_lock()) lock.lock();
+    victim.claim = Session::Claim::kIdle;
+    throw;
+  }
+}
+
+void SessionManager::make_room_locked(std::unique_lock<std::mutex>& lock) {
+  std::uint64_t failed_before = 0;  // sessions skipped this call, by tick
+  while (cfg_.max_resident > 0 && resident_ + 1 > cfg_.max_resident) {
+    Session* victim = nullptr;
+    for (const std::unique_ptr<Session>& up : sessions_) {
+      Session& candidate = *up;
+      if (!candidate.sim || candidate.claim != Session::Claim::kIdle) continue;
+      if (candidate.outcome != SessionOutcome::kPending) continue;
+      if (failed_before > 0 && candidate.last_used < failed_before) continue;
+      if (victim == nullptr || candidate.last_used < victim->last_used)
+        victim = &candidate;
+    }
+    // Every resident session is mid-quantum or mid-eviction: proceed over
+    // the (soft) cap rather than deadlock waiting on peers that may be
+    // waiting on us.
+    if (victim == nullptr) return;
+    try {
+      evict_locked(lock, *victim);
+    } catch (...) {
+      // Eviction failing (disk full, unwritable dir) must not error the
+      // *current* — innocent — session. Record the failure, skip this
+      // victim (and everything at least as stale — same dir, same fate)
+      // and try a fresher candidate before running over the soft cap.
+      if (!lock.owns_lock()) lock.lock();
+      ++totals_.evict_failures;
+      failed_before = victim->last_used + 1;
+    }
+  }
+}
+
+void SessionManager::retire(Session& s) {
+  std::string dump;
+  if (s.sim && (s.outcome != SessionOutcome::kError || s.recoverable))
+    dump = s.sim->state().dump_nonzero();
+  std::unique_ptr<AnySim> dead;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.state_dump = std::move(dump);
+    if (s.sim) {
+      dead = std::move(s.sim);
+      --resident_;
+    }
+    if (s.outcome == SessionOutcome::kError)
+      ++totals_.errors;
+    else
+      ++totals_.finished;
+  }
+  dead.reset();
+}
+
+bool SessionManager::run_one_quantum(Session& s) {
+  try {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!s.sim) make_room_locked(lock);
+    }
+    ensure_resident(s);
+
+    const RunLimits& limits = s.spec.limits;
+    const std::uint64_t pos = s.acc.cycles;
+    std::uint64_t remaining = cfg_.quantum_cycles;
+    if (limits.max_cycles != UINT64_MAX) {
+      if (limits.max_cycles <= pos) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.outcome = SessionOutcome::kLimit;
+        return false;  // caller retires
+      }
+      remaining = std::min(remaining, limits.max_cycles - pos);
+    }
+    RunLimits quantum;
+    quantum.max_cycles = remaining;
+    // Rebase the absolute watchdog into this quantum so it fires at the
+    // same absolute cycle a standalone run() would. The stuck limit passes
+    // through untranslated: streaks reset at quantum boundaries, so a
+    // stuck stop can fire up to one quantum later than standalone (same
+    // caveat as the resilience supervisor).
+    if (limits.watchdog_cycles > 0)
+      quantum.watchdog_cycles =
+          limits.watchdog_cycles > pos ? limits.watchdog_cycles - pos : 1;
+    quantum.max_stuck_cycles = limits.max_stuck_cycles;
+
+    const Clock::time_point start = Clock::now();
+    const RunResult delta = s.sim->run(quantum);
+    const std::uint64_t ns = elapsed_ns(start);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    accumulate(s.acc, delta);
+    ++s.quanta;
+    ++totals_.quanta;
+    totals_.total_cycles += delta.cycles;
+    totals_.total_slots += delta.slots_retired;
+    step_ns_.push_back(ns);
+    if (s.acc.halted) {
+      s.outcome = SessionOutcome::kHalted;
+      return false;
+    }
+    if (limits.max_cycles != UINT64_MAX && s.acc.cycles >= limits.max_cycles) {
+      s.outcome = SessionOutcome::kLimit;
+      return false;
+    }
+    return true;
+  } catch (const SimError& e) {
+    std::string dump;
+    if (e.recoverable() && s.sim) dump = s.sim->state().dump_nonzero();
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.outcome = SessionOutcome::kError;
+    s.recoverable = e.recoverable();
+    s.error = e.what();
+    s.state_dump = std::move(dump);
+    return false;
+  } catch (const std::exception& e) {
+    // Filesystem and other non-simulation failures: a worker task must
+    // never let an exception reach the pool (std::terminate).
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.outcome = SessionOutcome::kError;
+    s.recoverable = false;
+    s.error = e.what();
+    return false;
+  }
+}
+
+void SessionManager::run_all() {
+  std::vector<std::size_t> runnable;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<Session>& s : sessions_)
+      if (s->outcome == SessionOutcome::kPending) runnable.push_back(s->id);
+  }
+  if (runnable.empty()) return;
+
+  const Clock::time_point start = Clock::now();
+  ThreadPool pool(cfg_.threads);
+
+  // The pool's FIFO queue is the run queue: one task = one quantum, and a
+  // session that wants more requeues itself behind every other runnable
+  // session — round-robin fairness for free. `schedule` stays alive until
+  // wait_idle() proves the last task (and thus the last capture of it)
+  // has finished.
+  std::function<void(std::size_t)> schedule = [&](std::size_t id) {
+    pool.submit([this, &schedule, id] {
+      Session& s = *sessions_[id];
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (s.outcome != SessionOutcome::kPending) return;
+        if (s.claim != Session::Claim::kIdle) {
+          // Mid-eviction (another worker's make_room chose us): requeue
+          // behind the queue rather than block a worker.
+          schedule(id);
+          return;
+        }
+        s.claim = Session::Claim::kRunning;
+        s.last_used = ++tick_;
+      }
+      const bool more = run_one_quantum(s);
+      // Retire *before* dropping the claim: the claim is what excludes a
+      // concurrent make_room from touching this session's simulator.
+      if (!more) retire(s);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.claim = Session::Claim::kIdle;
+      }
+      if (more) schedule(id);
+    });
+  };
+  for (std::size_t id : runnable) schedule(id);
+  pool.wait_idle();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.wall_ns += elapsed_ns(start);
+}
+
+std::size_t SessionManager::session_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+SessionReport SessionManager::report_locked(const Session& s) const {
+  SessionReport r;
+  r.name = s.spec.name;
+  r.level = s.spec.level;
+  r.guard = s.spec.guard;
+  r.outcome = s.outcome;
+  r.result = s.acc;
+  r.recoverable = s.recoverable;
+  r.error = s.error;
+  r.state_dump = s.state_dump;
+  r.quanta = s.quanta;
+  r.evictions = s.evictions;
+  r.rehydrations = s.rehydrations;
+  return r;
+}
+
+SessionReport SessionManager::report(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return report_locked(session_at(id));
+}
+
+std::vector<SessionReport> SessionManager::reports() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionReport> out;
+  out.reserve(sessions_.size());
+  for (const std::unique_ptr<Session>& s : sessions_)
+    out.push_back(report_locked(*s));
+  return out;
+}
+
+ServeMetrics SessionManager::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServeMetrics m = totals_;
+  std::vector<std::uint64_t> sorted = step_ns_;
+  std::sort(sorted.begin(), sorted.end());
+  m.p50_step_ns = percentile_ns(sorted, 50);
+  m.p99_step_ns = percentile_ns(sorted, 99);
+  return m;
+}
+
+RunResult SessionManager::run_session(std::size_t id,
+                                      std::uint64_t max_cycles) {
+  Session& s = session_at(id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (s.outcome != SessionOutcome::kPending) return RunResult{};
+    if (s.claim != Session::Claim::kIdle)
+      throw SimError("SessionManager: session " + std::to_string(id) +
+                     " is busy");
+    s.claim = Session::Claim::kRunning;
+    s.last_used = ++tick_;
+  }
+  const RunResult before = s.acc;
+  const std::uint64_t saved_quantum = cfg_.quantum_cycles;
+  // Borrow the quantum machinery with the caller's budget. cfg_ is only
+  // read by quantum runners, all of which are excluded here (interactive
+  // seams must not race run_all — documented in the header).
+  cfg_.quantum_cycles = max_cycles == 0 ? 1 : max_cycles;
+  const bool more = run_one_quantum(s);
+  cfg_.quantum_cycles = saved_quantum;
+  if (!more) retire(s);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.claim = Session::Claim::kIdle;
+  }
+  RunResult delta;
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta.cycles = s.acc.cycles - before.cycles;
+  delta.packets_retired = s.acc.packets_retired - before.packets_retired;
+  delta.slots_retired = s.acc.slots_retired - before.slots_retired;
+  delta.fetches = s.acc.fetches - before.fetches;
+  delta.halted = s.acc.halted;
+  return delta;
+}
+
+std::string SessionManager::session_state(std::size_t id) {
+  Session& s = session_at(id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!s.sim && s.outcome != SessionOutcome::kPending) return s.state_dump;
+  }
+  ensure_resident(s);
+  return s.sim->state().dump_nonzero();
+}
+
+void SessionManager::checkpoint_session(std::size_t id,
+                                        const std::string& path) {
+  Session& s = session_at(id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!s.sim && s.outcome != SessionOutcome::kPending &&
+        s.restore_path.empty() && !s.pending_restore)
+      throw SimError("SessionManager: session " + std::to_string(id) +
+                         " already retired and torn down",
+                     SimErrorKind::kRecoverable);
+  }
+  ensure_resident(s);
+  SessionCheckpoint cp;
+  cp.name = s.spec.name;
+  cp.target = s.spec.model->name;
+  cp.level = s.spec.level;
+  cp.guard = s.spec.guard;
+  cp.acc = s.acc;
+  cp.quanta = s.quanta;
+  cp.engine = s.sim->save_checkpoint();
+  write_file(path, serialize_session_checkpoint(cp));
+}
+
+void SessionManager::restore_session(std::size_t id, const std::string& path) {
+  Session& s = session_at(id);
+  auto cp = std::make_unique<SessionCheckpoint>(
+      parse_session_checkpoint(read_file(path)));
+  if (cp->target != s.spec.model->name || cp->level != s.spec.level ||
+      cp->guard != s.spec.guard)
+    throw SimError(
+        "SessionManager: checkpoint identity does not match session " +
+        std::to_string(id));
+  if (s.sim) s.sim->restore_checkpoint(cp->engine);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Un-retiring rolls the aggregate outcome counters back so a restored-
+  // then-finished session is not double-counted.
+  if (s.outcome == SessionOutcome::kError)
+    --totals_.errors;
+  else if (s.outcome != SessionOutcome::kPending)
+    --totals_.finished;
+  s.acc = cp->acc;
+  s.quanta = cp->quanta;
+  s.outcome = SessionOutcome::kPending;
+  s.recoverable = false;
+  s.error.clear();
+  s.state_dump.clear();
+  if (!s.sim) {
+    s.pending_restore = std::move(cp);
+    s.restore_path.clear();
+  }
+}
+
+void SessionManager::evict_session(std::size_t id) {
+  Session& s = session_at(id);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!s.sim || s.claim != Session::Claim::kIdle) return;
+  if (cfg_.evict_dir.empty())
+    throw SimError("SessionManager: evict_session needs an evict_dir");
+  evict_locked(lock, s);
+}
+
+}  // namespace lisasim

@@ -1,0 +1,142 @@
+// Simulation-as-a-service: SessionManager multiplexes N independent
+// simulation sessions over one support::ThreadPool with run-quantum
+// scheduling (docs/INTERNALS.md §5.11).
+//
+// Scheduling: each scheduled task runs one session for a bounded quantum
+// (ServeConfig::quantum_cycles, rebased into the session's own RunLimits)
+// and then *resubmits the session to the pool* — the pool's FIFO queue is
+// the run queue, so K runnable sessions interleave round-robin on W
+// workers regardless of their relative lengths. One session is never run
+// by two workers at once (a per-session claim), but any worker may run
+// any session — sessions own no thread.
+//
+// Sharing: all sessions compile through one SimTableCache, whose
+// single-flight election (sim/table_cache.hpp) makes K concurrent
+// sessions of the same (model, program, level) cost exactly one
+// simulation-compiler run; the kNative tier's process-wide module
+// registry (sim/native.hpp) does the same for dlopen'd artifacts. Mutable
+// state — ProcessorState, guard generations, trace budgets — is strictly
+// per-session.
+//
+// Eviction: when ServeConfig::max_resident binds, the least-recently-run
+// idle session is serialized (serve/session_io.hpp) to evict_dir and its
+// simulator destroyed; its next quantum rehydrates it — rebuilding the
+// simulator through the shared cache and restoring the engine checkpoint
+// — and continues bit-identically. The same format serves cross-process
+// hand-off via checkpoint_session/add_session_from_checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "sim/table_cache.hpp"
+
+namespace lisasim {
+
+class AnySim;
+
+/// Build the simulator for one session: the serve-side analogue of
+/// make_supervised_sim (resilience/supervisor.hpp), constructing the
+/// right engine for `level` wired to the shared `cache` and `guard`.
+/// kNative sessions honor `native_blocking` (deterministic installs).
+std::unique_ptr<AnySim> make_session_sim(const Model& model, SimLevel level,
+                                         GuardPolicy guard,
+                                         SimTableCache* cache,
+                                         bool native_blocking);
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServeConfig config = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Register a session; returns its id (dense, starting at 0). The
+  /// simulator is built lazily on the session's first quantum — so
+  /// registration is cheap and compile coalescing happens under the
+  /// scheduler, where it is actually contended. Not callable while
+  /// run_all() is in flight.
+  std::size_t add_session(SessionSpec spec);
+
+  /// Register a session resuming from a serialized session checkpoint
+  /// (file produced by checkpoint_session or a prior manager's eviction —
+  /// possibly in another process). The checkpoint's target/level/guard
+  /// must match `spec`; accumulated counters carry over, so the final
+  /// report equals an uninterrupted run's. Throws SimError on mismatch or
+  /// malformed input.
+  std::size_t add_session_from_checkpoint(SessionSpec spec,
+                                          const std::string& checkpoint_path);
+
+  /// Drive every unfinished session to retirement (halt, whole-session
+  /// limit, or error) under run-quantum scheduling. Session errors land in
+  /// reports, not exceptions; run_all itself throws only on scheduler
+  /// bugs. Callable repeatedly (later calls pick up sessions added since).
+  void run_all();
+
+  std::size_t session_count() const;
+  SessionReport report(std::size_t id) const;
+  std::vector<SessionReport> reports() const;
+  ServeMetrics metrics() const;
+  SimTableCache& cache() { return *cache_; }
+
+  // -- Interactive seams (lisasim-serve's REPL; not thread-safe against a
+  //    concurrent run_all) --
+
+  /// Run one session inline for up to `max_cycles` more cycles (its spec
+  /// limits still apply). Returns this call's delta result; a no-op {} if
+  /// the session already retired.
+  RunResult run_session(std::size_t id, std::uint64_t max_cycles);
+  /// dump_nonzero() of the session's current architectural state
+  /// (rehydrates an evicted session to produce it).
+  std::string session_state(std::size_t id);
+  /// Serialize the session to `path` (supported mid-flight and after
+  /// retirement as long as the simulator is still resident).
+  void checkpoint_session(std::size_t id, const std::string& path);
+  /// Replace the session's state from a checkpoint file (target/level/
+  /// guard cross-checked against its spec).
+  void restore_session(std::size_t id, const std::string& path);
+  /// Checkpoint to the evict dir and destroy the simulator now (the LRU
+  /// path, forced). No-op if not resident.
+  void evict_session(std::size_t id);
+
+ private:
+  struct Session;
+
+  Session& session_at(std::size_t id);
+  const Session& session_at(std::size_t id) const;
+  /// Build/rebuild the session's simulator (through the shared cache) and,
+  /// if it has an eviction checkpoint, restore and consume it. Caller
+  /// must hold the session's claim; runs unlocked.
+  void ensure_resident(Session& s);
+  /// Evict LRU idle resident sessions until the resident count fits
+  /// `max_resident` again (called with the manager lock; unlocks to
+  /// serialize). Soft: gives up rather than deadlock when every candidate
+  /// is claimed.
+  void make_room_locked(std::unique_lock<std::mutex>& lock);
+  void evict_locked(std::unique_lock<std::mutex>& lock, Session& victim);
+  /// Run one quantum of `s` (claim already held): ensure residency, run,
+  /// accumulate, retire or mark runnable again. Returns true while the
+  /// session wants more quanta.
+  bool run_one_quantum(Session& s);
+  void retire(Session& s);
+  SessionReport report_locked(const Session& s) const;
+  void restore_from_checkpoint(Session& s, const SessionCheckpoint& cp);
+
+  ServeConfig cfg_;
+  std::unique_ptr<SimTableCache> owned_cache_;
+  SimTableCache* cache_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t resident_ = 0;
+  std::uint64_t tick_ = 0;  // LRU clock: bumped per quantum
+  ServeMetrics totals_;     // counters only; percentiles derived on demand
+  std::vector<std::uint64_t> step_ns_;  // per-quantum sim->run() wall times
+};
+
+}  // namespace lisasim

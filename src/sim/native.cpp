@@ -5,10 +5,12 @@
 
 #include <cctype>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "codegen/nativegen.hpp"
@@ -92,7 +94,64 @@ struct NativeRuntime::Pending {
   std::uint64_t compile_ns = 0;
   std::uint64_t artifact_hits = 0;
   std::uint64_t artifact_misses = 0;
+  bool module_shared = false;  // served by the process-wide registry
 };
+
+namespace {
+
+/// Process-wide registry of live dlopen'd modules, keyed by (model hash,
+/// program hash, content hash). Entries are weak: the registry never pins
+/// a module past its last runtime, so dlclose timing is unchanged. A
+/// `building` slot coalesces concurrent rounds for one key onto a single
+/// toolchain invocation — waiters block (each NativeRuntime compiles on
+/// its own one-thread pool, so blocking here stalls no engine thread) and
+/// adopt the builder's module; if the build fails they re-elect.
+struct ModuleRegistry {
+  struct Slot {
+    bool building = false;
+    std::weak_ptr<NativeRuntime::Module> module;
+  };
+  struct Key {
+    std::uint64_t model = 0, program = 0, content = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.model * 1099511628211ull;
+      h = (h ^ k.program) * 1099511628211ull;
+      h = (h ^ k.content) * 1099511628211ull;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::unordered_map<Key, Slot, KeyHash> slots;
+  NativeRegistryStats stats;
+
+  /// Drop dead weak entries once the map grows past a process's working
+  /// set (mutex held). Bounds growth across many distinct programs.
+  void prune_locked() {
+    if (slots.size() < 256) return;
+    for (auto it = slots.begin(); it != slots.end();)
+      it = (!it->second.building && it->second.module.expired())
+               ? slots.erase(it)
+               : std::next(it);
+  }
+};
+
+ModuleRegistry& module_registry() {
+  static ModuleRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+NativeRegistryStats NativeRuntime::registry_stats() {
+  ModuleRegistry& reg = module_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.stats;
+}
 
 NativeRuntime::NativeRuntime(const Model& model, ProcessorState& state)
     : model_(&model), state_(&state) {}
@@ -242,6 +301,7 @@ void NativeRuntime::adopt_pending() {
   stats_.compile_ns += done->compile_ns;
   stats_.artifact_hits += done->artifact_hits;
   stats_.artifact_misses += done->artifact_misses;
+  if (done->module_shared) ++stats_.module_shares;
   if (done->epoch != epoch_) return;  // round for a previous program
   if (!done->module) {
     ++stats_.compile_failures;
@@ -354,6 +414,44 @@ std::shared_ptr<NativeRuntime::Module> NativeRuntime::open_and_verify(
 }
 
 void NativeRuntime::run_compile_job(Job& job, Pending& out) {
+  // Cross-runtime dedupe: one build per (model, program, content) key per
+  // process, shared modules for everyone else. See ModuleRegistry above.
+  ModuleRegistry& reg = module_registry();
+  const ModuleRegistry::Key key{job.model_hash, job.program_hash,
+                                job.content_hash};
+  {
+    std::unique_lock<std::mutex> lock(reg.mutex);
+    for (;;) {
+      ModuleRegistry::Slot& slot = reg.slots[key];
+      if (auto module = slot.module.lock()) {
+        ++reg.stats.shares;
+        out.module = std::move(module);
+        out.module_shared = true;
+        return;
+      }
+      if (!slot.building) {
+        slot.building = true;
+        ++reg.stats.builds;
+        reg.prune_locked();
+        break;
+      }
+      ++reg.stats.waits;
+      reg.done.wait(lock);
+    }
+  }
+
+  build_module(job, out);
+
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    ModuleRegistry::Slot& slot = reg.slots[key];
+    slot.building = false;
+    if (out.module) slot.module = out.module;  // weak: never pins
+  }
+  reg.done.notify_all();
+}
+
+void NativeRuntime::build_module(Job& job, Pending& out) {
   const std::string artifact_dir =
       job.cache != nullptr ? job.cache->artifact_dir() : std::string();
 

@@ -19,7 +19,12 @@
 // checkpoints, RunLimits and the RunSupervisor ladder working unchanged.
 // Artifacts are keyed by (target, model hash, program hash, content hash)
 // in SimTableCache's disk-backed artifact directory, so compiles amortize
-// across sessions and fresh processes.
+// across processes; within one process a module registry additionally
+// shares the live dlopen'd modules themselves (shared_ptr, weak-held by
+// the registry) across every NativeRuntime of the same content key, with
+// in-flight builds coalesced — the serve layer's N-sessions-one-compile
+// contract. Sharing is sound because modules are immutable code whose
+// per-call state arrives via NativeCtx.
 #pragma once
 
 #include <atomic>
@@ -69,6 +74,19 @@ struct NativeStats {
   std::uint64_t trace_dispatches = 0;  // trace bodies run natively
   std::uint64_t span_dispatches = 0;   // static spans run natively
   std::uint64_t stand_downs = 0;       // dispatch refused (hooks/stride)
+  std::uint64_t module_shares = 0;     // rounds served by a module another
+                                       // runtime already built (registry)
+};
+
+/// Process-wide module-registry counters (see NativeRuntime::registry_
+/// stats): every compile round first consults a registry of live dlopen'd
+/// modules keyed by (model, program, content) hash, so N concurrent
+/// sessions of one program coalesce onto one toolchain invocation and one
+/// artifact load per content set.
+struct NativeRegistryStats {
+  std::uint64_t builds = 0;  // rounds elected to build (compile or dlopen)
+  std::uint64_t shares = 0;  // rounds served by an already-open module
+  std::uint64_t waits = 0;   // rounds that blocked on an in-flight build
 };
 
 class NativeRuntime {
@@ -151,10 +169,16 @@ class NativeRuntime {
   }
 
   const NativeStats& stats() const { return stats_; }
+  /// Snapshot of the process-wide module registry counters.
+  static NativeRegistryStats registry_stats();
   /// Diagnostic from the most recent failed compile round ("" if none).
   const std::string& last_error() const { return last_error_; }
   /// Installed and serving regions (at least one round adopted)?
   bool active() const { return !bindings_.empty(); }
+
+  /// dlopen handle + verified entry table (defined in native.cpp; the
+  /// declaration is public so the module registry can weak-reference it).
+  struct Module;
 
  private:
   struct Binding {
@@ -163,7 +187,6 @@ class NativeRuntime {
     std::uint32_t fault_count = 0;
     std::uint32_t len = 0;
   };
-  struct Module;   // dlopen handle + verified entry (native.cpp)
   struct Job;      // worker-thread input snapshot (native.cpp)
   struct Pending;  // finished round awaiting adoption (native.cpp)
 
@@ -194,8 +217,12 @@ class NativeRuntime {
   void install(std::shared_ptr<Module> module);
   std::vector<NativeRegionSpec> collect_specs() const;
   // Worker-thread side: pure functions of the job snapshot (no runtime
-  // state is touched off the engine thread).
+  // state is touched off the engine thread). run_compile_job consults the
+  // process-wide module registry (single-flight per content key) and
+  // falls back to build_module — the artifact-dir probe, codegen,
+  // out-of-process compile and dlopen.
   static void run_compile_job(Job& job, Pending& out);
+  static void build_module(Job& job, Pending& out);
   static std::shared_ptr<Module> open_and_verify(const std::string& path,
                                                  const Job& job);
 

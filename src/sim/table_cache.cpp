@@ -123,11 +123,13 @@ std::uint64_t SimTableCache::fingerprint_table(const SimTable& table) {
 std::uint64_t SimTableCache::model_hash_for(const Model& model) {
   // Called with mutex_ held. The dump walks the whole model, so memoize
   // per instance; cached models must not mutate (they never do after
-  // sema).
+  // sema). The name cross-check catches address reuse by a different
+  // model (see the ModelHashMemo comment in the header).
   auto it = model_hashes_.find(&model);
-  if (it != model_hashes_.end()) return it->second;
+  if (it != model_hashes_.end() && it->second.name == model.name)
+    return it->second.hash;
   const std::uint64_t h = hash_model(model);
-  model_hashes_.emplace(&model, h);
+  model_hashes_[&model] = ModelHashMemo{model.name, h};
   return h;
 }
 
@@ -151,9 +153,9 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
   key.program_hash = hash_program(program);
   key.level = level;
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    key.model_hash = model_hash_for(model);
+  std::unique_lock<std::mutex> lock(mutex_);
+  key.model_hash = model_hash_for(model);
+  for (;;) {
     auto it = map_.find(key);
     if (it != map_.end() &&
         fingerprint_table(*it->second->table) != it->second->fingerprint) {
@@ -188,40 +190,62 @@ std::shared_ptr<const SimTable> SimTableCache::get_or_compile(
       }
       return table;
     }
-    ++stats_.misses;
+    // Single-flight election: if another thread is already compiling this
+    // key, wait for it to publish and take the hit path above on wake-up
+    // (or inherit the election if its compile threw). Without this, K
+    // concurrent sessions of one program would run K identical compiles.
+    if (in_flight_.find(key) == in_flight_.end()) break;  // we compile
+    ++stats_.coalesced;
+    compile_done_.wait(lock);
   }
+  ++stats_.misses;
+  in_flight_.emplace(key, 1u);
+  lock.unlock();
 
   // Compile outside the lock: a long build must not serialize unrelated
   // lookups (and the compiler may itself fan out onto the pool).
   SimCompileStats compile_stats;
-  auto table = std::make_shared<const SimTable>(
-      compiler.compile(program, level, &compile_stats, options));
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(key);
-    if (it == map_.end()) {
-      lru_.push_front(
-          Entry{key, table, compile_stats, fingerprint_table(*table)});
-      map_.emplace(key, lru_.begin());
-      while (map_.size() > capacity_) {
-        map_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
-      }
-    } else {
-      // A concurrent miss raced us; keep the installed table so every
-      // caller converges on one shared object.
-      lru_.splice(lru_.begin(), lru_, it->second);
-      table = it->second->table;
-    }
-    compile_stats.cache_hits = stats_.hits;
-    compile_stats.cache_misses = stats_.misses;
-    compile_stats.cache_evictions = stats_.evictions;
-    compile_stats.artifact_hits = stats_.artifact_hits;
-    compile_stats.artifact_misses = stats_.artifact_misses;
-    compile_stats.artifact_evictions = stats_.artifact_evictions;
+  std::shared_ptr<const SimTable> table;
+  try {
+    table = std::make_shared<const SimTable>(
+        compiler.compile(program, level, &compile_stats, options));
+  } catch (...) {
+    // Stand down the election so a waiter can retry, then rethrow to this
+    // caller only (compile faults are per-simulator budget events).
+    lock.lock();
+    in_flight_.erase(key);
+    lock.unlock();
+    compile_done_.notify_all();
+    throw;
   }
+
+  lock.lock();
+  in_flight_.erase(key);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    lru_.push_front(
+        Entry{key, table, compile_stats, fingerprint_table(*table)});
+    map_.emplace(key, lru_.begin());
+    while (map_.size() > capacity_) {
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  } else {
+    // Belt and braces (an entry can appear between our miss and insert
+    // only through external invalidate()+recompile interleavings): keep
+    // the installed table so every caller converges on one object.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    table = it->second->table;
+  }
+  compile_stats.cache_hits = stats_.hits;
+  compile_stats.cache_misses = stats_.misses;
+  compile_stats.cache_evictions = stats_.evictions;
+  compile_stats.artifact_hits = stats_.artifact_hits;
+  compile_stats.artifact_misses = stats_.artifact_misses;
+  compile_stats.artifact_evictions = stats_.artifact_evictions;
+  lock.unlock();
+  compile_done_.notify_all();
   if (stats) *stats = compile_stats;
   return table;
 }

@@ -18,6 +18,7 @@
 // object, so holders keep it alive across LRU eviction.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -52,6 +53,9 @@ class SimTableCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t coalesced = 0;  // misses that waited on an in-flight
+                                  // compile of the same key instead of
+                                  // compiling again (single-flight)
     std::uint64_t evictions = 0;
     std::uint64_t invalidations = 0;  // tables dropped via invalidate()
     std::uint64_t corruptions = 0;    // entries failing fingerprint re-check
@@ -66,8 +70,12 @@ class SimTableCache {
   /// `compiler` and insert. On a hit `stats` reports cache_hit = true,
   /// zero decode calls and the lookup time; the translation counters
   /// (instructions, rows, micro-ops) are replayed from the original
-  /// compile so callers can always print them. Thread-safe; concurrent
-  /// misses for the same key may compile twice but converge on one entry.
+  /// compile so callers can always print them. Thread-safe and
+  /// single-flight: concurrent misses for the same key elect one compiler
+  /// — the rest block until it publishes and then take the hit path, so K
+  /// simultaneous sessions of one program cost exactly one compile. If
+  /// the elected compile throws, one waiter is re-elected and retries;
+  /// the exception propagates only to the thread whose own compile threw.
   std::shared_ptr<const SimTable> get_or_compile(
       SimulationCompiler& compiler, const Model& model,
       const LoadedProgram& program, SimLevel level,
@@ -167,13 +175,29 @@ class SimTableCache {
   /// returns the number removed. Empty token matches every artifact.
   std::size_t remove_artifacts_locked(const std::string& token);
 
+  /// Memoized model hash. The map is keyed by instance address, so a
+  /// destroyed model whose address is reused by a *different* model (the
+  /// ABA case a long-lived serving cache can hit) must not inherit the
+  /// stale hash: the memo also records the model name and is recomputed
+  /// on any mismatch. Two distinct models reusing one address *and* one
+  /// name within a cache generation are indistinguishable here; such
+  /// callers must clear() between generations (documented in §5.2).
+  struct ModelHashMemo {
+    std::string name;
+    std::uint64_t hash = 0;
+  };
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<TableCacheKey, std::list<Entry>::iterator, KeyHash> map_;
   std::unordered_map<TableCacheKey, std::shared_ptr<const TraceSet>, KeyHash>
       traces_;  // trace-tier snapshots, key.level = kTrace
-  std::unordered_map<const Model*, std::uint64_t> model_hashes_;
+  std::unordered_map<const Model*, ModelHashMemo> model_hashes_;
+  /// Keys with a compile in flight (single-flight election). Guarded by
+  /// mutex_; waiters block on compile_done_ and re-run the lookup loop.
+  std::unordered_map<TableCacheKey, unsigned, KeyHash> in_flight_;
+  std::condition_variable compile_done_;
   Stats stats_;
   std::string artifact_dir_;  // "" = disk artifacts disabled
   std::uint64_t artifact_max_bytes_ = 256ull << 20;

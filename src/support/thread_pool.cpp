@@ -53,6 +53,15 @@ void ThreadPool::worker_loop() {
       if (queue_head_ >= queue_.size()) return;  // stop_ and drained
       task = std::move(queue_[queue_head_]);
       ++queue_head_;
+      // Long self-resubmitting chains (one task per scheduler quantum)
+      // never pass through wait_idle's compaction, so the consumed prefix
+      // of moved-from slots would grow without bound. Fold it eagerly once
+      // it dominates the vector.
+      if (queue_head_ >= 1024 && queue_head_ * 2 >= queue_.size()) {
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+        queue_head_ = 0;
+      }
     }
     task();
     {

@@ -1,9 +1,11 @@
 // A small fixed-size worker pool for compile-time parallelism (simulation
-// compilation shards, paper Fig. 6 amortization argument). The pool is
-// deliberately simple: a mutex-protected FIFO of type-erased tasks and a
-// blocking wait for quiescence. Simulation hot loops never touch it — it
-// exists so one-shot translation work (decode + sequencing per program
-// location) can use all cores without perturbing run-time determinism.
+// compilation shards, paper Fig. 6 amortization argument) and for the
+// serve layer's run-quantum scheduler. The pool is deliberately simple: a
+// mutex-protected FIFO of type-erased tasks and a blocking wait for
+// quiescence. Simulation hot loops never touch it — it exists so one-shot
+// translation work (decode + sequencing per program location) and
+// session-quantum ticks can use all cores without perturbing run-time
+// determinism.
 #pragma once
 
 #include <condition_variable>
@@ -25,12 +27,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks must not submit to the pool they run on while
-  /// a wait_idle() is pending completion accounting (shard helpers below
-  /// never do).
+  /// Enqueue a task. A task may submit follow-up work to the pool it runs
+  /// on (the serve scheduler's requeue-after-quantum pattern): the
+  /// in-flight count covers queued *and* running tasks under one lock, so
+  /// a concurrent wait_idle() cannot observe a false quiescence between a
+  /// task's resubmission and its own completion.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task — including work submitted by tasks
+  /// while they ran — has finished.
   void wait_idle();
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }

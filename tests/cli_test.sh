@@ -1,12 +1,13 @@
 #!/bin/sh
 # Integration test for the lisasim command-line driver. Invoked by ctest
 # with the path to the binary as $1 (and, optionally, the lisasim-fuzz
-# binary as $2); exercises every subcommand against the built-in models
-# and checks key output fragments.
+# binary as $2 and the lisasim-serve binary as $3); exercises every
+# subcommand against the built-in models and checks key output fragments.
 set -eu
 
 LISASIM="$1"
 LISASIM_FUZZ="${2:-}"
+LISASIM_SERVE="${3:-}"
 TMP="${TMPDIR:-/tmp}/lisasim_cli_test.$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -571,6 +572,86 @@ if [ -n "$LISASIM_FUZZ" ]; then
     code=$?
   fi
   [ "$code" = "2" ] || fail "usage error should exit 2 (got $code)"
+fi
+
+# ---- lisasim-serve (if provided) ------------------------------------------
+if [ -n "$LISASIM_SERVE" ]; then
+  # Batch job mode: a fleet of copies plus a guarded SMC session and an
+  # interpretive probe of the same program; everything shares one table
+  # cache, and copies of one program must report identical counters.
+  cat > "$TMP/jobs" <<'EOF'
+# serve integration job
+threads 2
+quantum 2048
+session fleet @fir level=static copies=4
+session probe @fir level=interp
+session smc @smc level=static guard=recompile
+EOF
+  "$LISASIM_SERVE" @c62x --jobs "$TMP/jobs" --metrics > "$TMP/serve.out" 2>&1 \
+      || fail "serve job mode should exit 0 (got $?)"
+  expect_contains "$TMP/serve.out" "session fleet-0: halted" "fleet-0 halts"
+  expect_contains "$TMP/serve.out" "session fleet-3: halted" "fleet-3 halts"
+  expect_contains "$TMP/serve.out" "session smc: halted" "guarded smc halts"
+  expect_contains "$TMP/serve.out" "metrics: sessions=6 finished=6" \
+      "metrics line"
+  expect_contains "$TMP/serve.out" "aggregate_mips=" "metrics report MIPS"
+  # All four copies and the interpretive probe agree cycle-for-cycle.
+  fleet_cycles=$(sed -n 's/^session fleet-[0-9]*: halted.*cycles=\([0-9]*\).*/\1/p' \
+      "$TMP/serve.out" | sort -u)
+  [ "$(echo "$fleet_cycles" | wc -l)" = "1" ] || fail "fleet copies diverged"
+  probe_cycles=$(sed -n 's/^session probe: halted.*cycles=\([0-9]*\).*/\1/p' \
+      "$TMP/serve.out")
+  [ "$fleet_cycles" = "$probe_cycles" ] || \
+      fail "static fleet ($fleet_cycles) != interp probe ($probe_cycles)"
+
+  # A watchdog stop is a recoverable session error: exit code 3 and a
+  # stopped="..." report.
+  cat > "$TMP/jobs_wd" <<'EOF'
+session wd @fir level=static watchdog=500
+EOF
+  if "$LISASIM_SERVE" @c62x --jobs "$TMP/jobs_wd" > "$TMP/serve_wd.out" 2>&1
+  then
+    fail "watchdog job should exit 3"
+  else
+    code=$?
+  fi
+  [ "$code" = "3" ] || fail "watchdog job should exit 3 (got $code)"
+  expect_contains "$TMP/serve_wd.out" 'session wd: error' "watchdog outcome"
+  expect_contains "$TMP/serve_wd.out" 'stopped=' "watchdog is recoverable"
+
+  # Cross-process checkpoint hand-off: process 1 runs a session halfway
+  # and checkpoints it; process 2 (a fresh lisasim-serve) restores the
+  # file mid-flight and finishes. The resumed totals must equal an
+  # uninterrupted run's (the `full` session in process 2).
+  printf 'open a @fir level=static\nrun a 5000\ncheckpoint a %s\nquit\n' \
+      "$TMP/mid.ckpt" | "$LISASIM_SERVE" @c62x --interactive \
+      > "$TMP/serve_p1.out" 2>&1 || fail "serve process 1 failed"
+  expect_contains "$TMP/serve_p1.out" "ok run a cycles=5000 halted=0" \
+      "partial run stops at 5000"
+  expect_contains "$TMP/serve_p1.out" "ok checkpoint a" "checkpoint written"
+  [ -s "$TMP/mid.ckpt" ] || fail "checkpoint file missing"
+  expect_contains "$TMP/mid.ckpt" "lisasim-serve-session 1" \
+      "session checkpoint header"
+
+  printf 'open b @fir level=static\nrestore b %s\nrunall\nreport b\nopen full @fir level=static\nrunall\nreport full\nquit\n' \
+      "$TMP/mid.ckpt" | "$LISASIM_SERVE" @c62x --interactive \
+      > "$TMP/serve_p2.out" 2>&1 || fail "serve process 2 failed"
+  expect_contains "$TMP/serve_p2.out" "ok restore b" "cross-process restore"
+  expect_contains "$TMP/serve_p2.out" "session b: halted" "restored run halts"
+  resumed=$(sed -n 's/^session b: halted.*cycles=\([0-9]*\).*/\1/p' \
+      "$TMP/serve_p2.out")
+  full=$(sed -n 's/^session full: halted.*cycles=\([0-9]*\).*/\1/p' \
+      "$TMP/serve_p2.out")
+  [ -n "$resumed" ] && [ "$resumed" = "$full" ] || \
+      fail "resumed cycles ($resumed) != uninterrupted cycles ($full)"
+
+  # Usage errors exit 2.
+  if "$LISASIM_SERVE" @c62x > "$TMP/serveusage.out" 2>&1; then
+    fail "serve without a mode should fail"
+  else
+    code=$?
+  fi
+  [ "$code" = "2" ] || fail "serve usage error should exit 2 (got $code)"
 fi
 
 echo "cli_test: all checks passed"

@@ -68,6 +68,23 @@ TEST(ThreadPool, ParallelShardsRethrowsLowestShardError) {
   }
 }
 
+TEST(ThreadPool, SelfSubmittingTasksChainWithoutLosingWaitIdle) {
+  // The serve scheduler's pattern: a task re-submits itself from inside a
+  // worker until its work is done. wait_idle must count the resubmission
+  // before the running task retires, or it would report quiescence with
+  // chain links still queued.
+  ThreadPool pool(3);
+  std::atomic<int> steps{0};
+  std::function<void(int)> chain = [&](int remaining) {
+    ++steps;
+    if (remaining > 1) pool.submit([&chain, remaining] { chain(remaining - 1); });
+  };
+  for (int lane = 0; lane < 8; ++lane)
+    pool.submit([&chain] { chain(200); });
+  pool.wait_idle();
+  EXPECT_EQ(steps.load(), 8 * 200);
+}
+
 TEST(ThreadPool, ZeroAndSingleShardRunInline) {
   ThreadPool pool(2);
   int calls = 0;
@@ -233,6 +250,73 @@ TEST(TableCache, CachedSimulatorRunsMatchUncached) {
   EXPECT_EQ(cached_sim.run(), want);
   EXPECT_TRUE(plain.state() == cached_sim.state());
   EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TableCache, SingleFlightElectsExactlyOneCompiler) {
+  // K threads miss the same key at once: one compiles, the rest coalesce
+  // onto the in-flight build and leave with the identical table object.
+  const LoadedProgram p = c62x().assemble(workloads::make_fir(8, 24).asm_source);
+  SimTableCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const SimTable>> tables(kThreads);
+
+  ThreadPool pool(kThreads);
+  parallel_shards(pool, kThreads, kThreads, [&](const Shard& shard) {
+    SimulationCompiler compiler(*c62x().model, *c62x().decoder);
+    for (std::size_t i = shard.begin; i < shard.end; ++i)
+      tables[i] = cache.get_or_compile(compiler, *c62x().model, p,
+                                       SimLevel::kCompiledStatic);
+  });
+
+  for (int i = 1; i < kThreads; ++i)
+    EXPECT_EQ(tables[0].get(), tables[i].get()) << "thread " << i;
+  const SimTableCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u) << "exactly one elected compile";
+  // Every non-elected request ends through the hit path (a coalesced
+  // waiter re-checks on wake-up and then hits); `coalesced` counts the
+  // wait rounds on top, so it is >= 0 but not part of this total.
+  EXPECT_EQ(stats.hits, kThreads - 1u);
+}
+
+TEST(TableCache, ConcurrentMixedKeyHammer) {
+  // TSan fodder (`ctest -L parallel` under -DLISASIM_TSAN=ON): many
+  // threads hammering a small cache with overlapping keys, forcing every
+  // path — miss, hit, coalesced wait, LRU eviction — to interleave. The
+  // assertions are deliberately weak (totals, liveness); the point is the
+  // data-race coverage.
+  std::vector<LoadedProgram> programs;
+  for (int samples : {8, 12, 16, 20})
+    programs.push_back(
+        c62x().assemble(workloads::make_fir(4, samples).asm_source));
+  SimTableCache cache(3);  // smaller than the key population: evictions
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  ThreadPool pool(kThreads);
+  std::atomic<std::uint64_t> served{0};
+  parallel_shards(pool, kThreads, kThreads, [&](const Shard& shard) {
+    SimulationCompiler compiler(*c62x().model, *c62x().decoder);
+    for (std::size_t t = shard.begin; t < shard.end; ++t) {
+      for (int round = 0; round < kRounds; ++round) {
+        const LoadedProgram& p = programs[(t + round) % programs.size()];
+        const SimLevel level = (round % 2 == 0) ? SimLevel::kCompiledStatic
+                                                : SimLevel::kCompiledDynamic;
+        auto table = cache.get_or_compile(compiler, *c62x().model, p, level);
+        ASSERT_NE(table, nullptr);
+        ASSERT_GT(table->size(), 0u);
+        ++served;
+      }
+    }
+  });
+
+  EXPECT_EQ(served.load(), kThreads * kRounds);
+  const SimTableCache::Stats stats = cache.stats();
+  // >= not ==: a waiter whose elected table was evicted before it woke
+  // retries the lookup and is counted a second time.
+  EXPECT_GE(stats.hits + stats.misses + stats.coalesced,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_GT(stats.evictions, 0u) << "capacity 3 over 8 keys must evict";
+  EXPECT_LE(stats.entries, 3u);
 }
 
 }  // namespace

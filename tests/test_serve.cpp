@@ -1,0 +1,469 @@
+// The simulation service's contract: every session a SessionManager
+// retires — at any level, under any guard policy, through any amount of
+// quantum slicing, eviction and rehydration — reports exactly the
+// RunResult and final architectural state one standalone simulator run of
+// the same program would produce. Plus the sharing story those sessions
+// ride on (K sessions, one table compile) and the session checkpoint
+// format that carries them across managers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hpp"
+#include "serve/session_io.hpp"
+#include "serve/session_manager.hpp"
+#include "sim_test_util.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+#include "workloads/workloads.hpp"
+
+namespace lisasim {
+namespace {
+
+using testing::TestTarget;
+
+TestTarget& c62x() {
+  static TestTarget t(targets::c62x_model_source(), "c62x");
+  return t;
+}
+
+std::shared_ptr<const LoadedProgram> shared_fir(int samples = 24) {
+  return std::make_shared<const LoadedProgram>(
+      c62x().assemble(workloads::make_fir(8, samples).asm_source));
+}
+
+/// What one uninterrupted run at `level` produces (the serve reference).
+struct Standalone {
+  RunResult result;
+  std::string state_dump;
+  bool recoverable_stop = false;
+};
+
+Standalone standalone_run(const Model& model, const LoadedProgram& program,
+                          SimLevel level, GuardPolicy guard,
+                          const RunLimits& limits = {}) {
+  Standalone out;
+  if (level == SimLevel::kInterpretive) {
+    InterpSimulator sim(model);
+    sim.load(program);
+    try {
+      out.result = sim.run(limits);
+    } catch (const SimError& e) {
+      if (!e.recoverable()) throw;
+      out.recoverable_stop = true;
+    }
+    out.state_dump = sim.state().dump_nonzero();
+    return out;
+  }
+  if (level == SimLevel::kDecodeCached) {
+    CachedInterpSimulator sim(model);
+    sim.set_guard_policy(guard);
+    sim.load(program);
+    try {
+      out.result = sim.run(limits.max_cycles);
+    } catch (const SimError& e) {
+      if (!e.recoverable()) throw;
+      out.recoverable_stop = true;
+    }
+    out.state_dump = sim.state().dump_nonzero();
+    return out;
+  }
+  CompiledSimulator sim(model, level);
+  sim.set_guard_policy(guard);
+  sim.load(program);
+  try {
+    out.result = sim.run(limits);
+  } catch (const SimError& e) {
+    if (!e.recoverable()) throw;
+    out.recoverable_stop = true;
+  }
+  out.state_dump = sim.state().dump_nonzero();
+  return out;
+}
+
+SessionSpec spec_of(std::string name,
+                    const std::shared_ptr<const LoadedProgram>& program,
+                    SimLevel level, GuardPolicy guard = GuardPolicy::kOff) {
+  SessionSpec spec;
+  spec.name = std::move(name);
+  spec.model = c62x().model.get();
+  spec.program = program;
+  spec.level = level;
+  spec.guard = guard;
+  return spec;
+}
+
+/// "<stem><i>" via append — the obvious `stem + std::to_string(i)` trips
+/// GCC 12's -Wrestrict false positive on operator+(const char*, string&&).
+std::string numbered(const char* stem, int i) {
+  std::string name = stem;
+  name += std::to_string(i);
+  return name;
+}
+
+std::filesystem::path fresh_dir(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      (std::string("lisasim-serve-") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------- differential core --
+
+TEST(Serve, FleetMatchesStandaloneAndCompilesOnce) {
+  const auto program = shared_fir();
+  const Standalone want = standalone_run(
+      *c62x().model, *program, SimLevel::kCompiledStatic, GuardPolicy::kOff);
+
+  ServeConfig cfg;
+  cfg.threads = 4;
+  cfg.quantum_cycles = 512;  // force many slices per session
+  SessionManager manager(cfg);
+  for (int i = 0; i < 16; ++i)
+    manager.add_session(spec_of(numbered("s", i), program,
+                                SimLevel::kCompiledStatic));
+  manager.run_all();
+
+  for (const SessionReport& r : manager.reports()) {
+    EXPECT_EQ(r.outcome, SessionOutcome::kHalted) << r.name;
+    EXPECT_EQ(r.result, want.result) << r.name;
+    EXPECT_EQ(r.state_dump, want.state_dump) << r.name;
+    EXPECT_GT(r.quanta, 1u) << r.name;
+  }
+  // The sharing contract: 16 sessions of one (model, program, level) cost
+  // exactly one simulation-compiler run; every other session's request
+  // lands on the hit path (after coalescing on the in-flight compile if
+  // it arrived while the election was still out).
+  const SimTableCache::Stats stats = manager.cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 15u);
+
+  const ServeMetrics m = manager.metrics();
+  EXPECT_EQ(m.sessions, 16u);
+  EXPECT_EQ(m.finished, 16u);
+  EXPECT_EQ(m.errors, 0u);
+  EXPECT_EQ(m.total_cycles, want.result.cycles * 16);
+  EXPECT_GE(m.p99_step_ns, m.p50_step_ns);
+}
+
+TEST(Serve, EveryLevelMatchesTheInterpOracle) {
+  const auto program = shared_fir(16);
+  const Standalone oracle = standalone_run(
+      *c62x().model, *program, SimLevel::kInterpretive, GuardPolicy::kOff);
+
+  const SimLevel levels[] = {SimLevel::kInterpretive, SimLevel::kDecodeCached,
+                             SimLevel::kCompiledDynamic,
+                             SimLevel::kCompiledStatic, SimLevel::kTrace};
+  ServeConfig cfg;
+  cfg.threads = 2;
+  cfg.quantum_cycles = 777;  // odd on purpose: slices land mid-packet
+  SessionManager manager(cfg);
+  for (SimLevel level : levels)
+    manager.add_session(spec_of(sim_level_name(level), program, level));
+  manager.run_all();
+
+  for (const SessionReport& r : manager.reports()) {
+    EXPECT_EQ(r.outcome, SessionOutcome::kHalted) << r.name;
+    EXPECT_EQ(r.result, oracle.result) << r.name;
+    EXPECT_EQ(r.state_dump, oracle.state_dump) << r.name;
+  }
+}
+
+TEST(Serve, SmcSessionsHonorBothGuardPolicies) {
+  const auto program = std::make_shared<const LoadedProgram>(
+      c62x().assemble(workloads::make_smc_c62x().asm_source));
+
+  for (GuardPolicy guard : {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+    SCOPED_TRACE(guard_policy_name(guard));
+    const Standalone want = standalone_run(
+        *c62x().model, *program, SimLevel::kCompiledStatic, guard);
+
+    ServeConfig cfg;
+    cfg.threads = 2;
+    cfg.quantum_cycles = 64;  // slice straight through the self-patch
+    SessionManager manager(cfg);
+    for (SimLevel level : {SimLevel::kDecodeCached, SimLevel::kCompiledDynamic,
+                           SimLevel::kCompiledStatic})
+      manager.add_session(spec_of(sim_level_name(level), program, level, guard));
+    manager.run_all();
+
+    for (const SessionReport& r : manager.reports()) {
+      EXPECT_EQ(r.outcome, SessionOutcome::kHalted) << r.name;
+      EXPECT_EQ(r.result, want.result) << r.name;
+      EXPECT_EQ(r.state_dump, want.state_dump) << r.name;
+    }
+  }
+}
+
+// --------------------------------------------------- limits/watchdog --
+
+TEST(Serve, WholeSessionLimitMatchesStandaloneLimitRun) {
+  const auto program = shared_fir();
+  RunLimits limits;
+  limits.max_cycles = 1000;  // well before the halt
+  const Standalone want =
+      standalone_run(*c62x().model, *program, SimLevel::kCompiledStatic,
+                     GuardPolicy::kOff, limits);
+  ASSERT_FALSE(want.result.halted);
+
+  ServeConfig cfg;
+  cfg.quantum_cycles = 96;  // 1000 is not a multiple: the last slice is short
+  SessionManager manager(cfg);
+  SessionSpec spec = spec_of("limited", program, SimLevel::kCompiledStatic);
+  spec.limits = limits;
+  const std::size_t id = manager.add_session(std::move(spec));
+  manager.run_all();
+
+  const SessionReport r = manager.report(id);
+  EXPECT_EQ(r.outcome, SessionOutcome::kLimit);
+  EXPECT_EQ(r.result, want.result);
+  EXPECT_EQ(r.result.cycles, 1000u);
+  EXPECT_EQ(r.state_dump, want.state_dump);
+}
+
+TEST(Serve, WatchdogFiresAtTheSameAbsoluteCycleAsStandalone) {
+  const auto program = shared_fir();
+  RunLimits limits;
+  limits.watchdog_cycles = 700;
+  const Standalone want =
+      standalone_run(*c62x().model, *program, SimLevel::kCompiledStatic,
+                     GuardPolicy::kOff, limits);
+  ASSERT_TRUE(want.recoverable_stop);
+
+  ServeConfig cfg;
+  cfg.quantum_cycles = 128;  // the watchdog is rebased into each slice
+  SessionManager manager(cfg);
+  SessionSpec spec = spec_of("watchdogged", program, SimLevel::kCompiledStatic);
+  spec.limits = limits;
+  const std::size_t id = manager.add_session(std::move(spec));
+  manager.run_all();
+
+  const SessionReport r = manager.report(id);
+  EXPECT_EQ(r.outcome, SessionOutcome::kError);
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.state_dump, want.state_dump)
+      << "watchdog must stop at the same absolute cycle";
+}
+
+// ------------------------------------------------ evict / rehydrate --
+
+TEST(Serve, EvictionRehydrationKeepsSessionsBitIdentical) {
+  const auto program = shared_fir();
+  const Standalone want = standalone_run(
+      *c62x().model, *program, SimLevel::kCompiledStatic, GuardPolicy::kOff);
+  const std::filesystem::path dir = fresh_dir("evict");
+
+  ServeConfig cfg;
+  cfg.threads = 2;
+  cfg.quantum_cycles = 256;
+  cfg.max_resident = 2;  // 6 sessions through 2 slots: constant churn
+  cfg.evict_dir = dir.string();
+  SessionManager manager(cfg);
+  for (int i = 0; i < 6; ++i)
+    manager.add_session(spec_of(numbered("churn", i), program,
+                                SimLevel::kCompiledStatic));
+  manager.run_all();
+
+  std::uint64_t evictions = 0;
+  for (const SessionReport& r : manager.reports()) {
+    EXPECT_EQ(r.outcome, SessionOutcome::kHalted) << r.name;
+    EXPECT_EQ(r.result, want.result) << r.name;
+    EXPECT_EQ(r.state_dump, want.state_dump) << r.name;
+    evictions += r.evictions;
+    EXPECT_EQ(r.evictions, r.rehydrations) << r.name;
+  }
+  const ServeMetrics metrics = manager.metrics();
+  EXPECT_EQ(metrics.evict_failures, 0u)
+      << "eviction serialize/write errors ran sessions over the cap";
+  EXPECT_GT(evictions, 0u)
+      << "cap of 2 with 6 sessions must evict (manager counted "
+      << metrics.evictions << " evictions, " << metrics.evict_failures
+      << " failed attempts over " << metrics.quanta << " quanta)";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, GuardedSmcSessionSurvivesEviction) {
+  const auto program = std::make_shared<const LoadedProgram>(
+      c62x().assemble(workloads::make_smc_c62x().asm_source));
+  const std::filesystem::path dir = fresh_dir("evict-smc");
+
+  for (GuardPolicy guard : {GuardPolicy::kRecompile, GuardPolicy::kFallback}) {
+    SCOPED_TRACE(guard_policy_name(guard));
+    const Standalone want = standalone_run(
+        *c62x().model, *program, SimLevel::kCompiledStatic, guard);
+
+    ServeConfig cfg;
+    cfg.quantum_cycles = 32;
+    cfg.max_resident = 1;
+    cfg.evict_dir = dir.string();
+    SessionManager manager(cfg);
+    const std::size_t a = manager.add_session(
+        spec_of("smc-a", program, SimLevel::kCompiledStatic, guard));
+    const std::size_t b = manager.add_session(
+        spec_of("smc-b", program, SimLevel::kCompiledStatic, guard));
+    manager.run_all();
+
+    for (std::size_t id : {a, b}) {
+      const SessionReport r = manager.report(id);
+      EXPECT_EQ(r.outcome, SessionOutcome::kHalted) << r.name;
+      EXPECT_EQ(r.result, want.result) << r.name;
+      EXPECT_EQ(r.state_dump, want.state_dump) << r.name;
+      EXPECT_GT(r.rehydrations, 0u)
+          << "cap of 1 with 2 sessions must round-trip " << r.name
+          << " through its checkpoint, patched text included";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------- checkpoint / cross-manager --
+
+TEST(Serve, CheckpointRestoreAcrossManagersIsSeamless) {
+  const auto program = shared_fir();
+  const Standalone want = standalone_run(
+      *c62x().model, *program, SimLevel::kCompiledStatic, GuardPolicy::kOff);
+  const std::filesystem::path dir = fresh_dir("handoff");
+  const std::string ckpt = (dir / "mid.ckpt").string();
+
+  std::uint64_t cycles_before = 0;
+  {
+    SessionManager first;
+    const std::size_t id =
+        first.add_session(spec_of("mid", program, SimLevel::kCompiledStatic));
+    const RunResult partial = first.run_session(id, 900);
+    EXPECT_EQ(partial.cycles, 900u);
+    cycles_before = first.report(id).result.cycles;
+    first.checkpoint_session(id, ckpt);
+  }  // first manager (and its cache, sims) fully gone
+
+  SessionManager second;
+  const std::size_t id = second.add_session_from_checkpoint(
+      spec_of("mid", program, SimLevel::kCompiledStatic), ckpt);
+  second.run_all();
+
+  const SessionReport r = second.report(id);
+  EXPECT_EQ(cycles_before, 900u);
+  EXPECT_EQ(r.outcome, SessionOutcome::kHalted);
+  EXPECT_EQ(r.result, want.result) << "carried counters + resumed run must "
+                                      "equal one uninterrupted run";
+  EXPECT_EQ(r.state_dump, want.state_dump);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serve, CheckpointSpecMismatchIsRejected) {
+  const auto program = shared_fir(16);
+  const std::filesystem::path dir = fresh_dir("mismatch");
+  const std::string ckpt = (dir / "static.ckpt").string();
+
+  SessionManager manager;
+  const std::size_t id =
+      manager.add_session(spec_of("s", program, SimLevel::kCompiledStatic));
+  manager.run_session(id, 200);
+  manager.checkpoint_session(id, ckpt);
+
+  SessionManager other;
+  EXPECT_THROW(other.add_session_from_checkpoint(
+                   spec_of("s", program, SimLevel::kCompiledDynamic), ckpt),
+               SimError);
+  EXPECT_THROW(other.add_session_from_checkpoint(
+                   spec_of("s", program, SimLevel::kCompiledStatic,
+                           GuardPolicy::kRecompile),
+                   ckpt),
+               SimError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionIo, RoundTripsAndRejectsMalformedInput) {
+  SessionCheckpoint cp;
+  cp.name = "weird \\ name\nwith newline";
+  cp.target = "c62x";
+  cp.level = SimLevel::kTrace;
+  cp.guard = GuardPolicy::kFallback;
+  cp.acc.cycles = 123;
+  cp.acc.packets_retired = 45;
+  cp.acc.slots_retired = 67;
+  cp.acc.fetches = 89;
+  cp.quanta = 7;
+  cp.engine.state = {1, -2, 3};
+  cp.engine.total_cycles = 123;
+
+  const std::string text = serialize_session_checkpoint(cp);
+  const SessionCheckpoint back = parse_session_checkpoint(text);
+  EXPECT_EQ(back.name, cp.name);
+  EXPECT_EQ(back.target, cp.target);
+  EXPECT_EQ(back.level, cp.level);
+  EXPECT_EQ(back.guard, cp.guard);
+  EXPECT_EQ(back.acc, cp.acc);
+  EXPECT_EQ(back.quanta, cp.quanta);
+
+  for (const char* bad :
+       {"", "not-a-checkpoint", "lisasim-serve-session 2\n",
+        "lisasim-serve-session 1\nname x\n"}) {
+    try {
+      parse_session_checkpoint(bad);
+      FAIL() << "accepted malformed input: " << bad;
+    } catch (const SimError& e) {
+      EXPECT_TRUE(e.recoverable()) << bad;
+    }
+  }
+}
+
+// ------------------------------------------------- interactive seams --
+
+TEST(Serve, RunSessionAndStateMirrorAStandaloneStep) {
+  const auto program = shared_fir(16);
+  InterpSimulator reference(*c62x().model);
+  reference.load(*program);
+  reference.run(500);
+
+  SessionManager manager;
+  const std::size_t id =
+      manager.add_session(spec_of("stepper", program, SimLevel::kInterpretive));
+  const RunResult d1 = manager.run_session(id, 300);
+  const RunResult d2 = manager.run_session(id, 200);
+  EXPECT_EQ(d1.cycles, 300u);
+  EXPECT_EQ(d2.cycles, 200u);
+  EXPECT_EQ(manager.session_state(id), reference.state().dump_nonzero());
+
+  // Evicting between interactive steps must not change anything either.
+  const std::filesystem::path dir = fresh_dir("interactive");
+  // (session_state above may have been the last user; force the eviction
+  // path through the public seam.)
+  SessionManager manager2(ServeConfig{.max_resident = 1,
+                                      .evict_dir = dir.string()});
+  const std::size_t id2 = manager2.add_session(
+      spec_of("stepper2", program, SimLevel::kInterpretive));
+  manager2.run_session(id2, 300);
+  manager2.evict_session(id2);
+  manager2.run_session(id2, 200);
+  EXPECT_EQ(manager2.session_state(id2), reference.state().dump_nonzero());
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- fuzz sweep --
+
+TEST(ServeFuzz, SweepAgreesWithOracleOnGeneratedPrograms) {
+  TestTarget tiny(targets::tinydsp_model_source(), "tinydsp");
+  fuzz::DifferentialFuzzer fuzzer(*tiny.model);
+  fuzz::FuzzOptions opts;
+  opts.serve_sessions = 3;
+  opts.minimize = false;
+  opts.repro_dir.clear();
+  fuzz::FuzzStats stats;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto divergence = fuzzer.run_seed(seed, opts, stats);
+    EXPECT_FALSE(divergence.has_value())
+        << divergence->level << ": " << divergence->description;
+  }
+  EXPECT_GT(stats.programs, 0u);
+}
+
+}  // namespace
+}  // namespace lisasim

@@ -21,6 +21,20 @@ Native AOT rows are gated on the fresh run's absolute speedup_vs_trace
 staying at or above --native-min-speedup (default 2x); a fresh run without
 the section (no out-of-process toolchain in that environment) is reported
 as skipped, not failed.
+
+The same script also compares serve snapshots (bench_serve --json against
+BENCH_serve.json):
+
+    bench/bench_serve --json /tmp/serve_new.json
+    python3 tools/bench_compare.py /tmp/serve_new.json BENCH_serve.json
+
+Serve rows are matched on (app, level, threads, max_resident) and gated on
+aggregate_mips under the regression threshold, plus one absolute contract
+gate: the fresh run's table_compiles must be exactly 1 (K sessions of one
+program, one simulation-compiler run). A baseline written before the serve
+bench existed is reported as skipped, not failed. serve_native rows gate
+on native_shares > 0 (the fleet shared a dlopen'd module); a fresh run
+without them (no toolchain) is skipped.
 """
 
 import argparse
@@ -78,7 +92,8 @@ def main():
         )
 
     regressions = []
-    print(f"{'app':8s} {'level':8s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
+    if base or fresh:
+        print(f"{'app':8s} {'level':8s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
     for key in sorted(base):
         b = base[key]["cycles_per_second"]
         if key not in fresh:
@@ -208,6 +223,88 @@ def main():
         for key in sorted(set(fresh_batched) - set(base_batched)):
             print(f"{key[0]:8s} {key[1]:5d} {'new row':>10s} "
                   f"{fresh_batched[key]['aggregate_mips']:10.2f}")
+
+    # Serve rows (bench_serve --json vs BENCH_serve.json): matched on
+    # (app, level, threads, max_resident), gated on aggregate_mips under
+    # the threshold — plus the absolute shared-table contract: a fresh row
+    # whose table_compiles is not exactly 1 failed to coalesce K sessions
+    # of one program onto one simulation-compiler run and is flagged no
+    # matter how fast it went.
+    def serve_key(row):
+        return (row["app"], row["level"], row["threads"],
+                row.get("max_resident", 0))
+
+    base_serve = {serve_key(r): r for r in base_data.get("serve", [])}
+    fresh_serve = {serve_key(r): r for r in fresh_data.get("serve", [])}
+    if fresh_serve and not base_serve:
+        print(
+            "\nserve: baseline has no serve rows (predates the serve "
+            "bench); skipping the comparison. Refresh BENCH_serve.json "
+            "to start gating them."
+        )
+    if fresh_serve:
+        print("\nserve (aggregate MIPS; table_compiles must be 1):")
+        print(f"{'app':8s} {'thr':>3s} {'resid':>5s} {'baseline':>10s} "
+              f"{'fresh':>10s} {'delta':>8s} {'compiles':>8s}")
+        for key in sorted(base_serve):
+            if key not in fresh_serve:
+                print(f"{key[0]:8s} {key[2]:3d} {key[3]:5d} "
+                      f"{base_serve[key]['aggregate_mips']:10.2f} "
+                      f"{'missing':>10s}")
+                regressions.append((key[:2], "serve row missing from fresh run"))
+        for key in sorted(fresh_serve):
+            f = fresh_serve[key]
+            b = base_serve.get(key)
+            delta = ((f["aggregate_mips"] - b["aggregate_mips"]) /
+                     b["aggregate_mips"] * 100.0) if b else None
+            flag = ""
+            if b and delta < -args.threshold:
+                flag = f"  << regression > {args.threshold:.0f}%"
+                regressions.append((key[:2], f"{delta:+.1f}%"))
+            if f.get("table_compiles", 1) != 1:
+                flag += (f"  << {f['table_compiles']} table compiles "
+                         "(want exactly 1)")
+                regressions.append(
+                    (key[:2], f"{f['table_compiles']} table compiles")
+                )
+            baseline_text = f"{b['aggregate_mips']:10.2f}" if b else f"{'new row':>10s}"
+            delta_text = f"{delta:+7.1f}%" if b else f"{'':8s}"
+            print(f"{key[0]:8s} {key[2]:3d} {key[3]:5d} {baseline_text} "
+                  f"{f['aggregate_mips']:10.2f} {delta_text} "
+                  f"{f.get('table_compiles', 1):8d}{flag}")
+    elif base_serve:
+        print(
+            "\nserve: fresh run has no serve rows; skipping the comparison "
+            "(rerun bench_serve from this tree)."
+        )
+
+    # serve_native rows: absolute gate only — the fleet must actually have
+    # shared a module (native_shares > 0). Skipped cleanly when the fresh
+    # environment has no out-of-process toolchain.
+    base_snative = {r["app"]: r for r in base_data.get("serve_native", [])}
+    fresh_snative = {r["app"]: r for r in fresh_data.get("serve_native", [])}
+    if fresh_snative:
+        print("\nserve native (module sharing):")
+        for app in sorted(fresh_snative):
+            f = fresh_snative[app]
+            b = base_snative.get(app)
+            flag = ""
+            if f.get("native_shares", 0) == 0:
+                flag = "  << fleet never shared a module"
+                regressions.append(((app, "serve_native"), "native_shares == 0"))
+            baseline_text = (
+                f"{b['native_builds']}b/{b['native_shares']}s" if b else "new"
+            )
+            print(
+                f"{app:8s} {baseline_text:>8s} -> "
+                f"{f['native_builds']} build(s), {f['native_shares']} "
+                f"share(s), {f['aggregate_mips']:.2f} MIPS{flag}"
+            )
+    elif base_snative:
+        print(
+            "\nserve native: fresh run has no serve_native rows (no "
+            "out-of-process toolchain?); skipping the gate."
+        )
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0f}%:",

@@ -4,16 +4,17 @@
 #   tools/fuzz_soak.sh [MINUTES] [BUILD_ROOT]
 #
 # Configures an ASan+UBSan build and a TSan build (under BUILD_ROOT,
-# default ./build-soak), builds each, runs the `robustness`, `resilience`
-# and `native` ctest labels (guarded execution, checkpoint hardening,
-# fault-injection supervisor, native AOT region dispatch — the native
-# artifacts are compiled with the same sanitizer flags, so the dlopen'd
-# regions run instrumented too), then runs a wall-clock fuzz soak with the
-# resilience sweep enabled (MINUTES per sanitizer, default 10, split
-# across the three built-in targets). Any divergence — i.e. any repro
-# bundle emitted, a failing labeled test, or a sanitizer report aborting
-# the run — fails the script. Companion to tools/bench_compare.py on the
-# performance side.
+# default ./build-soak), builds each, runs the `robustness`, `resilience`,
+# `native` and `serve` ctest labels (guarded execution, checkpoint
+# hardening, fault-injection supervisor, native AOT region dispatch — the
+# native artifacts are compiled with the same sanitizer flags, so the
+# dlopen'd regions run instrumented too — and the multi-session run-
+# quantum scheduler), then runs a wall-clock fuzz soak with the resilience
+# sweep and a 3-session serve sweep enabled (MINUTES per sanitizer,
+# default 10, split across the three built-in targets). Any divergence —
+# i.e. any repro bundle emitted, a failing labeled test, or a sanitizer
+# report aborting the run — fails the script. Companion to
+# tools/bench_compare.py on the performance side.
 set -eu
 
 MINUTES="${1:-10}"
@@ -28,7 +29,7 @@ for SAN in ASAN TSAN; do
   echo "=== configuring $SAN build in $BUILD ==="
   cmake -B "$BUILD" -S "$ROOT" "-DLISASIM_$SAN=ON" > /dev/null
   cmake --build "$BUILD" -j "$(nproc)" > /dev/null
-  for LABEL in robustness resilience native; do
+  for LABEL in robustness resilience native serve; do
     echo "=== $SAN ctest -L $LABEL ==="
     if ! ctest --test-dir "$BUILD" -L "$LABEL" --output-on-failure \
         -j "$(nproc)" > "$BUILD/ctest-$LABEL.log" 2>&1; then
@@ -41,7 +42,7 @@ for SAN in ASAN TSAN; do
     REPROS="$BUILD/fuzz-repros-$TARGET"
     rm -rf "$REPROS"
     echo "=== $SAN soak @$TARGET (${SECONDS_PER_TARGET}s) ==="
-    if ! "$BUILD/tools/lisasim-fuzz" "@$TARGET" --resilience \
+    if ! "$BUILD/tools/lisasim-fuzz" "@$TARGET" --resilience --serve 3 \
         --soak "$SECONDS_PER_TARGET" --stats --repro-dir "$REPROS"; then
       echo "FAIL: $SAN soak on @$TARGET reported a divergence or crashed"
       STATUS=1

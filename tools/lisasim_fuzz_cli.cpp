@@ -37,6 +37,12 @@
 //                                   to the unfaulted interpretive oracle
 //   --resilience-faults N           injected faults per supervised run
 //                                   (default 3)
+//   --serve N                       seventh sweep mode: run N concurrent
+//                                   serve sessions of each agreeing seed
+//                                   through the run-quantum SessionManager
+//                                   (shared tables, eviction churn); every
+//                                   session must finish bit-identical to
+//                                   the interpretive oracle
 //   --print SEED                    print SEED's generated program and exit
 //   --stats                         print accumulated coverage counters
 //
@@ -73,7 +79,7 @@ int usage(const char* argv0) {
       "                             memory smc chaos (percent)\n"
       "  --max-cycles N | --watchdog N | --stuck N | --attempts N\n"
       "  --repro-dir DIR | --no-minimize | --schedule\n"
-      "  --resilience | --resilience-faults N\n"
+      "  --resilience | --resilience-faults N | --serve N\n"
       "  --inject-divergence SEED | --print SEED | --stats\n"
       "exit codes: 0 clean, 1 divergence or fatal error, 2 usage error\n",
       argv0);
@@ -220,6 +226,11 @@ int main(int argc, char** argv) {
       if (v == nullptr || !parse_u64(v, n) || n == 0 || n > 64)
         return usage(argv[0]);
       opts.resilience_faults = static_cast<unsigned>(n);
+    } else if (arg == "--serve") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n) || n == 0 || n > 256)
+        return usage(argv[0]);
+      opts.serve_sessions = static_cast<unsigned>(n);
     } else if (arg == "--inject-divergence") {
       const char* v = value();
       if (v == nullptr || !parse_u64(v, opts.inject_seed))

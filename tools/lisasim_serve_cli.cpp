@@ -1,0 +1,630 @@
+// lisasim-serve — simulation-as-a-service driver over the run-quantum
+// SessionManager (src/serve).
+//
+//   lisasim-serve <model> --jobs FILE [options]      batch mode
+//   lisasim-serve <model> --interactive [options]    REPL on stdin
+//   lisasim-serve <model> --listen PATH [options]    REPL on a unix socket
+//
+// <model> is a path to a machine description, or one of the built-in
+// models "@tinydsp" / "@c54x" / "@c62x". All sessions share the model,
+// the table cache and (for the native tier) the module registry; state
+// is private per session.
+//
+// Job file format — blank lines and '#' comments ignored:
+//
+//   # scheduler directives (anywhere in the file; last one wins)
+//   threads 4
+//   quantum 8192
+//   max-resident 16
+//   evict-dir /tmp/serve-evict
+//   cache-dir /tmp/serve-artifacts
+//   native-blocking
+//
+//   # one session per line: name, program, then key=value options
+//   session fir0 @fir level=static
+//   session fir-fleet @fir level=static copies=32
+//   session smc @smc level=static guard=recompile
+//   session mine path/to/prog.asm level=trace max-cycles=100000 watchdog=1000000
+//
+// Programs: @fir | @adpcm | @gsm | @smc (built-in workload generators;
+// @smc picks the model's SMC variant) or a path to an assembly file.
+// Session keys: level=interp|cached|dynamic|static|trace|native,
+// guard=off|recompile|fallback, copies=N (N sessions sharing one loaded
+// program image), max-cycles=N, watchdog=N, stuck=N.
+//
+// REPL commands (interactive/listen modes):
+//   open NAME PROGRAM [key=value...]   register a session
+//   run NAME CYCLES                    run one session inline for N cycles
+//   runall                             quantum-schedule all open sessions
+//   state NAME                         dump nonzero architectural state
+//   report NAME                        one-line session report
+//   checkpoint NAME PATH               serialize the session to PATH
+//   restore NAME PATH                  restore the session from PATH
+//   evict NAME                         checkpoint to evict-dir and tear down
+//   metrics                            aggregate scheduler counters
+//   quit                               leave the REPL / close the client
+//   shutdown                           (listen mode) stop the server loop
+//
+// exit codes: 0 every session halted or hit its cycle budget, 1 fatal
+// error or any session fatal, 2 usage error, 3 some session stopped on a
+// recoverable error (watchdog/stuck) — matching the lisasim driver.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "decode/decoder.hpp"
+#include "model/sema.hpp"
+#include "serve/session_io.hpp"
+#include "serve/session_manager.hpp"
+#include "targets/c54x.hpp"
+#include "targets/c62x.hpp"
+#include "targets/tinydsp.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace lisasim;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <model> (--jobs FILE | --interactive | --listen PATH) "
+      "[options]\n"
+      "  <model>: @tinydsp | @c54x | @c62x | path to a .lisa file\n"
+      "  --jobs FILE        run a job file of sessions ('-' = stdin)\n"
+      "  --interactive      REPL on stdin\n"
+      "  --listen PATH      REPL over a unix-domain socket\n"
+      "  --threads N        scheduler worker threads (default: hardware)\n"
+      "  --quantum N        cycles per scheduler slice (default 16384)\n"
+      "  --max-resident N   LRU cap on live sessions (0 = unbounded)\n"
+      "  --evict-dir DIR    eviction checkpoint directory\n"
+      "  --cache-dir DIR    native artifact directory (shared table cache)\n"
+      "  --native-blocking  deterministic native-tier installs\n"
+      "  --metrics          print aggregate metrics after the batch\n"
+      "exit codes: 0 all sessions completed, 1 fatal, 2 usage,\n"
+      "            3 recoverable stop (watchdog/stuck) in some session\n",
+      argv0);
+  return 2;
+}
+
+std::string model_source(const std::string& spec) {
+  if (spec == "@tinydsp") return std::string(targets::tinydsp_model_source());
+  if (spec == "@c54x") return std::string(targets::c54x_model_source());
+  if (spec == "@c62x") return std::string(targets::c62x_model_source());
+  std::ifstream in(spec);
+  if (!in) throw SimError("cannot open '" + spec + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string model_name(const std::string& spec) {
+  if (!spec.empty() && spec[0] == '@') return spec.substr(1);
+  return spec;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0';
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Loads (and memoizes) program specs: built-in workload generators or
+/// assembly files. Memoization is what lets `copies=N` — and any two
+/// sessions naming the same spec — share one LoadedProgram image.
+class ProgramLibrary {
+ public:
+  ProgramLibrary(const Model& model, const Decoder& decoder)
+      : model_(model), decoder_(decoder) {}
+
+  std::shared_ptr<const LoadedProgram> get(const std::string& spec) {
+    auto it = programs_.find(spec);
+    if (it != programs_.end()) return it->second;
+    std::string source;
+    std::string name = spec;
+    if (spec == "@fir") {
+      source = workloads::make_fir(16, 64).asm_source;
+    } else if (spec == "@adpcm") {
+      source = workloads::make_adpcm(64).asm_source;
+    } else if (spec == "@gsm") {
+      source = workloads::make_gsm(40).asm_source;
+    } else if (spec == "@smc") {
+      source = model_.name == "tinydsp"
+                   ? workloads::make_smc_tinydsp().asm_source
+                   : workloads::make_smc_c62x().asm_source;
+    } else if (!spec.empty() && spec[0] == '@') {
+      throw SimError("unknown built-in program '" + spec +
+                     "' (want @fir, @adpcm, @gsm or @smc)");
+    } else {
+      std::ifstream in(spec);
+      if (!in) throw SimError("cannot open program '" + spec + "'");
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    auto program = std::make_shared<const LoadedProgram>(
+        assemble_or_throw(model_, decoder_, source, name));
+    programs_.emplace(spec, program);
+    return program;
+  }
+
+ private:
+  const Model& model_;
+  const Decoder& decoder_;
+  std::map<std::string, std::shared_ptr<const LoadedProgram>> programs_;
+};
+
+/// Parse one "key=value" session option. Returns false on unknown keys or
+/// bad values (message already on `err`).
+bool apply_session_option(const std::string& item, SessionSpec& spec,
+                          std::uint64_t& copies, std::string& err) {
+  const std::size_t eq = item.find('=');
+  if (eq == std::string::npos) {
+    err = "expected key=value, got '" + item + "'";
+    return false;
+  }
+  const std::string key = item.substr(0, eq);
+  const std::string value = item.substr(eq + 1);
+  std::uint64_t n = 0;
+  if (key == "level") {
+    if (!parse_sim_level_token(value, spec.level)) {
+      err = "unknown level '" + value + "'";
+      return false;
+    }
+  } else if (key == "guard") {
+    if (!parse_guard_policy_token(value, spec.guard)) {
+      err = "unknown guard policy '" + value + "'";
+      return false;
+    }
+  } else if (key == "copies") {
+    if (!parse_u64(value, n) || n == 0 || n > 4096) {
+      err = "bad copies '" + value + "'";
+      return false;
+    }
+    copies = n;
+  } else if (key == "max-cycles") {
+    if (!parse_u64(value, spec.limits.max_cycles)) {
+      err = "bad max-cycles '" + value + "'";
+      return false;
+    }
+  } else if (key == "watchdog") {
+    if (!parse_u64(value, spec.limits.watchdog_cycles)) {
+      err = "bad watchdog '" + value + "'";
+      return false;
+    }
+  } else if (key == "stuck") {
+    if (!parse_u64(value, spec.limits.max_stuck_cycles)) {
+      err = "bad stuck '" + value + "'";
+      return false;
+    }
+  } else {
+    err = "unknown session option '" + key + "'";
+    return false;
+  }
+  return true;
+}
+
+void print_report(FILE* out, const SessionReport& r) {
+  std::fprintf(out,
+               "session %s: %s level=%s guard=%s cycles=%llu packets=%llu "
+               "slots=%llu fetches=%llu quanta=%llu evictions=%llu "
+               "rehydrations=%llu",
+               r.name.c_str(), session_outcome_name(r.outcome),
+               sim_level_token(r.level), guard_policy_token(r.guard),
+               static_cast<unsigned long long>(r.result.cycles),
+               static_cast<unsigned long long>(r.result.packets_retired),
+               static_cast<unsigned long long>(r.result.slots_retired),
+               static_cast<unsigned long long>(r.result.fetches),
+               static_cast<unsigned long long>(r.quanta),
+               static_cast<unsigned long long>(r.evictions),
+               static_cast<unsigned long long>(r.rehydrations));
+  if (r.outcome == SessionOutcome::kError)
+    std::fprintf(out, " %s=\"%s\"", r.recoverable ? "stopped" : "fatal",
+                 r.error.c_str());
+  std::fputc('\n', out);
+}
+
+void print_metrics(FILE* out, const ServeMetrics& m) {
+  const double wall_s = static_cast<double>(m.wall_ns) / 1e9;
+  const double mips =
+      wall_s > 0.0 ? static_cast<double>(m.total_slots) / wall_s / 1e6 : 0.0;
+  std::fprintf(out,
+               "metrics: sessions=%llu finished=%llu errors=%llu "
+               "quanta=%llu evictions=%llu rehydrations=%llu "
+               "evict_failures=%llu "
+               "cycles=%llu slots=%llu wall_ms=%.1f aggregate_mips=%.2f "
+               "p50_step_us=%.1f p99_step_us=%.1f\n",
+               static_cast<unsigned long long>(m.sessions),
+               static_cast<unsigned long long>(m.finished),
+               static_cast<unsigned long long>(m.errors),
+               static_cast<unsigned long long>(m.quanta),
+               static_cast<unsigned long long>(m.evictions),
+               static_cast<unsigned long long>(m.rehydrations),
+               static_cast<unsigned long long>(m.evict_failures),
+               static_cast<unsigned long long>(m.total_cycles),
+               static_cast<unsigned long long>(m.total_slots), wall_s * 1e3,
+               mips, static_cast<double>(m.p50_step_ns) / 1e3,
+               static_cast<double>(m.p99_step_ns) / 1e3);
+}
+
+/// 0 all completed, 3 some recoverable stop, 1 some fatal (worst wins).
+int exit_code_for(const std::vector<SessionReport>& reports) {
+  int code = 0;
+  for (const SessionReport& r : reports) {
+    if (r.outcome != SessionOutcome::kError) continue;
+    if (!r.recoverable) return 1;
+    code = 3;
+  }
+  return code;
+}
+
+struct JobFile {
+  ServeConfig config;
+  std::string cache_dir;
+  struct Entry {
+    SessionSpec spec;       // program filled in later (spec string below)
+    std::string program;
+    std::uint64_t copies = 1;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Parse a job file. Directives may appear anywhere (last one wins) and
+/// are folded into `config` on top of the command-line values.
+JobFile parse_job_file(std::istream& in, ServeConfig base,
+                       const std::string& base_cache_dir) {
+  JobFile job;
+  job.config = std::move(base);
+  job.cache_dir = base_cache_dir;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto fail = [&](const std::string& message) -> void {
+      throw SimError("jobs:" + std::to_string(lineno) + ": " + message);
+    };
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    std::uint64_t n = 0;
+    if (directive == "threads") {
+      if (tokens.size() != 2 || !parse_u64(tokens[1], n) || n > 1024)
+        fail("bad threads directive");
+      job.config.threads = static_cast<unsigned>(n);
+    } else if (directive == "quantum") {
+      if (tokens.size() != 2 || !parse_u64(tokens[1], n) || n == 0)
+        fail("bad quantum directive");
+      job.config.quantum_cycles = n;
+    } else if (directive == "max-resident") {
+      if (tokens.size() != 2 || !parse_u64(tokens[1], n))
+        fail("bad max-resident directive");
+      job.config.max_resident = n;
+    } else if (directive == "evict-dir") {
+      if (tokens.size() != 2) fail("bad evict-dir directive");
+      job.config.evict_dir = tokens[1];
+    } else if (directive == "cache-dir") {
+      if (tokens.size() != 2) fail("bad cache-dir directive");
+      job.cache_dir = tokens[1];
+    } else if (directive == "native-blocking") {
+      if (tokens.size() != 1) fail("bad native-blocking directive");
+      job.config.native_blocking = true;
+    } else if (directive == "session") {
+      if (tokens.size() < 3) fail("session needs a name and a program");
+      JobFile::Entry entry;
+      entry.spec.name = tokens[1];
+      entry.program = tokens[2];
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string err;
+        if (!apply_session_option(tokens[i], entry.spec, entry.copies, err))
+          fail(err);
+      }
+      job.entries.push_back(std::move(entry));
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  return job;
+}
+
+int run_jobs(const Model& model, const Decoder& decoder, const JobFile& job,
+             bool show_metrics) {
+  ServeConfig config = job.config;
+  SessionManager manager(config);
+  if (!job.cache_dir.empty()) manager.cache().set_artifact_dir(job.cache_dir);
+  ProgramLibrary library(model, decoder);
+  for (const JobFile::Entry& entry : job.entries) {
+    const auto program = library.get(entry.program);
+    for (std::uint64_t copy = 0; copy < entry.copies; ++copy) {
+      SessionSpec spec = entry.spec;
+      spec.model = &model;
+      spec.program = program;
+      if (entry.copies > 1) {
+        spec.name.push_back('-');
+        spec.name += std::to_string(copy);
+      }
+      manager.add_session(spec);
+    }
+  }
+  manager.run_all();
+  const std::vector<SessionReport> reports = manager.reports();
+  for (const SessionReport& r : reports) print_report(stdout, r);
+  if (show_metrics) print_metrics(stdout, manager.metrics());
+  return exit_code_for(reports);
+}
+
+// ---- interactive REPL ------------------------------------------------------
+
+/// Serves one command stream. Returns false only for `shutdown` (listen
+/// mode stops accepting); `quit`/EOF return true (client done).
+class Repl {
+ public:
+  Repl(const Model& model, const Decoder& decoder, const ServeConfig& config,
+       const std::string& cache_dir)
+      : model_(model),
+        decoder_(decoder),
+        manager_(config),
+        library_(model, decoder) {
+    if (!cache_dir.empty()) manager_.cache().set_artifact_dir(cache_dir);
+  }
+
+  bool serve(FILE* in, FILE* out) {
+    std::fprintf(out, "lisasim-serve ready (%s)\n", model_.name.c_str());
+    std::fflush(out);
+    char buffer[4096];
+    while (std::fgets(buffer, sizeof buffer, in) != nullptr) {
+      const std::vector<std::string> tokens = split_tokens(buffer);
+      if (tokens.empty()) continue;
+      if (tokens[0] == "quit") return true;
+      if (tokens[0] == "shutdown") return false;
+      try {
+        command(tokens, out);
+      } catch (const SimError& e) {
+        std::fprintf(out, "error %s\n", e.what());
+      } catch (const std::exception& e) {
+        std::fprintf(out, "error %s\n", e.what());
+      }
+      std::fflush(out);
+    }
+    return true;
+  }
+
+ private:
+  std::size_t id_of(const std::string& name) {
+    const auto it = names_.find(name);
+    if (it == names_.end())
+      throw SimError("no session '" + name + "'", SimErrorKind::kRecoverable);
+    return it->second;
+  }
+
+  void command(const std::vector<std::string>& tokens, FILE* out) {
+    const std::string& cmd = tokens[0];
+    if (cmd == "open") {
+      if (tokens.size() < 3)
+        throw SimError("usage: open NAME PROGRAM [key=value...]");
+      if (names_.count(tokens[1]) != 0)
+        throw SimError("session '" + tokens[1] + "' already open");
+      SessionSpec spec;
+      spec.name = tokens[1];
+      spec.model = &model_;
+      spec.program = library_.get(tokens[2]);
+      std::uint64_t copies = 1;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string err;
+        if (!apply_session_option(tokens[i], spec, copies, err))
+          throw SimError(err);
+      }
+      const std::size_t id = manager_.add_session(spec);
+      names_.emplace(tokens[1], id);
+      std::fprintf(out, "ok open %s id=%zu\n", tokens[1].c_str(), id);
+    } else if (cmd == "run") {
+      std::uint64_t cycles = 0;
+      if (tokens.size() != 3 || !parse_u64(tokens[2], cycles) || cycles == 0)
+        throw SimError("usage: run NAME CYCLES");
+      const RunResult delta = manager_.run_session(id_of(tokens[1]), cycles);
+      std::fprintf(out, "ok run %s cycles=%llu halted=%d\n",
+                   tokens[1].c_str(),
+                   static_cast<unsigned long long>(delta.cycles),
+                   delta.halted ? 1 : 0);
+    } else if (cmd == "runall") {
+      manager_.run_all();
+      std::fprintf(out, "ok runall sessions=%zu\n", manager_.session_count());
+    } else if (cmd == "state") {
+      if (tokens.size() != 2) throw SimError("usage: state NAME");
+      const std::string dump = manager_.session_state(id_of(tokens[1]));
+      std::fprintf(out, "ok state %s\n%s.\n", tokens[1].c_str(),
+                   dump.c_str());
+    } else if (cmd == "report") {
+      if (tokens.size() != 2) throw SimError("usage: report NAME");
+      print_report(out, manager_.report(id_of(tokens[1])));
+    } else if (cmd == "checkpoint") {
+      if (tokens.size() != 3) throw SimError("usage: checkpoint NAME PATH");
+      manager_.checkpoint_session(id_of(tokens[1]), tokens[2]);
+      std::fprintf(out, "ok checkpoint %s %s\n", tokens[1].c_str(),
+                   tokens[2].c_str());
+    } else if (cmd == "restore") {
+      if (tokens.size() != 3) throw SimError("usage: restore NAME PATH");
+      manager_.restore_session(id_of(tokens[1]), tokens[2]);
+      std::fprintf(out, "ok restore %s %s\n", tokens[1].c_str(),
+                   tokens[2].c_str());
+    } else if (cmd == "evict") {
+      if (tokens.size() != 2) throw SimError("usage: evict NAME");
+      manager_.evict_session(id_of(tokens[1]));
+      std::fprintf(out, "ok evict %s\n", tokens[1].c_str());
+    } else if (cmd == "metrics") {
+      print_metrics(out, manager_.metrics());
+    } else {
+      throw SimError("unknown command '" + cmd + "'");
+    }
+  }
+
+  const Model& model_;
+  const Decoder& decoder_;
+  SessionManager manager_;
+  ProgramLibrary library_;
+  std::map<std::string, std::size_t> names_;
+};
+
+int serve_socket(const Model& model, const Decoder& decoder,
+                 const ServeConfig& config, const std::string& cache_dir,
+                 const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path)
+    throw SimError("socket path too long: '" + path + "'");
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw SimError("socket() failed");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    throw SimError("cannot listen on '" + path + "'");
+  }
+  std::printf("listening on %s\n", path.c_str());
+  std::fflush(stdout);
+  bool keep_going = true;
+  while (keep_going) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;
+    FILE* in = ::fdopen(client, "r");
+    FILE* out = ::fdopen(::dup(client), "w");
+    if (in != nullptr && out != nullptr) {
+      // One manager per connection: a client owns its sessions, and a
+      // fresh cache per client keeps the lifetime story simple. (The
+      // kNative module registry still shares across connections — it is
+      // process-wide by design.)
+      Repl repl(model, decoder, config, cache_dir);
+      keep_going = repl.serve(in, out);
+    }
+    if (in != nullptr) std::fclose(in);
+    if (out != nullptr) std::fclose(out);
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string spec = argv[1];
+  if (spec == "--help" || spec == "-h") {
+    usage(argv[0]);
+    return 0;
+  }
+
+  std::string jobs_path;
+  std::string listen_path;
+  std::string cache_dir;
+  bool interactive = false;
+  bool show_metrics = false;
+  ServeConfig config;
+  config.quantum_cycles = std::uint64_t{1} << 14;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      jobs_path = v;
+    } else if (arg == "--interactive") {
+      interactive = true;
+    } else if (arg == "--listen") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      listen_path = v;
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n) || n > 1024) return usage(argv[0]);
+      config.threads = static_cast<unsigned>(n);
+    } else if (arg == "--quantum") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n) || n == 0) return usage(argv[0]);
+      config.quantum_cycles = n;
+    } else if (arg == "--max-resident") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, n)) return usage(argv[0]);
+      config.max_resident = n;
+    } else if (arg == "--evict-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      config.evict_dir = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cache_dir = v;
+    } else if (arg == "--native-blocking") {
+      config.native_blocking = true;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  const int modes = (jobs_path.empty() ? 0 : 1) + (interactive ? 1 : 0) +
+                    (listen_path.empty() ? 0 : 1);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "pick exactly one of --jobs, --interactive, --listen\n");
+    return usage(argv[0]);
+  }
+
+  try {
+    const std::unique_ptr<Model> model =
+        compile_model_source_or_throw(model_source(spec), model_name(spec));
+    const Decoder decoder(*model);
+
+    if (!jobs_path.empty()) {
+      JobFile job;
+      if (jobs_path == "-") {
+        job = parse_job_file(std::cin, config, cache_dir);
+      } else {
+        std::ifstream in(jobs_path);
+        if (!in) throw SimError("cannot open jobs file '" + jobs_path + "'");
+        job = parse_job_file(in, config, cache_dir);
+      }
+      if (job.entries.empty()) throw SimError("job file defines no sessions");
+      return run_jobs(*model, decoder, job, show_metrics);
+    }
+    if (interactive) {
+      Repl repl(*model, decoder, config, cache_dir);
+      repl.serve(stdin, stdout);
+      return 0;
+    }
+    return serve_socket(*model, decoder, config, cache_dir, listen_path);
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
